@@ -1,0 +1,75 @@
+//! Ablation benches for the cost-model design choices DESIGN.md calls
+//! out: measure a fixed real pipeline under each model variant and report
+//! the simulated time each mechanism contributes. (Criterion measures the
+//! *evaluation* cost; the interesting output is the per-variant simulated
+//! seconds printed once at startup.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gpu_sim::ablation::{pipeline_time_ablated, Variant};
+use gpu_sim::{CompilerId, Direction, OptLevel, SimConfig, RTX_4090};
+use lc_core::KernelStats;
+use lc_data::{file_by_name, generate, Scale};
+use lc_study::runner::{run_stage, ChunkedData};
+
+fn real_pipeline_stats() -> (Vec<KernelStats>, Vec<KernelStats>, u64, u64, u64) {
+    let sp = file_by_name("obs_temp").unwrap();
+    let data = generate(sp, Scale::tiny());
+    let paper_bytes = sp.paper_size_tenth_mb as u64 * 100_000;
+    let factor = paper_bytes as f64 / data.len() as f64;
+    let chunks = paper_bytes.div_ceil(16384);
+    let mut chunked = ChunkedData::from_bytes(&data);
+    let mut enc = Vec::new();
+    let mut dec = Vec::new();
+    let mut comp = 0u64;
+    for name in ["DBEFS_4", "DIFF_4", "RLE_4"] {
+        let c = lc_components::lookup(name).unwrap();
+        let o = run_stage(c.as_ref(), &chunked, false);
+        enc.push(o.enc.scaled(factor));
+        dec.push(o.dec.scaled(factor));
+        comp = (o.output.total_bytes() as f64 * factor) as u64 + 5 * chunks;
+        chunked = o.output;
+    }
+    (enc, dec, chunks, paper_bytes, comp)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let (enc, dec, chunks, unc, comp) = real_pipeline_stats();
+    let cfg = SimConfig::new(&RTX_4090, CompilerId::Clang, OptLevel::O3);
+
+    // Print the simulated effect of each mechanism once (the actual
+    // ablation result; Criterion then measures evaluation speed).
+    println!("ablation (DBEFS_4 DIFF_4 RLE_4 on obs_temp, {}):", cfg.label());
+    for v in Variant::ALL {
+        let te = pipeline_time_ablated(&cfg, Direction::Encode, &enc, chunks, unc, comp, v);
+        let td = pipeline_time_ablated(&cfg, Direction::Decode, &dec, chunks, unc, comp, v);
+        println!(
+            "  {:14} encode {:8.1} GB/s   decode {:8.1} GB/s",
+            v.label(),
+            gpu_sim::throughput_gbs(unc, te),
+            gpu_sim::throughput_gbs(unc, td),
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_eval");
+    for v in Variant::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, &v| {
+            b.iter(|| {
+                black_box(pipeline_time_ablated(
+                    &cfg,
+                    Direction::Encode,
+                    black_box(&enc),
+                    chunks,
+                    unc,
+                    comp,
+                    v,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! End-to-end archive benchmarks: chunk-parallel encode and decode of a
+//! multi-chunk input through representative pipelines (the paper's
+//! encoding/decoding throughput metric, on the CPU substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lc_core::archive;
+use lc_parallel::Pool;
+
+const PIPELINES: [&str; 4] = [
+    "DBEFS_4 DIFF_4 RZE_4",
+    "DBESF_4 DIFFMS_4 RARE_4",
+    "TCMS_4 DIFF_4 CLOG_4",
+    "TUPL2_1 BIT_1 RLE_1",
+];
+
+fn bench_encode(c: &mut Criterion) {
+    let input = bench::sample_input();
+    let pool = Pool::with_default_threads();
+    let mut g = c.benchmark_group("archive_encode");
+    g.throughput(Throughput::Bytes(input.len() as u64));
+    g.sample_size(20);
+    for desc in PIPELINES {
+        let pipeline = lc_components::parse_pipeline(desc).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(desc), &input, |b, input| {
+            b.iter(|| black_box(archive::encode(&pipeline, black_box(input), &pool)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let input = bench::sample_input();
+    let pool = Pool::with_default_threads();
+    let mut g = c.benchmark_group("archive_decode");
+    g.throughput(Throughput::Bytes(input.len() as u64));
+    g.sample_size(20);
+    for desc in PIPELINES {
+        let pipeline = lc_components::parse_pipeline(desc).unwrap();
+        let encoded = archive::encode(&pipeline, &input, &pool);
+        g.bench_with_input(BenchmarkId::from_parameter(desc), &encoded, |b, enc| {
+            b.iter(|| {
+                black_box(archive::decode(black_box(enc), lc_components::lookup, &pool).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let input = bench::sample_input();
+    let pipeline = lc_components::parse_pipeline("DBEFS_4 DIFF_4 RZE_4").unwrap();
+    let mut g = c.benchmark_group("archive_encode_threads");
+    g.throughput(Throughput::Bytes(input.len() as u64));
+    g.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        let pool = Pool::new(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &input, |b, input| {
+            b.iter(|| black_box(archive::encode(&pipeline, black_box(input), &pool)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_thread_scaling);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Per-component kernel throughput on one 16 kB chunk — the Rust-side
+//! equivalent of the paper's per-component characterization (Tables 1/2,
+//! Figs. 8–13 kernels). Criterion reports bytes/second per component and
+//! direction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lc_core::KernelStats;
+
+fn bench_encode(c: &mut Criterion) {
+    let chunk = bench::sample_chunk();
+    let mut g = c.benchmark_group("component_encode");
+    g.throughput(Throughput::Bytes(chunk.len() as u64));
+    // One representative per family at the float-matched word size keeps
+    // the run short; pass --bench components -- --exact <name> for others.
+    for name in [
+        "DBEFS_4", "DBESF_4", "TCMS_4", "TCNB_4", "BIT_4", "TUPL2_2", "DIFF_4", "DIFFMS_4",
+        "DIFFNB_4", "CLOG_4", "HCLOG_4", "RARE_4", "RAZE_4", "RLE_4", "RRE_4", "RZE_4",
+    ] {
+        let comp = lc_components::lookup(name).expect(name);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &chunk, |b, chunk| {
+            let mut out = Vec::with_capacity(chunk.len() * 2);
+            b.iter(|| {
+                out.clear();
+                let mut stats = KernelStats::new();
+                comp.encode_chunk(black_box(chunk), &mut out, &mut stats);
+                black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let chunk = bench::sample_chunk();
+    let mut g = c.benchmark_group("component_decode");
+    g.throughput(Throughput::Bytes(chunk.len() as u64));
+    for name in ["TCMS_4", "BIT_4", "DIFF_4", "CLOG_4", "RARE_4", "RLE_4", "RZE_4"] {
+        let comp = lc_components::lookup(name).expect(name);
+        let mut encoded = Vec::new();
+        comp.encode_chunk(&chunk, &mut encoded, &mut KernelStats::new());
+        g.bench_with_input(BenchmarkId::from_parameter(name), &encoded, |b, enc| {
+            let mut out = Vec::with_capacity(chunk.len());
+            b.iter(|| {
+                out.clear();
+                let mut stats = KernelStats::new();
+                comp.decode_chunk(black_box(enc), &mut out, &mut stats).unwrap();
+                black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_word_sizes(c: &mut Criterion) {
+    // The §6.2 axis: the same transform at all four word sizes.
+    let chunk = bench::sample_chunk();
+    let mut g = c.benchmark_group("wordsize_tcms");
+    g.throughput(Throughput::Bytes(chunk.len() as u64));
+    for w in [1usize, 2, 4, 8] {
+        let comp = lc_components::lookup(&format!("TCMS_{w}")).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(w), &chunk, |b, chunk| {
+            let mut out = Vec::with_capacity(chunk.len());
+            b.iter(|| {
+                out.clear();
+                comp.encode_chunk(black_box(chunk), &mut out, &mut KernelStats::new());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_word_sizes);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Cost-model benchmarks: how fast the GPU/compiler simulator evaluates —
+//! this bounds the wall time of the full 107,632-pipeline campaign, which
+//! performs millions of these evaluations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use gpu_sim::{pipeline_time, CompilerId, Direction, OptLevel, SimConfig, ALL_GPUS, RTX_4090};
+use lc_core::KernelStats;
+
+fn typical_stats(chunks: u64) -> KernelStats {
+    let words = chunks * 4096;
+    KernelStats {
+        words,
+        thread_ops: words * 4,
+        global_reads: chunks * 16384,
+        global_writes: chunks * 16384,
+        shared_traffic: chunks * 32768,
+        warp_shuffles: words / 8,
+        warp_syncs: chunks * 16,
+        block_syncs: chunks * 4,
+        atomic_ops: chunks,
+        scan_steps: chunks * 13,
+        divergent_branches: chunks * 10,
+    }
+}
+
+fn bench_pipeline_time(c: &mut Criterion) {
+    let chunks = 6400u64;
+    let stats = [typical_stats(chunks); 3];
+    let mut g = c.benchmark_group("pipeline_time");
+    g.throughput(Throughput::Elements(1));
+    for gpu in ALL_GPUS {
+        let compiler = if gpu.vendor == gpu_sim::Vendor::Nvidia {
+            CompilerId::Nvcc
+        } else {
+            CompilerId::Hipcc
+        };
+        let cfg = SimConfig::new(gpu, compiler, OptLevel::O3);
+        g.bench_with_input(BenchmarkId::from_parameter(gpu.name), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(pipeline_time(
+                    black_box(cfg),
+                    Direction::Encode,
+                    black_box(&stats),
+                    chunks,
+                    chunks * 16384,
+                    chunks * 9000,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_campaign_inner_loop(c: &mut Criterion) {
+    // The per-(pipeline, platform) arithmetic the campaign repeats ~60M
+    // times at full scale.
+    let cfg = SimConfig::new(&RTX_4090, CompilerId::Clang, OptLevel::O3);
+    let stats = typical_stats(6400);
+    c.bench_function("stage_time_single", |b| {
+        b.iter(|| black_box(gpu_sim::stage_time(black_box(&cfg), black_box(&stats), 6400)));
+    });
+}
+
+criterion_group!(benches, bench_pipeline_time, bench_campaign_inner_loop);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Synthetic SP dataset generation throughput (Table 3 substitution):
+//! generation must stay cheap relative to the campaign it feeds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lc_data::{file_by_name, generate, Scale};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagen");
+    // One file per domain.
+    for name in ["msg_bt", "num_brain", "obs_temp"] {
+        let file = file_by_name(name).unwrap();
+        let bytes = Scale::tiny().bytes_for(file);
+        g.throughput(Throughput::Bytes(bytes as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), file, |b, file| {
+            b.iter(|| black_box(generate(black_box(file), Scale::tiny())));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

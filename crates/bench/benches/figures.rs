@@ -1,0 +1,49 @@
+//! One benchmark per paper figure (Figs. 2–15): each regenerates its
+//! figure's letter-value series from a shared campaign. The campaign
+//! itself (the expensive stage-tree execution) is built once; the benches
+//! measure the per-figure selection + letter-value computation, i.e. the
+//! code path `reproduce --figure N` takes after measurement.
+//!
+//! The full-scale regeneration of every figure is
+//! `cargo run --release -p lc-study --bin reproduce -- --figure all`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lc_study::{figures, FigId};
+
+fn bench_figures(c: &mut Criterion) {
+    let m = bench::shared_measurements();
+    let mut g = c.benchmark_group("figure");
+    g.sample_size(10);
+    for id in FigId::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("fig{:02}", id.number())),
+            &id,
+            |b, &id| {
+                b.iter(|| black_box(figures::figure(m, id)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_letter_values(c: &mut Criterion) {
+    // The statistic every box in every figure needs.
+    let values: Vec<f64> = (0..107_632u64)
+        .map(|i| 100.0 + ((i.wrapping_mul(2654435761)) % 100_000) as f64 / 500.0)
+        .collect();
+    c.bench_function("letter_values_107632", |b| {
+        b.iter(|| black_box(lc_study::stats::letter_values(black_box(&values))));
+    });
+}
+
+fn bench_findings(c: &mut Criterion) {
+    let m = bench::shared_measurements();
+    c.bench_function("findings_checklist", |b| {
+        b.iter(|| black_box(lc_study::report::findings(m)));
+    });
+}
+
+criterion_group!(benches, bench_figures, bench_letter_values, bench_findings);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Substrate benchmarks: the decoupled look-back scan (the framework
+//! operation the paper localizes the Clang/NVCC split in, §6.1) and the
+//! pool's scheduling overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lc_parallel::{scan::parallel_exclusive_scan, Pool};
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookback_scan");
+    for n in [64usize, 1024, 16384] {
+        let values: Vec<u64> = (0..n as u64).map(|i| (i * 977) % 4096).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        for threads in [1usize, 4] {
+            let pool = Pool::new(threads);
+            g.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), n),
+                &values,
+                |b, values| {
+                    b.iter(|| black_box(parallel_exclusive_scan(&pool, black_box(values))));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_dispatch");
+    for tasks in [16usize, 256, 4096] {
+        g.throughput(Throughput::Elements(tasks as u64));
+        let pool = Pool::new(4);
+        g.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                pool.run(tasks, |i| {
+                    black_box(i);
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_pool_overhead);
+criterion_main!(benches);

@@ -1,0 +1,247 @@
+//! Compiler code-generation model.
+//!
+//! The paper's central findings are *relative multipliers* between the
+//! three compilers on shared operations:
+//!
+//! 1. NVCC and HIPCC targeting NVIDIA GPUs generate near-identical code —
+//!    HIPCC simply invokes NVCC with the HIP headers (§3.1), and the
+//!    measured distributions coincide (§6.1).
+//! 2. Clang encodes consistently slower but decodes consistently faster
+//!    than NVCC/HIPCC, and the paper localizes the difference in
+//!    pipeline-independent *framework* operations: the encoder's decoupled
+//!    look-back and the decoder's block prefix sum (§6.1).
+//! 3. Going from `-O1` to `-O3` barely moves NVCC/HIPCC; Clang's encoders
+//!    get slightly *slower* at `-O3` on NVIDIA while its decoders gain
+//!    < 10% (§6.5) — so optimization level alone does not explain (2);
+//!    the model therefore also carries opt-independent register-allocation
+//!    effects.
+//!
+//! Every constant below encodes one of these observations and is
+//! calibrated only against the *qualitative* shape of the paper's figures
+//! (who is faster, roughly by how much) — not against absolute numbers,
+//! which depend on the authors' hardware.
+
+use serde::{Deserialize, Serialize};
+
+use crate::specs::Vendor;
+
+/// The three compilers of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompilerId {
+    /// NVIDIA's proprietary CUDA compiler.
+    Nvcc,
+    /// Open-source LLVM Clang compiling CUDA (née gpucc).
+    Clang,
+    /// AMD's HIP compiler (invokes NVCC on NVIDIA targets).
+    Hipcc,
+}
+
+impl CompilerId {
+    /// All compilers, figure legend order.
+    pub const ALL: [CompilerId; 3] = [CompilerId::Nvcc, CompilerId::Clang, CompilerId::Hipcc];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompilerId::Nvcc => "NVCC",
+            CompilerId::Clang => "Clang",
+            CompilerId::Hipcc => "HIPCC",
+        }
+    }
+
+    /// Which compilers can target a vendor: CUDA compilers (NVCC, Clang)
+    /// are NVIDIA-only; HIPCC targets both (§3.1).
+    pub fn supports(&self, vendor: Vendor) -> bool {
+        match self {
+            CompilerId::Nvcc | CompilerId::Clang => vendor == Vendor::Nvidia,
+            CompilerId::Hipcc => true,
+        }
+    }
+
+    /// The compilers available on a platform, in legend order.
+    pub fn for_vendor(vendor: Vendor) -> Vec<CompilerId> {
+        Self::ALL.iter().copied().filter(|c| c.supports(vendor)).collect()
+    }
+}
+
+/// Optimization level of the build (§6.5 compares `-O1` vs `-O3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// `-O1`.
+    O1,
+    /// `-O3` (used by all results outside §6.5).
+    O3,
+}
+
+/// Cost multipliers a compiler's generated code exhibits, relative to
+/// NVCC `-O3` on the same hardware (1.0 = identical; > 1.0 = slower).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodegenProfile {
+    /// Component ALU time (register allocation quality, scheduling).
+    pub compute: f64,
+    /// Achieved fraction of peak memory bandwidth.
+    pub memory_efficiency: f64,
+    /// Warp shuffle / warp-sync time.
+    pub shuffle: f64,
+    /// Encoder-side decoupled look-back time (framework, §6.1).
+    pub lookback: f64,
+    /// Decoder-side block prefix-sum time (framework, §6.1).
+    pub block_scan: f64,
+    /// Kernel launch overhead in microseconds.
+    pub launch_us: f64,
+}
+
+/// The calibrated profile for a (compiler, opt level, vendor) combination.
+///
+/// # Panics
+///
+/// Panics if the compiler does not support the vendor (NVCC/Clang on AMD).
+pub fn profile(compiler: CompilerId, opt: OptLevel, vendor: Vendor) -> CodegenProfile {
+    assert!(
+        compiler.supports(vendor),
+        "{} cannot target {:?} GPUs",
+        compiler.label(),
+        vendor
+    );
+    match (compiler, vendor) {
+        // NVCC: the baseline. -O1 costs a few percent of ALU quality but
+        // nothing else (§6.5: "negligible speedups").
+        (CompilerId::Nvcc, Vendor::Nvidia) => match opt {
+            OptLevel::O3 => CodegenProfile {
+                compute: 1.0,
+                memory_efficiency: 0.65,
+                shuffle: 1.0,
+                lookback: 1.0,
+                block_scan: 1.0,
+                launch_us: 4.0,
+            },
+            OptLevel::O1 => CodegenProfile {
+                compute: 1.04,
+                memory_efficiency: 0.65,
+                shuffle: 1.0,
+                lookback: 1.02,
+                block_scan: 1.02,
+                launch_us: 4.0,
+            },
+        },
+        // HIPCC on NVIDIA invokes NVCC; only the HIP header shims differ,
+        // a sub-percent effect (§6.1: "distributions are always close").
+        (CompilerId::Hipcc, Vendor::Nvidia) => {
+            let mut p = profile(CompilerId::Nvcc, opt, vendor);
+            p.compute *= 1.006;
+            p.launch_us += 0.3;
+            p
+        }
+        // Clang on NVIDIA: slightly weaker component codegen (register
+        // allocation; §6.5 conclusion), a much slower decoupled look-back
+        // (consistently slower encode, §6.1) and a faster block scan
+        // (consistently faster decode, §6.1). -O3 *hurts* its encoder
+        // (§6.5 Fig. 14) and helps its decoder by < 10% (Fig. 15).
+        (CompilerId::Clang, Vendor::Nvidia) => match opt {
+            OptLevel::O3 => CodegenProfile {
+                compute: 1.02,
+                memory_efficiency: 0.65,
+                shuffle: 0.97,
+                lookback: 1.45,
+                block_scan: 0.72,
+                launch_us: 3.5,
+            },
+            // Clang's -O1/-O3 delta is concentrated in the framework
+            // operations (the paper localizes the compiler split there,
+            // §6.1/§6.5): -O3 regresses the look-back and improves the
+            // block scan; component codegen barely moves.
+            OptLevel::O1 => CodegenProfile {
+                compute: 1.02,
+                memory_efficiency: 0.65,
+                shuffle: 0.97,
+                lookback: 1.22, // -O3 regresses the look-back (Fig. 14)
+                block_scan: 0.78, // -O3 gains < 10% on decode (Fig. 15)
+                launch_us: 3.5,
+            },
+        },
+        // HIPCC on AMD: its own baseline; -O1 ≈ -O3 (§6.5: "quite stable").
+        (CompilerId::Hipcc, Vendor::Amd) => match opt {
+            OptLevel::O3 => CodegenProfile {
+                compute: 1.0,
+                memory_efficiency: 0.60,
+                shuffle: 1.05,
+                lookback: 1.08,
+                block_scan: 1.0,
+                launch_us: 6.0,
+            },
+            OptLevel::O1 => CodegenProfile {
+                compute: 1.02,
+                memory_efficiency: 0.60,
+                shuffle: 1.05,
+                lookback: 1.09,
+                block_scan: 1.01,
+                launch_us: 6.0,
+            },
+        },
+        _ => unreachable!("supports() check above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuda_compilers_are_nvidia_only() {
+        assert!(CompilerId::Nvcc.supports(Vendor::Nvidia));
+        assert!(!CompilerId::Nvcc.supports(Vendor::Amd));
+        assert!(!CompilerId::Clang.supports(Vendor::Amd));
+        assert!(CompilerId::Hipcc.supports(Vendor::Amd));
+        assert!(CompilerId::Hipcc.supports(Vendor::Nvidia));
+    }
+
+    #[test]
+    fn platform_compiler_sets() {
+        assert_eq!(
+            CompilerId::for_vendor(Vendor::Nvidia),
+            vec![CompilerId::Nvcc, CompilerId::Clang, CompilerId::Hipcc]
+        );
+        assert_eq!(CompilerId::for_vendor(Vendor::Amd), vec![CompilerId::Hipcc]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot target")]
+    fn nvcc_on_amd_panics() {
+        profile(CompilerId::Nvcc, OptLevel::O3, Vendor::Amd);
+    }
+
+    #[test]
+    fn nvcc_and_hipcc_nearly_identical_on_nvidia() {
+        let n = profile(CompilerId::Nvcc, OptLevel::O3, Vendor::Nvidia);
+        let h = profile(CompilerId::Hipcc, OptLevel::O3, Vendor::Nvidia);
+        assert!((h.compute / n.compute - 1.0).abs() < 0.01);
+        assert_eq!(h.lookback, n.lookback);
+        assert_eq!(h.block_scan, n.block_scan);
+    }
+
+    #[test]
+    fn clang_slower_lookback_faster_block_scan() {
+        let n = profile(CompilerId::Nvcc, OptLevel::O3, Vendor::Nvidia);
+        let c = profile(CompilerId::Clang, OptLevel::O3, Vendor::Nvidia);
+        assert!(c.lookback > n.lookback * 1.2, "encode framework slower");
+        assert!(c.block_scan < n.block_scan * 0.9, "decode framework faster");
+    }
+
+    #[test]
+    fn clang_o3_regresses_encode_and_improves_decode() {
+        let o1 = profile(CompilerId::Clang, OptLevel::O1, Vendor::Nvidia);
+        let o3 = profile(CompilerId::Clang, OptLevel::O3, Vendor::Nvidia);
+        assert!(o3.lookback > o1.lookback, "Fig. 14: -O3 encode slowdown");
+        assert!(o3.block_scan < o1.block_scan, "Fig. 15: -O3 decode speedup");
+        // Decode framework gain is < 10% (Fig. 15).
+        assert!(o1.block_scan / o3.block_scan < 1.12);
+    }
+
+    #[test]
+    fn amd_opt_levels_are_stable() {
+        let o1 = profile(CompilerId::Hipcc, OptLevel::O1, Vendor::Amd);
+        let o3 = profile(CompilerId::Hipcc, OptLevel::O3, Vendor::Amd);
+        assert!((o1.compute / o3.compute - 1.0).abs() < 0.03);
+        assert!((o1.lookback / o3.lookback - 1.0).abs() < 0.02);
+    }
+}

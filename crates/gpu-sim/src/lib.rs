@@ -1,0 +1,60 @@
+//! Analytical GPU + compiler performance model.
+//!
+//! This crate is the substitution for the paper's measurement substrate:
+//! five physical GPUs (paper Tables 4/5) running binaries from NVCC,
+//! Clang, and HIPCC at `-O1`/`-O3`. Components in `lc-components` report
+//! what their GPU kernels *would do* ([`lc_core::KernelStats`]); this
+//! crate converts those counters into simulated kernel time for any
+//! (GPU, compiler, optimization level) combination.
+//!
+//! See DESIGN.md §"GPU + compiler model" for the substitution argument and
+//! `compiler.rs` for the provenance of every calibration constant.
+
+pub mod ablation;
+pub mod compiler;
+pub mod event_sim;
+pub mod numa;
+pub mod cost;
+pub mod specs;
+
+pub use compiler::{profile, CodegenProfile, CompilerId, OptLevel};
+pub use cost::{
+    framework_time, memory_time, pipeline_time, stage_time, throughput_gbs, total_time,
+    Direction, SimConfig,
+};
+pub use specs::{
+    fastest, GpuSpec, Vendor, ALL_GPUS, MI100, RTX_3080_TI, RTX_4090, RX_7900_XTX, TITAN_V,
+};
+
+/// Every (GPU, compiler) platform combination the paper evaluates:
+/// 3 NVIDIA GPUs × {NVCC, Clang, HIPCC} + 2 AMD GPUs × {HIPCC} = 11.
+pub fn all_platforms(opt: OptLevel) -> Vec<SimConfig> {
+    let mut v = Vec::new();
+    for gpu in ALL_GPUS {
+        for compiler in CompilerId::for_vendor(gpu.vendor) {
+            v.push(SimConfig::new(gpu, compiler, opt));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_platform_combinations() {
+        assert_eq!(all_platforms(OptLevel::O3).len(), 11);
+        let nvidia = all_platforms(OptLevel::O3)
+            .iter()
+            .filter(|c| c.gpu.vendor == Vendor::Nvidia)
+            .count();
+        assert_eq!(nvidia, 9);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let c = SimConfig::new(&RTX_4090, CompilerId::Clang, OptLevel::O1);
+        assert_eq!(c.label(), "RTX 4090/Clang/-O1");
+    }
+}

@@ -1,0 +1,394 @@
+//! `lc` — command-line interface to the LC reproduction.
+//!
+//! ```text
+//! lc list                                         component inventory (Table 1)
+//! lc compress   --pipeline "BIT_4 DIFF_4 RZE_4" IN OUT
+//! lc decompress IN OUT
+//! lc gen-data   [--file NAME] [--scale D] [--out DIR]
+//! lc profile    FILE                              structural statistics
+//! lc simulate   --pipeline "…" [--file NAME] [--gpu NAME] [--compiler C] [--opt 1|3]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gpu_sim::{CompilerId, Direction, OptLevel, SimConfig, ALL_GPUS, RTX_4090};
+use lc_core::{archive, Pipeline};
+use lc_parallel::Pool;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: lc <list|compress|decompress|gen-data|profile|simulate> … (--help)");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "list" => cmd_list(),
+        "compress" => cmd_compress(rest),
+        "decompress" => cmd_decompress(rest),
+        "gen-data" => cmd_gen_data(rest),
+        "profile" => cmd_profile(rest),
+        "simulate" => cmd_simulate(rest),
+        "bench-components" => cmd_bench_components(rest),
+        "verify" => cmd_verify(rest),
+        "--help" | "-h" | "help" => {
+            println!(
+                "lc — LC compression framework reproduction\n\
+                 subcommands:\n  \
+                 list                       show all 62 components\n  \
+                 compress   --pipeline P IN OUT\n  \
+                 decompress IN OUT\n  \
+                 gen-data   [--file NAME] [--scale D] [--out DIR]\n  \
+                 profile    FILE\n  \
+                 simulate   --pipeline P [--file NAME] [--gpu NAME] [--compiler nvcc|clang|hipcc] [--opt 1|3]\n  \
+                 bench-components [--file NAME]  CPU throughput of every component\n  \
+                 verify     ARCHIVE [ORIGINAL]    check an archive decodes (and matches ORIGINAL)"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: [&str; 1] = ["--stream"];
+
+fn positional(rest: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in rest {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = !BOOLEAN_FLAGS.contains(&a.as_str());
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:10} {:10} {:>5} {:>6}  component", "name", "kind", "word", "tuple");
+    for c in lc_components::all() {
+        println!(
+            "{:10} {:10} {:>5} {:>6}  {}",
+            c.name(),
+            c.kind().label(),
+            c.word_size(),
+            c.tuple_size().map_or("-".to_string(), |k| k.to_string()),
+            lc_core::component::family_of(c.name()),
+        );
+    }
+    println!("total: {} components, {} reducers, {} three-stage pipelines",
+        lc_components::COMPONENT_COUNT,
+        lc_components::REDUCER_COUNT,
+        lc_components::PIPELINE_COUNT);
+    println!("\npresets (use with compress --preset NAME):");
+    for p in &lc_components::presets::PRESETS {
+        println!("  {:10} {:28} {}", p.name, p.pipeline, p.purpose);
+    }
+    Ok(())
+}
+
+fn parse_pipeline(rest: &[String]) -> Result<Pipeline, String> {
+    if let Some(name) = flag_value(rest, "--preset") {
+        return lc_components::presets::preset(name).map_err(|e| {
+            format!("{e} (available presets: {})", lc_components::presets::names().join(", "))
+        });
+    }
+    let text = flag_value(rest, "--pipeline")
+        .ok_or("missing --pipeline \"C1 C2 C3\" (or --preset NAME)")?;
+    lc_components::parse_pipeline(text).map_err(|e| e.to_string())
+}
+
+fn cmd_compress(rest: &[String]) -> Result<(), String> {
+    let pipeline = parse_pipeline(rest)?;
+    let pos = positional(rest);
+    let [input, output] = pos[..] else {
+        return Err("usage: lc compress --pipeline \"…\" [--stream] IN OUT".into());
+    };
+    let pool = Pool::with_default_threads();
+    if rest.iter().any(|a| a == "--stream") {
+        // Bounded-memory streaming path for large files.
+        let mut r = std::io::BufReader::new(
+            std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?,
+        );
+        let mut w = std::io::BufWriter::new(
+            std::fs::File::create(output).map_err(|e| format!("{output}: {e}"))?,
+        );
+        let t0 = Instant::now();
+        let enc = lc_core::stream::StreamEncoder::new(&pipeline, pool);
+        let (read, written) = enc.encode(&mut r, &mut w).map_err(|e| e.to_string())?;
+        use std::io::Write as _;
+        w.flush().map_err(|e| e.to_string())?;
+        println!(
+            "{input} -> {output} (streamed): {read} -> {written} bytes (ratio {:.3}) in {:.3}s",
+            read as f64 / written as f64,
+            t0.elapsed().as_secs_f64()
+        );
+        return Ok(());
+    }
+    let data = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let t0 = Instant::now();
+    let res = archive::encode_with_stats(&pipeline, &data, &pool);
+    let dt = t0.elapsed().as_secs_f64();
+    std::fs::write(output, &res.archive).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{} -> {}: {} -> {} bytes (ratio {:.3}) in {:.3}s ({:.2} GB/s on this CPU)",
+        input,
+        output,
+        data.len(),
+        res.archive.len(),
+        data.len() as f64 / res.archive.len() as f64,
+        dt,
+        data.len() as f64 / 1e9 / dt,
+    );
+    for st in &res.stats.stages {
+        println!(
+            "  {:10} applied {:5} skipped {:5}  {} -> {} bytes",
+            st.component, st.chunks_applied, st.chunks_skipped, st.bytes_in, st.bytes_out
+        );
+    }
+    Ok(())
+}
+
+fn cmd_decompress(rest: &[String]) -> Result<(), String> {
+    let pos = positional(rest);
+    let [input, output] = pos[..] else {
+        return Err("usage: lc decompress IN OUT".into());
+    };
+    let data = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let pool = Pool::with_default_threads();
+    let t0 = Instant::now();
+    // Both archive flavors are self-describing; dispatch on the magic.
+    let out = if data.starts_with(&lc_core::stream::STREAM_MAGIC) {
+        let mut out = Vec::new();
+        lc_core::stream::decode_stream(&mut &data[..], &mut out, lc_components::lookup, &pool)
+            .map_err(|e| e.to_string())?;
+        out
+    } else {
+        archive::decode(&data, lc_components::lookup, &pool).map_err(|e| e.to_string())?
+    };
+    let dt = t0.elapsed().as_secs_f64();
+    std::fs::write(output, &out).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{} -> {}: {} -> {} bytes in {:.3}s",
+        input,
+        output,
+        data.len(),
+        out.len(),
+        dt
+    );
+    Ok(())
+}
+
+fn cmd_gen_data(rest: &[String]) -> Result<(), String> {
+    let scale: u32 = flag_value(rest, "--scale").unwrap_or("512").parse().map_err(|e| format!("--scale: {e}"))?;
+    let out_dir = flag_value(rest, "--out").unwrap_or("sp-data");
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
+    let scale = lc_data::Scale::denominator(scale);
+    let files: Vec<&lc_data::SpFile> = match flag_value(rest, "--file") {
+        Some(name) => vec![lc_data::file_by_name(name).ok_or_else(|| format!("unknown file {name:?}"))?],
+        None => lc_data::SP_FILES.iter().collect(),
+    };
+    for f in files {
+        let data = lc_data::generate(f, scale);
+        let path = format!("{out_dir}/{}.sp", f.name);
+        std::fs::write(&path, &data).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: {} bytes ({:?})", data.len(), f.domain);
+    }
+    Ok(())
+}
+
+fn cmd_profile(rest: &[String]) -> Result<(), String> {
+    let pos = positional(rest);
+    let [path] = pos[..] else {
+        return Err("usage: lc profile FILE".into());
+    };
+    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let p = lc_data::profile::profile(&data);
+    println!("{path}: {} bytes", p.bytes);
+    println!("  word repeat fraction : {:.4}", p.word_repeat_fraction);
+    println!("  byte repeat fraction : {:.4}", p.byte_repeat_fraction);
+    println!("  zero word fraction   : {:.4}", p.zero_word_fraction);
+    println!("  mean |delta| (f32)   : {:.4}", p.mean_abs_delta);
+    println!("  distinct exponents   : {}", p.distinct_exponents);
+    Ok(())
+}
+
+fn cmd_verify(rest: &[String]) -> Result<(), String> {
+    let pos = positional(rest);
+    let (archive_path, original) = match pos[..] {
+        [a] => (a, None),
+        [a, o] => (a, Some(o)),
+        _ => return Err("usage: lc verify ARCHIVE [ORIGINAL]".into()),
+    };
+    let data = std::fs::read(archive_path).map_err(|e| format!("{archive_path}: {e}"))?;
+    let pool = Pool::with_default_threads();
+    let out = if data.starts_with(&lc_core::stream::STREAM_MAGIC) {
+        let mut out = Vec::new();
+        lc_core::stream::decode_stream(&mut &data[..], &mut out, lc_components::lookup, &pool)
+            .map_err(|e| format!("archive is corrupt: {e}"))?;
+        out
+    } else {
+        archive::decode(&data, lc_components::lookup, &pool)
+            .map_err(|e| format!("archive is corrupt: {e}"))?
+    };
+    println!("{archive_path}: decodes cleanly to {} bytes", out.len());
+    if let Some(orig_path) = original {
+        let orig = std::fs::read(orig_path).map_err(|e| format!("{orig_path}: {e}"))?;
+        if orig == out {
+            println!("matches {orig_path} bit-exactly");
+        } else {
+            return Err(format!(
+                "decoded output differs from {orig_path} ({} vs {} bytes)",
+                out.len(),
+                orig.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench_components(rest: &[String]) -> Result<(), String> {
+    let file_name = flag_value(rest, "--file").unwrap_or("obs_temp");
+    let sp = lc_data::file_by_name(file_name).ok_or_else(|| format!("unknown file {file_name:?}"))?;
+    let data = lc_data::generate(sp, lc_data::Scale::denominator(2048));
+    let reps = 8;
+    println!(
+        "CPU component throughput on {file_name} ({} bytes, median of {reps} reps)",
+        data.len()
+    );
+    println!("{:10} {:>12} {:>12} {:>8}", "component", "enc MB/s", "dec MB/s", "ratio");
+    for c in lc_components::all() {
+        let mut enc = Vec::new();
+        let mut enc_times = Vec::new();
+        for _ in 0..reps {
+            enc.clear();
+            let t0 = Instant::now();
+            for chunk in data.chunks(lc_core::CHUNK_SIZE) {
+                let before = enc.len();
+                c.encode_chunk(chunk, &mut enc, &mut lc_core::KernelStats::new());
+                let _ = before;
+            }
+            enc_times.push(t0.elapsed().as_secs_f64());
+        }
+        enc_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let enc_mbs = data.len() as f64 / 1e6 / enc_times[reps / 2];
+
+        // Decode each chunk's encoding separately.
+        let mut encoded_chunks = Vec::new();
+        for chunk in data.chunks(lc_core::CHUNK_SIZE) {
+            let mut e = Vec::new();
+            c.encode_chunk(chunk, &mut e, &mut lc_core::KernelStats::new());
+            encoded_chunks.push(e);
+        }
+        let enc_total: usize = encoded_chunks.iter().map(Vec::len).sum();
+        let mut dec_times = Vec::new();
+        let mut out = Vec::new();
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for e in &encoded_chunks {
+                out.clear();
+                c.decode_chunk(e, &mut out, &mut lc_core::KernelStats::new())
+                    .map_err(|err| format!("{}: {err}", c.name()))?;
+            }
+            dec_times.push(t0.elapsed().as_secs_f64());
+        }
+        dec_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let dec_mbs = data.len() as f64 / 1e6 / dec_times[reps / 2];
+        println!(
+            "{:10} {:>12.1} {:>12.1} {:>8.3}",
+            c.name(),
+            enc_mbs,
+            dec_mbs,
+            data.len() as f64 / enc_total as f64
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(rest: &[String]) -> Result<(), String> {
+    let pipeline_text = flag_value(rest, "--pipeline").ok_or("missing --pipeline")?;
+    let file_name = flag_value(rest, "--file").unwrap_or("num_brain");
+    let gpu_name = flag_value(rest, "--gpu").unwrap_or(RTX_4090.name);
+    let compiler = match flag_value(rest, "--compiler").unwrap_or("nvcc") {
+        "nvcc" => CompilerId::Nvcc,
+        "clang" => CompilerId::Clang,
+        "hipcc" => CompilerId::Hipcc,
+        other => return Err(format!("unknown compiler {other:?}")),
+    };
+    let opt = match flag_value(rest, "--opt").unwrap_or("3") {
+        "1" => OptLevel::O1,
+        "3" => OptLevel::O3,
+        other => return Err(format!("--opt must be 1 or 3, got {other:?}")),
+    };
+    let gpu = ALL_GPUS
+        .iter()
+        .find(|g| g.name == gpu_name)
+        .ok_or_else(|| format!("unknown GPU {gpu_name:?} (see Tables 4/5)"))?;
+    if !compiler.supports(gpu.vendor) {
+        return Err(format!("{} cannot target {}", compiler.label(), gpu.name));
+    }
+    let cfg = SimConfig::new(gpu, compiler, opt);
+
+    let pipeline: Vec<_> = pipeline_text.split_whitespace().collect();
+    let components: Vec<_> = pipeline
+        .iter()
+        .map(|n| lc_components::lookup(n).ok_or_else(|| format!("unknown component {n:?}")))
+        .collect::<Result<_, _>>()?;
+
+    let sp = lc_data::file_by_name(file_name).ok_or_else(|| format!("unknown file {file_name:?}"))?;
+    let data = lc_data::generate(sp, lc_data::Scale::denominator(512));
+    let mut chunked = lc_study::runner::ChunkedData::from_bytes(&data);
+    let measured = chunked.total_bytes();
+    let paper_bytes = sp.paper_size_tenth_mb as u64 * 100_000;
+    let factor = paper_bytes as f64 / measured as f64;
+    let chunks = paper_bytes.div_ceil(lc_core::CHUNK_SIZE as u64);
+
+    let mut enc_stats = Vec::new();
+    let mut dec_stats = Vec::new();
+    let mut comp_bytes = 0;
+    for c in &components {
+        let outcome = lc_study::runner::run_stage(c.as_ref(), &chunked, true);
+        enc_stats.push(outcome.enc.scaled(factor));
+        dec_stats.push(outcome.dec.scaled(factor));
+        comp_bytes = (outcome.output.total_bytes() as f64 * factor) as u64 + 5 * chunks;
+        chunked = outcome.output;
+    }
+    let t_enc = gpu_sim::pipeline_time(&cfg, Direction::Encode, &enc_stats, chunks, paper_bytes, comp_bytes);
+    let t_dec = gpu_sim::pipeline_time(&cfg, Direction::Decode, &dec_stats, chunks, paper_bytes, comp_bytes);
+    println!("pipeline : {pipeline_text}");
+    println!("input    : {file_name} ({paper_bytes} bytes at paper scale)");
+    println!("platform : {}", cfg.label());
+    println!("ratio    : {:.3}", paper_bytes as f64 / comp_bytes as f64);
+    println!(
+        "encode   : {:.1} GB/s ({:.3} ms)",
+        gpu_sim::throughput_gbs(paper_bytes, t_enc),
+        t_enc * 1e3
+    );
+    println!(
+        "decode   : {:.1} GB/s ({:.3} ms)",
+        gpu_sim::throughput_gbs(paper_bytes, t_dec),
+        t_dec * 1e3
+    );
+    Ok(())
+}

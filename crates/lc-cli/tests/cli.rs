@@ -1,0 +1,172 @@
+//! End-to-end tests of the `lc` binary.
+
+use std::process::Command;
+
+fn lc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lc"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lc-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn list_shows_all_components() {
+    let out = lc().arg("list").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("TCMS_4"));
+    assert!(text.contains("RAZE_8"));
+    assert!(text.contains("TUPL8_4"));
+    assert!(text.contains("62 components"));
+    assert!(text.contains("107632"));
+}
+
+#[test]
+fn compress_decompress_roundtrip_via_files() {
+    let src = tmp("input.sp");
+    let archive = tmp("input.lc");
+    let restored = tmp("input.out");
+    let file = lc_data::file_by_name("obs_info").unwrap();
+    let data = lc_data::generate(file, lc_data::Scale::tiny());
+    std::fs::write(&src, &data).unwrap();
+
+    let out = lc()
+        .args(["compress", "--pipeline", "DBEFS_4 DIFF_4 RZE_4"])
+        .arg(&src)
+        .arg(&archive)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = lc().arg("decompress").arg(&archive).arg(&restored).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read(&restored).unwrap(), data);
+}
+
+#[test]
+fn unknown_pipeline_component_fails_cleanly() {
+    let src = tmp("x.bin");
+    std::fs::write(&src, b"hello").unwrap();
+    let out = lc()
+        .args(["compress", "--pipeline", "NOPE_4 DIFF_4 RZE_4"])
+        .arg(&src)
+        .arg(tmp("x.lc"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("NOPE_4"), "{err}");
+}
+
+#[test]
+fn simulate_prints_both_directions() {
+    let out = lc()
+        .args([
+            "simulate",
+            "--pipeline",
+            "TCMS_4 DIFF_4 CLOG_4",
+            "--file",
+            "obs_info",
+            "--gpu",
+            "RTX 4090",
+            "--compiler",
+            "clang",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("encode"), "{text}");
+    assert!(text.contains("decode"), "{text}");
+    assert!(text.contains("Clang"), "{text}");
+}
+
+#[test]
+fn simulate_rejects_clang_on_amd() {
+    let out = lc()
+        .args([
+            "simulate", "--pipeline", "TCMS_4 DIFF_4 CLOG_4", "--gpu", "MI100", "--compiler",
+            "clang",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot target"));
+}
+
+#[test]
+fn gen_data_writes_requested_file() {
+    let dir = tmp("gen");
+    let out = lc()
+        .args(["gen-data", "--file", "obs_info", "--scale", "8192", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let produced = std::fs::read(dir.join("obs_info.sp")).unwrap();
+    assert!(produced.len() >= 64 * 1024);
+}
+
+#[test]
+fn profile_reports_statistics() {
+    let src = tmp("prof.sp");
+    let file = lc_data::file_by_name("obs_temp").unwrap();
+    std::fs::write(&src, lc_data::generate(file, lc_data::Scale::tiny())).unwrap();
+    let out = lc().arg("profile").arg(&src).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("word repeat fraction"), "{text}");
+}
+
+#[test]
+fn streamed_compress_decompress_roundtrip() {
+    let src = tmp("stream.sp");
+    let archive = tmp("stream.lc");
+    let restored = tmp("stream.out");
+    let file = lc_data::file_by_name("obs_error").unwrap();
+    let data = lc_data::generate(file, lc_data::Scale::tiny());
+    std::fs::write(&src, &data).unwrap();
+
+    let out = lc()
+        .args(["compress", "--pipeline", "TCMS_4 DIFF_4 RZE_4", "--stream"])
+        .arg(&src)
+        .arg(&archive)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("streamed"));
+
+    // decompress auto-detects the streamed format by magic.
+    let out = lc().arg("decompress").arg(&archive).arg(&restored).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read(&restored).unwrap(), data);
+}
+
+#[test]
+fn verify_subcommand_accepts_good_and_rejects_corrupt() {
+    let src = tmp("v.sp");
+    let archive = tmp("v.lc");
+    let file = lc_data::file_by_name("num_comet").unwrap();
+    let data = lc_data::generate(file, lc_data::Scale::tiny());
+    std::fs::write(&src, &data).unwrap();
+    let out = lc()
+        .args(["compress", "--preset", "sp-speed"])
+        .arg(&src)
+        .arg(&archive)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = lc().arg("verify").arg(&archive).arg(&src).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bit-exactly"));
+
+    // Truncate the archive: verify must fail with an error message.
+    let bytes = std::fs::read(&archive).unwrap();
+    std::fs::write(&archive, &bytes[..bytes.len() / 2]).unwrap();
+    let out = lc().arg("verify").arg(&archive).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,256 @@
+//! Predictors: residual transforms (paper §3.2.3).
+//!
+//! Predictors guess each value from its predecessor and output the
+//! residual. Accurate predictions cluster residuals around zero, which the
+//! downstream reducers exploit. Encoding is embarrassingly parallel
+//! (Θ(1) span: every residual only needs its left neighbor), but decoding
+//! must rebuild the running values with a prefix sum — Θ(log n) span
+//! (paper Table 2) — which is why predictor-led pipelines have the lowest
+//! decode throughputs (paper Fig. 7).
+
+use lc_core::{Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass};
+
+use crate::util::codec;
+use crate::util::words;
+
+/// Residual post-transform applied per word after differencing.
+#[derive(Clone, Copy)]
+enum Residual {
+    /// Plain two's-complement difference (DIFF).
+    Plain,
+    /// Magnitude-sign (DIFFMS).
+    MagnitudeSign,
+    /// Negabinary (DIFFNB).
+    Negabinary,
+}
+
+impl Residual {
+    #[inline(always)]
+    fn apply<const W: usize>(self, v: u64) -> u64 {
+        match self {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => codec::to_magnitude_sign::<W>(v),
+            Residual::Negabinary => codec::to_negabinary::<W>(v),
+        }
+    }
+    #[inline(always)]
+    fn unapply<const W: usize>(self, v: u64) -> u64 {
+        match self {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => codec::from_magnitude_sign::<W>(v),
+            Residual::Negabinary => codec::from_negabinary::<W>(v),
+        }
+    }
+    const fn ops(self) -> u64 {
+        match self {
+            Residual::Plain => 1,
+            Residual::MagnitudeSign => 5,
+            Residual::Negabinary => 4,
+        }
+    }
+}
+
+fn diff_encode<const W: usize>(
+    input: &[u8],
+    out: &mut Vec<u8>,
+    stats: &mut KernelStats,
+    residual: Residual,
+) {
+    let n = words::count::<W>(input.len());
+    out.reserve(input.len());
+    let mut prev = 0u64;
+    for i in 0..n {
+        let cur = words::get::<W>(input, i);
+        let d = cur.wrapping_sub(prev) & words::mask::<W>();
+        words::put::<W>(out, residual.apply::<W>(d));
+        prev = cur;
+    }
+    out.extend_from_slice(&input[n * W..]);
+    stats.words += n as u64;
+    stats.thread_ops += n as u64 * (1 + residual.ops());
+    stats.global_reads += input.len() as u64;
+    stats.global_writes += input.len() as u64;
+    // Each thread also reads its left neighbor through shared memory.
+    stats.shared_traffic += (n * W) as u64;
+}
+
+fn diff_decode<const W: usize>(
+    input: &[u8],
+    out: &mut Vec<u8>,
+    stats: &mut KernelStats,
+    residual: Residual,
+) {
+    let n = words::count::<W>(input.len());
+    out.reserve(input.len());
+    let mut acc = 0u64;
+    for i in 0..n {
+        let d = residual.unapply::<W>(words::get::<W>(input, i));
+        acc = acc.wrapping_add(d) & words::mask::<W>();
+        words::put::<W>(out, acc);
+    }
+    out.extend_from_slice(&input[n * W..]);
+    stats.words += n as u64;
+    stats.thread_ops += n as u64 * (1 + residual.ops());
+    stats.global_reads += input.len() as u64;
+    stats.global_writes += input.len() as u64;
+    if n > 1 {
+        // Decoding is a prefix sum: log2(n) scan steps with a block sync
+        // each, plus warp-level shuffle scans (paper Table 2, dec span
+        // log n; Listing 1 shows the warp-scan kernel).
+        let steps = (n as u64).ilog2() as u64 + 1;
+        stats.scan_steps += steps;
+        stats.block_syncs += steps;
+        stats.warp_shuffles += n as u64 * 32u64.ilog2() as u64;
+        stats.shared_traffic += (n * W) as u64 * 2;
+    }
+}
+
+macro_rules! predictor {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $prefix:literal, $residual:expr
+    ) => {
+        $(#[$doc])*
+        pub struct $name<const W: usize>;
+
+        impl<const W: usize> Component for $name<W> {
+            fn name(&self) -> &'static str {
+                match W {
+                    1 => concat!($prefix, "_1"),
+                    2 => concat!($prefix, "_2"),
+                    4 => concat!($prefix, "_4"),
+                    8 => concat!($prefix, "_8"),
+                    _ => unreachable!("unsupported word size"),
+                }
+            }
+            fn kind(&self) -> ComponentKind {
+                ComponentKind::Predictor
+            }
+            fn word_size(&self) -> usize {
+                W
+            }
+            fn complexity(&self) -> Complexity {
+                Complexity::new(WorkClass::N, SpanClass::Const, WorkClass::N, SpanClass::LogN)
+            }
+            fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
+                diff_encode::<W>(input, out, stats, $residual);
+            }
+            fn decode_chunk(
+                &self,
+                input: &[u8],
+                out: &mut Vec<u8>,
+                stats: &mut KernelStats,
+            ) -> Result<(), DecodeError> {
+                diff_decode::<W>(input, out, stats, $residual);
+                Ok(())
+            }
+        }
+    };
+}
+
+predictor!(
+    /// DIFF: delta modulation — each word is replaced by its difference
+    /// from the previous word; decoding is the prefix sum of the
+    /// differences.
+    Diff, "DIFF", Residual::Plain
+);
+
+predictor!(
+    /// DIFFMS: DIFF with residuals stored in magnitude-sign format.
+    DiffMs, "DIFFMS", Residual::MagnitudeSign
+);
+
+predictor!(
+    /// DIFFNB: DIFF with residuals stored in negabinary format.
+    DiffNb, "DIFFNB", Residual::Negabinary
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_core::verify::roundtrip_component;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 89 + 7) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn names_and_metadata() {
+        assert_eq!(Diff::<1>.name(), "DIFF_1");
+        assert_eq!(DiffMs::<4>.name(), "DIFFMS_4");
+        assert_eq!(DiffNb::<8>.name(), "DIFFNB_8");
+        assert_eq!(Diff::<2>.kind(), ComponentKind::Predictor);
+        assert_eq!(Diff::<2>.complexity().dec_span, SpanClass::LogN);
+        assert_eq!(Diff::<2>.complexity().enc_span, SpanClass::Const);
+    }
+
+    #[test]
+    fn all_predictors_roundtrip_all_lengths() {
+        for len in [0usize, 1, 3, 4, 8, 9, 100, 1000, 16384] {
+            let data = sample(len);
+            roundtrip_component(&Diff::<1>, &data);
+            roundtrip_component(&Diff::<2>, &data);
+            roundtrip_component(&Diff::<4>, &data);
+            roundtrip_component(&Diff::<8>, &data);
+            roundtrip_component(&DiffMs::<1>, &data);
+            roundtrip_component(&DiffMs::<2>, &data);
+            roundtrip_component(&DiffMs::<4>, &data);
+            roundtrip_component(&DiffMs::<8>, &data);
+            roundtrip_component(&DiffNb::<1>, &data);
+            roundtrip_component(&DiffNb::<2>, &data);
+            roundtrip_component(&DiffNb::<4>, &data);
+            roundtrip_component(&DiffNb::<8>, &data);
+        }
+    }
+
+    #[test]
+    fn diff_produces_small_residuals_on_smooth_data() {
+        // A ramp: every difference is exactly 3.
+        let vals: Vec<u32> = (0..100).map(|i| 1000 + 3 * i).collect();
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut out = Vec::new();
+        Diff::<4>.encode_chunk(&bytes, &mut out, &mut KernelStats::new());
+        let first = u32::from_le_bytes(out[0..4].try_into().unwrap());
+        assert_eq!(first, 1000); // first word keeps its value (prev = 0)
+        for i in 1..100 {
+            let d = u32::from_le_bytes(out[i * 4..i * 4 + 4].try_into().unwrap());
+            assert_eq!(d, 3, "word {i}");
+        }
+    }
+
+    #[test]
+    fn diffms_maps_negative_deltas_to_small_codes() {
+        // A descending ramp: deltas are −1 → magnitude-sign code 1.
+        let vals: Vec<u32> = (0..50).map(|i| 1_000_000 - i).collect();
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut out = Vec::new();
+        DiffMs::<4>.encode_chunk(&bytes, &mut out, &mut KernelStats::new());
+        for i in 1..50 {
+            let d = u32::from_le_bytes(out[i * 4..i * 4 + 4].try_into().unwrap());
+            assert_eq!(d, 1, "word {i}");
+        }
+    }
+
+    #[test]
+    fn decode_records_scan_cost_encode_does_not() {
+        let data = sample(8192);
+        let mut enc_stats = KernelStats::new();
+        let mut enc = Vec::new();
+        Diff::<4>.encode_chunk(&data, &mut enc, &mut enc_stats);
+        assert_eq!(enc_stats.scan_steps, 0);
+        assert_eq!(enc_stats.block_syncs, 0);
+        let mut dec_stats = KernelStats::new();
+        let mut dec = Vec::new();
+        Diff::<4>.decode_chunk(&enc, &mut dec, &mut dec_stats).unwrap();
+        assert!(dec_stats.scan_steps > 0, "decode is a prefix sum");
+        assert!(dec_stats.block_syncs > 0);
+    }
+
+    #[test]
+    fn size_preserving() {
+        let data = sample(999);
+        let mut out = Vec::new();
+        DiffNb::<8>.encode_chunk(&data, &mut out, &mut KernelStats::new());
+        assert_eq!(out.len(), data.len());
+    }
+}

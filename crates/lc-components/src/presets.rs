@@ -1,0 +1,110 @@
+//! Named pipeline presets.
+//!
+//! LC's published compressors (SPspeed, SPratio, DPspeed, DPratio, PFPL;
+//! paper §1) are concrete pipelines found by searching the component
+//! space for specific input classes. Their exact published stage lists
+//! belong to the upstream project; the presets here are *this
+//! reproduction's* search results over the synthetic datasets (see the
+//! `pipeline_search` example), named by the same speed/ratio × SP/DP
+//! convention so library users get a sensible default without running a
+//! search.
+
+use lc_core::{Pipeline, PipelineError};
+
+/// A named preset: a pipeline plus what it is tuned for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preset {
+    /// Preset name (e.g. `"sp-ratio"`).
+    pub name: &'static str,
+    /// The pipeline description.
+    pub pipeline: &'static str,
+    /// What the preset optimizes and on which data type.
+    pub purpose: &'static str,
+}
+
+/// All presets.
+pub const PRESETS: [Preset; 5] = [
+    Preset {
+        name: "sp-speed",
+        pipeline: "TCMS_4 DIFF_4 RZE_4",
+        purpose: "throughput-first on single-precision data (cheap stages, Θ(1)-span mutator)",
+    },
+    Preset {
+        name: "sp-ratio",
+        pipeline: "DBESF_4 DIFFMS_4 RARE_4",
+        purpose: "ratio-first on single-precision data (float field surgery + adaptive reducer)",
+    },
+    Preset {
+        name: "dp-speed",
+        pipeline: "TCMS_8 DIFF_8 RZE_8",
+        purpose: "throughput-first on double-precision data",
+    },
+    Preset {
+        name: "dp-ratio",
+        pipeline: "DBESF_8 DIFFMS_8 RARE_8",
+        purpose: "ratio-first on double-precision data",
+    },
+    Preset {
+        name: "generic",
+        pipeline: "BIT_1 DIFF_1 RZE_1",
+        purpose: "byte-granular fallback for data of unknown word size",
+    },
+];
+
+/// Resolve a preset by name into a ready pipeline.
+///
+/// ```
+/// let p = lc_components::presets::preset("sp-ratio").unwrap();
+/// assert_eq!(p.len(), 3);
+/// ```
+pub fn preset(name: &str) -> Result<Pipeline, PipelineError> {
+    let entry = PRESETS
+        .iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| PipelineError::UnknownComponent(format!("preset {name}")))?;
+    crate::registry::parse_pipeline(entry.pipeline)
+}
+
+/// List preset names.
+pub fn names() -> Vec<&'static str> {
+    PRESETS.iter().map(|p| p.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_core::ComponentKind;
+
+    #[test]
+    fn every_preset_parses_and_ends_in_a_reducer() {
+        for p in &PRESETS {
+            let pipeline = preset(p.name).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(pipeline.len(), 3, "{}", p.name);
+            assert_eq!(
+                pipeline.stages().last().unwrap().kind(),
+                ComponentKind::Reducer,
+                "{}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_preset_errors() {
+        assert!(preset("hyper-speed").is_err());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut n = names();
+        n.sort_unstable();
+        n.dedup();
+        assert_eq!(n.len(), PRESETS.len());
+    }
+
+    #[test]
+    fn sp_presets_use_4_byte_words_dp_presets_8() {
+        assert_eq!(preset("sp-ratio").unwrap().uniform_word_size(), Some(4));
+        assert_eq!(preset("dp-ratio").unwrap().uniform_word_size(), Some(8));
+    }
+}

@@ -1,0 +1,338 @@
+//! RRE and RZE: bitmap-based repetition/zero elimination (paper §3.2.4).
+//!
+//! RRE creates a bitmap marking every word that repeats its predecessor,
+//! outputs only the non-repeating words, and compresses the bitmap
+//! *repeatedly with the same algorithm*: the bitmap's bytes are themselves
+//! bitmap-compressed (a repeat-bitmap over bitmap bytes plus the
+//! non-repeating bytes), recursing until the residue is at most
+//! [`BITMAP_RAW_LIMIT`] bytes. RZE is identical except the bitmap marks
+//! zero words (and, in the recursion, zero bitmap bytes).
+//!
+//! Body layout after the shared reducer frame:
+//!
+//! ```text
+//! bitmap-block(level 0 bitmap)     recursive, see below
+//! word × kept                      surviving words, in order
+//!
+//! bitmap-block(bm):
+//!   varint len(bm)
+//!   if len ≤ BITMAP_RAW_LIMIT: bm verbatim
+//!   else: bitmap-block(bitmap over bm's bytes) then surviving bytes
+//! ```
+
+use lc_core::{Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass};
+
+use super::{account_compaction_scan, read_frame, write_frame};
+use crate::util::varint;
+use crate::util::words;
+
+/// Bitmaps at or below this many bytes are stored verbatim instead of
+/// recursing further.
+pub const BITMAP_RAW_LIMIT: usize = 16;
+
+/// Marking rule for the bitmap (and its recursive levels).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mark {
+    /// Bit set ⇔ element equals its predecessor (RRE).
+    RepeatsPrior,
+    /// Bit set ⇔ element is zero (RZE).
+    IsZero,
+}
+
+/// Build the bitmap over `n` elements according to `mark`; `elem(i)`
+/// yields element `i` as a u64. Returns (bitmap bytes, kept indices count).
+fn build_bitmap(n: usize, mark: Mark, elem: impl Fn(usize) -> u64) -> (Vec<u8>, usize) {
+    let mut bm = vec![0u8; n.div_ceil(8)];
+    let mut kept = 0usize;
+    for i in 0..n {
+        let marked = match mark {
+            Mark::RepeatsPrior => i > 0 && elem(i) == elem(i - 1),
+            Mark::IsZero => elem(i) == 0,
+        };
+        if marked {
+            bm[i / 8] |= 1 << (i % 8);
+        } else {
+            kept += 1;
+        }
+    }
+    (bm, kept)
+}
+
+/// Recursively emit a bitmap block.
+///
+/// Every recursion level marks bitmap bytes that repeat their predecessor,
+/// independent of the word-level rule: bitmaps are run-heavy for both
+/// repeat-marked and zero-marked data, so repeat-marking collapses them in
+/// O(log) levels either way. (The paper only says the bitmap is
+/// "repeatedly compressed with the same algorithm"; the exact byte-level
+/// rule is an implementation choice, documented here.)
+pub(crate) fn write_bitmap_block(bm: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
+    varint::write(out, bm.len() as u64);
+    if bm.len() <= BITMAP_RAW_LIMIT {
+        out.extend_from_slice(bm);
+        return;
+    }
+    let (meta, _) = build_bitmap(bm.len(), Mark::RepeatsPrior, |i| u64::from(bm[i]));
+    stats.thread_ops += bm.len() as u64 * 2;
+    write_bitmap_block(&meta, out, stats);
+    for (i, &b) in bm.iter().enumerate() {
+        if meta[i / 8] & (1 << (i % 8)) == 0 {
+            out.push(b);
+        }
+    }
+}
+
+/// Recursively read a bitmap block starting at `*pos`.
+pub(crate) fn read_bitmap_block(
+    buf: &[u8],
+    pos: &mut usize,
+    stats: &mut KernelStats,
+) -> Result<Vec<u8>, DecodeError> {
+    let len = varint::read(buf, pos)? as usize;
+    // A level-0 bitmap covers at most 2·CHUNK_SIZE words → bound every
+    // level by that to stop corrupt archives from over-allocating.
+    if len > lc_core::CHUNK_SIZE * 2 {
+        return Err(DecodeError::Corrupt { context: "bitmap block too large" });
+    }
+    if len <= BITMAP_RAW_LIMIT {
+        if *pos + len > buf.len() {
+            return Err(DecodeError::Truncated { context: "raw bitmap block" });
+        }
+        let bm = buf[*pos..*pos + len].to_vec();
+        *pos += len;
+        return Ok(bm);
+    }
+    let meta = read_bitmap_block(buf, pos, stats)?;
+    if meta.len() != len.div_ceil(8) {
+        return Err(DecodeError::Corrupt { context: "bitmap meta level size" });
+    }
+    stats.thread_ops += len as u64 * 2;
+    let mut bm = Vec::with_capacity(len);
+    for i in 0..len {
+        let marked = meta[i / 8] & (1 << (i % 8)) != 0;
+        if marked {
+            if i == 0 {
+                return Err(DecodeError::Corrupt { context: "bitmap repeat at index 0" });
+            }
+            let b = bm[i - 1];
+            bm.push(b);
+        } else {
+            let b = *buf
+                .get(*pos)
+                .ok_or(DecodeError::Truncated { context: "bitmap survivors" })?;
+            *pos += 1;
+            bm.push(b);
+        }
+    }
+    Ok(bm)
+}
+
+fn encode<const W: usize>(input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats, mark: Mark) {
+    let n = write_frame::<W>(input, out);
+    let vals = words::to_vec::<W>(input);
+    let (bm, kept) = build_bitmap(n, mark, |i| vals[i]);
+    write_bitmap_block(&bm, out, stats);
+    for i in 0..n {
+        if bm[i / 8] & (1 << (i % 8)) == 0 {
+            words::put::<W>(out, vals[i]);
+        }
+    }
+    stats.words += n as u64;
+    stats.thread_ops += n as u64 * 3;
+    stats.global_reads += input.len() as u64;
+    stats.global_writes += out.len() as u64;
+    stats.shared_traffic += (n * W + bm.len()) as u64;
+    stats.divergent_branches += (n - kept) as u64 / 8 + 1;
+    account_compaction_scan(stats, n);
+}
+
+fn decode<const W: usize>(
+    input: &[u8],
+    out: &mut Vec<u8>,
+    stats: &mut KernelStats,
+    mark: Mark,
+) -> Result<(), DecodeError> {
+    let frame = read_frame::<W>(input)?;
+    let n = frame.n_words;
+    let mut pos = frame.body;
+    let bm = read_bitmap_block(input, &mut pos, stats)?;
+    if bm.len() != n.div_ceil(8) {
+        return Err(DecodeError::Corrupt { context: "bitmap size vs word count" });
+    }
+    out.reserve(n * W + frame.tail.len());
+    let mut prev = 0u64;
+    for i in 0..n {
+        let marked = bm[i / 8] & (1 << (i % 8)) != 0;
+        let v = if marked {
+            match mark {
+                Mark::RepeatsPrior => {
+                    if i == 0 {
+                        return Err(DecodeError::Corrupt { context: "word repeat at index 0" });
+                    }
+                    prev
+                }
+                Mark::IsZero => 0,
+            }
+        } else {
+            if pos + W > input.len() {
+                return Err(DecodeError::Truncated { context: "surviving words" });
+            }
+            let v = words::get::<W>(&input[pos..], 0);
+            pos += W;
+            v
+        };
+        words::put::<W>(out, v);
+        prev = v;
+    }
+    out.extend_from_slice(frame.tail);
+    stats.words += n as u64;
+    stats.thread_ops += n as u64 * 2;
+    stats.global_reads += input.len() as u64;
+    stats.global_writes += out.len() as u64;
+    // Scattering survivors back to their positions needs an intra-chunk
+    // prefix sum over the bitmap (Θ(log n) span; paper Table 2).
+    account_compaction_scan(stats, n);
+    Ok(())
+}
+
+macro_rules! rre_like {
+    ($name:ident, $prefix:literal, $mark:expr) => {
+        #[doc = concat!($prefix, " at a const word size; see the module docs.")]
+        pub struct $name<const W: usize>;
+
+        impl<const W: usize> Component for $name<W> {
+            fn name(&self) -> &'static str {
+                match W {
+                    1 => concat!($prefix, "_1"),
+                    2 => concat!($prefix, "_2"),
+                    4 => concat!($prefix, "_4"),
+                    8 => concat!($prefix, "_8"),
+                    _ => unreachable!("unsupported word size"),
+                }
+            }
+            fn kind(&self) -> ComponentKind {
+                ComponentKind::Reducer
+            }
+            fn word_size(&self) -> usize {
+                W
+            }
+            fn complexity(&self) -> Complexity {
+                Complexity::new(WorkClass::N, SpanClass::LogN, WorkClass::N, SpanClass::LogN)
+            }
+            fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
+                encode::<W>(input, out, stats, $mark);
+            }
+            fn decode_chunk(
+                &self,
+                input: &[u8],
+                out: &mut Vec<u8>,
+                stats: &mut KernelStats,
+            ) -> Result<(), DecodeError> {
+                decode::<W>(input, out, stats, $mark)
+            }
+        }
+    };
+}
+
+rre_like!(Rre, "RRE", Mark::RepeatsPrior);
+rre_like!(Rze, "RZE", Mark::IsZero);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_core::verify::roundtrip_component;
+
+    #[test]
+    fn roundtrips_all_widths_and_lengths() {
+        for len in [0usize, 1, 3, 4, 8, 100, 1000, 16384] {
+            let data: Vec<u8> = (0..len).map(|i| ((i / 3) % 256) as u8).collect();
+            roundtrip_component(&Rre::<1>, &data);
+            roundtrip_component(&Rre::<2>, &data);
+            roundtrip_component(&Rre::<4>, &data);
+            roundtrip_component(&Rre::<8>, &data);
+            roundtrip_component(&Rze::<1>, &data);
+            roundtrip_component(&Rze::<2>, &data);
+            roundtrip_component(&Rze::<4>, &data);
+            roundtrip_component(&Rze::<8>, &data);
+        }
+    }
+
+    #[test]
+    fn rre_compresses_repeats() {
+        let vals = vec![0xDEADBEEFu32; 4096];
+        let data: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let size = roundtrip_component(&Rre::<4>, &data);
+        // One surviving word + a recursively-collapsed all-ones bitmap.
+        assert!(size < 100, "fully repetitive data must collapse: {size}");
+    }
+
+    #[test]
+    fn rze_compresses_zeros() {
+        let mut vals = vec![0u32; 4000];
+        vals.extend((1..=96).map(|i| i * 7)); // nonzero survivors
+        let data: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let size = roundtrip_component(&Rze::<4>, &data);
+        assert!(size < 96 * 4 + 600, "zeros must vanish: {size}");
+    }
+
+    #[test]
+    fn rre_vs_rze_prefer_different_data() {
+        let repeats: Vec<u8> = vec![9u8; 8192];
+        let zeros: Vec<u8> = vec![0u8; 8192];
+        assert!(roundtrip_component(&Rre::<1>, &repeats) < 100);
+        assert!(roundtrip_component(&Rze::<1>, &zeros) < 100);
+    }
+
+    #[test]
+    fn incompressible_data_expands() {
+        let vals: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let data: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert!(roundtrip_component(&Rre::<4>, &data) > data.len());
+        assert!(roundtrip_component(&Rze::<4>, &data) > data.len());
+    }
+
+    #[test]
+    fn bitmap_block_roundtrip_various_sizes() {
+        for len in [0usize, 1, 16, 17, 100, 2048] {
+            let bm: Vec<u8> = (0..len).map(|i| ((i / 5) % 256) as u8).collect();
+            let mut out = Vec::new();
+            write_bitmap_block(&bm, &mut out, &mut KernelStats::new());
+            let mut pos = 0;
+            let back = read_bitmap_block(&out, &mut pos, &mut KernelStats::new()).unwrap();
+            assert_eq!(back, bm, "len={len}");
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn bitmap_block_rejects_truncation() {
+        let bm: Vec<u8> = (0..200).map(|i| (i % 7) as u8).collect();
+        let mut out = Vec::new();
+        write_bitmap_block(&bm, &mut out, &mut KernelStats::new());
+        for cut in 0..out.len() {
+            let mut pos = 0;
+            assert!(
+                read_bitmap_block(&out[..cut], &mut pos, &mut KernelStats::new()).is_err(),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_bitmap_size() {
+        let data = vec![5u8; 100];
+        let mut enc = Vec::new();
+        Rre::<1>.encode_chunk(&data, &mut enc, &mut KernelStats::new());
+        // Shrink the declared word count: bitmap size check must fire.
+        enc[0] = 50; // varint(100) is one byte
+        let mut out = Vec::new();
+        assert!(Rre::<1>.decode_chunk(&enc, &mut out, &mut KernelStats::new()).is_err());
+    }
+
+    #[test]
+    fn rre_marks_nothing_on_alternating_data() {
+        let data: Vec<u8> = (0..512).map(|i| (i % 2) as u8 * 255).collect();
+        let size = roundtrip_component(&Rre::<1>, &data);
+        assert!(size > data.len(), "alternating data has no repeats");
+    }
+}

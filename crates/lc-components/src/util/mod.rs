@@ -1,0 +1,6 @@
+//! Shared low-level utilities for the component library.
+
+pub mod bitpack;
+pub mod codec;
+pub mod varint;
+pub mod words;

@@ -1,0 +1,650 @@
+//! Chunked archive format and the parallel encode/decode drivers.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  b"LCRP"                      4 bytes
+//! version u8 (= 2)                    1 byte
+//! stage count u8                      1 byte
+//! per stage: name_len u8, name bytes
+//! original length u64                 8 bytes
+//! CRC-32 of the original input u32    4 bytes
+//! chunk count u32                     4 bytes
+//! per chunk: mask u8, stored_len u32  (mask bit s = stage s was applied)
+//! payloads, concatenated in chunk order
+//! ```
+//!
+//! The encoder processes chunks in parallel; each chunk's payload offset is
+//! produced by the decoupled look-back scan from `lc-parallel`, mirroring
+//! how the GPU encoder propagates cumulative compressed sizes between
+//! thread blocks (paper §6.1). The decoder recomputes chunk start offsets
+//! with a prefix scan over the chunk table — mirroring the GPU decoder's
+//! block prefix sum — then decodes chunks in parallel into their fixed
+//! output regions.
+//!
+//! Copy-on-expand: a reducer stage whose output for some chunk is not
+//! strictly smaller than its input is skipped for that chunk — the input
+//! bytes are forwarded unchanged and the chunk's mask bit stays clear, so
+//! the decoder performs no work for that stage (paper §6.4; this is what
+//! makes RLE_1/2/8 decode quickly on 4-byte float data while RLE_4 must
+//! actually decompress). Non-reducers never change the size and are always
+//! applied.
+
+use std::sync::Arc;
+
+use lc_parallel::{DisjointSlice, LookbackScan, Pool};
+
+use crate::chunk::{chunk_count, chunk_range, CHUNK_SIZE};
+use crate::component::{Component, ComponentKind};
+use crate::error::DecodeError;
+use crate::pipeline::Pipeline;
+use crate::stats::{KernelStats, PipelineStats, StageStats};
+
+/// Archive magic bytes.
+pub const MAGIC: [u8; 4] = *b"LCRP";
+/// Current format version (2 added the CRC-32 integrity field).
+pub const VERSION: u8 = 2;
+/// Maximum number of stages representable in the per-chunk mask.
+pub const MAX_STAGES: usize = 8;
+
+/// Parsed archive header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Archive {
+    /// Stage component names in encode order.
+    pub stage_names: Vec<String>,
+    /// Uncompressed length in bytes.
+    pub original_len: u64,
+    /// CRC-32 of the original input (verified after decode).
+    pub crc32: u32,
+    /// Number of chunks.
+    pub chunks: u32,
+    /// Byte offset where the per-chunk table starts.
+    pub table_offset: usize,
+    /// Byte offset where payloads start.
+    pub payload_offset: usize,
+}
+
+/// Result of [`encode_with_stats`].
+#[derive(Debug, Clone)]
+pub struct EncodeResult {
+    /// The serialized archive.
+    pub archive: Vec<u8>,
+    /// Per-stage execution statistics.
+    pub stats: PipelineStats,
+}
+
+struct ChunkOutcome {
+    data: Vec<u8>,
+    mask: u8,
+    stage_records: Vec<StageRecord>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct StageRecord {
+    kernel: KernelStats,
+    applied: bool,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+/// Encode `input` with `pipeline`, returning only the archive bytes.
+///
+/// The component library lives in the `lc-components` crate; any
+/// [`Component`] implementation works:
+///
+/// ```
+/// use std::sync::Arc;
+/// use lc_core::{Component, ComponentKind, Complexity, DecodeError,
+///               KernelStats, Pipeline, SpanClass, WorkClass};
+/// use lc_parallel::Pool;
+///
+/// /// A toy mutator: XOR every byte with 0x5A.
+/// struct Xor;
+/// impl Component for Xor {
+///     fn name(&self) -> &'static str { "XOR_1" }
+///     fn kind(&self) -> ComponentKind { ComponentKind::Mutator }
+///     fn word_size(&self) -> usize { 1 }
+///     fn complexity(&self) -> Complexity {
+///         Complexity::new(WorkClass::N, SpanClass::Const, WorkClass::N, SpanClass::Const)
+///     }
+///     fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, _: &mut KernelStats) {
+///         out.extend(input.iter().map(|b| b ^ 0x5A));
+///     }
+///     fn decode_chunk(&self, input: &[u8], out: &mut Vec<u8>, _: &mut KernelStats)
+///         -> Result<(), DecodeError>
+///     {
+///         out.extend(input.iter().map(|b| b ^ 0x5A));
+///         Ok(())
+///     }
+/// }
+///
+/// let resolve = |name: &str| (name == "XOR_1").then(|| Arc::new(Xor) as Arc<dyn Component>);
+/// let pipeline = Pipeline::parse("XOR_1", resolve).unwrap();
+/// let pool = Pool::new(2);
+/// let data = vec![42u8; 100_000];
+/// let archive = lc_core::archive::encode(&pipeline, &data, &pool);
+/// let back = lc_core::archive::decode(&archive, resolve, &pool).unwrap();
+/// assert_eq!(back, data);
+/// ```
+pub fn encode(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Vec<u8> {
+    encode_with_stats(pipeline, input, pool).archive
+}
+
+/// Encode `input` with `pipeline`, returning the archive and statistics.
+///
+/// # Panics
+///
+/// Panics if the pipeline has more than [`MAX_STAGES`] stages.
+pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> EncodeResult {
+    let stages = pipeline.stages();
+    assert!(
+        stages.len() <= MAX_STAGES,
+        "pipeline has {} stages; archive mask supports at most {MAX_STAGES}",
+        stages.len()
+    );
+    let n_chunks = chunk_count(input.len());
+
+    // Phase 1: per-chunk stage execution (one pool task per chunk, like one
+    // thread block per chunk on the GPU).
+    let mut outcomes: Vec<Option<ChunkOutcome>> = Vec::new();
+    outcomes.resize_with(n_chunks, || None);
+    let scan = LookbackScan::new(n_chunks);
+    let mut offsets = vec![0u64; n_chunks];
+    {
+        let outcome_slots = DisjointSlice::new(&mut outcomes);
+        let offset_slots = DisjointSlice::new(&mut offsets);
+        pool.run(n_chunks, |i| {
+            let outcome = encode_one_chunk(stages, &input[chunk_range(i, input.len())]);
+            // Publish this chunk's stored size; receive the cumulative size
+            // of all prior chunks (decoupled look-back, as on the GPU).
+            let offset = scan.publish(i, outcome.data.len() as u64);
+            // SAFETY: `pool.run` claims each index exactly once.
+            unsafe {
+                *offset_slots.get_mut(i) = offset;
+                *outcome_slots.get_mut(i) = Some(outcome);
+            }
+        });
+    }
+    let payload_total = if n_chunks == 0 { 0 } else { scan.total() } as usize;
+    let outcomes: Vec<ChunkOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("chunk encoded"))
+        .collect();
+
+    // Phase 2: serialize header + chunk table, then parallel payload copy.
+    let mut archive = Vec::with_capacity(64 + n_chunks * 5 + payload_total);
+    archive.extend_from_slice(&MAGIC);
+    archive.push(VERSION);
+    archive.push(stages.len() as u8);
+    for s in stages {
+        let name = s.name().as_bytes();
+        archive.push(name.len() as u8);
+        archive.extend_from_slice(name);
+    }
+    archive.extend_from_slice(&(input.len() as u64).to_le_bytes());
+    archive.extend_from_slice(&crate::checksum::crc32(input).to_le_bytes());
+    archive.extend_from_slice(&(n_chunks as u32).to_le_bytes());
+    for o in &outcomes {
+        archive.push(o.mask);
+        archive.extend_from_slice(&(o.data.len() as u32).to_le_bytes());
+    }
+    let payload_start = archive.len();
+    archive.resize(payload_start + payload_total, 0);
+    {
+        let payload = &mut archive[payload_start..];
+        let base = payload.as_mut_ptr() as usize;
+        pool.run(n_chunks, |i| {
+            let src = &outcomes[i].data;
+            // SAFETY: the scan guarantees [offset, offset+len) ranges are
+            // disjoint and within the payload region (total == scan.total()).
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    src.as_ptr(),
+                    (base as *mut u8).add(offsets[i] as usize),
+                    src.len(),
+                );
+            }
+        });
+    }
+
+    // Phase 3: fold per-chunk records into per-stage statistics.
+    let mut stage_stats: Vec<StageStats> = stages
+        .iter()
+        .map(|s| StageStats {
+            component: s.name().to_string(),
+            ..Default::default()
+        })
+        .collect();
+    for o in &outcomes {
+        for (s, rec) in o.stage_records.iter().enumerate() {
+            let st = &mut stage_stats[s];
+            st.kernel.merge(&rec.kernel);
+            if rec.applied {
+                st.chunks_applied += 1;
+                st.bytes_in += rec.bytes_in;
+                st.bytes_out += rec.bytes_out;
+            } else {
+                st.chunks_skipped += 1;
+            }
+        }
+    }
+    let stats = PipelineStats {
+        stages: stage_stats,
+        chunks: n_chunks as u64,
+        uncompressed_bytes: input.len() as u64,
+        compressed_bytes: (payload_total + n_chunks * 5) as u64,
+    };
+    EncodeResult { archive, stats }
+}
+
+fn encode_one_chunk(stages: &[Arc<dyn Component>], chunk: &[u8]) -> ChunkOutcome {
+    let mut cur: Vec<u8> = chunk.to_vec();
+    let mut next: Vec<u8> = Vec::with_capacity(chunk.len() + chunk.len() / 4 + 64);
+    let mut mask = 0u8;
+    let mut stage_records = Vec::with_capacity(stages.len());
+    for (s, comp) in stages.iter().enumerate() {
+        let mut rec = StageRecord {
+            bytes_in: cur.len() as u64,
+            ..Default::default()
+        };
+        next.clear();
+        comp.encode_chunk(&cur, &mut next, &mut rec.kernel);
+        let applied = match comp.kind() {
+            // A reducer only "wins" if it strictly shrinks the chunk;
+            // otherwise LC forwards the original bytes (copy-on-expand).
+            ComponentKind::Reducer => next.len() < cur.len(),
+            // Size-preserving components always apply.
+            _ => {
+                debug_assert_eq!(next.len(), cur.len(), "{} changed size", comp.name());
+                true
+            }
+        };
+        rec.applied = applied;
+        rec.bytes_out = if applied { next.len() as u64 } else { rec.bytes_in };
+        stage_records.push(rec);
+        if applied {
+            mask |= 1 << s;
+            std::mem::swap(&mut cur, &mut next);
+        }
+    }
+    ChunkOutcome {
+        data: cur,
+        mask,
+        stage_records,
+    }
+}
+
+/// Parse just the header of an archive.
+pub fn parse_header(bytes: &[u8]) -> Result<Archive, DecodeError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize, context: &'static str| -> Result<usize, DecodeError> {
+        if *pos + n > bytes.len() {
+            return Err(DecodeError::Truncated { context });
+        }
+        let at = *pos;
+        *pos += n;
+        Ok(at)
+    };
+    let at = take(&mut pos, 4, "magic")?;
+    if bytes[at..at + 4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let at = take(&mut pos, 1, "version")?;
+    if bytes[at] != VERSION {
+        return Err(DecodeError::BadVersion(bytes[at]));
+    }
+    let at = take(&mut pos, 1, "stage count")?;
+    let n_stages = bytes[at] as usize;
+    if n_stages == 0 || n_stages > MAX_STAGES {
+        return Err(DecodeError::Corrupt { context: "stage count" });
+    }
+    let mut stage_names = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        let at = take(&mut pos, 1, "stage name length")?;
+        let len = bytes[at] as usize;
+        let at = take(&mut pos, len, "stage name")?;
+        let name = std::str::from_utf8(&bytes[at..at + len])
+            .map_err(|_| DecodeError::Corrupt { context: "stage name utf8" })?;
+        stage_names.push(name.to_string());
+    }
+    let at = take(&mut pos, 8, "original length")?;
+    let original_len = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+    let at = take(&mut pos, 4, "checksum")?;
+    let crc32 = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    let at = take(&mut pos, 4, "chunk count")?;
+    let chunks = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    if chunks as u64 != chunk_count(original_len as usize) as u64 {
+        return Err(DecodeError::Corrupt { context: "chunk count vs length" });
+    }
+    let table_offset = pos;
+    let at = take(&mut pos, chunks as usize * 5, "chunk table")?;
+    let _ = at;
+    Ok(Archive {
+        stage_names,
+        original_len,
+        crc32,
+        chunks,
+        table_offset,
+        payload_offset: pos,
+    })
+}
+
+/// Decode an archive, resolving stage names through `resolve`.
+pub fn decode<R>(bytes: &[u8], resolve: R, pool: &Pool) -> Result<Vec<u8>, DecodeError>
+where
+    R: Fn(&str) -> Option<Arc<dyn Component>>,
+{
+    decode_with_stats(bytes, resolve, pool).map(|(out, _)| out)
+}
+
+/// Decode an archive, also returning per-stage statistics.
+pub fn decode_with_stats<R>(
+    bytes: &[u8],
+    resolve: R,
+    pool: &Pool,
+) -> Result<(Vec<u8>, PipelineStats), DecodeError>
+where
+    R: Fn(&str) -> Option<Arc<dyn Component>>,
+{
+    let header = parse_header(bytes)?;
+    let stages: Vec<Arc<dyn Component>> = header
+        .stage_names
+        .iter()
+        .map(|n| resolve(n).ok_or_else(|| DecodeError::UnknownComponent(n.clone())))
+        .collect::<Result<_, _>>()?;
+
+    let n_chunks = header.chunks as usize;
+    let table = &bytes[header.table_offset..header.payload_offset];
+    let mut masks = Vec::with_capacity(n_chunks);
+    let mut sizes = Vec::with_capacity(n_chunks);
+    for i in 0..n_chunks {
+        masks.push(table[i * 5]);
+        sizes.push(u32::from_le_bytes(table[i * 5 + 1..i * 5 + 5].try_into().unwrap()) as u64);
+    }
+    // Chunk payload start offsets: a prefix scan, as in the GPU decoder.
+    let (offsets, payload_total) = lc_parallel::scan::parallel_exclusive_scan(pool, &sizes);
+    let payload = &bytes[header.payload_offset..];
+    if payload.len() != payload_total as usize {
+        return Err(DecodeError::Corrupt { context: "payload size" });
+    }
+
+    let original_len = header.original_len as usize;
+    let mut out = vec![0u8; original_len];
+    let out_base = out.as_mut_ptr() as usize;
+
+    // Per-chunk decode into disjoint output regions, collecting per-worker
+    // stage stats that are merged afterwards.
+    let stage_names: Vec<&str> = header.stage_names.iter().map(|s| s.as_str()).collect();
+    let stages_ref = &stages;
+    let masks_ref = &masks;
+    let sizes_ref = &sizes;
+    let offsets_ref = &offsets;
+    type WorkerAcc = (Vec<StageRecord>, Option<DecodeError>);
+    let (records, first_err) = pool.fold(
+        n_chunks,
+        || -> WorkerAcc { (vec![StageRecord::default(); stages_ref.len()], None) },
+        |acc, i| {
+            if acc.1.is_some() {
+                return; // a chunk already failed; drain remaining work
+            }
+            let start = offsets_ref[i] as usize;
+            let end = start + sizes_ref[i] as usize;
+            if end > payload.len() {
+                acc.1 = Some(DecodeError::Corrupt { context: "chunk extent" });
+                return;
+            }
+            let region = chunk_range(i, original_len);
+            match decode_one_chunk(
+                stages_ref,
+                masks_ref[i],
+                &payload[start..end],
+                region.len(),
+                &mut acc.0,
+            ) {
+                Ok(decoded) => {
+                    // SAFETY: chunk output regions tile `out` disjointly.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            decoded.as_ptr(),
+                            (out_base as *mut u8).add(region.start),
+                            decoded.len(),
+                        );
+                    }
+                }
+                Err(e) => acc.1 = Some(e),
+            }
+        },
+        |mut a, b| {
+            for (ra, rb) in a.0.iter_mut().zip(&b.0) {
+                ra.kernel.merge(&rb.kernel);
+                ra.bytes_in += rb.bytes_in;
+                ra.bytes_out += rb.bytes_out;
+                // `applied` is repurposed as a per-chunk counter below, so
+                // fold chunk counts through bytes fields only.
+            }
+            if a.1.is_none() {
+                a.1 = b.1;
+            }
+            a
+        },
+    );
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    let mut stage_stats: Vec<StageStats> = stage_names
+        .iter()
+        .map(|n| StageStats {
+            component: n.to_string(),
+            ..Default::default()
+        })
+        .collect();
+    for (s, rec) in records.iter().enumerate() {
+        stage_stats[s].kernel = rec.kernel;
+        stage_stats[s].bytes_in = rec.bytes_in;
+        stage_stats[s].bytes_out = rec.bytes_out;
+    }
+    for &mask in &masks {
+        for (s, st) in stage_stats.iter_mut().enumerate() {
+            if mask & (1 << s) != 0 {
+                st.chunks_applied += 1;
+            } else {
+                st.chunks_skipped += 1;
+            }
+        }
+    }
+    // Integrity: the decoded stream must match the recorded CRC — this is
+    // what turns "plausible but wrong bytes" from payload corruption into
+    // a hard error.
+    let actual = crate::checksum::crc32(&out);
+    if actual != header.crc32 {
+        return Err(DecodeError::ChecksumMismatch {
+            expected: header.crc32,
+            actual,
+        });
+    }
+    let stats = PipelineStats {
+        stages: stage_stats,
+        chunks: n_chunks as u64,
+        uncompressed_bytes: header.original_len,
+        compressed_bytes: (payload_total as usize + n_chunks * 5) as u64,
+    };
+    Ok((out, stats))
+}
+
+fn decode_one_chunk(
+    stages: &[Arc<dyn Component>],
+    mask: u8,
+    payload: &[u8],
+    expected_len: usize,
+    records: &mut [StageRecord],
+) -> Result<Vec<u8>, DecodeError> {
+    let mut cur = payload.to_vec();
+    let mut next: Vec<u8> = Vec::with_capacity(CHUNK_SIZE);
+    // Inverse transformations in reverse order (paper Fig. 1).
+    for (s, comp) in stages.iter().enumerate().rev() {
+        if mask & (1 << s) == 0 {
+            continue; // stage skipped during encode: nothing to undo
+        }
+        let rec = &mut records[s];
+        rec.bytes_in += cur.len() as u64;
+        next.clear();
+        comp.decode_chunk(&cur, &mut next, &mut rec.kernel)?;
+        rec.bytes_out += next.len() as u64;
+        std::mem::swap(&mut cur, &mut next);
+    }
+    if cur.len() != expected_len {
+        return Err(DecodeError::LengthMismatch {
+            expected: expected_len as u64,
+            actual: cur.len() as u64,
+        });
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::test_support::{AddOne, DropTrailingZeros};
+
+    fn resolver(name: &str) -> Option<Arc<dyn Component>> {
+        match name {
+            "ADD1_1" => Some(Arc::new(AddOne)),
+            "DTZ_1" => Some(Arc::new(DropTrailingZeros)),
+            _ => None,
+        }
+    }
+
+    fn pipeline() -> Pipeline {
+        Pipeline::parse("ADD1_1 DTZ_1", resolver).unwrap()
+    }
+
+    fn roundtrip(input: &[u8]) {
+        let pool = Pool::new(4);
+        let archive = encode(&pipeline(), input, &pool);
+        let out = decode(&archive, resolver, &pool).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn roundtrip_single_byte() {
+        roundtrip(&[42]);
+    }
+
+    #[test]
+    fn roundtrip_one_exact_chunk() {
+        let data: Vec<u8> = (0..CHUNK_SIZE).map(|i| (i % 251) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_many_chunks_with_tail() {
+        let data: Vec<u8> = (0..CHUNK_SIZE * 7 + 333).map(|i| (i % 13) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn compressible_data_shrinks() {
+        // AddOne maps 0xFF -> 0x00, so trailing 0xFF bytes become zeros that
+        // DTZ drops.
+        let mut data = vec![1u8; 1000];
+        data.extend(vec![0xFFu8; CHUNK_SIZE - 1000]);
+        let pool = Pool::new(2);
+        let res = encode_with_stats(&pipeline(), &data, &pool);
+        assert!(res.archive.len() < data.len());
+        assert_eq!(res.stats.stages[1].chunks_applied, 1);
+        let out = decode(&res.archive, resolver, &pool).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn incompressible_chunk_skips_reducer() {
+        // No trailing zeros after AddOne: DTZ adds an 8-byte header and
+        // expands, so the framework must skip it.
+        let data: Vec<u8> = (0..CHUNK_SIZE).map(|i| (i % 200) as u8 + 1).collect();
+        let pool = Pool::new(2);
+        let res = encode_with_stats(&pipeline(), &data, &pool);
+        assert_eq!(res.stats.stages[1].chunks_skipped, 1);
+        assert_eq!(res.stats.stages[1].chunks_applied, 0);
+        // Mutator still applied.
+        assert_eq!(res.stats.stages[0].chunks_applied, 1);
+        let out = decode(&res.archive, resolver, &pool).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn decode_stats_skip_means_zero_decode_work() {
+        let data: Vec<u8> = (0..CHUNK_SIZE).map(|i| (i % 200) as u8 + 1).collect();
+        let pool = Pool::new(2);
+        let archive = encode(&pipeline(), &data, &pool);
+        let (_, stats) = decode_with_stats(&archive, resolver, &pool).unwrap();
+        assert_eq!(stats.stages[1].chunks_applied, 0);
+        assert!(stats.stages[1].kernel.is_zero());
+        assert!(!stats.stages[0].kernel.is_zero());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let pool = Pool::new(1);
+        let err = decode(b"NOPExxxx", resolver, &pool).unwrap_err();
+        assert_eq!(err, DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let pool = Pool::new(1);
+        let archive = encode(&pipeline(), &[1, 2, 3], &pool);
+        for cut in 1..archive.len().min(24) {
+            let err = decode(&archive[..cut], resolver, &pool);
+            assert!(err.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn unknown_component_rejected() {
+        let pool = Pool::new(1);
+        let archive = encode(&pipeline(), &[1, 2, 3], &pool);
+        let err = decode(&archive, |_| None::<Arc<dyn Component>>, &pool).unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownComponent(_)));
+    }
+
+    #[test]
+    fn corrupted_payload_is_an_error_not_a_panic() {
+        let mut data = vec![1u8; 1000];
+        data.extend(vec![0xFFu8; CHUNK_SIZE - 1000]);
+        let pool = Pool::new(2);
+        let mut archive = encode(&pipeline(), &data, &pool);
+        let len = archive.len();
+        archive[len - 20..len].fill(0xAB);
+        // Structural damage errors early; value-only damage is caught by
+        // the CRC. Either way: an error, never a panic or silent corruption.
+        assert!(decode(&archive, resolver, &pool).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let pool = Pool::new(1);
+        let mut archive = encode(&pipeline(), &[1, 2, 3], &pool);
+        archive[4] = 99;
+        assert_eq!(
+            decode(&archive, resolver, &pool).unwrap_err(),
+            DecodeError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn header_parse_reports_fields() {
+        let pool = Pool::new(1);
+        let data = vec![7u8; CHUNK_SIZE + 5];
+        let archive = encode(&pipeline(), &data, &pool);
+        let h = parse_header(&archive).unwrap();
+        assert_eq!(h.stage_names, vec!["ADD1_1", "DTZ_1"]);
+        assert_eq!(h.original_len, data.len() as u64);
+        assert_eq!(h.chunks, 2);
+    }
+}

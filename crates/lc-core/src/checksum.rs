@@ -1,0 +1,117 @@
+//! CRC-32 (IEEE 802.3) integrity checksums.
+//!
+//! Bit-flip fault injection shows that a corrupted archive can decode
+//! "successfully" into different bytes (e.g. a flipped value inside an
+//! RLE literal region is indistinguishable from data). Version 2 of the
+//! archive format therefore records a CRC-32 of the original input; the
+//! decoder verifies it and turns silent corruption into a
+//! [`crate::DecodeError::ChecksumMismatch`].
+//!
+//! Implemented from scratch (table-driven, reflected polynomial
+//! `0xEDB88320`) — no dependency needed for 30 lines of table code.
+
+/// Lazily built 256-entry CRC table.
+fn table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32 state.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = t[((self.state ^ u32::from(b)) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Final digest.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+/// CRC-32 of chunked data processed in parallel-friendly pieces: CRCs
+/// cannot be merged cheaply without carry-less multiplication, so the
+/// archive checksums the *original* byte stream sequentially — at
+/// ~1 GB/s table-driven this is far from the bottleneck.
+pub fn crc32_chunks<'a>(chunks: impl Iterator<Item = &'a [u8]>) -> u32 {
+    let mut c = Crc32::new();
+    for chunk in chunks {
+        c.update(chunk);
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard IEEE CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+        assert_eq!(crc32(&[0xFFu8; 32]), 0xFF6C_AB0B);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let mut c = Crc32::new();
+        for part in data.chunks(97) {
+            c.update(part);
+        }
+        assert_eq!(c.finish(), crc32(&data));
+        assert_eq!(crc32_chunks(data.chunks(333)), crc32(&data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data: Vec<u8> = (0..4096).map(|i| (i * 7 % 256) as u8).collect();
+        let reference = crc32(&data);
+        for pos in (0..data.len()).step_by(127) {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[pos] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), reference, "missed flip at {pos}.{bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The common component interface.
+//!
+//! Every LC transformation — mutator, shuffler, predictor, or reducer — is
+//! given a block of input data (one chunk) and transforms it into a block
+//! of output data that feeds the next stage (paper §1, Fig. 1). Only
+//! reducers may change the data size.
+
+use crate::error::DecodeError;
+use crate::stats::KernelStats;
+
+/// The four component categories of paper Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentKind {
+    /// Computationally transforms each value in place (DBEFS, DBESF, TCMS,
+    /// TCNB). Never changes the size.
+    Mutator,
+    /// Rearranges values without computing on them (BIT, TUPL). Never
+    /// changes the size.
+    Shuffler,
+    /// Replaces values with prediction residuals (DIFF, DIFFMS, DIFFNB).
+    /// Never changes the size.
+    Predictor,
+    /// Exploits redundancy to shrink the data (CLOG, HCLOG, RARE, RAZE,
+    /// RLE, RRE, RZE). The only kind that can compress.
+    Reducer,
+}
+
+impl ComponentKind {
+    /// All four kinds, in the paper's Table 1 column order.
+    pub const ALL: [ComponentKind; 4] = [
+        ComponentKind::Mutator,
+        ComponentKind::Shuffler,
+        ComponentKind::Predictor,
+        ComponentKind::Reducer,
+    ];
+
+    /// Lower-case label used in figures ("mutator", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ComponentKind::Mutator => "mutator",
+            ComponentKind::Shuffler => "shuffler",
+            ComponentKind::Predictor => "predictor",
+            ComponentKind::Reducer => "reducer",
+        }
+    }
+}
+
+/// Asymptotic work of one direction of a component (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkClass {
+    /// Θ(n) in the number of words.
+    N,
+    /// Θ(n log w) — only BIT.
+    NLogW,
+}
+
+/// Asymptotic span (critical path) of one direction (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanClass {
+    /// Θ(1).
+    Const,
+    /// Θ(log w) — only BIT.
+    LogW,
+    /// Θ(log n) — components built on intra-chunk scans.
+    LogN,
+}
+
+/// Work/span complexities of a component's encoder and decoder,
+/// mirroring paper Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Complexity {
+    /// Encoder work.
+    pub enc_work: WorkClass,
+    /// Encoder span.
+    pub enc_span: SpanClass,
+    /// Decoder work.
+    pub dec_work: WorkClass,
+    /// Decoder span.
+    pub dec_span: SpanClass,
+}
+
+impl Complexity {
+    /// Convenience constructor.
+    pub const fn new(
+        enc_work: WorkClass,
+        enc_span: SpanClass,
+        dec_work: WorkClass,
+        dec_span: SpanClass,
+    ) -> Self {
+        Self {
+            enc_work,
+            enc_span,
+            dec_work,
+            dec_span,
+        }
+    }
+}
+
+/// A data transformation with a common chunk-in/chunk-out interface.
+///
+/// Implementations must be pure (no interior mutability observable across
+/// calls) and exactly invertible: for every input chunk,
+/// `decode_chunk(encode_chunk(x)) == x`.
+///
+/// `encode_chunk`/`decode_chunk` append to `out` without clearing it, so a
+/// caller can prepend its own framing; the framework always passes an empty
+/// buffer.
+pub trait Component: Send + Sync {
+    /// Canonical name, e.g. `"DIFFMS_4"` or `"TUPL2_1"`.
+    fn name(&self) -> &'static str;
+
+    /// Which of the four categories this component belongs to.
+    fn kind(&self) -> ComponentKind;
+
+    /// Word granularity in bytes (the `i` suffix): 1, 2, 4, or 8.
+    fn word_size(&self) -> usize;
+
+    /// Tuple size `k` for TUPL components; `None` for everything else.
+    fn tuple_size(&self) -> Option<usize> {
+        None
+    }
+
+    /// Work/span complexities (paper Table 2).
+    fn complexity(&self) -> Complexity;
+
+    /// Transform one chunk for compression. Appends the transformed bytes
+    /// to `out` and accumulates kernel counters into `stats`.
+    fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats);
+
+    /// Invert [`Component::encode_chunk`]. Appends exactly the original
+    /// bytes to `out`.
+    ///
+    /// Returns an error when `input` is not a valid encoding (corrupt
+    /// archive); implementations must never panic on malformed input.
+    fn decode_chunk(
+        &self,
+        input: &[u8],
+        out: &mut Vec<u8>,
+        stats: &mut KernelStats,
+    ) -> Result<(), DecodeError>;
+}
+
+/// Family identifier: a component name with its word-size suffix stripped
+/// (e.g. `"RLE_4"` → `"RLE"`, `"TUPL2_1"` → `"TUPL"`).
+///
+/// The paper's per-component figures (Figs. 8–13) group by family.
+pub fn family_of(name: &str) -> &str {
+    let base = name.split('_').next().unwrap_or(name);
+    if let Some(stripped) = base.strip_prefix("TUPL") {
+        if stripped.chars().all(|c| c.is_ascii_digit()) {
+            return "TUPL";
+        }
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(ComponentKind::Mutator.label(), "mutator");
+        assert_eq!(ComponentKind::Reducer.label(), "reducer");
+        assert_eq!(ComponentKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn family_strips_word_size() {
+        assert_eq!(family_of("RLE_4"), "RLE");
+        assert_eq!(family_of("DBEFS_8"), "DBEFS");
+        assert_eq!(family_of("BIT_1"), "BIT");
+    }
+
+    #[test]
+    fn family_merges_tuple_sizes() {
+        assert_eq!(family_of("TUPL2_1"), "TUPL");
+        assert_eq!(family_of("TUPL8_4"), "TUPL");
+    }
+
+    #[test]
+    fn family_of_bare_name() {
+        assert_eq!(family_of("RLE"), "RLE");
+    }
+}

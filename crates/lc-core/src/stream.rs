@@ -1,0 +1,458 @@
+//! Streaming encode/decode over `std::io` readers and writers.
+//!
+//! The in-memory [`crate::archive`] format keeps its whole chunk table in
+//! the header, which requires knowing the chunk count up front. For
+//! file-to-file use with bounded memory this module provides a *streamed*
+//! variant: the input is processed in windows of
+//! [`StreamEncoder::WINDOW_CHUNKS`] chunks, each window compressed in
+//! parallel (same pipeline semantics, same per-chunk copy-on-expand) and
+//! written as one self-contained batch.
+//!
+//! ```text
+//! magic  b"LCRS", version u8
+//! stage count u8, per stage: name_len u8 + name
+//! batches:
+//!   u32 chunk_count          0 terminates the stream
+//!   per chunk: u8 mask, u32 stored_len
+//!   payloads
+//! u64 total uncompressed length  (trailer)
+//! u32 CRC-32 of the input        (trailer, integrity check)
+//! ```
+//!
+//! Every chunk is 16 kB except the final chunk of the stream.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use lc_parallel::{DisjointSlice, Pool};
+
+use crate::chunk::CHUNK_SIZE;
+use crate::component::{Component, ComponentKind};
+use crate::error::DecodeError;
+use crate::pipeline::Pipeline;
+
+/// Streaming-format magic bytes.
+pub const STREAM_MAGIC: [u8; 4] = *b"LCRS";
+/// Streaming-format version (2 added the CRC-32 trailer field).
+pub const STREAM_VERSION: u8 = 2;
+
+/// Streaming encoder state.
+pub struct StreamEncoder<'p> {
+    pipeline: &'p Pipeline,
+    pool: Pool,
+}
+
+impl<'p> StreamEncoder<'p> {
+    /// Chunks per parallel window (4 MiB of input).
+    pub const WINDOW_CHUNKS: usize = 256;
+
+    /// Create an encoder for `pipeline` using `pool`.
+    pub fn new(pipeline: &'p Pipeline, pool: Pool) -> Self {
+        assert!(
+            pipeline.len() <= crate::archive::MAX_STAGES,
+            "pipeline too deep for the chunk mask"
+        );
+        Self { pipeline, pool }
+    }
+
+    /// Compress everything from `input` into `output`. Returns
+    /// `(uncompressed, compressed)` byte counts.
+    pub fn encode<R: Read, W: Write>(
+        &self,
+        input: &mut R,
+        output: &mut W,
+    ) -> std::io::Result<(u64, u64)> {
+        let mut header = Vec::new();
+        header.extend_from_slice(&STREAM_MAGIC);
+        header.push(STREAM_VERSION);
+        header.push(self.pipeline.len() as u8);
+        for s in self.pipeline.stages() {
+            header.push(s.name().len() as u8);
+            header.extend_from_slice(s.name().as_bytes());
+        }
+        output.write_all(&header)?;
+        let mut written = header.len() as u64;
+        let mut total_in = 0u64;
+
+        let window_bytes = Self::WINDOW_CHUNKS * CHUNK_SIZE;
+        let mut buf = vec![0u8; window_bytes];
+        let mut crc = crate::checksum::Crc32::new();
+        loop {
+            let filled = read_full(input, &mut buf)?;
+            if filled == 0 {
+                break;
+            }
+            total_in += filled as u64;
+            crc.update(&buf[..filled]);
+            written += self.encode_window(&buf[..filled], output)?;
+            if filled < window_bytes {
+                break; // EOF inside this window
+            }
+        }
+        // Terminator batch + trailer (length + CRC-32 of the input).
+        output.write_all(&0u32.to_le_bytes())?;
+        output.write_all(&total_in.to_le_bytes())?;
+        output.write_all(&crc.finish().to_le_bytes())?;
+        written += 16;
+        Ok((total_in, written))
+    }
+
+    fn encode_window<W: Write>(&self, window: &[u8], output: &mut W) -> std::io::Result<u64> {
+        let n_chunks = window.len().div_ceil(CHUNK_SIZE);
+        let stages = self.pipeline.stages();
+        let mut results: Vec<Option<(Vec<u8>, u8)>> = Vec::new();
+        results.resize_with(n_chunks, || None);
+        {
+            let slots = DisjointSlice::new(&mut results);
+            self.pool.run(n_chunks, |i| {
+                let start = i * CHUNK_SIZE;
+                let end = (start + CHUNK_SIZE).min(window.len());
+                let outcome = encode_chunk_through(stages, &window[start..end]);
+                // SAFETY: each index claimed exactly once by `run`.
+                unsafe { *slots.get_mut(i) = Some(outcome) };
+            });
+        }
+        let mut batch = Vec::with_capacity(window.len() / 2 + n_chunks * 5 + 4);
+        batch.extend_from_slice(&(n_chunks as u32).to_le_bytes());
+        for r in &results {
+            let (data, mask) = r.as_ref().expect("chunk encoded");
+            batch.push(*mask);
+            batch.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        }
+        for r in &results {
+            batch.extend_from_slice(&r.as_ref().unwrap().0);
+        }
+        output.write_all(&batch)?;
+        Ok(batch.len() as u64)
+    }
+}
+
+fn encode_chunk_through(stages: &[Arc<dyn Component>], chunk: &[u8]) -> (Vec<u8>, u8) {
+    let mut cur = chunk.to_vec();
+    let mut next = Vec::with_capacity(chunk.len() + chunk.len() / 4 + 64);
+    let mut mask = 0u8;
+    let mut stats = crate::stats::KernelStats::new();
+    for (s, comp) in stages.iter().enumerate() {
+        next.clear();
+        comp.encode_chunk(&cur, &mut next, &mut stats);
+        let applied = match comp.kind() {
+            ComponentKind::Reducer => next.len() < cur.len(),
+            _ => true,
+        };
+        if applied {
+            mask |= 1 << s;
+            std::mem::swap(&mut cur, &mut next);
+        }
+    }
+    (cur, mask)
+}
+
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..])? {
+            0 => break,
+            n => filled += n,
+        }
+    }
+    Ok(filled)
+}
+
+/// Decode a stream produced by [`StreamEncoder`], resolving component
+/// names through `resolve`. Returns the number of bytes written.
+pub fn decode_stream<R, W, F>(
+    input: &mut R,
+    output: &mut W,
+    resolve: F,
+    pool: &Pool,
+) -> Result<u64, StreamError>
+where
+    R: Read,
+    W: Write,
+    F: Fn(&str) -> Option<Arc<dyn Component>>,
+{
+    let mut magic = [0u8; 4];
+    read_exact(input, &mut magic, "magic")?;
+    if magic != STREAM_MAGIC {
+        return Err(StreamError::Decode(DecodeError::BadMagic));
+    }
+    let version = read_u8(input, "version")?;
+    if version != STREAM_VERSION {
+        return Err(StreamError::Decode(DecodeError::BadVersion(version)));
+    }
+    let n_stages = read_u8(input, "stage count")? as usize;
+    if n_stages == 0 || n_stages > crate::archive::MAX_STAGES {
+        return Err(StreamError::Decode(DecodeError::Corrupt { context: "stage count" }));
+    }
+    let mut stages: Vec<Arc<dyn Component>> = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        let len = read_u8(input, "name length")? as usize;
+        let mut name = vec![0u8; len];
+        read_exact(input, &mut name, "stage name")?;
+        let name = String::from_utf8(name)
+            .map_err(|_| StreamError::Decode(DecodeError::Corrupt { context: "name utf8" }))?;
+        let c = resolve(&name)
+            .ok_or_else(|| StreamError::Decode(DecodeError::UnknownComponent(name.clone())))?;
+        stages.push(c);
+    }
+
+    let mut total_out = 0u64;
+    let mut crc = crate::checksum::Crc32::new();
+    loop {
+        let n_chunks = read_u32(input, "batch chunk count")? as usize;
+        if n_chunks == 0 {
+            break;
+        }
+        if n_chunks > StreamEncoder::WINDOW_CHUNKS {
+            return Err(StreamError::Decode(DecodeError::Corrupt { context: "batch size" }));
+        }
+        let mut masks = Vec::with_capacity(n_chunks);
+        let mut sizes = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            masks.push(read_u8(input, "chunk mask")?);
+            let len = read_u32(input, "chunk length")? as usize;
+            if len > CHUNK_SIZE * 2 {
+                return Err(StreamError::Decode(DecodeError::Corrupt { context: "chunk length" }));
+            }
+            sizes.push(len);
+        }
+        let mut payload = vec![0u8; sizes.iter().sum()];
+        read_exact(input, &mut payload, "batch payload")?;
+        // Parallel decode into per-chunk buffers, then write in order.
+        let mut offsets = Vec::with_capacity(n_chunks);
+        let mut pos = 0usize;
+        for &s in &sizes {
+            offsets.push(pos);
+            pos += s;
+        }
+        let mut decoded: Vec<Option<Result<Vec<u8>, DecodeError>>> = Vec::new();
+        decoded.resize_with(n_chunks, || None);
+        {
+            let slots = DisjointSlice::new(&mut decoded);
+            let stages = &stages;
+            let payload = &payload;
+            let offsets = &offsets;
+            let sizes = &sizes;
+            let masks = &masks;
+            pool.run(n_chunks, |i| {
+                let data = &payload[offsets[i]..offsets[i] + sizes[i]];
+                let res = decode_chunk_through(stages, masks[i], data);
+                // SAFETY: each index claimed exactly once.
+                unsafe { *slots.get_mut(i) = Some(res) };
+            });
+        }
+        for d in decoded {
+            let chunk = d.expect("decoded").map_err(StreamError::Decode)?;
+            total_out += chunk.len() as u64;
+            crc.update(&chunk);
+            output.write_all(&chunk)?;
+        }
+    }
+    let declared = read_u64(input, "trailer length")?;
+    if declared != total_out {
+        return Err(StreamError::Decode(DecodeError::LengthMismatch {
+            expected: declared,
+            actual: total_out,
+        }));
+    }
+    let declared_crc = read_u32(input, "trailer checksum")?;
+    let actual_crc = crc.finish();
+    if declared_crc != actual_crc {
+        return Err(StreamError::Decode(DecodeError::ChecksumMismatch {
+            expected: declared_crc,
+            actual: actual_crc,
+        }));
+    }
+    Ok(total_out)
+}
+
+fn decode_chunk_through(
+    stages: &[Arc<dyn Component>],
+    mask: u8,
+    data: &[u8],
+) -> Result<Vec<u8>, DecodeError> {
+    let mut cur = data.to_vec();
+    let mut next = Vec::with_capacity(CHUNK_SIZE);
+    let mut stats = crate::stats::KernelStats::new();
+    for (s, comp) in stages.iter().enumerate().rev() {
+        if mask & (1 << s) == 0 {
+            continue;
+        }
+        next.clear();
+        comp.decode_chunk(&cur, &mut next, &mut stats)?;
+        std::mem::swap(&mut cur, &mut next);
+    }
+    Ok(cur)
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], context: &'static str) -> Result<(), StreamError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StreamError::Decode(DecodeError::Truncated { context })
+        } else {
+            StreamError::Io(e)
+        }
+    })
+}
+
+fn read_u8<R: Read>(r: &mut R, context: &'static str) -> Result<u8, StreamError> {
+    let mut b = [0u8; 1];
+    read_exact(r, &mut b, context)?;
+    Ok(b[0])
+}
+
+fn read_u32<R: Read>(r: &mut R, context: &'static str) -> Result<u32, StreamError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b, context)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R, context: &'static str) -> Result<u64, StreamError> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b, context)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Errors from streaming (de)compression: either transport I/O or a
+/// malformed stream.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Underlying reader/writer failure.
+    Io(std::io::Error),
+    /// Malformed stream contents.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "i/o error: {e}"),
+            StreamError::Decode(e) => write!(f, "stream error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::test_support::{AddOne, DropTrailingZeros};
+
+    fn resolver(name: &str) -> Option<Arc<dyn Component>> {
+        match name {
+            "ADD1_1" => Some(Arc::new(AddOne)),
+            "DTZ_1" => Some(Arc::new(DropTrailingZeros)),
+            _ => None,
+        }
+    }
+
+    fn pipeline() -> Pipeline {
+        Pipeline::parse("ADD1_1 DTZ_1", resolver).unwrap()
+    }
+
+    fn roundtrip(data: &[u8]) -> u64 {
+        let pool = Pool::new(4);
+        let p = pipeline();
+        let enc = StreamEncoder::new(&p, pool);
+        let mut compressed = Vec::new();
+        let (read, written) = enc.encode(&mut &data[..], &mut compressed).unwrap();
+        assert_eq!(read, data.len() as u64);
+        assert_eq!(written, compressed.len() as u64);
+        let mut out = Vec::new();
+        let n = decode_stream(&mut &compressed[..], &mut out, resolver, &pool).unwrap();
+        assert_eq!(out, data);
+        n
+    }
+
+    #[test]
+    fn stream_roundtrip_empty() {
+        assert_eq!(roundtrip(&[]), 0);
+    }
+
+    #[test]
+    fn stream_roundtrip_single_byte() {
+        roundtrip(&[7]);
+    }
+
+    #[test]
+    fn stream_roundtrip_multiple_windows() {
+        // > WINDOW_CHUNKS chunks forces several batches.
+        let len = (StreamEncoder::WINDOW_CHUNKS + 3) * CHUNK_SIZE + 17;
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn stream_roundtrip_exact_window() {
+        let len = StreamEncoder::WINDOW_CHUNKS * CHUNK_SIZE;
+        let data: Vec<u8> = (0..len).map(|i| (i % 13) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn stream_truncation_is_an_error() {
+        let data: Vec<u8> = (0..CHUNK_SIZE * 2).map(|i| (i % 7) as u8).collect();
+        let pool = Pool::new(2);
+        let p = pipeline();
+        let enc = StreamEncoder::new(&p, pool);
+        let mut compressed = Vec::new();
+        enc.encode(&mut &data[..], &mut compressed).unwrap();
+        for cut in [0, 3, 5, 10, compressed.len() / 2, compressed.len() - 1] {
+            let mut out = Vec::new();
+            assert!(
+                decode_stream(&mut &compressed[..cut], &mut out, resolver, &pool).is_err(),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_bad_trailer_detected() {
+        let data = vec![5u8; CHUNK_SIZE];
+        let pool = Pool::new(2);
+        let p = pipeline();
+        let enc = StreamEncoder::new(&p, pool);
+        let mut compressed = Vec::new();
+        enc.encode(&mut &data[..], &mut compressed).unwrap();
+        let n = compressed.len();
+        // Corrupt the CRC (last 4 bytes).
+        compressed[n - 1] ^= 0xFF;
+        let mut out = Vec::new();
+        let err = decode_stream(&mut &compressed[..], &mut out, resolver, &pool).unwrap_err();
+        assert!(matches!(err, StreamError::Decode(DecodeError::ChecksumMismatch { .. })));
+        // Corrupt the declared length instead.
+        compressed[n - 1] ^= 0xFF; // restore crc
+        compressed[n - 6] ^= 0xFF; // inside the u64 length
+        let mut out = Vec::new();
+        let err = decode_stream(&mut &compressed[..], &mut out, resolver, &pool).unwrap_err();
+        assert!(matches!(err, StreamError::Decode(DecodeError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn stream_agrees_with_in_memory_archive_payloads() {
+        // Both formats must produce identical per-chunk payloads (same
+        // pipeline semantics); only the framing differs.
+        let data: Vec<u8> = (0..CHUNK_SIZE * 3 + 99).map(|i| (i % 17) as u8).collect();
+        let pool = Pool::new(2);
+        let p = pipeline();
+        let a = crate::archive::encode(&p, &data, &pool);
+        let enc = StreamEncoder::new(&p, pool);
+        let mut s = Vec::new();
+        enc.encode(&mut &data[..], &mut s).unwrap();
+        // Compare total payload volume (headers differ).
+        let header = crate::archive::parse_header(&a).unwrap();
+        let archive_payload = a.len() - header.payload_offset;
+        // Stream: header(6+names) + batch framing(4) + per chunk 5 bytes +
+        // payload + terminator(4) + trailer(8 length + 4 crc)
+        let names_len: usize = pipeline().stages().iter().map(|c| 1 + c.name().len()).sum();
+        let stream_payload = s.len() - (6 + names_len) - 4 - 4 * 5 - 4 - 12;
+        assert_eq!(archive_payload, stream_payload);
+    }
+}

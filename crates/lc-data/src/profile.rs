@@ -1,0 +1,108 @@
+//! Dataset profiling: quick structural statistics of a byte stream.
+//!
+//! Used by tests to assert that the synthetic files have the
+//! compressibility structure the study depends on, and by the CLI to show
+//! what was generated.
+
+/// Structural statistics of a (single-precision) byte stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Total bytes.
+    pub bytes: usize,
+    /// Fraction of consecutive 4-byte words that are exactly equal.
+    pub word_repeat_fraction: f64,
+    /// Fraction of consecutive bytes that are equal.
+    pub byte_repeat_fraction: f64,
+    /// Fraction of 4-byte words that are exactly zero.
+    pub zero_word_fraction: f64,
+    /// Mean absolute delta between consecutive words interpreted as f32
+    /// (sentinel-to-value jumps included).
+    pub mean_abs_delta: f64,
+    /// Number of distinct exponent field values seen.
+    pub distinct_exponents: usize,
+}
+
+/// Compute a [`Profile`] of `data` (interpreted as little-endian f32s).
+pub fn profile(data: &[u8]) -> Profile {
+    let n = data.len() / 4;
+    let word = |i: usize| u32::from_le_bytes(data[i * 4..i * 4 + 4].try_into().unwrap());
+    let mut word_repeats = 0usize;
+    let mut zeros = 0usize;
+    let mut abs_delta = 0.0f64;
+    let mut exponents = std::collections::HashSet::new();
+    for i in 0..n {
+        let w = word(i);
+        if w == 0 {
+            zeros += 1;
+        }
+        exponents.insert((w >> 23) & 0xFF);
+        if i > 0 {
+            if w == word(i - 1) {
+                word_repeats += 1;
+            }
+            let a = f32::from_bits(word(i - 1)) as f64;
+            let b = f32::from_bits(w) as f64;
+            if a.is_finite() && b.is_finite() {
+                abs_delta += (b - a).abs();
+            }
+        }
+    }
+    let byte_repeats = data.windows(2).filter(|w| w[0] == w[1]).count();
+    Profile {
+        bytes: data.len(),
+        word_repeat_fraction: if n > 1 { word_repeats as f64 / (n - 1) as f64 } else { 0.0 },
+        byte_repeat_fraction: if data.len() > 1 {
+            byte_repeats as f64 / (data.len() - 1) as f64
+        } else {
+            0.0
+        },
+        zero_word_fraction: if n > 0 { zeros as f64 / n as f64 } else { 0.0 },
+        mean_abs_delta: if n > 1 { abs_delta / (n - 1) as f64 } else { 0.0 },
+        distinct_exponents: exponents.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{file_by_name, generate, Scale};
+
+    #[test]
+    fn empty_profile() {
+        let p = profile(&[]);
+        assert_eq!(p.bytes, 0);
+        assert_eq!(p.word_repeat_fraction, 0.0);
+    }
+
+    #[test]
+    fn all_equal_words() {
+        let data: Vec<u8> = std::iter::repeat_n(42.5f32.to_le_bytes(), 100).flatten().collect();
+        let p = profile(&data);
+        assert!((p.word_repeat_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_observation_matches_fig11_premise() {
+        // The Fig. 11 premise: word-level repeats far more common than
+        // would be visible at other granularities.
+        let data = generate(file_by_name("obs_temp").unwrap(), Scale::tiny());
+        let p = profile(&data);
+        assert!(p.word_repeat_fraction > 0.01, "{p:?}");
+        assert!(p.distinct_exponents < 40, "narrow exponent range: {p:?}");
+    }
+
+    #[test]
+    fn synthetic_simulation_is_predictable() {
+        let data = generate(file_by_name("num_control").unwrap(), Scale::tiny());
+        let p = profile(&data);
+        assert!(p.mean_abs_delta < 10.0, "smooth field: {p:?}");
+        assert!(p.distinct_exponents < 64, "{p:?}");
+    }
+
+    #[test]
+    fn synthetic_message_has_padding() {
+        let data = generate(file_by_name("msg_sweep3d").unwrap(), Scale::tiny());
+        let p = profile(&data);
+        assert!(p.zero_word_fraction > 0.02, "{p:?}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Chunk-parallel execution substrate for the LC reproduction.
+//!
+//! The GPU version of LC assigns one 16 kB chunk to each 512-thread block
+//! and synchronizes the blocks' output placement with a single-pass
+//! decoupled look-back prefix scan (Merrill & Garland, NVR-2016-002).
+//! This crate provides the CPU equivalents used by `lc-core`:
+//!
+//! * [`Pool`] — a fixed-size scoped thread pool with dynamic (atomic
+//!   work-index) scheduling, standing in for the GPU's block scheduler;
+//! * [`LookbackScan`] — a faithful decoupled look-back scan used by the
+//!   encoder to compute compressed-chunk output offsets in one pass;
+//! * [`DisjointSlice`] — a sound disjoint-index writer so that each task
+//!   can fill exactly one slot of a shared output slice without locks.
+//!
+//! All atomics use the acquire/release protocol described in
+//! "Rust Atomics and Locks" ch. 3: a publisher performs its payload writes
+//! before a `Release` status store, and consumers `Acquire`-load the status
+//! before reading the payload.
+
+pub mod pool;
+pub mod scan;
+pub mod slice;
+pub mod warp;
+
+pub use pool::Pool;
+pub use scan::{LookbackScan, SCAN_STATUS_AGGREGATE, SCAN_STATUS_INVALID, SCAN_STATUS_PREFIX};
+pub use slice::DisjointSlice;
+
+/// Default worker count: the machine's available parallelism, clamped to
+/// `[1, 32]` so oversubscribed CI machines do not thrash.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 32)
+}

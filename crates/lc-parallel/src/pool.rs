@@ -1,0 +1,245 @@
+//! Fixed-size scoped thread pool with dynamic work-index scheduling.
+//!
+//! The pool mirrors the GPU block scheduler: a campaign of `n` independent
+//! tasks (chunks) is drained by `threads` workers that claim monotonically
+//! increasing indices from a shared atomic counter. Monotonic claiming is
+//! load-bearing for [`crate::LookbackScan`]: it guarantees that whenever a
+//! task spins waiting for a predecessor's scan entry, that predecessor has
+//! already been claimed by some worker and will eventually publish, so the
+//! look-back cannot deadlock.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A reusable fixed-size thread pool.
+///
+/// The pool holds no long-lived threads; each [`Pool::run`] call spawns a
+/// crossbeam scope, which keeps the API free of lifetime gymnastics while
+/// still amortizing well over chunk-sized work items. (Spawn cost is a few
+/// microseconds per worker; LC campaigns run for milliseconds to minutes.)
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Create a pool with an explicit worker count (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Create a pool sized by [`crate::default_threads`].
+    pub fn with_default_threads() -> Self {
+        Self::new(crate::default_threads())
+    }
+
+    /// Number of workers this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `tasks` independent work items, calling `f(index)` exactly once
+    /// for every `index in 0..tasks`, with dynamic scheduling (grain 1).
+    ///
+    /// Indices are claimed in increasing order across all workers.
+    pub fn run<F>(&self, tasks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.run_grained(tasks, 1, f)
+    }
+
+    /// Like [`Pool::run`] but each claim takes `grain` consecutive indices,
+    /// reducing counter contention for very short tasks.
+    pub fn run_grained<F>(&self, tasks: usize, grain: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if tasks == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        let workers = self.threads.min(tasks);
+        if workers == 1 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let next = &next;
+        crossbeam::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move |_| loop {
+                    let start = next.fetch_add(grain, Ordering::Relaxed);
+                    if start >= tasks {
+                        break;
+                    }
+                    let end = (start + grain).min(tasks);
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+            }
+        })
+        .expect("pool worker panicked");
+    }
+
+    /// Produce a `Vec` of `tasks` results, computing `f(i)` for each index
+    /// in parallel. Results land in index order.
+    pub fn map<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out: Vec<Option<T>> = Vec::new();
+        out.resize_with(tasks, || None);
+        {
+            let slots = crate::DisjointSlice::new(&mut out);
+            self.run(tasks, |i| {
+                // SAFETY: each index in 0..tasks is claimed exactly once by
+                // `run`, so no two tasks touch the same slot.
+                unsafe { *slots.get_mut(i) = Some(f(i)) };
+            });
+        }
+        out.into_iter()
+            .map(|v| v.expect("every slot filled by run()"))
+            .collect()
+    }
+
+    /// Fold each worker's locally-accumulated state into a final reduction.
+    ///
+    /// `init` creates a per-worker accumulator, `step(acc, index)` consumes a
+    /// task, and `merge` combines accumulators. This is the idiomatic
+    /// "thread-local partials, then reduce" HPC pattern and avoids all
+    /// sharing on the hot path.
+    pub fn fold<A, I, S, M>(&self, tasks: usize, init: I, step: S, merge: M) -> A
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        S: Fn(&mut A, usize) + Sync,
+        M: Fn(A, A) -> A,
+    {
+        if tasks == 0 {
+            return init();
+        }
+        let workers = self.threads.min(tasks);
+        let next = AtomicUsize::new(0);
+        let next = &next;
+        let init = &init;
+        let step = &step;
+        let partials: Vec<A> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move |_| {
+                        let mut acc = init();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks {
+                                break;
+                            }
+                            step(&mut acc, i);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        })
+        .expect("pool scope failed");
+        let mut iter = partials.into_iter();
+        let first = iter.next().expect("at least one worker");
+        iter.fold(first, merge)
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::with_default_threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn run_visits_every_index_once() {
+        let pool = Pool::new(4);
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_zero_tasks_is_noop() {
+        Pool::new(4).run(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn run_single_thread_is_sequential() {
+        let pool = Pool::new(1);
+        let order = std::sync::Mutex::new(Vec::new());
+        pool.run(10, |i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_grained_visits_every_index_once() {
+        let pool = Pool::new(3);
+        let n = 997; // prime, not a multiple of the grain
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_grained(n, 8, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        let pool = Pool::new(8);
+        let out = pool.map(257, |i| i * i);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn fold_sums_all_tasks() {
+        let pool = Pool::new(5);
+        let total = pool.fold(
+            10_000,
+            || 0u64,
+            |acc, i| *acc += i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(total, 10_000u64 * 9_999 / 2);
+    }
+
+    #[test]
+    fn fold_zero_tasks_returns_init() {
+        let pool = Pool::new(4);
+        let v = pool.fold(0, || 42u64, |_, _| panic!(), |a, _| a);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn tasks_fewer_than_threads() {
+        let pool = Pool::new(16);
+        let sum = AtomicU64::new(0);
+        pool.run(3, |i| {
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+}

@@ -1,0 +1,266 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [--figure all|2|3|…|15] [--scale D] [--threads N]
+//!           [--families TCMS,BIT,…] [--verify] [--out DIR] [--full]
+//! ```
+//!
+//! By default this runs the *full* pipeline space (107,632 pipelines) over
+//! all 13 synthetic SP inputs at 1/512 of the paper's input sizes (the
+//! kernel statistics are extrapolated back to paper scale — see
+//! `lc_study::campaign`), simulates all 11 platform combinations at both
+//! `-O1` and `-O3`, prints every figure as a letter-value table, writes
+//! per-figure CSVs under `--out` (default `experiments/`), and emits
+//! `EXPERIMENTS.md` with the paper-vs-measured findings checklist.
+//!
+//! `--families` restricts the component set for a fast smoke run.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gpu_sim::OptLevel;
+use lc_data::Scale;
+use lc_study::{figures, report, run_campaign, FigId, Space, StudyConfig};
+
+struct Args {
+    figures: Vec<FigId>,
+    ratio: bool,
+    stage2: bool,
+    svg: bool,
+    baseline: Option<PathBuf>,
+    scale: u32,
+    threads: usize,
+    families: Option<Vec<String>>,
+    files: Option<Vec<String>>,
+    verify: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        figures: FigId::ALL.to_vec(),
+        ratio: false,
+        stage2: false,
+        svg: true,
+        baseline: None,
+        scale: 512,
+        threads: lc_parallel::default_threads(),
+        families: None,
+        files: None,
+        verify: false,
+        out: PathBuf::from("experiments"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--figure" => {
+                let v = value("--figure")?;
+                if v == "all" {
+                    args.figures = FigId::ALL.to_vec();
+                } else {
+                    args.figures = v
+                        .split(',')
+                        .map(|f| {
+                            FigId::parse(f).ok_or_else(|| format!("unknown figure {f:?} (2..15)"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                if args.scale == 0 {
+                    return Err("--scale must be positive (1 = paper size)".into());
+                }
+            }
+            "--full" => args.scale = 1,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--families" => {
+                args.families =
+                    Some(value("--families")?.split(',').map(str::to_string).collect());
+            }
+            "--files" => {
+                args.files = Some(value("--files")?.split(',').map(str::to_string).collect());
+            }
+            "--tables" => {
+                print!("{}", lc_study::tables::all_tables());
+                std::process::exit(0);
+            }
+            "--ratio" => args.ratio = true,
+            "--stage2" => args.stage2 = true,
+            "--no-svg" => args.svg = false,
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--verify" => args.verify = true,
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [--figure all|2,3,…] [--tables] [--scale D] [--full] \
+                     [--threads N] [--families A,B,…] [--files f,…] [--verify] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let space = match &args.families {
+        None => Space::full(),
+        Some(fams) => {
+            let refs: Vec<&str> = fams.iter().map(String::as_str).collect();
+            Space::restricted_to_families(&refs)
+        }
+    };
+    let files: Vec<_> = match &args.files {
+        None => lc_data::SP_FILES.iter().collect(),
+        Some(names) => {
+            let mut v = Vec::new();
+            for n in names {
+                match lc_data::file_by_name(n) {
+                    Some(f) => v.push(f),
+                    None => {
+                        eprintln!("error: unknown SP file {n:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            v
+        }
+    };
+
+    let needs_o1 = args
+        .figures
+        .iter()
+        .any(|f| matches!(f, FigId::Fig14 | FigId::Fig15));
+    let opt_levels = if needs_o1 {
+        vec![OptLevel::O1, OptLevel::O3]
+    } else {
+        vec![OptLevel::O3]
+    };
+
+    let sc = StudyConfig {
+        space,
+        scale: Scale::denominator(args.scale),
+        threads: args.threads,
+        files,
+        opt_levels,
+        verify: args.verify,
+    };
+    eprintln!(
+        "campaign: {} pipelines x {} inputs (scale 1/{}) on {} threads…",
+        sc.space.len(),
+        sc.files.len(),
+        args.scale,
+        sc.threads
+    );
+    let t0 = Instant::now();
+    let m = run_campaign(&sc);
+    eprintln!("campaign done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("error: cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    let mut figs = Vec::new();
+    for id in &args.figures {
+        let fig = figures::figure(&m, *id);
+        print!("{}", figures::render(&fig));
+        println!();
+        let csv_path = args.out.join(format!("fig{:02}.csv", id.number()));
+        if let Err(e) = std::fs::write(&csv_path, figures::to_csv(&fig)) {
+            eprintln!("error: cannot write {}: {e}", csv_path.display());
+            return ExitCode::FAILURE;
+        }
+        if args.svg {
+            let svg_path = args.out.join(format!("fig{:02}.svg", id.number()));
+            if let Err(e) = std::fs::write(&svg_path, lc_study::svg::figure_svg(&fig)) {
+                eprintln!("error: cannot write {}: {e}", svg_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        figs.push(fig);
+    }
+
+    if args.stage2 {
+        for dir in [gpu_sim::Direction::Encode, gpu_sim::Direction::Decode] {
+            let fig = figures::stage2_figure(&m, dir);
+            println!(
+                "Extension: {:?} throughputs by component in Stage 2 (paper omits this plot)",
+                dir
+            );
+            print!("{}", figures::render(&fig));
+            println!();
+            let name = format!(
+                "stage2_{}.csv",
+                if dir == gpu_sim::Direction::Encode { "encode" } else { "decode" }
+            );
+            let _ = std::fs::write(args.out.join(name), figures::to_csv(&fig));
+        }
+    }
+    if args.ratio {
+        print!("{}", lc_study::ratio::render_report(&m, 15));
+        println!();
+    }
+
+    // Machine-readable dump for downstream tooling.
+    let current_json = report::to_json(&m, &figs);
+    let json_path = args.out.join("run.json");
+    if let Err(e) = std::fs::write(&json_path, &current_json) {
+        eprintln!("error: cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Some(baseline_path) = &args.baseline {
+        match std::fs::read_to_string(baseline_path) {
+            Ok(baseline_json) => {
+                match lc_study::compare::compare(&baseline_json, &current_json, 0.05) {
+                    Ok(cmp) => {
+                        println!("--- drift vs {} (5% threshold) ---", baseline_path.display());
+                        print!("{}", lc_study::compare::render(&cmp, 0.05));
+                    }
+                    Err(e) => eprintln!("baseline comparison failed: {e}"),
+                }
+            }
+            Err(e) => eprintln!("cannot read baseline {}: {e}", baseline_path.display()),
+        }
+    }
+
+    // Findings checklist + EXPERIMENTS.md.
+    let md = report::experiments_markdown(&m, &figs);
+    let md_path = args.out.join("EXPERIMENTS.md");
+    if let Err(e) = std::fs::write(&md_path, &md) {
+        eprintln!("error: cannot write {}: {e}", md_path.display());
+        return ExitCode::FAILURE;
+    }
+    let findings = report::findings(&m);
+    let held = findings.iter().filter(|f| f.holds).count();
+    println!("findings: {held}/{} paper claims reproduced", findings.len());
+    for f in &findings {
+        println!(
+            "  [{}] {:32} {}",
+            if f.holds { "ok" } else { "MISS" },
+            f.id,
+            f.measured
+        );
+    }
+    println!("wrote {} and per-figure CSVs to {}", md_path.display(), args.out.display());
+    ExitCode::SUCCESS
+}

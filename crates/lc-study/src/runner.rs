@@ -1,0 +1,176 @@
+//! Stage runner: executes one component over chunked data with LC's
+//! copy-on-expand semantics, collecting encode *and* decode kernel
+//! statistics (and optionally verifying the round-trip as it goes).
+//!
+//! The measurement campaign runs the pipeline *tree* rather than each of
+//! the 107,632 pipelines end-to-end: pipelines sharing a stage prefix
+//! share the transformed data, so per input file only
+//! 62 + 62² + 62²·(28 reducers) distinct stage executions are needed, and
+//! a pipeline's cost is the sum of its three stages' costs (kernel
+//! statistics are additive per stage by construction).
+
+use lc_core::chunk::CHUNK_SIZE;
+use lc_core::{Component, ComponentKind, KernelStats};
+
+/// Chunked data flowing between pipeline stages. Chunks stay separate
+/// through the whole pipeline (each is one thread block's private data;
+/// they are only concatenated in the final archive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkedData {
+    /// Per-chunk byte buffers.
+    pub chunks: Vec<Vec<u8>>,
+}
+
+impl ChunkedData {
+    /// Split a byte stream into 16 kB chunks.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        Self {
+            chunks: data.chunks(CHUNK_SIZE).map(|c| c.to_vec()).collect(),
+        }
+    }
+
+    /// Total payload bytes across chunks.
+    pub fn total_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.len() as u64).sum()
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+/// Result of running one component over all chunks of a stage input.
+#[derive(Debug, Clone)]
+pub struct StageOutcome {
+    /// The stage's output data (input of the next stage).
+    pub output: ChunkedData,
+    /// Encoder kernel statistics, summed over chunks where the stage ran.
+    pub enc: KernelStats,
+    /// Decoder kernel statistics — zero contribution from chunks where
+    /// copy-on-expand skipped the stage (the decoder does no work there;
+    /// paper §6.4).
+    pub dec: KernelStats,
+    /// Chunks the stage was applied to.
+    pub applied: u64,
+    /// Chunks where the reducer expanded and was skipped.
+    pub skipped: u64,
+}
+
+/// Run `component` over every chunk of `input`.
+///
+/// Reducers are skipped per chunk unless they strictly shrink it
+/// (copy-on-expand). When `verify` is set, every applied chunk is decoded
+/// back and compared — a fatal mismatch panics, because a non-invertible
+/// component invalidates the whole study.
+pub fn run_stage(component: &dyn Component, input: &ChunkedData, verify: bool) -> StageOutcome {
+    let mut outcome = StageOutcome {
+        output: ChunkedData { chunks: Vec::with_capacity(input.chunks.len()) },
+        enc: KernelStats::new(),
+        dec: KernelStats::new(),
+        applied: 0,
+        skipped: 0,
+    };
+    let is_reducer = component.kind() == ComponentKind::Reducer;
+    let mut enc_buf: Vec<u8> = Vec::with_capacity(CHUNK_SIZE + CHUNK_SIZE / 2);
+    let mut dec_buf: Vec<u8> = Vec::with_capacity(CHUNK_SIZE);
+    for chunk in &input.chunks {
+        enc_buf.clear();
+        component.encode_chunk(chunk, &mut enc_buf, &mut outcome.enc);
+        let applied = !is_reducer || enc_buf.len() < chunk.len();
+        if applied {
+            outcome.applied += 1;
+            dec_buf.clear();
+            component
+                .decode_chunk(&enc_buf, &mut dec_buf, &mut outcome.dec)
+                .unwrap_or_else(|e| {
+                    panic!("{} failed to decode its own output: {e}", component.name())
+                });
+            if verify {
+                assert_eq!(
+                    &dec_buf, chunk,
+                    "{} round-trip mismatch on a {}-byte chunk",
+                    component.name(),
+                    chunk.len()
+                );
+            }
+            outcome.output.chunks.push(enc_buf.clone());
+        } else {
+            outcome.skipped += 1;
+            outcome.output.chunks.push(chunk.clone());
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(name: &str) -> std::sync::Arc<dyn Component> {
+        lc_components::lookup(name).expect(name)
+    }
+
+    #[test]
+    fn chunking_roundtrip() {
+        let data: Vec<u8> = (0..CHUNK_SIZE * 2 + 100).map(|i| (i % 255) as u8).collect();
+        let c = ChunkedData::from_bytes(&data);
+        assert_eq!(c.chunk_count(), 3);
+        assert_eq!(c.total_bytes(), data.len() as u64);
+        assert_eq!(c.chunks[2].len(), 100);
+    }
+
+    #[test]
+    fn mutator_always_applies() {
+        let data = ChunkedData::from_bytes(&vec![7u8; CHUNK_SIZE * 2]);
+        let out = run_stage(comp("TCMS_4").as_ref(), &data, true);
+        assert_eq!(out.applied, 2);
+        assert_eq!(out.skipped, 0);
+        assert_eq!(out.output.total_bytes(), data.total_bytes());
+        assert!(!out.dec.is_zero());
+    }
+
+    #[test]
+    fn reducer_skips_incompressible_chunks() {
+        // Random-ish bytes: RLE_4 finds no runs and must be skipped.
+        let data: Vec<u8> = (0..CHUNK_SIZE).map(|i| (((i * 2654435761usize) >> 7) % 256) as u8).collect();
+        let chunked = ChunkedData::from_bytes(&data);
+        let out = run_stage(comp("RLE_4").as_ref(), &chunked, true);
+        assert_eq!(out.skipped, 1);
+        assert_eq!(out.applied, 0);
+        // Skipped chunk: output is the input, decoder does nothing.
+        assert_eq!(out.output.chunks[0], data);
+        assert!(out.dec.is_zero());
+    }
+
+    #[test]
+    fn reducer_applies_on_compressible_chunks() {
+        let data = vec![0u8; CHUNK_SIZE];
+        let chunked = ChunkedData::from_bytes(&data);
+        let out = run_stage(comp("RZE_4").as_ref(), &chunked, true);
+        assert_eq!(out.applied, 1);
+        assert!(out.output.total_bytes() < data.len() as u64);
+        assert!(!out.dec.is_zero());
+    }
+
+    #[test]
+    fn mixed_chunks_split_between_applied_and_skipped() {
+        let mut data = vec![0u8; CHUNK_SIZE]; // compressible chunk
+        data.extend((0..CHUNK_SIZE).map(|i| (((i * 2654435761usize) >> 7) % 256) as u8));
+        let chunked = ChunkedData::from_bytes(&data);
+        let out = run_stage(comp("RZE_4").as_ref(), &chunked, true);
+        assert_eq!(out.applied, 1);
+        assert_eq!(out.skipped, 1);
+    }
+
+    #[test]
+    fn stage_chaining_preserves_roundtrip() {
+        // Chain BIT_4 → DIFF_4 → RZE_4 manually through the runner and
+        // verify each stage; data survives because verify=true asserts.
+        let data: Vec<u8> = (0..CHUNK_SIZE + 123).map(|i| (i / 64) as u8).collect();
+        let s0 = ChunkedData::from_bytes(&data);
+        let s1 = run_stage(comp("BIT_4").as_ref(), &s0, true);
+        let s2 = run_stage(comp("DIFF_4").as_ref(), &s1.output, true);
+        let _s3 = run_stage(comp("RZE_4").as_ref(), &s2.output, true);
+    }
+}

@@ -1,0 +1,219 @@
+//! Dependency-free SVG rendering of boxen (letter-value) figures.
+//!
+//! Produces the same visual language as the paper's plots: per group a
+//! stack of nested boxes (each successive letter-value pair drawn
+//! narrower), the median as a black line inside the widest box, compiler
+//! color-coding, and a linear throughput axis. Written by `reproduce`
+//! next to each figure's CSV when `--svg` is passed.
+
+use crate::figures::Figure;
+
+/// Per-compiler fill colors (NVCC / Clang / HIPCC), matching a
+/// seaborn-like palette.
+fn color(compiler: &str) -> &'static str {
+    match compiler {
+        "NVCC" => "#4c72b0",
+        "Clang" => "#dd8452",
+        "HIPCC" => "#55a868",
+        _ => "#8172b3",
+    }
+}
+
+const PLOT_HEIGHT: f64 = 320.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 110.0;
+const MARGIN_LEFT: f64 = 70.0;
+const GROUP_WIDTH: f64 = 34.0;
+const BOX_MAX_WIDTH: f64 = 26.0;
+
+/// Render `fig` as a standalone SVG document.
+pub fn figure_svg(fig: &Figure) -> String {
+    let n = fig.groups.len();
+    let width = MARGIN_LEFT + n as f64 * GROUP_WIDTH + 30.0;
+    let height = MARGIN_TOP + PLOT_HEIGHT + MARGIN_BOTTOM;
+    let y_max = fig
+        .groups
+        .iter()
+        .map(|g| g.lv.boxes.last().map_or(g.lv.median, |b| b.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    // Headroom + round the axis up to a tidy step.
+    let y_top = nice_ceiling(y_max * 1.05);
+    let y = |v: f64| MARGIN_TOP + PLOT_HEIGHT * (1.0 - (v / y_top).clamp(0.0, 1.0));
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"sans-serif\" font-size=\"10\">\n"
+    ));
+    s.push_str(&format!(
+        "<text x=\"{:.0}\" y=\"18\" font-size=\"13\">Figure {}: {} [{}]</text>\n",
+        MARGIN_LEFT,
+        fig.id.number(),
+        fig.id.title(),
+        fig.unit
+    ));
+
+    // Y axis with 5 ticks.
+    s.push_str(&format!(
+        "<line x1=\"{l:.1}\" y1=\"{t:.1}\" x2=\"{l:.1}\" y2=\"{b:.1}\" stroke=\"black\"/>\n",
+        l = MARGIN_LEFT,
+        t = MARGIN_TOP,
+        b = MARGIN_TOP + PLOT_HEIGHT
+    ));
+    for i in 0..=5 {
+        let v = y_top * i as f64 / 5.0;
+        let yy = y(v);
+        s.push_str(&format!(
+            "<line x1=\"{:.1}\" y1=\"{yy:.1}\" x2=\"{:.1}\" y2=\"{yy:.1}\" stroke=\"black\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+            MARGIN_LEFT - 4.0,
+            MARGIN_LEFT,
+            MARGIN_LEFT - 7.0,
+            yy + 3.5,
+            format_tick(v)
+        ));
+    }
+
+    // Boxes.
+    for (i, g) in fig.groups.iter().enumerate() {
+        let cx = MARGIN_LEFT + (i as f64 + 0.5) * GROUP_WIDTH;
+        let fill = color(g.compiler);
+        let depth = g.lv.boxes.len().max(1) as f64;
+        // Draw outermost first so inner (wider) boxes overlay them.
+        for (d, (lo, hi)) in g.lv.boxes.iter().enumerate().rev() {
+            let w = BOX_MAX_WIDTH * (1.0 - d as f64 / (depth + 1.0));
+            let y_hi = y(*hi);
+            let y_lo = y(*lo);
+            s.push_str(&format!(
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"{fill}\" fill-opacity=\"{:.2}\" stroke=\"{fill}\" stroke-width=\"0.4\"/>\n",
+                cx - w / 2.0,
+                y_hi,
+                w,
+                (y_lo - y_hi).max(0.5),
+                0.35 + 0.5 * (1.0 - d as f64 / depth),
+            ));
+        }
+        // Median.
+        let ym = y(g.lv.median);
+        s.push_str(&format!(
+            "<line x1=\"{:.1}\" y1=\"{ym:.1}\" x2=\"{:.1}\" y2=\"{ym:.1}\" \
+             stroke=\"black\" stroke-width=\"1.4\"/>\n",
+            cx - BOX_MAX_WIDTH / 2.0,
+            cx + BOX_MAX_WIDTH / 2.0,
+        ));
+        // Group label, rotated.
+        s.push_str(&format!(
+            "<text x=\"{cx:.1}\" y=\"{:.1}\" transform=\"rotate(-55 {cx:.1} {:.1})\" \
+             text-anchor=\"end\">{}</text>\n",
+            MARGIN_TOP + PLOT_HEIGHT + 14.0,
+            MARGIN_TOP + PLOT_HEIGHT + 14.0,
+            escape(&g.group),
+        ));
+    }
+
+    // Legend: distinct compilers in appearance order.
+    let mut seen = Vec::new();
+    for g in &fig.groups {
+        if !seen.contains(&g.compiler) {
+            seen.push(g.compiler);
+        }
+    }
+    for (i, compiler) in seen.iter().enumerate() {
+        let lx = MARGIN_LEFT + 10.0 + i as f64 * 80.0;
+        let ly = height - 14.0;
+        s.push_str(&format!(
+            "<rect x=\"{lx:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{}\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\">{compiler}</text>\n",
+            ly - 9.0,
+            color(compiler),
+            lx + 14.0,
+            ly,
+        ));
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+fn nice_ceiling(v: f64) -> f64 {
+    if v <= 0.0 {
+        return 1.0;
+    }
+    let mag = 10f64.powf(v.log10().floor());
+    let norm = v / mag;
+    let nice = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * mag
+}
+
+fn format_tick(v: f64) -> String {
+    if v >= 100.0 || v == 0.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, StudyConfig};
+    use crate::figures::{figure, FigId};
+
+    #[test]
+    fn nice_ceiling_values() {
+        assert_eq!(nice_ceiling(0.0), 1.0);
+        assert_eq!(nice_ceiling(3.0), 5.0);
+        assert_eq!(nice_ceiling(7.0), 10.0);
+        assert_eq!(nice_ceiling(12.0), 20.0);
+        assert_eq!(nice_ceiling(450.0), 500.0);
+        assert_eq!(nice_ceiling(999.0), 1000.0);
+    }
+
+    #[test]
+    fn escape_handles_markup() {
+        assert_eq!(escape("a<b>&c"), "a&lt;b&gt;&amp;c");
+    }
+
+    #[test]
+    fn svg_structure_is_complete() {
+        let m = run_campaign(&StudyConfig::quick());
+        let fig = figure(&m, FigId::Fig2);
+        let svg = figure_svg(&fig);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One median line per group plus axis ticks.
+        let medians = svg.matches("stroke-width=\"1.4\"").count();
+        assert_eq!(medians, fig.groups.len());
+        // Boxes exist for every group.
+        let rects = svg.matches("<rect").count();
+        assert!(rects >= fig.groups.len(), "{rects}");
+        // All three compilers in the legend.
+        for c in ["NVCC", "Clang", "HIPCC"] {
+            assert!(svg.contains(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn svg_is_valid_enough_xml() {
+        // Cheap well-formedness check: every opened tag closes.
+        let m = run_campaign(&StudyConfig::quick());
+        let svg = figure_svg(&figure(&m, FigId::Fig6));
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+}

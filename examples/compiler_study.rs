@@ -1,0 +1,40 @@
+//! Miniature reproduction of the paper's headline experiment (Figs. 2/3):
+//! measure a restricted pipeline space on every (GPU, compiler) platform
+//! and print the encoding/decoding letter-value distributions.
+//!
+//! The full campaign lives in the `reproduce` binary; this example keeps
+//! the component set small so it finishes in seconds.
+//!
+//! ```text
+//! cargo run --release --example compiler_study
+//! ```
+
+use lc_repro::lc_data::{Scale, SP_FILES};
+use lc_repro::lc_study::{figures, report, run_campaign, FigId, Space, StudyConfig};
+
+fn main() {
+    let sc = StudyConfig {
+        space: Space::restricted_to_families(&["TCMS", "DBEFS", "DIFF", "RLE", "RZE", "CLOG"]),
+        scale: Scale::denominator(8192),
+        threads: lc_repro::lc_parallel::default_threads(),
+        files: vec![&SP_FILES[0], &SP_FILES[5], &SP_FILES[10]],
+        opt_levels: vec![gpu_sim::OptLevel::O3],
+        verify: true,
+    };
+    println!(
+        "measuring {} pipelines on {} inputs across 11 platforms…",
+        sc.space.len(),
+        sc.files.len()
+    );
+    let m = run_campaign(&sc);
+
+    for id in [FigId::Fig2, FigId::Fig3] {
+        println!();
+        print!("{}", figures::render(&figures::figure(&m, id)));
+    }
+
+    println!("\npaper-claim checklist:");
+    for f in report::findings(&m) {
+        println!("  [{}] {}: {}", if f.holds { "ok" } else { "--" }, f.id, f.measured);
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the LC reproduction workspace.
+//!
+//! Re-exports the public APIs of all member crates so examples and
+//! integration tests can use one coherent namespace.
+
+pub use gpu_sim;
+pub use lc_components;
+pub use lc_core;
+pub use lc_data;
+pub use lc_parallel;
+pub use lc_study;

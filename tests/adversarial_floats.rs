@@ -1,0 +1,141 @@
+//! Adversarial floating-point inputs: every component and several full
+//! pipelines must round-trip data containing NaNs (including payloads),
+//! infinities, denormals, negative zero, and sentinel patterns — the
+//! hostile end of what real scientific files contain.
+
+use lc_repro::lc_components::{all, lookup, parse_pipeline};
+use lc_repro::lc_core::{archive, KernelStats, CHUNK_SIZE};
+use lc_repro::lc_parallel::Pool;
+
+fn f32_stream(vals: &[f32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+}
+
+fn adversarial_f32() -> Vec<u8> {
+    let mut vals: Vec<f32> = Vec::new();
+    // Block of specials, repeated to cross chunk boundaries.
+    let specials = [
+        f32::NAN,
+        -f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE,          // smallest normal
+        f32::MIN_POSITIVE / 2.0,    // denormal
+        f32::from_bits(1),          // smallest denormal
+        f32::from_bits(0x7F80_0001), // signaling-ish NaN with payload
+        f32::from_bits(0xFF80_FFFF), // negative NaN with payload
+        f32::MAX,
+        f32::MIN,
+        -9999.0, // the obs sentinel
+        1.0,
+        -1.0,
+    ];
+    for i in 0..(CHUNK_SIZE / 4 + 997) {
+        vals.push(specials[i % specials.len()]);
+    }
+    f32_stream(&vals)
+}
+
+fn adversarial_f64() -> Vec<u8> {
+    let specials = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -0.0,
+        5e-324, // smallest denormal
+        f64::MAX,
+        f64::from_bits(0x7FF0_0000_0000_0001), // NaN payload
+        -1.5,
+    ];
+    let vals: Vec<f64> = (0..CHUNK_SIZE / 8 + 333)
+        .map(|i| specials[i % specials.len()])
+        .collect();
+    vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+}
+
+#[test]
+fn every_component_roundtrips_adversarial_f32() {
+    let data = adversarial_f32();
+    for c in all() {
+        let mut enc = Vec::new();
+        c.encode_chunk(&data[..CHUNK_SIZE], &mut enc, &mut KernelStats::new());
+        let mut dec = Vec::new();
+        c.decode_chunk(&enc, &mut dec, &mut KernelStats::new())
+            .unwrap_or_else(|e| panic!("{}: {e}", c.name()));
+        assert_eq!(dec, &data[..CHUNK_SIZE], "{} corrupted NaN payloads", c.name());
+    }
+}
+
+#[test]
+fn every_component_roundtrips_adversarial_f64() {
+    let data = adversarial_f64();
+    for c in all() {
+        let mut enc = Vec::new();
+        c.encode_chunk(&data[..CHUNK_SIZE], &mut enc, &mut KernelStats::new());
+        let mut dec = Vec::new();
+        c.decode_chunk(&enc, &mut dec, &mut KernelStats::new())
+            .unwrap_or_else(|e| panic!("{}: {e}", c.name()));
+        assert_eq!(dec, &data[..CHUNK_SIZE], "{}", c.name());
+    }
+}
+
+#[test]
+fn float_pipelines_preserve_nan_payloads_bit_exactly() {
+    let data = adversarial_f32();
+    let pool = Pool::new(4);
+    for desc in [
+        "DBEFS_4 DIFF_4 RZE_4",
+        "DBESF_4 DIFFMS_4 RARE_4",
+        "DBEFS_8 DIFFNB_8 HCLOG_8",
+        "BIT_4 TCNB_4 RRE_4",
+    ] {
+        let p = parse_pipeline(desc).unwrap();
+        let enc = archive::encode(&p, &data, &pool);
+        let dec = archive::decode(&enc, lookup, &pool).unwrap();
+        assert_eq!(dec, data, "{desc}: lossless means bit-exact, even for NaNs");
+    }
+}
+
+#[test]
+fn all_zero_and_all_ones_floats() {
+    let zero = vec![0u8; CHUNK_SIZE * 2 + 100];
+    let ones = vec![0xFFu8; CHUNK_SIZE * 2 + 100];
+    let pool = Pool::new(2);
+    for data in [&zero, &ones] {
+        for desc in ["DBEFS_4 DIFF_4 RZE_4", "TCMS_8 BIT_8 RLE_8"] {
+            let p = parse_pipeline(desc).unwrap();
+            let enc = archive::encode(&p, data, &pool);
+            let dec = archive::decode(&enc, lookup, &pool).unwrap();
+            assert_eq!(&dec, data, "{desc}");
+        }
+    }
+    // All-zero must compress dramatically.
+    let p = parse_pipeline("TCMS_4 DIFF_4 RZE_4").unwrap();
+    let enc = archive::encode(&p, &zero, &pool);
+    assert!(enc.len() < zero.len() / 20, "all-zero: {} of {}", enc.len(), zero.len());
+}
+
+#[test]
+fn exponent_extremes_survive_dbefs_field_surgery() {
+    // Values whose exponent fields are 0 (denormals) and 255 (inf/NaN):
+    // de-biasing wraps; re-biasing must wrap back exactly.
+    let mut vals = Vec::new();
+    for e in [0u32, 1, 2, 126, 127, 128, 254, 255] {
+        for f in [0u32, 1, 0x7F_FFFF] {
+            for s in [0u32, 1] {
+                vals.push(f32::from_bits((s << 31) | (e << 23) | f));
+            }
+        }
+    }
+    let data = f32_stream(&vals);
+    for name in ["DBEFS_4", "DBESF_4"] {
+        let c = lookup(name).unwrap();
+        let mut enc = Vec::new();
+        c.encode_chunk(&data, &mut enc, &mut KernelStats::new());
+        let mut dec = Vec::new();
+        c.decode_chunk(&enc, &mut dec, &mut KernelStats::new()).unwrap();
+        assert_eq!(dec, data, "{name}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration: every pipeline shape must round-trip through
+//! the real archive format on realistic (synthetic SP) data.
+
+use lc_repro::lc_components::{all, lookup, parse_pipeline, reducers};
+use lc_repro::lc_core::{archive, CHUNK_SIZE};
+use lc_repro::lc_data::{file_by_name, generate, Scale};
+use lc_repro::lc_parallel::Pool;
+
+fn sp_bytes(name: &str) -> Vec<u8> {
+    generate(file_by_name(name).unwrap(), Scale::tiny())
+}
+
+fn roundtrip(pipeline_text: &str, data: &[u8]) -> usize {
+    let p = parse_pipeline(pipeline_text).unwrap_or_else(|e| panic!("{pipeline_text}: {e}"));
+    let pool = Pool::new(4);
+    let enc = archive::encode(&p, data, &pool);
+    let dec = archive::decode(&enc, lookup, &pool)
+        .unwrap_or_else(|e| panic!("{pipeline_text}: decode failed: {e}"));
+    assert_eq!(dec, data, "{pipeline_text}: round-trip mismatch");
+    enc.len()
+}
+
+#[test]
+fn every_component_roundtrips_as_a_single_stage_on_sp_data() {
+    let data = sp_bytes("obs_temp");
+    for c in all() {
+        // Single-stage pipelines are legal in lc-core (the 3-stage +
+        // reducer-last restriction is a property of the *study*, §5).
+        roundtrip(c.name(), &data);
+    }
+}
+
+#[test]
+fn representative_three_stage_pipelines_roundtrip_on_every_file() {
+    let pipelines = [
+        "DBEFS_4 DIFF_4 RZE_4",
+        "DBESF_4 DIFFMS_4 RARE_4",
+        "TUPL2_1 BIT_1 RLE_1",
+        "BIT_8 TCNB_8 HCLOG_8",
+        "RLE_4 RLE_4 RLE_4",   // reducers stack
+        "RZE_2 DIFFNB_2 RRE_2",
+        "TUPL8_4 DBEFS_8 RAZE_1", // mixed word sizes
+    ];
+    for file in &lc_repro::lc_data::SP_FILES {
+        let data = generate(file, Scale::tiny());
+        for p in pipelines {
+            roundtrip(p, &data);
+        }
+    }
+}
+
+#[test]
+fn every_reducer_in_final_stage_roundtrips() {
+    let data = sp_bytes("num_control");
+    for r in reducers() {
+        roundtrip(&format!("DBEFS_4 DIFF_4 {}", r.name()), &data);
+    }
+}
+
+#[test]
+fn compresses_sp_data() {
+    // The flagship pipeline must actually compress the synthetic dataset.
+    let data = sp_bytes("num_brain");
+    let size = roundtrip("DBESF_4 DIFFMS_4 RARE_4", &data);
+    assert!(
+        size < data.len() * 3 / 4,
+        "expected >1.33x ratio, got {} -> {}",
+        data.len(),
+        size
+    );
+}
+
+#[test]
+fn pathological_inputs_roundtrip() {
+    let cases: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0],
+        vec![0xFF; 7],
+        vec![0; CHUNK_SIZE],
+        vec![0xAB; CHUNK_SIZE + 1],
+        (0..CHUNK_SIZE * 3 + 17).map(|i| (i % 256) as u8).collect(),
+        f32::NAN.to_le_bytes().repeat(5000),
+        (-9999.0f32).to_le_bytes().repeat(4096),
+    ];
+    for data in &cases {
+        roundtrip("DBEFS_4 DIFF_4 RZE_4", data);
+        roundtrip("BIT_4 TCMS_4 RLE_4", data);
+        roundtrip("RARE_8 RAZE_8 HCLOG_8", data);
+    }
+}
+
+#[test]
+fn truncated_archives_error_never_panic() {
+    let data = sp_bytes("obs_info");
+    let p = parse_pipeline("DBEFS_4 DIFF_4 RZE_4").unwrap();
+    let pool = Pool::new(2);
+    let enc = archive::encode(&p, &data, &pool);
+    // Cut at a spread of positions including header, table, and payload.
+    for frac in [0usize, 1, 2, 5, 10, 30, 60, 90, 99] {
+        let cut = enc.len() * frac / 100;
+        let _ = archive::decode(&enc[..cut], lookup, &pool); // must not panic
+    }
+}
+
+#[test]
+fn bitflipped_archives_error_never_panic() {
+    let data = sp_bytes("msg_sweep3d");
+    let p = parse_pipeline("TCMS_4 DIFF_4 CLOG_4").unwrap();
+    let pool = Pool::new(2);
+    let enc = archive::encode(&p, &data, &pool);
+    for pos in (0..enc.len()).step_by(enc.len() / 200 + 1) {
+        let mut corrupted = enc.clone();
+        corrupted[pos] ^= 0x55;
+        // Either an error or a "successful" decode of different bytes —
+        // but never a panic or an out-of-bounds access.
+        let _ = archive::decode(&corrupted, lookup, &pool);
+    }
+}
+
+#[test]
+fn parallel_and_serial_encoders_agree() {
+    let data = sp_bytes("num_comet");
+    let p = parse_pipeline("DBEFS_4 DIFFMS_4 RARE_4").unwrap();
+    let serial = archive::encode(&p, &data, &Pool::new(1));
+    let parallel = archive::encode(&p, &data, &Pool::new(8));
+    assert_eq!(serial, parallel, "archive bytes must be deterministic");
+}
+
+#[test]
+fn archive_is_self_describing() {
+    let data = sp_bytes("obs_error");
+    let p = parse_pipeline("TUPL4_2 BIT_2 RZE_2").unwrap();
+    let pool = Pool::new(2);
+    let enc = archive::encode(&p, &data, &pool);
+    let header = archive::parse_header(&enc).unwrap();
+    assert_eq!(header.stage_names, vec!["TUPL4_2", "BIT_2", "RZE_2"]);
+    assert_eq!(header.original_len as usize, data.len());
+}

@@ -1,0 +1,146 @@
+//! Paper Table 2: work complexity and span of every component's encoder
+//! and decoder, checked two ways — the declared metadata must match the
+//! table, and the *measured* kernel statistics must scale the way the
+//! declared class predicts.
+
+use lc_repro::lc_components::{all, lookup};
+use lc_repro::lc_core::component::family_of;
+use lc_repro::lc_core::{KernelStats, SpanClass, WorkClass};
+
+/// Expected Table 2 row for a family:
+/// (enc work, enc span, dec work, dec span).
+fn table2(family: &str) -> (WorkClass, SpanClass, WorkClass, SpanClass) {
+    use SpanClass::*;
+    use WorkClass::*;
+    match family {
+        "DBEFS" | "DBESF" | "TCMS" | "TCNB" => (N, Const, N, Const),
+        "BIT" => (NLogW, LogW, NLogW, LogW),
+        "TUPL" => (N, Const, N, Const),
+        "DIFF" | "DIFFMS" | "DIFFNB" => (N, Const, N, LogN),
+        "CLOG" | "HCLOG" => (N, Const, N, Const),
+        "RARE" | "RAZE" => (N, LogN, N, LogN),
+        "RLE" => (N, LogN, N, Const),
+        "RRE" | "RZE" => (N, LogN, N, LogN),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+#[test]
+fn declared_complexity_matches_table2() {
+    for c in all() {
+        let (ew, es, dw, ds) = table2(family_of(c.name()));
+        let cx = c.complexity();
+        assert_eq!(cx.enc_work, ew, "{} enc work", c.name());
+        assert_eq!(cx.enc_span, es, "{} enc span", c.name());
+        assert_eq!(cx.dec_work, dw, "{} dec work", c.name());
+        assert_eq!(cx.dec_span, ds, "{} dec span", c.name());
+    }
+}
+
+fn enc_stats(name: &str, data: &[u8]) -> KernelStats {
+    let c = lookup(name).unwrap();
+    let mut s = KernelStats::new();
+    c.encode_chunk(data, &mut Vec::new(), &mut s);
+    s
+}
+
+fn dec_stats(name: &str, data: &[u8]) -> KernelStats {
+    let c = lookup(name).unwrap();
+    let mut enc = Vec::new();
+    c.encode_chunk(data, &mut enc, &mut KernelStats::new());
+    let mut s = KernelStats::new();
+    c.decode_chunk(&enc, &mut Vec::new(), &mut s).unwrap();
+    s
+}
+
+#[test]
+fn measured_work_is_linear_in_n() {
+    // Θ(n) work: doubling the input must (about) double thread_ops.
+    let a: Vec<u8> = (0..4096).map(|i| (i % 13) as u8).collect();
+    let b: Vec<u8> = (0..8192).map(|i| (i % 13) as u8).collect();
+    for c in all() {
+        let sa = enc_stats(c.name(), &a);
+        let sb = enc_stats(c.name(), &b);
+        let ratio = sb.thread_ops as f64 / sa.thread_ops.max(1) as f64;
+        assert!(
+            (1.5..=2.6).contains(&ratio),
+            "{}: ops ratio {ratio} for 2x input",
+            c.name()
+        );
+    }
+}
+
+#[test]
+fn bit_work_carries_the_log_w_factor() {
+    // Table 2: BIT is the only Θ(n log w) family — per *word*, ops grow
+    // with log of the word width; per *byte* they shrink as words widen,
+    // and the per-word ratio between BIT_8 and BIT_1 must be log(64)/log(8).
+    let data: Vec<u8> = (0..8192).map(|i| (i % 251) as u8).collect();
+    let s1 = enc_stats("BIT_1", &data);
+    let s8 = enc_stats("BIT_8", &data);
+    let per_word_1 = s1.thread_ops as f64 / s1.words as f64;
+    let per_word_8 = s8.thread_ops as f64 / s8.words as f64;
+    assert!((per_word_1 - 3.0).abs() < 0.5, "log2(8) = 3, got {per_word_1}");
+    assert!((per_word_8 - 6.0).abs() < 0.5, "log2(64) = 6, got {per_word_8}");
+    // A same-word-size Θ(n) component has no such growth.
+    let t1 = enc_stats("TCMS_1", &data);
+    let t8 = enc_stats("TCMS_8", &data);
+    let tcms_growth = (t8.thread_ops as f64 / t8.words as f64)
+        / (t1.thread_ops as f64 / t1.words as f64);
+    assert!((tcms_growth - 1.0).abs() < 0.01, "TCMS per-word ops are flat");
+}
+
+#[test]
+fn log_n_spans_emit_scan_steps_where_table2_says() {
+    let data: Vec<u8> = (0..16384).map(|i| (i % 7) as u8).collect();
+    for c in all() {
+        let (_, es, _, ds) = table2(family_of(c.name()));
+        let se = enc_stats(c.name(), &data);
+        let sd = dec_stats(c.name(), &data);
+        match es {
+            SpanClass::LogN => assert!(se.scan_steps > 0, "{} enc span log n", c.name()),
+            SpanClass::Const => {
+                assert_eq!(se.scan_steps, 0, "{} enc span is constant", c.name())
+            }
+            SpanClass::LogW => {}
+        }
+        match ds {
+            SpanClass::LogN => assert!(sd.scan_steps > 0, "{} dec span log n", c.name()),
+            SpanClass::Const => {
+                assert_eq!(sd.scan_steps, 0, "{} dec span is constant", c.name())
+            }
+            SpanClass::LogW => {}
+        }
+    }
+}
+
+#[test]
+fn scan_steps_grow_logarithmically() {
+    // For a log-n-span encoder, 4x the words adds ~2 scan steps.
+    let a: Vec<u8> = (0..4096).map(|i| (i % 13) as u8).collect();
+    let b: Vec<u8> = (0..16384).map(|i| (i % 13) as u8).collect();
+    let sa = enc_stats("RRE_4", &a);
+    let sb = enc_stats("RRE_4", &b);
+    assert_eq!(sb.scan_steps - sa.scan_steps, 2, "log2(4x) = +2 steps");
+}
+
+#[test]
+fn diff_decode_is_a_prefix_sum_diff_encode_is_not() {
+    // The Table 2 asymmetry the paper highlights for predictors.
+    let data: Vec<u8> = (0..16384).map(|i| (i / 3) as u8).collect();
+    let e = enc_stats("DIFF_4", &data);
+    let d = dec_stats("DIFF_4", &data);
+    assert_eq!(e.scan_steps, 0);
+    assert!(d.scan_steps > 10, "prefix sum over 4096 words: {}", d.scan_steps);
+    assert!(d.block_syncs > e.block_syncs);
+}
+
+#[test]
+fn rle_decode_span_is_constant_unlike_rre() {
+    // Table 2: RLE dec span 1, RRE dec span log n.
+    let data: Vec<u8> = vec![9u8; 16384];
+    let rle = dec_stats("RLE_4", &data);
+    let rre = dec_stats("RRE_4", &data);
+    assert_eq!(rle.scan_steps, 0, "RLE decode has constant span");
+    assert!(rre.scan_steps > 0, "RRE decode needs a scan");
+}

@@ -1,0 +1,120 @@
+//! Property-based tests: every one of the 62 components must be an exact
+//! bijection on arbitrary chunk contents, respect its size contract, and
+//! report self-consistent metadata.
+
+use proptest::prelude::*;
+
+use lc_repro::lc_components::{all, lookup};
+use lc_repro::lc_core::{ComponentKind, KernelStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Round-trip every component on arbitrary bytes of arbitrary length
+    /// (including lengths that are not multiples of the word size).
+    #[test]
+    fn all_components_roundtrip_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        for c in all() {
+            let mut enc = Vec::new();
+            c.encode_chunk(&data, &mut enc, &mut KernelStats::new());
+            let mut dec = Vec::new();
+            c.decode_chunk(&enc, &mut dec, &mut KernelStats::new())
+                .unwrap_or_else(|e| panic!("{}: {e}", c.name()));
+            prop_assert_eq!(&dec, &data, "{} mangled data", c.name());
+        }
+    }
+
+    /// Non-reducers must preserve the chunk size exactly.
+    #[test]
+    fn non_reducers_preserve_size(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        for c in all().iter().filter(|c| c.kind() != ComponentKind::Reducer) {
+            let mut enc = Vec::new();
+            c.encode_chunk(&data, &mut enc, &mut KernelStats::new());
+            prop_assert_eq!(enc.len(), data.len(), "{} changed size", c.name());
+        }
+    }
+
+    /// Decoders must never panic on malformed input — errors only.
+    #[test]
+    fn decoders_survive_garbage(
+        garbage in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        for c in all() {
+            let mut out = Vec::new();
+            let _ = c.decode_chunk(&garbage, &mut out, &mut KernelStats::new());
+        }
+    }
+
+    /// Composition: two random components chained still round-trip
+    /// (stage-2 input is stage-1 output, whatever its alignment).
+    #[test]
+    fn random_two_stage_composition_roundtrips(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        i in 0usize..62,
+        j in 0usize..62,
+    ) {
+        let a = &all()[i];
+        let b = &all()[j];
+        let mut s1 = Vec::new();
+        a.encode_chunk(&data, &mut s1, &mut KernelStats::new());
+        let mut s2 = Vec::new();
+        b.encode_chunk(&s1, &mut s2, &mut KernelStats::new());
+        let mut r1 = Vec::new();
+        b.decode_chunk(&s2, &mut r1, &mut KernelStats::new()).unwrap();
+        prop_assert_eq!(&r1, &s1);
+        let mut r0 = Vec::new();
+        a.decode_chunk(&r1, &mut r0, &mut KernelStats::new()).unwrap();
+        prop_assert_eq!(&r0, &data, "{} after {}", a.name(), b.name());
+    }
+
+    /// Encode is deterministic: same input, same output, same stats.
+    #[test]
+    fn encode_is_deterministic(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        i in 0usize..62,
+    ) {
+        let c = &all()[i];
+        let (mut e1, mut e2) = (Vec::new(), Vec::new());
+        let (mut s1, mut s2) = (KernelStats::new(), KernelStats::new());
+        c.encode_chunk(&data, &mut e1, &mut s1);
+        c.encode_chunk(&data, &mut e2, &mut s2);
+        prop_assert_eq!(e1, e2);
+        prop_assert_eq!(s1, s2);
+    }
+}
+
+#[test]
+fn metadata_is_self_consistent() {
+    for c in all() {
+        let name = c.name();
+        assert!(
+            name.ends_with(&format!("_{}", c.word_size())),
+            "{name}: word-size suffix mismatch"
+        );
+        assert!([1, 2, 4, 8].contains(&c.word_size()), "{name}");
+        if let Some(k) = c.tuple_size() {
+            assert!(name.starts_with(&format!("TUPL{k}")), "{name}");
+        }
+        assert_eq!(lookup(name).unwrap().kind(), c.kind());
+    }
+}
+
+#[test]
+fn stats_are_monotone_in_input_size() {
+    // Bigger inputs never report less work.
+    for c in all() {
+        let small: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+        let large: Vec<u8> = (0..8192).map(|i| (i % 251) as u8).collect();
+        let mut ss = KernelStats::new();
+        let mut sl = KernelStats::new();
+        c.encode_chunk(&small, &mut Vec::new(), &mut ss);
+        c.encode_chunk(&large, &mut Vec::new(), &mut sl);
+        assert!(sl.words >= ss.words, "{}", c.name());
+        assert!(sl.thread_ops >= ss.thread_ops, "{}", c.name());
+        assert!(sl.global_reads >= ss.global_reads, "{}", c.name());
+    }
+}

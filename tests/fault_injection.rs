@@ -1,0 +1,132 @@
+//! Systematic fault injection: corrupt every byte position class of
+//! encoded payloads and archives, and require that decoders fail *softly*
+//! — an error or a differing (but bounded) output, never a panic, hang,
+//! or unbounded allocation.
+
+use lc_repro::lc_components::{all, lookup, parse_pipeline};
+use lc_repro::lc_core::{archive, KernelStats, CHUNK_SIZE};
+use lc_repro::lc_parallel::Pool;
+
+/// Deterministic pattern with mixed structure so every reducer both
+/// applies and skips somewhere.
+fn test_chunk() -> Vec<u8> {
+    let mut v = Vec::with_capacity(CHUNK_SIZE);
+    for i in 0..CHUNK_SIZE / 4 {
+        let word: u32 = match i % 7 {
+            0 | 1 => 0,                       // zero runs
+            2 => 0xDEAD_BEEF,                 // repeated value
+            3 => (i as u32).wrapping_mul(2654435761), // noise
+            _ => 1000 + (i as u32 % 50),      // small values
+        };
+        v.extend_from_slice(&word.to_le_bytes());
+    }
+    v
+}
+
+#[test]
+fn single_bitflips_in_every_component_payload() {
+    let chunk = test_chunk();
+    for c in all() {
+        let mut enc = Vec::new();
+        c.encode_chunk(&chunk, &mut enc, &mut KernelStats::new());
+        // Flip one bit in a spread of positions (every ~97th byte, all 8
+        // bit positions cycled) — cheap but position-diverse.
+        for (k, pos) in (0..enc.len()).step_by(97).enumerate() {
+            let mut bad = enc.clone();
+            bad[pos] ^= 1 << (k % 8);
+            let mut out = Vec::new();
+            // Must return (Ok with different bytes, or Err) — not panic.
+            let _ = c.decode_chunk(&bad, &mut out, &mut KernelStats::new());
+            // Defensive: decoders must not explode output unboundedly.
+            assert!(
+                out.len() <= CHUNK_SIZE * 4 + 64,
+                "{}: output ballooned to {} bytes",
+                c.name(),
+                out.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn truncations_at_every_length_for_every_component() {
+    let chunk = &test_chunk()[..2048];
+    for c in all() {
+        let mut enc = Vec::new();
+        c.encode_chunk(chunk, &mut enc, &mut KernelStats::new());
+        for cut in 0..enc.len().min(256) {
+            let mut out = Vec::new();
+            let _ = c.decode_chunk(&enc[..cut], &mut out, &mut KernelStats::new());
+        }
+        // Also truncate from a spread of longer positions.
+        for cut in (256..enc.len()).step_by(53) {
+            let mut out = Vec::new();
+            let _ = c.decode_chunk(&enc[..cut], &mut out, &mut KernelStats::new());
+        }
+    }
+}
+
+#[test]
+fn extended_payloads_do_not_confuse_decoders() {
+    // Trailing garbage after a valid encoding: decoders either ignore it
+    // (framing gives exact lengths in real archives) or error — no panic.
+    let chunk = &test_chunk()[..4096];
+    for c in all() {
+        let mut enc = Vec::new();
+        c.encode_chunk(chunk, &mut enc, &mut KernelStats::new());
+        enc.extend_from_slice(&[0xAA; 64]);
+        let mut out = Vec::new();
+        let _ = c.decode_chunk(&enc, &mut out, &mut KernelStats::new());
+    }
+}
+
+#[test]
+fn archive_header_field_fuzzing() {
+    let data = test_chunk().repeat(3);
+    let pool = Pool::new(2);
+    let p = parse_pipeline("TCMS_4 DIFF_4 RZE_4").unwrap();
+    let enc = archive::encode(&p, &data, &pool);
+    // Mutate every header byte through several values.
+    let header_len = archive::parse_header(&enc).unwrap().payload_offset.min(64);
+    for pos in 0..header_len {
+        for val in [0x00u8, 0xFF, 0x80, enc[pos].wrapping_add(1)] {
+            let mut bad = enc.clone();
+            bad[pos] = val;
+            let _ = archive::decode(&bad, lookup, &pool); // must not panic
+        }
+    }
+}
+
+#[test]
+fn archive_chunk_table_lies() {
+    // Declare wrong stored lengths in the chunk table specifically.
+    let data = test_chunk().repeat(2);
+    let pool = Pool::new(2);
+    let p = parse_pipeline("TCMS_4 DIFF_4 RZE_4").unwrap();
+    let enc = archive::encode(&p, &data, &pool);
+    let h = archive::parse_header(&enc).unwrap();
+    for chunk_idx in 0..h.chunks as usize {
+        let len_pos = h.table_offset + chunk_idx * 5 + 1;
+        for lie in [0u32, 1, u32::MAX, 0x7FFF_FFFF] {
+            let mut bad = enc.clone();
+            bad[len_pos..len_pos + 4].copy_from_slice(&lie.to_le_bytes());
+            let _ = archive::decode(&bad, lookup, &pool);
+        }
+    }
+}
+
+#[test]
+fn mask_lies_flip_stage_application() {
+    // Claim stages were (not) applied: the decoder must process whatever
+    // the mask says against whatever bytes exist and fail gracefully.
+    let data = test_chunk();
+    let pool = Pool::new(2);
+    let p = parse_pipeline("TCMS_4 DIFF_4 RZE_4").unwrap();
+    let enc = archive::encode(&p, &data, &pool);
+    let h = archive::parse_header(&enc).unwrap();
+    for mask in 0..8u8 {
+        let mut bad = enc.clone();
+        bad[h.table_offset] = mask;
+        let _ = archive::decode(&bad, lookup, &pool);
+    }
+}

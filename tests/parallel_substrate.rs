@@ -1,0 +1,96 @@
+//! Stress tests for the parallel substrate: the decoupled look-back scan
+//! and the pool must be correct under contention, because the archive
+//! encoder's output placement depends on them.
+
+use proptest::prelude::*;
+
+use lc_repro::lc_parallel::{scan::parallel_exclusive_scan, LookbackScan, Pool};
+
+#[test]
+fn scan_stress_many_threads_many_rounds() {
+    // Repeat to give races a chance to manifest.
+    let pool = Pool::new(8);
+    for round in 0..50 {
+        let n = 64 + round * 37;
+        let values: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 10_000).collect();
+        let (prefixes, total) = parallel_exclusive_scan(&pool, &values);
+        let mut acc = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(prefixes[i], acc, "round {round}, index {i}");
+            acc += v;
+        }
+        assert_eq!(total, acc);
+    }
+}
+
+#[test]
+fn scan_with_out_of_order_publication() {
+    // Publish in reverse order from one thread per participant: the scan
+    // must still resolve, because every predecessor eventually publishes.
+    let scan = std::sync::Arc::new(LookbackScan::new(32));
+    let results = std::sync::Arc::new(std::sync::Mutex::new(vec![0u64; 32]));
+    let mut handles = Vec::new();
+    for i in (0..32usize).rev() {
+        let scan = scan.clone();
+        let results = results.clone();
+        handles.push(std::thread::spawn(move || {
+            // Stagger so later participants publish first.
+            std::thread::sleep(std::time::Duration::from_millis((i as u64) % 7));
+            let excl = scan.publish(i, (i + 1) as u64);
+            results.lock().unwrap()[i] = excl;
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let results = results.lock().unwrap();
+    for (i, &excl) in results.iter().enumerate() {
+        let expected: u64 = (1..=i as u64).sum();
+        assert_eq!(excl, expected, "participant {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scan_matches_sequential_reference(
+        values in proptest::collection::vec(0u64..1_000_000, 0..500),
+        threads in 1usize..12,
+    ) {
+        let pool = Pool::new(threads);
+        let (prefixes, total) = parallel_exclusive_scan(&pool, &values);
+        let mut acc = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(prefixes[i], acc);
+            acc += v;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn pool_fold_is_order_independent(
+        values in proptest::collection::vec(0u64..1_000, 1..2000),
+        threads in 1usize..12,
+    ) {
+        let pool = Pool::new(threads);
+        let sum = pool.fold(
+            values.len(),
+            || 0u64,
+            |acc, i| *acc += values[i],
+            |a, b| a + b,
+        );
+        prop_assert_eq!(sum, values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn pool_map_matches_serial(
+        n in 0usize..3000,
+        threads in 1usize..12,
+    ) {
+        let pool = Pool::new(threads);
+        let parallel = pool.map(n, |i| i * 31 + 7);
+        let serial: Vec<usize> = (0..n).map(|i| i * 31 + 7).collect();
+        prop_assert_eq!(parallel, serial);
+    }
+}

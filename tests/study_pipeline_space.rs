@@ -1,0 +1,124 @@
+//! Cross-crate checks of the study harness: the pipeline space matches
+//! every count the paper states, and a quick campaign respects the
+//! measurement protocol and the cost model's basic monotonicities.
+
+use gpu_sim::{CompilerId, Direction, OptLevel};
+use lc_repro::lc_data::{Scale, SP_FILES};
+use lc_repro::lc_study::{figures, run_campaign, FigId, Space, StudyConfig};
+
+#[test]
+fn paper_section5_pipeline_counts() {
+    let s = Space::full();
+    assert_eq!(s.components.len(), 62);
+    assert_eq!(s.reducers.len(), 28);
+    assert_eq!(s.len(), 62 * 62 * 28);
+    assert_eq!(s.len(), 107_632);
+}
+
+#[test]
+fn paper_figure_subset_counts() {
+    let s = Space::full();
+    // §6.2
+    assert_eq!(s.uniform_word_size(1).len(), 1792);
+    assert_eq!(s.uniform_word_size(2).len(), 1575);
+    assert_eq!(s.uniform_word_size(4).len(), 1792);
+    assert_eq!(s.uniform_word_size(8).len(), 1575);
+    // §6.3
+    assert_eq!(s.kind_pair(lc_repro::lc_core::ComponentKind::Mutator).len(), 4032);
+    assert_eq!(s.kind_pair(lc_repro::lc_core::ComponentKind::Shuffler).len(), 2800);
+    assert_eq!(s.kind_pair(lc_repro::lc_core::ComponentKind::Predictor).len(), 4032);
+    assert_eq!(s.kind_pair(lc_repro::lc_core::ComponentKind::Reducer).len(), 21_952);
+    // §6.4 stage 1
+    assert_eq!(s.stage1_family("BIT").len(), 6944);
+    assert_eq!(s.stage1_family("DBEFS").len(), 3472);
+    assert_eq!(s.stage1_family("TUPL").len(), 10_416);
+    // §6.4 stage 3
+    assert_eq!(s.stage3_family("RLE").len(), 15_376);
+}
+
+fn tiny_campaign() -> lc_repro::lc_study::Measurements {
+    run_campaign(&StudyConfig {
+        space: Space::restricted_to_families(&["TCMS", "DIFF", "RZE"]),
+        scale: Scale::tiny(),
+        threads: 4,
+        files: vec![&SP_FILES[5], &SP_FILES[12]],
+        opt_levels: vec![OptLevel::O1, OptLevel::O3],
+        verify: true,
+    })
+}
+
+#[test]
+fn campaign_protocol_and_monotonicity() {
+    let m = tiny_campaign();
+    // 11 platforms per opt level.
+    assert_eq!(m.configs.len(), 22);
+    // Every throughput is positive and finite.
+    for c in 0..m.configs.len() {
+        for dir in [Direction::Encode, Direction::Decode] {
+            for &v in m.series(c, dir) {
+                assert!(v.is_finite() && v > 0.0);
+            }
+        }
+    }
+    // Determinism: a second identical run gives identical numbers.
+    let m2 = tiny_campaign();
+    let a = m.series(0, Direction::Encode);
+    let b = m2.series(0, Direction::Encode);
+    assert_eq!(a, b, "campaign must be deterministic");
+}
+
+#[test]
+fn per_pipeline_compiler_consistency() {
+    // The paper's headline claims hold per-pipeline (not just in the
+    // median): Clang encodes slower and decodes faster than NVCC for the
+    // overwhelming majority of pipelines.
+    let m = tiny_campaign();
+    let nv = m.config_index("RTX 4090", CompilerId::Nvcc, OptLevel::O3).unwrap();
+    let cl = m.config_index("RTX 4090", CompilerId::Clang, OptLevel::O3).unwrap();
+    let n = m.space.len();
+    let mut enc_slower = 0;
+    let mut dec_faster = 0;
+    for p in 0..n {
+        if m.throughput(cl, p, Direction::Encode) < m.throughput(nv, p, Direction::Encode) {
+            enc_slower += 1;
+        }
+        if m.throughput(cl, p, Direction::Decode) > m.throughput(nv, p, Direction::Decode) {
+            dec_faster += 1;
+        }
+    }
+    assert!(enc_slower * 10 >= n * 9, "Clang encode slower on {enc_slower}/{n}");
+    assert!(dec_faster * 10 >= n * 9, "Clang decode faster on {dec_faster}/{n}");
+}
+
+#[test]
+fn figures_render_and_serialize() {
+    let m = tiny_campaign();
+    for id in [FigId::Fig2, FigId::Fig3, FigId::Fig6, FigId::Fig14] {
+        let f = figures::figure(&m, id);
+        assert!(!f.groups.is_empty(), "{id:?}");
+        let text = figures::render(&f);
+        assert!(text.starts_with(&format!("Figure {}", id.number())));
+        let csv = figures::to_csv(&f);
+        assert_eq!(csv.lines().count(), f.groups.len() + 1);
+        // CSV must be parseable: same number of fields on every line.
+        let fields = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), fields, "{line}");
+        }
+    }
+}
+
+#[test]
+fn speedup_figures_require_both_opt_levels() {
+    // Campaign with O3 only: figs 14/15 have no groups rather than panic.
+    let m = run_campaign(&StudyConfig {
+        space: Space::restricted_to_families(&["TCMS", "RZE"]),
+        scale: Scale::tiny(),
+        threads: 2,
+        files: vec![&SP_FILES[12]],
+        opt_levels: vec![OptLevel::O3],
+        verify: false,
+    });
+    let f = figures::figure(&m, FigId::Fig14);
+    assert!(f.groups.is_empty());
+}
