@@ -21,12 +21,10 @@
 //! (who is faster, roughly by how much) — not against absolute numbers,
 //! which depend on the authors' hardware.
 
-use serde::{Deserialize, Serialize};
-
 use crate::specs::Vendor;
 
 /// The three compilers of the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompilerId {
     /// NVIDIA's proprietary CUDA compiler.
     Nvcc,
@@ -65,7 +63,7 @@ impl CompilerId {
 }
 
 /// Optimization level of the build (§6.5 compares `-O1` vs `-O3`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OptLevel {
     /// `-O1`.
     O1,
@@ -75,7 +73,7 @@ pub enum OptLevel {
 
 /// Cost multipliers a compiler's generated code exhibits, relative to
 /// NVCC `-O3` on the same hardware (1.0 = identical; > 1.0 = slower).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CodegenProfile {
     /// Component ALU time (register allocation quality, scheduling).
     pub compute: f64,

@@ -10,6 +10,8 @@
 //! See DESIGN.md §"GPU + compiler model" for the substitution argument and
 //! `compiler.rs` for the provenance of every calibration constant.
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod compiler;
 pub mod event_sim;

@@ -3,10 +3,8 @@
 //! taken from the vendors' public spec sheets — the paper's tables omit
 //! them because the paper measures real hardware).
 
-use serde::{Deserialize, Serialize};
-
 /// GPU vendor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Vendor {
     /// NVIDIA: streaming multiprocessors, warp size 32, compute capability.
     Nvidia,
@@ -18,7 +16,7 @@ pub enum Vendor {
 ///
 /// NVIDIA's SMs ≈ AMD's CUs and NVIDIA's compute capability ≈ AMD's target
 /// processor (paper §5), so both vendors share this struct.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name, e.g. `"RTX 4090"`.
     pub name: &'static str,

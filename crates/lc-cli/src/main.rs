@@ -3,23 +3,80 @@
 //! ```text
 //! lc list                                         component inventory (Table 1)
 //! lc compress   --pipeline "BIT_4 DIFF_4 RZE_4" IN OUT
-//! lc decompress IN OUT
+//! lc decompress IN OUT [--max-decoded-bytes N]
+//! lc salvage    IN OUT [--max-decoded-bytes N]    recover intact chunks
 //! lc gen-data   [--file NAME] [--scale D] [--out DIR]
 //! lc profile    FILE                              structural statistics
 //! lc simulate   --pipeline "…" [--file NAME] [--gpu NAME] [--compiler C] [--opt 1|3]
 //! ```
+//!
+//! Failures print a single structured line, `error: kind=<kind>
+//! exit=<code> <message>`, and the exit code distinguishes the cause:
+//! 1 usage/I-O, 2 corrupt archive ([`lc_core::DecodeError`]), 3 salvage
+//! completed but lost chunks, 4 decoded size above `--max-decoded-bytes`.
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use gpu_sim::{CompilerId, Direction, OptLevel, SimConfig, ALL_GPUS, RTX_4090};
-use lc_core::{archive, Pipeline};
+use lc_core::{archive, DecodeError, Pipeline};
 use lc_parallel::Pool;
+
+/// Exit codes: generic failure (bad usage, I/O, unknown names).
+const EXIT_GENERIC: u8 = 1;
+/// The archive is corrupt (any [`DecodeError`] except the size limit).
+const EXIT_DECODE: u8 = 2;
+/// Salvage ran to completion but some chunks were unrecoverable.
+const EXIT_SALVAGE_LOSSES: u8 = 3;
+/// The archive declares more decoded bytes than `--max-decoded-bytes`.
+const EXIT_LIMIT: u8 = 4;
+
+/// A classified CLI failure: `kind` and `exit` make scripted callers'
+/// error handling exact; `msg` is for the human.
+struct CliError {
+    kind: &'static str,
+    exit: u8,
+    msg: String,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        Self { kind: "usage", exit: EXIT_GENERIC, msg }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        Self::from(msg.to_string())
+    }
+}
+
+impl From<DecodeError> for CliError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::TooLarge { .. } => {
+                Self { kind: "limit", exit: EXIT_LIMIT, msg: e.to_string() }
+            }
+            _ => Self { kind: "decode", exit: EXIT_DECODE, msg: e.to_string() },
+        }
+    }
+}
+
+impl From<lc_core::stream::StreamError> for CliError {
+    fn from(e: lc_core::stream::StreamError) -> Self {
+        match e {
+            lc_core::stream::StreamError::Decode(d) => Self::from(d),
+            io => Self { kind: "decode", exit: EXIT_DECODE, msg: io.to_string() },
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: lc <list|compress|decompress|gen-data|profile|simulate> … (--help)");
+        eprintln!("usage: lc <list|compress|decompress|salvage|gen-data|profile|simulate> … (--help)");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -27,6 +84,7 @@ fn main() -> ExitCode {
         "list" => cmd_list(),
         "compress" => cmd_compress(rest),
         "decompress" => cmd_decompress(rest),
+        "salvage" => cmd_salvage(rest),
         "gen-data" => cmd_gen_data(rest),
         "profile" => cmd_profile(rest),
         "simulate" => cmd_simulate(rest),
@@ -38,23 +96,46 @@ fn main() -> ExitCode {
                  subcommands:\n  \
                  list                       show all 62 components\n  \
                  compress   --pipeline P IN OUT\n  \
-                 decompress IN OUT\n  \
+                 decompress IN OUT [--max-decoded-bytes N]\n  \
+                 salvage    IN OUT [--max-decoded-bytes N]  recover intact chunks of a damaged archive\n  \
                  gen-data   [--file NAME] [--scale D] [--out DIR]\n  \
                  profile    FILE\n  \
                  simulate   --pipeline P [--file NAME] [--gpu NAME] [--compiler nvcc|clang|hipcc] [--opt 1|3]\n  \
                  bench-components [--file NAME]  CPU throughput of every component\n  \
-                 verify     ARCHIVE [ORIGINAL]    check an archive decodes (and matches ORIGINAL)"
+                 verify     ARCHIVE [ORIGINAL]    check an archive decodes (and matches ORIGINAL)\n\
+                 exit codes: 0 ok, 1 usage/io, 2 corrupt archive, 3 salvage with losses, 4 size limit"
             );
             Ok(())
         }
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(CliError::from(format!("unknown subcommand {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // One structured line; newlines flattened so kind/exit stay
+            // machine-greppable.
+            eprintln!(
+                "error: kind={} exit={} {}",
+                e.kind,
+                e.exit,
+                e.msg.replace('\n', " ")
+            );
+            ExitCode::from(e.exit)
         }
+    }
+}
+
+/// Parse `--max-decoded-bytes N` if present.
+fn max_decoded_bytes(rest: &[String]) -> Result<Option<u64>, CliError> {
+    match rest.iter().position(|a| a == "--max-decoded-bytes") {
+        None => Ok(None),
+        Some(i) => match rest.get(i + 1) {
+            None => Err("--max-decoded-bytes requires a value".into()),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|e| CliError::from(format!("--max-decoded-bytes: {e}"))),
+        },
     }
 }
 
@@ -85,7 +166,7 @@ fn positional(rest: &[String]) -> Vec<&str> {
     out
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), CliError> {
     println!("{:10} {:10} {:>5} {:>6}  component", "name", "kind", "word", "tuple");
     for c in lc_components::all() {
         println!(
@@ -119,7 +200,7 @@ fn parse_pipeline(rest: &[String]) -> Result<Pipeline, String> {
     lc_components::parse_pipeline(text).map_err(|e| e.to_string())
 }
 
-fn cmd_compress(rest: &[String]) -> Result<(), String> {
+fn cmd_compress(rest: &[String]) -> Result<(), CliError> {
     let pipeline = parse_pipeline(rest)?;
     let pos = positional(rest);
     let [input, output] = pos[..] else {
@@ -170,22 +251,32 @@ fn cmd_compress(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_decompress(rest: &[String]) -> Result<(), String> {
+fn cmd_decompress(rest: &[String]) -> Result<(), CliError> {
     let pos = positional(rest);
     let [input, output] = pos[..] else {
-        return Err("usage: lc decompress IN OUT".into());
+        return Err("usage: lc decompress IN OUT [--max-decoded-bytes N]".into());
     };
+    let limit = max_decoded_bytes(rest)?;
     let data = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
     let pool = Pool::with_default_threads();
     let t0 = Instant::now();
     // Both archive flavors are self-describing; dispatch on the magic.
     let out = if data.starts_with(&lc_core::stream::STREAM_MAGIC) {
+        if limit.is_some() {
+            return Err(
+                "--max-decoded-bytes applies to LCRP archives; streams (LCRS) decode \
+                 chunk-by-chunk in bounded memory already"
+                    .into(),
+            );
+        }
         let mut out = Vec::new();
-        lc_core::stream::decode_stream(&mut &data[..], &mut out, lc_components::lookup, &pool)
-            .map_err(|e| e.to_string())?;
+        lc_core::stream::decode_stream(&mut &data[..], &mut out, lc_components::lookup, &pool)?;
         out
     } else {
-        archive::decode(&data, lc_components::lookup, &pool).map_err(|e| e.to_string())?
+        match limit {
+            Some(max) => archive::decode_bounded(&data, lc_components::lookup, &pool, max)?,
+            None => archive::decode(&data, lc_components::lookup, &pool)?,
+        }
     };
     let dt = t0.elapsed().as_secs_f64();
     std::fs::write(output, &out).map_err(|e| format!("{output}: {e}"))?;
@@ -200,7 +291,49 @@ fn cmd_decompress(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen_data(rest: &[String]) -> Result<(), String> {
+fn cmd_salvage(rest: &[String]) -> Result<(), CliError> {
+    let pos = positional(rest);
+    let [input, output] = pos[..] else {
+        return Err("usage: lc salvage IN OUT [--max-decoded-bytes N]".into());
+    };
+    let limit = max_decoded_bytes(rest)?;
+    let data = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let pool = Pool::with_default_threads();
+    let t0 = Instant::now();
+    let (out, report) = match limit {
+        Some(max) => archive::decode_salvage_bounded(&data, lc_components::lookup, &pool, max)?,
+        None => archive::decode_salvage(&data, lc_components::lookup, &pool)?,
+    };
+    let dt = t0.elapsed().as_secs_f64();
+    std::fs::write(output, &out).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{} -> {}: {} of {} chunks recovered ({} bytes) in {:.3}s",
+        input,
+        output,
+        report.recovered,
+        report.recovered + report.lost,
+        out.len(),
+        dt
+    );
+    if !report.archive_crc_ok {
+        println!("  archive checksum mismatch: undetected damage may remain in recovered chunks");
+    }
+    for f in &report.errors {
+        println!("  chunk {}: {} (zero-filled)", f.chunk, f.error);
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        let msg = if report.lost > 0 {
+            format!("{} chunk(s) unrecoverable and zero-filled in {output}", report.lost)
+        } else {
+            format!("archive checksum mismatch; {output} may contain undetected damage")
+        };
+        Err(CliError { kind: "salvage", exit: EXIT_SALVAGE_LOSSES, msg })
+    }
+}
+
+fn cmd_gen_data(rest: &[String]) -> Result<(), CliError> {
     let scale: u32 = flag_value(rest, "--scale").unwrap_or("512").parse().map_err(|e| format!("--scale: {e}"))?;
     let out_dir = flag_value(rest, "--out").unwrap_or("sp-data");
     std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
@@ -218,7 +351,7 @@ fn cmd_gen_data(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_profile(rest: &[String]) -> Result<(), String> {
+fn cmd_profile(rest: &[String]) -> Result<(), CliError> {
     let pos = positional(rest);
     let [path] = pos[..] else {
         return Err("usage: lc profile FILE".into());
@@ -234,7 +367,7 @@ fn cmd_profile(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_verify(rest: &[String]) -> Result<(), String> {
+fn cmd_verify(rest: &[String]) -> Result<(), CliError> {
     let pos = positional(rest);
     let (archive_path, original) = match pos[..] {
         [a] => (a, None),
@@ -245,12 +378,10 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
     let pool = Pool::with_default_threads();
     let out = if data.starts_with(&lc_core::stream::STREAM_MAGIC) {
         let mut out = Vec::new();
-        lc_core::stream::decode_stream(&mut &data[..], &mut out, lc_components::lookup, &pool)
-            .map_err(|e| format!("archive is corrupt: {e}"))?;
+        lc_core::stream::decode_stream(&mut &data[..], &mut out, lc_components::lookup, &pool)?;
         out
     } else {
-        archive::decode(&data, lc_components::lookup, &pool)
-            .map_err(|e| format!("archive is corrupt: {e}"))?
+        archive::decode(&data, lc_components::lookup, &pool)?
     };
     println!("{archive_path}: decodes cleanly to {} bytes", out.len());
     if let Some(orig_path) = original {
@@ -262,13 +393,14 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
                 "decoded output differs from {orig_path} ({} vs {} bytes)",
                 out.len(),
                 orig.len()
-            ));
+            )
+            .into());
         }
     }
     Ok(())
 }
 
-fn cmd_bench_components(rest: &[String]) -> Result<(), String> {
+fn cmd_bench_components(rest: &[String]) -> Result<(), CliError> {
     let file_name = flag_value(rest, "--file").unwrap_or("obs_temp");
     let sp = lc_data::file_by_name(file_name).ok_or_else(|| format!("unknown file {file_name:?}"))?;
     let data = lc_data::generate(sp, lc_data::Scale::denominator(2048));
@@ -326,7 +458,7 @@ fn cmd_bench_components(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(rest: &[String]) -> Result<(), String> {
+fn cmd_simulate(rest: &[String]) -> Result<(), CliError> {
     let pipeline_text = flag_value(rest, "--pipeline").ok_or("missing --pipeline")?;
     let file_name = flag_value(rest, "--file").unwrap_or("num_brain");
     let gpu_name = flag_value(rest, "--gpu").unwrap_or(RTX_4090.name);
@@ -334,19 +466,19 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
         "nvcc" => CompilerId::Nvcc,
         "clang" => CompilerId::Clang,
         "hipcc" => CompilerId::Hipcc,
-        other => return Err(format!("unknown compiler {other:?}")),
+        other => return Err(format!("unknown compiler {other:?}").into()),
     };
     let opt = match flag_value(rest, "--opt").unwrap_or("3") {
         "1" => OptLevel::O1,
         "3" => OptLevel::O3,
-        other => return Err(format!("--opt must be 1 or 3, got {other:?}")),
+        other => return Err(format!("--opt must be 1 or 3, got {other:?}").into()),
     };
     let gpu = ALL_GPUS
         .iter()
         .find(|g| g.name == gpu_name)
         .ok_or_else(|| format!("unknown GPU {gpu_name:?} (see Tables 4/5)"))?;
     if !compiler.supports(gpu.vendor) {
-        return Err(format!("{} cannot target {}", compiler.label(), gpu.name));
+        return Err(format!("{} cannot target {}", compiler.label(), gpu.name).into());
     }
     let cfg = SimConfig::new(gpu, compiler, opt);
 

@@ -170,3 +170,97 @@ fn verify_subcommand_accepts_good_and_rejects_corrupt() {
     let out = lc().arg("verify").arg(&archive).output().unwrap();
     assert!(!out.status.success());
 }
+
+/// Build a small archive and return (original bytes, archive path).
+fn small_archive(tag: &str) -> (Vec<u8>, std::path::PathBuf) {
+    let src = tmp(&format!("{tag}.sp"));
+    let archive = tmp(&format!("{tag}.lc"));
+    let file = lc_data::file_by_name("obs_info").unwrap();
+    let data = lc_data::generate(file, lc_data::Scale::tiny());
+    std::fs::write(&src, &data).unwrap();
+    let out = lc()
+        .args(["compress", "--pipeline", "TCMS_4 DIFF_4 RZE_4"])
+        .arg(&src)
+        .arg(&archive)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    (data, archive)
+}
+
+#[test]
+fn corrupt_archive_exits_2_with_structured_error() {
+    let (_, archive) = small_archive("exit2");
+    let mut bytes = std::fs::read(&archive).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&archive, &bytes).unwrap();
+
+    let out = lc().arg("decompress").arg(&archive).arg(tmp("exit2.out")).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.lines().count() == 1, "single-line error, got {err:?}");
+    assert!(err.contains("kind=decode"), "{err}");
+    assert!(err.contains("exit=2"), "{err}");
+}
+
+#[test]
+fn salvage_recovers_intact_chunks_and_exits_3() {
+    let (data, archive) = small_archive("salv");
+    let mut bytes = std::fs::read(&archive).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&archive, &bytes).unwrap();
+
+    let restored = tmp("salv.out");
+    let out = lc().arg("salvage").arg(&archive).arg(&restored).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("kind=salvage"), "{err}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("chunks recovered"), "{text}");
+
+    // Output has the original length; damage is confined to one
+    // zero-filled 16 KiB chunk.
+    let salvaged = std::fs::read(&restored).unwrap();
+    assert_eq!(salvaged.len(), data.len());
+    let differing = salvaged.iter().zip(&data).filter(|(a, b)| a != b).count();
+    assert!(differing > 0 && differing <= 16 * 1024, "differing bytes: {differing}");
+}
+
+#[test]
+fn salvage_of_clean_archive_exits_0() {
+    let (data, archive) = small_archive("salvclean");
+    let restored = tmp("salvclean.out");
+    let out = lc().arg("salvage").arg(&archive).arg(&restored).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read(&restored).unwrap(), data);
+}
+
+#[test]
+fn max_decoded_bytes_guards_against_bombs_with_exit_4() {
+    let (data, archive) = small_archive("limit");
+    let out = lc()
+        .args(["decompress"])
+        .arg(&archive)
+        .arg(tmp("limit.out"))
+        .args(["--max-decoded-bytes", "100"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("kind=limit"), "{err}");
+    assert!(err.contains("exit=4"), "{err}");
+
+    // A generous limit decodes normally.
+    let restored = tmp("limit-ok.out");
+    let out = lc()
+        .args(["decompress"])
+        .arg(&archive)
+        .arg(&restored)
+        .args(["--max-decoded-bytes", "10000000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read(&restored).unwrap(), data);
+}

@@ -18,6 +18,8 @@
 //! Use [`registry`] to enumerate or look up components and to parse
 //! pipeline descriptions such as `"BIT_4 DIFF_4 RZE_4"`.
 
+#![forbid(unsafe_code)]
+
 pub mod mutators;
 pub mod predictors;
 pub mod presets;

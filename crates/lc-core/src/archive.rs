@@ -4,15 +4,22 @@
 //!
 //! ```text
 //! magic  b"LCRP"                      4 bytes
-//! version u8 (= 2)                    1 byte
+//! version u8 (= 3)                    1 byte
 //! stage count u8                      1 byte
 //! per stage: name_len u8, name bytes
 //! original length u64                 8 bytes
 //! CRC-32 of the original input u32    4 bytes
 //! chunk count u32                     4 bytes
-//! per chunk: mask u8, stored_len u32  (mask bit s = stage s was applied)
+//! per chunk (v3, 9 bytes): mask u8, stored_len u32, chunk CRC-32 u32
+//!   (mask bit s = stage s was applied; the CRC covers the chunk's
+//!    ORIGINAL uncompressed bytes, so it validates the recovered
+//!    plaintext — catching payload damage and decoder bugs alike)
 //! payloads, concatenated in chunk order
 //! ```
+//!
+//! Version 2 archives (5-byte table entries without the per-chunk CRC)
+//! are still decoded; the per-chunk integrity and salvage features
+//! simply degrade to structural-only detection for them.
 //!
 //! The encoder processes chunks in parallel; each chunk's payload offset is
 //! produced by the decoupled look-back scan from `lc-parallel`, mirroring
@@ -29,6 +36,13 @@
 //! makes RLE_1/2/8 decode quickly on 4-byte float data while RLE_4 must
 //! actually decompress). Non-reducers never change the size and are always
 //! applied.
+//!
+//! Fault tolerance: [`decode`] is all-or-nothing — any damage is a hard
+//! [`DecodeError`]. [`decode_salvage`] is the degraded-mode counterpart:
+//! it decodes every chunk that still validates, zero-fills the regions of
+//! chunks that do not, and reports per-chunk faults in a
+//! [`SalvageReport`] instead of aborting. [`decode_bounded`] adds a
+//! decompression-bomb guard in front of either path.
 
 use std::sync::Arc;
 
@@ -42,14 +56,23 @@ use crate::stats::{KernelStats, PipelineStats, StageStats};
 
 /// Archive magic bytes.
 pub const MAGIC: [u8; 4] = *b"LCRP";
-/// Current format version (2 added the CRC-32 integrity field).
-pub const VERSION: u8 = 2;
+/// Current format version (2 added the whole-input CRC-32; 3 added a
+/// per-chunk CRC-32 to the table, enabling chunk-granular salvage).
+pub const VERSION: u8 = 3;
+/// Oldest format version the decoder still accepts.
+pub const MIN_VERSION: u8 = 2;
 /// Maximum number of stages representable in the per-chunk mask.
 pub const MAX_STAGES: usize = 8;
+/// Bytes per chunk-table entry in format v2: mask u8 + stored_len u32.
+pub const TABLE_ENTRY_V2: usize = 5;
+/// Bytes per chunk-table entry in format v3: v2 fields + chunk CRC-32.
+pub const TABLE_ENTRY_V3: usize = 9;
 
 /// Parsed archive header.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Archive {
+    /// Format version this archive was serialized with (2 or 3).
+    pub version: u8,
     /// Stage component names in encode order.
     pub stage_names: Vec<String>,
     /// Uncompressed length in bytes.
@@ -64,6 +87,49 @@ pub struct Archive {
     pub payload_offset: usize,
 }
 
+impl Archive {
+    /// Bytes per chunk-table entry for this archive's format version.
+    pub fn entry_size(&self) -> usize {
+        if self.version >= 3 {
+            TABLE_ENTRY_V3
+        } else {
+            TABLE_ENTRY_V2
+        }
+    }
+}
+
+/// Outcome of one unrecoverable chunk in [`decode_salvage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkFault {
+    /// Index of the chunk that could not be recovered.
+    pub chunk: u32,
+    /// Why it could not be recovered.
+    pub error: DecodeError,
+}
+
+/// What [`decode_salvage`] managed to recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Chunks decoded and (for v3) validated against their per-chunk CRC.
+    pub recovered: u32,
+    /// Chunks whose output region was zero-filled instead.
+    pub lost: u32,
+    /// One entry per lost chunk, in chunk order.
+    pub errors: Vec<ChunkFault>,
+    /// Whether the assembled output matched the whole-archive CRC-32.
+    /// Always `false` when chunks were lost; for v2 archives a `false`
+    /// here with zero losses means value-level damage the 5-byte table
+    /// cannot localize.
+    pub archive_crc_ok: bool,
+}
+
+impl SalvageReport {
+    /// True when every chunk decoded and the whole-archive CRC matched.
+    pub fn is_clean(&self) -> bool {
+        self.lost == 0 && self.archive_crc_ok
+    }
+}
+
 /// Result of [`encode_with_stats`].
 #[derive(Debug, Clone)]
 pub struct EncodeResult {
@@ -76,6 +142,8 @@ pub struct EncodeResult {
 struct ChunkOutcome {
     data: Vec<u8>,
     mask: u8,
+    /// CRC-32 of the chunk's original (uncompressed) bytes.
+    crc: u32,
     stage_records: Vec<StageRecord>,
 }
 
@@ -172,7 +240,7 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
         .collect();
 
     // Phase 2: serialize header + chunk table, then parallel payload copy.
-    let mut archive = Vec::with_capacity(64 + n_chunks * 5 + payload_total);
+    let mut archive = Vec::with_capacity(64 + n_chunks * TABLE_ENTRY_V3 + payload_total);
     archive.extend_from_slice(&MAGIC);
     archive.push(VERSION);
     archive.push(stages.len() as u8);
@@ -187,6 +255,7 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
     for o in &outcomes {
         archive.push(o.mask);
         archive.extend_from_slice(&(o.data.len() as u32).to_le_bytes());
+        archive.extend_from_slice(&o.crc.to_le_bytes());
     }
     let payload_start = archive.len();
     archive.resize(payload_start + payload_total, 0);
@@ -232,12 +301,13 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
         stages: stage_stats,
         chunks: n_chunks as u64,
         uncompressed_bytes: input.len() as u64,
-        compressed_bytes: (payload_total + n_chunks * 5) as u64,
+        compressed_bytes: (payload_total + n_chunks * TABLE_ENTRY_V3) as u64,
     };
     EncodeResult { archive, stats }
 }
 
 fn encode_one_chunk(stages: &[Arc<dyn Component>], chunk: &[u8]) -> ChunkOutcome {
+    let crc = crate::checksum::crc32(chunk);
     let mut cur: Vec<u8> = chunk.to_vec();
     let mut next: Vec<u8> = Vec::with_capacity(chunk.len() + chunk.len() / 4 + 64);
     let mut mask = 0u8;
@@ -270,28 +340,48 @@ fn encode_one_chunk(stages: &[Arc<dyn Component>], chunk: &[u8]) -> ChunkOutcome
     ChunkOutcome {
         data: cur,
         mask,
+        crc,
         stage_records,
     }
 }
 
+/// Read a little-endian u32 at `at`; caller must have bounds-checked.
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+/// Read a little-endian u64 at `at`; caller must have bounds-checked.
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(raw)
+}
+
 /// Parse just the header of an archive.
+///
+/// Accepts format versions [`MIN_VERSION`]..=[`VERSION`]. Every field
+/// read is bounds-checked against untrusted input: malformed bytes yield
+/// a [`DecodeError`], never a panic.
 pub fn parse_header(bytes: &[u8]) -> Result<Archive, DecodeError> {
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize, context: &'static str| -> Result<usize, DecodeError> {
-        if *pos + n > bytes.len() {
-            return Err(DecodeError::Truncated { context });
+        match pos.checked_add(n) {
+            Some(end) if end <= bytes.len() => {
+                let at = *pos;
+                *pos = end;
+                Ok(at)
+            }
+            _ => Err(DecodeError::Truncated { context }),
         }
-        let at = *pos;
-        *pos += n;
-        Ok(at)
     };
     let at = take(&mut pos, 4, "magic")?;
     if bytes[at..at + 4] != MAGIC {
         return Err(DecodeError::BadMagic);
     }
     let at = take(&mut pos, 1, "version")?;
-    if bytes[at] != VERSION {
-        return Err(DecodeError::BadVersion(bytes[at]));
+    let version = bytes[at];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(DecodeError::BadVersion(version));
     }
     let at = take(&mut pos, 1, "stage count")?;
     let n_stages = bytes[at] as usize;
@@ -308,18 +398,22 @@ pub fn parse_header(bytes: &[u8]) -> Result<Archive, DecodeError> {
         stage_names.push(name.to_string());
     }
     let at = take(&mut pos, 8, "original length")?;
-    let original_len = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+    let original_len = le_u64(bytes, at);
     let at = take(&mut pos, 4, "checksum")?;
-    let crc32 = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    let crc32 = le_u32(bytes, at);
     let at = take(&mut pos, 4, "chunk count")?;
-    let chunks = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    let chunks = le_u32(bytes, at);
     if chunks as u64 != chunk_count(original_len as usize) as u64 {
         return Err(DecodeError::Corrupt { context: "chunk count vs length" });
     }
+    let entry_size = if version >= 3 { TABLE_ENTRY_V3 } else { TABLE_ENTRY_V2 };
+    let table_len = (chunks as usize)
+        .checked_mul(entry_size)
+        .ok_or(DecodeError::Truncated { context: "chunk table" })?;
     let table_offset = pos;
-    let at = take(&mut pos, chunks as usize * 5, "chunk table")?;
-    let _ = at;
+    take(&mut pos, table_len, "chunk table")?;
     Ok(Archive {
+        version,
         stage_names,
         original_len,
         crc32,
@@ -327,6 +421,36 @@ pub fn parse_header(bytes: &[u8]) -> Result<Archive, DecodeError> {
         table_offset,
         payload_offset: pos,
     })
+}
+
+/// The parsed per-chunk table of an archive.
+struct ChunkTable {
+    masks: Vec<u8>,
+    /// Stored payload sizes, widened for the prefix scan.
+    sizes: Vec<u64>,
+    /// Per-chunk CRC-32 of the original bytes; `None` for v2 archives.
+    crcs: Option<Vec<u32>>,
+}
+
+fn parse_chunk_table(bytes: &[u8], header: &Archive) -> ChunkTable {
+    let n_chunks = header.chunks as usize;
+    let es = header.entry_size();
+    let table = &bytes[header.table_offset..header.payload_offset];
+    let mut masks = Vec::with_capacity(n_chunks);
+    let mut sizes = Vec::with_capacity(n_chunks);
+    let mut crcs = if header.version >= 3 {
+        Some(Vec::with_capacity(n_chunks))
+    } else {
+        None
+    };
+    for i in 0..n_chunks {
+        masks.push(table[i * es]);
+        sizes.push(le_u32(table, i * es + 1) as u64);
+        if let Some(c) = crcs.as_mut() {
+            c.push(le_u32(table, i * es + 5));
+        }
+    }
+    ChunkTable { masks, sizes, crcs }
 }
 
 /// Decode an archive, resolving stage names through `resolve`.
@@ -354,13 +478,7 @@ where
         .collect::<Result<_, _>>()?;
 
     let n_chunks = header.chunks as usize;
-    let table = &bytes[header.table_offset..header.payload_offset];
-    let mut masks = Vec::with_capacity(n_chunks);
-    let mut sizes = Vec::with_capacity(n_chunks);
-    for i in 0..n_chunks {
-        masks.push(table[i * 5]);
-        sizes.push(u32::from_le_bytes(table[i * 5 + 1..i * 5 + 5].try_into().unwrap()) as u64);
-    }
+    let ChunkTable { masks, sizes, crcs } = parse_chunk_table(bytes, &header);
     // Chunk payload start offsets: a prefix scan, as in the GPU decoder.
     let (offsets, payload_total) = lc_parallel::scan::parallel_exclusive_scan(pool, &sizes);
     let payload = &bytes[header.payload_offset..];
@@ -379,6 +497,7 @@ where
     let masks_ref = &masks;
     let sizes_ref = &sizes;
     let offsets_ref = &offsets;
+    let crcs_ref = crcs.as_deref();
     type WorkerAcc = (Vec<StageRecord>, Option<DecodeError>);
     let (records, first_err) = pool.fold(
         n_chunks,
@@ -402,6 +521,19 @@ where
                 &mut acc.0,
             ) {
                 Ok(decoded) => {
+                    // v3: validate the recovered plaintext against the
+                    // per-chunk CRC before it reaches the output buffer.
+                    if let Some(crcs) = crcs_ref {
+                        let actual = crate::checksum::crc32(&decoded);
+                        if actual != crcs[i] {
+                            acc.1 = Some(DecodeError::ChunkChecksumMismatch {
+                                chunk: i as u32,
+                                expected: crcs[i],
+                                actual,
+                            });
+                            return;
+                        }
+                    }
                     // SAFETY: chunk output regions tile `out` disjointly.
                     unsafe {
                         std::ptr::copy_nonoverlapping(
@@ -467,9 +599,163 @@ where
         stages: stage_stats,
         chunks: n_chunks as u64,
         uncompressed_bytes: header.original_len,
-        compressed_bytes: (payload_total as usize + n_chunks * 5) as u64,
+        compressed_bytes: (payload_total as usize + n_chunks * header.entry_size()) as u64,
     };
     Ok((out, stats))
+}
+
+/// Like [`decode`], but refuse archives declaring more than
+/// `max_decoded_bytes` of output before allocating anything.
+///
+/// This is the decompression-bomb guard: a hostile archive can declare an
+/// arbitrary `original_len`, and plain [`decode`] would allocate it.
+pub fn decode_bounded<R>(
+    bytes: &[u8],
+    resolve: R,
+    pool: &Pool,
+    max_decoded_bytes: u64,
+) -> Result<Vec<u8>, DecodeError>
+where
+    R: Fn(&str) -> Option<Arc<dyn Component>>,
+{
+    let header = parse_header(bytes)?;
+    if header.original_len > max_decoded_bytes {
+        return Err(DecodeError::TooLarge {
+            declared: header.original_len,
+            limit: max_decoded_bytes,
+        });
+    }
+    decode(bytes, resolve, pool)
+}
+
+/// Best-effort decode of a damaged archive.
+///
+/// Where [`decode`] aborts on the first fault, this decodes every chunk
+/// independently and degrades per chunk:
+///
+/// * a chunk whose payload extent lies (partly) beyond the available
+///   bytes — mid-stream truncation — is lost as `Truncated`;
+/// * a chunk whose decoder returns an error is lost with that error;
+/// * a chunk whose decoder **panics** is caught and lost as `Corrupt`
+///   (decoders must not panic, but salvage is exactly the place to
+///   survive the ones that do);
+/// * a v3 chunk whose decoded bytes miss their per-chunk CRC is lost as
+///   `ChunkChecksumMismatch`.
+///
+/// Lost chunks' output regions are zero-filled, so the returned buffer
+/// always has the declared length with recovered chunks at their exact
+/// offsets. Hard errors remain only for damage that makes per-chunk
+/// recovery meaningless: unusable header or chunk table, or an unknown
+/// component.
+///
+/// For v2 archives (no per-chunk CRC) only structural faults are
+/// detectable per chunk; value-level damage shows up solely as
+/// `archive_crc_ok == false` in the report.
+pub fn decode_salvage<R>(
+    bytes: &[u8],
+    resolve: R,
+    pool: &Pool,
+) -> Result<(Vec<u8>, SalvageReport), DecodeError>
+where
+    R: Fn(&str) -> Option<Arc<dyn Component>>,
+{
+    let header = parse_header(bytes)?;
+    let stages: Vec<Arc<dyn Component>> = header
+        .stage_names
+        .iter()
+        .map(|n| resolve(n).ok_or_else(|| DecodeError::UnknownComponent(n.clone())))
+        .collect::<Result<_, _>>()?;
+
+    let n_chunks = header.chunks as usize;
+    let ChunkTable { masks, sizes, crcs } = parse_chunk_table(bytes, &header);
+    let (offsets, _) = lc_parallel::scan::parallel_exclusive_scan(pool, &sizes);
+    let payload = &bytes[header.payload_offset..];
+
+    let original_len = header.original_len as usize;
+    let stages_ref = &stages;
+    let crcs_ref = crcs.as_deref();
+
+    // Decode all chunks independently; panics are fenced per chunk so one
+    // poisoned payload cannot take down its siblings.
+    let results: Vec<Result<Vec<u8>, DecodeError>> = pool.map(n_chunks, |i| {
+        let start = offsets[i] as usize;
+        let end = start.saturating_add(sizes[i] as usize);
+        if end > payload.len() {
+            return Err(DecodeError::Truncated { context: "chunk payload" });
+        }
+        let region = chunk_range(i, original_len);
+        let mut records = vec![StageRecord::default(); stages_ref.len()];
+        let decoded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            decode_one_chunk(
+                stages_ref,
+                masks[i],
+                &payload[start..end],
+                region.len(),
+                &mut records,
+            )
+        }))
+        .unwrap_or(Err(DecodeError::Corrupt { context: "decoder panicked" }))?;
+        if let Some(crcs) = crcs_ref {
+            let actual = crate::checksum::crc32(&decoded);
+            if actual != crcs[i] {
+                return Err(DecodeError::ChunkChecksumMismatch {
+                    chunk: i as u32,
+                    expected: crcs[i],
+                    actual,
+                });
+            }
+        }
+        Ok(decoded)
+    });
+
+    // Assemble: recovered chunks at their exact offsets, losses zeroed.
+    let mut out = vec![0u8; original_len];
+    let mut errors = Vec::new();
+    let mut recovered = 0u32;
+    for (i, res) in results.into_iter().enumerate() {
+        match res {
+            Ok(decoded) => {
+                let region = chunk_range(i, original_len);
+                out[region].copy_from_slice(&decoded);
+                recovered += 1;
+            }
+            Err(error) => errors.push(ChunkFault {
+                chunk: i as u32,
+                error,
+            }),
+        }
+    }
+    let lost = errors.len() as u32;
+    let archive_crc_ok = crate::checksum::crc32(&out) == header.crc32;
+    Ok((
+        out,
+        SalvageReport {
+            recovered,
+            lost,
+            errors,
+            archive_crc_ok,
+        },
+    ))
+}
+
+/// [`decode_salvage`] behind the same size guard as [`decode_bounded`].
+pub fn decode_salvage_bounded<R>(
+    bytes: &[u8],
+    resolve: R,
+    pool: &Pool,
+    max_decoded_bytes: u64,
+) -> Result<(Vec<u8>, SalvageReport), DecodeError>
+where
+    R: Fn(&str) -> Option<Arc<dyn Component>>,
+{
+    let header = parse_header(bytes)?;
+    if header.original_len > max_decoded_bytes {
+        return Err(DecodeError::TooLarge {
+            declared: header.original_len,
+            limit: max_decoded_bytes,
+        });
+    }
+    decode_salvage(bytes, resolve, pool)
 }
 
 fn decode_one_chunk(
@@ -643,8 +929,156 @@ mod tests {
         let data = vec![7u8; CHUNK_SIZE + 5];
         let archive = encode(&pipeline(), &data, &pool);
         let h = parse_header(&archive).unwrap();
+        assert_eq!(h.version, VERSION);
+        assert_eq!(h.entry_size(), TABLE_ENTRY_V3);
         assert_eq!(h.stage_names, vec!["ADD1_1", "DTZ_1"]);
         assert_eq!(h.original_len, data.len() as u64);
         assert_eq!(h.chunks, 2);
+    }
+
+    /// Incompressible multi-chunk input: DTZ skips every chunk, so each
+    /// chunk's payload is exactly CHUNK_SIZE AddOne'd bytes — flipping a
+    /// payload byte damages exactly one chunk, with no structural error.
+    fn incompressible(chunks: usize) -> Vec<u8> {
+        (0..CHUNK_SIZE * chunks).map(|i| (i % 200) as u8 + 1).collect()
+    }
+
+    /// Rewrite a v3 archive as v2 (drop per-chunk CRCs) to exercise the
+    /// backward-compatibility path without a frozen binary fixture.
+    fn downgrade_to_v2(archive: &[u8]) -> Vec<u8> {
+        let h = parse_header(archive).unwrap();
+        assert_eq!(h.version, 3);
+        let mut v2 = Vec::with_capacity(archive.len());
+        v2.extend_from_slice(&archive[..4]);
+        v2.push(2);
+        v2.extend_from_slice(&archive[5..h.table_offset]);
+        for i in 0..h.chunks as usize {
+            let at = h.table_offset + i * TABLE_ENTRY_V3;
+            v2.extend_from_slice(&archive[at..at + TABLE_ENTRY_V2]);
+        }
+        v2.extend_from_slice(&archive[h.payload_offset..]);
+        v2
+    }
+
+    #[test]
+    fn v2_archives_still_decode() {
+        let pool = Pool::new(4);
+        let data = incompressible(3);
+        let v2 = downgrade_to_v2(&encode(&pipeline(), &data, &pool));
+        let h = parse_header(&v2).unwrap();
+        assert_eq!(h.version, 2);
+        assert_eq!(h.entry_size(), TABLE_ENTRY_V2);
+        assert_eq!(decode(&v2, resolver, &pool).unwrap(), data);
+    }
+
+    #[test]
+    fn chunk_crc_localizes_value_damage() {
+        let pool = Pool::new(4);
+        let data = incompressible(4);
+        let mut archive = encode(&pipeline(), &data, &pool);
+        let h = parse_header(&archive).unwrap();
+        // Every chunk stored at full size (DTZ skipped): chunk 2's payload
+        // starts 2*CHUNK_SIZE into the payload region.
+        archive[h.payload_offset + 2 * CHUNK_SIZE + 100] ^= 0xFF;
+        match decode(&archive, resolver, &pool).unwrap_err() {
+            DecodeError::ChunkChecksumMismatch { chunk, .. } => assert_eq!(chunk, 2),
+            other => panic!("expected ChunkChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn salvage_clean_archive_is_clean() {
+        let pool = Pool::new(4);
+        let data = incompressible(3);
+        let archive = encode(&pipeline(), &data, &pool);
+        let (out, report) = decode_salvage(&archive, resolver, &pool).unwrap();
+        assert_eq!(out, data);
+        assert!(report.is_clean());
+        assert_eq!(report.recovered, 3);
+        assert_eq!(report.lost, 0);
+        assert!(report.errors.is_empty());
+    }
+
+    #[test]
+    fn salvage_loses_exactly_the_damaged_chunks() {
+        let pool = Pool::new(4);
+        let data = incompressible(5);
+        let mut archive = encode(&pipeline(), &data, &pool);
+        let h = parse_header(&archive).unwrap();
+        for damaged in [1usize, 3] {
+            archive[h.payload_offset + damaged * CHUNK_SIZE + 7] ^= 0x55;
+        }
+        let (out, report) = decode_salvage(&archive, resolver, &pool).unwrap();
+        assert_eq!(report.recovered, 3);
+        assert_eq!(report.lost, 2);
+        assert!(!report.archive_crc_ok);
+        assert_eq!(
+            report.errors.iter().map(|f| f.chunk).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        for i in 0..5 {
+            let r = chunk_range(i, data.len());
+            if i == 1 || i == 3 {
+                assert!(out[r].iter().all(|&b| b == 0), "chunk {i} zero-filled");
+            } else {
+                assert_eq!(out[r.clone()], data[r], "chunk {i} recovered");
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_survives_mid_stream_truncation() {
+        let pool = Pool::new(4);
+        let data = incompressible(4);
+        let archive = encode(&pipeline(), &data, &pool);
+        let h = parse_header(&archive).unwrap();
+        // Cut inside chunk 2's payload: chunks 0 and 1 stay whole, chunk 2
+        // is partial, chunk 3 is gone.
+        let cut = &archive[..h.payload_offset + 2 * CHUNK_SIZE + 10];
+        let (out, report) = decode_salvage(cut, resolver, &pool).unwrap();
+        assert_eq!(report.recovered, 2);
+        assert_eq!(report.lost, 2);
+        assert!(report
+            .errors
+            .iter()
+            .all(|f| matches!(f.error, DecodeError::Truncated { .. })));
+        assert_eq!(out[..2 * CHUNK_SIZE], data[..2 * CHUNK_SIZE]);
+        assert!(out[2 * CHUNK_SIZE..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn salvage_v2_reports_value_damage_via_archive_crc_only() {
+        let pool = Pool::new(4);
+        let data = incompressible(3);
+        let mut v2 = downgrade_to_v2(&encode(&pipeline(), &data, &pool));
+        let h = parse_header(&v2).unwrap();
+        v2[h.payload_offset + CHUNK_SIZE + 9] ^= 0x01;
+        let (_, report) = decode_salvage(&v2, resolver, &pool).unwrap();
+        // Without per-chunk CRCs the damaged chunk decodes "successfully";
+        // only the whole-archive CRC betrays the corruption.
+        assert_eq!(report.lost, 0);
+        assert!(!report.archive_crc_ok);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn bounded_decode_rejects_bombs_before_allocating() {
+        let pool = Pool::new(2);
+        let data = incompressible(2);
+        let archive = encode(&pipeline(), &data, &pool);
+        let err = decode_bounded(&archive, resolver, &pool, data.len() as u64 - 1).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::TooLarge {
+                declared: data.len() as u64,
+                limit: data.len() as u64 - 1,
+            }
+        );
+        assert_eq!(
+            decode_bounded(&archive, resolver, &pool, data.len() as u64).unwrap(),
+            data
+        );
+        let err = decode_salvage_bounded(&archive, resolver, &pool, 16).unwrap_err();
+        assert!(matches!(err, DecodeError::TooLarge { .. }));
     }
 }

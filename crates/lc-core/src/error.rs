@@ -66,6 +66,25 @@ pub enum DecodeError {
         /// CRC-32 of what was actually decoded.
         actual: u32,
     },
+    /// One chunk's decoded bytes do not match its per-chunk CRC-32
+    /// (archive format v3). Identifies the damaged chunk, which is what
+    /// [`crate::archive::decode_salvage`] exploits to recover the rest.
+    ChunkChecksumMismatch {
+        /// Index of the failing chunk.
+        chunk: u32,
+        /// CRC-32 recorded at encode time.
+        expected: u32,
+        /// CRC-32 of what was actually decoded.
+        actual: u32,
+    },
+    /// The archive declares a decoded size above the caller's limit
+    /// (decompression-bomb guard; the output buffer is never allocated).
+    TooLarge {
+        /// Size the archive header declares.
+        declared: u64,
+        /// Limit the caller imposed.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -81,6 +100,15 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::ChecksumMismatch { expected, actual } => {
                 write!(f, "checksum mismatch: decoded {actual:#010x}, archive declared {expected:#010x}")
+            }
+            DecodeError::ChunkChecksumMismatch { chunk, expected, actual } => {
+                write!(
+                    f,
+                    "chunk {chunk} checksum mismatch: decoded {actual:#010x}, archive declared {expected:#010x}"
+                )
+            }
+            DecodeError::TooLarge { declared, limit } => {
+                write!(f, "archive declares {declared} decoded bytes, above the {limit}-byte limit")
             }
         }
     }
@@ -107,6 +135,23 @@ mod tests {
             "decoded length 9 differs from declared 10"
         );
         assert_eq!(DecodeError::BadMagic.to_string(), "not an LC archive (bad magic)");
+        assert_eq!(
+            DecodeError::ChunkChecksumMismatch {
+                chunk: 3,
+                expected: 0x11,
+                actual: 0x22
+            }
+            .to_string(),
+            "chunk 3 checksum mismatch: decoded 0x00000022, archive declared 0x00000011"
+        );
+        assert_eq!(
+            DecodeError::TooLarge {
+                declared: 1000,
+                limit: 10
+            }
+            .to_string(),
+            "archive declares 1000 decoded bytes, above the 10-byte limit"
+        );
     }
 
     #[test]

@@ -8,13 +8,11 @@
 //! (GPU, compiler, optimization level) — this is the substitution that
 //! stands in for the paper's physical measurements.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters describing one kernel execution (or an aggregate of many).
 ///
 /// All counters are totals across the whole (simulated) grid, not
 /// per-thread values; `gpu-sim` divides by the configured parallelism.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct KernelStats {
     /// Words processed (word size is a property of the component).
     pub words: u64,
@@ -96,7 +94,7 @@ impl KernelStats {
 }
 
 /// Per-stage aggregate over every chunk of an encode or decode run.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct StageStats {
     /// Component name (e.g. `"RLE_4"`).
     pub component: String,
@@ -114,7 +112,7 @@ pub struct StageStats {
 }
 
 /// Aggregate statistics for one whole-pipeline encode or decode run.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct PipelineStats {
     /// One entry per pipeline stage, in stage order.
     pub stages: Vec<StageStats>,

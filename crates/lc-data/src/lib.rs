@@ -20,6 +20,8 @@
 //! Generation is deterministic: a given `(file, scale)` pair always yields
 //! identical bytes, across runs and platforms.
 
+#![forbid(unsafe_code)]
+
 pub mod dp;
 pub mod generators;
 pub mod profile;
@@ -114,6 +116,12 @@ impl Scale {
     /// Tiny scale for unit tests and Criterion benches.
     pub fn tiny() -> Self {
         Self::denominator(8192)
+    }
+
+    /// The denominator `d` this scale was built with (1 = paper size).
+    /// Stable identity token for campaign journals and reports.
+    pub fn divisor(&self) -> u32 {
+        self.denominator
     }
 
     /// Generated byte size for `file` at this scale.

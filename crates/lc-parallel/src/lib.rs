@@ -34,3 +34,18 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
         .clamp(1, 32)
 }
+
+/// Extract a human-readable message from a `catch_unwind` payload.
+///
+/// Panic payloads are `&str` for `panic!("literal")` and `String` for
+/// formatted panics; anything else (custom `panic_any` values) degrades to
+/// a fixed marker rather than dropping the event.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}

@@ -13,9 +13,19 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// A reusable fixed-size thread pool.
 ///
 /// The pool holds no long-lived threads; each [`Pool::run`] call spawns a
-/// crossbeam scope, which keeps the API free of lifetime gymnastics while
-/// still amortizing well over chunk-sized work items. (Spawn cost is a few
-/// microseconds per worker; LC campaigns run for milliseconds to minutes.)
+/// `std::thread::scope`, which keeps the API free of lifetime gymnastics
+/// while still amortizing well over chunk-sized work items. (Spawn cost is
+/// a few microseconds per worker; LC campaigns run for milliseconds to
+/// minutes.)
+///
+/// # Panic propagation policy
+///
+/// A panic in a task closure propagates out of [`Pool::run`] / [`Pool::map`]
+/// / [`Pool::fold`] on the caller's thread once all workers have stopped —
+/// one bad task aborts the whole call. Callers that must survive individual
+/// task failures (the campaign runner quarantining a panicking pipeline)
+/// use [`Pool::try_map`], which fences each task with `catch_unwind` and
+/// reports per-task outcomes instead.
 #[derive(Debug, Clone, Copy)]
 pub struct Pool {
     threads: usize,
@@ -70,9 +80,9 @@ impl Pool {
         let next = AtomicUsize::new(0);
         let f = &f;
         let next = &next;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(move |_| loop {
+                s.spawn(move || loop {
                     let start = next.fetch_add(grain, Ordering::Relaxed);
                     if start >= tasks {
                         break;
@@ -83,8 +93,7 @@ impl Pool {
                     }
                 });
             }
-        })
-        .expect("pool worker panicked");
+        });
     }
 
     /// Produce a `Vec` of `tasks` results, computing `f(i)` for each index
@@ -109,6 +118,27 @@ impl Pool {
             .collect()
     }
 
+    /// Like [`Pool::map`], but each task runs under `catch_unwind`: a
+    /// panicking task yields `Err(panic message)` in its slot while every
+    /// other task completes normally.
+    ///
+    /// This is the isolation primitive for long fan-out jobs (the study
+    /// campaign) where one poisoned work unit must not abort thousands of
+    /// healthy ones. The closure runs behind an `AssertUnwindSafe` fence;
+    /// callers must not rely on shared state mutated by a task that
+    /// panicked midway.
+    pub fn try_map<T, F>(&self, tasks: usize, f: F) -> Vec<Result<T, String>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let f = &f;
+        self.map(tasks, |i| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+                .map_err(|payload| crate::panic_message(payload.as_ref()))
+        })
+    }
+
     /// Fold each worker's locally-accumulated state into a final reduction.
     ///
     /// `init` creates a per-worker accumulator, `step(acc, index)` consumes a
@@ -130,10 +160,10 @@ impl Pool {
         let next = &next;
         let init = &init;
         let step = &step;
-        let partials: Vec<A> = crossbeam::scope(|s| {
+        let partials: Vec<A> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut acc = init();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -150,8 +180,7 @@ impl Pool {
                 .into_iter()
                 .map(|h| h.join().expect("pool worker panicked"))
                 .collect()
-        })
-        .expect("pool scope failed");
+        });
         let mut iter = partials.into_iter();
         let first = iter.next().expect("at least one worker");
         iter.fold(first, merge)
@@ -231,6 +260,33 @@ mod tests {
         let pool = Pool::new(4);
         let v = pool.fold(0, || 42u64, |_, _| panic!(), |a, _| a);
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn try_map_isolates_panicking_tasks() {
+        let pool = Pool::new(4);
+        let out = pool.try_map(100, |i| {
+            if i % 10 == 3 {
+                panic!("task {i} poisoned");
+            }
+            i * 2
+        });
+        assert_eq!(out.len(), 100);
+        for (i, r) in out.iter().enumerate() {
+            if i % 10 == 3 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("poisoned"), "unexpected message: {msg}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_all_ok_matches_map() {
+        let pool = Pool::new(3);
+        let out: Vec<usize> = pool.try_map(57, |i| i + 1).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(out, (1..=57).collect::<Vec<_>>());
     }
 
     #[test]

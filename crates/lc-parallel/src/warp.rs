@@ -36,10 +36,10 @@ pub fn shfl_down<const WS: usize, T: Copy>(vals: &[T; WS], delta: usize) -> [T; 
 /// `i ^ mask` (the butterfly used by BIT_4/BIT_8's transposes, §6.4).
 pub fn shfl_xor<const WS: usize, T: Copy>(vals: &[T; WS], mask: usize) -> [T; WS] {
     let mut out = *vals;
-    for lane in 0..WS {
+    for (lane, slot) in out.iter_mut().enumerate() {
         let src = lane ^ mask;
         if src < WS {
-            out[lane] = vals[src];
+            *slot = vals[src];
         }
     }
     out
@@ -108,7 +108,7 @@ pub fn warp_inclusive_scan_truncated<const WS: usize>(vals: &[i64; WS]) -> [i64;
 /// decoder kernels do it: scan each warp, scan the warp totals, add the
 /// carry — exercised here over `WARPS · WS` lanes.
 pub fn block_inclusive_scan<const WS: usize>(vals: &[i64]) -> Vec<i64> {
-    assert!(vals.len() % WS == 0, "block must be whole warps");
+    assert!(vals.len().is_multiple_of(WS), "block must be whole warps");
     let warps = vals.len() / WS;
     let mut out = vec![0i64; vals.len()];
     let mut warp_totals = vec![0i64; warps];

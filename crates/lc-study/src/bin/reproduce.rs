@@ -14,14 +14,24 @@
 //! `EXPERIMENTS.md` with the paper-vs-measured findings checklist.
 //!
 //! `--families` restricts the component set for a fast smoke run.
+//!
+//! Fault tolerance: every run journals completed work units to
+//! `<out>/journal.jsonl`; `--resume` picks up where a killed run left
+//! off (byte-identical `run.json`), `--unit-deadline SECS` quarantines
+//! overtime work units instead of hanging, and any quarantined unit
+//! turns the exit code to 5 after all outputs are still written.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gpu_sim::OptLevel;
 use lc_data::Scale;
-use lc_study::{figures, report, run_campaign, FigId, Space, StudyConfig};
+use lc_study::{figures, report, run_campaign_with, CampaignOptions, FigId, Space, StudyConfig};
+
+/// Exit code when work units were quarantined (run completed, but some
+/// pipelines carry no data).
+const EXIT_QUARANTINE: u8 = 5;
 
 struct Args {
     figures: Vec<FigId>,
@@ -35,6 +45,8 @@ struct Args {
     files: Option<Vec<String>>,
     verify: bool,
     out: PathBuf,
+    resume: bool,
+    unit_deadline: Option<Duration>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
         files: None,
         verify: false,
         out: PathBuf::from("experiments"),
+        resume: false,
+        unit_deadline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -101,10 +115,21 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--verify" => args.verify = true,
             "--out" => args.out = PathBuf::from(value("--out")?),
+            "--resume" => args.resume = true,
+            "--unit-deadline" => {
+                let secs: u64 = value("--unit-deadline")?
+                    .parse()
+                    .map_err(|e| format!("--unit-deadline: {e}"))?;
+                if secs == 0 {
+                    return Err("--unit-deadline must be positive (seconds)".into());
+                }
+                args.unit_deadline = Some(Duration::from_secs(secs));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [--figure all|2,3,…] [--tables] [--scale D] [--full] \
-                     [--threads N] [--families A,B,…] [--files f,…] [--verify] [--out DIR]"
+                     [--threads N] [--families A,B,…] [--files f,…] [--verify] [--out DIR] \
+                     [--resume] [--unit-deadline SECS]"
                 );
                 std::process::exit(0);
             }
@@ -173,8 +198,26 @@ fn main() -> ExitCode {
         sc.threads
     );
     let t0 = Instant::now();
-    let m = run_campaign(&sc);
-    eprintln!("campaign done in {:.1}s", t0.elapsed().as_secs_f64());
+    let opts = CampaignOptions {
+        journal: Some(args.out.join("journal.jsonl")),
+        resume: args.resume,
+        unit_deadline: args.unit_deadline,
+        isolate: true,
+    };
+    let outcome = match run_campaign_with(&sc, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: kind=journal exit=1 {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let m = outcome.measurements;
+    eprintln!(
+        "campaign done in {:.1}s ({} units executed, {} resumed from journal)",
+        t0.elapsed().as_secs_f64(),
+        outcome.executed_units,
+        outcome.resumed_units
+    );
 
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("error: cannot create {}: {e}", args.out.display());
@@ -262,5 +305,24 @@ fn main() -> ExitCode {
         );
     }
     println!("wrote {} and per-figure CSVs to {}", md_path.display(), args.out.display());
+
+    if !outcome.quarantined.is_empty() {
+        let report_path = args.out.join("quarantine.txt");
+        let mut lines = String::new();
+        for q in &outcome.quarantined {
+            lines.push_str(&format!(
+                "file={} s1={} trace=[{}] reason={:?}\n",
+                q.file, q.component, q.stage_trace, q.reason
+            ));
+        }
+        let _ = std::fs::write(&report_path, &lines);
+        eprintln!(
+            "error: kind=quarantine exit={EXIT_QUARANTINE} {} work unit(s) quarantined; \
+             affected pipelines carry no data (see {})",
+            outcome.quarantined.len(),
+            report_path.display()
+        );
+        return ExitCode::from(EXIT_QUARANTINE);
+    }
     ExitCode::SUCCESS
 }

@@ -2,7 +2,35 @@
 //! kernel statistics to simulated runtimes for every (GPU, compiler,
 //! opt-level) platform, and aggregate with the paper's protocol —
 //! median of 3 runs per input, geometric mean across the 13 inputs (§5).
+//!
+//! # Fault tolerance
+//!
+//! A campaign is hours of compute at paper scale; [`run_campaign_with`]
+//! makes it restartable and fault-isolated:
+//!
+//! * **Checkpoint/resume** — with [`CampaignOptions::journal`] set, every
+//!   completed work unit (one `(input file, stage-1 component)` pair,
+//!   i.e. one task of the stage-tree fan-out) is appended to a JSON-lines
+//!   journal as soon as it finishes. With [`CampaignOptions::resume`],
+//!   units already in the journal are loaded instead of recomputed. The
+//!   journal stores the exact `f64` bits (shortest-round-trip formatting)
+//!   and the accumulation order is fixed, so a resumed campaign produces
+//!   **byte-identical** reports to an uninterrupted one.
+//! * **Panic isolation & quarantine** — with [`CampaignOptions::isolate`],
+//!   each stage executes behind a `catch_unwind` fence with a cooperative
+//!   monotonic-deadline watchdog ([`crate::runner::run_stage_checked`]).
+//!   A work unit that panics or overruns [`CampaignOptions::unit_deadline`]
+//!   is recorded as a [`QuarantineEntry`] (with a stage trace pinpointing
+//!   where it died) and the campaign continues; the pipelines covered by
+//!   a quarantined unit keep zero contributions and must be interpreted
+//!   via [`CampaignOutcome::quarantined`].
 
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use lc_json::Value;
 use lc_parallel::Pool;
 
 use gpu_sim::{
@@ -10,7 +38,8 @@ use gpu_sim::{
 };
 use lc_data::{Scale, SpFile, SP_FILES};
 
-use crate::runner::{run_stage, ChunkedData};
+use crate::journal::{self, JournalWriter};
+use crate::runner::{run_stage_checked, ChunkedData, StageFault, Watchdog};
 use crate::space::Space;
 
 /// Campaign parameters.
@@ -159,8 +188,105 @@ struct PlatformPre {
     inv_bw: f64,
 }
 
-/// Run the campaign.
+/// Fault-tolerance options for [`run_campaign_with`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Journal path. `Some` enables checkpointing: every finished work
+    /// unit is appended (and flushed) immediately.
+    pub journal: Option<PathBuf>,
+    /// Skip work units already present in the journal. Requires
+    /// [`CampaignOptions::journal`]; the journal's fingerprint must match
+    /// this campaign's configuration exactly.
+    pub resume: bool,
+    /// Cooperative per-unit deadline. A unit still running past this
+    /// budget is quarantined at the next stage boundary.
+    pub unit_deadline: Option<Duration>,
+    /// Quarantine panicking/overtime units and continue instead of
+    /// propagating the failure. Off by default so [`run_campaign`] keeps
+    /// its historical fail-fast behavior.
+    pub isolate: bool,
+}
+
+/// Why a work unit was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// A stage panicked; the payload message is preserved.
+    Panic(String),
+    /// The unit exceeded its watchdog deadline.
+    DeadlineExceeded {
+        /// Elapsed milliseconds when the expiry was observed.
+        elapsed_ms: u64,
+        /// The configured budget in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+/// One quarantined work unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Input file name.
+    pub file: String,
+    /// Index of the file in the campaign's file list.
+    pub file_index: usize,
+    /// Stage-1 component name (the work-unit key's second half).
+    pub component: String,
+    /// Index of that component in the space.
+    pub s1_index: usize,
+    /// What went wrong.
+    pub reason: QuarantineReason,
+    /// Which stages were executing when the unit died, e.g.
+    /// `"s1=TCMS_4 s2=DIFF_4 s3=RZE_4"`.
+    pub stage_trace: String,
+}
+
+/// Result of [`run_campaign_with`].
+pub struct CampaignOutcome {
+    /// The measurements (pipelines covered by quarantined units carry
+    /// zero contributions — consult [`CampaignOutcome::quarantined`]).
+    pub measurements: Measurements,
+    /// Quarantined work units, sorted by (file, stage-1 component).
+    pub quarantined: Vec<QuarantineEntry>,
+    /// Work units loaded from the journal instead of recomputed.
+    pub resumed_units: usize,
+    /// Work units actually executed this run (including quarantined).
+    pub executed_units: usize,
+}
+
+type UnitRows = (Vec<f64>, Vec<f64>, Vec<u64>);
+
+/// Per-file context shared by all of that file's work units.
+struct FileCtx<'a> {
+    configs: &'a [SimConfig],
+    pre: &'a [PlatformPre],
+    input: &'a ChunkedData,
+    extrapolate: f64,
+    chunks: u64,
+    unc: u64,
+    file_i: usize,
+}
+
+/// Run the campaign with default options (no journal, fail-fast).
 pub fn run_campaign(sc: &StudyConfig) -> Measurements {
+    run_campaign_with(sc, &CampaignOptions::default())
+        .expect("campaign without journal cannot fail recoverably")
+        .measurements
+}
+
+/// Run the campaign with checkpoint/resume and quarantine support.
+///
+/// Errors are reserved for journal problems (I/O failures, fingerprint
+/// mismatch on resume, corrupt journal); measurement faults either
+/// propagate as panics (`isolate: false`) or land in
+/// [`CampaignOutcome::quarantined`] (`isolate: true`).
+///
+/// # Panics
+///
+/// Panics if `sc` has no files or no opt levels, or (with
+/// `isolate: false`) if a work unit panics or overruns its deadline.
+pub fn run_campaign_with(
+    sc: &StudyConfig,
+    opts: &CampaignOptions,
+) -> Result<CampaignOutcome, String> {
     assert!(!sc.files.is_empty(), "campaign needs at least one input file");
     assert!(!sc.opt_levels.is_empty(), "campaign needs at least one opt level");
     let pool = Pool::new(sc.threads);
@@ -171,8 +297,52 @@ pub fn run_campaign(sc: &StudyConfig) -> Measurements {
         .collect();
     let nc = sc.space.components.len();
     let nr = sc.space.reducers.len();
+    let stride = nc * nr;
     let p_total = sc.space.len();
     let c_total = configs.len();
+    let meta = journal_meta(sc, c_total);
+
+    // Resume: load prior units and quarantine records, keyed by
+    // (file index, stage-1 index).
+    let mut prior_units: HashMap<(usize, usize), UnitRows> = HashMap::new();
+    let mut prior_quarantine: HashMap<(usize, usize), QuarantineEntry> = HashMap::new();
+    let mut journal_valid_len: Option<u64> = None;
+    if opts.resume {
+        let path = opts
+            .journal
+            .as_ref()
+            .ok_or_else(|| "resume requires a journal path".to_string())?;
+        if path.exists() {
+            let j = journal::load(path)?;
+            if j.meta != meta {
+                return Err(format!(
+                    "journal {} was written by a different campaign configuration \
+                     (space, files, scale, opt levels, or verify flag differ); \
+                     refusing to resume from it",
+                    path.display()
+                ));
+            }
+            for u in &j.units {
+                let (key, rows) = unit_from_value(u, c_total, stride)?;
+                prior_units.insert(key, rows);
+            }
+            for q in &j.quarantined {
+                let entry = quarantine_from_value(q)?;
+                prior_quarantine.insert((entry.file_index, entry.s1_index), entry);
+            }
+            journal_valid_len = Some(j.valid_len);
+        }
+    }
+    let writer: Option<JournalWriter> = match (&opts.journal, journal_valid_len) {
+        (Some(path), Some(len)) => Some(JournalWriter::resume(path, len)?),
+        (Some(path), None) => Some(JournalWriter::create(path, &meta)?),
+        (None, _) => None,
+    };
+
+    let resumed_units = prior_units.len();
+    let mut executed_units = 0usize;
+    let mut quarantined: Vec<QuarantineEntry> = prior_quarantine.values().cloned().collect();
+
     let mut enc_log = vec![0f64; c_total * p_total];
     let mut dec_log = vec![0f64; c_total * p_total];
     let mut compressed = vec![0u64; p_total];
@@ -201,62 +371,112 @@ pub fn run_campaign(sc: &StudyConfig) -> Measurements {
                     / (cfg.gpu.mem_bandwidth_gbs * 1e9 * cfg.profile().memory_efficiency),
             })
             .collect();
-
         total_uncompressed += unc;
+
+        let ctx = FileCtx {
+            configs: &configs,
+            pre: &pre,
+            input: &input,
+            extrapolate,
+            chunks,
+            unc,
+            file_i,
+        };
+
         // One task per stage-1 component; each owns the contiguous
-        // pipeline-index range [i1·nc·nr, (i1+1)·nc·nr).
-        let stride = nc * nr;
-        let rows: Vec<(Vec<f64>, Vec<f64>, Vec<u64>)> = pool.map(nc, |i1| {
-            let mut row_enc = vec![0f64; c_total * stride];
-            let mut row_dec = vec![0f64; c_total * stride];
-            let mut row_comp = vec![0u64; stride];
-            let s1 = run_stage(sc.space.components[i1].as_ref(), &input, sc.verify);
-            let (s1e, s1d) = (s1.enc.scaled(extrapolate), s1.dec.scaled(extrapolate));
-            let st1: Vec<(f64, f64)> = configs
-                .iter()
-                .map(|cfg| (stage_time(cfg, &s1e, chunks), stage_time(cfg, &s1d, chunks)))
-                .collect();
-            for i2 in 0..nc {
-                let s2 = run_stage(sc.space.components[i2].as_ref(), &s1.output, sc.verify);
-                let (s2e, s2d) = (s2.enc.scaled(extrapolate), s2.dec.scaled(extrapolate));
-                let st2: Vec<(f64, f64)> = configs
-                    .iter()
-                    .map(|cfg| (stage_time(cfg, &s2e, chunks), stage_time(cfg, &s2d, chunks)))
-                    .collect();
-                for ir in 0..nr {
-                    let s3 = run_stage(sc.space.reducers[ir].as_ref(), &s2.output, sc.verify);
-                    let (s3e, s3d) = (s3.enc.scaled(extrapolate), s3.dec.scaled(extrapolate));
-                    let comp_bytes =
-                        (s3.output.total_bytes() as f64 * extrapolate) as u64 + 5 * chunks;
-                    let local = i2 * nr + ir;
-                    row_comp[local] = comp_bytes;
-                    let p_idx = i1 * stride + local;
-                    for (c, cfg) in configs.iter().enumerate() {
-                        let st3_enc = stage_time(cfg, &s3e, chunks);
-                        let st3_dec = stage_time(cfg, &s3d, chunks);
-                        // Roofline: in-SM work overlaps DRAM traffic; the
-                        // slower of the two bounds the kernel (see
-                        // gpu_sim::total_time).
-                        let mem = (unc + comp_bytes) as f64 * pre[c].inv_bw;
-                        let t_enc =
-                            (st1[c].0 + st2[c].0 + st3_enc).max(mem) + pre[c].fw_enc;
-                        let t_dec =
-                            (st1[c].1 + st2[c].1 + st3_dec).max(mem) + pre[c].fw_dec;
-                        let seed =
-                            (file_i as u64) << 48 | (p_idx as u64) << 8 | c as u64;
-                        let t_enc = median_of_three_runs(t_enc, splitmix64(seed));
-                        let t_dec = median_of_three_runs(t_dec, splitmix64(seed ^ 0xDEC0));
-                        row_enc[c * stride + local] =
-                            throughput_gbs(unc, t_enc).max(f64::MIN_POSITIVE).ln();
-                        row_dec[c * stride + local] =
-                            throughput_gbs(unc, t_dec).max(f64::MIN_POSITIVE).ln();
+        // pipeline-index range [i1·nc·nr, (i1+1)·nc·nr). Units already in
+        // the journal (measured or quarantined) are not re-run.
+        let pending: Vec<usize> = (0..nc)
+            .filter(|i1| {
+                !prior_units.contains_key(&(file_i, *i1))
+                    && !prior_quarantine.contains_key(&(file_i, *i1))
+            })
+            .collect();
+        executed_units += pending.len();
+
+        let journal_err: Mutex<Option<String>> = Mutex::new(None);
+        let record_err = |e: String| {
+            journal_err.lock().expect("journal error mutex").get_or_insert(e);
+        };
+        let computed: Vec<Result<UnitRows, QuarantineEntry>> =
+            pool.map(pending.len(), |k| {
+                let i1 = pending[k];
+                let watchdog = opts.unit_deadline.map(Watchdog::new);
+                match run_unit(sc, &ctx, i1, watchdog.as_ref()) {
+                    Ok(rows) => {
+                        if let Some(w) = &writer {
+                            let v = unit_value(file_i, file.name, i1, &sc.space, &rows);
+                            if let Err(e) = w.append(&v) {
+                                record_err(e);
+                            }
+                        }
+                        Ok(rows)
+                    }
+                    Err((fault, stage_trace)) => {
+                        let entry = QuarantineEntry {
+                            file: file.name.to_string(),
+                            file_index: file_i,
+                            component: sc.space.components[i1].name().to_string(),
+                            s1_index: i1,
+                            reason: match fault {
+                                StageFault::Panic(msg) => QuarantineReason::Panic(msg),
+                                StageFault::DeadlineExceeded { elapsed_ms, limit_ms } => {
+                                    QuarantineReason::DeadlineExceeded { elapsed_ms, limit_ms }
+                                }
+                            },
+                            stage_trace,
+                        };
+                        if let Some(w) = &writer {
+                            if let Err(e) = w.append(&quarantine_value(&entry)) {
+                                record_err(e);
+                            }
+                        }
+                        Err(entry)
                     }
                 }
-            }
-            (row_enc, row_dec, row_comp)
-        });
+            });
+        if let Some(e) = journal_err.into_inner().expect("journal error mutex") {
+            return Err(e);
+        }
 
-        for (i1, (row_enc, row_dec, row_comp)) in rows.into_iter().enumerate() {
+        // Assemble this file's rows in stage-1 order: journaled units
+        // slot in exactly where a live computation would have.
+        let mut unit_of: Vec<Option<UnitRows>> = Vec::new();
+        unit_of.resize_with(nc, || None);
+        for (k, res) in computed.into_iter().enumerate() {
+            match res {
+                Ok(rows) => unit_of[pending[k]] = Some(rows),
+                Err(entry) => {
+                    if !opts.isolate {
+                        panic!(
+                            "campaign unit file={} s1={} failed ({}): {}",
+                            entry.file,
+                            entry.component,
+                            entry.stage_trace,
+                            match &entry.reason {
+                                QuarantineReason::Panic(m) => m.clone(),
+                                QuarantineReason::DeadlineExceeded { elapsed_ms, limit_ms } =>
+                                    format!("deadline: {elapsed_ms} ms of {limit_ms} ms"),
+                            }
+                        );
+                    }
+                    quarantined.push(entry);
+                }
+            }
+        }
+        for (i1, slot) in unit_of.iter_mut().enumerate() {
+            if let Some(rows) = prior_units.remove(&(file_i, i1)) {
+                *slot = Some(rows);
+            }
+        }
+
+        // Sequential accumulation in fixed (file, i1) order: floating-
+        // point addition order is identical whether a unit was computed
+        // or journaled — this is what makes resume byte-identical.
+        for (i1, maybe) in unit_of.into_iter().enumerate() {
+            let Some((row_enc, row_dec, row_comp)) = maybe else {
+                continue; // quarantined: contributes nothing
+            };
             for c in 0..c_total {
                 let dst = c * p_total + i1 * stride;
                 for k in 0..stride {
@@ -274,15 +494,232 @@ pub fn run_campaign(sc: &StudyConfig) -> Measurements {
     let finish = |log: Vec<f64>| -> Vec<f64> {
         log.into_iter().map(|s| (s / n_files).exp()).collect()
     };
-    Measurements {
-        space: sc.space.clone(),
-        configs,
-        files: sc.files.iter().map(|f| f.name).collect(),
-        enc: finish(enc_log),
-        dec: finish(dec_log),
-        total_uncompressed,
-        compressed,
+    quarantined.sort_by_key(|q| (q.file_index, q.s1_index));
+    Ok(CampaignOutcome {
+        measurements: Measurements {
+            space: sc.space.clone(),
+            configs,
+            files: sc.files.iter().map(|f| f.name).collect(),
+            enc: finish(enc_log),
+            dec: finish(dec_log),
+            total_uncompressed,
+            compressed,
+        },
+        quarantined,
+        resumed_units,
+        executed_units,
+    })
+}
+
+/// Execute one work unit: stage-1 component `i1` over `ctx.input`, then
+/// the full (stage-2 × stage-3) sub-tree. Every stage runs behind the
+/// panic fence and watchdog of [`run_stage_checked`]; on fault, the
+/// returned trace names the stages that were executing.
+fn run_unit(
+    sc: &StudyConfig,
+    ctx: &FileCtx<'_>,
+    i1: usize,
+    watchdog: Option<&Watchdog>,
+) -> Result<UnitRows, (StageFault, String)> {
+    let nc = sc.space.components.len();
+    let nr = sc.space.reducers.len();
+    let stride = nc * nr;
+    let c_total = ctx.configs.len();
+    let (configs, pre, chunks, unc) = (ctx.configs, ctx.pre, ctx.chunks, ctx.unc);
+    let extrapolate = ctx.extrapolate;
+    let s1_name = sc.space.components[i1].name();
+
+    let mut row_enc = vec![0f64; c_total * stride];
+    let mut row_dec = vec![0f64; c_total * stride];
+    let mut row_comp = vec![0u64; stride];
+
+    let s1 = run_stage_checked(sc.space.components[i1].as_ref(), ctx.input, sc.verify, watchdog)
+        .map_err(|f| (f, format!("s1={s1_name}")))?;
+    let (s1e, s1d) = (s1.enc.scaled(extrapolate), s1.dec.scaled(extrapolate));
+    let st1: Vec<(f64, f64)> = configs
+        .iter()
+        .map(|cfg| (stage_time(cfg, &s1e, chunks), stage_time(cfg, &s1d, chunks)))
+        .collect();
+    for i2 in 0..nc {
+        let s2_name = sc.space.components[i2].name();
+        let s2 = run_stage_checked(sc.space.components[i2].as_ref(), &s1.output, sc.verify, watchdog)
+            .map_err(|f| (f, format!("s1={s1_name} s2={s2_name}")))?;
+        let (s2e, s2d) = (s2.enc.scaled(extrapolate), s2.dec.scaled(extrapolate));
+        let st2: Vec<(f64, f64)> = configs
+            .iter()
+            .map(|cfg| (stage_time(cfg, &s2e, chunks), stage_time(cfg, &s2d, chunks)))
+            .collect();
+        for ir in 0..nr {
+            let s3 = run_stage_checked(sc.space.reducers[ir].as_ref(), &s2.output, sc.verify, watchdog)
+                .map_err(|f| {
+                    let s3_name = sc.space.reducers[ir].name();
+                    (f, format!("s1={s1_name} s2={s2_name} s3={s3_name}"))
+                })?;
+            let (s3e, s3d) = (s3.enc.scaled(extrapolate), s3.dec.scaled(extrapolate));
+            let comp_bytes =
+                (s3.output.total_bytes() as f64 * extrapolate) as u64 + 5 * chunks;
+            let local = i2 * nr + ir;
+            row_comp[local] = comp_bytes;
+            let p_idx = i1 * stride + local;
+            for (c, cfg) in configs.iter().enumerate() {
+                let st3_enc = stage_time(cfg, &s3e, chunks);
+                let st3_dec = stage_time(cfg, &s3d, chunks);
+                // Roofline: in-SM work overlaps DRAM traffic; the
+                // slower of the two bounds the kernel (see
+                // gpu_sim::total_time).
+                let mem = (unc + comp_bytes) as f64 * pre[c].inv_bw;
+                let t_enc = (st1[c].0 + st2[c].0 + st3_enc).max(mem) + pre[c].fw_enc;
+                let t_dec = (st1[c].1 + st2[c].1 + st3_dec).max(mem) + pre[c].fw_dec;
+                let seed = (ctx.file_i as u64) << 48 | (p_idx as u64) << 8 | c as u64;
+                let t_enc = median_of_three_runs(t_enc, splitmix64(seed));
+                let t_dec = median_of_three_runs(t_dec, splitmix64(seed ^ 0xDEC0));
+                row_enc[c * stride + local] =
+                    throughput_gbs(unc, t_enc).max(f64::MIN_POSITIVE).ln();
+                row_dec[c * stride + local] =
+                    throughput_gbs(unc, t_dec).max(f64::MIN_POSITIVE).ln();
+            }
+        }
     }
+    Ok((row_enc, row_dec, row_comp))
+}
+
+/// The journal fingerprint: everything that determines a unit's numeric
+/// results. Resume refuses a journal whose meta record differs.
+fn journal_meta(sc: &StudyConfig, c_total: usize) -> Value {
+    let comp_sig: Vec<&str> = sc.space.components.iter().map(|c| c.name()).collect();
+    let red_sig: Vec<&str> = sc.space.reducers.iter().map(|c| c.name()).collect();
+    Value::object([
+        ("kind", Value::from("meta")),
+        ("journal_version", Value::from(journal::JOURNAL_VERSION)),
+        (
+            "space",
+            Value::from(format!("{}|{}", comp_sig.join(","), red_sig.join(","))),
+        ),
+        (
+            "files",
+            Value::array(sc.files.iter().map(|f| Value::from(f.name))),
+        ),
+        (
+            "opt_levels",
+            Value::array(sc.opt_levels.iter().map(|o| Value::from(format!("{o:?}")))),
+        ),
+        ("scale", Value::from(sc.scale.divisor() as u64)),
+        ("verify", Value::from(sc.verify)),
+        ("configs", Value::from(c_total as u64)),
+    ])
+}
+
+fn unit_value(file_i: usize, file_name: &str, i1: usize, space: &Space, rows: &UnitRows) -> Value {
+    Value::object([
+        ("kind", Value::from("unit")),
+        ("file_index", Value::from(file_i as u64)),
+        ("file", Value::from(file_name)),
+        ("s1_index", Value::from(i1 as u64)),
+        ("s1", Value::from(space.components[i1].name())),
+        ("enc", Value::array(rows.0.iter().map(|&v| Value::from(v)))),
+        ("dec", Value::array(rows.1.iter().map(|&v| Value::from(v)))),
+        ("comp", Value::array(rows.2.iter().map(|&v| Value::from(v)))),
+    ])
+}
+
+fn unit_from_value(
+    v: &Value,
+    c_total: usize,
+    stride: usize,
+) -> Result<((usize, usize), UnitRows), String> {
+    let idx = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("unit record missing {key}"))
+    };
+    let key = (idx("file_index")?, idx("s1_index")?);
+    let floats = |field: &'static str| -> Result<Vec<f64>, String> {
+        let arr = v
+            .get(field)
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("unit record missing {field}"))?;
+        if arr.len() != c_total * stride {
+            return Err(format!(
+                "unit record {field} has {} values, campaign expects {}",
+                arr.len(),
+                c_total * stride
+            ));
+        }
+        arr.iter()
+            .map(|x| x.as_f64().ok_or_else(|| format!("non-numeric value in {field}")))
+            .collect()
+    };
+    let enc = floats("enc")?;
+    let dec = floats("dec")?;
+    let comp_arr = v
+        .get("comp")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "unit record missing comp".to_string())?;
+    if comp_arr.len() != stride {
+        return Err(format!(
+            "unit record comp has {} values, campaign expects {stride}",
+            comp_arr.len()
+        ));
+    }
+    let comp = comp_arr
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| "non-integer value in comp".to_string()))
+        .collect::<Result<Vec<u64>, String>>()?;
+    Ok((key, (enc, dec, comp)))
+}
+
+fn quarantine_value(q: &QuarantineEntry) -> Value {
+    let mut fields = vec![
+        ("kind", Value::from("quarantine")),
+        ("file_index", Value::from(q.file_index as u64)),
+        ("file", Value::from(q.file.as_str())),
+        ("s1_index", Value::from(q.s1_index as u64)),
+        ("s1", Value::from(q.component.as_str())),
+        ("trace", Value::from(q.stage_trace.as_str())),
+    ];
+    match &q.reason {
+        QuarantineReason::Panic(msg) => {
+            fields.push(("reason", Value::from("panic")));
+            fields.push(("message", Value::from(msg.as_str())));
+        }
+        QuarantineReason::DeadlineExceeded { elapsed_ms, limit_ms } => {
+            fields.push(("reason", Value::from("deadline")));
+            fields.push(("elapsed_ms", Value::from(*elapsed_ms)));
+            fields.push(("limit_ms", Value::from(*limit_ms)));
+        }
+    }
+    Value::object(fields)
+}
+
+fn quarantine_from_value(v: &Value) -> Result<QuarantineEntry, String> {
+    let s = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("quarantine record missing {key}"))
+    };
+    let n = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("quarantine record missing {key}"))
+    };
+    let reason = match s("reason")?.as_str() {
+        "panic" => QuarantineReason::Panic(s("message")?),
+        "deadline" => QuarantineReason::DeadlineExceeded {
+            elapsed_ms: n("elapsed_ms")?,
+            limit_ms: n("limit_ms")?,
+        },
+        other => return Err(format!("unknown quarantine reason {other:?}")),
+    };
+    Ok(QuarantineEntry {
+        file: s("file")?,
+        file_index: n("file_index")? as usize,
+        component: s("s1")?,
+        s1_index: n("s1_index")? as usize,
+        reason,
+        stage_trace: s("trace")?,
+    })
 }
 
 #[cfg(test)]
@@ -373,5 +810,207 @@ mod tests {
         let mut sc = StudyConfig::quick();
         sc.files.clear();
         run_campaign(&sc);
+    }
+
+    // ---- fault tolerance -------------------------------------------------
+
+    use std::sync::Arc;
+
+    use lc_core::{Component, ComponentKind, KernelStats};
+
+    fn tiny_config() -> StudyConfig {
+        let mut sc = StudyConfig::quick();
+        sc.space = Space::restricted_to_families(&["DIFF", "RZE"]);
+        sc.files = vec![&SP_FILES[0], &SP_FILES[10]];
+        sc
+    }
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lc-campaign-test-{}-{tag}.jsonl", std::process::id()));
+        p
+    }
+
+    fn assert_bitwise_equal(a: &Measurements, b: &Measurements) {
+        assert_eq!(a.enc.len(), b.enc.len());
+        for (x, y) in a.enc.iter().zip(&b.enc) {
+            assert_eq!(x.to_bits(), y.to_bits(), "enc differs: {x} vs {y}");
+        }
+        for (x, y) in a.dec.iter().zip(&b.dec) {
+            assert_eq!(x.to_bits(), y.to_bits(), "dec differs: {x} vs {y}");
+        }
+        assert_eq!(a.compressed, b.compressed);
+        assert_eq!(a.total_uncompressed, b.total_uncompressed);
+    }
+
+    #[test]
+    fn journaling_does_not_change_results() {
+        let sc = tiny_config();
+        let plain = run_campaign(&sc);
+        let path = temp_journal("nochange");
+        let opts = CampaignOptions { journal: Some(path.clone()), ..Default::default() };
+        let journaled = run_campaign_with(&sc, &opts).unwrap();
+        assert_bitwise_equal(&plain, &journaled.measurements);
+        assert_eq!(journaled.resumed_units, 0);
+        assert_eq!(journaled.executed_units, 2 * sc.space.components.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_after_partial_journal_is_byte_identical() {
+        let sc = tiny_config();
+        let path = temp_journal("resume");
+        let opts = CampaignOptions { journal: Some(path.clone()), ..Default::default() };
+        let uninterrupted = run_campaign_with(&sc, &opts).unwrap();
+
+        // Simulate a kill after 3 completed work units: keep the meta
+        // line plus the first 3 unit records, plus a torn tail.
+        let full = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = full.lines().collect();
+        let total_units = lines.len() - 1;
+        lines.truncate(4);
+        let mut partial = lines.join("\n");
+        partial.push_str("\n{\"kind\":\"unit\",\"file_ind");
+        std::fs::write(&path, partial).unwrap();
+
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            resume: true,
+            ..Default::default()
+        };
+        let resumed = run_campaign_with(&sc, &opts).unwrap();
+        assert_eq!(resumed.resumed_units, 3);
+        assert_eq!(resumed.executed_units, total_units - 3);
+        assert_bitwise_equal(&uninterrupted.measurements, &resumed.measurements);
+
+        // And a second resume from the now-complete journal recomputes
+        // nothing at all.
+        let again = run_campaign_with(&sc, &opts).unwrap();
+        assert_eq!(again.executed_units, 0);
+        assert_eq!(again.resumed_units, total_units);
+        assert_bitwise_equal(&uninterrupted.measurements, &again.measurements);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_journal() {
+        let sc = tiny_config();
+        let path = temp_journal("foreign");
+        let opts = CampaignOptions { journal: Some(path.clone()), ..Default::default() };
+        run_campaign_with(&sc, &opts).unwrap();
+
+        let mut other = sc.clone();
+        other.files = vec![&SP_FILES[0]];
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            resume: true,
+            ..Default::default()
+        };
+        let err = match run_campaign_with(&other, &opts) {
+            Err(e) => e,
+            Ok(_) => panic!("resuming under a different configuration must fail"),
+        };
+        assert!(err.contains("different campaign configuration"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Identity mutator that panics when fed its trigger bytes — the raw
+    /// first chunk of an input file, so it detonates exactly when it runs
+    /// as stage 1 (or after another identity-on-this-input stage).
+    struct BoomComponent {
+        trigger: Vec<u8>,
+    }
+
+    impl Component for BoomComponent {
+        fn name(&self) -> &'static str {
+            "BOOM_1"
+        }
+        fn kind(&self) -> ComponentKind {
+            ComponentKind::Mutator
+        }
+        fn word_size(&self) -> usize {
+            1
+        }
+        fn complexity(&self) -> lc_core::Complexity {
+            lc_core::Complexity::new(
+                lc_core::WorkClass::N,
+                lc_core::SpanClass::Const,
+                lc_core::WorkClass::N,
+                lc_core::SpanClass::Const,
+            )
+        }
+        fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, _: &mut KernelStats) {
+            assert!(input != self.trigger.as_slice(), "intentional test panic");
+            out.extend_from_slice(input);
+        }
+        fn decode_chunk(
+            &self,
+            input: &[u8],
+            out: &mut Vec<u8>,
+            _: &mut KernelStats,
+        ) -> Result<(), lc_core::DecodeError> {
+            out.extend_from_slice(input);
+            Ok(())
+        }
+    }
+
+    fn booby_trapped_config() -> (StudyConfig, usize) {
+        let mut sc = tiny_config();
+        sc.files = vec![&SP_FILES[0]];
+        let data = lc_data::generate(sc.files[0], sc.scale);
+        let trigger = data[..lc_core::CHUNK_SIZE.min(data.len())].to_vec();
+        sc.space.components.push(Arc::new(BoomComponent { trigger }));
+        let boom = sc.space.components.len() - 1;
+        (sc, boom)
+    }
+
+    #[test]
+    fn panicking_component_is_quarantined_not_fatal() {
+        let (sc, boom) = booby_trapped_config();
+        let path = temp_journal("quarantine");
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            isolate: true,
+            ..Default::default()
+        };
+        let outcome = run_campaign_with(&sc, &opts).unwrap();
+        assert!(!outcome.quarantined.is_empty(), "boom unit must be quarantined");
+        assert!(
+            outcome.quarantined.len() < sc.space.components.len(),
+            "healthy units must survive the bad component"
+        );
+        for q in &outcome.quarantined {
+            assert!(q.stage_trace.contains("BOOM_1"), "trace {:?}", q.stage_trace);
+            match &q.reason {
+                QuarantineReason::Panic(msg) => {
+                    assert!(msg.contains("intentional test panic"), "{msg}")
+                }
+                other => panic!("expected Panic, got {other:?}"),
+            }
+        }
+        let direct = outcome
+            .quarantined
+            .iter()
+            .find(|q| q.s1_index == boom)
+            .expect("the boom-as-stage-1 unit is quarantined");
+        assert_eq!(direct.stage_trace, "s1=BOOM_1");
+        assert_eq!(direct.component, "BOOM_1");
+        assert_eq!(direct.file, "msg_bt");
+
+        // Resume: quarantined units stay quarantined (not re-run) and the
+        // numbers stay byte-identical.
+        let opts = CampaignOptions { resume: true, ..opts };
+        let resumed = run_campaign_with(&sc, &opts).unwrap();
+        assert_eq!(resumed.executed_units, 0);
+        assert_eq!(resumed.quarantined, outcome.quarantined);
+        assert_bitwise_equal(&outcome.measurements, &resumed.measurements);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "intentional test panic")]
+    fn without_isolation_a_unit_panic_propagates() {
+        let (sc, _) = booby_trapped_config();
+        let _ = run_campaign_with(&sc, &CampaignOptions::default());
     }
 }

@@ -5,7 +5,7 @@
 //! constant — can see exactly which figure groups moved and whether any
 //! finding flipped.
 
-use serde_json::Value;
+use lc_json::Value;
 
 /// A change between two runs for one figure group.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,9 +72,8 @@ fn groups_of(run: &Value) -> Vec<(u32, String, String, f64)> {
 ///
 /// Returns an error string when either input is not a `run.json` dump.
 pub fn compare(baseline_json: &str, current_json: &str, threshold: f64) -> Result<Comparison, String> {
-    let baseline: Value =
-        serde_json::from_str(baseline_json).map_err(|e| format!("baseline: {e}"))?;
-    let current: Value = serde_json::from_str(current_json).map_err(|e| format!("current: {e}"))?;
+    let baseline = Value::parse(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+    let current = Value::parse(current_json).map_err(|e| format!("current: {e}"))?;
     for (name, v) in [("baseline", &baseline), ("current", &current)] {
         if !v["figures"].is_array() || !v["findings"].is_array() {
             return Err(format!("{name}: not a reproduce run.json dump"));
@@ -193,11 +192,11 @@ mod tests {
     #[test]
     fn perturbed_medians_are_reported() {
         let j = run_json();
-        let mut v: Value = serde_json::from_str(&j).unwrap();
+        let mut v = Value::parse(&j).unwrap();
         let median = &mut v["figures"][0]["groups"][0]["lv"]["median"];
         let old = median.as_f64().unwrap();
-        *median = serde_json::json!(old * 1.5);
-        let perturbed = serde_json::to_string(&v).unwrap();
+        *median = Value::from(old * 1.5);
+        let perturbed = v.dump();
         let cmp = compare(&j, &perturbed, 0.05).unwrap();
         assert_eq!(cmp.drifted.len(), 1);
         assert!((cmp.drifted[0].relative() - 0.5).abs() < 1e-9);
@@ -207,10 +206,10 @@ mod tests {
     #[test]
     fn flipped_finding_is_a_regression() {
         let j = run_json();
-        let mut v: Value = serde_json::from_str(&j).unwrap();
+        let mut v = Value::parse(&j).unwrap();
         let holds = &mut v["findings"][0]["holds"];
-        *holds = serde_json::json!(!holds.as_bool().unwrap());
-        let perturbed = serde_json::to_string(&v).unwrap();
+        *holds = Value::from(!holds.as_bool().unwrap());
+        let perturbed = v.dump();
         let cmp = compare(&j, &perturbed, 0.05).unwrap();
         assert_eq!(cmp.flipped_findings.len(), 1);
         assert!(render(&cmp, 0.05).contains("REGRESSION"));

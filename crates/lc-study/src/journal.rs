@@ -1,0 +1,310 @@
+//! Append-only campaign journal: checkpoint/resume for `run_campaign_with`.
+//!
+//! The journal is a JSON-lines file. The first line is a `meta` record
+//! fingerprinting the campaign configuration; every subsequent line is
+//! either a completed work unit (`unit`, carrying the unit's full
+//! numeric results) or a `quarantine` record for a work unit that
+//! panicked or overran its deadline.
+//!
+//! Two properties make resume byte-identical to an uninterrupted run:
+//!
+//! * numbers are serialized with Rust's shortest-round-trip float
+//!   formatting (see `lc_json`), so a value read back from the journal
+//!   is bit-identical to the one that was computed;
+//! * the campaign accumulates unit rows in a fixed sequential order
+//!   regardless of which units came from the journal and which were
+//!   recomputed.
+//!
+//! A process killed mid-write leaves at most one torn final line;
+//! [`load`] tolerates exactly that (the unit is simply re-run on resume)
+//! but rejects corruption anywhere else.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use lc_json::Value;
+
+/// Journal format version, bumped on any incompatible record change.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Serializer half: appends one record per line, flushing after each so
+/// a kill at any instant loses at most the line being written.
+pub struct JournalWriter {
+    inner: Mutex<BufWriter<File>>,
+}
+
+impl JournalWriter {
+    /// Start a fresh journal at `path`, writing the `meta` line.
+    pub fn create(path: &Path, meta: &Value) -> Result<Self, String> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+        }
+        let file = File::create(path)
+            .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?;
+        let w = Self {
+            inner: Mutex::new(BufWriter::new(file)),
+        };
+        w.append(meta)?;
+        Ok(w)
+    }
+
+    /// Reopen an existing journal for appending (resume), discarding
+    /// everything past `valid_len` — the validated prefix reported by
+    /// [`load`]. Truncation is what keeps a torn tail from a previous
+    /// kill from fusing with the first record appended after resume.
+    pub fn resume(path: &Path, valid_len: u64) -> Result<Self, String> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("cannot reopen journal {}: {e}", path.display()))?;
+        let io = |e: std::io::Error| format!("cannot reposition journal {}: {e}", path.display());
+        let len = file.metadata().map_err(io)?.len().min(valid_len);
+        file.set_len(len).map_err(io)?;
+        file.seek(SeekFrom::End(0)).map_err(io)?;
+        // If the last good record lost its newline, restore it so the
+        // next append starts on a fresh line.
+        if len > 0 {
+            file.seek(SeekFrom::End(-1)).map_err(io)?;
+            let mut last = [0u8; 1];
+            std::io::Read::read_exact(&mut file, &mut last).map_err(io)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n").map_err(io)?;
+            }
+        }
+        Ok(Self {
+            inner: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Append one record and flush it to the OS.
+    ///
+    /// Callable from multiple pool workers; the mutex keeps lines whole.
+    pub fn append(&self, record: &Value) -> Result<(), String> {
+        let mut w = self.inner.lock().map_err(|_| "journal writer poisoned".to_string())?;
+        writeln!(w, "{}", record.dump()).map_err(|e| format!("journal write failed: {e}"))?;
+        w.flush().map_err(|e| format!("journal flush failed: {e}"))
+    }
+}
+
+/// Parsed journal contents.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// The fingerprint line.
+    pub meta: Value,
+    /// Completed work-unit records, in file order.
+    pub units: Vec<Value>,
+    /// Quarantine records, in file order.
+    pub quarantined: Vec<Value>,
+    /// Byte length of the validated prefix (every good line including its
+    /// newline; a torn tail is excluded). Pass to [`JournalWriter::resume`]
+    /// so appends start after the last good record.
+    pub valid_len: u64,
+}
+
+/// Load and validate a journal file.
+///
+/// A torn (unparseable or record-less) **final** line is tolerated — it
+/// is the expected artifact of a kill mid-append — and simply dropped.
+/// Malformed content anywhere else is an error: it means the file is not
+/// a journal or was corrupted, and resuming from it would silently lose
+/// work units.
+pub fn load(path: &Path) -> Result<LoadedJournal, String> {
+    let file = File::open(path)
+        .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+    let reader = BufReader::new(file);
+    let mut lines = Vec::new();
+    for (ln, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("journal read failed at line {}: {e}", ln + 1))?;
+        lines.push(line);
+    }
+    let mut records: Vec<Value> = Vec::with_capacity(lines.len());
+    let last = lines.len().saturating_sub(1);
+    let mut offset = 0u64;
+    let mut valid_len = 0u64;
+    for (ln, line) in lines.iter().enumerate() {
+        let end = offset + line.len() as u64 + 1; // the line plus its '\n'
+        if line.trim().is_empty() {
+            valid_len = end;
+            offset = end;
+            continue;
+        }
+        match Value::parse(line) {
+            Ok(v) if v.get("kind").is_some() => {
+                records.push(v);
+                valid_len = end;
+            }
+            _ if ln == last => {
+                // Torn tail from a kill mid-write: drop it (and leave it
+                // out of valid_len), the unit will simply be recomputed.
+            }
+            _ => {
+                return Err(format!(
+                    "journal {} is corrupt at line {} (not a record)",
+                    path.display(),
+                    ln + 1
+                ));
+            }
+        }
+        offset = end;
+    }
+    let mut it = records.into_iter();
+    let meta = match it.next() {
+        Some(v) if v.get("kind").and_then(Value::as_str) == Some("meta") => v,
+        _ => {
+            return Err(format!(
+                "journal {} does not start with a meta record",
+                path.display()
+            ));
+        }
+    };
+    let mut units = Vec::new();
+    let mut quarantined = Vec::new();
+    for v in it {
+        match v.get("kind").and_then(Value::as_str) {
+            Some("unit") => units.push(v),
+            Some("quarantine") => quarantined.push(v),
+            Some(other) => {
+                return Err(format!(
+                    "journal {} has a record of unknown kind {other:?}",
+                    path.display()
+                ));
+            }
+            None => unreachable!("records without kind were filtered above"),
+        }
+    }
+    Ok(LoadedJournal {
+        meta,
+        units,
+        quarantined,
+        valid_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lc-journal-test-{}-{tag}.jsonl", std::process::id()));
+        p
+    }
+
+    fn meta() -> Value {
+        Value::object([
+            ("kind", Value::from("meta")),
+            ("journal_version", Value::from(JOURNAL_VERSION)),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_meta_and_units() {
+        let path = temp_path("roundtrip");
+        let w = JournalWriter::create(&path, &meta()).unwrap();
+        w.append(&Value::object([
+            ("kind", Value::from("unit")),
+            ("s1_index", Value::from(3u64)),
+            ("enc", Value::array([Value::from(1.5f64), Value::from(-0.25f64)])),
+        ]))
+        .unwrap();
+        w.append(&Value::object([
+            ("kind", Value::from("quarantine")),
+            ("s1_index", Value::from(4u64)),
+        ]))
+        .unwrap();
+        drop(w);
+        let j = load(&path).unwrap();
+        assert_eq!(j.meta.get("kind").and_then(Value::as_str), Some("meta"));
+        assert_eq!(j.units.len(), 1);
+        assert_eq!(j.quarantined.len(), 1);
+        assert_eq!(j.units[0]["enc"][0].as_f64(), Some(1.5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated() {
+        let path = temp_path("torn");
+        let w = JournalWriter::create(&path, &meta()).unwrap();
+        w.append(&Value::object([
+            ("kind", Value::from("unit")),
+            ("s1_index", Value::from(0u64)),
+        ]))
+        .unwrap();
+        drop(w);
+        // Simulate a kill mid-append: half a JSON object, no newline.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"kind\":\"unit\",\"s1_i").unwrap();
+        drop(f);
+        let j = load(&path).unwrap();
+        assert_eq!(j.units.len(), 1, "torn tail dropped, prior unit kept");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_before_the_tail_is_rejected() {
+        let path = temp_path("midcorrupt");
+        std::fs::write(
+            &path,
+            "{\"kind\":\"meta\"}\nGARBAGE\n{\"kind\":\"unit\"}\n",
+        )
+        .unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_meta_is_rejected() {
+        let path = temp_path("nometa");
+        std::fs::write(&path, "{\"kind\":\"unit\"}\n").unwrap();
+        assert!(load(&path).unwrap_err().contains("meta"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_appends_after_existing_records() {
+        let path = temp_path("reopen");
+        let w = JournalWriter::create(&path, &meta()).unwrap();
+        w.append(&Value::object([("kind", Value::from("unit")), ("n", Value::from(1u64))]))
+            .unwrap();
+        drop(w);
+        let j = load(&path).unwrap();
+        let w = JournalWriter::resume(&path, j.valid_len).unwrap();
+        w.append(&Value::object([("kind", Value::from("unit")), ("n", Value::from(2u64))]))
+            .unwrap();
+        drop(w);
+        let j = load(&path).unwrap();
+        assert_eq!(j.units.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_truncates_a_torn_tail_before_appending() {
+        let path = temp_path("torn-resume");
+        let w = JournalWriter::create(&path, &meta()).unwrap();
+        w.append(&Value::object([("kind", Value::from("unit")), ("n", Value::from(1u64))]))
+            .unwrap();
+        drop(w);
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"kind\":\"unit\",\"n\":2").unwrap();
+        drop(f);
+        // Resume must not fuse the next record onto the torn line.
+        let j = load(&path).unwrap();
+        let w = JournalWriter::resume(&path, j.valid_len).unwrap();
+        w.append(&Value::object([("kind", Value::from("unit")), ("n", Value::from(3u64))]))
+            .unwrap();
+        drop(w);
+        let j = load(&path).unwrap();
+        assert_eq!(j.units.len(), 2);
+        assert_eq!(j.units[1]["n"].as_u64(), Some(3));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -16,9 +16,12 @@
 //! cargo run --release -p lc-study --bin reproduce -- --figure all
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod campaign;
 pub mod compare;
 pub mod figures;
+pub mod journal;
 pub mod ratio;
 pub mod report;
 pub mod runner;
@@ -27,6 +30,10 @@ pub mod stats;
 pub mod svg;
 pub mod tables;
 
-pub use campaign::{run_campaign, Measurements, StudyConfig};
+pub use campaign::{
+    run_campaign, run_campaign_with, CampaignOptions, CampaignOutcome, Measurements,
+    QuarantineEntry, QuarantineReason, StudyConfig,
+};
 pub use figures::{figure, render, to_csv, FigId, Figure, Group};
+pub use runner::{StageFault, Watchdog};
 pub use space::{PipelineId, Space};

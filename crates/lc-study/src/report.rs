@@ -13,7 +13,7 @@ use crate::figures::{self, Figure};
 use crate::stats::{letter_values, median};
 
 /// One qualitative claim from the paper, checked against measurements.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Finding {
     /// Short identifier, e.g. `"clang-encode-slower"`.
     pub id: &'static str,
@@ -398,50 +398,77 @@ pub fn experiments_markdown(m: &Measurements, figs: &[Figure]) -> String {
     out
 }
 
+/// JSON rendering of a letter-value summary (field order mirrors the
+/// struct so run dumps stay stable across refactors).
+pub fn letter_values_json(lv: &crate::stats::LetterValues) -> lc_json::Value {
+    use lc_json::Value;
+    Value::object([
+        ("n", Value::from(lv.n)),
+        ("median", Value::from(lv.median)),
+        (
+            "boxes",
+            Value::array(
+                lv.boxes
+                    .iter()
+                    .map(|&(lo, hi)| Value::array([Value::from(lo), Value::from(hi)])),
+            ),
+        ),
+        ("outliers_low", Value::from(lv.outliers_low)),
+        ("outliers_high", Value::from(lv.outliers_high)),
+        ("min", Value::from(lv.min)),
+        ("max", Value::from(lv.max)),
+    ])
+}
+
 /// Machine-readable dump of the whole run: findings plus every figure's
 /// letter-value rows, for downstream plotting/regression tooling.
+///
+/// The emitter is deterministic (ordered objects, shortest round-trip
+/// floats), which is what lets a resumed campaign promise a byte-identical
+/// `run.json`.
 pub fn to_json(m: &Measurements, figs: &[Figure]) -> String {
-    #[derive(serde::Serialize)]
-    struct GroupJson<'a> {
-        group: &'a str,
-        compiler: &'a str,
-        lv: &'a crate::stats::LetterValues,
-    }
-    #[derive(serde::Serialize)]
-    struct FigureJson<'a> {
-        figure: u32,
-        title: &'a str,
-        unit: &'a str,
-        groups: Vec<GroupJson<'a>>,
-    }
-    #[derive(serde::Serialize)]
-    struct RunJson<'a> {
-        pipelines: usize,
-        inputs: &'a [&'a str],
-        platforms: Vec<String>,
-        findings: Vec<Finding>,
-        figures: Vec<FigureJson<'a>>,
-    }
-    let run = RunJson {
-        pipelines: m.space.len(),
-        inputs: &m.files,
-        platforms: m.configs.iter().map(|c| c.label()).collect(),
-        findings: findings(m),
-        figures: figs
-            .iter()
-            .map(|f| FigureJson {
-                figure: f.id.number(),
-                title: f.id.title(),
-                unit: f.unit,
-                groups: f
-                    .groups
-                    .iter()
-                    .map(|g| GroupJson { group: &g.group, compiler: g.compiler, lv: &g.lv })
-                    .collect(),
-            })
-            .collect(),
-    };
-    serde_json::to_string_pretty(&run).expect("serializable run summary")
+    use lc_json::Value;
+    let run = Value::object([
+        ("pipelines", Value::from(m.space.len())),
+        ("inputs", Value::array(m.files.iter().map(|f| Value::from(*f)))),
+        (
+            "platforms",
+            Value::array(m.configs.iter().map(|c| Value::from(c.label()))),
+        ),
+        (
+            "findings",
+            Value::array(findings(m).iter().map(|f| {
+                Value::object([
+                    ("id", Value::from(f.id)),
+                    ("source", Value::from(f.source)),
+                    ("paper", Value::from(f.paper)),
+                    ("measured", Value::from(f.measured.as_str())),
+                    ("holds", Value::from(f.holds)),
+                ])
+            })),
+        ),
+        (
+            "figures",
+            Value::array(figs.iter().map(|f| {
+                Value::object([
+                    ("figure", Value::from(f.id.number())),
+                    ("title", Value::from(f.id.title())),
+                    ("unit", Value::from(f.unit)),
+                    (
+                        "groups",
+                        Value::array(f.groups.iter().map(|g| {
+                            Value::object([
+                                ("group", Value::from(g.group.as_str())),
+                                ("compiler", Value::from(g.compiler)),
+                                ("lv", letter_values_json(&g.lv)),
+                            ])
+                        })),
+                    ),
+                ])
+            })),
+        ),
+    ]);
+    run.pretty()
 }
 
 #[cfg(test)]
@@ -475,7 +502,7 @@ mod tests {
         let m = run_campaign(&StudyConfig::quick());
         let figs = vec![crate::figures::figure(&m, crate::figures::FigId::Fig2)];
         let json = to_json(&m, &figs);
-        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let v = lc_json::Value::parse(&json).expect("valid JSON");
         assert_eq!(v["pipelines"], 16 * 16 * 8);
         assert!(v["findings"].as_array().unwrap().len() > 3);
         assert_eq!(v["figures"][0]["figure"], 2);

@@ -9,6 +9,8 @@
 //! a pipeline's cost is the sum of its three stages' costs (kernel
 //! statistics are additive per stage by construction).
 
+use std::time::{Duration, Instant};
+
 use lc_core::chunk::CHUNK_SIZE;
 use lc_core::{Component, ComponentKind, KernelStats};
 
@@ -103,6 +105,103 @@ pub fn run_stage(component: &dyn Component, input: &ChunkedData, verify: bool) -
     outcome
 }
 
+/// A monotonic deadline for one campaign work unit.
+///
+/// Built on [`Instant`] (the monotonic clock), so wall-clock adjustments
+/// cannot spuriously expire — or extend — a unit's budget. The deadline
+/// is *cooperative*: it is checked between stage executions (see
+/// [`run_stage_checked`]), which is the honest granularity on a thread
+/// pool where a stage cannot be interrupted mid-kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Watchdog {
+    start: Instant,
+    limit: Duration,
+}
+
+impl Watchdog {
+    /// Arm a watchdog expiring `limit` from now.
+    pub fn new(limit: Duration) -> Self {
+        Self {
+            start: Instant::now(),
+            limit,
+        }
+    }
+
+    /// Time elapsed since the watchdog was armed.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() > self.limit
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> Duration {
+        self.limit
+    }
+}
+
+/// Why a checked stage execution did not produce an outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageFault {
+    /// The component panicked; payload message attached.
+    Panic(String),
+    /// The unit's watchdog expired before or during this stage.
+    DeadlineExceeded {
+        /// Elapsed time when the expiry was observed, in milliseconds.
+        elapsed_ms: u64,
+        /// The configured deadline, in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+impl std::fmt::Display for StageFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageFault::Panic(msg) => write!(f, "stage panicked: {msg}"),
+            StageFault::DeadlineExceeded { elapsed_ms, limit_ms } => {
+                write!(f, "deadline exceeded: {elapsed_ms} ms elapsed of {limit_ms} ms budget")
+            }
+        }
+    }
+}
+
+/// [`run_stage`] behind a panic fence and an optional watchdog.
+///
+/// A panicking component yields `StageFault::Panic` instead of unwinding
+/// through the campaign; an expired watchdog — checked immediately
+/// before the stage runs and again after it returns, so an overtime
+/// stage is reported even though it could not be interrupted — yields
+/// `StageFault::DeadlineExceeded`.
+pub fn run_stage_checked(
+    component: &dyn Component,
+    input: &ChunkedData,
+    verify: bool,
+    watchdog: Option<&Watchdog>,
+) -> Result<StageOutcome, StageFault> {
+    let expired = |w: &Watchdog| StageFault::DeadlineExceeded {
+        elapsed_ms: w.elapsed().as_millis() as u64,
+        limit_ms: w.limit().as_millis() as u64,
+    };
+    if let Some(w) = watchdog {
+        if w.expired() {
+            return Err(expired(w));
+        }
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_stage(component, input, verify)
+    }))
+    .map_err(|payload| StageFault::Panic(lc_parallel::panic_message(payload.as_ref())))?;
+    if let Some(w) = watchdog {
+        if w.expired() {
+            return Err(expired(w));
+        }
+    }
+    Ok(outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +260,73 @@ mod tests {
         let out = run_stage(comp("RZE_4").as_ref(), &chunked, true);
         assert_eq!(out.applied, 1);
         assert_eq!(out.skipped, 1);
+    }
+
+    struct PanicComponent;
+    impl Component for PanicComponent {
+        fn name(&self) -> &'static str {
+            "BOOM_1"
+        }
+        fn kind(&self) -> ComponentKind {
+            ComponentKind::Mutator
+        }
+        fn word_size(&self) -> usize {
+            1
+        }
+        fn complexity(&self) -> lc_core::Complexity {
+            lc_core::Complexity::new(
+                lc_core::WorkClass::N,
+                lc_core::SpanClass::Const,
+                lc_core::WorkClass::N,
+                lc_core::SpanClass::Const,
+            )
+        }
+        fn encode_chunk(&self, _: &[u8], _: &mut Vec<u8>, _: &mut KernelStats) {
+            panic!("intentional test panic");
+        }
+        fn decode_chunk(
+            &self,
+            _: &[u8],
+            _: &mut Vec<u8>,
+            _: &mut KernelStats,
+        ) -> Result<(), lc_core::DecodeError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn checked_stage_catches_panics() {
+        let data = ChunkedData::from_bytes(&[1, 2, 3]);
+        let err = run_stage_checked(&PanicComponent, &data, false, None).unwrap_err();
+        match err {
+            StageFault::Panic(msg) => assert!(msg.contains("intentional"), "{msg}"),
+            other => panic!("expected Panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_stage_matches_unchecked_on_success() {
+        let data = ChunkedData::from_bytes(&vec![7u8; CHUNK_SIZE]);
+        let a = run_stage(comp("TCMS_4").as_ref(), &data, true);
+        let b = run_stage_checked(comp("TCMS_4").as_ref(), &data, true, None).unwrap();
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.applied, b.applied);
+    }
+
+    #[test]
+    fn expired_watchdog_aborts_before_running() {
+        let data = ChunkedData::from_bytes(&vec![7u8; CHUNK_SIZE]);
+        let w = Watchdog::new(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let err = run_stage_checked(comp("TCMS_4").as_ref(), &data, false, Some(&w)).unwrap_err();
+        assert!(matches!(err, StageFault::DeadlineExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn generous_watchdog_does_not_interfere() {
+        let data = ChunkedData::from_bytes(&vec![7u8; CHUNK_SIZE]);
+        let w = Watchdog::new(Duration::from_secs(3600));
+        assert!(run_stage_checked(comp("TCMS_4").as_ref(), &data, true, Some(&w)).is_ok());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the figure generators print as the textual equivalent of each plot.
 
 /// Letter-value summary of a sample.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LetterValues {
     /// Sample size.
     pub n: usize,

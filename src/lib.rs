@@ -3,9 +3,12 @@
 //! Re-exports the public APIs of all member crates so examples and
 //! integration tests can use one coherent namespace.
 
+#![forbid(unsafe_code)]
+
 pub use gpu_sim;
 pub use lc_components;
 pub use lc_core;
 pub use lc_data;
+pub use lc_json;
 pub use lc_parallel;
 pub use lc_study;

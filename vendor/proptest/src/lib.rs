@@ -1,0 +1,396 @@
+//! Workspace-local, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the exact property-testing surface the workspace's integration tests
+//! use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), `any::<T>()`,
+//! integer-range and `collection::vec` strategies, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports its
+//! generated inputs via the assertion message and panics. Generation is
+//! deterministic per test (seeded from the test's module path + name), so
+//! failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration and error plumbing.
+pub mod test_runner {
+    /// Controls how many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+        rejection: bool,
+    }
+
+    impl TestCaseError {
+        /// A genuine assertion failure: the property does not hold.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self {
+                msg: msg.into(),
+                rejection: false,
+            }
+        }
+
+        /// A rejected case (`prop_assume!`): skip, don't fail.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self {
+                msg: msg.into(),
+                rejection: true,
+            }
+        }
+
+        /// True for `prop_assume!` rejections.
+        pub fn is_rejection(&self) -> bool {
+            self.rejection
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Deterministic per-test generator (splitmix64 over an FNV-1a hash
+    /// of the test name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        x: u64,
+    }
+
+    impl TestRng {
+        /// Seed from the (module-qualified) test name.
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { x: h | 1 }
+        }
+
+        /// Next raw 64-bit output word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.x = self.x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// The strategy abstraction: a recipe for generating values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+}
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Uniform strategy over all values of `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(core::ops::Range<usize>);
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            Self(r)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self(n..n + 1)
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// Vectors of `element`-generated values with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let r = &self.len.0;
+            assert!(r.start < r.end, "empty length range");
+            let span = (r.end - r.start) as u64;
+            let n = r.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declare property tests. Accepts an optional leading
+/// `#![proptest_config(...)]` followed by `#[test] fn name(arg in strategy,
+/// ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..cfg.cases {
+                $(let $arg = ($strat).generate(&mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        let _ = $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(e) if e.is_rejection() => {}
+                    ::std::result::Result::Err(e) => panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        cfg.cases,
+                        e
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` flavour of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: {l:?}\n right: {r:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`: {}\n  left: {l:?}\n right: {r:?}",
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` flavour of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left != right`\n  both: {l:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left != right`: {}\n  both: {l:?}",
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skip the current case (does not count as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_vecs_respect_length(v in crate::collection::vec(any::<u8>(), 3..17)) {
+            prop_assert!(v.len() >= 3 && v.len() < 17, "len {}", v.len());
+        }
+
+        #[test]
+        fn range_strategy_in_bounds(x in 10u64..20, y in 1usize..4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((1..4).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = crate::test_runner::TestRng::for_test("alpha");
+        let mut b = crate::test_runner::TestRng::for_test("alpha");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_test("beta");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,200 @@
+//! Workspace-local, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! exactly the surface it consumes: [`rngs::StdRng`], [`SeedableRng`], and
+//! [`RngExt`] with `random::<T>()` and `random_range(range)`.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna) seeded through
+//! splitmix64, so the stream for a given seed is deterministic across
+//! platforms and builds — the synthetic SP dataset generators depend on
+//! that for reproducible inputs.
+
+#![forbid(unsafe_code)]
+
+/// Construction of seedable generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    /// xoshiro256** — 256 bits of state, 64-bit output.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Next raw 64-bit output word.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 state expansion, as recommended by the xoshiro
+            // authors: guarantees a non-zero state for every seed.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+/// Types samplable uniformly over their full domain (`[0, 1)` for floats).
+pub trait Random: Sized {
+    /// Draw one uniform value.
+    fn random(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Random for u64 {
+    fn random(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for f64 {
+    fn random(rng: &mut rngs::StdRng) -> f64 {
+        // 53 high bits -> [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random(rng: &mut rngs::StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges accepted by [`RngExt::random_range`]. Parameterized over the
+/// output type (rather than an associated type) so `let x: f32 =
+/// rng.random_range(1.0..2.0)` infers the literal's type from the target.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (self.end - self.start) * <$t as Random>::random(rng)
+            }
+        }
+    )*};
+}
+float_sample_range!(f32, f64);
+
+/// The sampling methods the workspace calls on `StdRng`.
+pub trait RngExt {
+    /// Uniform value over the full domain of `T`.
+    fn random<T: Random>(&mut self) -> T;
+    /// Uniform value from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl RngExt for rngs::StdRng {
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be uncorrelated, {same}/64 equal");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.random_range(8..128usize);
+            assert!((8..128).contains(&v));
+            let f = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let g: f32 = rng.random_range(1.0e-2..1.0e3f32);
+            assert!((1.0e-2..1.0e3).contains(&g));
+        }
+    }
+
+    #[test]
+    fn range_values_cover_domain() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..10u32) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 10 buckets hit: {seen:?}");
+    }
+}
