@@ -40,7 +40,10 @@ fn bench_ablation(c: &mut Criterion) {
 
     // Print the simulated effect of each mechanism once (the actual
     // ablation result; Criterion then measures evaluation speed).
-    println!("ablation (DBEFS_4 DIFF_4 RLE_4 on obs_temp, {}):", cfg.label());
+    println!(
+        "ablation (DBEFS_4 DIFF_4 RLE_4 on obs_temp, {}):",
+        cfg.label()
+    );
     for v in Variant::ALL {
         let te = pipeline_time_ablated(&cfg, Direction::Encode, &enc, chunks, unc, comp, v);
         let td = pipeline_time_ablated(&cfg, Direction::Decode, &dec, chunks, unc, comp, v);

@@ -36,7 +36,9 @@ fn bench_decode(c: &mut Criterion) {
     let chunk = bench::sample_chunk();
     let mut g = c.benchmark_group("component_decode");
     g.throughput(Throughput::Bytes(chunk.len() as u64));
-    for name in ["TCMS_4", "BIT_4", "DIFF_4", "CLOG_4", "RARE_4", "RLE_4", "RZE_4"] {
+    for name in [
+        "TCMS_4", "BIT_4", "DIFF_4", "CLOG_4", "RARE_4", "RLE_4", "RZE_4",
+    ] {
         let comp = lc_components::lookup(name).expect(name);
         let mut encoded = Vec::new();
         comp.encode_chunk(&chunk, &mut encoded, &mut KernelStats::new());
@@ -45,7 +47,8 @@ fn bench_decode(c: &mut Criterion) {
             b.iter(|| {
                 out.clear();
                 let mut stats = KernelStats::new();
-                comp.decode_chunk(black_box(enc), &mut out, &mut stats).unwrap();
+                comp.decode_chunk(black_box(enc), &mut out, &mut stats)
+                    .unwrap();
                 black_box(out.len())
             });
         });

@@ -59,7 +59,13 @@ fn bench_campaign_inner_loop(c: &mut Criterion) {
     let cfg = SimConfig::new(&RTX_4090, CompilerId::Clang, OptLevel::O3);
     let stats = typical_stats(6400);
     c.bench_function("stage_time_single", |b| {
-        b.iter(|| black_box(gpu_sim::stage_time(black_box(&cfg), black_box(&stats), 6400)));
+        b.iter(|| {
+            black_box(gpu_sim::stage_time(
+                black_box(&cfg),
+                black_box(&stats),
+                6400,
+            ))
+        });
     });
 }
 

@@ -1,0 +1,76 @@
+//! Telemetry overhead benchmarks.
+//!
+//! Two questions, answered as A/B pairs:
+//!
+//! * `telemetry_encode/{disabled,enabled}` — end-to-end archive encode
+//!   with telemetry off vs. on. The acceptance bar is < 1% throughput
+//!   cost when disabled relative to a build that never links telemetry
+//!   (disabled here is the default state, so the `disabled` arm IS that
+//!   measurement) and the `enabled` arm shows the full recording cost.
+//! * `telemetry_span/{disabled,enabled}` — nanobench of the `span!`
+//!   macro itself. Disabled must compile down to one relaxed atomic
+//!   load and a branch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lc_core::archive;
+use lc_parallel::Pool;
+use lc_telemetry::span;
+
+const PIPELINE: &str = "DBEFS_4 DIFF_4 RZE_4";
+
+fn bench_encode_ab(c: &mut Criterion) {
+    let input = bench::sample_input();
+    let pool = Pool::with_default_threads();
+    let pipeline = lc_components::parse_pipeline(PIPELINE).unwrap();
+    let mut g = c.benchmark_group("telemetry_encode");
+    g.throughput(Throughput::Bytes(input.len() as u64));
+    g.sample_size(20);
+
+    lc_telemetry::disable();
+    g.bench_function(BenchmarkId::from_parameter("disabled"), |b| {
+        b.iter(|| black_box(archive::encode(&pipeline, black_box(&input), &pool)));
+    });
+
+    lc_telemetry::enable();
+    g.bench_function(BenchmarkId::from_parameter("enabled"), |b| {
+        b.iter(|| {
+            let out = black_box(archive::encode(&pipeline, black_box(&input), &pool));
+            // Drain per iteration so the event buffers don't grow without
+            // bound; the drain cost is part of what "enabled" costs.
+            black_box(lc_telemetry::drain());
+            out
+        });
+    });
+    lc_telemetry::disable();
+    lc_telemetry::reset();
+    g.finish();
+}
+
+fn bench_span_macro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_span");
+
+    lc_telemetry::disable();
+    g.bench_function(BenchmarkId::from_parameter("disabled"), |b| {
+        b.iter(|| {
+            let s = span!("bench.span", n = black_box(1u64));
+            black_box(s)
+        });
+    });
+
+    lc_telemetry::enable();
+    g.bench_function(BenchmarkId::from_parameter("enabled"), |b| {
+        b.iter(|| {
+            let s = span!("bench.span", n = black_box(1u64));
+            black_box(s)
+        });
+    });
+    lc_telemetry::disable();
+    lc_telemetry::drain();
+    lc_telemetry::reset();
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode_ab, bench_span_macro);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! `cargo run --release -p bench --bin snapshot` — emit
+//! `BENCH_campaign.json`, a small machine-readable performance snapshot
+//! of a fixed tiny-scale campaign plus archive encode/decode throughput
+//! and the telemetry A/B overhead, for tracking across commits.
+//!
+//! Unlike the Criterion benches (statistical, slow), this is a
+//! single-shot snapshot: medians of a few repetitions, done in seconds,
+//! with a stable JSON schema that diffs cleanly.
+
+use std::time::Instant;
+
+use lc_core::archive;
+use lc_data::{Scale, SP_FILES};
+use lc_json::Value;
+use lc_parallel::Pool;
+use lc_study::{run_campaign, Space, StudyConfig};
+
+const PIPELINE: &str = "DBEFS_4 DIFF_4 RZE_4";
+const REPS: usize = 9;
+
+fn median_secs(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Median wall time of `f` over [`REPS`] repetitions.
+fn time_median(mut f: impl FnMut()) -> f64 {
+    let times = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    median_secs(times)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_campaign.json".to_string());
+
+    // 1. The fixed tiny-scale campaign: same restricted space the figure
+    //    benches use, so numbers are comparable across harnesses.
+    let sc = StudyConfig {
+        space: Space::restricted_to_families(&["TCMS", "BIT", "DIFF", "RLE", "RZE"]),
+        scale: Scale::tiny(),
+        threads: lc_parallel::default_threads(),
+        files: vec![&SP_FILES[0], &SP_FILES[5], &SP_FILES[12]],
+        opt_levels: vec![gpu_sim::OptLevel::O1, gpu_sim::OptLevel::O3],
+        verify: false,
+    };
+    let units = sc.files.len() * sc.space.components.len();
+    eprintln!("campaign: {units} units ({} pipelines) ...", sc.space.len());
+    let t0 = Instant::now();
+    let m = run_campaign(&sc);
+    let campaign_s = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "campaign: {campaign_s:.2}s ({:.1} units/s)",
+        units as f64 / campaign_s
+    );
+
+    // 2. Archive encode/decode throughput on the shared bench input.
+    let input = bench::sample_input();
+    let pool = Pool::with_default_threads();
+    let pipeline = lc_components::parse_pipeline(PIPELINE).unwrap();
+    let encoded = archive::encode(&pipeline, &input, &pool);
+    let enc_s = time_median(|| {
+        std::hint::black_box(archive::encode(
+            &pipeline,
+            std::hint::black_box(&input),
+            &pool,
+        ));
+    });
+    let dec_s = time_median(|| {
+        std::hint::black_box(
+            archive::decode(std::hint::black_box(&encoded), lc_components::lookup, &pool).unwrap(),
+        );
+    });
+    let mb = input.len() as f64 / 1e6;
+    eprintln!(
+        "archive: encode {:.1} MB/s, decode {:.1} MB/s",
+        mb / enc_s,
+        mb / dec_s
+    );
+
+    // 3. Telemetry A/B: the same encode with recording on. The disabled
+    //    arm above is the default state (one relaxed load on the hot
+    //    path); `overhead_pct` is the full cost of recording.
+    lc_telemetry::enable();
+    let enc_tel_s = time_median(|| {
+        std::hint::black_box(archive::encode(
+            &pipeline,
+            std::hint::black_box(&input),
+            &pool,
+        ));
+        std::hint::black_box(lc_telemetry::drain());
+    });
+    lc_telemetry::disable();
+    lc_telemetry::reset();
+    let overhead_pct = (enc_tel_s / enc_s - 1.0) * 100.0;
+    eprintln!(
+        "telemetry: enabled encode {:.1} MB/s ({overhead_pct:+.1}%)",
+        mb / enc_tel_s
+    );
+
+    let snapshot = Value::object([
+        ("schema", Value::from("lc-bench-campaign/v1")),
+        (
+            "campaign",
+            Value::object([
+                ("space", Value::from("TCMS+BIT+DIFF+RLE+RZE")),
+                ("pipelines", Value::from(m.space.len() as u64)),
+                (
+                    "files",
+                    Value::array(sc.files.iter().map(|f| Value::from(f.name))),
+                ),
+                ("units", Value::from(units as u64)),
+                ("wall_s", Value::from(campaign_s)),
+                ("units_per_s", Value::from(units as f64 / campaign_s)),
+            ]),
+        ),
+        (
+            "archive",
+            Value::object([
+                ("pipeline", Value::from(PIPELINE)),
+                ("input_bytes", Value::from(input.len() as u64)),
+                ("archive_bytes", Value::from(encoded.len() as u64)),
+                ("encode_mb_s", Value::from(mb / enc_s)),
+                ("decode_mb_s", Value::from(mb / dec_s)),
+            ]),
+        ),
+        (
+            "telemetry",
+            Value::object([
+                ("encode_disabled_mb_s", Value::from(mb / enc_s)),
+                ("encode_enabled_mb_s", Value::from(mb / enc_tel_s)),
+                ("enabled_overhead_pct", Value::from(overhead_pct)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, snapshot.pretty()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("{out_path} written");
+}

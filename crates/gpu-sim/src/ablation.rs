@@ -122,10 +122,22 @@ mod tests {
     fn full_matches_public_pipeline_time() {
         let s = [stats(); 3];
         let a = pipeline_time_ablated(
-            &cfg(CompilerId::Nvcc), Direction::Encode, &s, 64, 64 * 16384, 64 * 9000,
+            &cfg(CompilerId::Nvcc),
+            Direction::Encode,
+            &s,
+            64,
+            64 * 16384,
+            64 * 9000,
             Variant::Full,
         );
-        let b = crate::pipeline_time(&cfg(CompilerId::Nvcc), Direction::Encode, &s, 64, 64 * 16384, 64 * 9000);
+        let b = crate::pipeline_time(
+            &cfg(CompilerId::Nvcc),
+            Direction::Encode,
+            &s,
+            64,
+            64 * 16384,
+            64 * 9000,
+        );
         assert!((a - b).abs() < 1e-15);
     }
 
@@ -133,18 +145,38 @@ mod tests {
     fn each_ablation_is_no_slower_than_full() {
         let s = [stats(); 3];
         let full = pipeline_time_ablated(
-            &cfg(CompilerId::Nvcc), Direction::Encode, &s, 64, 64 * 16384, 64 * 9000,
+            &cfg(CompilerId::Nvcc),
+            Direction::Encode,
+            &s,
+            64,
+            64 * 16384,
+            64 * 9000,
             Variant::Full,
         );
-        for v in [Variant::NoFramework, Variant::NoDivergence, Variant::NoLatency] {
+        for v in [
+            Variant::NoFramework,
+            Variant::NoDivergence,
+            Variant::NoLatency,
+        ] {
             let t = pipeline_time_ablated(
-                &cfg(CompilerId::Nvcc), Direction::Encode, &s, 64, 64 * 16384, 64 * 9000, v,
+                &cfg(CompilerId::Nvcc),
+                Direction::Encode,
+                &s,
+                64,
+                64 * 16384,
+                64 * 9000,
+                v,
             );
             assert!(t <= full, "{}: {t} > {full}", v.label());
         }
         // NoRoofline is additive and therefore never faster.
         let add = pipeline_time_ablated(
-            &cfg(CompilerId::Nvcc), Direction::Encode, &s, 64, 64 * 16384, 64 * 9000,
+            &cfg(CompilerId::Nvcc),
+            Direction::Encode,
+            &s,
+            64,
+            64 * 16384,
+            64 * 9000,
             Variant::NoRoofline,
         );
         assert!(add >= full);
@@ -171,7 +203,10 @@ mod tests {
         let split_full = t(CompilerId::Clang, Variant::Full) / t(CompilerId::Nvcc, Variant::Full);
         let split_ablated =
             t(CompilerId::Clang, Variant::NoFramework) / t(CompilerId::Nvcc, Variant::NoFramework);
-        assert!(split_full > 1.01, "full model shows the split: {split_full}");
+        assert!(
+            split_full > 1.01,
+            "full model shows the split: {split_full}"
+        );
         assert!(
             split_ablated - 1.0 < (split_full - 1.0) * 0.7,
             "ablating the framework shrinks the split: {split_ablated} vs {split_full}"
@@ -185,10 +220,21 @@ mod tests {
         smooth_stats.divergent_branches = 0;
         let smooth = [smooth_stats; 3];
         let t = |s: &[KernelStats], v| {
-            pipeline_time_ablated(&cfg(CompilerId::Nvcc), Direction::Encode, s, 64, 64 * 16384, 64 * 9000, v)
+            pipeline_time_ablated(
+                &cfg(CompilerId::Nvcc),
+                Direction::Encode,
+                s,
+                64,
+                64 * 16384,
+                64 * 9000,
+                v,
+            )
         };
         let gain_divergent = t(&divergent, Variant::Full) / t(&divergent, Variant::NoDivergence);
         let gain_smooth = t(&smooth, Variant::Full) / t(&smooth, Variant::NoDivergence);
-        assert!(gain_divergent > gain_smooth, "{gain_divergent} vs {gain_smooth}");
+        assert!(
+            gain_divergent > gain_smooth,
+            "{gain_divergent} vs {gain_smooth}"
+        );
     }
 }

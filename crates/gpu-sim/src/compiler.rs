@@ -58,7 +58,11 @@ impl CompilerId {
 
     /// The compilers available on a platform, in legend order.
     pub fn for_vendor(vendor: Vendor) -> Vec<CompilerId> {
-        Self::ALL.iter().copied().filter(|c| c.supports(vendor)).collect()
+        Self::ALL
+            .iter()
+            .copied()
+            .filter(|c| c.supports(vendor))
+            .collect()
     }
 }
 
@@ -152,7 +156,7 @@ pub fn profile(compiler: CompilerId, opt: OptLevel, vendor: Vendor) -> CodegenPr
                 compute: 1.02,
                 memory_efficiency: 0.65,
                 shuffle: 0.97,
-                lookback: 1.22, // -O3 regresses the look-back (Fig. 14)
+                lookback: 1.22,   // -O3 regresses the look-back (Fig. 14)
                 block_scan: 0.78, // -O3 gains < 10% on decode (Fig. 15)
                 launch_us: 3.5,
             },

@@ -171,9 +171,9 @@ pub fn stage_time(cfg: &SimConfig, stats: &KernelStats, chunks: u64) -> f64 {
     // Warp shuffles: log2(warp) steps were recorded per scan; a warp-64
     // machine runs one extra shuffle level but over half as many warps.
     let shuffle_scale = (f64::from(gpu.warp_size).log2() / 5.0).max(1.0);
-    let t_shuffle =
-        stats.warp_shuffles as f64 * tuning::SHUFFLE_CYCLES * shuffle_scale * p.shuffle / lanes
-            / clock;
+    let t_shuffle = stats.warp_shuffles as f64 * tuning::SHUFFLE_CYCLES * shuffle_scale * p.shuffle
+        / lanes
+        / clock;
 
     // Shared-memory traffic (inter-stage data stays in shared memory).
     let shared_bw =
@@ -215,8 +215,7 @@ pub fn framework_time(cfg: &SimConfig, direction: Direction, chunks: u64) -> f64
         }
         Direction::Decode => {
             launch
-                + (chunks as f64 * tuning::DEC_SCAN_CHAIN_CYCLES
-                    + w * tuning::DEC_SCAN_WAVE_CYCLES)
+                + (chunks as f64 * tuning::DEC_SCAN_CHAIN_CYCLES + w * tuning::DEC_SCAN_WAVE_CYCLES)
                     * p.block_scan
                     / clock
         }
@@ -256,7 +255,10 @@ pub fn pipeline_time(
     uncompressed: u64,
     compressed: u64,
 ) -> f64 {
-    let stages: f64 = stage_kernels.iter().map(|s| stage_time(cfg, s, chunks)).sum();
+    let stages: f64 = stage_kernels
+        .iter()
+        .map(|s| stage_time(cfg, s, chunks))
+        .sum();
     total_time(cfg, direction, stages, uncompressed + compressed, chunks)
 }
 
@@ -357,13 +359,33 @@ mod tests {
         let bytes = chunks * 16384;
         let stats = [typical_stats(chunks); 3];
         let enc = |comp| {
-            pipeline_time(&cfg(comp, OptLevel::O3), Direction::Encode, &stats, chunks, bytes, bytes / 2)
+            pipeline_time(
+                &cfg(comp, OptLevel::O3),
+                Direction::Encode,
+                &stats,
+                chunks,
+                bytes,
+                bytes / 2,
+            )
         };
         let dec = |comp| {
-            pipeline_time(&cfg(comp, OptLevel::O3), Direction::Decode, &stats, chunks, bytes, bytes / 2)
+            pipeline_time(
+                &cfg(comp, OptLevel::O3),
+                Direction::Decode,
+                &stats,
+                chunks,
+                bytes,
+                bytes / 2,
+            )
         };
-        assert!(enc(CompilerId::Clang) > enc(CompilerId::Nvcc), "Clang encode slower");
-        assert!(dec(CompilerId::Clang) < dec(CompilerId::Nvcc), "Clang decode faster");
+        assert!(
+            enc(CompilerId::Clang) > enc(CompilerId::Nvcc),
+            "Clang encode slower"
+        );
+        assert!(
+            dec(CompilerId::Clang) < dec(CompilerId::Nvcc),
+            "Clang decode faster"
+        );
         // NVCC ≈ HIPCC on NVIDIA (within 2%).
         let ratio = enc(CompilerId::Hipcc) / enc(CompilerId::Nvcc);
         assert!((ratio - 1.0).abs() < 0.02, "NVCC vs HIPCC ratio {ratio}");

@@ -84,7 +84,8 @@ pub fn simulate_kernel(cfg: &SimConfig, blocks: &[BlockCost]) -> f64 {
     let gpu = cfg.gpu;
     let p = cfg.profile();
     let clock = gpu.clock_hz();
-    let blocks_per_sm = f64::from(gpu.max_threads_per_sm / crate::specs::GpuSpec::THREADS_PER_BLOCK);
+    let blocks_per_sm =
+        f64::from(gpu.max_threads_per_sm / crate::specs::GpuSpec::THREADS_PER_BLOCK);
     let slots = gpu.blocks_in_flight() as usize;
     let alu_per_block = f64::from(gpu.alu_per_sm) / blocks_per_sm; // lanes per resident block
     let bw = gpu.mem_bandwidth_gbs * 1e9 * p.memory_efficiency;
@@ -100,9 +101,8 @@ pub fn simulate_kernel(cfg: &SimConfig, blocks: &[BlockCost]) -> f64 {
     // non-NaN by construction, so order by bit pattern of the positive
     // float (monotone for non-negative finite values).
     let key = |t: f64| Reverse(t.max(0.0).to_bits());
-    let mut heap: BinaryHeap<Reverse<u64>> = (0..slots.min(blocks.len()))
-        .map(|_| key(0.0))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<u64>> =
+        (0..slots.min(blocks.len())).map(|_| key(0.0)).collect();
     let mut makespan = 0.0f64;
     for b in blocks {
         let Reverse(bits) = heap.pop().expect("slots");

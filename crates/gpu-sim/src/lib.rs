@@ -14,15 +14,15 @@
 
 pub mod ablation;
 pub mod compiler;
+pub mod cost;
 pub mod event_sim;
 pub mod numa;
-pub mod cost;
 pub mod specs;
 
 pub use compiler::{profile, CodegenProfile, CompilerId, OptLevel};
 pub use cost::{
-    framework_time, memory_time, pipeline_time, stage_time, throughput_gbs, total_time,
-    Direction, SimConfig,
+    framework_time, memory_time, pipeline_time, stage_time, throughput_gbs, total_time, Direction,
+    SimConfig,
 };
 pub use specs::{
     fastest, GpuSpec, Vendor, ALL_GPUS, MI100, RTX_3080_TI, RTX_4090, RX_7900_XTX, TITAN_V,

@@ -34,7 +34,10 @@ pub struct NumaConfig {
 impl NumaConfig {
     /// Monolithic baseline (no NUMA effects).
     pub fn monolithic() -> Self {
-        Self { sockets: 1, link_bandwidth_fraction: 1.0 }
+        Self {
+            sockets: 1,
+            link_bandwidth_fraction: 1.0,
+        }
     }
 
     /// Fraction of chunk loads that cross the interconnect under uniform
@@ -72,7 +75,10 @@ pub fn numa_pipeline_time(
     uncompressed: u64,
     compressed: u64,
 ) -> f64 {
-    let stages: f64 = stage_kernels.iter().map(|s| stage_time(cfg, s, chunks)).sum();
+    let stages: f64 = stage_kernels
+        .iter()
+        .map(|s| stage_time(cfg, s, chunks))
+        .sum();
     let bytes = uncompressed + compressed;
     let local = memory_time(cfg, bytes);
     // Remote traffic is limited by the link: effective time for the remote
@@ -116,7 +122,10 @@ mod tests {
     }
 
     fn two_socket() -> NumaConfig {
-        NumaConfig { sockets: 2, link_bandwidth_fraction: 0.4 }
+        NumaConfig {
+            sockets: 2,
+            link_bandwidth_fraction: 0.4,
+        }
     }
 
     #[test]
@@ -124,7 +133,13 @@ mod tests {
         let s = [stats(6400, true); 3];
         let cfg = base_cfg(CompilerId::Nvcc);
         let a = numa_pipeline_time(
-            &cfg, NumaConfig::monolithic(), Direction::Encode, &s, 6400, 6400 * 16384, 6400 * 9000,
+            &cfg,
+            NumaConfig::monolithic(),
+            Direction::Encode,
+            &s,
+            6400,
+            6400 * 16384,
+            6400 * 9000,
         );
         let b = crate::pipeline_time(&cfg, Direction::Encode, &s, 6400, 6400 * 16384, 6400 * 9000);
         assert!((a - b).abs() / b < 1e-12);
@@ -134,7 +149,10 @@ mod tests {
     fn remote_fraction_formula() {
         assert_eq!(NumaConfig::monolithic().remote_fraction(), 0.0);
         assert_eq!(two_socket().remote_fraction(), 0.5);
-        let four = NumaConfig { sockets: 4, link_bandwidth_fraction: 0.4 };
+        let four = NumaConfig {
+            sockets: 4,
+            link_bandwidth_fraction: 0.4,
+        };
         assert_eq!(four.remote_fraction(), 0.75);
     }
 
@@ -173,9 +191,20 @@ mod tests {
         let light = [stats(6400, false); 3];
         let heavy = [stats(6400, true); 3];
         let t = |s: &[KernelStats]| {
-            numa_pipeline_time(&cfg, numa, Direction::Encode, s, 6400, 6400 * 16384, 6400 * 9000)
+            numa_pipeline_time(
+                &cfg,
+                numa,
+                Direction::Encode,
+                s,
+                6400,
+                6400 * 16384,
+                6400 * 9000,
+            )
         };
-        assert!(t(&heavy) > t(&light), "heavy components stay slower under NUMA");
+        assert!(
+            t(&heavy) > t(&light),
+            "heavy components stay slower under NUMA"
+        );
     }
 
     #[test]
@@ -186,11 +215,22 @@ mod tests {
         let cfg = base_cfg(CompilerId::Nvcc);
         let heavy = [stats(6400, true); 3];
         let mono = numa_pipeline_time(
-            &cfg, NumaConfig::monolithic(), Direction::Encode, &heavy, 6400, 6400 * 16384,
+            &cfg,
+            NumaConfig::monolithic(),
+            Direction::Encode,
+            &heavy,
+            6400,
+            6400 * 16384,
             6400 * 9000,
         );
         let numa = numa_pipeline_time(
-            &cfg, two_socket(), Direction::Encode, &heavy, 6400, 6400 * 16384, 6400 * 9000,
+            &cfg,
+            two_socket(),
+            Direction::Encode,
+            &heavy,
+            6400,
+            6400 * 16384,
+            6400 * 9000,
         );
         let penalty = numa / mono;
         assert!(penalty < 1.10, "compute-bound NUMA penalty {penalty}");
@@ -203,11 +243,22 @@ mod tests {
         let cfg = base_cfg(CompilerId::Nvcc);
         let light = [stats(6400, false); 3];
         let mono = numa_pipeline_time(
-            &cfg, NumaConfig::monolithic(), Direction::Decode, &light, 6400, 6400 * 16384,
+            &cfg,
+            NumaConfig::monolithic(),
+            Direction::Decode,
+            &light,
+            6400,
+            6400 * 16384,
             6400 * 16000,
         );
         let numa = numa_pipeline_time(
-            &cfg, two_socket(), Direction::Decode, &light, 6400, 6400 * 16384, 6400 * 16000,
+            &cfg,
+            two_socket(),
+            Direction::Decode,
+            &light,
+            6400,
+            6400 * 16384,
+            6400 * 16000,
         );
         let penalty = numa / mono;
         assert!(penalty > 1.2, "memory-bound NUMA penalty {penalty}");
@@ -218,7 +269,13 @@ mod tests {
         let cfg = base_cfg(CompilerId::Nvcc);
         let s = [stats(6400, false); 3];
         let t = numa_pipeline_time(
-            &cfg, two_socket(), Direction::Encode, &s, 6400, 6400 * 16384, 6400 * 9000,
+            &cfg,
+            two_socket(),
+            Direction::Encode,
+            &s,
+            6400,
+            6400 * 16384,
+            6400 * 9000,
         );
         let tp = throughput_gbs(6400 * 16384, t);
         assert!(tp > 1.0 && tp < 5000.0, "{tp}");

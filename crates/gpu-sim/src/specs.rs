@@ -176,7 +176,10 @@ mod tests {
         assert_eq!(RTX_4090.blocks_in_flight(), 128 * 3);
         assert_eq!(RTX_4090.full_occupancy_bytes(), 6 * 1024 * 1024);
         // "it takes 9.375 MB to fully occupy the AMD MI100"
-        assert_eq!(MI100.full_occupancy_bytes(), (9.375 * 1024.0 * 1024.0) as u64);
+        assert_eq!(
+            MI100.full_occupancy_bytes(),
+            (9.375 * 1024.0 * 1024.0) as u64
+        );
     }
 
     #[test]
@@ -188,8 +191,17 @@ mod tests {
     #[test]
     fn five_gpus_two_vendors() {
         assert_eq!(ALL_GPUS.len(), 5);
-        assert_eq!(ALL_GPUS.iter().filter(|g| g.vendor == Vendor::Nvidia).count(), 3);
-        assert_eq!(ALL_GPUS.iter().filter(|g| g.vendor == Vendor::Amd).count(), 2);
+        assert_eq!(
+            ALL_GPUS
+                .iter()
+                .filter(|g| g.vendor == Vendor::Nvidia)
+                .count(),
+            3
+        );
+        assert_eq!(
+            ALL_GPUS.iter().filter(|g| g.vendor == Vendor::Amd).count(),
+            2
+        );
     }
 
     #[test]

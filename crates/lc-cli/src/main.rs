@@ -14,6 +14,12 @@
 //! exit=<code> <message>`, and the exit code distinguishes the cause:
 //! 1 usage/I-O, 2 corrupt archive ([`lc_core::DecodeError`]), 3 salvage
 //! completed but lost chunks, 4 decoded size above `--max-decoded-bytes`.
+//!
+//! Every subcommand accepts `--trace-out PATH` (Chrome trace-event JSON,
+//! loadable in Perfetto / `chrome://tracing`) and `--metrics-out PATH`
+//! (counter + histogram summary JSON). Either flag switches telemetry
+//! on; without them the instrumented hot paths cost a single relaxed
+//! atomic load. `pack` / `unpack` are aliases for compress / decompress.
 
 #![forbid(unsafe_code)]
 
@@ -43,7 +49,11 @@ struct CliError {
 
 impl From<String> for CliError {
     fn from(msg: String) -> Self {
-        Self { kind: "usage", exit: EXIT_GENERIC, msg }
+        Self {
+            kind: "usage",
+            exit: EXIT_GENERIC,
+            msg,
+        }
     }
 }
 
@@ -56,10 +66,16 @@ impl From<&str> for CliError {
 impl From<DecodeError> for CliError {
     fn from(e: DecodeError) -> Self {
         match e {
-            DecodeError::TooLarge { .. } => {
-                Self { kind: "limit", exit: EXIT_LIMIT, msg: e.to_string() }
-            }
-            _ => Self { kind: "decode", exit: EXIT_DECODE, msg: e.to_string() },
+            DecodeError::TooLarge { .. } => Self {
+                kind: "limit",
+                exit: EXIT_LIMIT,
+                msg: e.to_string(),
+            },
+            _ => Self {
+                kind: "decode",
+                exit: EXIT_DECODE,
+                msg: e.to_string(),
+            },
         }
     }
 }
@@ -68,7 +84,11 @@ impl From<lc_core::stream::StreamError> for CliError {
     fn from(e: lc_core::stream::StreamError) -> Self {
         match e {
             lc_core::stream::StreamError::Decode(d) => Self::from(d),
-            io => Self { kind: "decode", exit: EXIT_DECODE, msg: io.to_string() },
+            io => Self {
+                kind: "decode",
+                exit: EXIT_DECODE,
+                msg: io.to_string(),
+            },
         }
     }
 }
@@ -76,14 +96,21 @@ impl From<lc_core::stream::StreamError> for CliError {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: lc <list|compress|decompress|salvage|gen-data|profile|simulate> … (--help)");
+        eprintln!(
+            "usage: lc <list|compress|decompress|salvage|gen-data|profile|simulate> … (--help)"
+        );
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
+    let trace_out = flag_value(rest, "--trace-out").map(str::to_string);
+    let metrics_out = flag_value(rest, "--metrics-out").map(str::to_string);
+    if trace_out.is_some() || metrics_out.is_some() {
+        lc_telemetry::enable();
+    }
     let result = match cmd.as_str() {
         "list" => cmd_list(),
-        "compress" => cmd_compress(rest),
-        "decompress" => cmd_decompress(rest),
+        "compress" | "pack" => cmd_compress(rest),
+        "decompress" | "unpack" => cmd_decompress(rest),
         "salvage" => cmd_salvage(rest),
         "gen-data" => cmd_gen_data(rest),
         "profile" => cmd_profile(rest),
@@ -103,11 +130,20 @@ fn main() -> ExitCode {
                  simulate   --pipeline P [--file NAME] [--gpu NAME] [--compiler nvcc|clang|hipcc] [--opt 1|3]\n  \
                  bench-components [--file NAME]  CPU throughput of every component\n  \
                  verify     ARCHIVE [ORIGINAL]    check an archive decodes (and matches ORIGINAL)\n\
+                 aliases: pack = compress, unpack = decompress\n\
+                 telemetry: any subcommand takes --trace-out PATH (Chrome trace JSON)\n\
+                 and --metrics-out PATH (counter/histogram summary JSON)\n\
                  exit codes: 0 ok, 1 usage/io, 2 corrupt archive, 3 salvage with losses, 4 size limit"
             );
             Ok(())
         }
         other => Err(CliError::from(format!("unknown subcommand {other:?}"))),
+    };
+    // Export telemetry even when the command failed: a partial trace of a
+    // decode that errored out is exactly when you want to look at one.
+    let result = match write_telemetry(trace_out.as_deref(), metrics_out.as_deref()) {
+        Ok(()) => result,
+        Err(t) => result.and(Err(t)),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -123,6 +159,24 @@ fn main() -> ExitCode {
             ExitCode::from(e.exit)
         }
     }
+}
+
+/// Drain buffered telemetry and write the requested export files.
+fn write_telemetry(trace: Option<&str>, metrics: Option<&str>) -> Result<(), CliError> {
+    if trace.is_none() && metrics.is_none() {
+        return Ok(());
+    }
+    let events = lc_telemetry::drain();
+    if let Some(path) = trace {
+        std::fs::write(path, lc_telemetry::export::chrome_trace(&events))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace: {} events -> {path}", events.len());
+    }
+    if let Some(path) = metrics {
+        std::fs::write(path, lc_telemetry::export::metrics_value().pretty())
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
 }
 
 /// Parse `--max-decoded-bytes N` if present.
@@ -167,7 +221,10 @@ fn positional(rest: &[String]) -> Vec<&str> {
 }
 
 fn cmd_list() -> Result<(), CliError> {
-    println!("{:10} {:10} {:>5} {:>6}  component", "name", "kind", "word", "tuple");
+    println!(
+        "{:10} {:10} {:>5} {:>6}  component",
+        "name", "kind", "word", "tuple"
+    );
     for c in lc_components::all() {
         println!(
             "{:10} {:10} {:>5} {:>6}  {}",
@@ -178,10 +235,12 @@ fn cmd_list() -> Result<(), CliError> {
             lc_core::component::family_of(c.name()),
         );
     }
-    println!("total: {} components, {} reducers, {} three-stage pipelines",
+    println!(
+        "total: {} components, {} reducers, {} three-stage pipelines",
         lc_components::COMPONENT_COUNT,
         lc_components::REDUCER_COUNT,
-        lc_components::PIPELINE_COUNT);
+        lc_components::PIPELINE_COUNT
+    );
     println!("\npresets (use with compress --preset NAME):");
     for p in &lc_components::presets::PRESETS {
         println!("  {:10} {:28} {}", p.name, p.pipeline, p.purpose);
@@ -192,7 +251,10 @@ fn cmd_list() -> Result<(), CliError> {
 fn parse_pipeline(rest: &[String]) -> Result<Pipeline, String> {
     if let Some(name) = flag_value(rest, "--preset") {
         return lc_components::presets::preset(name).map_err(|e| {
-            format!("{e} (available presets: {})", lc_components::presets::names().join(", "))
+            format!(
+                "{e} (available presets: {})",
+                lc_components::presets::names().join(", ")
+            )
         });
     }
     let text = flag_value(rest, "--pipeline")
@@ -325,21 +387,33 @@ fn cmd_salvage(rest: &[String]) -> Result<(), CliError> {
         Ok(())
     } else {
         let msg = if report.lost > 0 {
-            format!("{} chunk(s) unrecoverable and zero-filled in {output}", report.lost)
+            format!(
+                "{} chunk(s) unrecoverable and zero-filled in {output}",
+                report.lost
+            )
         } else {
             format!("archive checksum mismatch; {output} may contain undetected damage")
         };
-        Err(CliError { kind: "salvage", exit: EXIT_SALVAGE_LOSSES, msg })
+        Err(CliError {
+            kind: "salvage",
+            exit: EXIT_SALVAGE_LOSSES,
+            msg,
+        })
     }
 }
 
 fn cmd_gen_data(rest: &[String]) -> Result<(), CliError> {
-    let scale: u32 = flag_value(rest, "--scale").unwrap_or("512").parse().map_err(|e| format!("--scale: {e}"))?;
+    let scale: u32 = flag_value(rest, "--scale")
+        .unwrap_or("512")
+        .parse()
+        .map_err(|e| format!("--scale: {e}"))?;
     let out_dir = flag_value(rest, "--out").unwrap_or("sp-data");
     std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
     let scale = lc_data::Scale::denominator(scale);
     let files: Vec<&lc_data::SpFile> = match flag_value(rest, "--file") {
-        Some(name) => vec![lc_data::file_by_name(name).ok_or_else(|| format!("unknown file {name:?}"))?],
+        Some(name) => {
+            vec![lc_data::file_by_name(name).ok_or_else(|| format!("unknown file {name:?}"))?]
+        }
         None => lc_data::SP_FILES.iter().collect(),
     };
     for f in files {
@@ -402,14 +476,18 @@ fn cmd_verify(rest: &[String]) -> Result<(), CliError> {
 
 fn cmd_bench_components(rest: &[String]) -> Result<(), CliError> {
     let file_name = flag_value(rest, "--file").unwrap_or("obs_temp");
-    let sp = lc_data::file_by_name(file_name).ok_or_else(|| format!("unknown file {file_name:?}"))?;
+    let sp =
+        lc_data::file_by_name(file_name).ok_or_else(|| format!("unknown file {file_name:?}"))?;
     let data = lc_data::generate(sp, lc_data::Scale::denominator(2048));
     let reps = 8;
     println!(
         "CPU component throughput on {file_name} ({} bytes, median of {reps} reps)",
         data.len()
     );
-    println!("{:10} {:>12} {:>12} {:>8}", "component", "enc MB/s", "dec MB/s", "ratio");
+    println!(
+        "{:10} {:>12} {:>12} {:>8}",
+        "component", "enc MB/s", "dec MB/s", "ratio"
+    );
     for c in lc_components::all() {
         let mut enc = Vec::new();
         let mut enc_times = Vec::new();
@@ -488,7 +566,8 @@ fn cmd_simulate(rest: &[String]) -> Result<(), CliError> {
         .map(|n| lc_components::lookup(n).ok_or_else(|| format!("unknown component {n:?}")))
         .collect::<Result<_, _>>()?;
 
-    let sp = lc_data::file_by_name(file_name).ok_or_else(|| format!("unknown file {file_name:?}"))?;
+    let sp =
+        lc_data::file_by_name(file_name).ok_or_else(|| format!("unknown file {file_name:?}"))?;
     let data = lc_data::generate(sp, lc_data::Scale::denominator(512));
     let mut chunked = lc_study::runner::ChunkedData::from_bytes(&data);
     let measured = chunked.total_bytes();
@@ -506,8 +585,22 @@ fn cmd_simulate(rest: &[String]) -> Result<(), CliError> {
         comp_bytes = (outcome.output.total_bytes() as f64 * factor) as u64 + 5 * chunks;
         chunked = outcome.output;
     }
-    let t_enc = gpu_sim::pipeline_time(&cfg, Direction::Encode, &enc_stats, chunks, paper_bytes, comp_bytes);
-    let t_dec = gpu_sim::pipeline_time(&cfg, Direction::Decode, &dec_stats, chunks, paper_bytes, comp_bytes);
+    let t_enc = gpu_sim::pipeline_time(
+        &cfg,
+        Direction::Encode,
+        &enc_stats,
+        chunks,
+        paper_bytes,
+        comp_bytes,
+    );
+    let t_dec = gpu_sim::pipeline_time(
+        &cfg,
+        Direction::Decode,
+        &dec_stats,
+        chunks,
+        paper_bytes,
+        comp_bytes,
+    );
     println!("pipeline : {pipeline_text}");
     println!("input    : {file_name} ({paper_bytes} bytes at paper scale)");
     println!("platform : {}", cfg.label());

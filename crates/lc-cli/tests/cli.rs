@@ -39,10 +39,23 @@ fn compress_decompress_roundtrip_via_files() {
         .arg(&archive)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
-    let out = lc().arg("decompress").arg(&archive).arg(&restored).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = lc()
+        .arg("decompress")
+        .arg(&archive)
+        .arg(&restored)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(std::fs::read(&restored).unwrap(), data);
 }
 
@@ -77,7 +90,11 @@ fn simulate_prints_both_directions() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("encode"), "{text}");
     assert!(text.contains("decode"), "{text}");
@@ -88,7 +105,12 @@ fn simulate_prints_both_directions() {
 fn simulate_rejects_clang_on_amd() {
     let out = lc()
         .args([
-            "simulate", "--pipeline", "TCMS_4 DIFF_4 CLOG_4", "--gpu", "MI100", "--compiler",
+            "simulate",
+            "--pipeline",
+            "TCMS_4 DIFF_4 CLOG_4",
+            "--gpu",
+            "MI100",
+            "--compiler",
             "clang",
         ])
         .output()
@@ -105,7 +127,11 @@ fn gen_data_writes_requested_file() {
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let produced = std::fs::read(dir.join("obs_info.sp")).unwrap();
     assert!(produced.len() >= 64 * 1024);
 }
@@ -136,12 +162,25 @@ fn streamed_compress_decompress_roundtrip() {
         .arg(&archive)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("streamed"));
 
     // decompress auto-detects the streamed format by magic.
-    let out = lc().arg("decompress").arg(&archive).arg(&restored).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = lc()
+        .arg("decompress")
+        .arg(&archive)
+        .arg(&restored)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(std::fs::read(&restored).unwrap(), data);
 }
 
@@ -158,10 +197,18 @@ fn verify_subcommand_accepts_good_and_rejects_corrupt() {
         .arg(&archive)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = lc().arg("verify").arg(&archive).arg(&src).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("bit-exactly"));
 
     // Truncate the archive: verify must fail with an error message.
@@ -184,7 +231,11 @@ fn small_archive(tag: &str) -> (Vec<u8>, std::path::PathBuf) {
         .arg(&archive)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     (data, archive)
 }
 
@@ -196,7 +247,12 @@ fn corrupt_archive_exits_2_with_structured_error() {
     bytes[mid] ^= 0xFF;
     std::fs::write(&archive, &bytes).unwrap();
 
-    let out = lc().arg("decompress").arg(&archive).arg(tmp("exit2.out")).output().unwrap();
+    let out = lc()
+        .arg("decompress")
+        .arg(&archive)
+        .arg(tmp("exit2.out"))
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.lines().count() == 1, "single-line error, got {err:?}");
@@ -213,7 +269,12 @@ fn salvage_recovers_intact_chunks_and_exits_3() {
     std::fs::write(&archive, &bytes).unwrap();
 
     let restored = tmp("salv.out");
-    let out = lc().arg("salvage").arg(&archive).arg(&restored).output().unwrap();
+    let out = lc()
+        .arg("salvage")
+        .arg(&archive)
+        .arg(&restored)
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(3));
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("kind=salvage"), "{err}");
@@ -225,16 +286,134 @@ fn salvage_recovers_intact_chunks_and_exits_3() {
     let salvaged = std::fs::read(&restored).unwrap();
     assert_eq!(salvaged.len(), data.len());
     let differing = salvaged.iter().zip(&data).filter(|(a, b)| a != b).count();
-    assert!(differing > 0 && differing <= 16 * 1024, "differing bytes: {differing}");
+    assert!(
+        differing > 0 && differing <= 16 * 1024,
+        "differing bytes: {differing}"
+    );
 }
 
 #[test]
 fn salvage_of_clean_archive_exits_0() {
     let (data, archive) = small_archive("salvclean");
     let restored = tmp("salvclean.out");
-    let out = lc().arg("salvage").arg(&archive).arg(&restored).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = lc()
+        .arg("salvage")
+        .arg(&archive)
+        .arg(&restored)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(std::fs::read(&restored).unwrap(), data);
+}
+
+#[test]
+fn pack_and_unpack_are_aliases_for_compress_and_decompress() {
+    let src = tmp("alias.sp");
+    let archive = tmp("alias.lc");
+    let restored = tmp("alias.out");
+    let file = lc_data::file_by_name("obs_info").unwrap();
+    let data = lc_data::generate(file, lc_data::Scale::tiny());
+    std::fs::write(&src, &data).unwrap();
+
+    let out = lc()
+        .args(["pack", "--pipeline", "TCMS_4 DIFF_4 RZE_4"])
+        .arg(&src)
+        .arg(&archive)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = lc()
+        .arg("unpack")
+        .arg(&archive)
+        .arg(&restored)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read(&restored).unwrap(), data);
+}
+
+#[test]
+fn pack_with_trace_out_emits_one_span_per_chunk_and_stage() {
+    let src = tmp("trace.sp");
+    let archive = tmp("trace.lc");
+    let trace = tmp("trace.json");
+    let metrics = tmp("metrics.json");
+    let file = lc_data::file_by_name("obs_info").unwrap();
+    let data = lc_data::generate(file, lc_data::Scale::tiny());
+    std::fs::write(&src, &data).unwrap();
+    let chunks = data.len().div_ceil(lc_core::CHUNK_SIZE);
+
+    let out = lc()
+        .args(["pack", "--pipeline", "TCMS_4 DIFF_4 RZE_4"])
+        .arg(&src)
+        .arg(&archive)
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let parsed = lc_json::Value::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = parsed
+        .get("traceEvents")
+        .and_then(lc_json::Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    // Every event is a complete-span record with the fields Perfetto needs.
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(lc_json::Value::as_str), Some("X"));
+        assert!(ev.get("ts").and_then(lc_json::Value::as_f64).is_some());
+        assert!(ev.get("dur").and_then(lc_json::Value::as_f64).is_some());
+        assert!(ev.get("name").and_then(lc_json::Value::as_str).is_some());
+    }
+    // Exactly one stage.encode span per (chunk, stage) pair, all distinct.
+    let mut seen = std::collections::HashSet::new();
+    for ev in events {
+        if ev.get("cat").and_then(lc_json::Value::as_str) != Some("stage.encode") {
+            continue;
+        }
+        let stage = ev
+            .get("name")
+            .and_then(lc_json::Value::as_str)
+            .unwrap()
+            .to_string();
+        let chunk = ev
+            .get("args")
+            .and_then(|a| a.get("chunk"))
+            .and_then(lc_json::Value::as_u64)
+            .expect("stage.encode span carries its chunk index");
+        assert!(
+            seen.insert((stage, chunk)),
+            "duplicate span for chunk {chunk}"
+        );
+    }
+    assert_eq!(seen.len(), chunks * 3, "one span per (chunk, stage)");
+
+    let metrics = lc_json::Value::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let bytes_in = metrics
+        .get("counters")
+        .and_then(|c| c.get("archive.encode.bytes_in"))
+        .and_then(lc_json::Value::as_u64);
+    assert_eq!(bytes_in, Some(data.len() as u64));
 }
 
 #[test]
@@ -261,6 +440,10 @@ fn max_decoded_bytes_guards_against_bombs_with_exit_4() {
         .args(["--max-decoded-bytes", "10000000"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(std::fs::read(&restored).unwrap(), data);
 }

@@ -10,13 +10,19 @@
 //! in the pipeline produced an odd-sized chunk) pass through unchanged at
 //! the end of the chunk.
 
-use lc_core::{Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass};
+use lc_core::{
+    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+};
 
 use crate::util::codec;
 use crate::util::words;
 
-const MUTATOR_COMPLEXITY: Complexity =
-    Complexity::new(WorkClass::N, SpanClass::Const, WorkClass::N, SpanClass::Const);
+const MUTATOR_COMPLEXITY: Complexity = Complexity::new(
+    WorkClass::N,
+    SpanClass::Const,
+    WorkClass::N,
+    SpanClass::Const,
+);
 
 /// Apply `f` to every complete word, pass the tail through, and account
 /// a mutator kernel: one coalesced read + write per word, `ops_per_word`
@@ -182,7 +188,10 @@ mod tests {
         // Smooth float data: after DBEFS the de-biased exponent occupies the
         // top bits and is near zero for values near 1.0.
         let vals: Vec<f32> = (0..256).map(|i| 1.0 + i as f32 * 1e-3).collect();
-        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let bytes: Vec<u8> = vals
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let mut out = Vec::new();
         let mut stats = KernelStats::new();
         Dbefs::<4>.encode_chunk(&bytes, &mut out, &mut stats);

@@ -8,7 +8,9 @@
 //! (paper Table 2) — which is why predictor-led pipelines have the lowest
 //! decode throughputs (paper Fig. 7).
 
-use lc_core::{Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass};
+use lc_core::{
+    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+};
 
 use crate::util::codec;
 use crate::util::words;
@@ -241,7 +243,9 @@ mod tests {
         assert_eq!(enc_stats.block_syncs, 0);
         let mut dec_stats = KernelStats::new();
         let mut dec = Vec::new();
-        Diff::<4>.decode_chunk(&enc, &mut dec, &mut dec_stats).unwrap();
+        Diff::<4>
+            .decode_chunk(&enc, &mut dec, &mut dec_stats)
+            .unwrap();
         assert!(dec_stats.scan_steps > 0, "decode is a prefix sum");
         assert!(dec_stats.block_syncs > 0);
     }

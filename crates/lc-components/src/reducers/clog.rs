@@ -16,7 +16,9 @@
 //! bits         values, subchunk-major, width_j bits each, MSB-first
 //! ```
 
-use lc_core::{Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass};
+use lc_core::{
+    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+};
 
 use super::{read_frame, write_frame};
 use crate::util::bitpack::{BitReader, BitWriter};
@@ -80,7 +82,12 @@ macro_rules! clog_like {
             }
             fn complexity(&self) -> Complexity {
                 // Θ(n) work, Θ(1) span in both directions (paper Table 2).
-                Complexity::new(WorkClass::N, SpanClass::Const, WorkClass::N, SpanClass::Const)
+                Complexity::new(
+                    WorkClass::N,
+                    SpanClass::Const,
+                    WorkClass::N,
+                    SpanClass::Const,
+                )
             }
             fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
                 encode::<W>(input, out, stats, $hybrid);
@@ -148,7 +155,11 @@ fn encode<const W: usize>(input: &[u8], out: &mut Vec<u8>, stats: &mut KernelSta
     for j in 0..SUBCHUNKS {
         let width = u32::from(widths[j]);
         for &v in &vals[subchunk_range(j, n)] {
-            let v = if flags[j] { codec::to_magnitude_sign::<W>(v) } else { v };
+            let v = if flags[j] {
+                codec::to_magnitude_sign::<W>(v)
+            } else {
+                v
+            };
             writer.put(v, width);
         }
     }
@@ -172,20 +183,26 @@ fn decode<const W: usize>(
     let mut pos = frame.body;
     if n == 0 {
         if pos != input.len() {
-            return Err(DecodeError::Corrupt { context: "CLOG trailing bytes" });
+            return Err(DecodeError::Corrupt {
+                context: "CLOG trailing bytes",
+            });
         }
         out.extend_from_slice(frame.tail);
         return Ok(());
     }
     if pos + SUBCHUNKS > input.len() {
-        return Err(DecodeError::Truncated { context: "CLOG widths" });
+        return Err(DecodeError::Truncated {
+            context: "CLOG widths",
+        });
     }
     let widths = &input[pos..pos + SUBCHUNKS];
     pos += SUBCHUNKS;
     let mut flags = [false; SUBCHUNKS];
     if hybrid {
         if pos + 4 > input.len() {
-            return Err(DecodeError::Truncated { context: "HCLOG flags" });
+            return Err(DecodeError::Truncated {
+                context: "HCLOG flags",
+            });
         }
         for j in 0..SUBCHUNKS {
             flags[j] = input[pos + j / 8] & (1 << (j % 8)) != 0;
@@ -197,11 +214,17 @@ fn decode<const W: usize>(
     for j in 0..SUBCHUNKS {
         let width = u32::from(widths[j]);
         if width > bits {
-            return Err(DecodeError::Corrupt { context: "CLOG width exceeds word" });
+            return Err(DecodeError::Corrupt {
+                context: "CLOG width exceeds word",
+            });
         }
         for _ in subchunk_range(j, n) {
             let v = reader.get(width)?;
-            let v = if flags[j] { codec::from_magnitude_sign::<W>(v) } else { v };
+            let v = if flags[j] {
+                codec::from_magnitude_sign::<W>(v)
+            } else {
+                v
+            };
             words::put::<W>(out, v);
         }
     }
@@ -220,7 +243,9 @@ mod tests {
     use lc_core::verify::roundtrip_component;
 
     fn float_bytes(vals: &[f32]) -> Vec<u8> {
-        vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+        vals.iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect()
     }
 
     #[test]
@@ -271,7 +296,9 @@ mod tests {
 
     #[test]
     fn clog_does_not_compress_random_bits() {
-        let data: Vec<u8> = (0..4096).map(|i| (((i * 2654435761u64) >> 13) & 0xFF) as u8).collect();
+        let data: Vec<u8> = (0..4096)
+            .map(|i| (((i * 2654435761u64) >> 13) & 0xFF) as u8)
+            .collect();
         let size = roundtrip_component(&Clog::<4>, &data);
         assert!(size >= data.len(), "full-width values cannot shrink");
     }
@@ -284,7 +311,10 @@ mod tests {
         let data: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
         let clog_size = roundtrip_component(&Clog::<4>, &data);
         let hclog_size = roundtrip_component(&Hclog::<4>, &data);
-        assert!(hclog_size < clog_size, "HCLOG {hclog_size} vs CLOG {clog_size}");
+        assert!(
+            hclog_size < clog_size,
+            "HCLOG {hclog_size} vs CLOG {clog_size}"
+        );
         assert!(hclog_size < data.len());
     }
 
@@ -306,7 +336,9 @@ mod tests {
         // Frame: varint(16) = 1 byte, tail_len byte, no tail → widths at 2.
         enc[2] = 99;
         let mut out = Vec::new();
-        assert!(Clog::<4>.decode_chunk(&enc, &mut out, &mut KernelStats::new()).is_err());
+        assert!(Clog::<4>
+            .decode_chunk(&enc, &mut out, &mut KernelStats::new())
+            .is_err());
     }
 
     #[test]
@@ -317,7 +349,9 @@ mod tests {
         for cut in [0, 1, 2, 10, enc.len() - 1] {
             let mut out = Vec::new();
             assert!(
-                Clog::<4>.decode_chunk(&enc[..cut], &mut out, &mut KernelStats::new()).is_err(),
+                Clog::<4>
+                    .decode_chunk(&enc[..cut], &mut out, &mut KernelStats::new())
+                    .is_err(),
                 "cut={cut}"
             );
         }

@@ -55,21 +55,26 @@ pub(crate) struct Frame<'a> {
 pub(crate) fn read_frame<const W: usize>(buf: &[u8]) -> Result<Frame<'_>, DecodeError> {
     let mut pos = 0usize;
     let n_words = varint::read(buf, &mut pos)? as usize;
-    let tail_len = *buf
-        .get(pos)
-        .ok_or(DecodeError::Truncated { context: "reducer tail length" })?
-        as usize;
+    let tail_len = *buf.get(pos).ok_or(DecodeError::Truncated {
+        context: "reducer tail length",
+    })? as usize;
     pos += 1;
     if tail_len >= W {
-        return Err(DecodeError::Corrupt { context: "reducer tail length >= word size" });
+        return Err(DecodeError::Corrupt {
+            context: "reducer tail length >= word size",
+        });
     }
     if pos + tail_len > buf.len() {
-        return Err(DecodeError::Truncated { context: "reducer tail bytes" });
+        return Err(DecodeError::Truncated {
+            context: "reducer tail bytes",
+        });
     }
     // Guard against absurd word counts that would make decoders allocate
     // unbounded memory from a corrupt varint.
     if n_words > lc_core::CHUNK_SIZE * 2 {
-        return Err(DecodeError::Corrupt { context: "reducer word count" });
+        return Err(DecodeError::Corrupt {
+            context: "reducer word count",
+        });
     }
     let tail = &buf[pos..pos + tail_len];
     Ok(Frame {

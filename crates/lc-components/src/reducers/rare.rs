@@ -22,7 +22,9 @@
 //! bits          all lower parts, (8·W − k) bits each
 //! ```
 
-use lc_core::{Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass};
+use lc_core::{
+    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+};
 
 use super::rre::{read_bitmap_block, write_bitmap_block};
 use super::{account_compaction_scan, read_frame, write_frame};
@@ -73,8 +75,8 @@ fn choose_k(vals: &[u64], bits: u32, upper: Upper) -> (u32, usize) {
     let mut kept = 0usize;
     for k in 1..=bits {
         kept += hist[(k - 1) as usize];
-        let cost =
-            bytes_for_bits(kept as u64 * u64::from(k)) + bytes_for_bits(n as u64 * u64::from(bits - k));
+        let cost = bytes_for_bits(kept as u64 * u64::from(k))
+            + bytes_for_bits(n as u64 * u64::from(bits - k));
         if cost < best.2 {
             best = (k, kept, cost);
         }
@@ -145,10 +147,16 @@ fn decode<const W: usize>(
     let n = frame.n_words;
     let bits = words::bits::<W>();
     let mut pos = frame.body;
-    let k = u32::from(*input.get(pos).ok_or(DecodeError::Truncated { context: "RARE k" })?);
+    let k = u32::from(
+        *input
+            .get(pos)
+            .ok_or(DecodeError::Truncated { context: "RARE k" })?,
+    );
     pos += 1;
     if k == 0 || k > bits {
-        return Err(DecodeError::Corrupt { context: "RARE k out of range" });
+        return Err(DecodeError::Corrupt {
+            context: "RARE k out of range",
+        });
     }
     let bm = read_bitmap_block(input, &mut pos, stats)?;
     if n == 0 {
@@ -156,7 +164,9 @@ fn decode<const W: usize>(
         return Ok(());
     }
     if bm.len() != n.div_ceil(8) {
-        return Err(DecodeError::Corrupt { context: "RARE bitmap size" });
+        return Err(DecodeError::Corrupt {
+            context: "RARE bitmap size",
+        });
     }
     let shift = bits - k;
     let mut reader = BitReader::new(&input[pos..]);
@@ -178,7 +188,9 @@ fn decode<const W: usize>(
             match upper {
                 Upper::Repeat => {
                     if i == 0 {
-                        return Err(DecodeError::Corrupt { context: "RARE repeat at index 0" });
+                        return Err(DecodeError::Corrupt {
+                            context: "RARE repeat at index 0",
+                        });
                     }
                     prev_upper
                 }
@@ -269,9 +281,16 @@ mod tests {
     fn rare_compresses_stable_upper_bits() {
         // Floats in a narrow range share sign+exponent (top 9+ bits).
         let vals: Vec<f32> = (0..4096).map(|i| 1.5 + (i % 97) as f32 * 1e-5).collect();
-        let data: Vec<u8> = vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = vals
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let size = roundtrip_component(&Rare::<4>, &data);
-        assert!(size < data.len(), "shared upper bits must shrink: {size} vs {}", data.len());
+        assert!(
+            size < data.len(),
+            "shared upper bits must shrink: {size} vs {}",
+            data.len()
+        );
     }
 
     #[test]
@@ -331,9 +350,13 @@ mod tests {
         Rare::<4>.encode_chunk(&data, &mut enc, &mut KernelStats::new());
         // Frame: varint(16)=1 byte + tail_len(0)=1 byte → k at offset 2.
         enc[2] = 0;
-        assert!(Rare::<4>.decode_chunk(&enc, &mut Vec::new(), &mut KernelStats::new()).is_err());
+        assert!(Rare::<4>
+            .decode_chunk(&enc, &mut Vec::new(), &mut KernelStats::new())
+            .is_err());
         enc[2] = 33; // > 32 bits
-        assert!(Rare::<4>.decode_chunk(&enc, &mut Vec::new(), &mut KernelStats::new()).is_err());
+        assert!(Rare::<4>
+            .decode_chunk(&enc, &mut Vec::new(), &mut KernelStats::new())
+            .is_err());
     }
 
     #[test]
@@ -361,7 +384,10 @@ mod tests {
         Rare::<4>.encode_chunk(&data, &mut Vec::new(), &mut s_rare);
         let mut s_rre = KernelStats::new();
         Rre::<4>.encode_chunk(&data, &mut Vec::new(), &mut s_rre);
-        assert!(s_rare.thread_ops > s_rre.thread_ops, "adaptivity costs work");
+        assert!(
+            s_rare.thread_ops > s_rre.thread_ops,
+            "adaptivity costs work"
+        );
         assert!(s_rare.scan_steps > s_rre.scan_steps);
     }
 }

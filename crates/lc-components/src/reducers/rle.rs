@@ -22,7 +22,9 @@
 //! expand, get skipped by copy-on-expand, and then decode at copy speed —
 //! the Fig. 11 effect.
 
-use lc_core::{Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass};
+use lc_core::{
+    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+};
 
 use super::{account_compaction_scan, read_frame, write_frame};
 use crate::util::varint;
@@ -50,7 +52,12 @@ impl<const W: usize> Component for Rle<W> {
     fn complexity(&self) -> Complexity {
         // Encode needs run-boundary scans (Θ(log n) span); decode replays
         // runs with Θ(1) span (paper Table 2).
-        Complexity::new(WorkClass::N, SpanClass::LogN, WorkClass::N, SpanClass::Const)
+        Complexity::new(
+            WorkClass::N,
+            SpanClass::LogN,
+            WorkClass::N,
+            SpanClass::Const,
+        )
     }
 
     fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
@@ -108,10 +115,14 @@ impl<const W: usize> Component for Rle<W> {
             let run = varint::read(input, &mut pos)? as usize;
             let lits = varint::read(input, &mut pos)? as usize;
             if run == 0 || produced + run + lits > n {
-                return Err(DecodeError::Corrupt { context: "RLE record overruns words" });
+                return Err(DecodeError::Corrupt {
+                    context: "RLE record overruns words",
+                });
             }
             if pos + (1 + lits) * W > input.len() {
-                return Err(DecodeError::Truncated { context: "RLE record values" });
+                return Err(DecodeError::Truncated {
+                    context: "RLE record values",
+                });
             }
             let v = words::get::<W>(&input[pos..], 0);
             pos += W;
@@ -213,7 +224,9 @@ mod tests {
         // Frame is varint(2) + tail_len(0) = 2 bytes; next varint is run_len.
         enc[2] = 0;
         let mut out = Vec::new();
-        assert!(Rle::<4>.decode_chunk(&enc, &mut out, &mut KernelStats::new()).is_err());
+        assert!(Rle::<4>
+            .decode_chunk(&enc, &mut out, &mut KernelStats::new())
+            .is_err());
     }
 
     #[test]
@@ -225,7 +238,9 @@ mod tests {
         for cut in 0..enc.len() {
             let mut out = Vec::new();
             assert!(
-                Rle::<4>.decode_chunk(&enc[..cut], &mut out, &mut KernelStats::new()).is_err(),
+                Rle::<4>
+                    .decode_chunk(&enc[..cut], &mut out, &mut KernelStats::new())
+                    .is_err(),
                 "cut={cut}"
             );
         }

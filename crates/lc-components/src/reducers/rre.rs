@@ -20,7 +20,9 @@
 //!   else: bitmap-block(bitmap over bm's bytes) then surviving bytes
 //! ```
 
-use lc_core::{Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass};
+use lc_core::{
+    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+};
 
 use super::{account_compaction_scan, read_frame, write_frame};
 use crate::util::varint;
@@ -92,11 +94,15 @@ pub(crate) fn read_bitmap_block(
     // A level-0 bitmap covers at most 2·CHUNK_SIZE words → bound every
     // level by that to stop corrupt archives from over-allocating.
     if len > lc_core::CHUNK_SIZE * 2 {
-        return Err(DecodeError::Corrupt { context: "bitmap block too large" });
+        return Err(DecodeError::Corrupt {
+            context: "bitmap block too large",
+        });
     }
     if len <= BITMAP_RAW_LIMIT {
         if *pos + len > buf.len() {
-            return Err(DecodeError::Truncated { context: "raw bitmap block" });
+            return Err(DecodeError::Truncated {
+                context: "raw bitmap block",
+            });
         }
         let bm = buf[*pos..*pos + len].to_vec();
         *pos += len;
@@ -104,7 +110,9 @@ pub(crate) fn read_bitmap_block(
     }
     let meta = read_bitmap_block(buf, pos, stats)?;
     if meta.len() != len.div_ceil(8) {
-        return Err(DecodeError::Corrupt { context: "bitmap meta level size" });
+        return Err(DecodeError::Corrupt {
+            context: "bitmap meta level size",
+        });
     }
     stats.thread_ops += len as u64 * 2;
     let mut bm = Vec::with_capacity(len);
@@ -112,14 +120,16 @@ pub(crate) fn read_bitmap_block(
         let marked = meta[i / 8] & (1 << (i % 8)) != 0;
         if marked {
             if i == 0 {
-                return Err(DecodeError::Corrupt { context: "bitmap repeat at index 0" });
+                return Err(DecodeError::Corrupt {
+                    context: "bitmap repeat at index 0",
+                });
             }
             let b = bm[i - 1];
             bm.push(b);
         } else {
-            let b = *buf
-                .get(*pos)
-                .ok_or(DecodeError::Truncated { context: "bitmap survivors" })?;
+            let b = *buf.get(*pos).ok_or(DecodeError::Truncated {
+                context: "bitmap survivors",
+            })?;
             *pos += 1;
             bm.push(b);
         }
@@ -157,7 +167,9 @@ fn decode<const W: usize>(
     let mut pos = frame.body;
     let bm = read_bitmap_block(input, &mut pos, stats)?;
     if bm.len() != n.div_ceil(8) {
-        return Err(DecodeError::Corrupt { context: "bitmap size vs word count" });
+        return Err(DecodeError::Corrupt {
+            context: "bitmap size vs word count",
+        });
     }
     out.reserve(n * W + frame.tail.len());
     let mut prev = 0u64;
@@ -167,7 +179,9 @@ fn decode<const W: usize>(
             match mark {
                 Mark::RepeatsPrior => {
                     if i == 0 {
-                        return Err(DecodeError::Corrupt { context: "word repeat at index 0" });
+                        return Err(DecodeError::Corrupt {
+                            context: "word repeat at index 0",
+                        });
                     }
                     prev
                 }
@@ -175,7 +189,9 @@ fn decode<const W: usize>(
             }
         } else {
             if pos + W > input.len() {
-                return Err(DecodeError::Truncated { context: "surviving words" });
+                return Err(DecodeError::Truncated {
+                    context: "surviving words",
+                });
             }
             let v = words::get::<W>(&input[pos..], 0);
             pos += W;
@@ -326,7 +342,9 @@ mod tests {
         // Shrink the declared word count: bitmap size check must fire.
         enc[0] = 50; // varint(100) is one byte
         let mut out = Vec::new();
-        assert!(Rre::<1>.decode_chunk(&enc, &mut out, &mut KernelStats::new()).is_err());
+        assert!(Rre::<1>
+            .decode_chunk(&enc, &mut out, &mut KernelStats::new())
+            .is_err());
     }
 
     #[test]

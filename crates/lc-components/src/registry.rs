@@ -172,9 +172,7 @@ mod tests {
         assert_eq!(count_ws(2), 15);
         assert_eq!(count_ws(4), 16);
         assert_eq!(count_ws(8), 15);
-        let reducers_ws = |w: usize| {
-            reducers().iter().filter(|c| c.word_size() == w).count()
-        };
+        let reducers_ws = |w: usize| reducers().iter().filter(|c| c.word_size() == w).count();
         for w in [1, 2, 4, 8] {
             assert_eq!(reducers_ws(w), 7);
         }

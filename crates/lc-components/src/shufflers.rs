@@ -14,7 +14,9 @@
 //! Both are size-preserving; incomplete trailing tuples/words pass through
 //! unchanged.
 
-use lc_core::{Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass};
+use lc_core::{
+    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+};
 
 use crate::util::bitpack::{BitReader, BitWriter};
 use crate::util::words;
@@ -61,7 +63,12 @@ impl<const W: usize> Component for Bit<W> {
     fn complexity(&self) -> Complexity {
         // The only component with Θ(n log w) work and Θ(log w) span
         // (paper Table 2).
-        Complexity::new(WorkClass::NLogW, SpanClass::LogW, WorkClass::NLogW, SpanClass::LogW)
+        Complexity::new(
+            WorkClass::NLogW,
+            SpanClass::LogW,
+            WorkClass::NLogW,
+            SpanClass::LogW,
+        )
     }
     fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
         let n = words::count::<W>(input.len());
@@ -139,7 +146,12 @@ impl<const K: usize, const W: usize> Component for Tupl<K, W> {
         Some(K)
     }
     fn complexity(&self) -> Complexity {
-        Complexity::new(WorkClass::N, SpanClass::Const, WorkClass::N, SpanClass::Const)
+        Complexity::new(
+            WorkClass::N,
+            SpanClass::Const,
+            WorkClass::N,
+            SpanClass::Const,
+        )
     }
     fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
         let tuple_bytes = K * W;
@@ -195,7 +207,18 @@ mod tests {
 
     #[test]
     fn bit_roundtrips_all_widths_and_lengths() {
-        for len in [0usize, 1, 7, 8, 9, 16, 100, 1024, 16384, 16385 % 16384 + 123] {
+        for len in [
+            0usize,
+            1,
+            7,
+            8,
+            9,
+            16,
+            100,
+            1024,
+            16384,
+            16385 % 16384 + 123,
+        ] {
             let data = sample(len);
             roundtrip_component(&Bit::<1>, &data);
             roundtrip_component(&Bit::<2>, &data);

@@ -18,7 +18,11 @@ pub struct BitWriter<'a> {
 impl<'a> BitWriter<'a> {
     /// Start writing at the current end of `out`.
     pub fn new(out: &'a mut Vec<u8>) -> Self {
-        Self { out, acc: 0, nbits: 0 }
+        Self {
+            out,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Append the low `width` bits of `v` (MSB of the field first).
@@ -34,7 +38,11 @@ impl<'a> BitWriter<'a> {
         if width == 0 {
             return;
         }
-        let v = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+        let v = if width == 64 {
+            v
+        } else {
+            v & ((1u64 << width) - 1)
+        };
         if width > 56 {
             // Split so the accumulator (max 7 buffered bits) cannot overflow.
             self.put(v >> 32, width - 32);
@@ -75,7 +83,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Read from the start of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0, acc: 0, nbits: 0 }
+        Self {
+            buf,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Read `width` bits (MSB-first). Fails on exhausted input.
@@ -91,16 +104,20 @@ impl<'a> BitReader<'a> {
             return Ok((hi << 32) | lo);
         }
         while self.nbits < width {
-            let byte = *self
-                .buf
-                .get(self.pos)
-                .ok_or(DecodeError::Truncated { context: "bit stream" })?;
+            let byte = *self.buf.get(self.pos).ok_or(DecodeError::Truncated {
+                context: "bit stream",
+            })?;
             self.pos += 1;
             self.acc = (self.acc << 8) | u64::from(byte);
             self.nbits += 8;
         }
         self.nbits -= width;
-        let v = (self.acc >> self.nbits) & if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let v = (self.acc >> self.nbits)
+            & if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
         Ok(v)
     }
 
@@ -206,13 +223,20 @@ mod tests {
         // Deterministic LCG so the test needs no rand dependency here.
         let mut state = 0x1234_5678_9ABC_DEF0u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         let fields: Vec<(u64, u32)> = (0..10_000)
             .map(|_| {
                 let width = (next() % 64 + 1) as u32;
-                let v = next() & if width == 64 { u64::MAX } else { (1 << width) - 1 };
+                let v = next()
+                    & if width == 64 {
+                        u64::MAX
+                    } else {
+                        (1 << width) - 1
+                    };
                 (v, width)
             })
             .collect();

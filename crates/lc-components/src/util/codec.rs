@@ -62,8 +62,16 @@ pub struct FloatGeometry {
 /// Panics for other widths (DBEFS/DBESF only exist at 4 and 8 bytes).
 pub const fn float_geometry<const W: usize>() -> FloatGeometry {
     match W {
-        4 => FloatGeometry { exp_bits: 8, frac_bits: 23, bias: 127 },
-        8 => FloatGeometry { exp_bits: 11, frac_bits: 52, bias: 1023 },
+        4 => FloatGeometry {
+            exp_bits: 8,
+            frac_bits: 23,
+            bias: 127,
+        },
+        8 => FloatGeometry {
+            exp_bits: 11,
+            frac_bits: 52,
+            bias: 1023,
+        },
         _ => panic!("float components require W = 4 or 8"),
     }
 }
@@ -184,8 +192,17 @@ mod tests {
     #[test]
     fn dbefs_roundtrip_special_floats() {
         for f in [
-            0.0f32, -0.0, 1.0, -1.0, f32::MIN_POSITIVE, f32::MAX, f32::MIN,
-            f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 1e-42, // subnormal
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            1e-42, // subnormal
         ] {
             let v = f.to_bits() as u64;
             assert_eq!(dbefs_decode::<4>(dbefs_encode::<4>(v)), v, "f = {f}");

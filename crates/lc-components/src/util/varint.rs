@@ -20,10 +20,14 @@ pub fn read(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = *buf.get(*pos).ok_or(DecodeError::Truncated { context: "varint" })?;
+        let byte = *buf
+            .get(*pos)
+            .ok_or(DecodeError::Truncated { context: "varint" })?;
         *pos += 1;
         if shift == 63 && byte > 1 {
-            return Err(DecodeError::Corrupt { context: "varint overflow" });
+            return Err(DecodeError::Corrupt {
+                context: "varint overflow",
+            });
         }
         v |= u64::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
@@ -31,7 +35,9 @@ pub fn read(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
         }
         shift += 7;
         if shift > 63 {
-            return Err(DecodeError::Corrupt { context: "varint too long" });
+            return Err(DecodeError::Corrupt {
+                context: "varint too long",
+            });
         }
     }
 }
@@ -51,7 +57,17 @@ mod tests {
 
     #[test]
     fn roundtrip_edge_values() {
-        for v in [0u64, 1, 127, 128, 255, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write(&mut buf, v);
             assert_eq!(buf.len(), size(v), "size mismatch for {v}");

@@ -47,6 +47,7 @@
 use std::sync::Arc;
 
 use lc_parallel::{DisjointSlice, LookbackScan, Pool};
+use lc_telemetry::{span, ArgValue, Span};
 
 use crate::chunk::{chunk_count, chunk_range, CHUNK_SIZE};
 use crate::component::{Component, ComponentKind};
@@ -211,6 +212,10 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
         stages.len()
     );
     let n_chunks = chunk_count(input.len());
+    // Hoisted once per encode: chunk/stage instrumentation below branches
+    // on this bool, so a disabled-telemetry encode pays one relaxed load.
+    let telemetry = lc_telemetry::enabled();
+    let mut enc_span = span!("archive.encode", bytes = input.len(), chunks = n_chunks);
 
     // Phase 1: per-chunk stage execution (one pool task per chunk, like one
     // thread block per chunk on the GPU).
@@ -222,7 +227,8 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
         let outcome_slots = DisjointSlice::new(&mut outcomes);
         let offset_slots = DisjointSlice::new(&mut offsets);
         pool.run(n_chunks, |i| {
-            let outcome = encode_one_chunk(stages, &input[chunk_range(i, input.len())]);
+            let outcome =
+                encode_one_chunk(stages, &input[chunk_range(i, input.len())], i, telemetry);
             // Publish this chunk's stored size; receive the cumulative size
             // of all prior chunks (decoupled look-back, as on the GPU).
             let offset = scan.publish(i, outcome.data.len() as u64);
@@ -303,10 +309,22 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
         uncompressed_bytes: input.len() as u64,
         compressed_bytes: (payload_total + n_chunks * TABLE_ENTRY_V3) as u64,
     };
+    if telemetry {
+        enc_span.arg("archive_bytes", archive.len());
+        lc_telemetry::counter("archive.encode.calls").add(1);
+        lc_telemetry::counter("archive.encode.bytes_in").add(input.len() as u64);
+        lc_telemetry::counter("archive.encode.bytes_out").add(archive.len() as u64);
+        lc_telemetry::counter("archive.encode.chunks").add(n_chunks as u64);
+    }
     EncodeResult { archive, stats }
 }
 
-fn encode_one_chunk(stages: &[Arc<dyn Component>], chunk: &[u8]) -> ChunkOutcome {
+fn encode_one_chunk(
+    stages: &[Arc<dyn Component>],
+    chunk: &[u8],
+    chunk_index: usize,
+    telemetry: bool,
+) -> ChunkOutcome {
     let crc = crate::checksum::crc32(chunk);
     let mut cur: Vec<u8> = chunk.to_vec();
     let mut next: Vec<u8> = Vec::with_capacity(chunk.len() + chunk.len() / 4 + 64);
@@ -316,6 +334,20 @@ fn encode_one_chunk(stages: &[Arc<dyn Component>], chunk: &[u8]) -> ChunkOutcome
         let mut rec = StageRecord {
             bytes_in: cur.len() as u64,
             ..Default::default()
+        };
+        let mut sp = if telemetry {
+            let mut sp = Span::begin(
+                "stage.encode",
+                comp.name(),
+                vec![
+                    ("chunk", ArgValue::from(chunk_index)),
+                    ("bytes_in", ArgValue::from(rec.bytes_in)),
+                ],
+            );
+            sp.with_histogram();
+            sp
+        } else {
+            Span::disabled()
         };
         next.clear();
         comp.encode_chunk(&cur, &mut next, &mut rec.kernel);
@@ -330,7 +362,14 @@ fn encode_one_chunk(stages: &[Arc<dyn Component>], chunk: &[u8]) -> ChunkOutcome
             }
         };
         rec.applied = applied;
-        rec.bytes_out = if applied { next.len() as u64 } else { rec.bytes_in };
+        rec.bytes_out = if applied {
+            next.len() as u64
+        } else {
+            rec.bytes_in
+        };
+        sp.arg("applied", applied);
+        sp.arg("bytes_out", rec.bytes_out);
+        drop(sp);
         stage_records.push(rec);
         if applied {
             mask |= 1 << s;
@@ -386,15 +425,18 @@ pub fn parse_header(bytes: &[u8]) -> Result<Archive, DecodeError> {
     let at = take(&mut pos, 1, "stage count")?;
     let n_stages = bytes[at] as usize;
     if n_stages == 0 || n_stages > MAX_STAGES {
-        return Err(DecodeError::Corrupt { context: "stage count" });
+        return Err(DecodeError::Corrupt {
+            context: "stage count",
+        });
     }
     let mut stage_names = Vec::with_capacity(n_stages);
     for _ in 0..n_stages {
         let at = take(&mut pos, 1, "stage name length")?;
         let len = bytes[at] as usize;
         let at = take(&mut pos, len, "stage name")?;
-        let name = std::str::from_utf8(&bytes[at..at + len])
-            .map_err(|_| DecodeError::Corrupt { context: "stage name utf8" })?;
+        let name = std::str::from_utf8(&bytes[at..at + len]).map_err(|_| DecodeError::Corrupt {
+            context: "stage name utf8",
+        })?;
         stage_names.push(name.to_string());
     }
     let at = take(&mut pos, 8, "original length")?;
@@ -404,12 +446,20 @@ pub fn parse_header(bytes: &[u8]) -> Result<Archive, DecodeError> {
     let at = take(&mut pos, 4, "chunk count")?;
     let chunks = le_u32(bytes, at);
     if chunks as u64 != chunk_count(original_len as usize) as u64 {
-        return Err(DecodeError::Corrupt { context: "chunk count vs length" });
+        return Err(DecodeError::Corrupt {
+            context: "chunk count vs length",
+        });
     }
-    let entry_size = if version >= 3 { TABLE_ENTRY_V3 } else { TABLE_ENTRY_V2 };
+    let entry_size = if version >= 3 {
+        TABLE_ENTRY_V3
+    } else {
+        TABLE_ENTRY_V2
+    };
     let table_len = (chunks as usize)
         .checked_mul(entry_size)
-        .ok_or(DecodeError::Truncated { context: "chunk table" })?;
+        .ok_or(DecodeError::Truncated {
+            context: "chunk table",
+        })?;
     let table_offset = pos;
     take(&mut pos, table_len, "chunk table")?;
     Ok(Archive {
@@ -478,12 +528,16 @@ where
         .collect::<Result<_, _>>()?;
 
     let n_chunks = header.chunks as usize;
+    let telemetry = lc_telemetry::enabled();
+    let mut dec_span = span!("archive.decode", bytes = bytes.len(), chunks = n_chunks);
     let ChunkTable { masks, sizes, crcs } = parse_chunk_table(bytes, &header);
     // Chunk payload start offsets: a prefix scan, as in the GPU decoder.
     let (offsets, payload_total) = lc_parallel::scan::parallel_exclusive_scan(pool, &sizes);
     let payload = &bytes[header.payload_offset..];
     if payload.len() != payload_total as usize {
-        return Err(DecodeError::Corrupt { context: "payload size" });
+        return Err(DecodeError::Corrupt {
+            context: "payload size",
+        });
     }
 
     let original_len = header.original_len as usize;
@@ -509,7 +563,9 @@ where
             let start = offsets_ref[i] as usize;
             let end = start + sizes_ref[i] as usize;
             if end > payload.len() {
-                acc.1 = Some(DecodeError::Corrupt { context: "chunk extent" });
+                acc.1 = Some(DecodeError::Corrupt {
+                    context: "chunk extent",
+                });
                 return;
             }
             let region = chunk_range(i, original_len);
@@ -519,6 +575,8 @@ where
                 &payload[start..end],
                 region.len(),
                 &mut acc.0,
+                i,
+                telemetry,
             ) {
                 Ok(decoded) => {
                     // v3: validate the recovered plaintext against the
@@ -601,6 +659,13 @@ where
         uncompressed_bytes: header.original_len,
         compressed_bytes: (payload_total as usize + n_chunks * header.entry_size()) as u64,
     };
+    if telemetry {
+        dec_span.arg("decoded_bytes", out.len());
+        lc_telemetry::counter("archive.decode.calls").add(1);
+        lc_telemetry::counter("archive.decode.bytes_in").add(bytes.len() as u64);
+        lc_telemetry::counter("archive.decode.bytes_out").add(out.len() as u64);
+        lc_telemetry::counter("archive.decode.chunks").add(n_chunks as u64);
+    }
     Ok((out, stats))
 }
 
@@ -674,6 +739,12 @@ where
     let original_len = header.original_len as usize;
     let stages_ref = &stages;
     let crcs_ref = crcs.as_deref();
+    let telemetry = lc_telemetry::enabled();
+    let _salvage_span = span!(
+        "archive.decode_salvage",
+        bytes = bytes.len(),
+        chunks = n_chunks
+    );
 
     // Decode all chunks independently; panics are fenced per chunk so one
     // poisoned payload cannot take down its siblings.
@@ -681,7 +752,9 @@ where
         let start = offsets[i] as usize;
         let end = start.saturating_add(sizes[i] as usize);
         if end > payload.len() {
-            return Err(DecodeError::Truncated { context: "chunk payload" });
+            return Err(DecodeError::Truncated {
+                context: "chunk payload",
+            });
         }
         let region = chunk_range(i, original_len);
         let mut records = vec![StageRecord::default(); stages_ref.len()];
@@ -692,9 +765,13 @@ where
                 &payload[start..end],
                 region.len(),
                 &mut records,
+                i,
+                telemetry,
             )
         }))
-        .unwrap_or(Err(DecodeError::Corrupt { context: "decoder panicked" }))?;
+        .unwrap_or(Err(DecodeError::Corrupt {
+            context: "decoder panicked",
+        }))?;
         if let Some(crcs) = crcs_ref {
             let actual = crate::checksum::crc32(&decoded);
             if actual != crcs[i] {
@@ -758,24 +835,56 @@ where
     decode_salvage(bytes, resolve, pool)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn decode_one_chunk(
     stages: &[Arc<dyn Component>],
     mask: u8,
     payload: &[u8],
     expected_len: usize,
     records: &mut [StageRecord],
+    chunk_index: usize,
+    telemetry: bool,
 ) -> Result<Vec<u8>, DecodeError> {
     let mut cur = payload.to_vec();
     let mut next: Vec<u8> = Vec::with_capacity(CHUNK_SIZE);
     // Inverse transformations in reverse order (paper Fig. 1).
     for (s, comp) in stages.iter().enumerate().rev() {
         if mask & (1 << s) == 0 {
-            continue; // stage skipped during encode: nothing to undo
+            // Stage skipped during encode (copy-on-expand): nothing to
+            // undo. Record a zero-duration span so traces show the skip.
+            if telemetry {
+                let mut sp = Span::begin(
+                    "stage.decode",
+                    comp.name(),
+                    vec![
+                        ("chunk", ArgValue::from(chunk_index)),
+                        ("skipped", ArgValue::from(true)),
+                    ],
+                );
+                sp.with_histogram();
+            }
+            continue;
         }
         let rec = &mut records[s];
         rec.bytes_in += cur.len() as u64;
+        let mut sp = if telemetry {
+            let mut sp = Span::begin(
+                "stage.decode",
+                comp.name(),
+                vec![
+                    ("chunk", ArgValue::from(chunk_index)),
+                    ("bytes_in", ArgValue::from(cur.len())),
+                ],
+            );
+            sp.with_histogram();
+            sp
+        } else {
+            Span::disabled()
+        };
         next.clear();
         comp.decode_chunk(&cur, &mut next, &mut rec.kernel)?;
+        sp.arg("bytes_out", next.len());
+        drop(sp);
         rec.bytes_out += next.len() as u64;
         std::mem::swap(&mut cur, &mut next);
     }
@@ -940,7 +1049,9 @@ mod tests {
     /// chunk's payload is exactly CHUNK_SIZE AddOne'd bytes — flipping a
     /// payload byte damages exactly one chunk, with no structural error.
     fn incompressible(chunks: usize) -> Vec<u8> {
-        (0..CHUNK_SIZE * chunks).map(|i| (i % 200) as u8 + 1).collect()
+        (0..CHUNK_SIZE * chunks)
+            .map(|i| (i % 200) as u8 + 1)
+            .collect()
     }
 
     /// Rewrite a v3 archive as v2 (drop per-chunk CRCs) to exercise the

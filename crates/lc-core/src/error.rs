@@ -92,23 +92,38 @@ impl fmt::Display for DecodeError {
         match self {
             DecodeError::BadMagic => write!(f, "not an LC archive (bad magic)"),
             DecodeError::BadVersion(v) => write!(f, "unsupported archive version {v}"),
-            DecodeError::Truncated { context } => write!(f, "truncated input while reading {context}"),
+            DecodeError::Truncated { context } => {
+                write!(f, "truncated input while reading {context}")
+            }
             DecodeError::Corrupt { context } => write!(f, "corrupt payload: {context}"),
             DecodeError::UnknownComponent(name) => write!(f, "unknown component {name:?}"),
             DecodeError::LengthMismatch { expected, actual } => {
-                write!(f, "decoded length {actual} differs from declared {expected}")
+                write!(
+                    f,
+                    "decoded length {actual} differs from declared {expected}"
+                )
             }
             DecodeError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: decoded {actual:#010x}, archive declared {expected:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: decoded {actual:#010x}, archive declared {expected:#010x}"
+                )
             }
-            DecodeError::ChunkChecksumMismatch { chunk, expected, actual } => {
+            DecodeError::ChunkChecksumMismatch {
+                chunk,
+                expected,
+                actual,
+            } => {
                 write!(
                     f,
                     "chunk {chunk} checksum mismatch: decoded {actual:#010x}, archive declared {expected:#010x}"
                 )
             }
             DecodeError::TooLarge { declared, limit } => {
-                write!(f, "archive declares {declared} decoded bytes, above the {limit}-byte limit")
+                write!(
+                    f,
+                    "archive declares {declared} decoded bytes, above the {limit}-byte limit"
+                )
             }
         }
     }
@@ -134,7 +149,10 @@ mod tests {
             .to_string(),
             "decoded length 9 differs from declared 10"
         );
-        assert_eq!(DecodeError::BadMagic.to_string(), "not an LC archive (bad magic)");
+        assert_eq!(
+            DecodeError::BadMagic.to_string(),
+            "not an LC archive (bad magic)"
+        );
         assert_eq!(
             DecodeError::ChunkChecksumMismatch {
                 chunk: 3,

@@ -47,7 +47,8 @@ impl Pipeline {
     {
         let mut stages = Vec::new();
         for name in text.split_whitespace() {
-            let c = resolve(name).ok_or_else(|| PipelineError::UnknownComponent(name.to_string()))?;
+            let c =
+                resolve(name).ok_or_else(|| PipelineError::UnknownComponent(name.to_string()))?;
             stages.push(c);
         }
         Self::new(stages)
@@ -116,7 +117,12 @@ pub(crate) mod test_support {
             1
         }
         fn complexity(&self) -> Complexity {
-            Complexity::new(WorkClass::N, SpanClass::Const, WorkClass::N, SpanClass::Const)
+            Complexity::new(
+                WorkClass::N,
+                SpanClass::Const,
+                WorkClass::N,
+                SpanClass::Const,
+            )
         }
         fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
             stats.words += input.len() as u64;
@@ -149,14 +155,16 @@ pub(crate) mod test_support {
             1
         }
         fn complexity(&self) -> Complexity {
-            Complexity::new(WorkClass::N, SpanClass::LogN, WorkClass::N, SpanClass::Const)
+            Complexity::new(
+                WorkClass::N,
+                SpanClass::LogN,
+                WorkClass::N,
+                SpanClass::Const,
+            )
         }
         fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
             stats.words += input.len() as u64;
-            let kept = input
-                .iter()
-                .rposition(|&b| b != 0)
-                .map_or(0, |p| p + 1);
+            let kept = input.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
             out.extend_from_slice(&(kept as u32).to_le_bytes());
             out.extend_from_slice(&(input.len() as u32).to_le_bytes());
             out.extend_from_slice(&input[..kept]);
@@ -168,12 +176,16 @@ pub(crate) mod test_support {
             stats: &mut KernelStats,
         ) -> Result<(), DecodeError> {
             if input.len() < 8 {
-                return Err(DecodeError::Truncated { context: "DTZ header" });
+                return Err(DecodeError::Truncated {
+                    context: "DTZ header",
+                });
             }
             let kept = u32::from_le_bytes(input[0..4].try_into().unwrap()) as usize;
             let total = u32::from_le_bytes(input[4..8].try_into().unwrap()) as usize;
             if input.len() != 8 + kept || kept > total {
-                return Err(DecodeError::Corrupt { context: "DTZ lengths" });
+                return Err(DecodeError::Corrupt {
+                    context: "DTZ lengths",
+                });
             }
             stats.words += total as u64;
             out.extend_from_slice(&input[8..]);
@@ -229,7 +241,10 @@ mod tests {
 
     #[test]
     fn parse_empty_text() {
-        assert_eq!(Pipeline::parse("  ", resolver).unwrap_err(), PipelineError::Empty);
+        assert_eq!(
+            Pipeline::parse("  ", resolver).unwrap_err(),
+            PipelineError::Empty
+        );
     }
 
     #[test]

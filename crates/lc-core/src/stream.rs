@@ -182,15 +182,20 @@ where
     }
     let n_stages = read_u8(input, "stage count")? as usize;
     if n_stages == 0 || n_stages > crate::archive::MAX_STAGES {
-        return Err(StreamError::Decode(DecodeError::Corrupt { context: "stage count" }));
+        return Err(StreamError::Decode(DecodeError::Corrupt {
+            context: "stage count",
+        }));
     }
     let mut stages: Vec<Arc<dyn Component>> = Vec::with_capacity(n_stages);
     for _ in 0..n_stages {
         let len = read_u8(input, "name length")? as usize;
         let mut name = vec![0u8; len];
         read_exact(input, &mut name, "stage name")?;
-        let name = String::from_utf8(name)
-            .map_err(|_| StreamError::Decode(DecodeError::Corrupt { context: "name utf8" }))?;
+        let name = String::from_utf8(name).map_err(|_| {
+            StreamError::Decode(DecodeError::Corrupt {
+                context: "name utf8",
+            })
+        })?;
         let c = resolve(&name)
             .ok_or_else(|| StreamError::Decode(DecodeError::UnknownComponent(name.clone())))?;
         stages.push(c);
@@ -204,7 +209,9 @@ where
             break;
         }
         if n_chunks > StreamEncoder::WINDOW_CHUNKS {
-            return Err(StreamError::Decode(DecodeError::Corrupt { context: "batch size" }));
+            return Err(StreamError::Decode(DecodeError::Corrupt {
+                context: "batch size",
+            }));
         }
         let mut masks = Vec::with_capacity(n_chunks);
         let mut sizes = Vec::with_capacity(n_chunks);
@@ -212,7 +219,9 @@ where
             masks.push(read_u8(input, "chunk mask")?);
             let len = read_u32(input, "chunk length")? as usize;
             if len > CHUNK_SIZE * 2 {
-                return Err(StreamError::Decode(DecodeError::Corrupt { context: "chunk length" }));
+                return Err(StreamError::Decode(DecodeError::Corrupt {
+                    context: "chunk length",
+                }));
             }
             sizes.push(len);
         }
@@ -285,7 +294,11 @@ fn decode_chunk_through(
     Ok(cur)
 }
 
-fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], context: &'static str) -> Result<(), StreamError> {
+fn read_exact<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), StreamError> {
     r.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             StreamError::Decode(DecodeError::Truncated { context })
@@ -426,13 +439,19 @@ mod tests {
         compressed[n - 1] ^= 0xFF;
         let mut out = Vec::new();
         let err = decode_stream(&mut &compressed[..], &mut out, resolver, &pool).unwrap_err();
-        assert!(matches!(err, StreamError::Decode(DecodeError::ChecksumMismatch { .. })));
+        assert!(matches!(
+            err,
+            StreamError::Decode(DecodeError::ChecksumMismatch { .. })
+        ));
         // Corrupt the declared length instead.
         compressed[n - 1] ^= 0xFF; // restore crc
         compressed[n - 6] ^= 0xFF; // inside the u64 length
         let mut out = Vec::new();
         let err = decode_stream(&mut &compressed[..], &mut out, resolver, &pool).unwrap_err();
-        assert!(matches!(err, StreamError::Decode(DecodeError::LengthMismatch { .. })));
+        assert!(matches!(
+            err,
+            StreamError::Decode(DecodeError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub fn generate_dp(file: &SpFile, scale: Scale) -> Vec<u8> {
 
 /// Generate the whole DP dataset at `scale`, Table 3 order.
 pub fn generate_all_dp(scale: Scale) -> Vec<(&'static str, Vec<u8>)> {
-    SP_FILES.iter().map(|f| (f.name, generate_dp(f, scale))).collect()
+    SP_FILES
+        .iter()
+        .map(|f| (f.name, generate_dp(f, scale)))
+        .collect()
 }
 
 fn salt(name: &str) -> f64 {

@@ -183,7 +183,10 @@ mod tests {
         // granularity far more often than at byte granularity.
         let v = observation(&mut rng(), 50_000, "obs_temp");
         let word_repeats = v.windows(2).filter(|w| w[0] == w[1]).count();
-        assert!(word_repeats > 500, "quantization must create word repeats: {word_repeats}");
+        assert!(
+            word_repeats > 500,
+            "quantization must create word repeats: {word_repeats}"
+        );
     }
 
     #[test]
@@ -192,7 +195,11 @@ mod tests {
         let zeros = v.iter().filter(|&&x| x == 0.0).count();
         assert!(zeros > 500, "padding regions expected: {zeros}");
         let distinct: std::collections::HashSet<u32> = v.iter().map(|x| x.to_bits()).collect();
-        assert!(distinct.len() > 1000, "noise regions expected: {}", distinct.len());
+        assert!(
+            distinct.len() > 1000,
+            "noise regions expected: {}",
+            distinct.len()
+        );
     }
 
     #[test]

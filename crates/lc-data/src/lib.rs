@@ -57,24 +57,79 @@ pub enum Domain {
 /// 133.2, 97.1, 145.1, 139.5, 62.9, 70.9, 53.7, 79.8, 17.5, 31.1, 9.5,
 /// 99.1, 20.0; "obs_info" at 9.5 MB is named in §5).
 pub const SP_FILES: [SpFile; 13] = [
-    SpFile { name: "msg_bt", paper_size_tenth_mb: 1332, domain: Domain::Message },
-    SpFile { name: "msg_lu", paper_size_tenth_mb: 971, domain: Domain::Message },
-    SpFile { name: "msg_sp", paper_size_tenth_mb: 1451, domain: Domain::Message },
-    SpFile { name: "msg_sppm", paper_size_tenth_mb: 1395, domain: Domain::Message },
-    SpFile { name: "msg_sweep3d", paper_size_tenth_mb: 629, domain: Domain::Message },
-    SpFile { name: "num_brain", paper_size_tenth_mb: 709, domain: Domain::Simulation },
-    SpFile { name: "num_comet", paper_size_tenth_mb: 537, domain: Domain::Simulation },
-    SpFile { name: "num_control", paper_size_tenth_mb: 798, domain: Domain::Simulation },
-    SpFile { name: "num_plasma", paper_size_tenth_mb: 175, domain: Domain::Simulation },
-    SpFile { name: "obs_error", paper_size_tenth_mb: 311, domain: Domain::Observation },
-    SpFile { name: "obs_info", paper_size_tenth_mb: 95, domain: Domain::Observation },
-    SpFile { name: "obs_spitzer", paper_size_tenth_mb: 991, domain: Domain::Observation },
-    SpFile { name: "obs_temp", paper_size_tenth_mb: 200, domain: Domain::Observation },
+    SpFile {
+        name: "msg_bt",
+        paper_size_tenth_mb: 1332,
+        domain: Domain::Message,
+    },
+    SpFile {
+        name: "msg_lu",
+        paper_size_tenth_mb: 971,
+        domain: Domain::Message,
+    },
+    SpFile {
+        name: "msg_sp",
+        paper_size_tenth_mb: 1451,
+        domain: Domain::Message,
+    },
+    SpFile {
+        name: "msg_sppm",
+        paper_size_tenth_mb: 1395,
+        domain: Domain::Message,
+    },
+    SpFile {
+        name: "msg_sweep3d",
+        paper_size_tenth_mb: 629,
+        domain: Domain::Message,
+    },
+    SpFile {
+        name: "num_brain",
+        paper_size_tenth_mb: 709,
+        domain: Domain::Simulation,
+    },
+    SpFile {
+        name: "num_comet",
+        paper_size_tenth_mb: 537,
+        domain: Domain::Simulation,
+    },
+    SpFile {
+        name: "num_control",
+        paper_size_tenth_mb: 798,
+        domain: Domain::Simulation,
+    },
+    SpFile {
+        name: "num_plasma",
+        paper_size_tenth_mb: 175,
+        domain: Domain::Simulation,
+    },
+    SpFile {
+        name: "obs_error",
+        paper_size_tenth_mb: 311,
+        domain: Domain::Observation,
+    },
+    SpFile {
+        name: "obs_info",
+        paper_size_tenth_mb: 95,
+        domain: Domain::Observation,
+    },
+    SpFile {
+        name: "obs_spitzer",
+        paper_size_tenth_mb: 991,
+        domain: Domain::Observation,
+    },
+    SpFile {
+        name: "obs_temp",
+        paper_size_tenth_mb: 200,
+        domain: Domain::Observation,
+    },
 ];
 
 /// Total paper size of the dataset in MB (≈ 959 MB).
 pub fn paper_total_mb() -> f64 {
-    SP_FILES.iter().map(|f| f.paper_size_tenth_mb as f64 / 10.0).sum()
+    SP_FILES
+        .iter()
+        .map(|f| f.paper_size_tenth_mb as f64 / 10.0)
+        .sum()
 }
 
 /// Scale factor mapping paper sizes to generated sizes.
@@ -162,7 +217,10 @@ pub fn generate(file: &SpFile, scale: Scale) -> Vec<u8> {
 
 /// Generate the whole dataset at `scale`, in Table 3 order.
 pub fn generate_all(scale: Scale) -> Vec<(&'static str, Vec<u8>)> {
-    SP_FILES.iter().map(|f| (f.name, generate(f, scale))).collect()
+    SP_FILES
+        .iter()
+        .map(|f| (f.name, generate(f, scale)))
+        .collect()
 }
 
 /// Look up a file descriptor by name.
@@ -193,7 +251,10 @@ mod tests {
 
     #[test]
     fn obs_info_is_the_smallest_at_9_5_mb() {
-        let smallest = SP_FILES.iter().min_by_key(|f| f.paper_size_tenth_mb).unwrap();
+        let smallest = SP_FILES
+            .iter()
+            .min_by_key(|f| f.paper_size_tenth_mb)
+            .unwrap();
         assert_eq!(smallest.name, "obs_info");
         assert_eq!(smallest.paper_size_tenth_mb, 95);
     }
@@ -223,7 +284,10 @@ mod tests {
         // Ratio roughly matches the paper's 145.1 / 9.5 (floored by the
         // minimum size).
         let ratio = big as f64 / small as f64;
-        assert!(ratio > 4.0, "minimum floor compresses the ratio, ratio={ratio}");
+        assert!(
+            ratio > 4.0,
+            "minimum floor compresses the ratio, ratio={ratio}"
+        );
     }
 
     #[test]

@@ -50,14 +50,22 @@ pub fn profile(data: &[u8]) -> Profile {
     let byte_repeats = data.windows(2).filter(|w| w[0] == w[1]).count();
     Profile {
         bytes: data.len(),
-        word_repeat_fraction: if n > 1 { word_repeats as f64 / (n - 1) as f64 } else { 0.0 },
+        word_repeat_fraction: if n > 1 {
+            word_repeats as f64 / (n - 1) as f64
+        } else {
+            0.0
+        },
         byte_repeat_fraction: if data.len() > 1 {
             byte_repeats as f64 / (data.len() - 1) as f64
         } else {
             0.0
         },
         zero_word_fraction: if n > 0 { zeros as f64 / n as f64 } else { 0.0 },
-        mean_abs_delta: if n > 1 { abs_delta / (n - 1) as f64 } else { 0.0 },
+        mean_abs_delta: if n > 1 {
+            abs_delta / (n - 1) as f64
+        } else {
+            0.0
+        },
         distinct_exponents: exponents.len(),
     }
 }
@@ -76,7 +84,9 @@ mod tests {
 
     #[test]
     fn all_equal_words() {
-        let data: Vec<u8> = std::iter::repeat_n(42.5f32.to_le_bytes(), 100).flatten().collect();
+        let data: Vec<u8> = std::iter::repeat_n(42.5f32.to_le_bytes(), 100)
+            .flatten()
+            .collect();
         let p = profile(&data);
         assert!((p.word_repeat_fraction - 1.0).abs() < 1e-12);
     }

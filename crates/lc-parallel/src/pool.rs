@@ -10,6 +10,68 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use lc_telemetry::{span_in, ArgValue, Event};
+
+/// Drain `next` with dynamic scheduling, calling `f` for every claimed
+/// index. When telemetry is enabled this also accounts per-task run time
+/// and per-worker busy/wait/utilization; the disabled path is the bare
+/// claim loop (the `telemetry` flag is hoisted so workers pay zero
+/// per-task cost).
+fn worker_loop<F>(next: &AtomicUsize, tasks: usize, grain: usize, mut f: F, telemetry: bool)
+where
+    F: FnMut(usize),
+{
+    if !telemetry {
+        loop {
+            let start = next.fetch_add(grain, Ordering::Relaxed);
+            if start >= tasks {
+                return;
+            }
+            for i in start..(start + grain).min(tasks) {
+                f(i);
+            }
+        }
+    }
+    // Resolve histogram handles once per worker, not per task.
+    let run_hist = lc_telemetry::histogram("pool.task_run_ns");
+    let wait_hist = lc_telemetry::histogram("pool.worker_wait_ns");
+    let start_ns = lc_telemetry::now_ns();
+    let mut busy_ns = 0u64;
+    let mut claimed = 0u64;
+    loop {
+        let start = next.fetch_add(grain, Ordering::Relaxed);
+        if start >= tasks {
+            break;
+        }
+        for i in start..(start + grain).min(tasks) {
+            let t0 = lc_telemetry::now_ns();
+            f(i);
+            let dt = lc_telemetry::now_ns().saturating_sub(t0);
+            run_hist.record(dt);
+            busy_ns += dt;
+            claimed += 1;
+        }
+    }
+    let total_ns = lc_telemetry::now_ns().saturating_sub(start_ns);
+    let wait_ns = total_ns.saturating_sub(busy_ns);
+    wait_hist.record(wait_ns);
+    lc_telemetry::record(Event {
+        name: "worker",
+        cat: "pool",
+        ts_ns: start_ns,
+        dur_ns: total_ns,
+        tid: 0, // filled by `record`
+        args: vec![
+            ("tasks", ArgValue::from(claimed)),
+            ("busy_ns", ArgValue::from(busy_ns)),
+            ("wait_ns", ArgValue::from(wait_ns)),
+        ],
+    });
+    // Scoped threads are observed "finished" before TLS destructors run,
+    // so hand the buffer to the sink before the closure returns.
+    lc_telemetry::flush_thread();
+}
+
 /// A reusable fixed-size thread pool.
 ///
 /// The pool holds no long-lived threads; each [`Pool::run`] call spawns a
@@ -71,27 +133,26 @@ impl Pool {
         }
         let grain = grain.max(1);
         let workers = self.threads.min(tasks);
-        if workers == 1 {
-            for i in 0..tasks {
-                f(i);
-            }
-            return;
-        }
+        // Hoisted once per call: workers below branch on a plain bool, so a
+        // disabled-telemetry run costs this single relaxed load in total.
+        let telemetry = lc_telemetry::enabled();
+        let _span = span_in!(
+            "pool",
+            "run",
+            tasks = tasks,
+            workers = workers,
+            grain = grain
+        );
         let next = AtomicUsize::new(0);
         let f = &f;
         let next = &next;
+        if workers == 1 {
+            worker_loop(next, tasks, grain, f, telemetry);
+            return;
+        }
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(move || loop {
-                    let start = next.fetch_add(grain, Ordering::Relaxed);
-                    if start >= tasks {
-                        break;
-                    }
-                    let end = (start + grain).min(tasks);
-                    for i in start..end {
-                        f(i);
-                    }
-                });
+                s.spawn(move || worker_loop(next, tasks, grain, f, telemetry));
             }
         });
     }
@@ -156,6 +217,8 @@ impl Pool {
             return init();
         }
         let workers = self.threads.min(tasks);
+        let telemetry = lc_telemetry::enabled();
+        let _span = span_in!("pool", "fold", tasks = tasks, workers = workers);
         let next = AtomicUsize::new(0);
         let next = &next;
         let init = &init;
@@ -165,13 +228,7 @@ impl Pool {
                 .map(|_| {
                     s.spawn(move || {
                         let mut acc = init();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= tasks {
-                                break;
-                            }
-                            step(&mut acc, i);
-                        }
+                        worker_loop(next, tasks, 1, |i| step(&mut acc, i), telemetry);
                         acc
                     })
                 })
@@ -246,12 +303,7 @@ mod tests {
     #[test]
     fn fold_sums_all_tasks() {
         let pool = Pool::new(5);
-        let total = pool.fold(
-            10_000,
-            || 0u64,
-            |acc, i| *acc += i as u64,
-            |a, b| a + b,
-        );
+        let total = pool.fold(10_000, || 0u64, |acc, i| *acc += i as u64, |a, b| a + b);
         assert_eq!(total, 10_000u64 * 9_999 / 2);
     }
 
@@ -285,7 +337,11 @@ mod tests {
     #[test]
     fn try_map_all_ok_matches_map() {
         let pool = Pool::new(3);
-        let out: Vec<usize> = pool.try_map(57, |i| i + 1).into_iter().map(|r| r.unwrap()).collect();
+        let out: Vec<usize> = pool
+            .try_map(57, |i| i + 1)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
         assert_eq!(out, (1..=57).collect::<Vec<_>>());
     }
 

@@ -191,7 +191,9 @@ mod tests {
     #[test]
     fn matches_reference_large_many_threads() {
         let pool = Pool::new(16);
-        let values: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(2654435761) % 1000).collect();
+        let values: Vec<u64> = (0..50_000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 1000)
+            .collect();
         let (pfx, total) = parallel_exclusive_scan(&pool, &values);
         let (rpfx, rtotal) = reference_scan(&values);
         assert_eq!(pfx, rpfx);

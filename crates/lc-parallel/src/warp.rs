@@ -202,7 +202,11 @@ mod tests {
         let broken = warp_inclusive_scan_truncated(&v);
         let correct = reference_inclusive(&v);
         assert_eq!(&broken[..32], &correct[..32], "low half is fine");
-        assert_ne!(&broken[32..], &correct[32..64], "high half is silently wrong");
+        assert_ne!(
+            &broken[32..],
+            &correct[32..64],
+            "high half is silently wrong"
+        );
         // And the same truncation is NOT a bug at warp 32.
         let v32 = lanes::<32>();
         assert_eq!(
@@ -214,8 +218,14 @@ mod tests {
     #[test]
     fn block_scan_matches_reference_at_both_warp_sizes() {
         let vals: Vec<i64> = (0..512).map(|i| (i * 7919) % 251 - 125).collect();
-        assert_eq!(block_inclusive_scan::<32>(&vals), reference_inclusive(&vals));
-        assert_eq!(block_inclusive_scan::<64>(&vals), reference_inclusive(&vals));
+        assert_eq!(
+            block_inclusive_scan::<32>(&vals),
+            reference_inclusive(&vals)
+        );
+        assert_eq!(
+            block_inclusive_scan::<64>(&vals),
+            reference_inclusive(&vals)
+        );
     }
 
     #[test]
@@ -223,7 +233,10 @@ mod tests {
         // 512 threads = 16 warps at WS=32 but 8 at WS=64 — same result,
         // different hierarchy (the §4 porting trade-off).
         let vals: Vec<i64> = (0..512).map(|i| i as i64 % 17).collect();
-        assert_eq!(block_inclusive_scan::<32>(&vals), block_inclusive_scan::<64>(&vals));
+        assert_eq!(
+            block_inclusive_scan::<32>(&vals),
+            block_inclusive_scan::<64>(&vals)
+        );
     }
 
     #[test]

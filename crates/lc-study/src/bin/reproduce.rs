@@ -20,6 +20,13 @@
 //! off (byte-identical `run.json`), `--unit-deadline SECS` quarantines
 //! overtime work units instead of hanging, and any quarantined unit
 //! turns the exit code to 5 after all outputs are still written.
+//!
+//! Observability: a progress heartbeat (units done, units/s, ETA,
+//! quarantine count) prints to stderr every 10 s when stderr is a
+//! terminal — `--heartbeat SECS` forces it on with a custom interval,
+//! `--quiet` silences it. `--telemetry-dir DIR` enables span/metric
+//! collection and writes `trace.json` (Chrome trace-event format,
+//! loadable in Perfetto), `events.jsonl`, and `metrics.json` there.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,6 +54,9 @@ struct Args {
     out: PathBuf,
     resume: bool,
     unit_deadline: Option<Duration>,
+    heartbeat: Option<Duration>,
+    quiet: bool,
+    telemetry_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,12 +74,16 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("experiments"),
         resume: false,
         unit_deadline: None,
+        heartbeat: None,
+        quiet: false,
+        telemetry_dir: None,
     };
+    // Heartbeat defaults on for interactive runs; --quiet suppresses it,
+    // --heartbeat forces it (e.g. for log-captured batch runs).
+    let mut heartbeat_flag: Option<u64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--figure" => {
                 let v = value("--figure")?;
@@ -99,8 +113,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--families" => {
-                args.families =
-                    Some(value("--families")?.split(',').map(str::to_string).collect());
+                args.families = Some(
+                    value("--families")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
             }
             "--files" => {
                 args.files = Some(value("--files")?.split(',').map(str::to_string).collect());
@@ -116,6 +134,19 @@ fn parse_args() -> Result<Args, String> {
             "--verify" => args.verify = true,
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--resume" => args.resume = true,
+            "--quiet" => args.quiet = true,
+            "--heartbeat" => {
+                let secs: u64 = value("--heartbeat")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat: {e}"))?;
+                if secs == 0 {
+                    return Err("--heartbeat must be positive (seconds)".into());
+                }
+                heartbeat_flag = Some(secs);
+            }
+            "--telemetry-dir" => {
+                args.telemetry_dir = Some(PathBuf::from(value("--telemetry-dir")?));
+            }
             "--unit-deadline" => {
                 let secs: u64 = value("--unit-deadline")?
                     .parse()
@@ -129,13 +160,24 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: reproduce [--figure all|2,3,…] [--tables] [--scale D] [--full] \
                      [--threads N] [--families A,B,…] [--files f,…] [--verify] [--out DIR] \
-                     [--resume] [--unit-deadline SECS]"
+                     [--resume] [--unit-deadline SECS] [--heartbeat SECS] [--quiet] \
+                     [--telemetry-dir DIR]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
+    args.heartbeat = match (args.quiet, heartbeat_flag) {
+        (true, _) => None,
+        (false, Some(secs)) => Some(Duration::from_secs(secs)),
+        (false, None) => {
+            use std::io::IsTerminal;
+            std::io::stderr()
+                .is_terminal()
+                .then(|| Duration::from_secs(10))
+        }
+    };
     Ok(args)
 }
 
@@ -190,19 +232,25 @@ fn main() -> ExitCode {
         opt_levels,
         verify: args.verify,
     };
-    eprintln!(
-        "campaign: {} pipelines x {} inputs (scale 1/{}) on {} threads…",
-        sc.space.len(),
-        sc.files.len(),
-        args.scale,
-        sc.threads
-    );
+    if args.telemetry_dir.is_some() {
+        lc_telemetry::enable();
+    }
+    if !args.quiet {
+        eprintln!(
+            "campaign: {} pipelines x {} inputs (scale 1/{}) on {} threads…",
+            sc.space.len(),
+            sc.files.len(),
+            args.scale,
+            sc.threads
+        );
+    }
     let t0 = Instant::now();
     let opts = CampaignOptions {
         journal: Some(args.out.join("journal.jsonl")),
         resume: args.resume,
         unit_deadline: args.unit_deadline,
         isolate: true,
+        heartbeat: args.heartbeat,
     };
     let outcome = match run_campaign_with(&sc, &opts) {
         Ok(o) => o,
@@ -212,12 +260,47 @@ fn main() -> ExitCode {
         }
     };
     let m = outcome.measurements;
-    eprintln!(
-        "campaign done in {:.1}s ({} units executed, {} resumed from journal)",
-        t0.elapsed().as_secs_f64(),
-        outcome.executed_units,
-        outcome.resumed_units
-    );
+    if !args.quiet {
+        eprintln!(
+            "campaign done in {:.1}s ({} units executed, {} resumed from journal)",
+            t0.elapsed().as_secs_f64(),
+            outcome.executed_units,
+            outcome.resumed_units
+        );
+    }
+
+    // Telemetry exports: everything the instrumented campaign recorded.
+    if let Some(dir) = &args.telemetry_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let events = lc_telemetry::drain();
+        let write = |name: &str, contents: String| -> Result<(), String> {
+            let path = dir.join(name);
+            std::fs::write(&path, contents)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))
+        };
+        let result = write("trace.json", lc_telemetry::export::chrome_trace(&events))
+            .and_then(|()| write("events.jsonl", lc_telemetry::export::events_jsonl(&events)))
+            .and_then(|()| {
+                write(
+                    "metrics.json",
+                    lc_telemetry::export::metrics_value().pretty(),
+                )
+            });
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            eprintln!(
+                "telemetry: {} events -> {}/{{trace.json,events.jsonl,metrics.json}}",
+                events.len(),
+                dir.display()
+            );
+        }
+    }
 
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("error: cannot create {}: {e}", args.out.display());
@@ -254,7 +337,11 @@ fn main() -> ExitCode {
             println!();
             let name = format!(
                 "stage2_{}.csv",
-                if dir == gpu_sim::Direction::Encode { "encode" } else { "decode" }
+                if dir == gpu_sim::Direction::Encode {
+                    "encode"
+                } else {
+                    "decode"
+                }
             );
             let _ = std::fs::write(args.out.join(name), figures::to_csv(&fig));
         }
@@ -276,7 +363,10 @@ fn main() -> ExitCode {
             Ok(baseline_json) => {
                 match lc_study::compare::compare(&baseline_json, &current_json, 0.05) {
                     Ok(cmp) => {
-                        println!("--- drift vs {} (5% threshold) ---", baseline_path.display());
+                        println!(
+                            "--- drift vs {} (5% threshold) ---",
+                            baseline_path.display()
+                        );
                         print!("{}", lc_study::compare::render(&cmp, 0.05));
                     }
                     Err(e) => eprintln!("baseline comparison failed: {e}"),
@@ -295,7 +385,10 @@ fn main() -> ExitCode {
     }
     let findings = report::findings(&m);
     let held = findings.iter().filter(|f| f.holds).count();
-    println!("findings: {held}/{} paper claims reproduced", findings.len());
+    println!(
+        "findings: {held}/{} paper claims reproduced",
+        findings.len()
+    );
     for f in &findings {
         println!(
             "  [{}] {:32} {}",
@@ -304,15 +397,24 @@ fn main() -> ExitCode {
             f.measured
         );
     }
-    println!("wrote {} and per-figure CSVs to {}", md_path.display(), args.out.display());
+    println!(
+        "wrote {} and per-figure CSVs to {}",
+        md_path.display(),
+        args.out.display()
+    );
 
     if !outcome.quarantined.is_empty() {
         let report_path = args.out.join("quarantine.txt");
         let mut lines = String::new();
         for q in &outcome.quarantined {
             lines.push_str(&format!(
-                "file={} s1={} trace=[{}] reason={:?}\n",
-                q.file, q.component, q.stage_trace, q.reason
+                "file={} s1={} trace=[{}] elapsed_ms={} stage_ms={:?} reason={:?}\n",
+                q.file,
+                q.component,
+                q.stage_trace,
+                q.timing.elapsed_ms,
+                q.timing.stage_ms,
+                q.reason
             ));
         }
         let _ = std::fs::write(&report_path, &lines);

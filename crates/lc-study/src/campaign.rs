@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lc_json::Value;
 use lc_parallel::Pool;
@@ -39,6 +39,7 @@ use gpu_sim::{
 use lc_data::{Scale, SpFile, SP_FILES};
 
 use crate::journal::{self, JournalWriter};
+use crate::progress::Heartbeat;
 use crate::runner::{run_stage_checked, ChunkedData, StageFault, Watchdog};
 use crate::space::Space;
 
@@ -205,6 +206,20 @@ pub struct CampaignOptions {
     /// propagating the failure. Off by default so [`run_campaign`] keeps
     /// its historical fail-fast behavior.
     pub isolate: bool,
+    /// Emit a progress line to stderr at this interval (units done,
+    /// units/s, ETA, quarantine count). `None` disables the heartbeat.
+    pub heartbeat: Option<Duration>,
+}
+
+/// Wall-clock timing of one work unit, recorded for every unit (healthy
+/// or quarantined) and attached to its journal record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitTiming {
+    /// Total wall time of the unit in milliseconds.
+    pub elapsed_ms: u64,
+    /// Accumulated milliseconds per stage position (s1, s2, s3). For a
+    /// quarantined unit the failing stage's partial time is included.
+    pub stage_ms: [u64; 3],
 }
 
 /// Why a work unit was quarantined.
@@ -237,6 +252,8 @@ pub struct QuarantineEntry {
     /// Which stages were executing when the unit died, e.g.
     /// `"s1=TCMS_4 s2=DIFF_4 s3=RZE_4"`.
     pub stage_trace: String,
+    /// How long the unit ran before dying, and where the time went.
+    pub timing: UnitTiming,
 }
 
 /// Result of [`run_campaign_with`].
@@ -287,8 +304,14 @@ pub fn run_campaign_with(
     sc: &StudyConfig,
     opts: &CampaignOptions,
 ) -> Result<CampaignOutcome, String> {
-    assert!(!sc.files.is_empty(), "campaign needs at least one input file");
-    assert!(!sc.opt_levels.is_empty(), "campaign needs at least one opt level");
+    assert!(
+        !sc.files.is_empty(),
+        "campaign needs at least one input file"
+    );
+    assert!(
+        !sc.opt_levels.is_empty(),
+        "campaign needs at least one opt level"
+    );
     let pool = Pool::new(sc.threads);
     let configs: Vec<SimConfig> = sc
         .opt_levels
@@ -341,6 +364,20 @@ pub fn run_campaign_with(
 
     let resumed_units = prior_units.len();
     let mut executed_units = 0usize;
+    // Units this run will actually execute, known upfront from the prior
+    // maps — the heartbeat's denominator.
+    let planned: usize = (0..sc.files.len())
+        .map(|fi| {
+            (0..nc)
+                .filter(|i1| {
+                    !prior_units.contains_key(&(fi, *i1))
+                        && !prior_quarantine.contains_key(&(fi, *i1))
+                })
+                .count()
+        })
+        .sum();
+    let heartbeat = opts.heartbeat.map(|iv| Heartbeat::start(planned, iv));
+    let heartbeat = heartbeat.as_ref();
     let mut quarantined: Vec<QuarantineEntry> = prior_quarantine.values().cloned().collect();
 
     let mut enc_log = vec![0f64; c_total * p_total];
@@ -367,8 +404,7 @@ pub fn run_campaign_with(
             .map(|cfg| PlatformPre {
                 fw_enc: framework_time(cfg, Direction::Encode, chunks),
                 fw_dec: framework_time(cfg, Direction::Decode, chunks),
-                inv_bw: 1.0
-                    / (cfg.gpu.mem_bandwidth_gbs * 1e9 * cfg.profile().memory_efficiency),
+                inv_bw: 1.0 / (cfg.gpu.mem_bandwidth_gbs * 1e9 * cfg.profile().memory_efficiency),
             })
             .collect();
         total_uncompressed += unc;
@@ -396,45 +432,78 @@ pub fn run_campaign_with(
 
         let journal_err: Mutex<Option<String>> = Mutex::new(None);
         let record_err = |e: String| {
-            journal_err.lock().expect("journal error mutex").get_or_insert(e);
+            journal_err
+                .lock()
+                .expect("journal error mutex")
+                .get_or_insert(e);
         };
-        let computed: Vec<Result<UnitRows, QuarantineEntry>> =
-            pool.map(pending.len(), |k| {
-                let i1 = pending[k];
-                let watchdog = opts.unit_deadline.map(Watchdog::new);
-                match run_unit(sc, &ctx, i1, watchdog.as_ref()) {
-                    Ok(rows) => {
-                        if let Some(w) = &writer {
-                            let v = unit_value(file_i, file.name, i1, &sc.space, &rows);
-                            if let Err(e) = w.append(&v) {
-                                record_err(e);
-                            }
+        // The Err variant is boxed: quarantine is the cold path, and the
+        // entry (with its timing and trace) dwarfs the Ok rows pointer.
+        let computed: Vec<Result<UnitRows, Box<QuarantineEntry>>> = pool.map(pending.len(), |k| {
+            let i1 = pending[k];
+            let s1_name = sc.space.components[i1].name();
+            let mut unit_span = lc_telemetry::span_in!(
+                "campaign",
+                "unit",
+                file = file.name,
+                s1 = s1_name,
+                s1_index = i1,
+            );
+            let watchdog = opts.unit_deadline.map(Watchdog::new);
+            let unit_start = Instant::now();
+            let mut stage_ns = [0u64; 3];
+            let result = run_unit(sc, &ctx, i1, watchdog.as_ref(), &mut stage_ns);
+            let timing = UnitTiming {
+                elapsed_ms: unit_start.elapsed().as_millis() as u64,
+                stage_ms: stage_ns.map(|n| n / 1_000_000),
+            };
+            unit_span.arg("elapsed_ms", timing.elapsed_ms);
+            unit_span.arg("ok", result.is_ok());
+            let out = match result {
+                Ok(rows) => {
+                    if let Some(w) = &writer {
+                        let v = unit_value(file_i, file.name, i1, &sc.space, &rows, timing);
+                        if let Err(e) = w.append(&v) {
+                            record_err(e);
                         }
-                        Ok(rows)
                     }
-                    Err((fault, stage_trace)) => {
-                        let entry = QuarantineEntry {
-                            file: file.name.to_string(),
-                            file_index: file_i,
-                            component: sc.space.components[i1].name().to_string(),
-                            s1_index: i1,
-                            reason: match fault {
-                                StageFault::Panic(msg) => QuarantineReason::Panic(msg),
-                                StageFault::DeadlineExceeded { elapsed_ms, limit_ms } => {
-                                    QuarantineReason::DeadlineExceeded { elapsed_ms, limit_ms }
-                                }
-                            },
-                            stage_trace,
-                        };
-                        if let Some(w) = &writer {
-                            if let Err(e) = w.append(&quarantine_value(&entry)) {
-                                record_err(e);
-                            }
-                        }
-                        Err(entry)
-                    }
+                    Ok(rows)
                 }
-            });
+                Err((fault, stage_trace)) => {
+                    let entry = QuarantineEntry {
+                        file: file.name.to_string(),
+                        file_index: file_i,
+                        component: s1_name.to_string(),
+                        s1_index: i1,
+                        reason: match fault {
+                            StageFault::Panic(msg) => QuarantineReason::Panic(msg),
+                            StageFault::DeadlineExceeded {
+                                elapsed_ms,
+                                limit_ms,
+                            } => QuarantineReason::DeadlineExceeded {
+                                elapsed_ms,
+                                limit_ms,
+                            },
+                        },
+                        stage_trace,
+                        timing,
+                    };
+                    if let Some(w) = &writer {
+                        if let Err(e) = w.append(&quarantine_value(&entry)) {
+                            record_err(e);
+                        }
+                    }
+                    if let Some(hb) = heartbeat {
+                        hb.unit_quarantined();
+                    }
+                    Err(Box::new(entry))
+                }
+            };
+            if let Some(hb) = heartbeat {
+                hb.unit_done();
+            }
+            out
+        });
         if let Some(e) = journal_err.into_inner().expect("journal error mutex") {
             return Err(e);
         }
@@ -455,12 +524,14 @@ pub fn run_campaign_with(
                             entry.stage_trace,
                             match &entry.reason {
                                 QuarantineReason::Panic(m) => m.clone(),
-                                QuarantineReason::DeadlineExceeded { elapsed_ms, limit_ms } =>
-                                    format!("deadline: {elapsed_ms} ms of {limit_ms} ms"),
+                                QuarantineReason::DeadlineExceeded {
+                                    elapsed_ms,
+                                    limit_ms,
+                                } => format!("deadline: {elapsed_ms} ms of {limit_ms} ms"),
                             }
                         );
                     }
-                    quarantined.push(entry);
+                    quarantined.push(*entry);
                 }
             }
         }
@@ -491,9 +562,8 @@ pub fn run_campaign_with(
     }
 
     let n_files = sc.files.len() as f64;
-    let finish = |log: Vec<f64>| -> Vec<f64> {
-        log.into_iter().map(|s| (s / n_files).exp()).collect()
-    };
+    let finish =
+        |log: Vec<f64>| -> Vec<f64> { log.into_iter().map(|s| (s / n_files).exp()).collect() };
     quarantined.sort_by_key(|q| (q.file_index, q.s1_index));
     Ok(CampaignOutcome {
         measurements: Measurements {
@@ -515,11 +585,16 @@ pub fn run_campaign_with(
 /// the full (stage-2 × stage-3) sub-tree. Every stage runs behind the
 /// panic fence and watchdog of [`run_stage_checked`]; on fault, the
 /// returned trace names the stages that were executing.
+///
+/// `stage_ns` accumulates wall nanoseconds per stage position; a failing
+/// stage's time up to the fault is included, so quarantine records show
+/// where a dying unit spent its budget.
 fn run_unit(
     sc: &StudyConfig,
     ctx: &FileCtx<'_>,
     i1: usize,
     watchdog: Option<&Watchdog>,
+    stage_ns: &mut [u64; 3],
 ) -> Result<UnitRows, (StageFault, String)> {
     let nc = sc.space.components.len();
     let nr = sc.space.reducers.len();
@@ -533,8 +608,15 @@ fn run_unit(
     let mut row_dec = vec![0f64; c_total * stride];
     let mut row_comp = vec![0u64; stride];
 
-    let s1 = run_stage_checked(sc.space.components[i1].as_ref(), ctx.input, sc.verify, watchdog)
-        .map_err(|f| (f, format!("s1={s1_name}")))?;
+    let t1 = Instant::now();
+    let r1 = run_stage_checked(
+        sc.space.components[i1].as_ref(),
+        ctx.input,
+        sc.verify,
+        watchdog,
+    );
+    stage_ns[0] += t1.elapsed().as_nanos() as u64;
+    let s1 = r1.map_err(|f| (f, format!("s1={s1_name}")))?;
     let (s1e, s1d) = (s1.enc.scaled(extrapolate), s1.dec.scaled(extrapolate));
     let st1: Vec<(f64, f64)> = configs
         .iter()
@@ -542,22 +624,35 @@ fn run_unit(
         .collect();
     for i2 in 0..nc {
         let s2_name = sc.space.components[i2].name();
-        let s2 = run_stage_checked(sc.space.components[i2].as_ref(), &s1.output, sc.verify, watchdog)
-            .map_err(|f| (f, format!("s1={s1_name} s2={s2_name}")))?;
+        let t2 = Instant::now();
+        let r2 = run_stage_checked(
+            sc.space.components[i2].as_ref(),
+            &s1.output,
+            sc.verify,
+            watchdog,
+        );
+        stage_ns[1] += t2.elapsed().as_nanos() as u64;
+        let s2 = r2.map_err(|f| (f, format!("s1={s1_name} s2={s2_name}")))?;
         let (s2e, s2d) = (s2.enc.scaled(extrapolate), s2.dec.scaled(extrapolate));
         let st2: Vec<(f64, f64)> = configs
             .iter()
             .map(|cfg| (stage_time(cfg, &s2e, chunks), stage_time(cfg, &s2d, chunks)))
             .collect();
         for ir in 0..nr {
-            let s3 = run_stage_checked(sc.space.reducers[ir].as_ref(), &s2.output, sc.verify, watchdog)
-                .map_err(|f| {
-                    let s3_name = sc.space.reducers[ir].name();
-                    (f, format!("s1={s1_name} s2={s2_name} s3={s3_name}"))
-                })?;
+            let t3 = Instant::now();
+            let r3 = run_stage_checked(
+                sc.space.reducers[ir].as_ref(),
+                &s2.output,
+                sc.verify,
+                watchdog,
+            );
+            stage_ns[2] += t3.elapsed().as_nanos() as u64;
+            let s3 = r3.map_err(|f| {
+                let s3_name = sc.space.reducers[ir].name();
+                (f, format!("s1={s1_name} s2={s2_name} s3={s3_name}"))
+            })?;
             let (s3e, s3d) = (s3.enc.scaled(extrapolate), s3.dec.scaled(extrapolate));
-            let comp_bytes =
-                (s3.output.total_bytes() as f64 * extrapolate) as u64 + 5 * chunks;
+            let comp_bytes = (s3.output.total_bytes() as f64 * extrapolate) as u64 + 5 * chunks;
             let local = i2 * nr + ir;
             row_comp[local] = comp_bytes;
             let p_idx = i1 * stride + local;
@@ -609,17 +704,67 @@ fn journal_meta(sc: &StudyConfig, c_total: usize) -> Value {
     ])
 }
 
-fn unit_value(file_i: usize, file_name: &str, i1: usize, space: &Space, rows: &UnitRows) -> Value {
+/// Serialize timing as a nested object — `DeadlineExceeded` records carry
+/// their own top-level `elapsed_ms`, so the unit timing must not collide.
+fn timing_value(t: UnitTiming) -> Value {
     Value::object([
+        ("elapsed_ms", Value::from(t.elapsed_ms)),
+        (
+            "stage_ms",
+            Value::array(t.stage_ms.iter().map(|&v| Value::from(v))),
+        ),
+    ])
+}
+
+fn timing_from_value(record: &Value) -> Result<UnitTiming, String> {
+    let v = record
+        .get("timing")
+        .ok_or_else(|| "record missing timing".to_string())?;
+    let elapsed_ms = v
+        .get("elapsed_ms")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "record missing timing.elapsed_ms".to_string())?;
+    let arr = v
+        .get("stage_ms")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "record missing timing.stage_ms".to_string())?;
+    if arr.len() != 3 {
+        return Err(format!("stage_ms has {} entries, expected 3", arr.len()));
+    }
+    let mut stage_ms = [0u64; 3];
+    for (dst, x) in stage_ms.iter_mut().zip(arr) {
+        *dst = x
+            .as_u64()
+            .ok_or_else(|| "non-integer value in stage_ms".to_string())?;
+    }
+    Ok(UnitTiming {
+        elapsed_ms,
+        stage_ms,
+    })
+}
+
+fn unit_value(
+    file_i: usize,
+    file_name: &str,
+    i1: usize,
+    space: &Space,
+    rows: &UnitRows,
+    timing: UnitTiming,
+) -> Value {
+    let mut fields = vec![
         ("kind", Value::from("unit")),
         ("file_index", Value::from(file_i as u64)),
         ("file", Value::from(file_name)),
         ("s1_index", Value::from(i1 as u64)),
         ("s1", Value::from(space.components[i1].name())),
+        ("timing", timing_value(timing)),
+    ];
+    fields.extend([
         ("enc", Value::array(rows.0.iter().map(|&v| Value::from(v)))),
         ("dec", Value::array(rows.1.iter().map(|&v| Value::from(v)))),
         ("comp", Value::array(rows.2.iter().map(|&v| Value::from(v)))),
-    ])
+    ]);
+    Value::object(fields)
 }
 
 fn unit_from_value(
@@ -647,7 +792,10 @@ fn unit_from_value(
             ));
         }
         arr.iter()
-            .map(|x| x.as_f64().ok_or_else(|| format!("non-numeric value in {field}")))
+            .map(|x| {
+                x.as_f64()
+                    .ok_or_else(|| format!("non-numeric value in {field}"))
+            })
             .collect()
     };
     let enc = floats("enc")?;
@@ -664,7 +812,10 @@ fn unit_from_value(
     }
     let comp = comp_arr
         .iter()
-        .map(|x| x.as_u64().ok_or_else(|| "non-integer value in comp".to_string()))
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| "non-integer value in comp".to_string())
+        })
         .collect::<Result<Vec<u64>, String>>()?;
     Ok((key, (enc, dec, comp)))
 }
@@ -677,13 +828,17 @@ fn quarantine_value(q: &QuarantineEntry) -> Value {
         ("s1_index", Value::from(q.s1_index as u64)),
         ("s1", Value::from(q.component.as_str())),
         ("trace", Value::from(q.stage_trace.as_str())),
+        ("timing", timing_value(q.timing)),
     ];
     match &q.reason {
         QuarantineReason::Panic(msg) => {
             fields.push(("reason", Value::from("panic")));
             fields.push(("message", Value::from(msg.as_str())));
         }
-        QuarantineReason::DeadlineExceeded { elapsed_ms, limit_ms } => {
+        QuarantineReason::DeadlineExceeded {
+            elapsed_ms,
+            limit_ms,
+        } => {
             fields.push(("reason", Value::from("deadline")));
             fields.push(("elapsed_ms", Value::from(*elapsed_ms)));
             fields.push(("limit_ms", Value::from(*limit_ms)));
@@ -719,6 +874,7 @@ fn quarantine_from_value(v: &Value) -> Result<QuarantineEntry, String> {
         s1_index: n("s1_index")? as usize,
         reason,
         stage_trace: s("trace")?,
+        timing: timing_from_value(v)?,
     })
 }
 
@@ -763,8 +919,12 @@ mod tests {
     #[test]
     fn clang_encode_slower_decode_faster() {
         let m = quick_measurements();
-        let nv = m.config_index("RTX 4090", CompilerId::Nvcc, OptLevel::O3).unwrap();
-        let cl = m.config_index("RTX 4090", CompilerId::Clang, OptLevel::O3).unwrap();
+        let nv = m
+            .config_index("RTX 4090", CompilerId::Nvcc, OptLevel::O3)
+            .unwrap();
+        let cl = m
+            .config_index("RTX 4090", CompilerId::Clang, OptLevel::O3)
+            .unwrap();
         let enc_nv = crate::stats::median(m.series(nv, Direction::Encode));
         let enc_cl = crate::stats::median(m.series(cl, Direction::Encode));
         let dec_nv = crate::stats::median(m.series(nv, Direction::Decode));
@@ -776,8 +936,12 @@ mod tests {
     #[test]
     fn nvcc_hipcc_close_on_nvidia() {
         let m = quick_measurements();
-        let nv = m.config_index("RTX 4090", CompilerId::Nvcc, OptLevel::O3).unwrap();
-        let hip = m.config_index("RTX 4090", CompilerId::Hipcc, OptLevel::O3).unwrap();
+        let nv = m
+            .config_index("RTX 4090", CompilerId::Nvcc, OptLevel::O3)
+            .unwrap();
+        let hip = m
+            .config_index("RTX 4090", CompilerId::Hipcc, OptLevel::O3)
+            .unwrap();
         let a = crate::stats::median(m.series(nv, Direction::Encode));
         let b = crate::stats::median(m.series(hip, Direction::Encode));
         assert!((a / b - 1.0).abs() < 0.03, "{a} vs {b}");
@@ -786,9 +950,15 @@ mod tests {
     #[test]
     fn gpu_staircase() {
         let m = quick_measurements();
-        let titan = m.config_index("TITAN V", CompilerId::Nvcc, OptLevel::O3).unwrap();
-        let ti = m.config_index("RTX 3080 Ti", CompilerId::Nvcc, OptLevel::O3).unwrap();
-        let k90 = m.config_index("RTX 4090", CompilerId::Nvcc, OptLevel::O3).unwrap();
+        let titan = m
+            .config_index("TITAN V", CompilerId::Nvcc, OptLevel::O3)
+            .unwrap();
+        let ti = m
+            .config_index("RTX 3080 Ti", CompilerId::Nvcc, OptLevel::O3)
+            .unwrap();
+        let k90 = m
+            .config_index("RTX 4090", CompilerId::Nvcc, OptLevel::O3)
+            .unwrap();
         let med = |c| crate::stats::median(m.series(c, Direction::Encode));
         assert!(med(titan) < med(ti), "TITAN V < 3080 Ti");
         assert!(med(ti) < med(k90), "3080 Ti < 4090");
@@ -827,7 +997,10 @@ mod tests {
 
     fn temp_journal(tag: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("lc-campaign-test-{}-{tag}.jsonl", std::process::id()));
+        p.push(format!(
+            "lc-campaign-test-{}-{tag}.jsonl",
+            std::process::id()
+        ));
         p
     }
 
@@ -848,7 +1021,10 @@ mod tests {
         let sc = tiny_config();
         let plain = run_campaign(&sc);
         let path = temp_journal("nochange");
-        let opts = CampaignOptions { journal: Some(path.clone()), ..Default::default() };
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            ..Default::default()
+        };
         let journaled = run_campaign_with(&sc, &opts).unwrap();
         assert_bitwise_equal(&plain, &journaled.measurements);
         assert_eq!(journaled.resumed_units, 0);
@@ -860,7 +1036,10 @@ mod tests {
     fn resume_after_partial_journal_is_byte_identical() {
         let sc = tiny_config();
         let path = temp_journal("resume");
-        let opts = CampaignOptions { journal: Some(path.clone()), ..Default::default() };
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            ..Default::default()
+        };
         let uninterrupted = run_campaign_with(&sc, &opts).unwrap();
 
         // Simulate a kill after 3 completed work units: keep the meta
@@ -896,7 +1075,10 @@ mod tests {
     fn resume_rejects_a_foreign_journal() {
         let sc = tiny_config();
         let path = temp_journal("foreign");
-        let opts = CampaignOptions { journal: Some(path.clone()), ..Default::default() };
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            ..Default::default()
+        };
         run_campaign_with(&sc, &opts).unwrap();
 
         let mut other = sc.clone();
@@ -959,7 +1141,9 @@ mod tests {
         sc.files = vec![&SP_FILES[0]];
         let data = lc_data::generate(sc.files[0], sc.scale);
         let trigger = data[..lc_core::CHUNK_SIZE.min(data.len())].to_vec();
-        sc.space.components.push(Arc::new(BoomComponent { trigger }));
+        sc.space
+            .components
+            .push(Arc::new(BoomComponent { trigger }));
         let boom = sc.space.components.len() - 1;
         (sc, boom)
     }
@@ -974,13 +1158,20 @@ mod tests {
             ..Default::default()
         };
         let outcome = run_campaign_with(&sc, &opts).unwrap();
-        assert!(!outcome.quarantined.is_empty(), "boom unit must be quarantined");
+        assert!(
+            !outcome.quarantined.is_empty(),
+            "boom unit must be quarantined"
+        );
         assert!(
             outcome.quarantined.len() < sc.space.components.len(),
             "healthy units must survive the bad component"
         );
         for q in &outcome.quarantined {
-            assert!(q.stage_trace.contains("BOOM_1"), "trace {:?}", q.stage_trace);
+            assert!(
+                q.stage_trace.contains("BOOM_1"),
+                "trace {:?}",
+                q.stage_trace
+            );
             match &q.reason {
                 QuarantineReason::Panic(msg) => {
                     assert!(msg.contains("intentional test panic"), "{msg}")
@@ -999,7 +1190,10 @@ mod tests {
 
         // Resume: quarantined units stay quarantined (not re-run) and the
         // numbers stay byte-identical.
-        let opts = CampaignOptions { resume: true, ..opts };
+        let opts = CampaignOptions {
+            resume: true,
+            ..opts
+        };
         let resumed = run_campaign_with(&sc, &opts).unwrap();
         assert_eq!(resumed.executed_units, 0);
         assert_eq!(resumed.quarantined, outcome.quarantined);
@@ -1012,5 +1206,46 @@ mod tests {
     fn without_isolation_a_unit_panic_propagates() {
         let (sc, _) = booby_trapped_config();
         let _ = run_campaign_with(&sc, &CampaignOptions::default());
+    }
+
+    #[test]
+    fn quarantine_record_round_trips_timing() {
+        let entry = QuarantineEntry {
+            file: "msg_bt".to_string(),
+            file_index: 0,
+            component: "BOOM_1".to_string(),
+            s1_index: 7,
+            reason: QuarantineReason::DeadlineExceeded {
+                elapsed_ms: 9000,
+                limit_ms: 5000,
+            },
+            stage_trace: "s1=BOOM_1 s2=DIFF_4".to_string(),
+            timing: UnitTiming {
+                elapsed_ms: 9001,
+                stage_ms: [100, 8900, 0],
+            },
+        };
+        let v = quarantine_value(&entry);
+        assert_eq!(quarantine_from_value(&v).unwrap(), entry);
+    }
+
+    #[test]
+    fn unit_records_carry_timing() {
+        let sc = tiny_config();
+        let path = temp_journal("timing");
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            ..Default::default()
+        };
+        run_campaign_with(&sc, &opts).unwrap();
+        let j = journal::load(&path).unwrap();
+        assert!(!j.units.is_empty());
+        for u in &j.units {
+            let t = timing_from_value(u).expect("unit record has timing");
+            // Stage time cannot exceed the unit's wall time (ms rounding
+            // can make tiny units report 0 everywhere, which is fine).
+            assert!(t.stage_ms.iter().sum::<u64>() <= t.elapsed_ms.max(1) * 2);
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -71,7 +71,11 @@ fn groups_of(run: &Value) -> Vec<(u32, String, String, f64)> {
 /// (relative, e.g. 0.05 = 5%) are reported as drift.
 ///
 /// Returns an error string when either input is not a `run.json` dump.
-pub fn compare(baseline_json: &str, current_json: &str, threshold: f64) -> Result<Comparison, String> {
+pub fn compare(
+    baseline_json: &str,
+    current_json: &str,
+    threshold: f64,
+) -> Result<Comparison, String> {
     let baseline = Value::parse(baseline_json).map_err(|e| format!("baseline: {e}"))?;
     let current = Value::parse(current_json).map_err(|e| format!("current: {e}"))?;
     for (name, v) in [("baseline", &baseline), ("current", &current)] {
@@ -106,7 +110,9 @@ pub fn compare(baseline_json: &str, current_json: &str, threshold: f64) -> Resul
     cmp.unmatched_groups += cur_groups
         .iter()
         .filter(|(f, g, c, _)| {
-            !base_groups.iter().any(|(bf, bg, bc, _)| bf == f && bg == g && bc == c)
+            !base_groups
+                .iter()
+                .any(|(bf, bg, bc, _)| bf == f && bg == g && bc == c)
         })
         .count();
 
@@ -158,10 +164,15 @@ pub fn render(cmp: &Comparison, threshold: f64) -> String {
         ));
     }
     for (id, was, now) in &cmp.flipped_findings {
-        out.push_str(&format!("finding {id}: holds {was} -> {now}  <-- REGRESSION\n"));
+        out.push_str(&format!(
+            "finding {id}: holds {was} -> {now}  <-- REGRESSION\n"
+        ));
     }
     if cmp.unmatched_groups > 0 {
-        out.push_str(&format!("{} groups present in only one run\n", cmp.unmatched_groups));
+        out.push_str(&format!(
+            "{} groups present in only one run\n",
+            cmp.unmatched_groups
+        ));
     }
     out
 }

@@ -197,7 +197,11 @@ pub fn figure(m: &Measurements, id: FigId) -> Figure {
     let mut groups = Vec::new();
     match id {
         FigId::Fig2 | FigId::Fig3 => {
-            let dir = if id == FigId::Fig2 { Direction::Encode } else { Direction::Decode };
+            let dir = if id == FigId::Fig2 {
+                Direction::Encode
+            } else {
+                Direction::Decode
+            };
             for gpu in ALL_GPUS {
                 for cfg in gpu_configs(m, gpu.name, OptLevel::O3) {
                     push_group(&mut groups, m, gpu.name, cfg, dir, None);
@@ -205,18 +209,33 @@ pub fn figure(m: &Measurements, id: FigId) -> Figure {
             }
         }
         FigId::Fig4 | FigId::Fig5 => {
-            let dir = if id == FigId::Fig4 { Direction::Encode } else { Direction::Decode };
+            let dir = if id == FigId::Fig4 {
+                Direction::Encode
+            } else {
+                Direction::Decode
+            };
             for gpu in fastest_gpus() {
                 for w in [1usize, 2, 4, 8] {
                     let ids = m.space.uniform_word_size(w);
                     for cfg in gpu_configs(m, gpu, OptLevel::O3) {
-                        push_group(&mut groups, m, &format!("{gpu} w={w}"), cfg, dir, Some(&ids));
+                        push_group(
+                            &mut groups,
+                            m,
+                            &format!("{gpu} w={w}"),
+                            cfg,
+                            dir,
+                            Some(&ids),
+                        );
                     }
                 }
             }
         }
         FigId::Fig6 | FigId::Fig7 => {
-            let dir = if id == FigId::Fig6 { Direction::Encode } else { Direction::Decode };
+            let dir = if id == FigId::Fig6 {
+                Direction::Encode
+            } else {
+                Direction::Decode
+            };
             for gpu in fastest_gpus() {
                 for kind in ComponentKind::ALL {
                     let ids = m.space.kind_pair(kind);
@@ -234,7 +253,11 @@ pub fn figure(m: &Measurements, id: FigId) -> Figure {
             }
         }
         FigId::Fig8 | FigId::Fig9 => {
-            let dir = if id == FigId::Fig8 { Direction::Encode } else { Direction::Decode };
+            let dir = if id == FigId::Fig8 {
+                Direction::Encode
+            } else {
+                Direction::Decode
+            };
             // Alphabetical family order, as in the paper's figures.
             let mut families = lc_components::families();
             families.sort_unstable();
@@ -242,7 +265,14 @@ pub fn figure(m: &Measurements, id: FigId) -> Figure {
                 for fam in &families {
                     let ids = m.space.stage1_family(fam);
                     for cfg in gpu_configs(m, gpu, OptLevel::O3) {
-                        push_group(&mut groups, m, &format!("{gpu} {fam}"), cfg, dir, Some(&ids));
+                        push_group(
+                            &mut groups,
+                            m,
+                            &format!("{gpu} {fam}"),
+                            cfg,
+                            dir,
+                            Some(&ids),
+                        );
                     }
                 }
             }
@@ -267,7 +297,11 @@ pub fn figure(m: &Measurements, id: FigId) -> Figure {
             }
         }
         FigId::Fig12 | FigId::Fig13 => {
-            let dir = if id == FigId::Fig12 { Direction::Encode } else { Direction::Decode };
+            let dir = if id == FigId::Fig12 {
+                Direction::Encode
+            } else {
+                Direction::Decode
+            };
             let mut families: Vec<&str> = m
                 .space
                 .reducers
@@ -280,13 +314,24 @@ pub fn figure(m: &Measurements, id: FigId) -> Figure {
                 for fam in &families {
                     let ids = m.space.stage3_family(fam);
                     for cfg in gpu_configs(m, gpu, OptLevel::O3) {
-                        push_group(&mut groups, m, &format!("{gpu} {fam}"), cfg, dir, Some(&ids));
+                        push_group(
+                            &mut groups,
+                            m,
+                            &format!("{gpu} {fam}"),
+                            cfg,
+                            dir,
+                            Some(&ids),
+                        );
                     }
                 }
             }
         }
         FigId::Fig14 | FigId::Fig15 => {
-            let dir = if id == FigId::Fig14 { Direction::Encode } else { Direction::Decode };
+            let dir = if id == FigId::Fig14 {
+                Direction::Encode
+            } else {
+                Direction::Decode
+            };
             for gpu in ALL_GPUS {
                 let vendor_compilers = CompilerId::for_vendor(gpu.vendor);
                 for compiler in vendor_compilers {
@@ -298,8 +343,7 @@ pub fn figure(m: &Measurements, id: FigId) -> Figure {
                     };
                     let o1 = m.series(c1, dir);
                     let o3 = m.series(c3, dir);
-                    let speedups: Vec<f64> =
-                        o1.iter().zip(o3).map(|(a, b)| b / a).collect();
+                    let speedups: Vec<f64> = o1.iter().zip(o3).map(|(a, b)| b / a).collect();
                     if speedups.is_empty() {
                         continue;
                     }
@@ -310,10 +354,18 @@ pub fn figure(m: &Measurements, id: FigId) -> Figure {
                     });
                 }
             }
-            return Figure { id, unit: "speedup", groups };
+            return Figure {
+                id,
+                unit: "speedup",
+                groups,
+            };
         }
     }
-    Figure { id, unit: "GB/s", groups }
+    Figure {
+        id,
+        unit: "GB/s",
+        groups,
+    }
 }
 
 /// Extension figures: the paper's §6.4 describes the Stage 2 results but
@@ -328,13 +380,24 @@ pub fn stage2_figure(m: &Measurements, dir: Direction) -> Figure {
         for fam in &families {
             let ids = m.space.stage2_family(fam);
             for cfg in gpu_configs(m, gpu, OptLevel::O3) {
-                push_group(&mut groups, m, &format!("{gpu} {fam}"), cfg, dir, Some(&ids));
+                push_group(
+                    &mut groups,
+                    m,
+                    &format!("{gpu} {fam}"),
+                    cfg,
+                    dir,
+                    Some(&ids),
+                );
             }
         }
     }
     // Reuse Fig8/Fig9 identity for rendering; the caption distinguishes.
     Figure {
-        id: if dir == Direction::Encode { FigId::Fig8 } else { FigId::Fig9 },
+        id: if dir == Direction::Encode {
+            FigId::Fig8
+        } else {
+            FigId::Fig9
+        },
         unit: "GB/s",
         groups,
     }
@@ -344,8 +407,19 @@ pub fn stage2_figure(m: &Measurements, dir: Direction) -> Figure {
 /// decimal; speedup ratios (Figs. 14/15) need three.
 pub fn render(fig: &Figure) -> String {
     let mut out = String::new();
-    out.push_str(&format!("Figure {}: {} [{}]\n", fig.id.number(), fig.id.title(), fig.unit));
-    let width = fig.groups.iter().map(|g| g.group.len()).max().unwrap_or(8).max(8);
+    out.push_str(&format!(
+        "Figure {}: {} [{}]\n",
+        fig.id.number(),
+        fig.id.title(),
+        fig.unit
+    ));
+    let width = fig
+        .groups
+        .iter()
+        .map(|g| g.group.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
     let prec = if fig.unit == "speedup" { 3 } else { 1 };
     for g in &fig.groups {
         let (q25, q75) = g.lv.fourths();
@@ -430,7 +504,11 @@ mod tests {
         assert_eq!(f.groups.len(), 11);
         let nvcc_boxes = f.groups.iter().filter(|g| g.compiler == "NVCC").count();
         assert_eq!(nvcc_boxes, 3);
-        let amd_boxes = f.groups.iter().filter(|g| g.group.contains("MI100")).count();
+        let amd_boxes = f
+            .groups
+            .iter()
+            .filter(|g| g.group.contains("MI100"))
+            .count();
         assert_eq!(amd_boxes, 1, "MI100 is HIPCC-only");
     }
 
@@ -440,7 +518,12 @@ mod tests {
         let f = figure(&m, FigId::Fig14);
         assert_eq!(f.unit, "speedup");
         for g in &f.groups {
-            assert!(g.lv.median > 0.8 && g.lv.median < 1.3, "{}: {}", g.group, g.lv.median);
+            assert!(
+                g.lv.median > 0.8 && g.lv.median < 1.3,
+                "{}: {}",
+                g.group,
+                g.lv.median
+            );
         }
     }
 
@@ -449,7 +532,12 @@ mod tests {
         let m = measurements();
         let f = figure(&m, FigId::Fig14);
         for g in f.groups.iter().filter(|g| g.compiler == "Clang") {
-            assert!(g.lv.median < 1.0, "Clang -O3 encode regression on {}: {}", g.group, g.lv.median);
+            assert!(
+                g.lv.median < 1.0,
+                "Clang -O3 encode regression on {}: {}",
+                g.group,
+                g.lv.median
+            );
         }
     }
 
@@ -459,7 +547,11 @@ mod tests {
         let f = figure(&m, FigId::Fig15);
         for g in f.groups.iter().filter(|g| g.compiler == "Clang") {
             assert!(g.lv.median > 1.0, "Clang -O3 decode speedup on {}", g.group);
-            assert!(g.lv.median < 1.10, "speedup must stay below 10%: {}", g.lv.median);
+            assert!(
+                g.lv.median < 1.10,
+                "speedup must stay below 10%: {}",
+                g.lv.median
+            );
         }
     }
 
@@ -468,7 +560,11 @@ mod tests {
         let m = measurements();
         let f = figure(&m, FigId::Fig14);
         for g in f.groups.iter().filter(|g| g.group.contains("MI100")) {
-            assert!((g.lv.median - 1.0).abs() < 0.05, "MI100 stability: {}", g.lv.median);
+            assert!(
+                (g.lv.median - 1.0).abs() < 0.05,
+                "MI100 stability: {}",
+                g.lv.median
+            );
         }
     }
 }

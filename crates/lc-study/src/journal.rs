@@ -27,7 +27,11 @@ use std::sync::Mutex;
 use lc_json::Value;
 
 /// Journal format version, bumped on any incompatible record change.
-pub const JOURNAL_VERSION: u64 = 1;
+/// Version 2 added per-unit timing (`elapsed_ms`, `stage_ms`) to `unit`
+/// and `quarantine` records; v1 journals are refused on resume via the
+/// meta fingerprint, so their timing-less quarantine records are never
+/// parsed.
+pub const JOURNAL_VERSION: u64 = 2;
 
 /// Serializer half: appends one record per line, flushing after each so
 /// a kill at any instant loses at most the line being written.
@@ -86,7 +90,10 @@ impl JournalWriter {
     ///
     /// Callable from multiple pool workers; the mutex keeps lines whole.
     pub fn append(&self, record: &Value) -> Result<(), String> {
-        let mut w = self.inner.lock().map_err(|_| "journal writer poisoned".to_string())?;
+        let mut w = self
+            .inner
+            .lock()
+            .map_err(|_| "journal writer poisoned".to_string())?;
         writeln!(w, "{}", record.dump()).map_err(|e| format!("journal write failed: {e}"))?;
         w.flush().map_err(|e| format!("journal flush failed: {e}"))
     }
@@ -115,8 +122,8 @@ pub struct LoadedJournal {
 /// a journal or was corrupted, and resuming from it would silently lose
 /// work units.
 pub fn load(path: &Path) -> Result<LoadedJournal, String> {
-    let file = File::open(path)
-        .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+    let file =
+        File::open(path).map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
     let reader = BufReader::new(file);
     let mut lines = Vec::new();
     for (ln, line) in reader.lines().enumerate() {
@@ -192,7 +199,10 @@ mod tests {
 
     fn temp_path(tag: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("lc-journal-test-{}-{tag}.jsonl", std::process::id()));
+        p.push(format!(
+            "lc-journal-test-{}-{tag}.jsonl",
+            std::process::id()
+        ));
         p
     }
 
@@ -210,7 +220,10 @@ mod tests {
         w.append(&Value::object([
             ("kind", Value::from("unit")),
             ("s1_index", Value::from(3u64)),
-            ("enc", Value::array([Value::from(1.5f64), Value::from(-0.25f64)])),
+            (
+                "enc",
+                Value::array([Value::from(1.5f64), Value::from(-0.25f64)]),
+            ),
         ]))
         .unwrap();
         w.append(&Value::object([
@@ -250,11 +263,7 @@ mod tests {
     #[test]
     fn corruption_before_the_tail_is_rejected() {
         let path = temp_path("midcorrupt");
-        std::fs::write(
-            &path,
-            "{\"kind\":\"meta\"}\nGARBAGE\n{\"kind\":\"unit\"}\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "{\"kind\":\"meta\"}\nGARBAGE\n{\"kind\":\"unit\"}\n").unwrap();
         let err = load(&path).unwrap_err();
         assert!(err.contains("line 2"), "{err}");
         std::fs::remove_file(&path).ok();
@@ -272,13 +281,19 @@ mod tests {
     fn resume_appends_after_existing_records() {
         let path = temp_path("reopen");
         let w = JournalWriter::create(&path, &meta()).unwrap();
-        w.append(&Value::object([("kind", Value::from("unit")), ("n", Value::from(1u64))]))
-            .unwrap();
+        w.append(&Value::object([
+            ("kind", Value::from("unit")),
+            ("n", Value::from(1u64)),
+        ]))
+        .unwrap();
         drop(w);
         let j = load(&path).unwrap();
         let w = JournalWriter::resume(&path, j.valid_len).unwrap();
-        w.append(&Value::object([("kind", Value::from("unit")), ("n", Value::from(2u64))]))
-            .unwrap();
+        w.append(&Value::object([
+            ("kind", Value::from("unit")),
+            ("n", Value::from(2u64)),
+        ]))
+        .unwrap();
         drop(w);
         let j = load(&path).unwrap();
         assert_eq!(j.units.len(), 2);
@@ -289,8 +304,11 @@ mod tests {
     fn resume_truncates_a_torn_tail_before_appending() {
         let path = temp_path("torn-resume");
         let w = JournalWriter::create(&path, &meta()).unwrap();
-        w.append(&Value::object([("kind", Value::from("unit")), ("n", Value::from(1u64))]))
-            .unwrap();
+        w.append(&Value::object([
+            ("kind", Value::from("unit")),
+            ("n", Value::from(1u64)),
+        ]))
+        .unwrap();
         drop(w);
         use std::io::Write as _;
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
@@ -299,8 +317,11 @@ mod tests {
         // Resume must not fuse the next record onto the torn line.
         let j = load(&path).unwrap();
         let w = JournalWriter::resume(&path, j.valid_len).unwrap();
-        w.append(&Value::object([("kind", Value::from("unit")), ("n", Value::from(3u64))]))
-            .unwrap();
+        w.append(&Value::object([
+            ("kind", Value::from("unit")),
+            ("n", Value::from(3u64)),
+        ]))
+        .unwrap();
         drop(w);
         let j = load(&path).unwrap();
         assert_eq!(j.units.len(), 2);

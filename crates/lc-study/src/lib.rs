@@ -22,6 +22,7 @@ pub mod campaign;
 pub mod compare;
 pub mod figures;
 pub mod journal;
+pub mod progress;
 pub mod ratio;
 pub mod report;
 pub mod runner;
@@ -32,8 +33,9 @@ pub mod tables;
 
 pub use campaign::{
     run_campaign, run_campaign_with, CampaignOptions, CampaignOutcome, Measurements,
-    QuarantineEntry, QuarantineReason, StudyConfig,
+    QuarantineEntry, QuarantineReason, StudyConfig, UnitTiming,
 };
 pub use figures::{figure, render, to_csv, FigId, Figure, Group};
+pub use progress::Heartbeat;
 pub use runner::{StageFault, Watchdog};
 pub use space::{PipelineId, Space};

@@ -27,7 +27,13 @@ pub struct Finding {
     pub holds: bool,
 }
 
-fn med(m: &Measurements, gpu: &str, comp: CompilerId, opt: OptLevel, dir: Direction) -> Option<f64> {
+fn med(
+    m: &Measurements,
+    gpu: &str,
+    comp: CompilerId,
+    opt: OptLevel,
+    dir: Direction,
+) -> Option<f64> {
     let c = m.config_index(gpu, comp, opt)?;
     let s = m.series(c, dir);
     if s.is_empty() {
@@ -46,7 +52,8 @@ fn subset_median(
     if ids.is_empty() {
         return None;
     }
-    let c = m.config_index(gpu, CompilerId::Nvcc, OptLevel::O3)
+    let c = m
+        .config_index(gpu, CompilerId::Nvcc, OptLevel::O3)
         .or_else(|| m.config_index(gpu, CompilerId::Hipcc, OptLevel::O3))?;
     Some(median(&m.select(c, dir, ids)))
 }
@@ -89,7 +96,13 @@ pub fn findings(m: &Measurements) -> Vec<Finding> {
         });
     }
     if let (Some(a), Some(b)) = (
-        med(m, "MI100", CompilerId::Hipcc, OptLevel::O3, Direction::Encode),
+        med(
+            m,
+            "MI100",
+            CompilerId::Hipcc,
+            OptLevel::O3,
+            Direction::Encode,
+        ),
         med(m, amd, CompilerId::Hipcc, OptLevel::O3, Direction::Encode),
     ) {
         out.push(Finding {
@@ -178,7 +191,10 @@ pub fn findings(m: &Measurements) -> Vec<Finding> {
                 id: "decode-wordsize-8-highest",
                 source: "§6.2 Fig. 5",
                 paper: "Decoding throughputs trend highest for 8-byte components",
-                measured: format!("medians w=1..8: {:.1}/{:.1}/{:.1}/{:.1}", v[0], v[1], v[2], v[3]),
+                measured: format!(
+                    "medians w=1..8: {:.1}/{:.1}/{:.1}/{:.1}",
+                    v[0], v[1], v[2], v[3]
+                ),
                 holds: v[3] >= v[0] && v[3] >= v[1] && v[3] >= v[2],
             });
         }
@@ -214,7 +230,8 @@ pub fn findings(m: &Measurements) -> Vec<Finding> {
             out.push(Finding {
                 id: "predictors-decode-slowest",
                 source: "§6.3 Fig. 7",
-                paper: "Pipelines with predictors yield the lowest decoding throughputs (prefix sums)",
+                paper:
+                    "Pipelines with predictors yield the lowest decoding throughputs (prefix sums)",
                 measured: format!(
                     "medians mut/shuf/pred/red: {:.1}/{:.1}/{:.1}/{:.1}",
                     v[0], v[1], v[2], v[3]
@@ -388,7 +405,11 @@ pub fn experiments_markdown(m: &Measurements, figs: &[Figure]) -> String {
     out.push_str(&format!("\n**{held}/{} claims reproduced.**\n\n", fs.len()));
 
     for fig in figs {
-        out.push_str(&format!("## Figure {}: {}\n\n```text\n", fig.id.number(), fig.id.title()));
+        out.push_str(&format!(
+            "## Figure {}: {}\n\n```text\n",
+            fig.id.number(),
+            fig.id.title()
+        ));
         out.push_str(&figures::render(fig));
         out.push_str("```\n\n");
     }
@@ -430,7 +451,10 @@ pub fn to_json(m: &Measurements, figs: &[Figure]) -> String {
     use lc_json::Value;
     let run = Value::object([
         ("pipelines", Value::from(m.space.len())),
-        ("inputs", Value::array(m.files.iter().map(|f| Value::from(*f)))),
+        (
+            "inputs",
+            Value::array(m.files.iter().map(|f| Value::from(*f))),
+        ),
         (
             "platforms",
             Value::array(m.configs.iter().map(|c| Value::from(c.label()))),
@@ -492,7 +516,10 @@ mod tests {
             "clang-o3-encode-regression",
             "clang-o3-decode-gain-small",
         ] {
-            let f = fs.iter().find(|f| f.id == id).unwrap_or_else(|| panic!("missing {id}"));
+            let f = fs
+                .iter()
+                .find(|f| f.id == id)
+                .unwrap_or_else(|| panic!("missing {id}"));
             assert!(f.holds, "{id}: {}", f.measured);
         }
     }
@@ -506,7 +533,12 @@ mod tests {
         assert_eq!(v["pipelines"], 16 * 16 * 8);
         assert!(v["findings"].as_array().unwrap().len() > 3);
         assert_eq!(v["figures"][0]["figure"], 2);
-        assert!(v["figures"][0]["groups"][0]["lv"]["median"].as_f64().unwrap() > 0.0);
+        assert!(
+            v["figures"][0]["groups"][0]["lv"]["median"]
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
     }
 
     #[test]

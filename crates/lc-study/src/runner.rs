@@ -67,7 +67,9 @@ pub struct StageOutcome {
 /// component invalidates the whole study.
 pub fn run_stage(component: &dyn Component, input: &ChunkedData, verify: bool) -> StageOutcome {
     let mut outcome = StageOutcome {
-        output: ChunkedData { chunks: Vec::with_capacity(input.chunks.len()) },
+        output: ChunkedData {
+            chunks: Vec::with_capacity(input.chunks.len()),
+        },
         enc: KernelStats::new(),
         dec: KernelStats::new(),
         applied: 0,
@@ -90,7 +92,8 @@ pub fn run_stage(component: &dyn Component, input: &ChunkedData, verify: bool) -
                 });
             if verify {
                 assert_eq!(
-                    &dec_buf, chunk,
+                    &dec_buf,
+                    chunk,
                     "{} round-trip mismatch on a {}-byte chunk",
                     component.name(),
                     chunk.len()
@@ -161,8 +164,14 @@ impl std::fmt::Display for StageFault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StageFault::Panic(msg) => write!(f, "stage panicked: {msg}"),
-            StageFault::DeadlineExceeded { elapsed_ms, limit_ms } => {
-                write!(f, "deadline exceeded: {elapsed_ms} ms elapsed of {limit_ms} ms budget")
+            StageFault::DeadlineExceeded {
+                elapsed_ms,
+                limit_ms,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded: {elapsed_ms} ms elapsed of {limit_ms} ms budget"
+                )
             }
         }
     }
@@ -232,7 +241,9 @@ mod tests {
     #[test]
     fn reducer_skips_incompressible_chunks() {
         // Random-ish bytes: RLE_4 finds no runs and must be skipped.
-        let data: Vec<u8> = (0..CHUNK_SIZE).map(|i| (((i * 2654435761usize) >> 7) % 256) as u8).collect();
+        let data: Vec<u8> = (0..CHUNK_SIZE)
+            .map(|i| (((i * 2654435761usize) >> 7) % 256) as u8)
+            .collect();
         let chunked = ChunkedData::from_bytes(&data);
         let out = run_stage(comp("RLE_4").as_ref(), &chunked, true);
         assert_eq!(out.skipped, 1);
@@ -319,7 +330,10 @@ mod tests {
         let w = Watchdog::new(Duration::ZERO);
         std::thread::sleep(Duration::from_millis(2));
         let err = run_stage_checked(comp("TCMS_4").as_ref(), &data, false, Some(&w)).unwrap_err();
-        assert!(matches!(err, StageFault::DeadlineExceeded { .. }), "{err:?}");
+        assert!(
+            matches!(err, StageFault::DeadlineExceeded { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -44,15 +44,25 @@ impl Space {
     /// Panics if the restriction leaves no components or no reducers.
     pub fn restricted_to_families(families: &[&str]) -> Self {
         let keep = |c: &Arc<dyn Component>| families.contains(&family_of(c.name()));
-        let components: Vec<_> = lc_components::all().iter().filter(|c| keep(c)).cloned().collect();
+        let components: Vec<_> = lc_components::all()
+            .iter()
+            .filter(|c| keep(c))
+            .cloned()
+            .collect();
         let reducers: Vec<_> = components
             .iter()
             .filter(|c| c.kind() == ComponentKind::Reducer)
             .cloned()
             .collect();
         assert!(!components.is_empty(), "no components left");
-        assert!(!reducers.is_empty(), "no reducers left — include a reducer family");
-        Self { components, reducers }
+        assert!(
+            !reducers.is_empty(),
+            "no reducers left — include a reducer family"
+        );
+        Self {
+            components,
+            reducers,
+        }
     }
 
     /// Number of pipelines in this space.

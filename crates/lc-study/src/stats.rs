@@ -102,7 +102,10 @@ pub fn letter_values(values: &[f64]) -> LetterValues {
 impl LetterValues {
     /// The middle-50% box (first letter-value pair).
     pub fn fourths(&self) -> (f64, f64) {
-        self.boxes.first().copied().unwrap_or((self.median, self.median))
+        self.boxes
+            .first()
+            .copied()
+            .unwrap_or((self.median, self.median))
     }
 
     /// Skewness indicator used in the paper's prose: > 0 when the upper
@@ -193,7 +196,11 @@ mod tests {
         let (q1, q3) = lv.fourths();
         assert!((q1 - 250.0).abs() < 2.0, "{q1}");
         assert!((q3 - 751.0).abs() < 2.0, "{q3}");
-        assert!(lv.boxes.len() >= 4, "1000 points → several boxes: {}", lv.boxes.len());
+        assert!(
+            lv.boxes.len() >= 4,
+            "1000 points → several boxes: {}",
+            lv.boxes.len()
+        );
         // Uniform: symmetric.
         assert!(lv.upward_skew().abs() < 0.02);
     }

@@ -91,12 +91,20 @@ pub fn table3() -> String {
             f.paper_size_tenth_mb as f64 / 10.0
         ));
     }
-    out.push_str(&format!("{:14} {:>10.1}\n", "total", lc_data::paper_total_mb()));
+    out.push_str(&format!(
+        "{:14} {:>10.1}\n",
+        "total",
+        lc_data::paper_total_mb()
+    ));
     out
 }
 
 fn gpu_table(title: &str, vendor: Vendor) -> String {
-    let gpus: Vec<&GpuSpec> = ALL_GPUS.iter().filter(|g| g.vendor == vendor).copied().collect();
+    let gpus: Vec<&GpuSpec> = ALL_GPUS
+        .iter()
+        .filter(|g| g.vendor == vendor)
+        .copied()
+        .collect();
     let mut out = String::from(title);
     out.push('\n');
     let row = |label: &str, f: &dyn Fn(&GpuSpec) -> String| {
@@ -110,14 +118,24 @@ fn gpu_table(title: &str, vendor: Vendor) -> String {
     out.push_str(&row("", &|g| g.name.to_string()));
     out.push_str(&row("Clock Freq. (MHz)", &|g| g.clock_mhz.to_string()));
     out.push_str(&row(
-        if vendor == Vendor::Nvidia { "SMs" } else { "CUs" },
+        if vendor == Vendor::Nvidia {
+            "SMs"
+        } else {
+            "CUs"
+        },
         &|g| g.sms.to_string(),
     ));
-    out.push_str(&row("Max Threads per SM/CU", &|g| g.max_threads_per_sm.to_string()));
+    out.push_str(&row("Max Threads per SM/CU", &|g| {
+        g.max_threads_per_sm.to_string()
+    }));
     out.push_str(&row("Warp Size", &|g| g.warp_size.to_string()));
     out.push_str(&row("Memory (GB)", &|g| g.memory_gb.to_string()));
     out.push_str(&row(
-        if vendor == Vendor::Nvidia { "Compute Capability" } else { "Target Processor" },
+        if vendor == Vendor::Nvidia {
+            "Compute Capability"
+        } else {
+            "Target Processor"
+        },
         &|g| g.arch.to_string(),
     ));
     out
@@ -160,7 +178,10 @@ mod tests {
         let bit_row = t.lines().find(|l| l.starts_with("BIT")).unwrap();
         assert!(bit_row.contains("n log w"), "{bit_row}");
         let rle_row = t.lines().find(|l| l.starts_with("RLE")).unwrap();
-        assert!(rle_row.trim_end().ends_with('1'), "RLE dec span is 1: {rle_row}");
+        assert!(
+            rle_row.trim_end().ends_with('1'),
+            "RLE dec span is 1: {rle_row}"
+        );
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Exporters: Chrome trace-event JSON, JSONL event logs, and metric
+//! snapshots — all built on `lc-json`, so output is deterministic for a
+//! given event list (insertion-ordered objects, shortest-round-trip
+//! floats).
+
+use lc_json::Value;
+
+use crate::metrics;
+use crate::Event;
+
+/// Render events in the Chrome trace-event format (JSON object form),
+/// loadable in Perfetto and `chrome://tracing`.
+///
+/// Every span becomes one complete (`"ph":"X"`) event; timestamps and
+/// durations are microseconds (fractional — the viewer accepts floats,
+/// and our source clock is nanoseconds).
+pub fn chrome_trace(events: &[Event]) -> String {
+    let trace_events: Vec<Value> = events
+        .iter()
+        .map(|e| {
+            let mut fields = vec![
+                ("name", Value::from(e.name)),
+                ("cat", Value::from(e.cat)),
+                ("ph", Value::from("X")),
+                ("ts", Value::from(e.ts_ns as f64 / 1e3)),
+                ("dur", Value::from(e.dur_ns as f64 / 1e3)),
+                ("pid", Value::from(1u64)),
+                ("tid", Value::from(e.tid)),
+            ];
+            if !e.args.is_empty() {
+                fields.push((
+                    "args",
+                    Value::object(e.args.iter().map(|(k, v)| (*k, v.to_json()))),
+                ));
+            }
+            Value::object(fields)
+        })
+        .collect();
+    Value::object([
+        ("traceEvents", Value::array(trace_events)),
+        ("displayTimeUnit", Value::from("ms")),
+    ])
+    .dump()
+}
+
+/// One compact JSON object per line, one line per event.
+pub fn events_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let mut fields = vec![
+            ("name", Value::from(e.name)),
+            ("cat", Value::from(e.cat)),
+            ("ts_ns", Value::from(e.ts_ns)),
+            ("dur_ns", Value::from(e.dur_ns)),
+            ("tid", Value::from(e.tid)),
+        ];
+        for (k, v) in &e.args {
+            fields.push((*k, v.to_json()));
+        }
+        out.push_str(&Value::object(fields).dump());
+        out.push('\n');
+    }
+    out
+}
+
+/// Snapshot all registered counters and histograms as a JSON value:
+/// `{"counters": {...}, "histograms": {name: {count,sum,p50,p90,p99}}}`.
+pub fn metrics_value() -> Value {
+    let counters = Value::object(
+        metrics::counter_snapshot()
+            .into_iter()
+            .map(|(n, v)| (n, Value::from(v))),
+    );
+    let histograms = Value::object(metrics::histogram_snapshot().into_iter().map(|(n, s)| {
+        (
+            n,
+            Value::object([
+                ("count", Value::from(s.count)),
+                ("sum", Value::from(s.sum)),
+                ("p50", Value::from(s.p50)),
+                ("p90", Value::from(s.p90)),
+                ("p99", Value::from(s.p99)),
+            ]),
+        )
+    }));
+    Value::object([("counters", counters), ("histograms", histograms)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArgValue;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                name: "stage_a",
+                cat: "stage.encode",
+                ts_ns: 1_500,
+                dur_ns: 2_000,
+                tid: 0,
+                args: vec![
+                    ("chunk", ArgValue::U64(3)),
+                    ("applied", ArgValue::Bool(true)),
+                ],
+            },
+            Event {
+                name: "stage_b",
+                cat: "stage.decode",
+                ts_ns: 4_000,
+                dur_ns: 500,
+                tid: 1,
+                args: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let text = chrome_trace(&sample_events());
+        let v = lc_json::Value::parse(&text).expect("valid JSON");
+        let evs = v["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(evs.len(), 2);
+        for e in evs {
+            assert_eq!(e["ph"], "X");
+            assert_eq!(e["pid"], 1u64);
+            assert!(e["ts"].as_f64().is_some());
+            assert!(e["dur"].as_f64().is_some());
+            assert!(e["name"].as_str().is_some());
+        }
+        // Nanoseconds → microseconds.
+        assert_eq!(evs[0]["ts"], 1.5);
+        assert_eq!(evs[0]["dur"], 2.0);
+        assert_eq!(evs[0]["args"]["chunk"], 3u64);
+        assert_eq!(evs[0]["args"]["applied"], true);
+        // An event without args omits the args object entirely.
+        assert!(evs[1]["args"].is_null());
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let text = events_jsonl(&sample_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v = lc_json::Value::parse(line).expect("valid JSON line");
+            assert!(v["name"].as_str().is_some());
+            assert!(v["ts_ns"].as_u64().is_some());
+        }
+        let first = lc_json::Value::parse(lines[0]).unwrap();
+        assert_eq!(first["chunk"], 3u64);
+    }
+
+    #[test]
+    fn metrics_value_contains_registered_metrics() {
+        let _g = crate::tests::LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        crate::enable();
+        metrics::counter("export.test.counter").add(11);
+        metrics::histogram("export.test.hist").record(300);
+        crate::disable();
+        let v = metrics_value();
+        assert_eq!(v["counters"]["export.test.counter"], 11u64);
+        let h = &v["histograms"]["export.test.hist"];
+        assert_eq!(h["count"], 1u64);
+        assert!(h["p50"].as_u64().unwrap() >= 300);
+        let reparsed = lc_json::Value::parse(&v.pretty()).unwrap();
+        assert_eq!(reparsed, v);
+    }
+}

@@ -35,6 +35,11 @@ fn main() {
 
     println!("\npaper-claim checklist:");
     for f in report::findings(&m) {
-        println!("  [{}] {}: {}", if f.holds { "ok" } else { "--" }, f.id, f.measured);
+        println!(
+            "  [{}] {}: {}",
+            if f.holds { "ok" } else { "--" },
+            f.id,
+            f.measured
+        );
     }
 }

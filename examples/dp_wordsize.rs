@@ -35,8 +35,14 @@ fn main() {
     let scale = Scale::denominator(2048);
     for name in ["obs_temp", "obs_error"] {
         let file = file_by_name(name).unwrap();
-        rle_profile(&format!("{name} (single precision)"), &generate(file, scale));
-        rle_profile(&format!("{name} (double precision)"), &generate_dp(file, scale));
+        rle_profile(
+            &format!("{name} (single precision)"),
+            &generate(file, scale),
+        );
+        rle_profile(
+            &format!("{name} (double precision)"),
+            &generate_dp(file, scale),
+        );
         println!();
     }
 
@@ -44,8 +50,18 @@ fn main() {
     // DBEFS at the matching width, the debiased exponents cluster.
     let file = file_by_name("num_control").unwrap();
     for (label, data, mutator, reducer) in [
-        ("SP: DBEFS_4 + CLOG_4", generate(file, scale), "DBEFS_4", "CLOG_4"),
-        ("DP: DBEFS_8 + CLOG_8", generate_dp(file, scale), "DBEFS_8", "CLOG_8"),
+        (
+            "SP: DBEFS_4 + CLOG_4",
+            generate(file, scale),
+            "DBEFS_4",
+            "CLOG_4",
+        ),
+        (
+            "DP: DBEFS_8 + CLOG_8",
+            generate_dp(file, scale),
+            "DBEFS_8",
+            "CLOG_8",
+        ),
     ] {
         let input = ChunkedData::from_bytes(&data);
         let m = lc_repro::lc_components::lookup(mutator).unwrap();
@@ -58,8 +74,12 @@ fn main() {
             r.encode_chunk(chunk, &mut enc, &mut KernelStats::new());
             total += enc.len().min(chunk.len()) as u64;
         }
-        println!("{label}: {} -> {} bytes (ratio {:.3})", data.len(), total,
-            data.len() as f64 / total as f64);
+        println!(
+            "{label}: {} -> {} bytes (ratio {:.3})",
+            data.len(),
+            total,
+            data.len() as f64 / total as f64
+        );
     }
     println!("\nconclusion: matching the component word size to the data type is what");
     println!("creates (and moves) the paper's Fig. 11 asymmetry.");

@@ -83,9 +83,11 @@ fn main() {
     let pipeline = lc_repro::lc_components::parse_pipeline(&desc).unwrap();
     let pool = lc_repro::lc_parallel::Pool::with_default_threads();
     let archive = lc_repro::lc_core::archive::encode(&pipeline, &data, &pool);
-    let back =
-        lc_repro::lc_core::archive::decode(&archive, lc_repro::lc_components::lookup, &pool)
-            .expect("decode");
+    let back = lc_repro::lc_core::archive::decode(&archive, lc_repro::lc_components::lookup, &pool)
+        .expect("decode");
     assert_eq!(back, data);
-    println!("round-trip of the winning pipeline: OK ({} bytes archived)", archive.len());
+    println!(
+        "round-trip of the winning pipeline: OK ({} bytes archived)",
+        archive.len()
+    );
 }

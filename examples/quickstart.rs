@@ -14,7 +14,9 @@ fn main() {
         .expect("valid pipeline description");
 
     // 2. Some single-precision data worth compressing: a smooth field.
-    let values: Vec<f32> = (0..500_000).map(|i| 300.0 + (i as f32 * 1e-4).sin()).collect();
+    let values: Vec<f32> = (0..500_000)
+        .map(|i| 300.0 + (i as f32 * 1e-4).sin())
+        .collect();
     let input: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
 
     // 3. Compress. Chunks are processed in parallel; output placement uses
@@ -41,7 +43,8 @@ fn main() {
     println!("round-trip OK");
 
     // 5. The one-liner for tests and experiments:
-    let size = verify::roundtrip_pipeline(&pipeline, &input, lc_repro::lc_components::lookup, &pool)
-        .expect("round-trip");
+    let size =
+        verify::roundtrip_pipeline(&pipeline, &input, lc_repro::lc_components::lookup, &pool)
+            .expect("round-trip");
     println!("verify::roundtrip_pipeline agrees: {size} bytes");
 }

@@ -15,7 +15,7 @@ fn main() {
     // Pipelines resembling the published LC compressors: float-aware
     // mutation, prediction, then a reducer.
     let candidates = [
-        "DBEFS_4 DIFF_4 RZE_4",   // SPspeed-style
+        "DBEFS_4 DIFF_4 RZE_4",    // SPspeed-style
         "DBESF_4 DIFFMS_4 RARE_4", // SPratio-style
         "TUPL2_1 BIT_1 RLE_1",     // bit-plane route
         "TCMS_4 DIFF_4 CLOG_4",    // integer-style route
@@ -42,10 +42,20 @@ fn main() {
             assert_eq!(back, data, "{cand} corrupted {}", file.name);
         }
         let (name, ratio) = best.unwrap();
-        println!("{:12} {:>10}  {} ({:.3})", file.name, data.len(), name, ratio);
+        println!(
+            "{:12} {:>10}  {} ({:.3})",
+            file.name,
+            data.len(),
+            name,
+            ratio
+        );
     }
     println!("\ngeometric-mean ratio across the dataset:");
     for (name, log_sum) in &grand {
-        println!("  {:26} {:.3}", name, (log_sum / SP_FILES.len() as f64).exp());
+        println!(
+            "  {:26} {:.3}",
+            name,
+            (log_sum / SP_FILES.len() as f64).exp()
+        );
     }
 }

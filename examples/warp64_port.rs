@@ -11,7 +11,9 @@
 //! cargo run --release --example warp64_port
 //! ```
 
-use gpu_sim::{pipeline_time, throughput_gbs, CompilerId, Direction, OptLevel, SimConfig, MI100, RTX_4090};
+use gpu_sim::{
+    pipeline_time, throughput_gbs, CompilerId, Direction, OptLevel, SimConfig, MI100, RTX_4090,
+};
 use lc_repro::lc_data::{file_by_name, generate, Scale};
 use lc_repro::lc_study::runner::{run_stage, ChunkedData};
 
@@ -24,7 +26,11 @@ fn main() {
 
     // Pipelines with different warp-level behaviour: BIT_8 (shuffle-based
     // transpose), DIFF decode (warp-scan heavy), RLE (divergent).
-    for desc in ["BIT_8 DIFF_8 CLOG_8", "TCMS_4 DIFF_4 RLE_4", "DBEFS_4 DIFFMS_4 RARE_4"] {
+    for desc in [
+        "BIT_8 DIFF_8 CLOG_8",
+        "TCMS_4 DIFF_4 RLE_4",
+        "DBEFS_4 DIFFMS_4 RARE_4",
+    ] {
         let mut chunked = ChunkedData::from_bytes(&data);
         let mut enc = Vec::new();
         let mut dec = Vec::new();
@@ -40,14 +46,32 @@ fn main() {
         println!("pipeline: {desc}");
         for gpu in [&RTX_4090, &MI100] {
             let cfg = SimConfig::new(gpu, CompilerId::Hipcc, OptLevel::O3);
-            let te = pipeline_time(&cfg, Direction::Encode, &enc, chunks, paper_bytes, comp_bytes);
-            let td = pipeline_time(&cfg, Direction::Decode, &dec, chunks, paper_bytes, comp_bytes);
+            let te = pipeline_time(
+                &cfg,
+                Direction::Encode,
+                &enc,
+                chunks,
+                paper_bytes,
+                comp_bytes,
+            );
+            let td = pipeline_time(
+                &cfg,
+                Direction::Decode,
+                &dec,
+                chunks,
+                paper_bytes,
+                comp_bytes,
+            );
             println!(
                 "  {:12} (warp {:2}, {:3} {}): encode {:7.1} GB/s   decode {:7.1} GB/s",
                 gpu.name,
                 gpu.warp_size,
                 gpu.sms,
-                if gpu.vendor == gpu_sim::Vendor::Amd { "CUs" } else { "SMs" },
+                if gpu.vendor == gpu_sim::Vendor::Amd {
+                    "CUs"
+                } else {
+                    "SMs"
+                },
                 throughput_gbs(paper_bytes, te),
                 throughput_gbs(paper_bytes, td),
             );

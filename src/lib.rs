@@ -12,3 +12,4 @@ pub use lc_data;
 pub use lc_json;
 pub use lc_parallel;
 pub use lc_study;
+pub use lc_telemetry;

@@ -8,7 +8,9 @@ use lc_repro::lc_core::{archive, KernelStats, CHUNK_SIZE};
 use lc_repro::lc_parallel::Pool;
 
 fn f32_stream(vals: &[f32]) -> Vec<u8> {
-    vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    vals.iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
 }
 
 fn adversarial_f32() -> Vec<u8> {
@@ -21,9 +23,9 @@ fn adversarial_f32() -> Vec<u8> {
         f32::NEG_INFINITY,
         0.0,
         -0.0,
-        f32::MIN_POSITIVE,          // smallest normal
-        f32::MIN_POSITIVE / 2.0,    // denormal
-        f32::from_bits(1),          // smallest denormal
+        f32::MIN_POSITIVE,           // smallest normal
+        f32::MIN_POSITIVE / 2.0,     // denormal
+        f32::from_bits(1),           // smallest denormal
         f32::from_bits(0x7F80_0001), // signaling-ish NaN with payload
         f32::from_bits(0xFF80_FFFF), // negative NaN with payload
         f32::MAX,
@@ -52,7 +54,9 @@ fn adversarial_f64() -> Vec<u8> {
     let vals: Vec<f64> = (0..CHUNK_SIZE / 8 + 333)
         .map(|i| specials[i % specials.len()])
         .collect();
-    vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    vals.iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
 }
 
 #[test]
@@ -64,7 +68,12 @@ fn every_component_roundtrips_adversarial_f32() {
         let mut dec = Vec::new();
         c.decode_chunk(&enc, &mut dec, &mut KernelStats::new())
             .unwrap_or_else(|e| panic!("{}: {e}", c.name()));
-        assert_eq!(dec, &data[..CHUNK_SIZE], "{} corrupted NaN payloads", c.name());
+        assert_eq!(
+            dec,
+            &data[..CHUNK_SIZE],
+            "{} corrupted NaN payloads",
+            c.name()
+        );
     }
 }
 
@@ -114,7 +123,12 @@ fn all_zero_and_all_ones_floats() {
     // All-zero must compress dramatically.
     let p = parse_pipeline("TCMS_4 DIFF_4 RZE_4").unwrap();
     let enc = archive::encode(&p, &zero, &pool);
-    assert!(enc.len() < zero.len() / 20, "all-zero: {} of {}", enc.len(), zero.len());
+    assert!(
+        enc.len() < zero.len() / 20,
+        "all-zero: {} of {}",
+        enc.len(),
+        zero.len()
+    );
 }
 
 #[test]
@@ -135,7 +149,8 @@ fn exponent_extremes_survive_dbefs_field_surgery() {
         let mut enc = Vec::new();
         c.encode_chunk(&data, &mut enc, &mut KernelStats::new());
         let mut dec = Vec::new();
-        c.decode_chunk(&enc, &mut dec, &mut KernelStats::new()).unwrap();
+        c.decode_chunk(&enc, &mut dec, &mut KernelStats::new())
+            .unwrap();
         assert_eq!(dec, data, "{name}");
     }
 }

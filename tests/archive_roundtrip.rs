@@ -37,7 +37,7 @@ fn representative_three_stage_pipelines_roundtrip_on_every_file() {
         "DBESF_4 DIFFMS_4 RARE_4",
         "TUPL2_1 BIT_1 RLE_1",
         "BIT_8 TCNB_8 HCLOG_8",
-        "RLE_4 RLE_4 RLE_4",   // reducers stack
+        "RLE_4 RLE_4 RLE_4", // reducers stack
         "RZE_2 DIFFNB_2 RRE_2",
         "TUPL8_4 DBEFS_8 RAZE_1", // mixed word sizes
     ];

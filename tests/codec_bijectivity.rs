@@ -19,7 +19,8 @@ fn roundtrip_words(component: &str, words: &[u64], width: usize) {
     c.encode_chunk(&data, &mut enc, &mut KernelStats::new());
     assert_eq!(enc.len(), data.len(), "{component} must be size-preserving");
     let mut dec = Vec::new();
-    c.decode_chunk(&enc, &mut dec, &mut KernelStats::new()).unwrap();
+    c.decode_chunk(&enc, &mut dec, &mut KernelStats::new())
+        .unwrap();
     assert_eq!(dec, data, "{component}");
 }
 

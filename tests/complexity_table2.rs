@@ -80,14 +80,23 @@ fn bit_work_carries_the_log_w_factor() {
     let s8 = enc_stats("BIT_8", &data);
     let per_word_1 = s1.thread_ops as f64 / s1.words as f64;
     let per_word_8 = s8.thread_ops as f64 / s8.words as f64;
-    assert!((per_word_1 - 3.0).abs() < 0.5, "log2(8) = 3, got {per_word_1}");
-    assert!((per_word_8 - 6.0).abs() < 0.5, "log2(64) = 6, got {per_word_8}");
+    assert!(
+        (per_word_1 - 3.0).abs() < 0.5,
+        "log2(8) = 3, got {per_word_1}"
+    );
+    assert!(
+        (per_word_8 - 6.0).abs() < 0.5,
+        "log2(64) = 6, got {per_word_8}"
+    );
     // A same-word-size Θ(n) component has no such growth.
     let t1 = enc_stats("TCMS_1", &data);
     let t8 = enc_stats("TCMS_8", &data);
-    let tcms_growth = (t8.thread_ops as f64 / t8.words as f64)
-        / (t1.thread_ops as f64 / t1.words as f64);
-    assert!((tcms_growth - 1.0).abs() < 0.01, "TCMS per-word ops are flat");
+    let tcms_growth =
+        (t8.thread_ops as f64 / t8.words as f64) / (t1.thread_ops as f64 / t1.words as f64);
+    assert!(
+        (tcms_growth - 1.0).abs() < 0.01,
+        "TCMS per-word ops are flat"
+    );
 }
 
 #[test]
@@ -131,7 +140,11 @@ fn diff_decode_is_a_prefix_sum_diff_encode_is_not() {
     let e = enc_stats("DIFF_4", &data);
     let d = dec_stats("DIFF_4", &data);
     assert_eq!(e.scan_steps, 0);
-    assert!(d.scan_steps > 10, "prefix sum over 4096 words: {}", d.scan_steps);
+    assert!(
+        d.scan_steps > 10,
+        "prefix sum over 4096 words: {}",
+        d.scan_steps
+    );
     assert!(d.block_syncs > e.block_syncs);
 }
 

@@ -13,10 +13,10 @@ fn test_chunk() -> Vec<u8> {
     let mut v = Vec::with_capacity(CHUNK_SIZE);
     for i in 0..CHUNK_SIZE / 4 {
         let word: u32 = match i % 7 {
-            0 | 1 => 0,                       // zero runs
-            2 => 0xDEAD_BEEF,                 // repeated value
+            0 | 1 => 0,                               // zero runs
+            2 => 0xDEAD_BEEF,                         // repeated value
             3 => (i as u32).wrapping_mul(2654435761), // noise
-            _ => 1000 + (i as u32 % 50),      // small values
+            _ => 1000 + (i as u32 % 50),              // small values
         };
         v.extend_from_slice(&word.to_le_bytes());
     }
@@ -174,7 +174,10 @@ fn seeded_multibyte_corruption_decode_and_salvage() {
                 // Hard salvage errors are reserved for unusable headers /
                 // tables / unknown components; strict decode must agree
                 // that this archive is undecodable.
-                assert!(strict.is_err(), "seed {seed}: salvage refused a decodable archive");
+                assert!(
+                    strict.is_err(),
+                    "seed {seed}: salvage refused a decodable archive"
+                );
             }
         }
     }

@@ -3,8 +3,8 @@
 //! the paper reports must emerge from measured kernels.
 
 use gpu_sim::{
-    pipeline_time, throughput_gbs, CompilerId, Direction, OptLevel, SimConfig, ALL_GPUS,
-    MI100, RTX_4090,
+    pipeline_time, throughput_gbs, CompilerId, Direction, OptLevel, SimConfig, ALL_GPUS, MI100,
+    RTX_4090,
 };
 use lc_repro::lc_data::{file_by_name, generate, Scale};
 use lc_repro::lc_study::runner::{run_stage, ChunkedData};
@@ -12,7 +12,16 @@ use lc_repro::lc_study::runner::{run_stage, ChunkedData};
 /// Run a pipeline's stage tree on a synthetic file and return
 /// (enc stats, dec stats, chunks, uncompressed, compressed) extrapolated
 /// to paper scale.
-fn measure(desc: &str, file: &str) -> (Vec<lc_repro::lc_core::KernelStats>, Vec<lc_repro::lc_core::KernelStats>, u64, u64, u64) {
+fn measure(
+    desc: &str,
+    file: &str,
+) -> (
+    Vec<lc_repro::lc_core::KernelStats>,
+    Vec<lc_repro::lc_core::KernelStats>,
+    u64,
+    u64,
+    u64,
+) {
     let sp = file_by_name(file).unwrap();
     let data = generate(sp, Scale::tiny());
     let paper_bytes = sp.paper_size_tenth_mb as u64 * 100_000;
@@ -33,12 +42,36 @@ fn measure(desc: &str, file: &str) -> (Vec<lc_repro::lc_core::KernelStats>, Vec<
     (enc, dec, chunks, paper_bytes, comp)
 }
 
-fn enc_tp(cfg: &SimConfig, m: &(Vec<lc_repro::lc_core::KernelStats>, Vec<lc_repro::lc_core::KernelStats>, u64, u64, u64)) -> f64 {
-    throughput_gbs(m.3, pipeline_time(cfg, Direction::Encode, &m.0, m.2, m.3, m.4))
+fn enc_tp(
+    cfg: &SimConfig,
+    m: &(
+        Vec<lc_repro::lc_core::KernelStats>,
+        Vec<lc_repro::lc_core::KernelStats>,
+        u64,
+        u64,
+        u64,
+    ),
+) -> f64 {
+    throughput_gbs(
+        m.3,
+        pipeline_time(cfg, Direction::Encode, &m.0, m.2, m.3, m.4),
+    )
 }
 
-fn dec_tp(cfg: &SimConfig, m: &(Vec<lc_repro::lc_core::KernelStats>, Vec<lc_repro::lc_core::KernelStats>, u64, u64, u64)) -> f64 {
-    throughput_gbs(m.3, pipeline_time(cfg, Direction::Decode, &m.1, m.2, m.3, m.4))
+fn dec_tp(
+    cfg: &SimConfig,
+    m: &(
+        Vec<lc_repro::lc_core::KernelStats>,
+        Vec<lc_repro::lc_core::KernelStats>,
+        u64,
+        u64,
+        u64,
+    ),
+) -> f64 {
+    throughput_gbs(
+        m.3,
+        pipeline_time(cfg, Direction::Decode, &m.1, m.2, m.3, m.4),
+    )
 }
 
 #[test]
@@ -53,10 +86,19 @@ fn per_pipeline_compiler_ordering_on_real_kernels() {
         let nvcc = SimConfig::new(&RTX_4090, CompilerId::Nvcc, OptLevel::O3);
         let clang = SimConfig::new(&RTX_4090, CompilerId::Clang, OptLevel::O3);
         let hipcc = SimConfig::new(&RTX_4090, CompilerId::Hipcc, OptLevel::O3);
-        assert!(enc_tp(&clang, &m) < enc_tp(&nvcc, &m), "{desc} on {file}: Clang encode");
-        assert!(dec_tp(&clang, &m) > dec_tp(&nvcc, &m), "{desc} on {file}: Clang decode");
+        assert!(
+            enc_tp(&clang, &m) < enc_tp(&nvcc, &m),
+            "{desc} on {file}: Clang encode"
+        );
+        assert!(
+            dec_tp(&clang, &m) > dec_tp(&nvcc, &m),
+            "{desc} on {file}: Clang decode"
+        );
         let ratio = enc_tp(&hipcc, &m) / enc_tp(&nvcc, &m);
-        assert!((ratio - 1.0).abs() < 0.02, "{desc} on {file}: NVCC/HIPCC {ratio}");
+        assert!(
+            (ratio - 1.0).abs() < 0.02,
+            "{desc} on {file}: NVCC/HIPCC {ratio}"
+        );
     }
 }
 
@@ -99,8 +141,22 @@ fn mi100_uses_warp64_accounting() {
     }));
     let w64 = SimConfig::new(&MI100, CompilerId::Hipcc, OptLevel::O3);
     let w32 = SimConfig::new(mi_w32, CompilerId::Hipcc, OptLevel::O3);
-    let t64 = pipeline_time(&w64, Direction::Encode, &divergent.0, divergent.2, divergent.3, divergent.4);
-    let t32 = pipeline_time(&w32, Direction::Encode, &divergent.0, divergent.2, divergent.3, divergent.4);
+    let t64 = pipeline_time(
+        &w64,
+        Direction::Encode,
+        &divergent.0,
+        divergent.2,
+        divergent.3,
+        divergent.4,
+    );
+    let t32 = pipeline_time(
+        &w32,
+        Direction::Encode,
+        &divergent.0,
+        divergent.2,
+        divergent.3,
+        divergent.4,
+    );
     assert!(t64 > t32, "warp-64 divergence penalty: {t64} vs {t32}");
 }
 
@@ -110,7 +166,12 @@ fn compression_reduces_decode_memory_traffic() {
     // doesn't — and the model must therefore decode it faster than an
     // identical-cost pipeline with incompressible output.
     let good = measure("DBESF_4 DIFFMS_4 RARE_4", "obs_temp");
-    assert!(good.4 < good.3, "pipeline compresses: {} < {}", good.4, good.3);
+    assert!(
+        good.4 < good.3,
+        "pipeline compresses: {} < {}",
+        good.4,
+        good.3
+    );
     let cfg = SimConfig::new(&RTX_4090, CompilerId::Nvcc, OptLevel::O3);
     let t_small = pipeline_time(&cfg, Direction::Decode, &good.1, good.2, good.3, good.4);
     let t_big = pipeline_time(&cfg, Direction::Decode, &good.1, good.2, good.3, good.3);
@@ -124,11 +185,20 @@ fn opt_level_effects_match_section_6_5_on_real_kernels() {
     let o3 = SimConfig::new(&RTX_4090, CompilerId::Clang, OptLevel::O3);
     let enc_speedup = enc_tp(&o3, &m) / enc_tp(&o1, &m);
     let dec_speedup = dec_tp(&o3, &m) / dec_tp(&o1, &m);
-    assert!(enc_speedup < 1.0, "Clang -O3 encode regression: {enc_speedup}");
-    assert!(dec_speedup > 1.0 && dec_speedup < 1.10, "Clang -O3 decode gain: {dec_speedup}");
+    assert!(
+        enc_speedup < 1.0,
+        "Clang -O3 encode regression: {enc_speedup}"
+    );
+    assert!(
+        dec_speedup > 1.0 && dec_speedup < 1.10,
+        "Clang -O3 decode gain: {dec_speedup}"
+    );
     // NVCC barely moves.
     let n1 = SimConfig::new(&RTX_4090, CompilerId::Nvcc, OptLevel::O1);
     let n3 = SimConfig::new(&RTX_4090, CompilerId::Nvcc, OptLevel::O3);
     let nvcc_speedup = enc_tp(&n3, &m) / enc_tp(&n1, &m);
-    assert!((nvcc_speedup - 1.0).abs() < 0.06, "NVCC speedup {nvcc_speedup}");
+    assert!(
+        (nvcc_speedup - 1.0).abs() < 0.06,
+        "NVCC speedup {nvcc_speedup}"
+    );
 }

@@ -31,7 +31,11 @@ fn stream_roundtrip(data: &[u8], read_size: usize) -> Vec<u8> {
     let pool = Pool::new(4);
     let enc = StreamEncoder::new(&pipeline, pool);
     let mut compressed = Vec::new();
-    let mut reader = Dribble { data, pos: 0, max: read_size.max(1) };
+    let mut reader = Dribble {
+        data,
+        pos: 0,
+        max: read_size.max(1),
+    };
     enc.encode(&mut reader, &mut compressed).unwrap();
     let mut out = Vec::new();
     let pool = Pool::new(4);

@@ -24,10 +24,24 @@ fn paper_figure_subset_counts() {
     assert_eq!(s.uniform_word_size(4).len(), 1792);
     assert_eq!(s.uniform_word_size(8).len(), 1575);
     // §6.3
-    assert_eq!(s.kind_pair(lc_repro::lc_core::ComponentKind::Mutator).len(), 4032);
-    assert_eq!(s.kind_pair(lc_repro::lc_core::ComponentKind::Shuffler).len(), 2800);
-    assert_eq!(s.kind_pair(lc_repro::lc_core::ComponentKind::Predictor).len(), 4032);
-    assert_eq!(s.kind_pair(lc_repro::lc_core::ComponentKind::Reducer).len(), 21_952);
+    assert_eq!(
+        s.kind_pair(lc_repro::lc_core::ComponentKind::Mutator).len(),
+        4032
+    );
+    assert_eq!(
+        s.kind_pair(lc_repro::lc_core::ComponentKind::Shuffler)
+            .len(),
+        2800
+    );
+    assert_eq!(
+        s.kind_pair(lc_repro::lc_core::ComponentKind::Predictor)
+            .len(),
+        4032
+    );
+    assert_eq!(
+        s.kind_pair(lc_repro::lc_core::ComponentKind::Reducer).len(),
+        21_952
+    );
     // §6.4 stage 1
     assert_eq!(s.stage1_family("BIT").len(), 6944);
     assert_eq!(s.stage1_family("DBEFS").len(), 3472);
@@ -73,8 +87,12 @@ fn per_pipeline_compiler_consistency() {
     // median): Clang encodes slower and decodes faster than NVCC for the
     // overwhelming majority of pipelines.
     let m = tiny_campaign();
-    let nv = m.config_index("RTX 4090", CompilerId::Nvcc, OptLevel::O3).unwrap();
-    let cl = m.config_index("RTX 4090", CompilerId::Clang, OptLevel::O3).unwrap();
+    let nv = m
+        .config_index("RTX 4090", CompilerId::Nvcc, OptLevel::O3)
+        .unwrap();
+    let cl = m
+        .config_index("RTX 4090", CompilerId::Clang, OptLevel::O3)
+        .unwrap();
     let n = m.space.len();
     let mut enc_slower = 0;
     let mut dec_faster = 0;
@@ -86,8 +104,14 @@ fn per_pipeline_compiler_consistency() {
             dec_faster += 1;
         }
     }
-    assert!(enc_slower * 10 >= n * 9, "Clang encode slower on {enc_slower}/{n}");
-    assert!(dec_faster * 10 >= n * 9, "Clang decode faster on {dec_faster}/{n}");
+    assert!(
+        enc_slower * 10 >= n * 9,
+        "Clang encode slower on {enc_slower}/{n}"
+    );
+    assert!(
+        dec_faster * 10 >= n * 9,
+        "Clang decode faster on {dec_faster}/{n}"
+    );
 }
 
 #[test]
