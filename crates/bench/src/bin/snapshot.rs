@@ -1,7 +1,9 @@
 //! `cargo run --release -p bench --bin snapshot` — emit
 //! `BENCH_campaign.json`, a small machine-readable performance snapshot
-//! of a fixed tiny-scale campaign plus archive encode/decode throughput
-//! and the telemetry A/B overhead, for tracking across commits.
+//! of a fixed tiny-scale campaign (run both prefix-memoized and naive,
+//! with the cache hit rate and sweep speedup) plus archive encode/decode
+//! throughput and the telemetry A/B overhead, for tracking across
+//! commits.
 //!
 //! Unlike the Criterion benches (statistical, slow), this is a
 //! single-shot snapshot: medians of a few repetitions, done in seconds,
@@ -13,7 +15,7 @@ use lc_core::archive;
 use lc_data::{Scale, SP_FILES};
 use lc_json::Value;
 use lc_parallel::Pool;
-use lc_study::{run_campaign, Space, StudyConfig};
+use lc_study::{run_campaign_with, CampaignOptions, Space, StudyConfig, SweepMode};
 
 const PIPELINE: &str = "DBEFS_4 DIFF_4 RZE_4";
 const REPS: usize = 9;
@@ -52,12 +54,28 @@ fn main() {
     };
     let units = sc.files.len() * sc.space.components.len();
     eprintln!("campaign: {units} units ({} pipelines) ...", sc.space.len());
-    let t0 = Instant::now();
-    let m = run_campaign(&sc);
-    let campaign_s = t0.elapsed().as_secs_f64();
+    let run_sweep = |sweep: SweepMode| {
+        let opts = CampaignOptions {
+            sweep,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let outcome = run_campaign_with(&sc, &opts).expect("campaign failed");
+        (outcome, t0.elapsed().as_secs_f64())
+    };
+    let (outcome, campaign_s) = run_sweep(SweepMode::default());
+    let m = outcome.measurements;
+    let cache = outcome.cache;
     eprintln!(
-        "campaign: {campaign_s:.2}s ({:.1} units/s)",
-        units as f64 / campaign_s
+        "campaign (memoized): {campaign_s:.2}s ({:.1} units/s, {:.1}% cache hit rate)",
+        units as f64 / campaign_s,
+        100.0 * cache.hit_rate()
+    );
+    let (naive_outcome, naive_s) = run_sweep(SweepMode::Naive);
+    drop(naive_outcome);
+    eprintln!(
+        "campaign (naive):    {naive_s:.2}s ({:.1} units/s)",
+        units as f64 / naive_s
     );
 
     // 2. Archive encode/decode throughput on the shared bench input.
@@ -105,7 +123,7 @@ fn main() {
     );
 
     let snapshot = Value::object([
-        ("schema", Value::from("lc-bench-campaign/v1")),
+        ("schema", Value::from("lc-bench-campaign/v2")),
         (
             "campaign",
             Value::object([
@@ -118,6 +136,25 @@ fn main() {
                 ("units", Value::from(units as u64)),
                 ("wall_s", Value::from(campaign_s)),
                 ("units_per_s", Value::from(units as f64 / campaign_s)),
+            ]),
+        ),
+        (
+            "sweep",
+            Value::object([
+                (
+                    "memoized_units_per_s",
+                    Value::from(units as f64 / campaign_s),
+                ),
+                ("naive_units_per_s", Value::from(units as f64 / naive_s)),
+                ("speedup", Value::from(naive_s / campaign_s)),
+            ]),
+        ),
+        (
+            "cache",
+            Value::object([
+                ("hit_rate", Value::from(cache.hit_rate())),
+                ("resident_mb", Value::from(cache.peak_resident_mb())),
+                ("evictions", Value::from(cache.evictions)),
             ]),
         ),
         (

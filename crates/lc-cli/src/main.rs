@@ -489,15 +489,20 @@ fn cmd_bench_components(rest: &[String]) -> Result<(), CliError> {
         "component", "enc MB/s", "dec MB/s", "ratio"
     );
     for c in lc_components::all() {
-        let mut enc = Vec::new();
+        // One scratch buffer reused across chunks and reps, same as the
+        // archive's arena layer — the bench measures the kernel, not the
+        // allocator.
+        let mut scratch = Vec::with_capacity(lc_core::CHUNK_SIZE + lc_core::CHUNK_SIZE / 2);
         let mut enc_times = Vec::new();
         for _ in 0..reps {
-            enc.clear();
             let t0 = Instant::now();
             for chunk in data.chunks(lc_core::CHUNK_SIZE) {
-                let before = enc.len();
-                c.encode_chunk(chunk, &mut enc, &mut lc_core::KernelStats::new());
-                let _ = before;
+                lc_core::encode_stage(
+                    c.as_ref(),
+                    chunk,
+                    &mut scratch,
+                    &mut lc_core::KernelStats::new(),
+                );
             }
             enc_times.push(t0.elapsed().as_secs_f64());
         }
@@ -507,9 +512,13 @@ fn cmd_bench_components(rest: &[String]) -> Result<(), CliError> {
         // Decode each chunk's encoding separately.
         let mut encoded_chunks = Vec::new();
         for chunk in data.chunks(lc_core::CHUNK_SIZE) {
-            let mut e = Vec::new();
-            c.encode_chunk(chunk, &mut e, &mut lc_core::KernelStats::new());
-            encoded_chunks.push(e);
+            lc_core::encode_stage(
+                c.as_ref(),
+                chunk,
+                &mut scratch,
+                &mut lc_core::KernelStats::new(),
+            );
+            encoded_chunks.push(scratch.clone());
         }
         let enc_total: usize = encoded_chunks.iter().map(Vec::len).sum();
         let mut dec_times = Vec::new();
@@ -517,8 +526,7 @@ fn cmd_bench_components(rest: &[String]) -> Result<(), CliError> {
         for _ in 0..reps {
             let t0 = Instant::now();
             for e in &encoded_chunks {
-                out.clear();
-                c.decode_chunk(e, &mut out, &mut lc_core::KernelStats::new())
+                lc_core::decode_stage(c.as_ref(), e, &mut out, &mut lc_core::KernelStats::new())
                     .map_err(|err| format!("{}: {err}", c.name()))?;
             }
             dec_times.push(t0.elapsed().as_secs_f64());

@@ -49,10 +49,11 @@ use std::sync::Arc;
 use lc_parallel::{DisjointSlice, LookbackScan, Pool};
 use lc_telemetry::{span, ArgValue, Span};
 
-use crate::chunk::{chunk_count, chunk_range, CHUNK_SIZE};
-use crate::component::{Component, ComponentKind};
+use crate::chunk::{chunk_count, chunk_range};
+use crate::component::Component;
 use crate::error::DecodeError;
 use crate::pipeline::Pipeline;
+use crate::scratch::Scratch;
 use crate::stats::{KernelStats, PipelineStats, StageStats};
 
 /// Archive magic bytes.
@@ -226,13 +227,20 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
     {
         let outcome_slots = DisjointSlice::new(&mut outcomes);
         let offset_slots = DisjointSlice::new(&mut offsets);
-        pool.run(n_chunks, |i| {
-            let outcome =
-                encode_one_chunk(stages, &input[chunk_range(i, input.len())], i, telemetry);
+        // Each worker owns one Scratch arena for its whole claim stream:
+        // stage buffers are allocated once per worker, not once per chunk.
+        pool.run_with_state(n_chunks, Scratch::new, |scratch, i| {
+            let outcome = encode_one_chunk(
+                stages,
+                &input[chunk_range(i, input.len())],
+                i,
+                telemetry,
+                scratch,
+            );
             // Publish this chunk's stored size; receive the cumulative size
             // of all prior chunks (decoupled look-back, as on the GPU).
             let offset = scan.publish(i, outcome.data.len() as u64);
-            // SAFETY: `pool.run` claims each index exactly once.
+            // SAFETY: `run_with_state` claims each index exactly once.
             unsafe {
                 *offset_slots.get_mut(i) = offset;
                 *outcome_slots.get_mut(i) = Some(outcome);
@@ -319,20 +327,48 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
     EncodeResult { archive, stats }
 }
 
+/// Which buffer currently holds the chunk bytes: the caller's input
+/// slice (no copy was made) or one of the two arena buffers.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Live {
+    Input,
+    A,
+    B,
+}
+
+impl Live {
+    /// The arena buffer the *next* applied stage writes into: input
+    /// feeds `a`, and the two arena buffers ping-pong.
+    fn advance(self) -> Self {
+        match self {
+            Live::Input | Live::B => Live::A,
+            Live::A => Live::B,
+        }
+    }
+}
+
 fn encode_one_chunk(
     stages: &[Arc<dyn Component>],
     chunk: &[u8],
     chunk_index: usize,
     telemetry: bool,
+    scratch: &mut Scratch,
 ) -> ChunkOutcome {
     let crc = crate::checksum::crc32(chunk);
-    let mut cur: Vec<u8> = chunk.to_vec();
-    let mut next: Vec<u8> = Vec::with_capacity(chunk.len() + chunk.len() / 4 + 64);
     let mut mask = 0u8;
     let mut stage_records = Vec::with_capacity(stages.len());
+    // The first stage reads the caller's chunk slice directly — no
+    // defensive copy; subsequent stages ping-pong between the arena
+    // buffers. Disjoint field borrows keep input and output separate.
+    let mut live = Live::Input;
     for (s, comp) in stages.iter().enumerate() {
+        let bytes_in = match live {
+            Live::Input => chunk.len(),
+            Live::A => scratch.a.len(),
+            Live::B => scratch.b.len(),
+        };
         let mut rec = StageRecord {
-            bytes_in: cur.len() as u64,
+            bytes_in: bytes_in as u64,
             ..Default::default()
         };
         let mut sp = if telemetry {
@@ -349,21 +385,30 @@ fn encode_one_chunk(
         } else {
             Span::disabled()
         };
-        next.clear();
-        comp.encode_chunk(&cur, &mut next, &mut rec.kernel);
-        let applied = match comp.kind() {
-            // A reducer only "wins" if it strictly shrinks the chunk;
-            // otherwise LC forwards the original bytes (copy-on-expand).
-            ComponentKind::Reducer => next.len() < cur.len(),
-            // Size-preserving components always apply.
-            _ => {
-                debug_assert_eq!(next.len(), cur.len(), "{} changed size", comp.name());
-                true
+        let applied = match live {
+            Live::Input => {
+                crate::scratch::encode_stage(comp.as_ref(), chunk, &mut scratch.a, &mut rec.kernel)
             }
+            Live::A => crate::scratch::encode_stage(
+                comp.as_ref(),
+                &scratch.a,
+                &mut scratch.b,
+                &mut rec.kernel,
+            ),
+            Live::B => crate::scratch::encode_stage(
+                comp.as_ref(),
+                &scratch.b,
+                &mut scratch.a,
+                &mut rec.kernel,
+            ),
         };
         rec.applied = applied;
         rec.bytes_out = if applied {
-            next.len() as u64
+            let written = match live.advance() {
+                Live::A => scratch.a.len(),
+                _ => scratch.b.len(),
+            };
+            written as u64
         } else {
             rec.bytes_in
         };
@@ -373,11 +418,18 @@ fn encode_one_chunk(
         stage_records.push(rec);
         if applied {
             mask |= 1 << s;
-            std::mem::swap(&mut cur, &mut next);
+            live = live.advance();
         }
     }
+    // One exact-size copy out of the arena (the arena itself is reused
+    // for the worker's next chunk).
+    let data = match live {
+        Live::Input => chunk.to_vec(),
+        Live::A => scratch.a.clone(),
+        Live::B => scratch.b.clone(),
+    };
     ChunkOutcome {
-        data: cur,
+        data,
         mask,
         crc,
         stage_records,
@@ -545,17 +597,26 @@ where
     let out_base = out.as_mut_ptr() as usize;
 
     // Per-chunk decode into disjoint output regions, collecting per-worker
-    // stage stats that are merged afterwards.
+    // stage stats that are merged afterwards. Each worker also owns a
+    // Scratch arena: the decoded bytes are borrowed from it (or from the
+    // payload itself for all-skipped chunks) and copied straight into the
+    // output buffer — no per-chunk Vec is ever allocated.
     let stage_names: Vec<&str> = header.stage_names.iter().map(|s| s.as_str()).collect();
     let stages_ref = &stages;
     let masks_ref = &masks;
     let sizes_ref = &sizes;
     let offsets_ref = &offsets;
     let crcs_ref = crcs.as_deref();
-    type WorkerAcc = (Vec<StageRecord>, Option<DecodeError>);
-    let (records, first_err) = pool.fold(
+    type WorkerAcc = (Vec<StageRecord>, Option<DecodeError>, Scratch);
+    let (records, first_err, _) = pool.fold(
         n_chunks,
-        || -> WorkerAcc { (vec![StageRecord::default(); stages_ref.len()], None) },
+        || -> WorkerAcc {
+            (
+                vec![StageRecord::default(); stages_ref.len()],
+                None,
+                Scratch::new(),
+            )
+        },
         |acc, i| {
             if acc.1.is_some() {
                 return; // a chunk already failed; drain remaining work
@@ -569,7 +630,7 @@ where
                 return;
             }
             let region = chunk_range(i, original_len);
-            match decode_one_chunk(
+            match decode_chunk_into(
                 stages_ref,
                 masks_ref[i],
                 &payload[start..end],
@@ -577,12 +638,13 @@ where
                 &mut acc.0,
                 i,
                 telemetry,
+                &mut acc.2,
             ) {
                 Ok(decoded) => {
                     // v3: validate the recovered plaintext against the
                     // per-chunk CRC before it reaches the output buffer.
                     if let Some(crcs) = crcs_ref {
-                        let actual = crate::checksum::crc32(&decoded);
+                        let actual = crate::checksum::crc32(decoded);
                         if actual != crcs[i] {
                             acc.1 = Some(DecodeError::ChunkChecksumMismatch {
                                 chunk: i as u32,
@@ -758,8 +820,12 @@ where
         }
         let region = chunk_range(i, original_len);
         let mut records = vec![StageRecord::default(); stages_ref.len()];
+        // Salvage is the cold path: a per-chunk arena (and an owned copy
+        // of the recovered bytes) is fine here — isolation matters more
+        // than allocation traffic.
         let decoded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            decode_one_chunk(
+            let mut scratch = Scratch::new();
+            decode_chunk_into(
                 stages_ref,
                 masks[i],
                 &payload[start..end],
@@ -767,7 +833,9 @@ where
                 &mut records,
                 i,
                 telemetry,
+                &mut scratch,
             )
+            .map(|d| d.to_vec())
         }))
         .unwrap_or(Err(DecodeError::Corrupt {
             context: "decoder panicked",
@@ -835,18 +903,27 @@ where
     decode_salvage(bytes, resolve, pool)
 }
 
+/// Decode one chunk into the worker's arena, returning a borrowed view
+/// of the recovered bytes.
+///
+/// The first inverse stage reads the stored payload slice directly (no
+/// defensive copy); subsequent stages ping-pong between the arena
+/// buffers. For a chunk whose mask is empty — every stage skipped by
+/// copy-on-expand — the returned slice *is* `payload`: decode of such a
+/// chunk touches no buffer at all and the caller copies the stored
+/// bytes straight into the output region.
 #[allow(clippy::too_many_arguments)]
-fn decode_one_chunk(
+fn decode_chunk_into<'s>(
     stages: &[Arc<dyn Component>],
     mask: u8,
-    payload: &[u8],
+    payload: &'s [u8],
     expected_len: usize,
     records: &mut [StageRecord],
     chunk_index: usize,
     telemetry: bool,
-) -> Result<Vec<u8>, DecodeError> {
-    let mut cur = payload.to_vec();
-    let mut next: Vec<u8> = Vec::with_capacity(CHUNK_SIZE);
+    scratch: &'s mut Scratch,
+) -> Result<&'s [u8], DecodeError> {
+    let mut live = Live::Input;
     // Inverse transformations in reverse order (paper Fig. 1).
     for (s, comp) in stages.iter().enumerate().rev() {
         if mask & (1 << s) == 0 {
@@ -866,14 +943,19 @@ fn decode_one_chunk(
             continue;
         }
         let rec = &mut records[s];
-        rec.bytes_in += cur.len() as u64;
+        let bytes_in = match live {
+            Live::Input => payload.len(),
+            Live::A => scratch.a.len(),
+            Live::B => scratch.b.len(),
+        };
+        rec.bytes_in += bytes_in as u64;
         let mut sp = if telemetry {
             let mut sp = Span::begin(
                 "stage.decode",
                 comp.name(),
                 vec![
                     ("chunk", ArgValue::from(chunk_index)),
-                    ("bytes_in", ArgValue::from(cur.len())),
+                    ("bytes_in", ArgValue::from(bytes_in)),
                 ],
             );
             sp.with_histogram();
@@ -881,13 +963,40 @@ fn decode_one_chunk(
         } else {
             Span::disabled()
         };
-        next.clear();
-        comp.decode_chunk(&cur, &mut next, &mut rec.kernel)?;
-        sp.arg("bytes_out", next.len());
+        match live {
+            Live::Input => crate::scratch::decode_stage(
+                comp.as_ref(),
+                payload,
+                &mut scratch.a,
+                &mut rec.kernel,
+            )?,
+            Live::A => crate::scratch::decode_stage(
+                comp.as_ref(),
+                &scratch.a,
+                &mut scratch.b,
+                &mut rec.kernel,
+            )?,
+            Live::B => crate::scratch::decode_stage(
+                comp.as_ref(),
+                &scratch.b,
+                &mut scratch.a,
+                &mut rec.kernel,
+            )?,
+        }
+        live = live.advance();
+        let bytes_out = match live {
+            Live::A => scratch.a.len(),
+            _ => scratch.b.len(),
+        };
+        sp.arg("bytes_out", bytes_out);
         drop(sp);
-        rec.bytes_out += next.len() as u64;
-        std::mem::swap(&mut cur, &mut next);
+        records[s].bytes_out += bytes_out as u64;
     }
+    let cur: &[u8] = match live {
+        Live::Input => payload,
+        Live::A => &scratch.a,
+        Live::B => &scratch.b,
+    };
     if cur.len() != expected_len {
         return Err(DecodeError::LengthMismatch {
             expected: expected_len as u64,
@@ -900,6 +1009,7 @@ fn decode_one_chunk(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chunk::CHUNK_SIZE;
     use crate::pipeline::test_support::{AddOne, DropTrailingZeros};
 
     fn resolver(name: &str) -> Option<Arc<dyn Component>> {

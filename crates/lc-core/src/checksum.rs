@@ -7,15 +7,30 @@
 //! decoder verifies it and turns silent corruption into a
 //! [`crate::DecodeError::ChecksumMismatch`].
 //!
-//! Implemented from scratch (table-driven, reflected polynomial
-//! `0xEDB88320`) — no dependency needed for 30 lines of table code.
+//! Implemented from scratch (reflected polynomial `0xEDB8_8320`) — no
+//! dependency needed for a page of table code. The hot path is
+//! **slice-by-8**: eight 256-entry tables let [`Crc32::update`] fold
+//! eight input bytes per step instead of one, cutting the
+//! byte-at-a-time loop's serial dependency chain from 8 table lookups
+//! per 8 bytes *in sequence* to 8 *independent* lookups XORed together.
+//! Archive v3 checksums every chunk on both the encode and decode paths
+//! (plus the whole stream once per direction), so this is hot: it runs
+//! over every byte the archive touches, twice.
+//!
+//! The scalar loop is kept as [`Crc32::update_scalar`]; a differential
+//! test asserts the two produce identical digests on randomized inputs
+//! at every length and alignment.
 
-/// Lazily built 256-entry CRC table.
-fn table() -> &'static [u32; 256] {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
+/// Eight lazily built 256-entry CRC tables.
+///
+/// `t[0]` is the classic byte-at-a-time table; `t[k][i]` extends the
+/// lookup to a byte `k` positions earlier in the 8-byte word
+/// (`t[k][i] = (t[k-1][i] >> 8) ^ t[0][t[k-1][i] & 0xFF]`).
+fn tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 8]> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, e) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
@@ -25,6 +40,12 @@ fn table() -> &'static [u32; 256] {
                 };
             }
             *e = c;
+        }
+        for k in 1..8 {
+            for i in 0..256 {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
         }
         t
     })
@@ -42,9 +63,36 @@ impl Crc32 {
         Self { state: 0xFFFF_FFFF }
     }
 
-    /// Absorb bytes.
+    /// Absorb bytes: slice-by-8 over the 8-byte-aligned body, scalar
+    /// over the tail. Digest-identical to [`Crc32::update_scalar`] at
+    /// every split point, so streaming callers may mix chunk sizes
+    /// freely.
     pub fn update(&mut self, data: &[u8]) {
-        let t = table();
+        let t = tables();
+        let mut state = self.state;
+        let mut words = data.chunks_exact(8);
+        for w in words.by_ref() {
+            let lo = u32::from_le_bytes([w[0], w[1], w[2], w[3]]) ^ state;
+            let hi = u32::from_le_bytes([w[4], w[5], w[6], w[7]]);
+            state = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
+        }
+        for &b in words.remainder() {
+            state = t[0][((state ^ u32::from(b)) & 0xFF) as usize] ^ (state >> 8);
+        }
+        self.state = state;
+    }
+
+    /// Absorb bytes one at a time — the reference implementation the
+    /// slice-by-8 path is differentially tested against.
+    pub fn update_scalar(&mut self, data: &[u8]) {
+        let t = &tables()[0];
         for &b in data {
             self.state = t[((self.state ^ u32::from(b)) & 0xFF) as usize] ^ (self.state >> 8);
         }
@@ -71,8 +119,8 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 /// CRC-32 of chunked data processed in parallel-friendly pieces: CRCs
 /// cannot be merged cheaply without carry-less multiplication, so the
-/// archive checksums the *original* byte stream sequentially — at
-/// ~1 GB/s table-driven this is far from the bottleneck.
+/// archive checksums the *original* byte stream sequentially — slice-by-8
+/// at multiple GB/s, this is far from the bottleneck.
 pub fn crc32_chunks<'a>(chunks: impl Iterator<Item = &'a [u8]>) -> u32 {
     let mut c = Crc32::new();
     for chunk in chunks {
@@ -107,6 +155,56 @@ mod tests {
         }
         assert_eq!(c.finish(), crc32(&data));
         assert_eq!(crc32_chunks(data.chunks(333)), crc32(&data));
+    }
+
+    /// xorshift64*: deterministic pseudo-random bytes for the
+    /// differential test, no RNG dependency needed.
+    fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slice_by_8_matches_scalar_on_random_inputs() {
+        // Every length 0..64 exercises all head/tail split shapes; the
+        // longer sizes exercise a body of many 8-byte words. Offsets
+        // shift the slice start so unaligned bodies are covered too.
+        let lens: Vec<usize> = (0..64usize).chain([255, 1024, 16 * 1024 + 7]).collect();
+        for (s, &len) in lens.iter().enumerate() {
+            let data = random_bytes(0x9E37_79B9_7F4A_7C15 ^ s as u64, len + 3);
+            for offset in 0..3.min(len + 1) {
+                let slice = &data[offset..offset + len];
+                let mut fast = Crc32::new();
+                fast.update(slice);
+                let mut slow = Crc32::new();
+                slow.update_scalar(slice);
+                assert_eq!(
+                    fast.finish(),
+                    slow.finish(),
+                    "digest mismatch at len={len} offset={offset}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_by_8_matches_scalar_across_stream_splits() {
+        let data = random_bytes(42, 4096);
+        for split in [0, 1, 7, 8, 9, 63, 1000, 4096] {
+            let mut fast = Crc32::new();
+            fast.update(&data[..split]);
+            fast.update(&data[split..]);
+            let mut slow = Crc32::new();
+            slow.update_scalar(&data);
+            assert_eq!(fast.finish(), slow.finish(), "split at {split}");
+        }
     }
 
     #[test]

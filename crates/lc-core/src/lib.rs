@@ -27,6 +27,7 @@ pub mod chunk;
 pub mod component;
 pub mod error;
 pub mod pipeline;
+pub mod scratch;
 pub mod stats;
 pub mod stream;
 pub mod verify;
@@ -36,4 +37,5 @@ pub use chunk::CHUNK_SIZE;
 pub use component::{Complexity, Component, ComponentKind, SpanClass, WorkClass};
 pub use error::{DecodeError, PipelineError};
 pub use pipeline::Pipeline;
+pub use scratch::{decode_stage, encode_stage, Scratch};
 pub use stats::{KernelStats, PipelineStats, StageStats};

@@ -1,0 +1,165 @@
+//! Reusable stage buffers and stage-granular (de)compression entry
+//! points.
+//!
+//! The chunk pipeline is a ping-pong: stage `s` reads the previous
+//! stage's output and writes a fresh buffer. Naively that is two `Vec`
+//! allocations per chunk (plus a defensive copy of the input), times
+//! hundreds of thousands of chunk×pipeline executions in a campaign
+//! sweep. A [`Scratch`] arena is the allocation-free alternative: one
+//! pair of buffers owned by a pool worker and reused for every chunk
+//! that worker claims — the in-memory analogue of a GPU thread block
+//! reusing its shared-memory staging area across grid-stride
+//! iterations.
+//!
+//! Ownership rules (see DESIGN.md §11):
+//!
+//! * a `Scratch` belongs to exactly one worker; it is never shared;
+//! * stage inputs may alias `a` while the stage writes `b` (or vice
+//!   versa), never the same buffer — the free functions below take
+//!   input and output as separate parameters so the borrow checker
+//!   enforces this;
+//! * contents are only valid until the next stage call; callers that
+//!   need the final bytes copy them out (exact-size, once per chunk).
+//!
+//! [`encode_stage`] and [`decode_stage`] are the single authoritative
+//! implementation of LC's copy-on-expand rule; the archive driver and
+//! the study runner both call them, so the "skip a reducer that failed
+//! to shrink" decision cannot drift between the two.
+
+use crate::component::{Component, ComponentKind};
+use crate::error::DecodeError;
+use crate::stats::KernelStats;
+
+/// A pair of reusable pipeline buffers owned by one worker.
+///
+/// Fields are public so drivers can ping-pong between them with
+/// disjoint borrows (`&scratch.a` as input while `&mut scratch.b` is
+/// the output). Capacity is retained across chunks; a worker's arena
+/// reaches steady state after its first chunk and allocates nothing
+/// thereafter (unless a stage genuinely expands past prior capacity).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// First ping-pong buffer.
+    pub a: Vec<u8>,
+    /// Second ping-pong buffer.
+    pub b: Vec<u8>,
+}
+
+impl Scratch {
+    /// Fresh arena with empty buffers (they grow to chunk size on first
+    /// use and then stay).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently reserved by both buffers.
+    pub fn capacity(&self) -> usize {
+        self.a.capacity() + self.b.capacity()
+    }
+}
+
+/// Run one encode stage: clear `out`, transform `input` into it, and
+/// decide whether the stage *applies* under LC's copy-on-expand rule.
+///
+/// Returns `true` when the stage output should replace the chunk bytes
+/// (always, for size-preserving components) and `false` when a reducer
+/// failed to strictly shrink the chunk — in that case `out` contents
+/// are garbage and the caller forwards `input` unchanged, leaving the
+/// chunk's mask bit clear so the decoder skips the stage entirely.
+pub fn encode_stage(
+    comp: &dyn Component,
+    input: &[u8],
+    out: &mut Vec<u8>,
+    stats: &mut KernelStats,
+) -> bool {
+    out.clear();
+    comp.encode_chunk(input, out, stats);
+    match comp.kind() {
+        // A reducer only "wins" if it strictly shrinks the chunk;
+        // otherwise LC forwards the original bytes (copy-on-expand).
+        ComponentKind::Reducer => out.len() < input.len(),
+        // Size-preserving components always apply.
+        _ => {
+            debug_assert_eq!(out.len(), input.len(), "{} changed size", comp.name());
+            true
+        }
+    }
+}
+
+/// Run one decode stage: clear `out` and invert `input` into it.
+///
+/// The caller is responsible for only invoking this for stages whose
+/// mask bit is set (skipped stages have nothing to undo).
+pub fn decode_stage(
+    comp: &dyn Component,
+    input: &[u8],
+    out: &mut Vec<u8>,
+    stats: &mut KernelStats,
+) -> Result<(), DecodeError> {
+    out.clear();
+    comp.decode_chunk(input, out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::test_support::{AddOne, DropTrailingZeros};
+
+    #[test]
+    fn encode_stage_applies_mutators_unconditionally() {
+        let mut scratch = Scratch::new();
+        let mut ks = KernelStats::default();
+        let input = vec![1u8, 2, 3, 0xFF];
+        let applied = encode_stage(&AddOne, &input, &mut scratch.a, &mut ks);
+        assert!(applied);
+        assert_eq!(scratch.a, vec![2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn encode_stage_skips_non_shrinking_reducer() {
+        let mut scratch = Scratch::new();
+        let mut ks = KernelStats::default();
+        // No trailing zeros: DTZ adds a header and expands, so it must
+        // report "not applied".
+        let input: Vec<u8> = (1..=64).collect();
+        assert!(!encode_stage(
+            &DropTrailingZeros,
+            &input,
+            &mut scratch.a,
+            &mut ks
+        ));
+        // Trailing zeros: DTZ shrinks and applies.
+        let mut zeros = vec![7u8; 16];
+        zeros.extend(std::iter::repeat_n(0u8, 48));
+        assert!(encode_stage(
+            &DropTrailingZeros,
+            &zeros,
+            &mut scratch.a,
+            &mut ks
+        ));
+        assert!(scratch.a.len() < zeros.len());
+    }
+
+    #[test]
+    fn stage_roundtrip_through_both_buffers() {
+        let mut scratch = Scratch::new();
+        let mut ks = KernelStats::default();
+        let input = vec![10u8, 20, 30];
+        assert!(encode_stage(&AddOne, &input, &mut scratch.a, &mut ks));
+        decode_stage(&AddOne, &scratch.a, &mut scratch.b, &mut ks).unwrap();
+        assert_eq!(scratch.b, input);
+    }
+
+    #[test]
+    fn buffers_retain_capacity_across_chunks() {
+        let mut scratch = Scratch::new();
+        let mut ks = KernelStats::default();
+        let big = vec![3u8; 16 * 1024];
+        encode_stage(&AddOne, &big, &mut scratch.a, &mut ks);
+        let cap = scratch.capacity();
+        assert!(cap >= 16 * 1024);
+        // A smaller chunk must not shrink the arena.
+        encode_stage(&AddOne, &[1, 2, 3], &mut scratch.a, &mut ks);
+        assert_eq!(scratch.capacity(), cap);
+    }
+}

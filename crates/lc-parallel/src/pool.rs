@@ -157,6 +157,23 @@ impl Pool {
         });
     }
 
+    /// Like [`Pool::run`], but each worker owns a mutable scratch state
+    /// created once by `init` and passed to every task that worker claims.
+    ///
+    /// This is the arena-reuse primitive: a worker processing hundreds of
+    /// chunks allocates its stage buffers once instead of once per chunk,
+    /// mirroring how a GPU thread block reuses its shared-memory staging
+    /// area across grid-stride iterations. Equivalent to [`Pool::fold`]
+    /// with the accumulators discarded, but without requiring a merge.
+    pub fn run_with_state<S, I, F>(&self, tasks: usize, init: I, f: F)
+    where
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) + Sync,
+    {
+        self.fold(tasks, init, |s, i| f(s, i), |a, _| a);
+    }
+
     /// Produce a `Vec` of `tasks` results, computing `f(i)` for each index
     /// in parallel. Results land in index order.
     pub fn map<T, F>(&self, tasks: usize, f: F) -> Vec<T>
@@ -298,6 +315,27 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i * i);
         }
+    }
+
+    #[test]
+    fn run_with_state_reuses_per_worker_state() {
+        let pool = Pool::new(3);
+        let n = 500;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let states = AtomicUsize::new(0);
+        pool.run_with_state(
+            n,
+            || {
+                states.fetch_add(1, Ordering::Relaxed);
+                Vec::<u8>::new()
+            },
+            |scratch, i| {
+                scratch.push(0); // state persists across this worker's tasks
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(states.load(Ordering::Relaxed) <= 3, "one state per worker");
     }
 
     #[test]

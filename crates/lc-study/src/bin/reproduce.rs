@@ -27,6 +27,12 @@
 //! `--quiet` silences it. `--telemetry-dir DIR` enables span/metric
 //! collection and writes `trace.json` (Chrome trace-event format,
 //! loadable in Perfetto), `events.jsonl`, and `metrics.json` there.
+//!
+//! Performance: the campaign memoizes shared stage-1 and (stage-1,
+//! stage-2) prefix outputs in a byte-capped per-unit cache (default
+//! 512 MB campaign-wide). `--prefix-cache-mb MB` resizes the budget;
+//! `--no-prefix-cache` re-executes every stage of every pipeline from
+//! scratch (the naive baseline the cache is benchmarked against).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,7 +40,9 @@ use std::time::{Duration, Instant};
 
 use gpu_sim::OptLevel;
 use lc_data::Scale;
-use lc_study::{figures, report, run_campaign_with, CampaignOptions, FigId, Space, StudyConfig};
+use lc_study::{
+    figures, report, run_campaign_with, CampaignOptions, FigId, Space, StudyConfig, SweepMode,
+};
 
 /// Exit code when work units were quarantined (run completed, but some
 /// pipelines carry no data).
@@ -57,6 +65,7 @@ struct Args {
     heartbeat: Option<Duration>,
     quiet: bool,
     telemetry_dir: Option<PathBuf>,
+    sweep: SweepMode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
         heartbeat: None,
         quiet: false,
         telemetry_dir: None,
+        sweep: SweepMode::default(),
     };
     // Heartbeat defaults on for interactive runs; --quiet suppresses it,
     // --heartbeat forces it (e.g. for log-captured batch runs).
@@ -147,6 +157,13 @@ fn parse_args() -> Result<Args, String> {
             "--telemetry-dir" => {
                 args.telemetry_dir = Some(PathBuf::from(value("--telemetry-dir")?));
             }
+            "--prefix-cache-mb" => {
+                let mb: usize = value("--prefix-cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--prefix-cache-mb: {e}"))?;
+                args.sweep = SweepMode::Memoized { cache_mb: mb };
+            }
+            "--no-prefix-cache" => args.sweep = SweepMode::Naive,
             "--unit-deadline" => {
                 let secs: u64 = value("--unit-deadline")?
                     .parse()
@@ -161,7 +178,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: reproduce [--figure all|2,3,…] [--tables] [--scale D] [--full] \
                      [--threads N] [--families A,B,…] [--files f,…] [--verify] [--out DIR] \
                      [--resume] [--unit-deadline SECS] [--heartbeat SECS] [--quiet] \
-                     [--telemetry-dir DIR]"
+                     [--telemetry-dir DIR] [--prefix-cache-mb MB] [--no-prefix-cache]"
                 );
                 std::process::exit(0);
             }
@@ -251,6 +268,7 @@ fn main() -> ExitCode {
         unit_deadline: args.unit_deadline,
         isolate: true,
         heartbeat: args.heartbeat,
+        sweep: args.sweep,
     };
     let outcome = match run_campaign_with(&sc, &opts) {
         Ok(o) => o,
@@ -267,6 +285,21 @@ fn main() -> ExitCode {
             outcome.executed_units,
             outcome.resumed_units
         );
+        match args.sweep {
+            SweepMode::Memoized { .. } => eprintln!(
+                "prefix cache: {:.1}% hit rate ({} hits, {} misses, {} evictions, \
+                 peak {:.1} MB resident)",
+                100.0 * outcome.cache.hit_rate(),
+                outcome.cache.hits,
+                outcome.cache.misses,
+                outcome.cache.evictions,
+                outcome.cache.peak_resident_mb()
+            ),
+            SweepMode::Naive => eprintln!(
+                "prefix cache: disabled ({} stage evaluations recomputed)",
+                outcome.cache.misses
+            ),
+        }
     }
 
     // Telemetry exports: everything the instrumented campaign recorded.

@@ -27,7 +27,7 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lc_json::Value;
@@ -39,6 +39,7 @@ use gpu_sim::{
 use lc_data::{Scale, SpFile, SP_FILES};
 
 use crate::journal::{self, JournalWriter};
+use crate::prefix::{CacheReport, CacheStats, PrefixEntry, SweepMode, UnitPrefixCache};
 use crate::progress::Heartbeat;
 use crate::runner::{run_stage_checked, ChunkedData, StageFault, Watchdog};
 use crate::space::Space;
@@ -209,6 +210,10 @@ pub struct CampaignOptions {
     /// Emit a progress line to stderr at this interval (units done,
     /// units/s, ETA, quarantine count). `None` disables the heartbeat.
     pub heartbeat: Option<Duration>,
+    /// How to walk each unit's pipeline range: prefix-memoized (the
+    /// default) or naive per-pipeline recomputation. Both produce
+    /// bit-identical measurements; see [`crate::prefix`].
+    pub sweep: SweepMode,
 }
 
 /// Wall-clock timing of one work unit, recorded for every unit (healthy
@@ -267,6 +272,9 @@ pub struct CampaignOutcome {
     pub resumed_units: usize,
     /// Work units actually executed this run (including quarantined).
     pub executed_units: usize,
+    /// Prefix-cache totals for the run (all zeros when nothing executed;
+    /// in naive mode every lookup is a miss).
+    pub cache: CacheReport,
 }
 
 type UnitRows = (Vec<f64>, Vec<f64>, Vec<u64>);
@@ -323,7 +331,8 @@ pub fn run_campaign_with(
     let stride = nc * nr;
     let p_total = sc.space.len();
     let c_total = configs.len();
-    let meta = journal_meta(sc, c_total);
+    let meta = journal_meta(sc, c_total, &opts.sweep);
+    let cache_stats = CacheStats::default();
 
     // Resume: load prior units and quarantine records, keyed by
     // (file index, stage-1 index).
@@ -337,7 +346,7 @@ pub fn run_campaign_with(
             .ok_or_else(|| "resume requires a journal path".to_string())?;
         if path.exists() {
             let j = journal::load(path)?;
-            if j.meta != meta {
+            if strip_informational(&j.meta) != strip_informational(&meta) {
                 return Err(format!(
                     "journal {} was written by a different campaign configuration \
                      (space, files, scale, opt levels, or verify flag differ); \
@@ -452,7 +461,15 @@ pub fn run_campaign_with(
             let watchdog = opts.unit_deadline.map(Watchdog::new);
             let unit_start = Instant::now();
             let mut stage_ns = [0u64; 3];
-            let result = run_unit(sc, &ctx, i1, watchdog.as_ref(), &mut stage_ns);
+            let result = run_unit(
+                sc,
+                &ctx,
+                i1,
+                watchdog.as_ref(),
+                &mut stage_ns,
+                &opts.sweep,
+                &cache_stats,
+            );
             let timing = UnitTiming {
                 elapsed_ms: unit_start.elapsed().as_millis() as u64,
                 stage_ms: stage_ns.map(|n| n / 1_000_000),
@@ -578,23 +595,65 @@ pub fn run_campaign_with(
         quarantined,
         resumed_units,
         executed_units,
+        cache: cache_stats.report(),
     })
 }
 
-/// Execute one work unit: stage-1 component `i1` over `ctx.input`, then
-/// the full (stage-2 × stage-3) sub-tree. Every stage runs behind the
-/// panic fence and watchdog of [`run_stage_checked`]; on fault, the
-/// returned trace names the stages that were executing.
+/// Run one pipeline-prefix stage and derive everything downstream
+/// pipelines need from it: the stage outcome plus per-platform
+/// (encode, decode) stage times. This is the unit of work the prefix
+/// cache stores, so a cache hit skips both the stage execution and the
+/// platform-time loop.
 ///
-/// `stage_ns` accumulates wall nanoseconds per stage position; a failing
-/// stage's time up to the fault is included, so quarantine records show
-/// where a dying unit spent its budget.
+/// `ns_slot` accrues the stage's wall nanoseconds (including a failing
+/// stage's partial time, so quarantine records show where a dying unit
+/// spent its budget).
+#[allow(clippy::too_many_arguments)]
+fn eval_prefix_stage(
+    comp: &dyn lc_core::Component,
+    input: &ChunkedData,
+    verify: bool,
+    watchdog: Option<&Watchdog>,
+    configs: &[SimConfig],
+    chunks: u64,
+    extrapolate: f64,
+    ns_slot: &mut u64,
+) -> Result<PrefixEntry, StageFault> {
+    let t = Instant::now();
+    let r = run_stage_checked(comp, input, verify, watchdog);
+    *ns_slot += t.elapsed().as_nanos() as u64;
+    let outcome = r?;
+    let (e, d) = (
+        outcome.enc.scaled(extrapolate),
+        outcome.dec.scaled(extrapolate),
+    );
+    let times = configs
+        .iter()
+        .map(|cfg| (stage_time(cfg, &e, chunks), stage_time(cfg, &d, chunks)))
+        .collect();
+    Ok(PrefixEntry { outcome, times })
+}
+
+/// Execute one work unit: every pipeline in the contiguous range
+/// `(i1, *, *)`. The walk is per-pipeline — for each `(s2, s3)` pair the
+/// `(s1)` and `(s1, s2)` prefixes are looked up in the unit's
+/// [`UnitPrefixCache`] (memoized mode) or recomputed from scratch
+/// (naive mode), and only the final reducer stage always executes. Every
+/// stage runs behind the panic fence and watchdog of
+/// [`run_stage_checked`]; on fault, the returned trace names the stages
+/// that were executing.
+///
+/// `stage_ns` accumulates wall nanoseconds per stage position; cache
+/// hits contribute nothing there (no stage ran).
+#[allow(clippy::too_many_arguments)]
 fn run_unit(
     sc: &StudyConfig,
     ctx: &FileCtx<'_>,
     i1: usize,
     watchdog: Option<&Watchdog>,
     stage_ns: &mut [u64; 3],
+    sweep: &SweepMode,
+    cache_stats: &CacheStats,
 ) -> Result<UnitRows, (StageFault, String)> {
     let nc = sc.space.components.len();
     let nr = sc.space.reducers.len();
@@ -608,41 +667,84 @@ fn run_unit(
     let mut row_dec = vec![0f64; c_total * stride];
     let mut row_comp = vec![0u64; stride];
 
-    let t1 = Instant::now();
-    let r1 = run_stage_checked(
-        sc.space.components[i1].as_ref(),
-        ctx.input,
-        sc.verify,
-        watchdog,
-    );
-    stage_ns[0] += t1.elapsed().as_nanos() as u64;
-    let s1 = r1.map_err(|f| (f, format!("s1={s1_name}")))?;
-    let (s1e, s1d) = (s1.enc.scaled(extrapolate), s1.dec.scaled(extrapolate));
-    let st1: Vec<(f64, f64)> = configs
-        .iter()
-        .map(|cfg| (stage_time(cfg, &s1e, chunks), stage_time(cfg, &s1d, chunks)))
-        .collect();
+    let mut cache = sweep
+        .per_unit_cap_bytes(sc.threads)
+        .map(|cap| UnitPrefixCache::new(cap, cache_stats));
+
     for i2 in 0..nc {
         let s2_name = sc.space.components[i2].name();
-        let t2 = Instant::now();
-        let r2 = run_stage_checked(
-            sc.space.components[i2].as_ref(),
-            &s1.output,
-            sc.verify,
-            watchdog,
-        );
-        stage_ns[1] += t2.elapsed().as_nanos() as u64;
-        let s2 = r2.map_err(|f| (f, format!("s1={s1_name} s2={s2_name}")))?;
-        let (s2e, s2d) = (s2.enc.scaled(extrapolate), s2.dec.scaled(extrapolate));
-        let st2: Vec<(f64, f64)> = configs
-            .iter()
-            .map(|cfg| (stage_time(cfg, &s2e, chunks), stage_time(cfg, &s2d, chunks)))
-            .collect();
         for ir in 0..nr {
+            // (s1) prefix: pinned in the cache after the first pipeline.
+            let e1: Arc<PrefixEntry> = match &mut cache {
+                Some(c) => c.level1(|| {
+                    eval_prefix_stage(
+                        sc.space.components[i1].as_ref(),
+                        ctx.input,
+                        sc.verify,
+                        watchdog,
+                        configs,
+                        chunks,
+                        extrapolate,
+                        &mut stage_ns[0],
+                    )
+                    .map_err(|f| (f, format!("s1={s1_name}")))
+                })?,
+                None => {
+                    cache_stats.miss(1);
+                    Arc::new(
+                        eval_prefix_stage(
+                            sc.space.components[i1].as_ref(),
+                            ctx.input,
+                            sc.verify,
+                            watchdog,
+                            configs,
+                            chunks,
+                            extrapolate,
+                            &mut stage_ns[0],
+                        )
+                        .map_err(|f| (f, format!("s1={s1_name}")))?,
+                    )
+                }
+            };
+            // (s1, s2) prefix: LRU-cached under the byte cap. A hit, a
+            // fresh computation, and a post-eviction recomputation are
+            // bit-identical — stages are deterministic.
+            let e2: Arc<PrefixEntry> = match &mut cache {
+                Some(c) => c.level2(i2, || {
+                    eval_prefix_stage(
+                        sc.space.components[i2].as_ref(),
+                        &e1.outcome.output,
+                        sc.verify,
+                        watchdog,
+                        configs,
+                        chunks,
+                        extrapolate,
+                        &mut stage_ns[1],
+                    )
+                    .map_err(|f| (f, format!("s1={s1_name} s2={s2_name}")))
+                })?,
+                None => {
+                    cache_stats.miss(1);
+                    Arc::new(
+                        eval_prefix_stage(
+                            sc.space.components[i2].as_ref(),
+                            &e1.outcome.output,
+                            sc.verify,
+                            watchdog,
+                            configs,
+                            chunks,
+                            extrapolate,
+                            &mut stage_ns[1],
+                        )
+                        .map_err(|f| (f, format!("s1={s1_name} s2={s2_name}")))?,
+                    )
+                }
+            };
+            // Final reducer: unique to this pipeline, always executed.
             let t3 = Instant::now();
             let r3 = run_stage_checked(
                 sc.space.reducers[ir].as_ref(),
-                &s2.output,
+                &e2.outcome.output,
                 sc.verify,
                 watchdog,
             );
@@ -656,6 +758,7 @@ fn run_unit(
             let local = i2 * nr + ir;
             row_comp[local] = comp_bytes;
             let p_idx = i1 * stride + local;
+            let (st1, st2) = (&e1.times, &e2.times);
             for (c, cfg) in configs.iter().enumerate() {
                 let st3_enc = stage_time(cfg, &s3e, chunks);
                 let st3_dec = stage_time(cfg, &s3d, chunks);
@@ -679,8 +782,36 @@ fn run_unit(
 }
 
 /// The journal fingerprint: everything that determines a unit's numeric
-/// results. Resume refuses a journal whose meta record differs.
-fn journal_meta(sc: &StudyConfig, c_total: usize) -> Value {
+/// results. Resume refuses a journal whose meta record differs —
+/// *informational* fields (see [`strip_informational`]) excepted.
+fn journal_meta(sc: &StudyConfig, c_total: usize, sweep: &SweepMode) -> Value {
+    let mut meta = journal_meta_fingerprint(sc, c_total);
+    if let Value::Object(fields) = &mut meta {
+        // Informational: records how the sweep was executed, but does
+        // not participate in the resume fingerprint (sweep modes are
+        // bit-identical, so mixing them across a resume is sound).
+        fields.push(("sweep".to_string(), Value::from(sweep.label())));
+    }
+    meta
+}
+
+/// Journal-meta comparison ignores informational fields (currently just
+/// `"sweep"`): they describe execution strategy, not numbers. This also
+/// keeps journals from before the sweep field resumable.
+fn strip_informational(meta: &Value) -> Value {
+    match meta {
+        Value::Object(fields) => Value::Object(
+            fields
+                .iter()
+                .filter(|(k, _)| k.as_str() != "sweep")
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn journal_meta_fingerprint(sc: &StudyConfig, c_total: usize) -> Value {
     let comp_sig: Vec<&str> = sc.space.components.iter().map(|c| c.name()).collect();
     let red_sig: Vec<&str> = sc.space.reducers.iter().map(|c| c.name()).collect();
     Value::object([
@@ -1227,6 +1358,159 @@ mod tests {
         };
         let v = quarantine_value(&entry);
         assert_eq!(quarantine_from_value(&v).unwrap(), entry);
+    }
+
+    // ---- prefix-memoized sweeps ------------------------------------------
+
+    /// The tentpole guarantee: the prefix-memoized executor and the naive
+    /// per-pipeline executor produce byte-identical measurements on the
+    /// quick space.
+    #[test]
+    fn memoized_and_naive_sweeps_are_bitwise_identical() {
+        let sc = StudyConfig::quick();
+        let memoized = run_campaign_with(&sc, &CampaignOptions::default()).unwrap();
+        let naive = run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                sweep: SweepMode::Naive,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_bitwise_equal(&memoized.measurements, &naive.measurements);
+
+        // Cache accounting sanity. Per unit: 2·nc·nr lookups; memoized
+        // mode misses once for s1 and once per s2 (no evictions at the
+        // default cap), naive mode misses every lookup.
+        let nc = sc.space.components.len() as u64;
+        let nr = sc.space.reducers.len() as u64;
+        let units = sc.files.len() as u64 * nc;
+        let lookups = units * 2 * nc * nr;
+        let m = memoized.cache;
+        assert_eq!(m.hits + m.misses, lookups);
+        assert_eq!(m.misses, units * (1 + nc));
+        assert_eq!(m.evictions, 0);
+        assert!(m.hit_rate() > 0.9, "hit rate {}", m.hit_rate());
+        assert!(m.peak_resident_bytes > 0);
+        let n = naive.cache;
+        assert_eq!(n.hits, 0);
+        assert_eq!(n.misses, lookups);
+        assert_eq!(n.hit_rate(), 0.0);
+    }
+
+    /// An eviction-heavy cache (cap 0 ⇒ only the live entry survives)
+    /// recomputes evicted prefixes — and still changes nothing.
+    #[test]
+    fn evicting_cache_is_still_bitwise_identical() {
+        let sc = tiny_config();
+        let reference = run_campaign(&sc);
+        let capped = run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                sweep: SweepMode::Memoized { cache_mb: 0 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_bitwise_equal(&reference, &capped.measurements);
+        assert!(capped.cache.evictions > 0, "cap 0 must evict");
+    }
+
+    /// Strip the `timing` field from a journal unit record — the only
+    /// part that may differ between sweep modes.
+    fn without_timing(v: &Value) -> Value {
+        match v {
+            Value::Object(fields) => Value::Object(
+                fields
+                    .iter()
+                    .filter(|(k, _)| k.as_str() != "timing")
+                    .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    #[test]
+    fn sweep_modes_write_identical_journal_units_modulo_timing() {
+        let sc = tiny_config();
+        let path_m = temp_journal("sweep-memo");
+        let path_n = temp_journal("sweep-naive");
+        run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                journal: Some(path_m.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                journal: Some(path_n.clone()),
+                sweep: SweepMode::Naive,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let jm = journal::load(&path_m).unwrap();
+        let jn = journal::load(&path_n).unwrap();
+        // Meta records differ only in the informational sweep label.
+        assert_ne!(jm.meta, jn.meta);
+        assert_eq!(strip_informational(&jm.meta), strip_informational(&jn.meta));
+        // Unit records are identical modulo timing. Journal order is
+        // completion order (nondeterministic under the pool), so compare
+        // keyed by (file_index, s1_index).
+        let key = |v: &Value| {
+            (
+                v.get("file_index").and_then(Value::as_u64).unwrap(),
+                v.get("s1_index").and_then(Value::as_u64).unwrap(),
+            )
+        };
+        let m: HashMap<_, _> = jm
+            .units
+            .iter()
+            .map(|u| (key(u), without_timing(u)))
+            .collect();
+        let n: HashMap<_, _> = jn
+            .units
+            .iter()
+            .map(|u| (key(u), without_timing(u)))
+            .collect();
+        assert_eq!(m.len(), n.len());
+        assert!(!m.is_empty());
+        assert_eq!(m, n);
+        std::fs::remove_file(&path_m).ok();
+        std::fs::remove_file(&path_n).ok();
+    }
+
+    /// Sweep mode is informational: a journal written by one mode resumes
+    /// under the other, recomputing nothing.
+    #[test]
+    fn resume_crosses_sweep_modes() {
+        let sc = tiny_config();
+        let path = temp_journal("sweep-cross");
+        let memoized = run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                journal: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let resumed = run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                journal: Some(path.clone()),
+                resume: true,
+                sweep: SweepMode::Naive,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.executed_units, 0);
+        assert_bitwise_equal(&memoized.measurements, &resumed.measurements);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod campaign;
 pub mod compare;
 pub mod figures;
 pub mod journal;
+pub mod prefix;
 pub mod progress;
 pub mod ratio;
 pub mod report;
@@ -36,6 +37,7 @@ pub use campaign::{
     QuarantineEntry, QuarantineReason, StudyConfig, UnitTiming,
 };
 pub use figures::{figure, render, to_csv, FigId, Figure, Group};
+pub use prefix::{CacheReport, CacheStats, SweepMode, DEFAULT_CACHE_MB};
 pub use progress::Heartbeat;
 pub use runner::{StageFault, Watchdog};
 pub use space::{PipelineId, Space};

@@ -12,7 +12,7 @@
 use std::time::{Duration, Instant};
 
 use lc_core::chunk::CHUNK_SIZE;
-use lc_core::{Component, ComponentKind, KernelStats};
+use lc_core::{Component, KernelStats};
 
 /// Chunked data flowing between pipeline stages. Chunks stay separate
 /// through the whole pipeline (each is one thread block's private data;
@@ -75,18 +75,13 @@ pub fn run_stage(component: &dyn Component, input: &ChunkedData, verify: bool) -
         applied: 0,
         skipped: 0,
     };
-    let is_reducer = component.kind() == ComponentKind::Reducer;
     let mut enc_buf: Vec<u8> = Vec::with_capacity(CHUNK_SIZE + CHUNK_SIZE / 2);
     let mut dec_buf: Vec<u8> = Vec::with_capacity(CHUNK_SIZE);
     for chunk in &input.chunks {
-        enc_buf.clear();
-        component.encode_chunk(chunk, &mut enc_buf, &mut outcome.enc);
-        let applied = !is_reducer || enc_buf.len() < chunk.len();
+        let applied = lc_core::encode_stage(component, chunk, &mut enc_buf, &mut outcome.enc);
         if applied {
             outcome.applied += 1;
-            dec_buf.clear();
-            component
-                .decode_chunk(&enc_buf, &mut dec_buf, &mut outcome.dec)
+            lc_core::decode_stage(component, &enc_buf, &mut dec_buf, &mut outcome.dec)
                 .unwrap_or_else(|e| {
                     panic!("{} failed to decode its own output: {e}", component.name())
                 });
@@ -214,6 +209,7 @@ pub fn run_stage_checked(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lc_core::ComponentKind;
 
     fn comp(name: &str) -> std::sync::Arc<dyn Component> {
         lc_components::lookup(name).expect(name)

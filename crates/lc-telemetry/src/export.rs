@@ -63,14 +63,21 @@ pub fn events_jsonl(events: &[Event]) -> String {
     out
 }
 
-/// Snapshot all registered counters and histograms as a JSON value:
-/// `{"counters": {...}, "histograms": {name: {count,sum,p50,p90,p99}}}`.
+/// Snapshot all registered counters, gauges, and histograms as a JSON
+/// value: `{"counters": {...}, "gauges": {name: {value,max}},
+/// "histograms": {name: {count,sum,p50,p90,p99}}}`.
 pub fn metrics_value() -> Value {
     let counters = Value::object(
         metrics::counter_snapshot()
             .into_iter()
             .map(|(n, v)| (n, Value::from(v))),
     );
+    let gauges = Value::object(metrics::gauge_snapshot().into_iter().map(|(n, v, max)| {
+        (
+            n,
+            Value::object([("value", Value::from(v)), ("max", Value::from(max))]),
+        )
+    }));
     let histograms = Value::object(metrics::histogram_snapshot().into_iter().map(|(n, s)| {
         (
             n,
@@ -83,7 +90,11 @@ pub fn metrics_value() -> Value {
             ]),
         )
     }));
-    Value::object([("counters", counters), ("histograms", histograms)])
+    Value::object([
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ use std::time::Instant;
 pub mod export;
 pub mod metrics;
 
-pub use metrics::{counter, histogram, Counter, Histogram, HistogramSummary};
+pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, HistogramSummary};
 
 /// Global on/off switch. All hot-path instrumentation reduces to one
 /// relaxed load of this flag when telemetry is disabled.

@@ -43,6 +43,44 @@ impl Counter {
     }
 }
 
+/// A last-value gauge that also tracks its high-water mark.
+///
+/// Counters only go up; a gauge models a level (bytes resident in a
+/// cache, queue depth) that rises and falls. `set` records the current
+/// level and folds it into the maximum, so a snapshot shows both where
+/// the level ended and how high it ever got.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// Record the current level (relaxed; only when telemetry is enabled).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The most recently recorded level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest level ever recorded.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The gauge's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
 /// Number of power-of-two buckets.
 pub const HISTOGRAM_BUCKETS: usize = 64;
 
@@ -150,6 +188,7 @@ impl Histogram {
 
 struct Registry {
     counters: Mutex<Vec<&'static Counter>>,
+    gauges: Mutex<Vec<&'static Gauge>>,
     histograms: Mutex<HashMap<String, &'static Histogram>>,
 }
 
@@ -157,6 +196,7 @@ fn registry() -> &'static Registry {
     static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
         histograms: Mutex::new(HashMap::new()),
     })
 }
@@ -179,6 +219,24 @@ pub fn counter(name: &'static str) -> &'static Counter {
     }));
     reg.push(c);
     c
+}
+
+/// Look up (or create) the gauge registered under `name`.
+///
+/// Gauges live for the process lifetime (they are leaked on first
+/// registration); resolve once and reuse the handle on hot paths.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry().gauges.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(g) = reg.iter().find(|g| g.name == name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge {
+        name,
+        value: AtomicU64::new(0),
+        max: AtomicU64::new(0),
+    }));
+    reg.push(g);
+    g
 }
 
 /// Look up (or create) the histogram registered under `name`.
@@ -209,6 +267,15 @@ pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
     out
 }
 
+/// Snapshot every registered gauge as `(name, value, max)`, name-sorted.
+pub fn gauge_snapshot() -> Vec<(&'static str, u64, u64)> {
+    let reg = registry().gauges.lock().unwrap_or_else(|p| p.into_inner());
+    let mut out: Vec<(&'static str, u64, u64)> =
+        reg.iter().map(|g| (g.name, g.get(), g.max())).collect();
+    out.sort_by_key(|(n, _, _)| *n);
+    out
+}
+
 /// Snapshot every registered histogram as `(name, summary)`, name-sorted.
 pub fn histogram_snapshot() -> Vec<(String, HistogramSummary)> {
     let reg = registry()
@@ -230,6 +297,15 @@ pub fn reset() {
         .iter()
     {
         c.value.store(0, Ordering::Relaxed);
+    }
+    for g in registry()
+        .gauges
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+    {
+        g.value.store(0, Ordering::Relaxed);
+        g.max.store(0, Ordering::Relaxed);
     }
     for h in registry()
         .histograms
@@ -319,6 +395,27 @@ mod tests {
         c.add(2);
         crate::disable();
         assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_high_water_mark() {
+        let _g = locked();
+        let g = gauge("test.gauge.level");
+        g.value.store(0, Ordering::Relaxed);
+        g.max.store(0, Ordering::Relaxed);
+        crate::disable();
+        g.set(100);
+        assert_eq!(g.get(), 0, "disabled gauge records nothing");
+        crate::enable();
+        g.set(100);
+        g.set(700);
+        g.set(300);
+        crate::disable();
+        assert_eq!(g.get(), 300);
+        assert_eq!(g.max(), 700);
+        let snap = gauge_snapshot();
+        let row = snap.iter().find(|(n, _, _)| *n == "test.gauge.level");
+        assert_eq!(row, Some(&("test.gauge.level", 300, 700)));
     }
 
     #[test]
