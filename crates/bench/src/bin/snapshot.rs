@@ -15,7 +15,9 @@ use lc_core::archive;
 use lc_data::{Scale, SP_FILES};
 use lc_json::Value;
 use lc_parallel::Pool;
-use lc_study::{run_campaign_with, CampaignOptions, Space, StudyConfig, SweepMode};
+use lc_study::{
+    run_campaign_with, CampaignOptions, PruneMode, PrunePlan, Space, StudyConfig, SweepMode,
+};
 
 const PIPELINE: &str = "DBEFS_4 DIFF_4 RZE_4";
 const REPS: usize = 9;
@@ -122,8 +124,30 @@ fn main() {
         mb / enc_tel_s
     );
 
+    // 4. Static analysis: contract-check the full registry and compute
+    //    the pruning plan over the paper's full 107,632-pipeline space,
+    //    so the analyzer's runtime and the pruned-pipeline count are
+    //    tracked across commits alongside the raw throughputs. (The
+    //    tiny bench space above has no commuting pairs by construction,
+    //    so its own prune report is always zero; the full space is what
+    //    the analyzer earns its keep on.)
+    let analysis = lc_analyze::analyze_registry();
+    let full = Space::full();
+    let full_reducers = full.reducers.len();
+    let plan = PrunePlan::for_space(&full, PruneMode::Commute);
+    let prune = plan.report(full_reducers);
+    eprintln!(
+        "analyze: {} checks on {} components in {:.1} ms; {} commuting pairs prune {} of {} pipelines",
+        analysis.checks,
+        analysis.components,
+        analysis.runtime.as_secs_f64() * 1e3,
+        prune.commuting_pairs,
+        prune.pruned_pipelines,
+        full.len(),
+    );
+
     let snapshot = Value::object([
-        ("schema", Value::from("lc-bench-campaign/v2")),
+        ("schema", Value::from("lc-bench-campaign/v3")),
         (
             "campaign",
             Value::object([
@@ -173,6 +197,32 @@ fn main() {
                 ("encode_disabled_mb_s", Value::from(mb / enc_s)),
                 ("encode_enabled_mb_s", Value::from(mb / enc_tel_s)),
                 ("enabled_overhead_pct", Value::from(overhead_pct)),
+            ]),
+        ),
+        (
+            "analyze",
+            Value::object([
+                ("components", Value::from(analysis.components as u64)),
+                ("checks", Value::from(analysis.checks as u64)),
+                ("violations", Value::from(analysis.diagnostics.len() as u64)),
+                (
+                    "runtime_ms",
+                    Value::from(analysis.runtime.as_secs_f64() * 1e3),
+                ),
+                ("full_space_pipelines", Value::from(full.len() as u64)),
+                (
+                    "full_space_commuting_pairs",
+                    Value::from(prune.commuting_pairs as u64),
+                ),
+                (
+                    "full_space_pruned_pipelines",
+                    Value::from(prune.pruned_pipelines as u64),
+                ),
+                ("plan_ms", Value::from(prune.analysis.as_secs_f64() * 1e3)),
+                (
+                    "bench_campaign_pruned_pipelines",
+                    Value::from(outcome.prune.pruned_pipelines as u64),
+                ),
             ]),
         ),
     ]);

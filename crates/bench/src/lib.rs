@@ -11,6 +11,8 @@
 //! | `figures`     | Figs. 2–15 letter-value series from a campaign |
 //! | `datagen`     | Table 3 synthetic input generation |
 
+#![forbid(unsafe_code)]
+
 use std::sync::OnceLock;
 
 use lc_data::{Scale, SP_FILES};

@@ -105,7 +105,7 @@ pub fn simulate_kernel(cfg: &SimConfig, blocks: &[BlockCost]) -> f64 {
         (0..slots.min(blocks.len())).map(|_| key(0.0)).collect();
     let mut makespan = 0.0f64;
     for b in blocks {
-        let Reverse(bits) = heap.pop().expect("slots");
+        let Reverse(bits) = heap.pop().expect("slots"); // invariant: heap holds one entry per slot
         let free_at = f64::from_bits(bits);
         let finish = free_at + duration(b);
         makespan = makespan.max(finish);

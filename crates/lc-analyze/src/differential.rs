@@ -1,0 +1,340 @@
+//! Differential property checks: every behavioral contract claim is
+//! executed against the real `encode_chunk`/`decode_chunk`.
+//!
+//! | rule id                        | claim checked                                        |
+//! |--------------------------------|------------------------------------------------------|
+//! | `differential.roundtrip`       | `decode(encode(x)) == x` on the whole corpus         |
+//! | `differential.size-preserving` | preserving components: `len(out) == len(in)`         |
+//! | `differential.expansion-bound` | reducers: `len(out) ≤ expansion.max_bytes(len(in))`  |
+//! | `differential.pointwise`       | `PointwiseWordMap`: output word `i` depends only on  |
+//! |                                | input word `i`; tail bytes pass through verbatim     |
+//! | `differential.permutation`     | `WordPermutation`: encode is a value-independent     |
+//! |                                | byte permutation that maps complete word-size fields |
+//! |                                | onto fields and fixes the trailing partial region    |
+//! | `differential.stats-length`    | commuting shapes: kernel statistics depend only on   |
+//! |                                | the input length, never the values                   |
+//! | `differential.inverse-pair`    | `inverse_of = B`: `B.encode(self.encode(x)) == x`    |
+
+use std::sync::Arc;
+
+use lc_core::{CommuteClass, Component, KernelStats, SizeClass};
+
+use crate::corpus;
+use crate::Diagnostic;
+
+fn encode(c: &dyn Component, input: &[u8]) -> (Vec<u8>, KernelStats) {
+    let mut out = Vec::new();
+    let mut stats = KernelStats::new();
+    c.encode_chunk(input, &mut out, &mut stats);
+    (out, stats)
+}
+
+pub(crate) fn check(
+    components: &[Arc<dyn Component>],
+    diagnostics: &mut Vec<Diagnostic>,
+    checks: &mut usize,
+) {
+    for c in components {
+        check_component(c.as_ref(), components, diagnostics, checks);
+    }
+}
+
+fn check_component(
+    c: &dyn Component,
+    set: &[Arc<dyn Component>],
+    diagnostics: &mut Vec<Diagnostic>,
+    checks: &mut usize,
+) {
+    let name = c.name();
+    let contract = c.contract();
+
+    // Roundtrip + size class over the full corpus. One diagnostic per
+    // rule per component is enough evidence; stop at the first witness.
+    let mut roundtrip_ok = true;
+    let mut size_ok = true;
+    'corpus: for &len in corpus::LENGTHS {
+        for input in corpus::inputs(len) {
+            *checks += 1;
+            let (enc, _) = encode(c, &input);
+            if size_ok {
+                match contract.size {
+                    SizeClass::Preserving if enc.len() != input.len() => {
+                        size_ok = false;
+                        diagnostics.push(Diagnostic::new(
+                            "differential.size-preserving",
+                            name,
+                            format!(
+                                "claims size-preserving but encoded {} bytes to {}",
+                                input.len(),
+                                enc.len()
+                            ),
+                        ));
+                    }
+                    SizeClass::Reducing
+                        if enc.len() > contract.expansion.max_bytes(input.len()) =>
+                    {
+                        size_ok = false;
+                        diagnostics.push(Diagnostic::new(
+                            "differential.expansion-bound",
+                            name,
+                            format!(
+                                "encoded {} bytes to {}, above the declared bound of {}",
+                                input.len(),
+                                enc.len(),
+                                contract.expansion.max_bytes(input.len())
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            if roundtrip_ok && contract.exact_inverse {
+                let mut dec = Vec::new();
+                match c.decode_chunk(&enc, &mut dec, &mut KernelStats::new()) {
+                    Err(e) => {
+                        roundtrip_ok = false;
+                        diagnostics.push(Diagnostic::new(
+                            "differential.roundtrip",
+                            name,
+                            format!("decode of own {len}-byte encoding failed: {e:?}"),
+                        ));
+                    }
+                    Ok(()) if dec != input => {
+                        roundtrip_ok = false;
+                        diagnostics.push(Diagnostic::new(
+                            "differential.roundtrip",
+                            name,
+                            format!(
+                                "decode(encode(x)) != x for a {len}-byte input \
+                                 (first divergence at byte {})",
+                                first_divergence(&input, &dec)
+                            ),
+                        ));
+                    }
+                    Ok(()) => {}
+                }
+            }
+            if !roundtrip_ok && !size_ok {
+                break 'corpus;
+            }
+        }
+    }
+
+    match contract.commute {
+        CommuteClass::PointwiseWordMap => {
+            check_pointwise(c, contract.word_size, diagnostics, checks);
+            check_stats_length_only(c, diagnostics, checks);
+        }
+        CommuteClass::WordPermutation => {
+            check_permutation(c, contract.word_size, diagnostics, checks);
+            check_stats_length_only(c, diagnostics, checks);
+        }
+        CommuteClass::Opaque => {}
+    }
+
+    if let Some(inv) = contract.inverse_of {
+        if let Some(other) = set.iter().find(|o| o.name() == inv) {
+            *checks += 1;
+            for input in corpus::inputs(255) {
+                let (mid, _) = encode(c, &input);
+                let (back, _) = encode(other.as_ref(), &mid);
+                if back != input {
+                    diagnostics.push(Diagnostic::new(
+                        "differential.inverse-pair",
+                        name,
+                        format!("{inv}.encode(self.encode(x)) != x"),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn first_divergence(a: &[u8], b: &[u8]) -> usize {
+    a.iter()
+        .zip(b)
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()))
+}
+
+/// `PointwiseWordMap` claim: encoding any single complete word alone
+/// yields exactly the corresponding slice of the whole-chunk encoding,
+/// and trailing incomplete-word bytes are passed through verbatim.
+fn check_pointwise(
+    c: &dyn Component,
+    w: usize,
+    diagnostics: &mut Vec<Diagnostic>,
+    checks: &mut usize,
+) {
+    let name = c.name();
+    for &len in corpus::PROBE_LENGTHS {
+        *checks += 1;
+        let x = &corpus::inputs(len)[0]; // high-entropy pattern
+        let (y, _) = encode(c, x);
+        if y.len() != x.len() {
+            return; // already diagnosed by the size check
+        }
+        let n = len / w;
+        for i in 0..n {
+            let word = &x[i * w..(i + 1) * w];
+            let (solo, _) = encode(c, word);
+            if solo != y[i * w..(i + 1) * w] {
+                diagnostics.push(Diagnostic::new(
+                    "differential.pointwise",
+                    name,
+                    format!(
+                        "output word {i} (len {len}) is not a pointwise function of \
+                         input word {i} at the declared word size {w}"
+                    ),
+                ));
+                return;
+            }
+        }
+        if y[n * w..] != x[n * w..] {
+            diagnostics.push(Diagnostic::new(
+                "differential.pointwise",
+                name,
+                format!("trailing {} tail bytes are not passed through", len - n * w),
+            ));
+            return;
+        }
+    }
+}
+
+/// `WordPermutation` claim: reconstruct the byte permutation π from
+/// unit-impulse probes, then verify (a) π is a bijection, (b) π maps
+/// every complete `w`-byte field onto a field, preserving intra-field
+/// byte order, (c) π fixes the trailing region past the last complete
+/// field, and (d) π explains the encoding of value-dense inputs (value
+/// independence).
+fn check_permutation(
+    c: &dyn Component,
+    w: usize,
+    diagnostics: &mut Vec<Diagnostic>,
+    checks: &mut usize,
+) {
+    let name = c.name();
+    let fail = |msg: String, diagnostics: &mut Vec<Diagnostic>| {
+        diagnostics.push(Diagnostic::new("differential.permutation", name, msg));
+    };
+    for &len in corpus::PROBE_LENGTHS {
+        *checks += 1;
+        let zeros = vec![0u8; len];
+        let (zeros_out, _) = encode(c, &zeros);
+        if zeros_out != zeros {
+            fail(
+                format!("encode does not fix the all-zero {len}-byte input"),
+                diagnostics,
+            );
+            return;
+        }
+        // Reconstruct π from impulses.
+        let mut pi = vec![usize::MAX; len];
+        for j in 0..len {
+            let mut probe = vec![0u8; len];
+            probe[j] = 0xFF;
+            let (out, _) = encode(c, &probe);
+            let hits: Vec<usize> = (0..len).filter(|&i| out[i] != 0).collect();
+            if hits.len() != 1 || out[hits[0]] != 0xFF {
+                fail(
+                    format!("impulse at byte {j} (len {len}) does not move to a single position"),
+                    diagnostics,
+                );
+                return;
+            }
+            pi[j] = hits[0];
+        }
+        let mut image = vec![false; len];
+        for &p in &pi {
+            image[p] = true;
+        }
+        if image.iter().any(|&b| !b) {
+            fail(
+                format!("reconstructed map at len {len} is not a bijection"),
+                diagnostics,
+            );
+            return;
+        }
+        // Field structure: complete w-byte fields map onto fields.
+        let n_fields = len / w;
+        for a in 0..n_fields {
+            let base = pi[a * w];
+            if base % w != 0 || (0..w).any(|b| pi[a * w + b] != base + b) {
+                fail(
+                    format!("field {a} (len {len}) is not mapped onto a whole {w}-byte field"),
+                    diagnostics,
+                );
+                return;
+            }
+        }
+        for (i, &p) in pi.iter().enumerate().skip(n_fields * w) {
+            if p != i {
+                fail(
+                    format!("trailing byte {i} (len {len}) is not fixed by the permutation"),
+                    diagnostics,
+                );
+                return;
+            }
+        }
+        // Value independence: π must explain dense inputs too.
+        for x in corpus::inputs(len).into_iter().take(3) {
+            let (y, _) = encode(c, &x);
+            if (0..len).any(|j| y[pi[j]] != x[j]) {
+                fail(
+                    format!(
+                        "encoding of a dense {len}-byte input disagrees with the \
+                             reconstructed permutation (value-dependent reordering)"
+                    ),
+                    diagnostics,
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Commuting shapes additionally promise that kernel statistics depend
+/// only on the input length — required for pruned pipelines to report
+/// identical simulated throughputs.
+fn check_stats_length_only(
+    c: &dyn Component,
+    diagnostics: &mut Vec<Diagnostic>,
+    checks: &mut usize,
+) {
+    for &len in corpus::PROBE_LENGTHS {
+        *checks += 1;
+        let inputs = corpus::inputs(len);
+        let (_, s0) = encode(c, &inputs[0]);
+        for x in &inputs[1..] {
+            let (_, s) = encode(c, x);
+            if s != s0 {
+                diagnostics.push(Diagnostic::new(
+                    "differential.stats-length",
+                    c.name(),
+                    format!(
+                        "kernel statistics vary across same-length ({len}-byte) inputs; \
+                         commuting shapes must have length-only statistics"
+                    ),
+                ));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_passes_all_differential_checks() {
+        let all: Vec<_> = lc_components::all().to_vec();
+        let mut diagnostics = Vec::new();
+        let mut checks = 0;
+        check(&all, &mut diagnostics, &mut checks);
+        assert!(diagnostics.is_empty(), "{diagnostics:#?}");
+        // 62 components × 13 lengths × 9 patterns, plus structure probes.
+        assert!(checks > 62 * 13 * 9);
+    }
+}

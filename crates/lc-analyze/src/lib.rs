@@ -1,0 +1,209 @@
+//! Static analysis of LC component contracts.
+//!
+//! Every component declares a machine-readable [`lc_core::Contract`]; this
+//! crate is what makes those declarations trustworthy. It checks them
+//! three ways:
+//!
+//! 1. **Structural rules** ([`structural`]) — facts decidable from the
+//!    contracts and trait metadata alone: unique names, contract/trait
+//!    agreement, reducer ⇔ size-reducing, expansion bounds compatible
+//!    with copy-on-expand, commute claims restricted to size-preserving
+//!    components.
+//! 2. **Differential property checks** ([`differential`]) — every claim
+//!    with behavioral content is executed against the real
+//!    `encode_chunk`/`decode_chunk` on an adversarial input corpus
+//!    ([`corpus`]): exact inversion, size preservation, expansion bounds,
+//!    pointwise-word-map locality, permutation structure, and
+//!    length-only kernel statistics.
+//! 3. **Self-mutation** ([`mutation`]) — seeded contract violations
+//!    (broken inverse, wrong word size, over-expansion) are injected into
+//!    otherwise-clean component sets; the harness proves the analyzer
+//!    flags every one of them, i.e. the checks are not vacuous.
+//!
+//! The analyzer's verdicts feed `lc-study::campaign`, which uses
+//! [`lc_core::Contract::commutes_with`] to deduplicate provably-equivalent
+//! pipelines before a sweep, and `lc analyze` in the CLI, which renders a
+//! [`Report`] as text or JSON and exits non-zero on any violation.
+
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod differential;
+pub mod mutation;
+pub mod structural;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lc_core::Component;
+use lc_json::Value;
+
+/// One contract violation found by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `"structural.contract-word-size"` or
+    /// `"differential.roundtrip"`.
+    pub rule: String,
+    /// Name of the offending component.
+    pub component: String,
+    /// Human-readable explanation with the concrete evidence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(
+        rule: impl Into<String>,
+        component: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            rule: rule.into(),
+            component: component.into(),
+            message: message.into(),
+        }
+    }
+
+    /// JSON object form (`rule`/`component`/`message`).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("rule", Value::from(self.rule.as_str())),
+            ("component", Value::from(self.component.as_str())),
+            ("message", Value::from(self.message.as_str())),
+        ])
+    }
+}
+
+/// Result of analyzing a component set.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of components analyzed.
+    pub components: usize,
+    /// Total individual checks executed (structural + differential).
+    pub checks: usize,
+    /// Provably-commuting unordered stage pairs found among the set.
+    pub commuting_pairs: usize,
+    /// Violations, in discovery order. Empty ⇔ the set is clean.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Wall time the analysis took.
+    pub runtime: std::time::Duration,
+}
+
+impl Report {
+    /// `true` when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// JSON form, stable field order, suitable for `lc analyze --format
+    /// json` and CI consumption.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("schema", Value::from("lc-analyze/v1")),
+            ("components", Value::from(self.components as u64)),
+            ("checks", Value::from(self.checks as u64)),
+            ("commuting_pairs", Value::from(self.commuting_pairs as u64)),
+            ("clean", Value::from(self.is_clean())),
+            ("runtime_ms", Value::from(self.runtime.as_secs_f64() * 1e3)),
+            (
+                "diagnostics",
+                Value::array(self.diagnostics.iter().map(Diagnostic::to_json)),
+            ),
+        ])
+    }
+}
+
+/// Analyze an arbitrary component set (the mutation harness injects
+/// doctored sets here; everything else goes through
+/// [`analyze_registry`]).
+pub fn analyze(components: &[Arc<dyn Component>]) -> Report {
+    let t0 = Instant::now();
+    let mut diagnostics = Vec::new();
+    let mut checks = 0usize;
+    structural::check(components, &mut diagnostics, &mut checks);
+    differential::check(components, &mut diagnostics, &mut checks);
+    let commuting_pairs = commuting_pairs(components);
+    Report {
+        components: components.len(),
+        checks,
+        commuting_pairs,
+        diagnostics,
+        runtime: t0.elapsed(),
+    }
+}
+
+/// Analyze the full shipped registry (all 62 components), adding the
+/// registry-level invariants on top of [`analyze`].
+pub fn analyze_registry() -> Report {
+    let components: Vec<Arc<dyn Component>> = lc_components::all().to_vec();
+    let mut report = analyze(&components);
+    report.checks += 1;
+    if components.len() != lc_components::COMPONENT_COUNT {
+        report.diagnostics.push(Diagnostic::new(
+            "structural.registry-count",
+            "(registry)",
+            format!(
+                "registry has {} components, expected {}",
+                components.len(),
+                lc_components::COMPONENT_COUNT
+            ),
+        ));
+    }
+    report
+}
+
+/// Count unordered component pairs whose contracts provably commute.
+pub fn commuting_pairs(components: &[Arc<dyn Component>]) -> usize {
+    let contracts: Vec<_> = components.iter().map(|c| c.contract()).collect();
+    let mut pairs = 0;
+    for i in 0..contracts.len() {
+        for j in i + 1..contracts.len() {
+            if contracts[i].commutes_with(&contracts[j]) {
+                pairs += 1;
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_registry_is_clean() {
+        let report = analyze_registry();
+        assert!(
+            report.is_clean(),
+            "registry violations: {:#?}",
+            report.diagnostics
+        );
+        assert_eq!(report.components, 62);
+        assert!(report.checks > 62, "checks actually ran");
+    }
+
+    #[test]
+    fn registry_commuting_pairs_are_mutator_tupl() {
+        // 12 mutators × 6 TUPL variants where the mutator word size
+        // divides the TUPL field size:
+        //   field 1 (TUPL2_1, TUPL4_1, TUPL8_1): w=1 mutators → TCMS_1,
+        //     TCNB_1 → 2 each = 6
+        //   field 2 (TUPL2_2, TUPL4_2): w ∈ {1,2} → TCMS/TCNB ×2 = 4 each = 8
+        //   field 4 (TUPL8_4): w ∈ {1,2,4} → TCMS/TCNB ×3 + DBEFS_4 +
+        //     DBESF_4 = 8
+        let report = analyze_registry();
+        assert_eq!(report.commuting_pairs, 22);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = analyze_registry();
+        let json = report.to_json();
+        assert_eq!(
+            json.get("schema").and_then(|v| v.as_str()),
+            Some("lc-analyze/v1")
+        );
+        assert_eq!(json.get("clean").and_then(|v| v.as_bool()), Some(true));
+        let rendered = json.pretty();
+        assert!(rendered.contains("commuting_pairs"));
+    }
+}

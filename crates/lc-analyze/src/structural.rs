@@ -1,0 +1,213 @@
+//! Structural rules: contract facts decidable without executing a single
+//! encode.
+//!
+//! | rule id                          | invariant                                             |
+//! |----------------------------------|-------------------------------------------------------|
+//! | `structural.unique-name`         | every component name appears exactly once             |
+//! | `structural.contract-kind`       | `contract().kind == kind()`                           |
+//! | `structural.contract-word-size`  | `contract().word_size == word_size()`, and ∈ {1,2,4,8}|
+//! | `structural.reducer-size-class`  | reducer ⇔ `SizeClass::Reducing` (reducer-only-last:   |
+//! |                                  | stage placement rests on exactly this fact)           |
+//! | `structural.preserving-exact`    | preserving components declare the exact bound `n`     |
+//! | `structural.expansion-bound`     | reducer bounds respect copy-on-expand: `max(n) ≥ n`,  |
+//! |                                  | bounded constant overhead at `n = 0`                  |
+//! | `structural.commute-class`       | commute claims only on size-preserving components     |
+//! | `structural.tuple-size`          | `tuple_size()` is ≥ 2 and divides the chunk           |
+//! | `structural.inverse-pair`        | `inverse_of` names a different component in the set   |
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lc_core::{CommuteClass, Component, ComponentKind, ExpansionBound, SizeClass, CHUNK_SIZE};
+
+use crate::Diagnostic;
+
+/// Largest constant (zero-input) overhead a reducer may declare. The real
+/// frames are under 70 bytes; anything bigger is a contract typo.
+const MAX_ZERO_OVERHEAD: usize = 4096;
+
+pub(crate) fn check(
+    components: &[Arc<dyn Component>],
+    diagnostics: &mut Vec<Diagnostic>,
+    checks: &mut usize,
+) {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for c in components {
+        *checks += 1;
+        *seen.entry(c.name()).or_insert(0) += 1;
+    }
+    for (name, count) in &seen {
+        if *count > 1 {
+            diagnostics.push(Diagnostic::new(
+                "structural.unique-name",
+                *name,
+                format!("registered {count} times; component names must be unique"),
+            ));
+        }
+    }
+
+    for c in components {
+        let name = c.name();
+        let contract = c.contract();
+
+        *checks += 1;
+        if contract.kind != c.kind() {
+            diagnostics.push(Diagnostic::new(
+                "structural.contract-kind",
+                name,
+                format!(
+                    "contract claims kind {:?} but the component reports {:?}",
+                    contract.kind,
+                    c.kind()
+                ),
+            ));
+        }
+
+        *checks += 1;
+        if contract.word_size != c.word_size() {
+            diagnostics.push(Diagnostic::new(
+                "structural.contract-word-size",
+                name,
+                format!(
+                    "contract claims word size {} but the component reports {}",
+                    contract.word_size,
+                    c.word_size()
+                ),
+            ));
+        } else if !matches!(c.word_size(), 1 | 2 | 4 | 8) {
+            diagnostics.push(Diagnostic::new(
+                "structural.contract-word-size",
+                name,
+                format!("word size {} is not one of 1/2/4/8", c.word_size()),
+            ));
+        }
+
+        *checks += 1;
+        let is_reducer = c.kind() == ComponentKind::Reducer;
+        let is_reducing = contract.size == SizeClass::Reducing;
+        if is_reducer != is_reducing {
+            diagnostics.push(Diagnostic::new(
+                "structural.reducer-size-class",
+                name,
+                format!(
+                    "kind {:?} with size class {:?}: only reducers may change the \
+                     chunk size (stage-3-only placement relies on this)",
+                    c.kind(),
+                    contract.size
+                ),
+            ));
+        }
+
+        *checks += 1;
+        match contract.size {
+            SizeClass::Preserving => {
+                if contract.expansion != ExpansionBound::exact() {
+                    diagnostics.push(Diagnostic::new(
+                        "structural.preserving-exact",
+                        name,
+                        "size-preserving component must declare the exact bound n",
+                    ));
+                }
+            }
+            SizeClass::Reducing => {
+                // Copy-on-expand means a reducer is allowed to expand and
+                // get skipped; a bound below n would claim it always
+                // shrinks, which no reducer can honor on random data.
+                for n in [0usize, 1, 7, CHUNK_SIZE] {
+                    if contract.expansion.max_bytes(n) < n {
+                        diagnostics.push(Diagnostic::new(
+                            "structural.expansion-bound",
+                            name,
+                            format!(
+                                "expansion bound {} < n at n = {n}: incompatible with \
+                                 copy-on-expand (reducers may expand before being skipped)",
+                                contract.expansion.max_bytes(n)
+                            ),
+                        ));
+                        break;
+                    }
+                }
+                if contract.expansion.max_bytes(0) > MAX_ZERO_OVERHEAD {
+                    diagnostics.push(Diagnostic::new(
+                        "structural.expansion-bound",
+                        name,
+                        format!(
+                            "constant overhead {} exceeds {MAX_ZERO_OVERHEAD} bytes",
+                            contract.expansion.max_bytes(0)
+                        ),
+                    ));
+                }
+            }
+        }
+
+        *checks += 1;
+        if contract.commute != CommuteClass::Opaque && contract.size != SizeClass::Preserving {
+            diagnostics.push(Diagnostic::new(
+                "structural.commute-class",
+                name,
+                format!(
+                    "commute class {:?} on a size-changing component: commutation \
+                     proofs require both stages to preserve the length",
+                    contract.commute
+                ),
+            ));
+        }
+
+        *checks += 1;
+        if let Some(k) = c.tuple_size() {
+            if k < 2 || (k * c.word_size()) > CHUNK_SIZE {
+                diagnostics.push(Diagnostic::new(
+                    "structural.tuple-size",
+                    name,
+                    format!(
+                        "tuple size {k} at word size {} is out of range",
+                        c.word_size()
+                    ),
+                ));
+            }
+        }
+
+        *checks += 1;
+        if let Some(inv) = contract.inverse_of {
+            if inv == name {
+                diagnostics.push(Diagnostic::new(
+                    "structural.inverse-pair",
+                    name,
+                    "a component cannot claim to be its own inverse pair",
+                ));
+            } else if !seen.contains_key(inv) {
+                diagnostics.push(Diagnostic::new(
+                    "structural.inverse-pair",
+                    name,
+                    format!("claimed inverse pair {inv:?} is not in the analyzed set"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_passes_all_structural_rules() {
+        let mut diagnostics = Vec::new();
+        let mut checks = 0;
+        let all: Vec<_> = lc_components::all().to_vec();
+        check(&all, &mut diagnostics, &mut checks);
+        assert!(diagnostics.is_empty(), "{diagnostics:#?}");
+        assert!(checks >= all.len() * 7);
+    }
+
+    #[test]
+    fn duplicate_registration_is_flagged() {
+        let mut all: Vec<_> = lc_components::all().to_vec();
+        all.push(all[0].clone());
+        let mut diagnostics = Vec::new();
+        check(&all, &mut diagnostics, &mut 0);
+        assert!(diagnostics
+            .iter()
+            .any(|d| d.rule == "structural.unique-name"));
+    }
+}

@@ -8,12 +8,14 @@
 //! lc gen-data   [--file NAME] [--scale D] [--out DIR]
 //! lc profile    FILE                              structural statistics
 //! lc simulate   --pipeline "…" [--file NAME] [--gpu NAME] [--compiler C] [--opt 1|3]
+//! lc analyze    [--format text|json] [--mutation]  contract static analysis
 //! ```
 //!
 //! Failures print a single structured line, `error: kind=<kind>
 //! exit=<code> <message>`, and the exit code distinguishes the cause:
 //! 1 usage/I-O, 2 corrupt archive ([`lc_core::DecodeError`]), 3 salvage
-//! completed but lost chunks, 4 decoded size above `--max-decoded-bytes`.
+//! completed but lost chunks, 4 decoded size above `--max-decoded-bytes`,
+//! 6 contract violations found by `lc analyze`.
 //!
 //! Every subcommand accepts `--trace-out PATH` (Chrome trace-event JSON,
 //! loadable in Perfetto / `chrome://tracing`) and `--metrics-out PATH`
@@ -38,6 +40,8 @@ const EXIT_DECODE: u8 = 2;
 const EXIT_SALVAGE_LOSSES: u8 = 3;
 /// The archive declares more decoded bytes than `--max-decoded-bytes`.
 const EXIT_LIMIT: u8 = 4;
+/// `lc analyze` found contract violations.
+const EXIT_ANALYZE: u8 = 6;
 
 /// A classified CLI failure: `kind` and `exit` make scripted callers'
 /// error handling exact; `msg` is for the human.
@@ -117,6 +121,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "bench-components" => cmd_bench_components(rest),
         "verify" => cmd_verify(rest),
+        "analyze" => cmd_analyze(rest),
         "--help" | "-h" | "help" => {
             println!(
                 "lc — LC compression framework reproduction\n\
@@ -129,11 +134,13 @@ fn main() -> ExitCode {
                  profile    FILE\n  \
                  simulate   --pipeline P [--file NAME] [--gpu NAME] [--compiler nvcc|clang|hipcc] [--opt 1|3]\n  \
                  bench-components [--file NAME]  CPU throughput of every component\n  \
-                 verify     ARCHIVE [ORIGINAL]    check an archive decodes (and matches ORIGINAL)\n\
+                 verify     ARCHIVE [ORIGINAL]    check an archive decodes (and matches ORIGINAL)\n  \
+                 analyze    [--format text|json] [--mutation]  check every component contract\n\
                  aliases: pack = compress, unpack = decompress\n\
                  telemetry: any subcommand takes --trace-out PATH (Chrome trace JSON)\n\
                  and --metrics-out PATH (counter/histogram summary JSON)\n\
-                 exit codes: 0 ok, 1 usage/io, 2 corrupt archive, 3 salvage with losses, 4 size limit"
+                 exit codes: 0 ok, 1 usage/io, 2 corrupt archive, 3 salvage with losses, \
+                 4 size limit, 6 contract violations"
             );
             Ok(())
         }
@@ -470,6 +477,89 @@ fn cmd_verify(rest: &[String]) -> Result<(), CliError> {
             )
             .into());
         }
+    }
+    Ok(())
+}
+
+/// `lc analyze [--format text|json] [--mutation]` — run the contract
+/// static analyzer over the shipped registry: structural rules plus
+/// differential property checks of every contract claim against the
+/// real encode/decode kernels. `--mutation` additionally runs the
+/// self-mutation harness (seeded contract violations that the analyzer
+/// must catch — proof the checks are not vacuous). Any violation turns
+/// the exit code to [`EXIT_ANALYZE`].
+fn cmd_analyze(rest: &[String]) -> Result<(), CliError> {
+    let format = flag_value(rest, "--format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("--format must be text or json, got {format:?}").into());
+    }
+    let report = lc_analyze::analyze_registry();
+    let run_mutation = rest.iter().any(|a| a == "--mutation");
+    let mutation = run_mutation.then(lc_analyze::mutation::run_harness);
+    let missed: Vec<String> = mutation
+        .iter()
+        .flatten()
+        .filter(|c| !c.caught)
+        .map(|c| format!("{} + {:?}", c.target, c.mutation))
+        .collect();
+
+    if format == "json" {
+        let mut json = report.to_json();
+        if let Some(cases) = &mutation {
+            let caught = cases.iter().filter(|c| c.caught).count();
+            if let lc_json::Value::Object(fields) = &mut json {
+                fields.push((
+                    "mutation".to_string(),
+                    lc_json::Value::object([
+                        ("seeded", lc_json::Value::from(cases.len() as u64)),
+                        ("caught", lc_json::Value::from(caught as u64)),
+                        (
+                            "missed",
+                            lc_json::Value::array(
+                                missed.iter().map(|m| lc_json::Value::from(m.as_str())),
+                            ),
+                        ),
+                    ]),
+                ));
+            }
+        }
+        println!("{}", json.pretty());
+    } else {
+        println!(
+            "analyzed {} components: {} checks, {} provably-commuting stage pairs, {:.0} ms",
+            report.components,
+            report.checks,
+            report.commuting_pairs,
+            report.runtime.as_secs_f64() * 1e3
+        );
+        for d in &report.diagnostics {
+            println!("violation [{}] {}: {}", d.rule, d.component, d.message);
+        }
+        if let Some(cases) = &mutation {
+            let caught = cases.iter().filter(|c| c.caught).count();
+            println!(
+                "mutation harness: {caught}/{} seeded violations detected",
+                cases.len()
+            );
+            for m in &missed {
+                println!("undetected mutant: {m}");
+            }
+        }
+        if report.is_clean() && missed.is_empty() {
+            println!("clean: every contract holds");
+        }
+    }
+
+    if !report.is_clean() || !missed.is_empty() {
+        return Err(CliError {
+            kind: "analyze",
+            exit: EXIT_ANALYZE,
+            msg: format!(
+                "{} contract violation(s), {} undetected mutant(s)",
+                report.diagnostics.len(),
+                missed.len()
+            ),
+        });
     }
     Ok(())
 }

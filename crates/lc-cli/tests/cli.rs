@@ -447,3 +447,62 @@ fn max_decoded_bytes_guards_against_bombs_with_exit_4() {
     );
     assert_eq!(std::fs::read(&restored).unwrap(), data);
 }
+
+#[test]
+fn analyze_reports_clean_registry_in_both_formats() {
+    let out = lc().arg("analyze").output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("analyzed 62 components"), "{text}");
+    assert!(text.contains("clean: every contract holds"), "{text}");
+    assert!(text.contains("22 provably-commuting stage pairs"), "{text}");
+
+    let out = lc().args(["analyze", "--format", "json"]).output().unwrap();
+    assert!(out.status.success());
+    let json = lc_json::Value::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(
+        json.get("schema").and_then(lc_json::Value::as_str),
+        Some("lc-analyze/v1")
+    );
+    assert_eq!(
+        json.get("clean").and_then(lc_json::Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        json.get("components").and_then(lc_json::Value::as_u64),
+        Some(62)
+    );
+}
+
+#[test]
+fn analyze_mutation_harness_catches_all_seeded_violations() {
+    let out = lc()
+        .args(["analyze", "--format", "json", "--mutation"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = lc_json::Value::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let mutation = json.get("mutation").unwrap();
+    let seeded = mutation.get("seeded").and_then(lc_json::Value::as_u64);
+    assert_eq!(
+        seeded,
+        mutation.get("caught").and_then(lc_json::Value::as_u64)
+    );
+    assert!(seeded.unwrap() >= 12, "at least 12 seeded violations");
+}
+
+#[test]
+fn analyze_rejects_unknown_format() {
+    let out = lc().args(["analyze", "--format", "yaml"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("kind=usage"), "{err}");
+}

@@ -11,7 +11,8 @@
 //! the end of the chunk.
 
 use lc_core::{
-    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+    CommuteClass, Complexity, Component, ComponentKind, Contract, DecodeError, KernelStats,
+    SpanClass, WorkClass,
 };
 
 use crate::util::codec;
@@ -75,6 +76,15 @@ macro_rules! mutator {
             }
             fn complexity(&self) -> Complexity {
                 MUTATOR_COMPLEXITY
+            }
+            fn contract(&self) -> Contract {
+                // Every mutator maps complete W-byte words independently
+                // and passes the tail through: a pointwise word map.
+                Contract::preserving(
+                    ComponentKind::Mutator,
+                    W,
+                    CommuteClass::PointwiseWordMap,
+                )
             }
             fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
                 mutate::<W>(input, out, stats, Self::OPS_PER_WORD, codec::$enc::<W>);

@@ -9,7 +9,8 @@
 //! decode throughputs (paper Fig. 7).
 
 use lc_core::{
-    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+    CommuteClass, Complexity, Component, ComponentKind, Contract, DecodeError, KernelStats,
+    SpanClass, WorkClass,
 };
 
 use crate::util::codec;
@@ -133,6 +134,12 @@ macro_rules! predictor {
             }
             fn complexity(&self) -> Complexity {
                 Complexity::new(WorkClass::N, SpanClass::Const, WorkClass::N, SpanClass::LogN)
+            }
+            fn contract(&self) -> Contract {
+                // Each residual depends on its *left neighbor*, not just
+                // its own word — reordering words changes the residuals,
+                // so predictors claim no commuting structure.
+                Contract::preserving(ComponentKind::Predictor, W, CommuteClass::Opaque)
             }
             fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
                 diff_encode::<W>(input, out, stats, $residual);

@@ -17,7 +17,8 @@
 //! ```
 
 use lc_core::{
-    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+    Complexity, Component, ComponentKind, Contract, DecodeError, ExpansionBound, KernelStats,
+    SpanClass, WorkClass,
 };
 
 use super::{read_frame, write_frame};
@@ -88,6 +89,13 @@ macro_rules! clog_like {
                     WorkClass::N,
                     SpanClass::Const,
                 )
+            }
+            fn contract(&self) -> Contract {
+                // Packed widths never exceed the word width, so the body
+                // is at most n·W bytes (+1 padding); the fixed header is
+                // 32 width bytes (+4 HCLOG flag bytes) and the frame adds
+                // ≤ W + 3. Declared as max_bytes(len) = len + 64.
+                Contract::reducer(W, ExpansionBound::affine(1, 1, 64))
             }
             fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
                 encode::<W>(input, out, stats, $hybrid);

@@ -23,7 +23,8 @@
 //! ```
 
 use lc_core::{
-    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+    Complexity, Component, ComponentKind, Contract, DecodeError, ExpansionBound, KernelStats,
+    SpanClass, WorkClass,
 };
 
 use super::rre::{read_bitmap_block, write_bitmap_block};
@@ -197,7 +198,7 @@ fn decode<const W: usize>(
                 Upper::Zero => 0,
             }
         } else {
-            *next_kept.next().expect("kept count matches bitmap")
+            *next_kept.next().expect("kept count matches bitmap") // invariant: kept count derives from this bitmap
         };
         uppers.push(u);
         prev_upper = u;
@@ -238,6 +239,13 @@ macro_rules! rare_like {
             }
             fn complexity(&self) -> Complexity {
                 Complexity::new(WorkClass::N, SpanClass::LogN, WorkClass::N, SpanClass::LogN)
+            }
+            fn contract(&self) -> Contract {
+                // Upper + lower bit streams together hold ≤ 8·W bits per
+                // word; the upper-part bitmap adds ≤ n/7 bytes and the `k`
+                // byte, stream padding, and frame are constant. Declared
+                // as max_bytes(len) = len·(W+2)/W + 64.
+                Contract::reducer(W, ExpansionBound::affine(W as u64 + 2, W as u64, 64))
             }
             fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
                 encode::<W>(input, out, stats, $upper);

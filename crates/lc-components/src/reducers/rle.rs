@@ -23,7 +23,8 @@
 //! the Fig. 11 effect.
 
 use lc_core::{
-    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+    Complexity, Component, ComponentKind, Contract, DecodeError, ExpansionBound, KernelStats,
+    SpanClass, WorkClass,
 };
 
 use super::{account_compaction_scan, read_frame, write_frame};
@@ -58,6 +59,16 @@ impl<const W: usize> Component for Rle<W> {
             WorkClass::N,
             SpanClass::Const,
         )
+    }
+
+    fn contract(&self) -> Contract {
+        // Worst case, every record covers one run word (run=1, lits=0 —
+        // only possible when a run of ≥ 2 follows, so ≥ 1.5 words/record
+        // on average, but ≤ n records is the safe count): each record
+        // stores ≤ covered_words·W value bytes plus ≤ 6 varint bytes, so
+        // body ≤ n·W + 6n and the frame adds ≤ W + 3 bytes. Declared as
+        // max_bytes(len) = len·(W+6)/W + 16.
+        Contract::reducer(W, ExpansionBound::affine(W as u64 + 6, W as u64, 16))
     }
 
     fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {

@@ -21,7 +21,8 @@
 //! ```
 
 use lc_core::{
-    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+    Complexity, Component, ComponentKind, Contract, DecodeError, ExpansionBound, KernelStats,
+    SpanClass, WorkClass,
 };
 
 use super::{account_compaction_scan, read_frame, write_frame};
@@ -234,6 +235,13 @@ macro_rules! rre_like {
             }
             fn complexity(&self) -> Complexity {
                 Complexity::new(WorkClass::N, SpanClass::LogN, WorkClass::N, SpanClass::LogN)
+            }
+            fn contract(&self) -> Contract {
+                // Worst case nothing is eliminated: all n·W word bytes
+                // survive and the recursive bitmap costs ≤ n/8 · 8/7 bytes
+                // plus per-level varints — well under 2 extra bytes per
+                // word. Declared as max_bytes(len) = len·(W+2)/W + 64.
+                Contract::reducer(W, ExpansionBound::affine(W as u64 + 2, W as u64, 64))
             }
             fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
                 encode::<W>(input, out, stats, $mark);

@@ -15,7 +15,8 @@
 //! unchanged.
 
 use lc_core::{
-    Complexity, Component, ComponentKind, DecodeError, KernelStats, SpanClass, WorkClass,
+    CommuteClass, Complexity, Component, ComponentKind, Contract, DecodeError, KernelStats,
+    SpanClass, WorkClass,
 };
 
 use crate::util::bitpack::{BitReader, BitWriter};
@@ -69,6 +70,11 @@ impl<const W: usize> Component for Bit<W> {
             WorkClass::NLogW,
             SpanClass::LogW,
         )
+    }
+    fn contract(&self) -> Contract {
+        // BIT permutes *bits*, not whole words — no word-granular
+        // structure to claim, so it never participates in pruning.
+        Contract::preserving(ComponentKind::Shuffler, W, CommuteClass::Opaque)
     }
     fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
         let n = words::count::<W>(input.len());
@@ -152,6 +158,13 @@ impl<const K: usize, const W: usize> Component for Tupl<K, W> {
             WorkClass::N,
             SpanClass::Const,
         )
+    }
+    fn contract(&self) -> Contract {
+        // AoS→SoA is a value-independent permutation of W-byte fields
+        // within each complete K·W-byte tuple; the incomplete trailing
+        // tuple passes through. A pointwise map on w-byte words with
+        // w | W therefore commutes with it (see `lc_core::contract`).
+        Contract::preserving(ComponentKind::Shuffler, W, CommuteClass::WordPermutation)
     }
     fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
         let tuple_bytes = K * W;

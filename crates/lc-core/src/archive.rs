@@ -250,7 +250,7 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
     let payload_total = if n_chunks == 0 { 0 } else { scan.total() } as usize;
     let outcomes: Vec<ChunkOutcome> = outcomes
         .into_iter()
-        .map(|o| o.expect("chunk encoded"))
+        .map(|o| o.expect("chunk encoded")) // invariant: phase 1 fills every slot
         .collect();
 
     // Phase 2: serialize header + chunk table, then parallel payload copy.

@@ -5,6 +5,7 @@
 //! of output data that feeds the next stage (paper §1, Fig. 1). Only
 //! reducers may change the data size.
 
+use crate::contract::Contract;
 use crate::error::DecodeError;
 use crate::stats::KernelStats;
 
@@ -122,6 +123,15 @@ pub trait Component: Send + Sync {
 
     /// Work/span complexities (paper Table 2).
     fn complexity(&self) -> Complexity;
+
+    /// Machine-readable contract (see [`crate::contract`]). The default is
+    /// the conservative inference from `kind()`/`word_size()` — correct
+    /// for any well-behaved component but claiming no algebraic structure;
+    /// library components override it with precise claims, every one of
+    /// which `lc-analyze` checks against the implementation.
+    fn contract(&self) -> Contract {
+        Contract::inferred(self.kind(), self.word_size())
+    }
 
     /// Transform one chunk for compression. Appends the transformed bytes
     /// to `out` and accumulates kernel counters into `stats`.

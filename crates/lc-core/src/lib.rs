@@ -25,6 +25,7 @@ pub mod archive;
 pub mod checksum;
 pub mod chunk;
 pub mod component;
+pub mod contract;
 pub mod error;
 pub mod pipeline;
 pub mod scratch;
@@ -35,6 +36,7 @@ pub mod verify;
 pub use archive::{decode, decode_with_stats, encode, encode_with_stats, Archive, EncodeResult};
 pub use chunk::CHUNK_SIZE;
 pub use component::{Complexity, Component, ComponentKind, SpanClass, WorkClass};
+pub use contract::{CommuteClass, Contract, ExpansionBound, SizeClass};
 pub use error::{DecodeError, PipelineError};
 pub use pipeline::Pipeline;
 pub use scratch::{decode_stage, encode_stage, Scratch};

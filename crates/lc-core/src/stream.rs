@@ -115,12 +115,12 @@ impl<'p> StreamEncoder<'p> {
         let mut batch = Vec::with_capacity(window.len() / 2 + n_chunks * 5 + 4);
         batch.extend_from_slice(&(n_chunks as u32).to_le_bytes());
         for r in &results {
-            let (data, mask) = r.as_ref().expect("chunk encoded");
+            let (data, mask) = r.as_ref().expect("chunk encoded"); // invariant: the pool fills every slot
             batch.push(*mask);
             batch.extend_from_slice(&(data.len() as u32).to_le_bytes());
         }
         for r in &results {
-            batch.extend_from_slice(&r.as_ref().unwrap().0);
+            batch.extend_from_slice(&r.as_ref().unwrap().0); // invariant: checked Some above
         }
         output.write_all(&batch)?;
         Ok(batch.len() as u64)
@@ -251,7 +251,7 @@ where
             });
         }
         for d in decoded {
-            let chunk = d.expect("decoded").map_err(StreamError::Decode)?;
+            let chunk = d.expect("decoded").map_err(StreamError::Decode)?; // invariant: the pool fills every slot
             total_out += chunk.len() as u64;
             crc.update(&chunk);
             output.write_all(&chunk)?;

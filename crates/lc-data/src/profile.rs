@@ -25,7 +25,7 @@ pub struct Profile {
 /// Compute a [`Profile`] of `data` (interpreted as little-endian f32s).
 pub fn profile(data: &[u8]) -> Profile {
     let n = data.len() / 4;
-    let word = |i: usize| u32::from_le_bytes(data[i * 4..i * 4 + 4].try_into().unwrap());
+    let word = |i: usize| u32::from_le_bytes(data[i * 4..i * 4 + 4].try_into().unwrap()); // invariant: slice is exactly 4 bytes
     let mut word_repeats = 0usize;
     let mut zeros = 0usize;
     let mut abs_delta = 0.0f64;

@@ -331,7 +331,7 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits"); // invariant: only ASCII bytes were accumulated
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| self.err(format!("invalid number '{text}'")))
@@ -385,7 +385,7 @@ impl Parser<'_> {
                     // bytes are valid UTF-8 by construction).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("peeked non-empty");
+                    let c = rest.chars().next().expect("peeked non-empty"); // invariant: peek() saw a byte
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -192,7 +192,7 @@ impl Pool {
             });
         }
         out.into_iter()
-            .map(|v| v.expect("every slot filled by run()"))
+            .map(|v| v.expect("every slot filled by run()")) // invariant: run() fills every slot
             .collect()
     }
 
@@ -252,11 +252,11 @@ impl Pool {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("pool worker panicked"))
+                .map(|h| h.join().expect("pool worker panicked")) // invariant: deliberate panic propagation
                 .collect()
         });
         let mut iter = partials.into_iter();
-        let first = iter.next().expect("at least one worker");
+        let first = iter.next().expect("at least one worker"); // invariant: pool has >= 1 worker
         iter.fold(first, merge)
     }
 }

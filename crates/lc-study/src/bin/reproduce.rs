@@ -33,6 +33,12 @@
 //! 512 MB campaign-wide). `--prefix-cache-mb MB` resizes the budget;
 //! `--no-prefix-cache` re-executes every stage of every pipeline from
 //! scratch (the naive baseline the cache is benchmarked against).
+//!
+//! Static analysis: the campaign deduplicates provably-equivalent
+//! pipelines up front from the component contracts (commuting mutator ×
+//! tuple-shuffler stage pairs — 616 of the 107,632 full-space pipelines
+//! are measured as copies of their representative ordering).
+//! `--no-analyze-prune` restores the paper's full enumeration.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -41,7 +47,8 @@ use std::time::{Duration, Instant};
 use gpu_sim::OptLevel;
 use lc_data::Scale;
 use lc_study::{
-    figures, report, run_campaign_with, CampaignOptions, FigId, Space, StudyConfig, SweepMode,
+    figures, report, run_campaign_with, CampaignOptions, FigId, PruneMode, Space, StudyConfig,
+    SweepMode,
 };
 
 /// Exit code when work units were quarantined (run completed, but some
@@ -66,6 +73,7 @@ struct Args {
     quiet: bool,
     telemetry_dir: Option<PathBuf>,
     sweep: SweepMode,
+    prune: PruneMode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -87,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         quiet: false,
         telemetry_dir: None,
         sweep: SweepMode::default(),
+        prune: PruneMode::default(),
     };
     // Heartbeat defaults on for interactive runs; --quiet suppresses it,
     // --heartbeat forces it (e.g. for log-captured batch runs).
@@ -164,6 +173,7 @@ fn parse_args() -> Result<Args, String> {
                 args.sweep = SweepMode::Memoized { cache_mb: mb };
             }
             "--no-prefix-cache" => args.sweep = SweepMode::Naive,
+            "--no-analyze-prune" => args.prune = PruneMode::Off,
             "--unit-deadline" => {
                 let secs: u64 = value("--unit-deadline")?
                     .parse()
@@ -178,7 +188,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: reproduce [--figure all|2,3,…] [--tables] [--scale D] [--full] \
                      [--threads N] [--families A,B,…] [--files f,…] [--verify] [--out DIR] \
                      [--resume] [--unit-deadline SECS] [--heartbeat SECS] [--quiet] \
-                     [--telemetry-dir DIR] [--prefix-cache-mb MB] [--no-prefix-cache]"
+                     [--telemetry-dir DIR] [--prefix-cache-mb MB] [--no-prefix-cache] \
+                     [--no-analyze-prune]"
                 );
                 std::process::exit(0);
             }
@@ -269,6 +280,7 @@ fn main() -> ExitCode {
         isolate: true,
         heartbeat: args.heartbeat,
         sweep: args.sweep,
+        prune: args.prune,
     };
     let outcome = match run_campaign_with(&sc, &opts) {
         Ok(o) => o,
@@ -299,6 +311,18 @@ fn main() -> ExitCode {
                 "prefix cache: disabled ({} stage evaluations recomputed)",
                 outcome.cache.misses
             ),
+        }
+        match args.prune {
+            PruneMode::Commute => eprintln!(
+                "analyze prune: {} commuting stage pairs, {} pipelines deduplicated \
+                 (plan in {:.1} ms; --no-analyze-prune for full enumeration)",
+                outcome.prune.commuting_pairs,
+                outcome.prune.pruned_pipelines,
+                outcome.prune.analysis.as_secs_f64() * 1e3
+            ),
+            PruneMode::Off => {
+                eprintln!("analyze prune: off (paper-faithful full enumeration)")
+            }
         }
     }
 

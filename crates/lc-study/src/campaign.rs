@@ -41,6 +41,7 @@ use lc_data::{Scale, SpFile, SP_FILES};
 use crate::journal::{self, JournalWriter};
 use crate::prefix::{CacheReport, CacheStats, PrefixEntry, SweepMode, UnitPrefixCache};
 use crate::progress::Heartbeat;
+use crate::prune::{PruneMode, PrunePlan, PruneReport};
 use crate::runner::{run_stage_checked, ChunkedData, StageFault, Watchdog};
 use crate::space::Space;
 
@@ -180,7 +181,7 @@ pub fn median_of_three_runs(t: f64, seed: u64) -> f64 {
         let h = splitmix64(seed ^ (k as u64).wrapping_mul(0xA24BAED4963EE407));
         *e = ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.008;
     }
-    eps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    eps.sort_by(|a, b| a.partial_cmp(b).unwrap()); // invariant: eps values are finite
     t * (1.0 + eps[1])
 }
 
@@ -214,6 +215,12 @@ pub struct CampaignOptions {
     /// default) or naive per-pipeline recomputation. Both produce
     /// bit-identical measurements; see [`crate::prefix`].
     pub sweep: SweepMode,
+    /// Whether to statically deduplicate provably-equivalent pipelines
+    /// before the sweep (on by default; see [`crate::prune`]). Unlike
+    /// `sweep`, this changes journaled rows — pruned slots are written
+    /// as zeros and filled from their representative at aggregation —
+    /// so the mode is part of the journal resume fingerprint.
+    pub prune: PruneMode,
 }
 
 /// Wall-clock timing of one work unit, recorded for every unit (healthy
@@ -275,6 +282,9 @@ pub struct CampaignOutcome {
     /// Prefix-cache totals for the run (all zeros when nothing executed;
     /// in naive mode every lookup is a miss).
     pub cache: CacheReport,
+    /// Contract-driven pruning summary: which part of the enumeration
+    /// was proven redundant and copied instead of measured.
+    pub prune: PruneReport,
 }
 
 type UnitRows = (Vec<f64>, Vec<f64>, Vec<u64>);
@@ -293,7 +303,7 @@ struct FileCtx<'a> {
 /// Run the campaign with default options (no journal, fail-fast).
 pub fn run_campaign(sc: &StudyConfig) -> Measurements {
     run_campaign_with(sc, &CampaignOptions::default())
-        .expect("campaign without journal cannot fail recoverably")
+        .expect("campaign without journal cannot fail recoverably") // invariant: no journal => no recoverable error
         .measurements
 }
 
@@ -331,8 +341,19 @@ pub fn run_campaign_with(
     let stride = nc * nr;
     let p_total = sc.space.len();
     let c_total = configs.len();
-    let meta = journal_meta(sc, c_total, &opts.sweep);
+    let meta = journal_meta(sc, c_total, &opts.sweep, opts.prune);
     let cache_stats = CacheStats::default();
+
+    // Contract-driven dedup: enumerate the provably-commuting stage
+    // pairs once, before any unit runs. With PruneMode::Off the plan is
+    // empty and the sweep is the paper's full enumeration.
+    let plan = PrunePlan::for_space(&sc.space, opts.prune);
+    if lc_telemetry::enabled() {
+        lc_telemetry::counter("campaign.analyze.commuting_pairs").add(plan.dups.len() as u64);
+        lc_telemetry::counter("campaign.analyze.pruned_pipelines")
+            .add(plan.pruned_pipelines(nr) as u64);
+        lc_telemetry::counter("campaign.analyze.plan_us").add(plan.analysis.as_micros() as u64);
+    }
 
     // Resume: load prior units and quarantine records, keyed by
     // (file index, stage-1 index).
@@ -443,7 +464,7 @@ pub fn run_campaign_with(
         let record_err = |e: String| {
             journal_err
                 .lock()
-                .expect("journal error mutex")
+                .expect("journal error mutex") // invariant: holders never panic
                 .get_or_insert(e);
         };
         // The Err variant is boxed: quarantine is the cold path, and the
@@ -469,6 +490,7 @@ pub fn run_campaign_with(
                 &mut stage_ns,
                 &opts.sweep,
                 &cache_stats,
+                &plan,
             );
             let timing = UnitTiming {
                 elapsed_ms: unit_start.elapsed().as_millis() as u64,
@@ -521,6 +543,7 @@ pub fn run_campaign_with(
             }
             out
         });
+        // invariant: holders never panic
         if let Some(e) = journal_err.into_inner().expect("journal error mutex") {
             return Err(e);
         }
@@ -578,6 +601,27 @@ pub fn run_campaign_with(
         }
     }
 
+    // Fill pruned slots from their representatives. The commutation
+    // proof (Contract::commutes_with, differentially validated in
+    // lc-analyze) guarantees both stage orders produce identical
+    // composed outputs and length-only kernel statistics, so the
+    // representative's accumulated sums *are* the pruned pipeline's
+    // numbers — modulo the per-pipeline jitter seed, whose run-to-run
+    // noise the pruned slot inherits from its representative.
+    for dup in &plan.dups {
+        let (pj, pi) = dup.pruned;
+        let (ri, rj) = dup.representative;
+        for r in 0..nr {
+            let p = (pj * nc + pi) * nr + r;
+            let q = (ri * nc + rj) * nr + r;
+            for c in 0..c_total {
+                enc_log[c * p_total + p] = enc_log[c * p_total + q];
+                dec_log[c * p_total + p] = dec_log[c * p_total + q];
+            }
+            compressed[p] = compressed[q];
+        }
+    }
+
     let n_files = sc.files.len() as f64;
     let finish =
         |log: Vec<f64>| -> Vec<f64> { log.into_iter().map(|s| (s / n_files).exp()).collect() };
@@ -596,6 +640,7 @@ pub fn run_campaign_with(
         resumed_units,
         executed_units,
         cache: cache_stats.report(),
+        prune: plan.report(nr),
     })
 }
 
@@ -654,6 +699,7 @@ fn run_unit(
     stage_ns: &mut [u64; 3],
     sweep: &SweepMode,
     cache_stats: &CacheStats,
+    plan: &PrunePlan,
 ) -> Result<UnitRows, (StageFault, String)> {
     let nc = sc.space.components.len();
     let nr = sc.space.reducers.len();
@@ -672,6 +718,16 @@ fn run_unit(
         .map(|cap| UnitPrefixCache::new(cap, cache_stats));
 
     for i2 in 0..nc {
+        // Pruned (s1, s2) rows are proven equivalent to their
+        // representative ordering and never execute; their row slots
+        // stay zero (and are journaled as zeros) until the campaign's
+        // aggregation copies the representative's sums in.
+        if plan.skips(i1, i2) {
+            if lc_telemetry::enabled() {
+                lc_telemetry::counter("campaign.analyze.skipped_rows").add(1);
+            }
+            continue;
+        }
         let s2_name = sc.space.components[i2].name();
         for ir in 0..nr {
             // (s1) prefix: pinned in the cache after the first pipeline.
@@ -690,6 +746,7 @@ fn run_unit(
                     .map_err(|f| (f, format!("s1={s1_name}")))
                 })?,
                 None => {
+                    cache_stats.lookup(1);
                     cache_stats.miss(1);
                     Arc::new(
                         eval_prefix_stage(
@@ -724,6 +781,7 @@ fn run_unit(
                     .map_err(|f| (f, format!("s1={s1_name} s2={s2_name}")))
                 })?,
                 None => {
+                    cache_stats.lookup(1);
                     cache_stats.miss(1);
                     Arc::new(
                         eval_prefix_stage(
@@ -784,20 +842,30 @@ fn run_unit(
 /// The journal fingerprint: everything that determines a unit's numeric
 /// results. Resume refuses a journal whose meta record differs —
 /// *informational* fields (see [`strip_informational`]) excepted.
-fn journal_meta(sc: &StudyConfig, c_total: usize, sweep: &SweepMode) -> Value {
+fn journal_meta(sc: &StudyConfig, c_total: usize, sweep: &SweepMode, prune: PruneMode) -> Value {
     let mut meta = journal_meta_fingerprint(sc, c_total);
     if let Value::Object(fields) = &mut meta {
         // Informational: records how the sweep was executed, but does
         // not participate in the resume fingerprint (sweep modes are
         // bit-identical, so mixing them across a resume is sound).
         fields.push(("sweep".to_string(), Value::from(sweep.label())));
+        // NOT informational: pruning changes journaled unit rows
+        // (pruned slots are written as zeros), so a journal written
+        // under one prune mode must not be resumed under another. Off
+        // writes no field at all — a pruning-off journal is row-for-row
+        // what pre-pruning versions wrote, and stays resumable as such.
+        if prune != PruneMode::Off {
+            fields.push(("prune".to_string(), Value::from(prune.label())));
+        }
     }
     meta
 }
 
 /// Journal-meta comparison ignores informational fields (currently just
 /// `"sweep"`): they describe execution strategy, not numbers. This also
-/// keeps journals from before the sweep field resumable.
+/// keeps journals from before the sweep field resumable. The `"prune"`
+/// field is deliberately *not* stripped — pruning changes the journaled
+/// rows themselves, so it is part of the fingerprint.
 fn strip_informational(meta: &Value) -> Value {
     match meta {
         Value::Object(fields) => Value::Object(
@@ -1510,6 +1578,165 @@ mod tests {
         .unwrap();
         assert_eq!(resumed.executed_units, 0);
         assert_bitwise_equal(&memoized.measurements, &resumed.measurements);
+        std::fs::remove_file(&path).ok();
+    }
+
+    // ---- contract-driven pruning -----------------------------------------
+
+    /// A space with commuting stage pairs: TCMS mutators × TUPL
+    /// shufflers (10 pairs — TUPL field sizes 1/2/4 each admit the
+    /// mutator word sizes dividing them), RZE as the reducer family.
+    fn tupl_config() -> StudyConfig {
+        let mut sc = StudyConfig::quick();
+        sc.space = Space::restricted_to_families(&["TCMS", "TUPL", "RZE"]);
+        sc.files = vec![&SP_FILES[0], &SP_FILES[10]];
+        sc
+    }
+
+    /// Satellite guarantee: pruning changes nothing it didn't prove.
+    /// Non-deduplicated slots are bitwise identical to full enumeration;
+    /// deduplicated slots equal their representative exactly and the
+    /// full-enumeration value up to the modeled run-to-run jitter; the
+    /// pruned count is accounted exactly.
+    #[test]
+    fn pruned_and_full_enumeration_agree() {
+        let sc = tupl_config();
+        let pruned = run_campaign_with(&sc, &CampaignOptions::default()).unwrap();
+        let full = run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                prune: PruneMode::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // Exact accounting.
+        let plan = PrunePlan::for_space(&sc.space, PruneMode::Commute);
+        let nr = sc.space.reducers.len();
+        assert_eq!(plan.dups.len(), 10, "TCMS × TUPL commuting pairs");
+        assert_eq!(pruned.prune.commuting_pairs, plan.dups.len());
+        assert_eq!(pruned.prune.pruned_pipelines, plan.dups.len() * nr);
+        assert_eq!(pruned.prune.mode, "commute");
+        assert_eq!(full.prune.pruned_pipelines, 0);
+        assert_eq!(full.prune.mode, "off");
+
+        // Compressed sizes carry no jitter: every slot, including the
+        // deduplicated ones, must agree exactly — the commutation proof
+        // says both orders feed the reducer identical bytes.
+        assert_eq!(pruned.measurements.compressed, full.measurements.compressed);
+        assert_eq!(
+            pruned.measurements.total_uncompressed,
+            full.measurements.total_uncompressed
+        );
+
+        let p_total = sc.space.len();
+        let c_total = pruned.measurements.configs.len();
+        let mut dup_slots = 0usize;
+        for p in 0..p_total {
+            let id = sc.space.id_at(p);
+            let is_dup = plan.skips(id.s1 as usize, id.s2 as usize);
+            if is_dup {
+                dup_slots += 1;
+            }
+            for c in 0..c_total {
+                let i = c * p_total + p;
+                let (pe, fe) = (pruned.measurements.enc[i], full.measurements.enc[i]);
+                let (pd, fd) = (pruned.measurements.dec[i], full.measurements.dec[i]);
+                if is_dup {
+                    // Same pipeline, different jitter seed (the pruned
+                    // slot inherits its representative's ±0.4% draw).
+                    assert!((pe / fe - 1.0).abs() < 0.02, "enc {pe} vs {fe} at {p}");
+                    assert!((pd / fd - 1.0).abs() < 0.02, "dec {pd} vs {fd} at {p}");
+                } else {
+                    assert_eq!(pe.to_bits(), fe.to_bits(), "enc differs at {p}");
+                    assert_eq!(pd.to_bits(), fd.to_bits(), "dec differs at {p}");
+                }
+            }
+        }
+        assert!(dup_slots > 0, "the TUPL space must actually deduplicate");
+        assert_eq!(dup_slots, pruned.prune.pruned_pipelines);
+
+        // Deduplicated slots are exact copies of their representative.
+        let nc = sc.space.components.len();
+        for dup in &plan.dups {
+            let (pj, pi) = dup.pruned;
+            let (ri, rj) = dup.representative;
+            for r in 0..nr {
+                let p = (pj * nc + pi) * nr + r;
+                let q = (ri * nc + rj) * nr + r;
+                assert_eq!(
+                    pruned.measurements.compressed[p],
+                    pruned.measurements.compressed[q]
+                );
+                for c in 0..c_total {
+                    assert_eq!(
+                        pruned.measurements.enc[c * p_total + p].to_bits(),
+                        pruned.measurements.enc[c * p_total + q].to_bits()
+                    );
+                    assert_eq!(
+                        pruned.measurements.dec[c * p_total + p].to_bits(),
+                        pruned.measurements.dec[c * p_total + q].to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pruning participates in the journal fingerprint: rows written
+    /// under one mode (pruned slots as zeros) must not be resumed under
+    /// the other.
+    #[test]
+    fn resume_refuses_crossing_prune_modes() {
+        let sc = tupl_config();
+        let path = temp_journal("prune-cross");
+        run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                journal: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let err = match run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                journal: Some(path.clone()),
+                resume: true,
+                prune: PruneMode::Off,
+                ..Default::default()
+            },
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("resuming across prune modes must fail"),
+        };
+        assert!(err.contains("different campaign configuration"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A pruned campaign resumes byte-identically, same as an unpruned
+    /// one — the fill pass runs at aggregation time, on journaled rows
+    /// too.
+    #[test]
+    fn pruned_resume_is_byte_identical() {
+        let sc = tupl_config();
+        let path = temp_journal("prune-resume");
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            ..Default::default()
+        };
+        let first = run_campaign_with(&sc, &opts).unwrap();
+        assert!(first.prune.pruned_pipelines > 0);
+        let resumed = run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                resume: true,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.executed_units, 0);
+        assert_bitwise_equal(&first.measurements, &resumed.measurements);
         std::fs::remove_file(&path).ok();
     }
 

@@ -24,6 +24,7 @@ pub mod figures;
 pub mod journal;
 pub mod prefix;
 pub mod progress;
+pub mod prune;
 pub mod ratio;
 pub mod report;
 pub mod runner;
@@ -39,5 +40,6 @@ pub use campaign::{
 pub use figures::{figure, render, to_csv, FigId, Figure, Group};
 pub use prefix::{CacheReport, CacheStats, SweepMode, DEFAULT_CACHE_MB};
 pub use progress::Heartbeat;
+pub use prune::{PruneMode, PrunePlan, PruneReport};
 pub use runner::{StageFault, Watchdog};
 pub use space::{PipelineId, Space};

@@ -92,6 +92,9 @@ impl SweepMode {
 /// concurrently, and only totals are reported.
 #[derive(Debug, Default)]
 pub struct CacheStats {
+    /// Lookups observed at the cache entry points (every lookup is then
+    /// classified as exactly one hit or miss — `report` checks that).
+    lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -102,6 +105,13 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Record `n` prefix-cache lookups, before classification. Called at
+    /// every lookup entry point ([`UnitPrefixCache::level1`]/[`UnitPrefixCache::level2`]
+    /// and the naive-mode recomputation path).
+    pub fn lookup(&self, n: u64) {
+        self.lookups.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Record `n` prefix-cache hits.
     pub fn hit(&self, n: u64) {
         self.hits.fetch_add(n, Ordering::Relaxed);
@@ -135,17 +145,43 @@ impl CacheStats {
     }
 
     fn resident_sub(&self, bytes: u64) {
-        let now = self.resident.fetch_sub(bytes, Ordering::Relaxed) - bytes;
+        // Saturate instead of wrapping: a release racing another
+        // thread's concurrent add could otherwise momentarily drive the
+        // counter below zero and leave a ~u64::MAX residency on the
+        // gauge for the rest of the campaign.
+        let prev = self
+            .resident
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(bytes))
+            });
+        let now = match prev {
+            Ok(p) | Err(p) => p.saturating_sub(bytes),
+        };
         if lc_telemetry::enabled() {
             lc_telemetry::gauge("campaign.prefix_cache.resident_bytes").set(now);
         }
     }
 
+    /// Bytes currently resident across all live unit caches. Exposed for
+    /// diagnostics and the concurrency model tests, which assert the
+    /// counter returns to zero (and never wraps) once every unit cache
+    /// has dropped.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
     /// Snapshot the totals.
     pub fn report(&self) -> CacheReport {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        debug_assert_eq!(
+            hits + misses,
+            self.lookups.load(Ordering::Relaxed),
+            "every lookup must be classified as exactly one hit or miss"
+        );
         CacheReport {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits,
+            misses,
             evictions: self.evictions.load(Ordering::Relaxed),
             peak_resident_bytes: self.peak_resident.load(Ordering::Relaxed),
         }
@@ -243,6 +279,7 @@ impl<'s> UnitPrefixCache<'s> {
         &mut self,
         compute: impl FnOnce() -> Result<PrefixEntry, E>,
     ) -> Result<Arc<PrefixEntry>, E> {
+        self.stats.lookup(1);
         if let Some(e) = &self.level1 {
             self.stats.hit(1);
             return Ok(Arc::clone(e));
@@ -263,6 +300,7 @@ impl<'s> UnitPrefixCache<'s> {
         key: usize,
         compute: impl FnOnce() -> Result<PrefixEntry, E>,
     ) -> Result<Arc<PrefixEntry>, E> {
+        self.stats.lookup(1);
         self.tick += 1;
         if let Some((e, last)) = self.level2.get_mut(&key) {
             *last = self.tick;
@@ -285,8 +323,8 @@ impl<'s> UnitPrefixCache<'s> {
                 .filter(|(k, _)| **k != key)
                 .min_by_key(|(_, (_, last))| *last)
                 .map(|(k, _)| *k)
-                .expect("len > 1 guarantees a peer");
-            let (victim, _) = self.level2.remove(&lru).expect("lru key present");
+                .expect("len > 1 guarantees a peer"); // invariant: len > 1 checked above
+            let (victim, _) = self.level2.remove(&lru).expect("lru key present"); // invariant: key chosen from this map
             let freed = victim.bytes();
             self.level2_resident -= freed;
             self.stats.resident_sub(freed);
@@ -431,6 +469,7 @@ mod tests {
     #[test]
     fn report_hit_rate() {
         let stats = CacheStats::default();
+        stats.lookup(4);
         stats.hit(3);
         stats.miss(1);
         let r = stats.report();

@@ -1,0 +1,194 @@
+//! Contract-driven pipeline-space pruning.
+//!
+//! The analyzer's commutation verdicts ([`lc_core::Contract::commutes_with`])
+//! identify unordered stage pairs `{A, B}` for which the pipelines
+//! `(A, B, R)` and `(B, A, R)` are provably equivalent: both stages are
+//! size-preserving, one is a pointwise word map and the other a word
+//! permutation whose field size the map's word size divides, and both
+//! have length-only kernel statistics — so the composed stage output,
+//! the compressed size, and the simulated stage times are identical in
+//! either order. Measuring both orders is redundant; the campaign can
+//! measure the canonical order once and copy the numbers.
+//!
+//! [`PrunePlan::for_space`] enumerates the commuting pairs among a
+//! space's components once, up front, from the contracts alone (no
+//! encode runs — the differential evidence lives in `lc-analyze` and CI).
+//! The campaign then skips every pruned `(s1, s2)` row inside its work
+//! units and, after accumulation, copies the representative's finished
+//! sums into the pruned slots. The one observable difference is the
+//! per-pipeline measurement jitter seed: a pruned slot inherits its
+//! representative's simulated run-to-run noise (±0.4%) instead of
+//! drawing its own. [`crate::campaign::CampaignOptions::prune`] restores
+//! paper-faithful full enumeration ([`PruneMode::Off`]).
+//!
+//! On the full 62-component registry the plan finds 22 commuting pairs —
+//! 22 × 28 reducers = 616 of the 107,632 pipelines (~0.6%) measured for
+//! free. The win is structural, not primarily wall-clock: the campaign
+//! proves (and telemetry reports, via `campaign.analyze.*`) exactly
+//! which part of the paper's enumeration is redundant.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::space::Space;
+
+/// How the campaign treats provably-equivalent pipelines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PruneMode {
+    /// Deduplicate pipelines whose first two stages provably commute
+    /// (the default). The pruned pipeline's slots are copies of the
+    /// representative's measurements.
+    #[default]
+    Commute,
+    /// Paper-faithful full enumeration: measure every pipeline,
+    /// including provably-redundant orderings.
+    Off,
+}
+
+impl PruneMode {
+    /// Stable journal/report label for the mode.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PruneMode::Commute => "commute",
+            PruneMode::Off => "off",
+        }
+    }
+}
+
+/// One deduplicated stage pair: for every reducer `R`, the pipeline
+/// `(pruned.0, pruned.1, R)` is not executed; its measurements are
+/// copied from `(representative.0, representative.1, R)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagePairDup {
+    /// The skipped `(s1, s2)` component positions (`s1 > s2`).
+    pub pruned: (usize, usize),
+    /// The measured `(s1, s2)` positions — the same unordered pair in
+    /// canonical (lower-dense-index) order.
+    pub representative: (usize, usize),
+}
+
+/// The pruning decisions for one campaign, computed once up front.
+#[derive(Debug, Clone)]
+pub struct PrunePlan {
+    /// The mode the plan was computed under.
+    pub mode: PruneMode,
+    /// All deduplicated stage pairs (empty when [`PruneMode::Off`]).
+    pub dups: Vec<StagePairDup>,
+    /// Fast membership: the pruned `(s1, s2)` keys.
+    skip: HashSet<(usize, usize)>,
+    /// Wall time spent computing the plan.
+    pub analysis: Duration,
+}
+
+impl PrunePlan {
+    /// Enumerate the provably-commuting stage pairs of `space` from the
+    /// component contracts. The representative of each unordered pair
+    /// `{i, j}` (`i < j`) is `(i, j)` — the ordering with the lower
+    /// dense pipeline index — and `(j, i)` is pruned.
+    pub fn for_space(space: &Space, mode: PruneMode) -> Self {
+        let t0 = Instant::now();
+        let mut dups = Vec::new();
+        let mut skip = HashSet::new();
+        if mode == PruneMode::Commute {
+            let contracts: Vec<_> = space.components.iter().map(|c| c.contract()).collect();
+            for i in 0..contracts.len() {
+                for j in i + 1..contracts.len() {
+                    if contracts[i].commutes_with(&contracts[j]) {
+                        dups.push(StagePairDup {
+                            pruned: (j, i),
+                            representative: (i, j),
+                        });
+                        skip.insert((j, i));
+                    }
+                }
+            }
+        }
+        Self {
+            mode,
+            dups,
+            skip,
+            analysis: t0.elapsed(),
+        }
+    }
+
+    /// Whether the `(s1, s2)` stage pair is pruned (skipped by the sweep).
+    pub fn skips(&self, s1: usize, s2: usize) -> bool {
+        self.skip.contains(&(s1, s2))
+    }
+
+    /// Number of pipelines the plan removes from a sweep over `nr`
+    /// reducers.
+    pub fn pruned_pipelines(&self, nr: usize) -> usize {
+        self.dups.len() * nr
+    }
+
+    /// Snapshot for campaign outcomes and bench reports.
+    pub fn report(&self, nr: usize) -> PruneReport {
+        PruneReport {
+            mode: self.mode.label(),
+            commuting_pairs: self.dups.len(),
+            pruned_pipelines: self.pruned_pipelines(nr),
+            analysis: self.analysis,
+        }
+    }
+}
+
+/// Immutable pruning summary attached to a campaign outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// [`PruneMode::label`] of the plan.
+    pub mode: &'static str,
+    /// Provably-commuting stage pairs found in the space.
+    pub commuting_pairs: usize,
+    /// Pipelines deduplicated (`commuting_pairs × reducers`).
+    pub pruned_pipelines: usize,
+    /// Wall time spent computing the plan.
+    pub analysis: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_space_finds_the_registry_pairs() {
+        let plan = PrunePlan::for_space(&Space::full(), PruneMode::Commute);
+        // 22 mutator × TUPL pairs; see lc-analyze's registry test for
+        // the per-pair derivation.
+        assert_eq!(plan.dups.len(), 22);
+        assert_eq!(plan.pruned_pipelines(28), 616);
+        for d in &plan.dups {
+            let (i, j) = d.representative;
+            assert!(i < j, "representative must be the canonical order");
+            assert_eq!(d.pruned, (j, i));
+            assert!(plan.skips(j, i));
+            assert!(!plan.skips(i, j), "the representative is never skipped");
+        }
+    }
+
+    #[test]
+    fn off_mode_prunes_nothing() {
+        let plan = PrunePlan::for_space(&Space::full(), PruneMode::Off);
+        assert!(plan.dups.is_empty());
+        assert_eq!(plan.pruned_pipelines(28), 0);
+        assert_eq!(plan.report(28).mode, "off");
+    }
+
+    #[test]
+    fn quick_space_has_no_commuting_pairs() {
+        // The tests' quick space (no TUPL) must be unaffected by the
+        // default-on pruning: same numbers with or without it.
+        let space = Space::restricted_to_families(&["TCMS", "DIFF", "RLE", "RZE"]);
+        let plan = PrunePlan::for_space(&space, PruneMode::Commute);
+        assert!(plan.dups.is_empty());
+    }
+
+    #[test]
+    fn report_counts() {
+        let plan = PrunePlan::for_space(&Space::full(), PruneMode::Commute);
+        let r = plan.report(28);
+        assert_eq!(r.mode, "commute");
+        assert_eq!(r.commuting_pairs, 22);
+        assert_eq!(r.pruned_pipelines, 616);
+    }
+}

@@ -78,7 +78,7 @@ pub fn leaderboard(m: &Measurements, n: usize) -> Vec<Leader> {
         .config_index("RTX 4090", CompilerId::Nvcc, OptLevel::O3)
         .unwrap_or(0);
     let mut indexed: Vec<usize> = (0..m.space.len()).collect();
-    indexed.sort_by(|&a, &b| m.ratio(b).partial_cmp(&m.ratio(a)).unwrap());
+    indexed.sort_by(|&a, &b| m.ratio(b).partial_cmp(&m.ratio(a)).unwrap()); // invariant: ratios are finite
     indexed
         .into_iter()
         .take(n)

@@ -186,7 +186,7 @@ pub fn findings(m: &Measurements) -> Vec<Finding> {
             .map(|&w| subset_median(m, nv, Direction::Decode, &m.space.uniform_word_size(w)))
             .collect();
         if medians.iter().all(|v| v.is_some()) {
-            let v: Vec<f64> = medians.into_iter().map(|x| x.unwrap()).collect();
+            let v: Vec<f64> = medians.into_iter().map(|x| x.unwrap()).collect(); // invariant: all() checked Some
             out.push(Finding {
                 id: "decode-wordsize-8-highest",
                 source: "§6.2 Fig. 5",
@@ -208,7 +208,7 @@ pub fn findings(m: &Measurements) -> Vec<Finding> {
             .map(|&k| subset_median(m, nv, Direction::Encode, &m.space.kind_pair(k)))
             .collect();
         if enc.iter().all(|v| v.is_some()) {
-            let v: Vec<f64> = enc.into_iter().map(|x| x.unwrap()).collect();
+            let v: Vec<f64> = enc.into_iter().map(|x| x.unwrap()).collect(); // invariant: all() checked Some
             let reducer = v[3];
             out.push(Finding {
                 id: "reducers-encode-slowest",
@@ -226,7 +226,7 @@ pub fn findings(m: &Measurements) -> Vec<Finding> {
             .map(|&k| subset_median(m, nv, Direction::Decode, &m.space.kind_pair(k)))
             .collect();
         if dec.iter().all(|v| v.is_some()) {
-            let v: Vec<f64> = dec.into_iter().map(|x| x.unwrap()).collect();
+            let v: Vec<f64> = dec.into_iter().map(|x| x.unwrap()).collect(); // invariant: all() checked Some
             out.push(Finding {
                 id: "predictors-decode-slowest",
                 source: "§6.3 Fig. 7",
@@ -255,8 +255,8 @@ pub fn findings(m: &Measurements) -> Vec<Finding> {
             .collect();
         if meds.iter().all(|(_, v)| v.is_some()) && meds.len() >= 6 {
             let mut ranked: Vec<(String, f64)> =
-                meds.into_iter().map(|(f, v)| (f, v.unwrap())).collect();
-            ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                meds.into_iter().map(|(f, v)| (f, v.unwrap())).collect(); // invariant: all() checked Some
+            ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap()); // invariant: medians are finite
             let slowest2: Vec<&str> = ranked.iter().take(2).map(|(f, _)| f.as_str()).collect();
             out.push(Finding {
                 id: "rare-raze-encode-slowest",
@@ -282,7 +282,7 @@ pub fn findings(m: &Measurements) -> Vec<Finding> {
             })
             .collect();
         if meds.iter().all(|v| v.is_some()) {
-            let v: Vec<f64> = meds.into_iter().map(|x| x.unwrap()).collect();
+            let v: Vec<f64> = meds.into_iter().map(|x| x.unwrap()).collect(); // invariant: all() checked Some
             out.push(Finding {
                 id: "rle4-decode-slowest",
                 source: "§6.4 Fig. 11",

@@ -64,7 +64,7 @@ fn quantile_sorted(sorted: &[f64], depth: f64) -> f64 {
 pub fn letter_values(values: &[f64]) -> LetterValues {
     assert!(!values.is_empty(), "letter_values of an empty sample");
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN throughputs"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN throughputs")); // invariant: throughputs are finite
     let n = sorted.len();
     let median_depth = (n as f64 + 1.0) / 2.0;
     let median = quantile_sorted(&sorted, median_depth);
@@ -144,7 +144,7 @@ impl LetterValues {
 pub fn median(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "median of empty slice");
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN")); // invariant: inputs are finite
     quantile_sorted(&sorted, (sorted.len() as f64 + 1.0) / 2.0)
 }
 

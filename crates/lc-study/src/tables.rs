@@ -18,7 +18,7 @@ pub fn table1() -> String {
         .collect();
     for c in lc_components::all() {
         let fam = family_of(c.name());
-        let col = &mut columns.iter_mut().find(|(k, _)| *k == c.kind()).unwrap().1;
+        let col = &mut columns.iter_mut().find(|(k, _)| *k == c.kind()).unwrap().1; // invariant: every kind has a column
         if !col.contains(&fam) {
             col.push(fam);
         }

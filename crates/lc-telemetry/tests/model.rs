@@ -1,0 +1,277 @@
+//! Concurrency model tests for the lock-free telemetry sink.
+//!
+//! The sink is a Treiber stack of event batches: producers `push_batch`
+//! via thread-local flushes while a consumer detaches the whole stack
+//! with one `swap` in `take_batches`. There is no loom in this tree
+//! (zero-dependency policy), so these tests explore interleavings the
+//! pragmatic way: many iterations of genuinely concurrent producers and
+//! consumers, with deterministic pseudo-random yield points injected
+//! from a per-iteration seed to perturb the schedule.
+//!
+//! The properties checked are the ones a model checker would assert:
+//!
+//! * **Conservation** — every recorded event is drained exactly once:
+//!   no event is lost when a drain races a push, and none is duplicated
+//!   when two drains race each other.
+//! * **ABA-freedom in practice** — nodes are never reused, so a CAS
+//!   that succeeds against a stale head cannot resurrect a freed node;
+//!   conservation would fail (duplicate or crash) if it did.
+//! * **Flush-before-join** — events flushed by a worker before scope
+//!   join are visible to an immediate drain by the joining thread.
+//!
+//! Run with `cargo test -p lc-telemetry --features model-check`.
+//! Gated off by default: the schedules loop long enough to be slow.
+
+#![cfg(feature = "model-check")]
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use lc_telemetry::{drain, flush_thread, record, ArgValue, Event};
+
+/// Telemetry state is process-global; serialize the tests in this binary.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Deterministic schedule perturbation: a splitmix64 stream drives
+/// whether each step yields the CPU, spins, or proceeds, so every
+/// iteration explores a different (but reproducible) interleaving.
+struct Schedule(u64);
+
+impl Schedule {
+    fn new(seed: u64) -> Self {
+        Schedule(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Perturb the schedule at a potential interleaving point.
+    fn step(&mut self) {
+        match self.next() % 8 {
+            0 => std::thread::yield_now(),
+            1..=2 => {
+                for _ in 0..(self.next() % 64) {
+                    std::hint::spin_loop();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn tagged_event(tag: u64) -> Event {
+    Event {
+        name: "model",
+        cat: "model-check",
+        ts_ns: 0,
+        dur_ns: 0,
+        tid: 0, // filled by `record`
+        args: vec![("tag", ArgValue::U64(tag))],
+    }
+}
+
+fn tag_of(e: &Event) -> Option<u64> {
+    if e.cat != "model-check" {
+        return None;
+    }
+    match e.args.first() {
+        Some(("tag", ArgValue::U64(t))) => Some(*t),
+        _ => None,
+    }
+}
+
+/// Producers record tagged events (flushing per-thread) while a consumer
+/// drains concurrently. Every tag must come back exactly once: a lost
+/// push, a drain-vs-push race dropping a batch, or a node revived after
+/// free would all break the multiset equality.
+#[test]
+fn concurrent_push_and_drain_conserve_every_event() {
+    let _g = locked();
+    let _ = drain(); // clean slate
+
+    const PRODUCERS: u64 = 4;
+    const EVENTS: u64 = 300;
+    const ITERS: u64 = 20;
+
+    for iter in 0..ITERS {
+        let done = AtomicU64::new(0);
+        let collected = Mutex::new(Vec::<Event>::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let done = &done;
+                s.spawn(move || {
+                    let mut sched = Schedule::new(iter * 1000 + p);
+                    for i in 0..EVENTS {
+                        record(tagged_event((iter * PRODUCERS + p) * EVENTS + i));
+                        sched.step();
+                        // Irregular flush sizes exercise partial batches
+                        // racing the consumer's swap.
+                        if sched.next().is_multiple_of(7) {
+                            flush_thread();
+                        }
+                    }
+                    flush_thread();
+                    done.fetch_add(1, Ordering::Release);
+                });
+            }
+            // Concurrent consumer: drains while producers are mid-push,
+            // staying live until every producer has finished.
+            let done = &done;
+            let collected = &collected;
+            s.spawn(move || {
+                let mut sched = Schedule::new(iter * 7919);
+                while done.load(Ordering::Acquire) < PRODUCERS {
+                    let got = drain();
+                    collected.lock().unwrap().extend(got);
+                    sched.step();
+                }
+            });
+        });
+        // Final drain picks up whatever the concurrent consumer missed.
+        let mut events = collected.into_inner().unwrap();
+        events.extend(drain());
+
+        let tags: Vec<u64> = events.iter().filter_map(tag_of).collect();
+        let unique: HashSet<u64> = tags.iter().copied().collect();
+        assert_eq!(
+            tags.len() as u64,
+            PRODUCERS * EVENTS,
+            "iteration {iter}: lost or duplicated events (got {}, want {})",
+            tags.len(),
+            PRODUCERS * EVENTS,
+        );
+        assert_eq!(
+            unique.len(),
+            tags.len(),
+            "iteration {iter}: duplicate drain of the same event"
+        );
+        let base = iter * PRODUCERS * EVENTS;
+        assert!(
+            unique
+                .iter()
+                .all(|t| (base..base + PRODUCERS * EVENTS).contains(t)),
+            "iteration {iter}: stale event from a previous iteration leaked through"
+        );
+    }
+}
+
+/// Two drains racing each other must partition the stack: each pushed
+/// batch goes to exactly one of them (the `swap` hands the whole list to
+/// a single owner; a double-free or shared tail would double-count).
+#[test]
+fn racing_drains_partition_the_sink() {
+    let _g = locked();
+    let _ = drain();
+
+    const ITERS: u64 = 40;
+    const PRODUCERS: u64 = 3;
+    const EVENTS: u64 = 200;
+
+    for iter in 0..ITERS {
+        let seen = Mutex::new(Vec::<u64>::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                s.spawn(move || {
+                    let mut sched = Schedule::new(iter * 31 + p);
+                    for i in 0..EVENTS {
+                        record(tagged_event((iter * PRODUCERS + p) * EVENTS + i));
+                        if sched.next().is_multiple_of(5) {
+                            flush_thread();
+                        }
+                        sched.step();
+                    }
+                    flush_thread();
+                });
+            }
+            for d in 0..2u64 {
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut sched = Schedule::new(iter * 131 + d);
+                    for _ in 0..50 {
+                        let got = drain();
+                        seen.lock().unwrap().extend(got.iter().filter_map(tag_of));
+                        sched.step();
+                    }
+                });
+            }
+        });
+        let mut tags = seen.into_inner().unwrap();
+        tags.extend(drain().iter().filter_map(tag_of));
+        let unique: HashSet<u64> = tags.iter().copied().collect();
+        assert_eq!(
+            tags.len() as u64,
+            PRODUCERS * EVENTS,
+            "iteration {iter}: batch lost or handed to both drains"
+        );
+        assert_eq!(
+            unique.len(),
+            tags.len(),
+            "iteration {iter}: duplicated batch"
+        );
+    }
+}
+
+/// The documented join protocol: a worker that flushes before returning
+/// is visible to a drain performed immediately after `scope` joins it —
+/// no TLS-destructor race window.
+#[test]
+fn flush_before_join_makes_events_immediately_visible() {
+    let _g = locked();
+    let _ = drain();
+
+    for iter in 0..100u64 {
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                record(tagged_event(1_000_000 + iter));
+                flush_thread();
+            });
+        });
+        // The worker is joined; its flush must already be in the sink.
+        let tags: Vec<u64> = drain().iter().filter_map(tag_of).collect();
+        assert_eq!(tags, vec![1_000_000 + iter], "iteration {iter}");
+    }
+}
+
+/// Counters under full contention: `PRODUCERS × N` relaxed increments
+/// from racing threads must sum exactly (the metrics side of the sink
+/// shares the campaign hot path with the span machinery).
+#[test]
+fn contended_counter_increments_never_drop() {
+    let _g = locked();
+    lc_telemetry::metrics::reset();
+    lc_telemetry::enable(); // Counter::add is a no-op while disabled
+    static TOTAL: AtomicU64 = AtomicU64::new(0);
+    TOTAL.store(0, Ordering::Relaxed);
+
+    const THREADS: u64 = 8;
+    const N: u64 = 50_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let mut sched = Schedule::new(t);
+                let c = lc_telemetry::counter("model.contended");
+                for _ in 0..N {
+                    c.add(1);
+                    TOTAL.fetch_add(1, Ordering::Relaxed);
+                    if sched.next().is_multiple_of(1024) {
+                        sched.step();
+                    }
+                }
+            });
+        }
+    });
+    lc_telemetry::disable();
+    assert_eq!(lc_telemetry::counter("model.contended").get(), THREADS * N);
+    assert_eq!(TOTAL.load(Ordering::Relaxed), THREADS * N);
+    lc_telemetry::metrics::reset();
+}

@@ -1,0 +1,307 @@
+//! Repo automation tasks (`cargo run -p xtask -- <task>`).
+//!
+//! The only task today is `lint`: a dependency-free source scan that
+//! enforces three workspace invariants the compiler cannot express:
+//!
+//! 1. **`#![forbid(unsafe_code)]` everywhere but the allowlist.** Only
+//!    `lc-core`, `lc-parallel`, and `lc-telemetry` contain audited
+//!    `unsafe` (disjoint-slice writes, the archive scatter path, and
+//!    the lock-free span sink). Every other crate must forbid it at
+//!    the crate root so a stray `unsafe` block is a compile error, not
+//!    a review nit.
+//! 2. **No `.unwrap()`/`.expect()` in library code.** Panics in
+//!    library paths defeat the campaign runner's panic quarantine.
+//!    Test modules, `src/bin/` targets, and doc comments are exempt;
+//!    a deliberate panic on a checked invariant may stay if the line
+//!    (or the line above it) carries an `// invariant:` comment
+//!    explaining why it cannot fire.
+//! 3. **Unique component registration.** Every registry name maps to
+//!    exactly one component and the inventory matches the paper's 62
+//!    (12 mutators + 10 shufflers + 12 predictors + 28 reducers).
+//!
+//! Exit status is non-zero iff any diagnostic fires, so CI can run
+//! `cargo run -p xtask -- lint` as a gate.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates allowed to contain `unsafe` (each carries SAFETY comments).
+const UNSAFE_ALLOWLIST: &[&str] = &["lc-core", "lc-parallel", "lc-telemetry"];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint   (got {:?})",
+                other.unwrap_or("<none>")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut diagnostics = Vec::new();
+
+    check_forbid_unsafe(&root, &mut diagnostics);
+    check_no_panics_in_libraries(&root, &mut diagnostics);
+    check_unique_registration(&mut diagnostics);
+
+    if diagnostics.is_empty() {
+        println!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for d in &diagnostics {
+            eprintln!("xtask lint: {d}");
+        }
+        eprintln!("xtask lint: {} violation(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Every crate under `crates/` must carry `#![forbid(unsafe_code)]` at its
+/// entry point unless it is on the audited allowlist.
+fn check_forbid_unsafe(root: &Path, diagnostics: &mut Vec<String>) {
+    for crate_dir in crate_dirs(root) {
+        let name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if UNSAFE_ALLOWLIST.contains(&name.as_str()) {
+            continue;
+        }
+        let entry = ["src/lib.rs", "src/main.rs"]
+            .iter()
+            .map(|p| crate_dir.join(p))
+            .find(|p| p.is_file());
+        let Some(entry) = entry else {
+            diagnostics.push(format!("{name}: no src/lib.rs or src/main.rs found"));
+            continue;
+        };
+        let text = fs::read_to_string(&entry).unwrap_or_default();
+        if !text.contains("#![forbid(unsafe_code)]") {
+            diagnostics.push(format!(
+                "{}: missing #![forbid(unsafe_code)] (crate {name} is not on the unsafe allowlist)",
+                rel(root, &entry)
+            ));
+        }
+    }
+}
+
+/// Library sources must not call `.unwrap()` / `.expect()` outside test
+/// modules, unless the call site is annotated with an `// invariant:`
+/// comment on the same or preceding line.
+fn check_no_panics_in_libraries(root: &Path, diagnostics: &mut Vec<String>) {
+    for crate_dir in crate_dirs(root) {
+        let src = crate_dir.join("src");
+        for file in rs_files(&src) {
+            // Binary targets and the crate's own test trees are exempt:
+            // panicking on bad CLI input or in a test is fine.
+            let relpath = rel(&src, &file);
+            if relpath.starts_with("bin/") || relpath == "main.rs" {
+                continue;
+            }
+            scan_file_for_panics(root, &file, diagnostics);
+        }
+    }
+}
+
+fn scan_file_for_panics(root: &Path, file: &Path, diagnostics: &mut Vec<String>) {
+    let text = match fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            diagnostics.push(format!("{}: unreadable: {e}", rel(root, file)));
+            return;
+        }
+    };
+    let mut in_test_block = false;
+    let mut depth = 0i64;
+    let mut pending_cfg_test = false;
+    let mut prev_line = "";
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if in_test_block {
+            depth += brace_delta(trimmed);
+            if depth <= 0 {
+                in_test_block = false;
+            }
+            prev_line = line;
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            prev_line = line;
+            continue;
+        }
+        if pending_cfg_test {
+            // The attribute applies to the next item; if that item is a
+            // module (or any braced item), skip its whole body.
+            if trimmed.starts_with('#') {
+                // further attributes, keep waiting
+            } else {
+                depth = brace_delta(trimmed);
+                if depth > 0 {
+                    in_test_block = true;
+                } // else: single-line item (e.g. `use` under cfg(test))
+                pending_cfg_test = false;
+            }
+            prev_line = line;
+            continue;
+        }
+        // Strip line comments (and thereby doc comments) before matching.
+        // `.expect("` (message form) rather than `.expect(` keeps domain
+        // methods that happen to be called `expect` — e.g. the lc-json
+        // parser's `expect(b'{')` — out of scope.
+        let code = trimmed.split("//").next().unwrap_or("");
+        if code.contains(".unwrap()") || code.contains(".expect(\"") {
+            let excused = trimmed.contains("invariant:") || prev_line.contains("invariant:");
+            if !excused {
+                diagnostics.push(format!(
+                    "{}:{}: .unwrap()/.expect() in library code (annotate with `// invariant:` if the panic is provably unreachable)",
+                    rel(root, file),
+                    i + 1
+                ));
+            }
+        }
+        prev_line = line;
+    }
+}
+
+/// The registry must hold exactly one component per name, in the paper's
+/// 12/10/12/28 inventory.
+fn check_unique_registration(diagnostics: &mut Vec<String>) {
+    let mut by_name: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for c in lc_components::all() {
+        *by_name.entry(c.name()).or_insert(0) += 1;
+        *by_kind.entry(c.kind().label()).or_insert(0) += 1;
+    }
+    for (name, count) in &by_name {
+        if *count > 1 {
+            diagnostics.push(format!(
+                "registry: component {name} registered {count} times"
+            ));
+        }
+    }
+    let expected = [
+        ("mutator", 12),
+        ("shuffler", 10),
+        ("predictor", 12),
+        ("reducer", 28),
+    ];
+    for (kind, want) in expected {
+        let got = by_kind.get(kind).copied().unwrap_or(0);
+        if got != want {
+            diagnostics.push(format!("registry: expected {want} {kind}s, found {got}"));
+        }
+    }
+}
+
+/// All immediate subdirectories of `crates/` that contain a Cargo.toml.
+fn crate_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = fs::read_dir(root.join("crates"))
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// Every `.rs` file under `dir`, recursively.
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).into_iter().flatten().flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn brace_delta(line: &str) -> i64 {
+    let code = line.split("//").next().unwrap_or("");
+    let opens = code.matches('{').count() as i64;
+    let closes = code.matches('}').count() as i64;
+    opens - closes
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root).unwrap_or(p).display().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_on_the_shipped_tree_is_clean() {
+        let root = workspace_root();
+        let mut diagnostics = Vec::new();
+        check_forbid_unsafe(&root, &mut diagnostics);
+        check_no_panics_in_libraries(&root, &mut diagnostics);
+        check_unique_registration(&mut diagnostics);
+        assert!(diagnostics.is_empty(), "{diagnostics:#?}");
+    }
+
+    #[test]
+    fn brace_tracking_handles_inline_comments() {
+        assert_eq!(brace_delta("mod tests { // { not counted"), 1);
+        assert_eq!(brace_delta("} // close"), -1);
+        assert_eq!(brace_delta("fn f() {}"), 0);
+    }
+
+    #[test]
+    fn test_blocks_are_skipped() {
+        let mut diagnostics = Vec::new();
+        let dir = std::env::temp_dir().join("xtask-lint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("sample.rs");
+        fs::write(
+            &f,
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n",
+        )
+        .unwrap();
+        scan_file_for_panics(&dir, &f, &mut diagnostics);
+        assert!(diagnostics.is_empty(), "{diagnostics:#?}");
+
+        fs::write(&f, "fn bad() { x.unwrap(); }\n").unwrap();
+        scan_file_for_panics(&dir, &f, &mut diagnostics);
+        assert_eq!(diagnostics.len(), 1);
+
+        fs::write(
+            &f,
+            "fn fine() { x.unwrap(); // invariant: x checked above\n}\n",
+        )
+        .unwrap();
+        let mut clean = Vec::new();
+        scan_file_for_panics(&dir, &f, &mut clean);
+        assert!(clean.is_empty(), "{clean:#?}");
+    }
+}
