@@ -226,7 +226,13 @@ fn main() {
             ]),
         ),
     ]);
-    std::fs::write(&out_path, snapshot.pretty()).unwrap_or_else(|e| {
+    let policy = lc_chaos::fs::SyncPolicy::default();
+    lc_chaos::fs::atomic_write(
+        std::path::Path::new(&out_path),
+        snapshot.pretty().as_bytes(),
+        policy,
+    )
+    .unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
     });

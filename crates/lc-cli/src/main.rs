@@ -174,13 +174,16 @@ fn write_telemetry(trace: Option<&str>, metrics: Option<&str>) -> Result<(), Cli
         return Ok(());
     }
     let events = lc_telemetry::drain();
+    let policy = lc_chaos::fs::SyncPolicy::default();
     if let Some(path) = trace {
-        std::fs::write(path, lc_telemetry::export::chrome_trace(&events))
+        let body = lc_telemetry::export::chrome_trace(&events);
+        lc_chaos::fs::atomic_write(std::path::Path::new(path), body.as_bytes(), policy)
             .map_err(|e| format!("{path}: {e}"))?;
         eprintln!("trace: {} events -> {path}", events.len());
     }
     if let Some(path) = metrics {
-        std::fs::write(path, lc_telemetry::export::metrics_value().pretty())
+        let body = lc_telemetry::export::metrics_value().pretty();
+        lc_chaos::fs::atomic_write(std::path::Path::new(path), body.as_bytes(), policy)
             .map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(())
@@ -282,6 +285,7 @@ fn cmd_compress(rest: &[String]) -> Result<(), CliError> {
             std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?,
         );
         let mut w = std::io::BufWriter::new(
+            // durable-exempt: user-named output of a one-shot CLI command.
             std::fs::File::create(output).map_err(|e| format!("{output}: {e}"))?,
         );
         let t0 = Instant::now();
@@ -300,6 +304,7 @@ fn cmd_compress(rest: &[String]) -> Result<(), CliError> {
     let t0 = Instant::now();
     let res = archive::encode_with_stats(&pipeline, &data, &pool);
     let dt = t0.elapsed().as_secs_f64();
+    // durable-exempt: user-named output of a one-shot CLI command.
     std::fs::write(output, &res.archive).map_err(|e| format!("{output}: {e}"))?;
     println!(
         "{} -> {}: {} -> {} bytes (ratio {:.3}) in {:.3}s ({:.2} GB/s on this CPU)",
@@ -348,6 +353,7 @@ fn cmd_decompress(rest: &[String]) -> Result<(), CliError> {
         }
     };
     let dt = t0.elapsed().as_secs_f64();
+    // durable-exempt: user-named output of a one-shot CLI command.
     std::fs::write(output, &out).map_err(|e| format!("{output}: {e}"))?;
     println!(
         "{} -> {}: {} -> {} bytes in {:.3}s",
@@ -374,6 +380,7 @@ fn cmd_salvage(rest: &[String]) -> Result<(), CliError> {
         None => archive::decode_salvage(&data, lc_components::lookup, &pool)?,
     };
     let dt = t0.elapsed().as_secs_f64();
+    // durable-exempt: user-named output of a one-shot CLI command.
     std::fs::write(output, &out).map_err(|e| format!("{output}: {e}"))?;
     println!(
         "{} -> {}: {} of {} chunks recovered ({} bytes) in {:.3}s",
@@ -426,6 +433,7 @@ fn cmd_gen_data(rest: &[String]) -> Result<(), CliError> {
     for f in files {
         let data = lc_data::generate(f, scale);
         let path = format!("{out_dir}/{}.sp", f.name);
+        // durable-exempt: user-named output of a one-shot CLI command.
         std::fs::write(&path, &data).map_err(|e| format!("{path}: {e}"))?;
         println!("{path}: {} bytes ({:?})", data.len(), f.domain);
     }

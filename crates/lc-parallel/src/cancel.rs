@@ -1,0 +1,138 @@
+//! Cooperative cancellation for long fan-out jobs.
+//!
+//! A [`CancelToken`] is a cloneable flag that workers poll between task
+//! claims. Cancellation is *cooperative*: nothing is interrupted
+//! mid-task — a worker finishes the unit it holds, observes the token at
+//! its next claim, and stops. That granularity is exactly what the
+//! campaign runner needs: every completed unit has already been
+//! journaled, so a cancelled campaign is simply a resumable one.
+//!
+//! [`CancelToken::watching_signals`] additionally arms the token on
+//! SIGINT/SIGTERM via a process-global flag set from an async-signal-safe
+//! handler (a single atomic store). The handler is installed once,
+//! directly against POSIX `signal(2)` — this crate stays libc-free.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Set by the signal handler; read by every signal-watching token.
+static SIGNAL_FLAG: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use super::SIGNAL_FLAG;
+    use std::sync::atomic::Ordering;
+    use std::sync::Once;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Async-signal-safe by construction: the body is one atomic store.
+    pub(super) extern "C" fn handle_signal(_signum: i32) {
+        SIGNAL_FLAG.store(true, Ordering::SeqCst);
+    }
+
+    static INSTALL: Once = Once::new();
+
+    pub(super) fn install_handlers() {
+        extern "C" {
+            // POSIX `signal(2)`, declared locally to avoid a libc
+            // dependency. The return value (the previous handler) is
+            // pointer-sized; we ignore it.
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        INSTALL.call_once(|| unsafe {
+            signal(SIGINT, handle_signal);
+            signal(SIGTERM, handle_signal);
+        });
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub(super) fn install_handlers() {}
+}
+
+/// A cloneable cancellation flag polled by [`crate::Pool`] workers
+/// between task claims. All clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    watch_signals: bool,
+}
+
+impl CancelToken {
+    /// A token that only trips via [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally trips when the process receives SIGINT
+    /// or SIGTERM. Installs the (idempotent, process-global) signal
+    /// handlers on first use.
+    pub fn watching_signals() -> Self {
+        sys::install_handlers();
+        Self {
+            flag: Arc::new(AtomicBool::new(false)),
+            watch_signals: true,
+        }
+    }
+
+    /// Trip the token: workers stop at their next claim.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested (manually or, for a
+    /// signal-watching token, by SIGINT/SIGTERM).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+            || (self.watch_signals && SIGNAL_FLAG.load(Ordering::Relaxed))
+    }
+
+    /// Whether this token's cancellation came from a signal rather than
+    /// a manual [`cancel`](Self::cancel) call.
+    pub fn cancelled_by_signal(&self) -> bool {
+        self.watch_signals && SIGNAL_FLAG.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_cancel_trips_all_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled() && !u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled() && u.is_cancelled());
+        assert!(!t.cancelled_by_signal(), "manual cancel is not a signal");
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        a.cancel();
+        let b = CancelToken::new();
+        assert!(!b.is_cancelled());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn signal_flag_trips_watching_tokens_only() {
+        // This is the only test that touches the process-global flag; it
+        // restores it before returning so concurrently-running tests
+        // with watching tokens (there are none today) stay unaffected.
+        let watching = CancelToken::watching_signals();
+        let manual = CancelToken::new();
+        assert!(!watching.is_cancelled());
+        sys::handle_signal(2); // exactly what the kernel would invoke
+        assert!(watching.is_cancelled());
+        assert!(watching.cancelled_by_signal());
+        assert!(!manual.is_cancelled(), "plain tokens ignore signals");
+        SIGNAL_FLAG.store(false, Ordering::SeqCst);
+        assert!(!watching.is_cancelled());
+    }
+}

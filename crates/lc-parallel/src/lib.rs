@@ -17,11 +17,13 @@
 //! before a `Release` status store, and consumers `Acquire`-load the status
 //! before reading the payload.
 
+pub mod cancel;
 pub mod pool;
 pub mod scan;
 pub mod slice;
 pub mod warp;
 
+pub use cancel::CancelToken;
 pub use pool::Pool;
 pub use scan::{LookbackScan, SCAN_STATUS_AGGREGATE, SCAN_STATUS_INVALID, SCAN_STATUS_PREFIX};
 pub use slice::DisjointSlice;

@@ -16,13 +16,26 @@ use lc_telemetry::{span_in, ArgValue, Event};
 /// index. When telemetry is enabled this also accounts per-task run time
 /// and per-worker busy/wait/utilization; the disabled path is the bare
 /// claim loop (the `telemetry` flag is hoisted so workers pay zero
-/// per-task cost).
-fn worker_loop<F>(next: &AtomicUsize, tasks: usize, grain: usize, mut f: F, telemetry: bool)
-where
+/// per-task cost). A tripped `cancel` token stops the worker at its next
+/// claim: indices past that point are simply never claimed. Each claim
+/// also passes through `lc_chaos::maybe_stall` (one relaxed load when no
+/// fault plan is installed) so chaos soaks can perturb the schedule.
+fn worker_loop<F>(
+    next: &AtomicUsize,
+    tasks: usize,
+    grain: usize,
+    mut f: F,
+    telemetry: bool,
+    cancel: Option<&crate::CancelToken>,
+) where
     F: FnMut(usize),
 {
     if !telemetry {
         loop {
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                return;
+            }
+            lc_chaos::maybe_stall();
             let start = next.fetch_add(grain, Ordering::Relaxed);
             if start >= tasks {
                 return;
@@ -39,6 +52,10 @@ where
     let mut busy_ns = 0u64;
     let mut claimed = 0u64;
     loop {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            break;
+        }
+        lc_chaos::maybe_stall();
         let start = next.fetch_add(grain, Ordering::Relaxed);
         if start >= tasks {
             break;
@@ -128,6 +145,30 @@ impl Pool {
     where
         F: Fn(usize) + Sync,
     {
+        self.run_grained_cancellable(tasks, grain, None, f)
+    }
+
+    /// Like [`Pool::run`], but workers additionally poll `cancel` before
+    /// every claim and stop once it trips. Tasks already claimed finish
+    /// normally; unclaimed indices are never started. The caller decides
+    /// what a partial drain means (for the campaign runner: checkpoint
+    /// and exit resumable).
+    pub fn run_cancellable<F>(&self, tasks: usize, cancel: &crate::CancelToken, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.run_grained_cancellable(tasks, 1, Some(cancel), f)
+    }
+
+    fn run_grained_cancellable<F>(
+        &self,
+        tasks: usize,
+        grain: usize,
+        cancel: Option<&crate::CancelToken>,
+        f: F,
+    ) where
+        F: Fn(usize) + Sync,
+    {
         if tasks == 0 {
             return;
         }
@@ -147,12 +188,12 @@ impl Pool {
         let f = &f;
         let next = &next;
         if workers == 1 {
-            worker_loop(next, tasks, grain, f, telemetry);
+            worker_loop(next, tasks, grain, f, telemetry, cancel);
             return;
         }
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(move || worker_loop(next, tasks, grain, f, telemetry));
+                s.spawn(move || worker_loop(next, tasks, grain, f, telemetry, cancel));
             }
         });
     }
@@ -194,6 +235,35 @@ impl Pool {
         out.into_iter()
             .map(|v| v.expect("every slot filled by run()")) // invariant: run() fills every slot
             .collect()
+    }
+
+    /// Like [`Pool::map`], but workers stop claiming once `cancel` trips.
+    /// Returns one slot per index: `Some(result)` for tasks that ran,
+    /// `None` for tasks never claimed. Slots are in index order; the set
+    /// of `None` slots depends on worker timing, which is exactly why
+    /// callers (the campaign runner) treat them as "pending, re-run on
+    /// resume" rather than as failures.
+    pub fn map_cancellable<T, F>(
+        &self,
+        tasks: usize,
+        cancel: &crate::CancelToken,
+        f: F,
+    ) -> Vec<Option<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out: Vec<Option<T>> = Vec::new();
+        out.resize_with(tasks, || None);
+        {
+            let slots = crate::DisjointSlice::new(&mut out);
+            self.run_cancellable(tasks, cancel, |i| {
+                // SAFETY: each index in 0..tasks is claimed at most once by
+                // `run_cancellable`, so no two tasks touch the same slot.
+                unsafe { *slots.get_mut(i) = Some(f(i)) };
+            });
+        }
+        out
     }
 
     /// Like [`Pool::map`], but each task runs under `catch_unwind`: a
@@ -245,7 +315,7 @@ impl Pool {
                 .map(|_| {
                     s.spawn(move || {
                         let mut acc = init();
-                        worker_loop(next, tasks, 1, |i| step(&mut acc, i), telemetry);
+                        worker_loop(next, tasks, 1, |i| step(&mut acc, i), telemetry, None);
                         acc
                     })
                 })
@@ -381,6 +451,51 @@ mod tests {
             .map(|r| r.unwrap())
             .collect();
         assert_eq!(out, (1..=57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_cancellable_without_cancel_matches_map() {
+        let pool = Pool::new(4);
+        let out = pool.map_cancellable(100, &crate::CancelToken::new(), |i| i * 3);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, Some(i * 3));
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_claims_nothing() {
+        let pool = Pool::new(4);
+        let cancel = crate::CancelToken::new();
+        cancel.cancel();
+        let out = pool.map_cancellable(50, &cancel, |_| panic!("must not run"));
+        assert!(out.iter().all(|v| v.is_none()));
+    }
+
+    #[test]
+    fn mid_run_cancel_yields_partial_prefix_free_drain() {
+        let pool = Pool::new(4);
+        let cancel = crate::CancelToken::new();
+        let n = 10_000;
+        let cancel_ref = &cancel;
+        let out = pool.map_cancellable(n, cancel_ref, |i| {
+            if i == 17 {
+                cancel_ref.cancel();
+            }
+            i
+        });
+        // Every claimed task completed and landed in its own slot; the
+        // cancel point guarantees at least one ran and (with n far larger
+        // than anything 4 workers get through before noticing) at least
+        // one was never claimed.
+        let done: Vec<usize> = out.iter().flatten().copied().collect();
+        assert!(done.contains(&17));
+        assert!(done.len() < n, "cancellation must leave unclaimed tasks");
+        for (i, v) in out.iter().enumerate() {
+            if let Some(x) = v {
+                assert_eq!(*x, i);
+            }
+        }
     }
 
     #[test]

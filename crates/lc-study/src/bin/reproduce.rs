@@ -20,6 +20,15 @@
 //! off (byte-identical `run.json`), `--unit-deadline SECS` quarantines
 //! overtime work units instead of hanging, and any quarantined unit
 //! turns the exit code to 5 after all outputs are still written.
+//! Journal appends are crash-consistent single-buffer writes with an
+//! `--fsync {never,checkpoint,always}` durability policy; every other
+//! artifact is published by atomic temp-file+rename, so readers see old
+//! or new bytes, never a mixture. A lock file in `--out` rejects
+//! concurrent campaigns on the same directory. SIGINT/SIGTERM stop the
+//! campaign cooperatively at the next unit boundary, checkpoint the
+//! journal, and exit with code 7 (interrupted-but-resumable);
+//! `--mem-budget-mb MB` caps memory by shedding prefix-cache bytes and
+//! degrading the worker count.
 //!
 //! Observability: a progress heartbeat (units done, units/s, ETA,
 //! quarantine count) prints to stderr every 10 s when stderr is a
@@ -45,7 +54,9 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use gpu_sim::OptLevel;
+use lc_chaos::fs::{atomic_write, LockFile, SyncPolicy};
 use lc_data::Scale;
+use lc_parallel::CancelToken;
 use lc_study::{
     figures, report, run_campaign_with, CampaignOptions, FigId, PruneMode, Space, StudyConfig,
     SweepMode,
@@ -54,6 +65,10 @@ use lc_study::{
 /// Exit code when work units were quarantined (run completed, but some
 /// pipelines carry no data).
 const EXIT_QUARANTINE: u8 = 5;
+/// Exit code when SIGINT/SIGTERM stopped the campaign at a unit
+/// boundary: the journal is checkpointed and `--resume` continues to a
+/// byte-identical `run.json`.
+const EXIT_INTERRUPTED: u8 = 7;
 
 struct Args {
     figures: Vec<FigId>,
@@ -74,6 +89,8 @@ struct Args {
     telemetry_dir: Option<PathBuf>,
     sweep: SweepMode,
     prune: PruneMode,
+    fsync: SyncPolicy,
+    mem_budget_mb: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -96,6 +113,8 @@ fn parse_args() -> Result<Args, String> {
         telemetry_dir: None,
         sweep: SweepMode::default(),
         prune: PruneMode::default(),
+        fsync: SyncPolicy::default(),
+        mem_budget_mb: None,
     };
     // Heartbeat defaults on for interactive runs; --quiet suppresses it,
     // --heartbeat forces it (e.g. for log-captured batch runs).
@@ -173,6 +192,20 @@ fn parse_args() -> Result<Args, String> {
                 args.sweep = SweepMode::Memoized { cache_mb: mb };
             }
             "--no-prefix-cache" => args.sweep = SweepMode::Naive,
+            "--fsync" => {
+                let v = value("--fsync")?;
+                args.fsync = SyncPolicy::parse(&v)
+                    .ok_or_else(|| format!("--fsync: {v:?} is not never|checkpoint|always"))?;
+            }
+            "--mem-budget-mb" => {
+                let mb: usize = value("--mem-budget-mb")?
+                    .parse()
+                    .map_err(|e| format!("--mem-budget-mb: {e}"))?;
+                if mb == 0 {
+                    return Err("--mem-budget-mb must be positive".into());
+                }
+                args.mem_budget_mb = Some(mb);
+            }
             "--no-analyze-prune" => args.prune = PruneMode::Off,
             "--unit-deadline" => {
                 let secs: u64 = value("--unit-deadline")?
@@ -189,7 +222,8 @@ fn parse_args() -> Result<Args, String> {
                      [--threads N] [--families A,B,…] [--files f,…] [--verify] [--out DIR] \
                      [--resume] [--unit-deadline SECS] [--heartbeat SECS] [--quiet] \
                      [--telemetry-dir DIR] [--prefix-cache-mb MB] [--no-prefix-cache] \
-                     [--no-analyze-prune]"
+                     [--no-analyze-prune] [--fsync never|checkpoint|always] \
+                     [--mem-budget-mb MB]"
                 );
                 std::process::exit(0);
             }
@@ -272,6 +306,20 @@ fn main() -> ExitCode {
             sc.threads
         );
     }
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("error: cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    // Held until process exit: a second campaign on the same output
+    // directory would interleave journal appends and corrupt state.
+    let _lock = match LockFile::acquire(&args.out) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: kind=lock exit=1 {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cancel = CancelToken::watching_signals();
     let t0 = Instant::now();
     let opts = CampaignOptions {
         journal: Some(args.out.join("journal.jsonl")),
@@ -281,6 +329,9 @@ fn main() -> ExitCode {
         heartbeat: args.heartbeat,
         sweep: args.sweep,
         prune: args.prune,
+        fsync: args.fsync,
+        mem_budget_mb: args.mem_budget_mb,
+        cancel: Some(cancel.clone()),
     };
     let outcome = match run_campaign_with(&sc, &opts) {
         Ok(o) => o,
@@ -289,6 +340,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if outcome.interrupted {
+        eprintln!(
+            "error: kind=interrupt exit={EXIT_INTERRUPTED} campaign stopped by signal after \
+             {} unit(s); journal is checkpointed — rerun with --resume to continue",
+            outcome.executed_units + outcome.resumed_units
+        );
+        return ExitCode::from(EXIT_INTERRUPTED);
+    }
     let m = outcome.measurements;
     if !args.quiet {
         eprintln!(
@@ -300,11 +359,12 @@ fn main() -> ExitCode {
         match args.sweep {
             SweepMode::Memoized { .. } => eprintln!(
                 "prefix cache: {:.1}% hit rate ({} hits, {} misses, {} evictions, \
-                 peak {:.1} MB resident)",
+                 {} shed, peak {:.1} MB resident)",
                 100.0 * outcome.cache.hit_rate(),
                 outcome.cache.hits,
                 outcome.cache.misses,
                 outcome.cache.evictions,
+                outcome.cache.sheds,
                 outcome.cache.peak_resident_mb()
             ),
             SweepMode::Naive => eprintln!(
@@ -335,7 +395,7 @@ fn main() -> ExitCode {
         let events = lc_telemetry::drain();
         let write = |name: &str, contents: String| -> Result<(), String> {
             let path = dir.join(name);
-            std::fs::write(&path, contents)
+            atomic_write(&path, contents.as_bytes(), args.fsync)
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))
         };
         let result = write("trace.json", lc_telemetry::export::chrome_trace(&events))
@@ -359,23 +419,23 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Err(e) = std::fs::create_dir_all(&args.out) {
-        eprintln!("error: cannot create {}: {e}", args.out.display());
-        return ExitCode::FAILURE;
-    }
     let mut figs = Vec::new();
     for id in &args.figures {
         let fig = figures::figure(&m, *id);
         print!("{}", figures::render(&fig));
         println!();
         let csv_path = args.out.join(format!("fig{:02}.csv", id.number()));
-        if let Err(e) = std::fs::write(&csv_path, figures::to_csv(&fig)) {
+        if let Err(e) = atomic_write(&csv_path, figures::to_csv(&fig).as_bytes(), args.fsync) {
             eprintln!("error: cannot write {}: {e}", csv_path.display());
             return ExitCode::FAILURE;
         }
         if args.svg {
             let svg_path = args.out.join(format!("fig{:02}.svg", id.number()));
-            if let Err(e) = std::fs::write(&svg_path, lc_study::svg::figure_svg(&fig)) {
+            if let Err(e) = atomic_write(
+                &svg_path,
+                lc_study::svg::figure_svg(&fig).as_bytes(),
+                args.fsync,
+            ) {
                 eprintln!("error: cannot write {}: {e}", svg_path.display());
                 return ExitCode::FAILURE;
             }
@@ -400,7 +460,11 @@ fn main() -> ExitCode {
                     "decode"
                 }
             );
-            let _ = std::fs::write(args.out.join(name), figures::to_csv(&fig));
+            let _ = atomic_write(
+                &args.out.join(name),
+                figures::to_csv(&fig).as_bytes(),
+                args.fsync,
+            );
         }
     }
     if args.ratio {
@@ -411,7 +475,7 @@ fn main() -> ExitCode {
     // Machine-readable dump for downstream tooling.
     let current_json = report::to_json(&m, &figs);
     let json_path = args.out.join("run.json");
-    if let Err(e) = std::fs::write(&json_path, &current_json) {
+    if let Err(e) = atomic_write(&json_path, current_json.as_bytes(), args.fsync) {
         eprintln!("error: cannot write {}: {e}", json_path.display());
         return ExitCode::FAILURE;
     }
@@ -436,7 +500,7 @@ fn main() -> ExitCode {
     // Findings checklist + EXPERIMENTS.md.
     let md = report::experiments_markdown(&m, &figs);
     let md_path = args.out.join("EXPERIMENTS.md");
-    if let Err(e) = std::fs::write(&md_path, &md) {
+    if let Err(e) = atomic_write(&md_path, md.as_bytes(), args.fsync) {
         eprintln!("error: cannot write {}: {e}", md_path.display());
         return ExitCode::FAILURE;
     }
@@ -474,7 +538,7 @@ fn main() -> ExitCode {
                 q.reason
             ));
         }
-        let _ = std::fs::write(&report_path, &lines);
+        let _ = atomic_write(&report_path, lines.as_bytes(), args.fsync);
         eprintln!(
             "error: kind=quarantine exit={EXIT_QUARANTINE} {} work unit(s) quarantined; \
              affected pipelines carry no data (see {})",

@@ -24,14 +24,28 @@
 //!   where it died) and the campaign continues; the pipelines covered by
 //!   a quarantined unit keep zero contributions and must be interpreted
 //!   via [`CampaignOutcome::quarantined`].
+//! * **Crash consistency & interruption** — journal appends are single-
+//!   buffer crash-consistent writes ([`lc_chaos::fs::DurableFile`]) under
+//!   a [`SyncPolicy`]; the journal is fsynced at each completed input
+//!   file and at campaign end. A [`CampaignOptions::cancel`] token
+//!   (SIGINT/SIGTERM via `reproduce`) stops workers cooperatively at the
+//!   next unit boundary, checkpoints, and returns with
+//!   [`CampaignOutcome::interrupted`] set — every completed unit is
+//!   already journaled, so the run is resumable.
+//! * **Memory governance** — [`CampaignOptions::mem_budget_mb`] caps the
+//!   worker count (degrading to serial under pressure) and makes the
+//!   prefix cache shed insertions once global residency crosses half the
+//!   budget. Sweep results are bit-identical either way; only speed
+//!   changes.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use lc_chaos::fs::SyncPolicy;
 use lc_json::Value;
-use lc_parallel::Pool;
+use lc_parallel::{CancelToken, Pool};
 
 use gpu_sim::{
     all_platforms, framework_time, stage_time, throughput_gbs, Direction, OptLevel, SimConfig,
@@ -221,6 +235,23 @@ pub struct CampaignOptions {
     /// as zeros and filled from their representative at aggregation —
     /// so the mode is part of the journal resume fingerprint.
     pub prune: PruneMode,
+    /// When the journal issues `fsync`: never, at checkpoints (default),
+    /// or after every record. Informational only — not part of the
+    /// resume fingerprint, so a campaign may be resumed under a
+    /// different policy than it started with.
+    pub fsync: SyncPolicy,
+    /// Soft memory budget in MiB. Caps the per-file worker count (a
+    /// file whose working set would overflow the budget runs with fewer
+    /// workers, down to serial) and sheds prefix-cache insertions once
+    /// the cache's global residency crosses half the budget. Purely a
+    /// resource governor: measurements are bit-identical with or
+    /// without it.
+    pub mem_budget_mb: Option<usize>,
+    /// Cooperative cancellation (SIGINT/SIGTERM in `reproduce`).
+    /// When the token trips, workers stop claiming new units, the
+    /// journal is checkpointed, and the campaign returns early with
+    /// [`CampaignOutcome::interrupted`] set.
+    pub cancel: Option<CancelToken>,
 }
 
 /// Wall-clock timing of one work unit, recorded for every unit (healthy
@@ -285,6 +316,12 @@ pub struct CampaignOutcome {
     /// Contract-driven pruning summary: which part of the enumeration
     /// was proven redundant and copied instead of measured.
     pub prune: PruneReport,
+    /// True when a [`CampaignOptions::cancel`] token stopped the run
+    /// before all units executed. The journal holds every completed
+    /// unit (checkpointed), so the campaign is resumable; the
+    /// measurements in this outcome are partial and must not be
+    /// reported as final.
+    pub interrupted: bool,
 }
 
 type UnitRows = (Vec<f64>, Vec<f64>, Vec<u64>);
@@ -330,7 +367,6 @@ pub fn run_campaign_with(
         !sc.opt_levels.is_empty(),
         "campaign needs at least one opt level"
     );
-    let pool = Pool::new(sc.threads);
     let configs: Vec<SimConfig> = sc
         .opt_levels
         .iter()
@@ -365,8 +401,28 @@ pub fn run_campaign_with(
             .journal
             .as_ref()
             .ok_or_else(|| "resume requires a journal path".to_string())?;
-        if path.exists() {
+        if path.exists() && journal::effectively_empty(path)? {
+            // Crash during the very first append: the whole file is one
+            // torn line (or empty). Nothing valid to resume from — not
+            // even a fingerprint — so recreate instead of failing.
+            eprintln!(
+                "warning: journal {} holds no complete record (crash during the first \
+                 append) — starting fresh",
+                path.display()
+            );
+        } else if path.exists() {
             let j = journal::load(path)?;
+            if j.torn_bytes > 0 {
+                // The expected artifact of a kill mid-append: a partial
+                // final record. Not an error — truncate and re-run that
+                // unit. Corruption anywhere else already failed `load`.
+                eprintln!(
+                    "warning: journal {} ends in a torn record ({} bytes past the last \
+                     complete line) — truncating; the interrupted unit will be re-run",
+                    path.display(),
+                    j.torn_bytes
+                );
+            }
             if strip_informational(&j.meta) != strip_informational(&meta) {
                 return Err(format!(
                     "journal {} was written by a different campaign configuration \
@@ -387,8 +443,8 @@ pub fn run_campaign_with(
         }
     }
     let writer: Option<JournalWriter> = match (&opts.journal, journal_valid_len) {
-        (Some(path), Some(len)) => Some(JournalWriter::resume(path, len)?),
-        (Some(path), None) => Some(JournalWriter::create(path, &meta)?),
+        (Some(path), Some(len)) => Some(JournalWriter::resume(path, len, opts.fsync)?),
+        (Some(path), None) => Some(JournalWriter::create(path, &meta, opts.fsync)?),
         (None, _) => None,
     };
 
@@ -410,6 +466,12 @@ pub fn run_campaign_with(
     let heartbeat = heartbeat.as_ref();
     let mut quarantined: Vec<QuarantineEntry> = prior_quarantine.values().cloned().collect();
 
+    // Soft memory budget: half for the prefix cache (the shed limit),
+    // the rest for per-worker working sets.
+    let budget_bytes = opts.mem_budget_mb.map(|mb| (mb as u64) << 20);
+    let shed_limit = budget_bytes.map(|b| b / 2);
+    let mut interrupted = false;
+
     let mut enc_log = vec![0f64; c_total * p_total];
     let mut dec_log = vec![0f64; c_total * p_total];
     let mut compressed = vec![0u64; p_total];
@@ -425,6 +487,24 @@ pub fn run_campaign_with(
         // §5 notes every tested input fully occupies every tested GPU —
         // instead of letting fixed costs dominate tiny inputs.
         let measured_bytes = input.total_bytes();
+        // Memory governor: a work unit holds the input plus stage
+        // outputs and scratch arenas — conservatively ~8× the measured
+        // input bytes. Run only as many workers as fit in the half of
+        // the budget not reserved for the prefix cache, degrading to
+        // serial rather than failing.
+        let workers = match budget_bytes {
+            Some(budget) => {
+                let est_unit = measured_bytes.saturating_mul(8).max(1);
+                let fit = ((budget / 2) / est_unit).max(1) as usize;
+                let w = sc.threads.min(fit).max(1);
+                if w < sc.threads && lc_telemetry::enabled() {
+                    lc_telemetry::counter("campaign.mem.shed_workers").add((sc.threads - w) as u64);
+                }
+                w
+            }
+            None => sc.threads,
+        };
+        let pool = Pool::new(workers);
         let paper_bytes = file.paper_size_tenth_mb as u64 * 100_000;
         let extrapolate = paper_bytes as f64 / measured_bytes as f64;
         let chunks = paper_bytes.div_ceil(lc_core::CHUNK_SIZE as u64);
@@ -458,7 +538,6 @@ pub fn run_campaign_with(
                     && !prior_quarantine.contains_key(&(file_i, *i1))
             })
             .collect();
-        executed_units += pending.len();
 
         let journal_err: Mutex<Option<String>> = Mutex::new(None);
         let record_err = |e: String| {
@@ -469,7 +548,7 @@ pub fn run_campaign_with(
         };
         // The Err variant is boxed: quarantine is the cold path, and the
         // entry (with its timing and trace) dwarfs the Ok rows pointer.
-        let computed: Vec<Result<UnitRows, Box<QuarantineEntry>>> = pool.map(pending.len(), |k| {
+        let work = |k: usize| -> Result<UnitRows, Box<QuarantineEntry>> {
             let i1 = pending[k];
             let s1_name = sc.space.components[i1].name();
             let mut unit_span = lc_telemetry::span_in!(
@@ -491,6 +570,8 @@ pub fn run_campaign_with(
                 &opts.sweep,
                 &cache_stats,
                 &plan,
+                workers,
+                shed_limit,
             );
             let timing = UnitTiming {
                 elapsed_ms: unit_start.elapsed().as_millis() as u64,
@@ -542,10 +623,30 @@ pub fn run_campaign_with(
                 hb.unit_done();
             }
             out
-        });
+        };
+        // With a cancel token, workers stop claiming at the next unit
+        // boundary and unclaimed slots come back `None` — those units
+        // were neither executed nor journaled and simply rerun on
+        // resume. Without a token the fan-out is the historical
+        // drain-everything map.
+        let computed: Vec<Option<Result<UnitRows, Box<QuarantineEntry>>>> = match &opts.cancel {
+            Some(token) => pool.map_cancellable(pending.len(), token, work),
+            None => pool
+                .map(pending.len(), work)
+                .into_iter()
+                .map(Some)
+                .collect(),
+        };
+        executed_units += computed.iter().filter(|r| r.is_some()).count();
         // invariant: holders never panic
         if let Some(e) = journal_err.into_inner().expect("journal error mutex") {
             return Err(e);
+        }
+        // Per-file durability barrier: everything this file journaled is
+        // on disk before the next file starts (under `--fsync never`
+        // this is a no-op).
+        if let Some(w) = &writer {
+            w.checkpoint()?;
         }
 
         // Assemble this file's rows in stage-1 order: journaled units
@@ -554,8 +655,9 @@ pub fn run_campaign_with(
         unit_of.resize_with(nc, || None);
         for (k, res) in computed.into_iter().enumerate() {
             match res {
-                Ok(rows) => unit_of[pending[k]] = Some(rows),
-                Err(entry) => {
+                None => {} // cancelled before this unit was claimed
+                Some(Ok(rows)) => unit_of[pending[k]] = Some(rows),
+                Some(Err(entry)) => {
                     if !opts.isolate {
                         panic!(
                             "campaign unit file={} s1={} failed ({}): {}",
@@ -599,6 +701,19 @@ pub fn run_campaign_with(
                 compressed[i1 * stride + k] += row_comp[k];
             }
         }
+
+        if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            // Everything completed so far is journaled and checkpointed;
+            // stop claiming files and hand back a resumable state.
+            interrupted = true;
+            break;
+        }
+    }
+
+    // Final durability barrier: an uninterrupted campaign's journal is
+    // fully on disk before the caller writes derived artifacts.
+    if let Some(w) = &writer {
+        w.checkpoint()?;
     }
 
     // Fill pruned slots from their representatives. The commutation
@@ -641,6 +756,7 @@ pub fn run_campaign_with(
         executed_units,
         cache: cache_stats.report(),
         prune: plan.report(nr),
+        interrupted,
     })
 }
 
@@ -700,6 +816,8 @@ fn run_unit(
     sweep: &SweepMode,
     cache_stats: &CacheStats,
     plan: &PrunePlan,
+    workers: usize,
+    shed_limit: Option<u64>,
 ) -> Result<UnitRows, (StageFault, String)> {
     let nc = sc.space.components.len();
     let nr = sc.space.reducers.len();
@@ -714,8 +832,8 @@ fn run_unit(
     let mut row_comp = vec![0u64; stride];
 
     let mut cache = sweep
-        .per_unit_cap_bytes(sc.threads)
-        .map(|cap| UnitPrefixCache::new(cap, cache_stats));
+        .per_unit_cap_bytes(workers)
+        .map(|cap| UnitPrefixCache::new(cap, cache_stats).with_shed_limit(shed_limit));
 
     for i2 in 0..nc {
         // Pruned (s1, s2) rows are proven equivalent to their

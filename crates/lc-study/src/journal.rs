@@ -18,12 +18,22 @@
 //! A process killed mid-write leaves at most one torn final line;
 //! [`load`] tolerates exactly that (the unit is simply re-run on resume)
 //! but rejects corruption anywhere else.
+//!
+//! Appends go through [`lc_chaos::fs::DurableFile`]: each record plus
+//! its newline is serialized into one buffer and issued as a single
+//! `write_all`, so a crash can tear at most the final record — there is
+//! no window where a record is on disk without its terminator (the
+//! two-syscall window the original `writeln!` + separate flush had).
+//! Durability is governed by a [`SyncPolicy`] (`--fsync`):
+//! [`JournalWriter::checkpoint`] is the fsync point for the default
+//! `checkpoint` policy.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
+use lc_chaos::fs::{DurableFile, SyncPolicy};
 use lc_json::Value;
 
 /// Journal format version, bumped on any incompatible record change.
@@ -33,25 +43,25 @@ use lc_json::Value;
 /// parsed.
 pub const JOURNAL_VERSION: u64 = 2;
 
-/// Serializer half: appends one record per line, flushing after each so
-/// a kill at any instant loses at most the line being written.
+/// Serializer half: appends one complete line per record via a single
+/// crash-consistent `write_all`.
 pub struct JournalWriter {
-    inner: Mutex<BufWriter<File>>,
+    inner: Mutex<DurableFile>,
 }
 
 impl JournalWriter {
     /// Start a fresh journal at `path`, writing the `meta` line.
-    pub fn create(path: &Path, meta: &Value) -> Result<Self, String> {
+    pub fn create(path: &Path, meta: &Value, policy: SyncPolicy) -> Result<Self, String> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)
                     .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
             }
         }
-        let file = File::create(path)
+        let file = DurableFile::create(path, policy)
             .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?;
         let w = Self {
-            inner: Mutex::new(BufWriter::new(file)),
+            inner: Mutex::new(file),
         };
         w.append(meta)?;
         Ok(w)
@@ -61,41 +71,61 @@ impl JournalWriter {
     /// everything past `valid_len` — the validated prefix reported by
     /// [`load`]. Truncation is what keeps a torn tail from a previous
     /// kill from fusing with the first record appended after resume.
-    pub fn resume(path: &Path, valid_len: u64) -> Result<Self, String> {
+    pub fn resume(path: &Path, valid_len: u64, policy: SyncPolicy) -> Result<Self, String> {
+        let io = |e: std::io::Error| format!("cannot reposition journal {}: {e}", path.display());
+        // Pre-repair pass: clamp to the file's real length (valid_len
+        // can exceed it by one when the final good record lost only its
+        // newline) and restore that newline so the next append starts on
+        // a fresh line.
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .open(path)
             .map_err(|e| format!("cannot reopen journal {}: {e}", path.display()))?;
-        let io = |e: std::io::Error| format!("cannot reposition journal {}: {e}", path.display());
-        let len = file.metadata().map_err(io)?.len().min(valid_len);
+        let mut len = file.metadata().map_err(io)?.len().min(valid_len);
         file.set_len(len).map_err(io)?;
-        file.seek(SeekFrom::End(0)).map_err(io)?;
-        // If the last good record lost its newline, restore it so the
-        // next append starts on a fresh line.
         if len > 0 {
             file.seek(SeekFrom::End(-1)).map_err(io)?;
             let mut last = [0u8; 1];
             std::io::Read::read_exact(&mut file, &mut last).map_err(io)?;
             if last[0] != b'\n' {
                 file.write_all(b"\n").map_err(io)?;
+                len += 1;
             }
         }
+        drop(file);
+        let file = DurableFile::resume(path, len, policy).map_err(io)?;
         Ok(Self {
-            inner: Mutex::new(BufWriter::new(file)),
+            inner: Mutex::new(file),
         })
     }
 
-    /// Append one record and flush it to the OS.
+    /// Append one record as a single `record + '\n'` buffer in one
+    /// `write_all`: a crash mid-append can only leave a torn tail, never
+    /// a record without its terminator followed by another record.
     ///
     /// Callable from multiple pool workers; the mutex keeps lines whole.
     pub fn append(&self, record: &Value) -> Result<(), String> {
-        let mut w = self
-            .inner
+        let mut buf = record.dump();
+        buf.push('\n');
+        self.lock()?
+            .append(buf.as_bytes())
+            .map_err(|e| format!("journal write failed: {e}"))
+    }
+
+    /// Durability barrier (fsync under the `checkpoint`/`always`
+    /// policies): called after each completed input file and at campaign
+    /// end or interrupt.
+    pub fn checkpoint(&self) -> Result<(), String> {
+        self.lock()?
+            .checkpoint()
+            .map_err(|e| format!("journal checkpoint failed: {e}"))
+    }
+
+    fn lock(&self) -> Result<std::sync::MutexGuard<'_, DurableFile>, String> {
+        self.inner
             .lock()
-            .map_err(|_| "journal writer poisoned".to_string())?;
-        writeln!(w, "{}", record.dump()).map_err(|e| format!("journal write failed: {e}"))?;
-        w.flush().map_err(|e| format!("journal flush failed: {e}"))
+            .map_err(|_| "journal writer poisoned".to_string())
     }
 }
 
@@ -112,6 +142,10 @@ pub struct LoadedJournal {
     /// newline; a torn tail is excluded). Pass to [`JournalWriter::resume`]
     /// so appends start after the last good record.
     pub valid_len: u64,
+    /// Bytes of torn tail past the validated prefix (0 for a clean
+    /// journal). Nonzero means a previous run died mid-append; resume
+    /// reports it as a warning and truncates.
+    pub torn_bytes: u64,
 }
 
 /// Load and validate a journal file.
@@ -121,9 +155,27 @@ pub struct LoadedJournal {
 /// Malformed content anywhere else is an error: it means the file is not
 /// a journal or was corrupted, and resuming from it would silently lose
 /// work units.
+/// True when the file at `path` contains no complete record at all —
+/// it is empty, all blank lines, or a single torn line from a crash
+/// during the very first append. Such a journal carries nothing to
+/// resume from (not even a fingerprint); the caller starts fresh
+/// instead of treating it as corruption.
+pub fn effectively_empty(path: &Path) -> Result<bool, String> {
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+    let text = String::from_utf8_lossy(&bytes);
+    Ok(!text
+        .lines()
+        .any(|l| !l.trim().is_empty() && Value::parse(l).is_ok_and(|v| v.get("kind").is_some())))
+}
+
 pub fn load(path: &Path) -> Result<LoadedJournal, String> {
     let file =
         File::open(path).map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+    let file_len = file
+        .metadata()
+        .map_err(|e| format!("cannot stat journal {}: {e}", path.display()))?
+        .len();
     let reader = BufReader::new(file);
     let mut lines = Vec::new();
     for (ln, line) in reader.lines().enumerate() {
@@ -190,6 +242,7 @@ pub fn load(path: &Path) -> Result<LoadedJournal, String> {
         units,
         quarantined,
         valid_len,
+        torn_bytes: file_len.saturating_sub(valid_len),
     })
 }
 
@@ -216,7 +269,7 @@ mod tests {
     #[test]
     fn roundtrip_meta_and_units() {
         let path = temp_path("roundtrip");
-        let w = JournalWriter::create(&path, &meta()).unwrap();
+        let w = JournalWriter::create(&path, &meta(), SyncPolicy::default()).unwrap();
         w.append(&Value::object([
             ("kind", Value::from("unit")),
             ("s1_index", Value::from(3u64)),
@@ -243,7 +296,7 @@ mod tests {
     #[test]
     fn torn_final_line_is_tolerated() {
         let path = temp_path("torn");
-        let w = JournalWriter::create(&path, &meta()).unwrap();
+        let w = JournalWriter::create(&path, &meta(), SyncPolicy::default()).unwrap();
         w.append(&Value::object([
             ("kind", Value::from("unit")),
             ("s1_index", Value::from(0u64)),
@@ -280,7 +333,7 @@ mod tests {
     #[test]
     fn resume_appends_after_existing_records() {
         let path = temp_path("reopen");
-        let w = JournalWriter::create(&path, &meta()).unwrap();
+        let w = JournalWriter::create(&path, &meta(), SyncPolicy::default()).unwrap();
         w.append(&Value::object([
             ("kind", Value::from("unit")),
             ("n", Value::from(1u64)),
@@ -288,7 +341,7 @@ mod tests {
         .unwrap();
         drop(w);
         let j = load(&path).unwrap();
-        let w = JournalWriter::resume(&path, j.valid_len).unwrap();
+        let w = JournalWriter::resume(&path, j.valid_len, SyncPolicy::default()).unwrap();
         w.append(&Value::object([
             ("kind", Value::from("unit")),
             ("n", Value::from(2u64)),
@@ -303,7 +356,7 @@ mod tests {
     #[test]
     fn resume_truncates_a_torn_tail_before_appending() {
         let path = temp_path("torn-resume");
-        let w = JournalWriter::create(&path, &meta()).unwrap();
+        let w = JournalWriter::create(&path, &meta(), SyncPolicy::default()).unwrap();
         w.append(&Value::object([
             ("kind", Value::from("unit")),
             ("n", Value::from(1u64)),
@@ -316,7 +369,7 @@ mod tests {
         drop(f);
         // Resume must not fuse the next record onto the torn line.
         let j = load(&path).unwrap();
-        let w = JournalWriter::resume(&path, j.valid_len).unwrap();
+        let w = JournalWriter::resume(&path, j.valid_len, SyncPolicy::default()).unwrap();
         w.append(&Value::object([
             ("kind", Value::from("unit")),
             ("n", Value::from(3u64)),

@@ -98,6 +98,9 @@ pub struct CacheStats {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Computed entries refused admission (memory budget pressure or a
+    /// chaos allocation denial) — handed to the caller uncached.
+    sheds: AtomicU64,
     /// Bytes currently resident across all live unit caches.
     resident: AtomicU64,
     /// High-water mark of `resident`.
@@ -133,6 +136,13 @@ impl CacheStats {
         self.evictions.fetch_add(n, Ordering::Relaxed);
         if lc_telemetry::enabled() {
             lc_telemetry::counter("campaign.prefix_cache.evictions").add(n);
+        }
+    }
+
+    fn shed(&self, n: u64) {
+        self.sheds.fetch_add(n, Ordering::Relaxed);
+        if lc_telemetry::enabled() {
+            lc_telemetry::counter("campaign.prefix_cache.sheds").add(n);
         }
     }
 
@@ -183,6 +193,7 @@ impl CacheStats {
             hits,
             misses,
             evictions: self.evictions.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
             peak_resident_bytes: self.peak_resident.load(Ordering::Relaxed),
         }
     }
@@ -197,6 +208,9 @@ pub struct CacheReport {
     pub misses: u64,
     /// Level-2 entries dropped to stay under the byte cap.
     pub evictions: u64,
+    /// Computed entries never admitted (memory-budget pressure or chaos
+    /// allocation denial); the caller used them uncached.
+    pub sheds: u64,
     /// High-water mark of resident cache bytes across the campaign.
     pub peak_resident_bytes: u64,
 }
@@ -253,6 +267,10 @@ pub struct UnitPrefixCache<'s> {
     level1_resident: u64,
     tick: u64,
     stats: &'s CacheStats,
+    /// Campaign-wide residency ceiling from the soft memory budget
+    /// (`--mem-budget-mb`): a level-2 insert that would push the global
+    /// resident gauge past it is shed instead of admitted.
+    shed_limit: Option<u64>,
 }
 
 impl<'s> UnitPrefixCache<'s> {
@@ -269,7 +287,15 @@ impl<'s> UnitPrefixCache<'s> {
             level1_resident: 0,
             tick: 0,
             stats,
+            shed_limit: None,
         }
+    }
+
+    /// Attach a campaign-wide residency ceiling (see
+    /// [`Self::shed_limit`]). `None` leaves admission ungoverned.
+    pub fn with_shed_limit(mut self, limit: Option<u64>) -> Self {
+        self.shed_limit = limit;
+        self
     }
 
     /// Look up the unit's `(s1)` prefix, computing and pinning it on
@@ -310,6 +336,18 @@ impl<'s> UnitPrefixCache<'s> {
         self.stats.miss(1);
         let entry = Arc::new(compute()?);
         let bytes = entry.bytes();
+        // Admission control: under memory pressure (global residency
+        // would cross the budget's shed limit) or a chaos allocation
+        // denial, hand the entry to the caller without caching it. The
+        // result is bit-identical either way — a future lookup simply
+        // recomputes.
+        let over_budget = self
+            .shed_limit
+            .is_some_and(|lim| self.stats.resident_bytes().saturating_add(bytes) > lim);
+        if over_budget || !lc_chaos::alloc_allowed(bytes) {
+            self.stats.shed(1);
+            return Ok(entry);
+        }
         self.level2_resident += bytes;
         self.stats.resident_add(bytes);
         self.level2.insert(key, (Arc::clone(&entry), self.tick));
@@ -464,6 +502,40 @@ mod tests {
         let r = stats.report();
         assert!(r.peak_resident_bytes >= 3000);
         assert_eq!(stats.resident.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shed_limit_refuses_admission_under_pressure() {
+        let stats = CacheStats::default();
+        // entry(500).bytes() is 540; the limit admits one entry and
+        // sheds the second (540 + 540 > 1000).
+        let mut cache = UnitPrefixCache::new(u64::MAX, &stats).with_shed_limit(Some(1000));
+        cache
+            .level2(0, || -> Result<_, ()> { Ok(entry(500)) })
+            .unwrap();
+        assert_eq!(cache.level2_len(), 1);
+        let e = cache
+            .level2(1, || -> Result<_, ()> { Ok(entry(500)) })
+            .unwrap();
+        assert_eq!(
+            e.outcome.output.total_bytes(),
+            500,
+            "a shed entry is still handed to the caller"
+        );
+        assert_eq!(cache.level2_len(), 1, "shed entries are not admitted");
+        assert_eq!(stats.report().sheds, 1);
+        // A later lookup for the shed key recomputes: still a
+        // correctly-classified miss, bit-identical result.
+        let mut recomputed = false;
+        cache
+            .level2(1, || -> Result<_, ()> {
+                recomputed = true;
+                Ok(entry(500))
+            })
+            .unwrap();
+        assert!(recomputed);
+        let r = stats.report();
+        assert_eq!(r.hits + r.misses, 3);
     }
 
     #[test]

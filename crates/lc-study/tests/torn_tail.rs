@@ -1,0 +1,180 @@
+//! Torn-tail property: truncate a valid journal at *every* byte offset
+//! and put it through the resume machinery. A truncated journal models
+//! a crash mid-append with any amount of the final record persisted.
+//!
+//! Two layers, matching how `--resume` consumes a journal:
+//!
+//! 1. **Every offset, recovery machinery** — `journal::load` +
+//!    `JournalWriter::resume` must, for each prefix, either recover
+//!    (valid records parsed, torn tail truncated away, appends resume
+//!    after the last good line) or report the prefix as effectively
+//!    empty (not even the meta line survived → the campaign starts
+//!    fresh). Never a panic, never a hard error: a prefix of a valid
+//!    journal is not mid-file corruption.
+//! 2. **Sampled offsets, full campaign** — a complete
+//!    `run_campaign_with(resume: true)` from the truncated journal must
+//!    converge to results byte-identical to an uninterrupted run. Run
+//!    at every record boundary ±1 and a coarse stride in between
+//!    (full-campaign resumes are too slow for all offsets; layer 1
+//!    already covers those exhaustively).
+//!
+//! Mid-file corruption, by contrast, must stay a refusal — covered by
+//! the last test.
+
+use lc_chaos::fs::SyncPolicy;
+use lc_study::campaign::{run_campaign_with, CampaignOptions, StudyConfig};
+use lc_study::{journal, report, Space};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn tiny_config() -> StudyConfig {
+    let mut sc = StudyConfig::quick();
+    sc.space = Space::restricted_to_families(&["DIFF", "RZE"]);
+    sc.files = vec![&lc_data::SP_FILES[0]];
+    sc
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lc-torn-tail-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Produce a complete valid journal plus the reference results.
+fn journaled_reference(dir: &Path) -> (PathBuf, String, Vec<u8>) {
+    let sc = tiny_config();
+    let journal = dir.join("journal.jsonl");
+    let opts = CampaignOptions {
+        journal: Some(journal.clone()),
+        ..Default::default()
+    };
+    let reference = run_campaign_with(&sc, &opts).expect("journaled reference run");
+    let reference_json = report::to_json(&reference.measurements, &[]);
+    let full = std::fs::read(&journal).expect("read complete journal");
+    assert!(
+        full.len() >= 64,
+        "journal suspiciously small ({} bytes) — config produced no units?",
+        full.len()
+    );
+    (journal, reference_json, full)
+}
+
+#[test]
+fn recovery_machinery_survives_truncation_at_every_byte_offset() {
+    let dir = scratch_dir("every-offset");
+    let (journal, _, full) = journaled_reference(&dir);
+
+    for cut in 0..=full.len() {
+        std::fs::write(&journal, &full[..cut]).expect("write truncated journal");
+        let empty = journal::effectively_empty(&journal)
+            .unwrap_or_else(|e| panic!("cut {cut}: effectively_empty errored: {e}"));
+        if empty {
+            // Not even the meta record survived; the campaign would
+            // recreate the journal from scratch. Nothing to load.
+            continue;
+        }
+        let loaded = journal::load(&journal)
+            .unwrap_or_else(|e| panic!("cut {cut}/{}: load refused a prefix: {e}", full.len()));
+        assert!(
+            loaded.valid_len <= cut as u64 + 1,
+            "cut {cut}: valid_len {} reaches past the file (+1 is a final record \
+             missing only its newline)",
+            loaded.valid_len
+        );
+        assert_eq!(
+            loaded.torn_bytes,
+            (cut as u64).saturating_sub(loaded.valid_len),
+            "cut {cut}: torn-byte accounting wrong"
+        );
+        // Appends must resume after the last good record: the writer
+        // truncates the torn tail and restores the trailing newline.
+        let writer =
+            journal::JournalWriter::resume(&journal, loaded.valid_len, SyncPolicy::default())
+                .unwrap_or_else(|e| panic!("cut {cut}: writer resume failed: {e}"));
+        drop(writer);
+        let repaired = std::fs::read(&journal).expect("read repaired journal");
+        assert!(
+            repaired.len() as u64 >= loaded.valid_len.min(cut as u64),
+            "cut {cut}: repair lost validated bytes"
+        );
+        assert!(
+            full.starts_with(&repaired) || repaired.ends_with(b"\n"),
+            "cut {cut}: repaired journal is neither a prefix of the original nor \
+             newline-terminated"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_resume_converges_from_sampled_truncations() {
+    let sc = tiny_config();
+    let dir = scratch_dir("sampled");
+    let (journal, reference_json, full) = journaled_reference(&dir);
+
+    // Every record boundary (the newline positions) ±1 byte, offsets 0
+    // and len, plus a coarse stride through record interiors.
+    let mut cuts: BTreeSet<usize> = [0, 1, full.len()].into_iter().collect();
+    for (i, b) in full.iter().enumerate() {
+        if *b == b'\n' {
+            cuts.extend([i, i + 1, (i + 2).min(full.len())]);
+        }
+    }
+    let mut pos = 17;
+    while pos < full.len() {
+        cuts.insert(pos);
+        pos += 211;
+    }
+
+    for cut in cuts {
+        std::fs::write(&journal, &full[..cut]).expect("write truncated journal");
+        let resume_opts = CampaignOptions {
+            journal: Some(journal.clone()),
+            resume: true,
+            ..Default::default()
+        };
+        let resumed = run_campaign_with(&sc, &resume_opts)
+            .unwrap_or_else(|e| panic!("cut at byte {cut}/{}: resume failed: {e}", full.len()));
+        let json = report::to_json(&resumed.measurements, &[]);
+        assert_eq!(
+            json,
+            reference_json,
+            "cut at byte {cut}/{}: resumed results differ",
+            full.len()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mid-file corruption (a mangled record *before* the tail) must stay a
+/// clean error, not be silently truncated away.
+#[test]
+fn mid_file_corruption_is_refused_not_repaired() {
+    let sc = tiny_config();
+    let dir = scratch_dir("midfile");
+    let (journal, _, _) = journaled_reference(&dir);
+
+    let text = std::fs::read_to_string(&journal).expect("read journal");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 3, "need meta + at least two unit records");
+    // Mangle the second line (a unit record) while keeping later lines:
+    // corruption is now mid-file, not a torn tail.
+    let mut mangled: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    mangled[1] = mangled[1][..mangled[1].len() / 2].to_string();
+    std::fs::write(&journal, format!("{}\n", mangled.join("\n"))).expect("write mangled");
+
+    let resume_opts = CampaignOptions {
+        journal: Some(journal),
+        resume: true,
+        ..Default::default()
+    };
+    let err = run_campaign_with(&sc, &resume_opts)
+        .err()
+        .expect("mid-file corruption must be a hard error");
+    assert!(
+        err.contains("corrupt"),
+        "error should name the corruption, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -18,6 +18,13 @@
 //! 3. **Unique component registration.** Every registry name maps to
 //!    exactly one component and the inventory matches the paper's 62
 //!    (12 mutators + 10 shufflers + 12 predictors + 28 reducers).
+//! 4. **No bare durable-state writes.** Outside `lc-chaos` (which owns
+//!    the hardened writer), source must not call `std::fs::write` or
+//!    `File::create` directly: durable artifacts go through
+//!    `lc_chaos::fs::atomic_write` / `DurableFile` so a crash can never
+//!    leave a half-written file. One-shot user-named CLI outputs may
+//!    opt out with a `// durable-exempt:` comment on the same or
+//!    preceding line stating why partial output is acceptable.
 //!
 //! Exit status is non-zero iff any diagnostic fires, so CI can run
 //! `cargo run -p xtask -- lint` as a gate.
@@ -62,6 +69,7 @@ fn lint() -> ExitCode {
     check_forbid_unsafe(&root, &mut diagnostics);
     check_no_panics_in_libraries(&root, &mut diagnostics);
     check_unique_registration(&mut diagnostics);
+    check_hardened_durable_writes(&root, &mut diagnostics);
 
     if diagnostics.is_empty() {
         println!("xtask lint: clean");
@@ -131,6 +139,31 @@ fn scan_file_for_panics(root: &Path, file: &Path, diagnostics: &mut Vec<String>)
             return;
         }
     };
+    for_each_non_test_line(&text, |i, line, prev_line| {
+        let trimmed = line.trim();
+        // Strip line comments (and thereby doc comments) before matching.
+        // `.expect("` (message form) rather than `.expect(` keeps domain
+        // methods that happen to be called `expect` — e.g. the lc-json
+        // parser's `expect(b'{')` — out of scope.
+        let code = trimmed.split("//").next().unwrap_or("");
+        if code.contains(".unwrap()") || code.contains(".expect(\"") {
+            let excused = trimmed.contains("invariant:") || prev_line.contains("invariant:");
+            if !excused {
+                diagnostics.push(format!(
+                    "{}:{}: .unwrap()/.expect() in library code (annotate with `// invariant:` if the panic is provably unreachable)",
+                    rel(root, file),
+                    i + 1
+                ));
+            }
+        }
+    });
+}
+
+/// Calls `f(line_index, line, prev_line)` for every source line that is
+/// not inside a `#[cfg(test)]` item. `prev_line` is the previous raw
+/// line (test or not), so annotation comments directly above a call
+/// site are visible to the callback.
+fn for_each_non_test_line<'a>(text: &'a str, mut f: impl FnMut(usize, &'a str, &'a str)) {
     let mut in_test_block = false;
     let mut depth = 0i64;
     let mut pending_cfg_test = false;
@@ -165,23 +198,58 @@ fn scan_file_for_panics(root: &Path, file: &Path, diagnostics: &mut Vec<String>)
             prev_line = line;
             continue;
         }
-        // Strip line comments (and thereby doc comments) before matching.
-        // `.expect("` (message form) rather than `.expect(` keeps domain
-        // methods that happen to be called `expect` — e.g. the lc-json
-        // parser's `expect(b'{')` — out of scope.
-        let code = trimmed.split("//").next().unwrap_or("");
-        if code.contains(".unwrap()") || code.contains(".expect(\"") {
-            let excused = trimmed.contains("invariant:") || prev_line.contains("invariant:");
-            if !excused {
-                diagnostics.push(format!(
-                    "{}:{}: .unwrap()/.expect() in library code (annotate with `// invariant:` if the panic is provably unreachable)",
-                    rel(root, file),
-                    i + 1
-                ));
-            }
-        }
+        f(i, line, prev_line);
         prev_line = line;
     }
+}
+
+/// Source outside `lc-chaos` must route file creation through the
+/// hardened writer (`lc_chaos::fs::atomic_write` / `DurableFile`), so a
+/// crash mid-write can never tear a durable artifact. `// durable-exempt:`
+/// on the same or preceding line opts a user-named one-shot output out.
+fn check_hardened_durable_writes(root: &Path, diagnostics: &mut Vec<String>) {
+    for crate_dir in crate_dirs(root) {
+        let name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if name == "lc-chaos" {
+            continue; // owns the hardened writer and its raw syscalls
+        }
+        let src = crate_dir.join("src");
+        for file in rs_files(&src) {
+            scan_file_for_durable_writes(root, &file, diagnostics);
+        }
+    }
+}
+
+fn scan_file_for_durable_writes(root: &Path, file: &Path, diagnostics: &mut Vec<String>) {
+    let text = match fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            diagnostics.push(format!("{}: unreadable: {e}", rel(root, file)));
+            return;
+        }
+    };
+    for_each_non_test_line(&text, |i, line, prev_line| {
+        let trimmed = line.trim();
+        let code = trimmed.split("//").next().unwrap_or("");
+        // Needles are split so this scanner does not flag its own source.
+        let bare_create = code.contains(concat!("File::", "create("))
+            && !code.contains(concat!("DurableFile::", "create"));
+        let bare_write = code.contains(concat!("fs::", "write("));
+        if (bare_create || bare_write)
+            && !trimmed.contains("durable-exempt:")
+            && !prev_line.contains("durable-exempt:")
+        {
+            diagnostics.push(format!(
+                "{}:{}: bare File::create/fs::write (use lc_chaos::fs::atomic_write or DurableFile; annotate `// durable-exempt:` for user-named one-shot outputs)",
+                rel(root, file),
+                i + 1
+            ));
+        }
+    });
 }
 
 /// The registry must hold exactly one component per name, in the paper's
@@ -267,6 +335,7 @@ mod tests {
         check_forbid_unsafe(&root, &mut diagnostics);
         check_no_panics_in_libraries(&root, &mut diagnostics);
         check_unique_registration(&mut diagnostics);
+        check_hardened_durable_writes(&root, &mut diagnostics);
         assert!(diagnostics.is_empty(), "{diagnostics:#?}");
     }
 
@@ -275,6 +344,27 @@ mod tests {
         assert_eq!(brace_delta("mod tests { // { not counted"), 1);
         assert_eq!(brace_delta("} // close"), -1);
         assert_eq!(brace_delta("fn f() {}"), 0);
+    }
+
+    #[test]
+    fn durable_write_scanner_flags_and_excuses() {
+        let dir = std::env::temp_dir().join("xtask-lint-durable-test");
+        fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("sample.rs");
+
+        fs::write(&f, "fn bad() { std::fs::write(p, b).ok(); }\n").unwrap();
+        let mut diagnostics = Vec::new();
+        scan_file_for_durable_writes(&dir, &f, &mut diagnostics);
+        assert_eq!(diagnostics.len(), 1, "{diagnostics:#?}");
+
+        fs::write(
+            &f,
+            "fn fine() {\n    // durable-exempt: user-named output.\n    std::fs::write(p, b).ok();\n}\nfn hardened() { DurableFile::create(p, policy).ok(); }\n#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(p, b).ok(); }\n}\n",
+        )
+        .unwrap();
+        let mut clean = Vec::new();
+        scan_file_for_durable_writes(&dir, &f, &mut clean);
+        assert!(clean.is_empty(), "{clean:#?}");
     }
 
     #[test]
