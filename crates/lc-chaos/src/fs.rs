@@ -68,13 +68,29 @@ impl SyncPolicy {
 
 /// Maximum attempts for a transiently-failing operation (initial try +
 /// retries). ENOSPC storms beyond this surface as errors.
-const MAX_ATTEMPTS: u32 = 5;
+pub const MAX_ATTEMPTS: u32 = 5;
 /// EINTR is retried immediately (no backoff) with its own, much higher
 /// bound: "interrupted" means "call again", and the bound only exists so
 /// a pathological fault plan cannot spin forever.
-const MAX_EINTR: u32 = 64;
+pub const MAX_EINTR: u32 = 64;
 /// Base backoff unit; attempt `k` sleeps ~`BASE << k` plus jitter.
-const BACKOFF_BASE_US: u64 = 200;
+pub const BACKOFF_BASE_US: u64 = 200;
+
+/// The exact sleep (µs) before retrying attempt `attempt` (0-based) of
+/// the operation tagged `tag`: an exponential step plus seed-pure jitter.
+///
+/// Pure and deterministic — no wall-clock entropy — so a chaos soak's
+/// retry timing is byte-reproducible from its seed, and so the `lc-serve`
+/// client can reuse the same shape for shed-retry backoff. The tag is
+/// mixed through splitmix64 *before* combining with the attempt index;
+/// the previous `tag ^ attempt` fold made schedules collide between
+/// distinct call sites (`tag=8, attempt=9` and `tag=9, attempt=8` drew
+/// identical jitter), which correlated retries that must be independent.
+pub fn backoff_us(tag: u64, attempt: u32) -> u64 {
+    let step = BACKOFF_BASE_US << attempt;
+    let jitter = splitmix64(splitmix64(tag).wrapping_add(u64::from(attempt))) % BACKOFF_BASE_US;
+    step + jitter
+}
 
 /// Whether `e` is worth a bounded retry. Interrupted and StorageFull are
 /// the kinds the chaos layer injects; WouldBlock/TimedOut are their
@@ -105,9 +121,7 @@ pub fn retry_io<T>(tag: u64, mut f: impl FnMut() -> io::Result<T>) -> io::Result
                 eintr += 1;
             }
             Err(e) if is_transient(&e) && attempt + 1 < MAX_ATTEMPTS => {
-                let step = BACKOFF_BASE_US << attempt;
-                let jitter = splitmix64(tag ^ u64::from(attempt)) % BACKOFF_BASE_US;
-                std::thread::sleep(Duration::from_micros(step + jitter));
+                std::thread::sleep(Duration::from_micros(backoff_us(tag, attempt)));
                 attempt += 1;
             }
             Err(e) => return Err(e),
@@ -646,6 +660,76 @@ mod tests {
         #[cfg(not(target_os = "linux"))]
         let _ = lock;
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The exact retry schedules for the tags this module actually uses,
+    /// pinned to literal microsecond values: any change to the mixer, the
+    /// base, or the tag handling shows up as a diff here, which is the
+    /// property that keeps chaos-soak timing byte-reproducible per seed.
+    #[test]
+    fn backoff_schedules_are_pinned_per_tag() {
+        let schedule = |tag: u64| -> Vec<u64> { (0..4).map(|a| backoff_us(tag, a)).collect() };
+        assert_eq!(schedule(0x11), vec![248, 493, 965, 1610]);
+        assert_eq!(schedule(0x22), vec![322, 573, 961, 1747]);
+        assert_eq!(schedule(0x33), vec![275, 417, 956, 1671]);
+        assert_eq!(schedule(9), vec![326, 413, 811, 1793]);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_tag_independent() {
+        for tag in 0..64u64 {
+            for attempt in 0..MAX_ATTEMPTS {
+                assert_eq!(backoff_us(tag, attempt), backoff_us(tag, attempt));
+                let step = BACKOFF_BASE_US << attempt;
+                let b = backoff_us(tag, attempt);
+                assert!(
+                    (step..step + BACKOFF_BASE_US).contains(&b),
+                    "jitter bounded by base: {b} for step {step}"
+                );
+            }
+        }
+        // The old `tag ^ attempt` fold collided: these pairs drew the
+        // same jitter. The mixed form must keep them distinct.
+        assert_ne!(
+            backoff_us(8, 9) - (BACKOFF_BASE_US << 9),
+            backoff_us(9, 8) - (BACKOFF_BASE_US << 8),
+            "cross-site schedules must not be correlated"
+        );
+    }
+
+    /// The generous EINTR bound: interrupts retry immediately (without
+    /// consuming the backoff budget) up to [`MAX_EINTR`], after which
+    /// further interrupts fall through to the bounded-backoff path.
+    #[test]
+    fn eintr_bound_is_generous_and_separate_from_backoff_budget() {
+        // A storm of MAX_EINTR-2 interrupts is absorbed silently with no
+        // backoff attempts consumed.
+        let mut remaining = MAX_EINTR - 2;
+        let mut calls = 0u32;
+        let v = retry_io(9, || {
+            calls += 1;
+            if remaining > 0 {
+                remaining -= 1;
+                Err(io::Error::from(io::ErrorKind::Interrupted))
+            } else {
+                Ok(5u8)
+            }
+        })
+        .unwrap();
+        assert_eq!(v, 5);
+        assert_eq!(calls, MAX_EINTR - 1, "storm + final success");
+
+        // An unbounded interrupt storm terminates: MAX_EINTR-1 immediate
+        // retries, then the backoff path's MAX_ATTEMPTS, then the error
+        // surfaces instead of spinning forever.
+        let mut calls = 0u32;
+        let e = retry_io(9, || -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::from(io::ErrorKind::Interrupted))
+        })
+        .unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(calls, (MAX_EINTR - 1) + MAX_ATTEMPTS);
     }
 
     #[test]

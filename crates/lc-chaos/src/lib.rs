@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fs;
+pub mod net;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -96,6 +97,10 @@ pub enum Site {
     Alloc,
     /// A pool worker claiming its next task.
     Worker,
+    /// A `read` on a live socket (`lc-serve` request path).
+    NetRead,
+    /// A `write` on a live socket (`lc-serve` response path).
+    NetWrite,
 }
 
 impl Site {
@@ -107,6 +112,8 @@ impl Site {
             Site::Rename => 0xC0DE_0004,
             Site::Alloc => 0xC0DE_0005,
             Site::Worker => 0xC0DE_0006,
+            Site::NetRead => 0xC0DE_0007,
+            Site::NetWrite => 0xC0DE_0008,
         }
     }
 }
@@ -124,6 +131,8 @@ pub struct FaultPlan {
     rename_permille: u64,
     alloc_permille: u64,
     worker_permille: u64,
+    net_read_permille: u64,
+    net_write_permille: u64,
 }
 
 impl FaultPlan {
@@ -140,6 +149,29 @@ impl FaultPlan {
             rename_permille: 30,
             alloc_permille: 120,
             worker_permille: 20,
+            net_read_permille: 0,
+            net_write_permille: 0,
+        }
+    }
+
+    /// The serving-soak mix: faults land on the live socket paths
+    /// (interrupted and short reads/writes, dropped connections), cache
+    /// admissions, and worker schedules, while the durable-file sites
+    /// stay clean so drain-time telemetry flushes are not the thing
+    /// under test. Every fault here is one a correct server absorbs
+    /// into exactly one of {response, structured error, shed} — never
+    /// a silent drop.
+    pub fn serve(seed: u64) -> Self {
+        Self {
+            seed,
+            write_permille: 0,
+            sync_permille: 0,
+            create_permille: 0,
+            rename_permille: 0,
+            alloc_permille: 60,
+            worker_permille: 25,
+            net_read_permille: 70,
+            net_write_permille: 70,
         }
     }
 
@@ -155,6 +187,8 @@ impl FaultPlan {
             rename_permille: 0,
             alloc_permille: 0,
             worker_permille: 0,
+            net_read_permille: 0,
+            net_write_permille: 0,
         }
     }
 
@@ -177,6 +211,8 @@ impl FaultPlan {
             Site::Rename => self.rename_permille,
             Site::Alloc => self.alloc_permille,
             Site::Worker => self.worker_permille,
+            Site::NetRead => self.net_read_permille,
+            Site::NetWrite => self.net_write_permille,
         };
         if rate == 0 {
             return None;
@@ -215,6 +251,26 @@ impl FaultPlan {
             }
             Site::Alloc => FaultKind::AllocDeny,
             Site::Worker => FaultKind::Stall,
+            // Socket faults: EINTR retries immediately, a short write
+            // continues with the remainder, and TornCrash stands in for
+            // "peer reset / connection dropped mid-transfer" — the server
+            // must still account the request (error or shed), never lose it.
+            Site::NetRead => {
+                if pick < 60 {
+                    FaultKind::Eintr
+                } else {
+                    FaultKind::TornCrash
+                }
+            }
+            Site::NetWrite => {
+                if pick < 40 {
+                    FaultKind::Eintr
+                } else if pick < 75 {
+                    FaultKind::ShortWrite
+                } else {
+                    FaultKind::TornCrash
+                }
+            }
         })
     }
 }
@@ -451,12 +507,44 @@ mod tests {
                 Site::Rename,
                 Site::Alloc,
                 Site::Worker,
+                Site::NetRead,
+                Site::NetWrite,
             ] {
                 match p.decide(site, op) {
                     None | Some(FaultKind::Eintr) | Some(FaultKind::ShortWrite) => {}
                     Some(hard) => panic!("transient-only plan injected {hard:?} at {site:?}"),
                 }
             }
+        }
+    }
+
+    #[test]
+    fn serve_plan_faults_sockets_not_durable_files() {
+        let p = FaultPlan::serve(29);
+        let mut net_kinds = std::collections::BTreeSet::new();
+        for op in 0..20_000 {
+            for site in [Site::Create, Site::Write, Site::Sync, Site::Rename] {
+                assert_eq!(
+                    p.decide(site, op),
+                    None,
+                    "serve plan must leave durable-file site {site:?} clean"
+                );
+            }
+            for site in [Site::NetRead, Site::NetWrite] {
+                if let Some(k) = p.decide(site, op) {
+                    net_kinds.insert(format!("{k:?}"));
+                    assert!(
+                        matches!(
+                            k,
+                            FaultKind::Eintr | FaultKind::ShortWrite | FaultKind::TornCrash
+                        ),
+                        "unexpected socket fault {k:?}"
+                    );
+                }
+            }
+        }
+        for want in ["Eintr", "ShortWrite", "TornCrash"] {
+            assert!(net_kinds.contains(want), "missing {want} in {net_kinds:?}");
         }
     }
 

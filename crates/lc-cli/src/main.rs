@@ -9,13 +9,16 @@
 //! lc profile    FILE                              structural statistics
 //! lc simulate   --pipeline "…" [--file NAME] [--gpu NAME] [--compiler C] [--opt 1|3]
 //! lc analyze    [--format text|json] [--mutation]  contract static analysis
+//! lc serve      [--addr HOST:PORT] [--threads N] [--queue N] [--mem-budget-mb N]
+//!               [--max-decoded-bytes N] [--drain-deadline-ms N] [--chaos-seed N]
 //! ```
 //!
 //! Failures print a single structured line, `error: kind=<kind>
 //! exit=<code> <message>`, and the exit code distinguishes the cause:
 //! 1 usage/I-O, 2 corrupt archive ([`lc_core::DecodeError`]), 3 salvage
 //! completed but lost chunks, 4 decoded size above `--max-decoded-bytes`,
-//! 6 contract violations found by `lc analyze`.
+//! 6 contract violations found by `lc analyze`, 7 `lc serve` escalated
+//! its drain to a hard abort (second signal or drain deadline).
 //!
 //! Every subcommand accepts `--trace-out PATH` (Chrome trace-event JSON,
 //! loadable in Perfetto / `chrome://tracing`) and `--metrics-out PATH`
@@ -42,6 +45,10 @@ const EXIT_SALVAGE_LOSSES: u8 = 3;
 const EXIT_LIMIT: u8 = 4;
 /// `lc analyze` found contract violations.
 const EXIT_ANALYZE: u8 = 6;
+/// `lc serve` drained, but only after escalating to a hard abort
+/// (second signal or drain deadline) — in-flight requests were
+/// cancelled with structured errors rather than finishing.
+const EXIT_INTERRUPTED: u8 = 7;
 
 /// A classified CLI failure: `kind` and `exit` make scripted callers'
 /// error handling exact; `msg` is for the human.
@@ -122,6 +129,7 @@ fn main() -> ExitCode {
         "bench-components" => cmd_bench_components(rest),
         "verify" => cmd_verify(rest),
         "analyze" => cmd_analyze(rest),
+        "serve" => cmd_serve(rest),
         "--help" | "-h" | "help" => {
             println!(
                 "lc — LC compression framework reproduction\n\
@@ -135,12 +143,14 @@ fn main() -> ExitCode {
                  simulate   --pipeline P [--file NAME] [--gpu NAME] [--compiler nvcc|clang|hipcc] [--opt 1|3]\n  \
                  bench-components [--file NAME]  CPU throughput of every component\n  \
                  verify     ARCHIVE [ORIGINAL]    check an archive decodes (and matches ORIGINAL)\n  \
-                 analyze    [--format text|json] [--mutation]  check every component contract\n\
+                 analyze    [--format text|json] [--mutation]  check every component contract\n  \
+                 serve      [--addr HOST:PORT] [--threads N] [--queue N] [--mem-budget-mb N]\n             \
+                 [--max-decoded-bytes N] [--drain-deadline-ms N] [--chaos-seed N]\n\
                  aliases: pack = compress, unpack = decompress\n\
                  telemetry: any subcommand takes --trace-out PATH (Chrome trace JSON)\n\
                  and --metrics-out PATH (counter/histogram summary JSON)\n\
                  exit codes: 0 ok, 1 usage/io, 2 corrupt archive, 3 salvage with losses, \
-                 4 size limit, 6 contract violations"
+                 4 size limit, 6 contract violations, 7 serve hard-aborted its drain"
             );
             Ok(())
         }
@@ -567,6 +577,90 @@ fn cmd_analyze(rest: &[String]) -> Result<(), CliError> {
                 report.diagnostics.len(),
                 missed.len()
             ),
+        });
+    }
+    Ok(())
+}
+
+/// `lc serve` — run the deadline-governed compression service until a
+/// signal drains it. SIGINT/SIGTERM starts a graceful drain (stop
+/// accepting, finish or deadline-out in-flight requests, exit 0); a
+/// second signal or the drain deadline escalates to a hard abort
+/// (in-flight requests get structured errors, exit [`EXIT_INTERRUPTED`]).
+fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
+    fn numeric<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match flag_value(rest, name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| CliError::from(format!("{name}: {e}"))),
+        }
+    }
+
+    let cfg = lc_serve::ServeConfig {
+        addr: flag_value(rest, "--addr")
+            .unwrap_or("127.0.0.1:7399")
+            .to_string(),
+        worker_threads: numeric(rest, "--threads", 4usize)?,
+        pool_threads: numeric(rest, "--pool-threads", lc_parallel::default_threads())?,
+        queue_capacity: numeric(rest, "--queue", 64usize)?,
+        mem_budget_bytes: flag_value(rest, "--mem-budget-mb")
+            .map(|v| v.parse::<u64>().map(|mb| mb << 20))
+            .transpose()
+            .map_err(|e| CliError::from(format!("--mem-budget-mb: {e}")))?,
+        max_payload_bytes: numeric(rest, "--max-payload-bytes", 64u64 << 20)?,
+        max_decoded_bytes: max_decoded_bytes(rest)?.unwrap_or(256 << 20),
+        drain_deadline_ms: numeric(rest, "--drain-deadline-ms", 5_000u64)?,
+        chaos_seed: flag_value(rest, "--chaos-seed")
+            .map(str::parse)
+            .transpose()
+            .map_err(|e| CliError::from(format!("--chaos-seed: {e}")))?,
+    };
+
+    // SIGINT/SIGTERM drive the drain state machine; a conflicting
+    // pre-installed handler is a hard configuration error, not UB.
+    let drain = lc_parallel::CancelToken::watching_signals()
+        .map_err(|e| CliError::from(format!("cannot watch shutdown signals: {e}")))?;
+    let server = lc_serve::Server::bind(cfg.clone(), drain)
+        .map_err(|e| CliError::from(format!("bind {}: {e}", cfg.addr)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::from(format!("local_addr: {e}")))?;
+    eprintln!(
+        "lc serve: listening on {addr} (pid {}, workers {}, queue {}, drain deadline {} ms{})",
+        std::process::id(),
+        cfg.worker_threads,
+        cfg.queue_capacity,
+        cfg.drain_deadline_ms,
+        cfg.chaos_seed
+            .map(|s| format!(", chaos seed {s}"))
+            .unwrap_or_default(),
+    );
+
+    let summary = server.run();
+    println!("{}", summary.to_json().pretty());
+    if !summary.accounted() {
+        return Err(CliError {
+            kind: "serve",
+            exit: EXIT_GENERIC,
+            msg: format!(
+                "request accounting violated: {} in != {} ok + {} err + {} shed + {} write-failed",
+                summary.requests_in,
+                summary.responses_ok,
+                summary.responses_err,
+                summary.sheds,
+                summary.response_write_failed
+            ),
+        });
+    }
+    if summary.hard_aborted {
+        return Err(CliError {
+            kind: "interrupted",
+            exit: EXIT_INTERRUPTED,
+            msg: "drain escalated to hard abort; in-flight requests were cancelled".to_string(),
         });
     }
     Ok(())

@@ -206,6 +206,38 @@ pub fn encode(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Vec<u8> {
 ///
 /// Panics if the pipeline has more than [`MAX_STAGES`] stages.
 pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> EncodeResult {
+    match encode_inner(pipeline, input, pool, None) {
+        Some(r) => r,
+        // invariant: with no cancel token the pool drains every chunk.
+        None => unreachable!("uncancellable encode reported cancellation"),
+    }
+}
+
+/// Like [`encode_with_stats`], but workers poll `cancel` at every chunk
+/// claim and the encode stops at the next claim boundary once it trips.
+/// Returns `None` when cancelled — there is no partial archive; the
+/// caller (an `lc-serve` request whose deadline fired) reports
+/// `deadline_exceeded` and drops the scratch work on the floor.
+///
+/// Cancellation is deadlock-safe with respect to the decoupled look-back
+/// scan: workers only stop *between* claims, every claimed chunk still
+/// publishes its scan entry, and `scan.total()` is consulted only on the
+/// not-cancelled path where all chunks have published.
+pub fn encode_cancellable(
+    pipeline: &Pipeline,
+    input: &[u8],
+    pool: &Pool,
+    cancel: &lc_parallel::CancelToken,
+) -> Option<EncodeResult> {
+    encode_inner(pipeline, input, pool, Some(cancel))
+}
+
+fn encode_inner(
+    pipeline: &Pipeline,
+    input: &[u8],
+    pool: &Pool,
+    cancel: Option<&lc_parallel::CancelToken>,
+) -> Option<EncodeResult> {
     let stages = pipeline.stages();
     assert!(
         stages.len() <= MAX_STAGES,
@@ -229,7 +261,7 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
         let offset_slots = DisjointSlice::new(&mut offsets);
         // Each worker owns one Scratch arena for its whole claim stream:
         // stage buffers are allocated once per worker, not once per chunk.
-        pool.run_with_state(n_chunks, Scratch::new, |scratch, i| {
+        let encode_task = |scratch: &mut Scratch, i: usize| {
             let outcome = encode_one_chunk(
                 stages,
                 &input[chunk_range(i, input.len())],
@@ -240,12 +272,23 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
             // Publish this chunk's stored size; receive the cumulative size
             // of all prior chunks (decoupled look-back, as on the GPU).
             let offset = scan.publish(i, outcome.data.len() as u64);
-            // SAFETY: `run_with_state` claims each index exactly once.
+            // SAFETY: the pool claims each index at most once.
             unsafe {
                 *offset_slots.get_mut(i) = offset;
                 *outcome_slots.get_mut(i) = Some(outcome);
             }
-        });
+        };
+        match cancel {
+            Some(c) => pool.run_with_state_cancellable(n_chunks, c, Scratch::new, encode_task),
+            None => pool.run_with_state(n_chunks, Scratch::new, encode_task),
+        }
+    }
+    // The cancellation check must precede `scan.total()`: a cancelled run
+    // leaves unclaimed chunks unpublished, and `total()` asserts that
+    // every participant has published. The token is monotonic, so "not
+    // cancelled here" proves every chunk was claimed and completed.
+    if cancel.is_some_and(|c| c.is_cancelled()) {
+        return None;
     }
     let payload_total = if n_chunks == 0 { 0 } else { scan.total() } as usize;
     let outcomes: Vec<ChunkOutcome> = outcomes
@@ -324,7 +367,7 @@ pub fn encode_with_stats(pipeline: &Pipeline, input: &[u8], pool: &Pool) -> Enco
         lc_telemetry::counter("archive.encode.bytes_out").add(archive.len() as u64);
         lc_telemetry::counter("archive.encode.chunks").add(n_chunks as u64);
     }
-    EncodeResult { archive, stats }
+    Some(EncodeResult { archive, stats })
 }
 
 /// Which buffer currently holds the chunk bytes: the caller's input
@@ -572,6 +615,18 @@ pub fn decode_with_stats<R>(
 where
     R: Fn(&str) -> Option<Arc<dyn Component>>,
 {
+    decode_inner(bytes, resolve, pool, None)
+}
+
+fn decode_inner<R>(
+    bytes: &[u8],
+    resolve: R,
+    pool: &Pool,
+    cancel: Option<&lc_parallel::CancelToken>,
+) -> Result<(Vec<u8>, PipelineStats), DecodeError>
+where
+    R: Fn(&str) -> Option<Arc<dyn Component>>,
+{
     let header = parse_header(bytes)?;
     let stages: Vec<Arc<dyn Component>> = header
         .stage_names
@@ -620,6 +675,12 @@ where
         |acc, i| {
             if acc.1.is_some() {
                 return; // a chunk already failed; drain remaining work
+            }
+            // Deadline/shutdown poll at the chunk boundary: already-claimed
+            // chunks complete, remaining claims drain as Cancelled.
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                acc.1 = Some(DecodeError::Cancelled);
+                return;
             }
             let start = offsets_ref[i] as usize;
             let end = start + sizes_ref[i] as usize;
@@ -705,6 +766,11 @@ where
             }
         }
     }
+    // A deadline that fires after the last chunk but before the whole-file
+    // integrity pass still counts: the CRC walk over `out` is real work.
+    if cancel.is_some_and(|c| c.is_cancelled()) {
+        return Err(DecodeError::Cancelled);
+    }
     // Integrity: the decoded stream must match the recorded CRC — this is
     // what turns "plausible but wrong bytes" from payload corruption into
     // a hard error.
@@ -753,6 +819,31 @@ where
         });
     }
     decode(bytes, resolve, pool)
+}
+
+/// [`decode_bounded`] plus cooperative cancellation: workers poll
+/// `cancel` at every chunk boundary (and once more before the whole-file
+/// CRC pass) and the decode fails with [`DecodeError::Cancelled`] once
+/// it trips. This is the `lc-serve` unpack path — the bomb guard and the
+/// request deadline compose.
+pub fn decode_bounded_cancellable<R>(
+    bytes: &[u8],
+    resolve: R,
+    pool: &Pool,
+    max_decoded_bytes: u64,
+    cancel: &lc_parallel::CancelToken,
+) -> Result<Vec<u8>, DecodeError>
+where
+    R: Fn(&str) -> Option<Arc<dyn Component>>,
+{
+    let header = parse_header(bytes)?;
+    if header.original_len > max_decoded_bytes {
+        return Err(DecodeError::TooLarge {
+            declared: header.original_len,
+            limit: max_decoded_bytes,
+        });
+    }
+    decode_inner(bytes, resolve, pool, Some(cancel)).map(|(out, _)| out)
 }
 
 /// Best-effort decode of a damaged archive.

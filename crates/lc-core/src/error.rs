@@ -85,6 +85,10 @@ pub enum DecodeError {
         /// Limit the caller imposed.
         limit: u64,
     },
+    /// The caller's [`lc_parallel::CancelToken`] tripped (deadline or
+    /// shutdown) before the decode completed. Not a statement about the
+    /// archive: the same bytes decode fine with more time.
+    Cancelled,
 }
 
 impl fmt::Display for DecodeError {
@@ -125,6 +129,7 @@ impl fmt::Display for DecodeError {
                     "archive declares {declared} decoded bytes, above the {limit}-byte limit"
                 )
             }
+            DecodeError::Cancelled => write!(f, "decode cancelled before completion"),
         }
     }
 }

@@ -23,7 +23,7 @@ pub mod scan;
 pub mod slice;
 pub mod warp;
 
-pub use cancel::CancelToken;
+pub use cancel::{signal_count, CancelToken, SignalWatchError};
 pub use pool::Pool;
 pub use scan::{LookbackScan, SCAN_STATUS_AGGREGATE, SCAN_STATUS_INVALID, SCAN_STATUS_PREFIX};
 pub use slice::DisjointSlice;

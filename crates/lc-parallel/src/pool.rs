@@ -215,6 +215,26 @@ impl Pool {
         self.fold(tasks, init, |s, i| f(s, i), |a, _| a);
     }
 
+    /// Like [`Pool::run_with_state`], but workers poll `cancel` before every
+    /// claim and stop once it trips; unclaimed indices are never started.
+    /// This is the encoder's request-scoped shape: per-worker scratch arenas
+    /// plus a deadline token, so a blown deadline stops chunk fan-out at the
+    /// next claim boundary while already-claimed chunks finish and publish
+    /// (keeping [`crate::LookbackScan`] deadlock-free).
+    pub fn run_with_state_cancellable<S, I, F>(
+        &self,
+        tasks: usize,
+        cancel: &crate::CancelToken,
+        init: I,
+        f: F,
+    ) where
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) + Sync,
+    {
+        self.fold_cancellable(tasks, Some(cancel), init, |s, i| f(s, i), |a, _| a);
+    }
+
     /// Produce a `Vec` of `tasks` results, computing `f(i)` for each index
     /// in parallel. Results land in index order.
     pub fn map<T, F>(&self, tasks: usize, f: F) -> Vec<T>
@@ -300,6 +320,23 @@ impl Pool {
         S: Fn(&mut A, usize) + Sync,
         M: Fn(A, A) -> A,
     {
+        self.fold_cancellable(tasks, None, init, step, merge)
+    }
+
+    fn fold_cancellable<A, I, S, M>(
+        &self,
+        tasks: usize,
+        cancel: Option<&crate::CancelToken>,
+        init: I,
+        step: S,
+        merge: M,
+    ) -> A
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        S: Fn(&mut A, usize) + Sync,
+        M: Fn(A, A) -> A,
+    {
         if tasks == 0 {
             return init();
         }
@@ -315,7 +352,7 @@ impl Pool {
                 .map(|_| {
                     s.spawn(move || {
                         let mut acc = init();
-                        worker_loop(next, tasks, 1, |i| step(&mut acc, i), telemetry, None);
+                        worker_loop(next, tasks, 1, |i| step(&mut acc, i), telemetry, cancel);
                         acc
                     })
                 })
@@ -406,6 +443,45 @@ mod tests {
         );
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         assert!(states.load(Ordering::Relaxed) <= 3, "one state per worker");
+    }
+
+    #[test]
+    fn run_with_state_cancellable_stops_at_claim_boundary() {
+        let pool = Pool::new(4);
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let cancel = crate::CancelToken::new();
+        let cancel_ref = &cancel;
+        pool.run_with_state_cancellable(n, cancel_ref, Vec::<u8>::new, |scratch, i| {
+            scratch.push(0);
+            if i == 29 {
+                cancel_ref.cancel();
+            }
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        let done: usize = hits.iter().map(|h| h.load(Ordering::Relaxed)).sum();
+        assert!(
+            hits[29].load(Ordering::Relaxed) == 1,
+            "claimed task finished"
+        );
+        assert!(done < n, "cancellation must leave unclaimed tasks");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) <= 1));
+    }
+
+    #[test]
+    fn run_with_state_cancellable_untripped_matches_run_with_state() {
+        let pool = Pool::new(3);
+        let n = 500;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_with_state_cancellable(
+            n,
+            &crate::CancelToken::new(),
+            || (),
+            |(), i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

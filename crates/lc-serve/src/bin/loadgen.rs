@@ -1,0 +1,104 @@
+//! `loadgen` — seeded open-loop load generator for a running `lc serve`.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7399 [--duration-ms 5000] [--rate 200]
+//!         [--seed 1] [--workers 8] [--pipeline "DIFF_4 RZE_4"]
+//!         [--deadline-ms 2000] [--out BENCH_serve.json]
+//! ```
+//!
+//! Prints the report JSON to stdout and (with `--out`) writes it
+//! atomically. Exits 1 on bad usage, 2 when the client-side accounting
+//! identity `sent == ok + errs + failed` does not hold (a silently
+//! dropped request — the bug this tool exists to catch), 0 otherwise.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use lc_serve::loadgen::{self, LoadgenConfig};
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("{name}: {e}")),
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "loadgen — open-loop Poisson load generator for lc serve\n\
+             --addr HOST:PORT      server to drive (required)\n\
+             --duration-ms N       arrival window (default 5000)\n\
+             --rate RPS            mean request rate (default 200)\n\
+             --seed N              arrival-schedule seed (default 1)\n\
+             --workers N           client threads (default 8)\n\
+             --pipeline \"C1 C2 C3\" pack pipeline (default \"DIFF_4 RZE_4\")\n\
+             --deadline-ms N       per-request deadline, 0 = none (default 2000)\n\
+             --out PATH            write the report JSON atomically"
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let addr_text = flag(&args, "--addr").ok_or("missing --addr HOST:PORT")?;
+    let addr: SocketAddr = addr_text
+        .to_socket_addrs()
+        .map_err(|e| format!("--addr {addr_text}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--addr {addr_text}: resolves to nothing"))?;
+    let pipeline = flag(&args, "--pipeline")
+        .unwrap_or("DIFF_4 RZE_4")
+        .to_string();
+    if let Err(e) = lc_core::Pipeline::parse(&pipeline, lc_components::lookup) {
+        return Err(format!("--pipeline {pipeline:?}: {e}"));
+    }
+    let cfg = LoadgenConfig {
+        addr,
+        duration: Duration::from_millis(parse(&args, "--duration-ms", 5_000u64)?),
+        rate_rps: parse(&args, "--rate", 200.0f64)?,
+        seed: parse(&args, "--seed", 1u64)?,
+        workers: parse(&args, "--workers", 8usize)?,
+        pipeline,
+        deadline_ms: parse(&args, "--deadline-ms", 2_000u32)?,
+    };
+
+    let report = loadgen::run(&cfg);
+    let json = report.to_json().pretty();
+    println!("{json}");
+    if let Some(path) = flag(&args, "--out") {
+        lc_chaos::fs::atomic_write(
+            std::path::Path::new(path),
+            json.as_bytes(),
+            lc_chaos::fs::SyncPolicy::default(),
+        )
+        .map_err(|e| format!("{path}: {e}"))?;
+    }
+    if !report.accounted() {
+        eprintln!(
+            "error: kind=accounting exit=2 sent={} != ok={} + errs={} + failed={}",
+            report.sent, report.ok, report.errs, report.failed
+        );
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: kind=usage exit=1 {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

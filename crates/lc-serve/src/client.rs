@@ -1,0 +1,122 @@
+//! A minimal blocking client: one connection per request, with
+//! shed-aware bounded retries.
+//!
+//! Retry policy mirrors the durable-I/O layer's [`lc_chaos::fs`]
+//! schedule: at most [`lc_chaos::fs::MAX_ATTEMPTS`] attempts, sleeping
+//! the server's `retry_after` hint (for sheds) plus the deterministic
+//! [`lc_chaos::fs::backoff_us`] jitter between attempts, so a fleet of
+//! shed clients spreads out instead of thundering back in lockstep.
+//! Transport failures (resets injected by a chaos plan, torn frames)
+//! retry on the same schedule: every exposed operation is idempotent,
+//! so re-sending after an ambiguous failure is safe.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use lc_chaos::fs::{backoff_us, MAX_ATTEMPTS};
+
+use crate::proto::{self, FrameError, Request, Response};
+
+/// Why a request ultimately failed at the client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect to the server.
+    Connect(io::Error),
+    /// The exchange failed at the framing/transport layer.
+    Frame(FrameError),
+    /// Every attempt was shed or failed; the last cause is attached.
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Human-readable final cause.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Frame(e) => write!(f, "exchange failed: {e}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Connection/read bounds for one client.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    /// Largest response body this client will accept.
+    pub max_body: u64,
+    /// Per-exchange socket timeout.
+    pub io_timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` with generous default bounds.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            max_body: 1 << 30,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// One connect → request → response exchange, no retries.
+    pub fn request_once(&self, req: &Request, tag: u64) -> Result<Response, ClientError> {
+        let mut stream = TcpStream::connect(self.addr).map_err(ClientError::Connect)?;
+        stream
+            .set_read_timeout(Some(self.io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.io_timeout)))
+            .map_err(ClientError::Connect)?;
+        proto::write_request(&mut stream, req, tag)
+            .map_err(|e| ClientError::Frame(FrameError::Io(e)))?;
+        proto::read_response(&mut stream, self.max_body, tag).map_err(ClientError::Frame)
+    }
+
+    /// Exchange with bounded retries on shed responses and transport
+    /// failures. Structured error responses are *not* retried — they
+    /// are the request's termination, and the caller gets them as
+    /// `Ok(Response::Err { .. })`.
+    pub fn request_with_retry(&self, req: &Request, tag: u64) -> Result<Response, ClientError> {
+        let mut last = String::new();
+        for attempt in 0..MAX_ATTEMPTS {
+            let retry_after_ms = match self.request_once(req, tag.wrapping_add(attempt.into())) {
+                Ok(Response::Shed { retry_after_ms }) => {
+                    last = format!("shed (retry_after {retry_after_ms}ms)");
+                    u64::from(retry_after_ms)
+                }
+                Ok(resp) => return Ok(resp),
+                Err(ClientError::Frame(FrameError::OverLimit { declared, limit })) => {
+                    // Deterministic refusal; retrying cannot help.
+                    return Err(ClientError::Frame(FrameError::OverLimit {
+                        declared,
+                        limit,
+                    }));
+                }
+                Err(e) => {
+                    last = e.to_string();
+                    0
+                }
+            };
+            if attempt + 1 < MAX_ATTEMPTS {
+                let jitter_us = backoff_us(tag, attempt);
+                std::thread::sleep(Duration::from_micros(
+                    retry_after_ms
+                        .saturating_mul(1000)
+                        .saturating_add(jitter_us),
+                ));
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: MAX_ATTEMPTS,
+            last,
+        })
+    }
+}

@@ -1,0 +1,565 @@
+//! The deadline-governed, load-shedding compression server.
+//!
+//! # Lifecycle (the drain state machine)
+//!
+//! ```text
+//!           bind()            drain token cancelled
+//!            │                (SIGINT/SIGTERM or programmatic)
+//!            ▼                         │
+//!   ┌─────────────────┐               ▼
+//!   │     RUNNING     │──────▶ ┌──────────────┐     drain deadline or
+//!   │ accept + serve  │        │   DRAINING   │────▶ second signal
+//!   └─────────────────┘        │ no accepts;  │     ┌─────────────┐
+//!                              │ finish or    │     │ HARD ABORT  │
+//!                              │ deadline-out │     │ cancel all  │
+//!                              │ in-flight    │     │ request     │
+//!                              └──────┬───────┘     │ tokens      │
+//!                                     │             └──────┬──────┘
+//!                                     ▼                    │
+//!                              run() returns ◀─────────────┘
+//!                              ServeSummary
+//! ```
+//!
+//! Hard abort is still *structured*: in-flight requests observe their
+//! (now cancelled) tokens at the next chunk boundary and terminate with
+//! an `internal` error response — never a silent drop. The summary's
+//! [`ServeSummary::hard_aborted`] flag is what maps to exit code 7.
+//!
+//! # The request-termination contract
+//!
+//! Every fully-read request frame increments `requests_in` and
+//! terminates in exactly one of four ways, each incrementing exactly one
+//! counter: an ok response, a structured error response, a shed
+//! response, or a failed response write (client gone; the termination
+//! still happened, the delivery did not). [`ServeSummary::accounted`]
+//! checks the identity
+//! `requests_in == responses_ok + responses_err + sheds +
+//! response_write_failed`, and the chaos soak asserts it over 64 fault
+//! plans.
+//!
+//! Connections refused at the front door because the accept queue is
+//! full are shed *before* any request frame is read; they are accounted
+//! separately as `sheds_accept` (the client still receives a shed frame
+//! with a `retry_after` hint when the wire allows it).
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use lc_parallel::{CancelToken, Pool};
+
+use crate::arena::MemGovernor;
+use crate::exec::{execute, request_token, ExecContext, SHED_RETRY_AFTER_MS};
+use crate::proto::{self, ErrorKind, FrameError, Response};
+
+/// How the server is sized and bounded. All limits are explicit; the
+/// defaults suit the integration tests and the CI smoke job.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Connection-serving worker threads.
+    pub worker_threads: usize,
+    /// Stage-execution pool threads (shared by all requests).
+    pub pool_threads: usize,
+    /// Accepted connections waiting for a worker; beyond this, shed.
+    pub queue_capacity: usize,
+    /// Request-memory budget in bytes (`None` = ungoverned).
+    pub mem_budget_bytes: Option<u64>,
+    /// Largest request payload a frame may declare.
+    pub max_payload_bytes: u64,
+    /// Decompression-bomb guard for unpack/salvage.
+    pub max_decoded_bytes: u64,
+    /// How long DRAINING may last before escalating to hard abort.
+    pub drain_deadline_ms: u64,
+    /// Install [`lc_chaos::FaultPlan::serve`] with this seed for the
+    /// server process (CI smoke / soak harness).
+    pub chaos_seed: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            worker_threads: 4,
+            pool_threads: 2,
+            queue_capacity: 64,
+            mem_budget_bytes: None,
+            max_payload_bytes: 64 << 20,
+            max_decoded_bytes: 256 << 20,
+            drain_deadline_ms: 5_000,
+            chaos_seed: None,
+        }
+    }
+}
+
+/// Terminal accounting for one server run. See the module docs for the
+/// termination contract these counters encode.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted from the listener.
+    pub conns_accepted: u64,
+    /// Connections shed at the front door (queue full).
+    pub sheds_accept: u64,
+    /// Request frames fully read.
+    pub requests_in: u64,
+    /// Requests that terminated with an ok response.
+    pub responses_ok: u64,
+    /// Requests that terminated with a structured error response.
+    pub responses_err: u64,
+    /// Requests shed after being read (memory admission refused).
+    pub sheds: u64,
+    /// Requests whose termination could not be delivered (client gone).
+    pub response_write_failed: u64,
+    /// Connection-level transport failures before a frame was fully
+    /// read (torn reads, resets). No request was accepted on these.
+    pub conn_transport_errors: u64,
+    /// Whether drain escalated to hard abort.
+    pub hard_aborted: bool,
+}
+
+impl ServeSummary {
+    /// The exactly-once identity: every accepted request terminated in
+    /// exactly one of the four contract outcomes.
+    pub fn accounted(&self) -> bool {
+        self.requests_in
+            == self.responses_ok + self.responses_err + self.sheds + self.response_write_failed
+    }
+
+    /// Render as a JSON object for logs and the CI smoke assertion.
+    pub fn to_json(&self) -> lc_json::Value {
+        lc_json::Value::object([
+            ("conns_accepted", lc_json::Value::from(self.conns_accepted)),
+            ("sheds_accept", lc_json::Value::from(self.sheds_accept)),
+            ("requests_in", lc_json::Value::from(self.requests_in)),
+            ("responses_ok", lc_json::Value::from(self.responses_ok)),
+            ("responses_err", lc_json::Value::from(self.responses_err)),
+            ("sheds", lc_json::Value::from(self.sheds)),
+            (
+                "response_write_failed",
+                lc_json::Value::from(self.response_write_failed),
+            ),
+            (
+                "conn_transport_errors",
+                lc_json::Value::from(self.conn_transport_errors),
+            ),
+            ("hard_aborted", lc_json::Value::from(self.hard_aborted)),
+            ("accounted", lc_json::Value::from(self.accounted())),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    conns_accepted: AtomicU64,
+    sheds_accept: AtomicU64,
+    requests_in: AtomicU64,
+    responses_ok: AtomicU64,
+    responses_err: AtomicU64,
+    sheds: AtomicU64,
+    response_write_failed: AtomicU64,
+    conn_transport_errors: AtomicU64,
+    hard_aborted: AtomicBool,
+}
+
+impl Counters {
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            sheds_accept: self.sheds_accept.load(Ordering::Relaxed),
+            requests_in: self.requests_in.load(Ordering::Relaxed),
+            responses_ok: self.responses_ok.load(Ordering::Relaxed),
+            responses_err: self.responses_err.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            response_write_failed: self.response_write_failed.load(Ordering::Relaxed),
+            conn_transport_errors: self.conn_transport_errors.load(Ordering::Relaxed),
+            hard_aborted: self.hard_aborted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One accepted connection waiting for a worker.
+struct QueuedConn {
+    stream: TcpStream,
+    enqueued: Instant,
+    tag: u64,
+}
+
+struct QueueState {
+    conns: std::collections::VecDeque<QueuedConn>,
+    closed: bool,
+}
+
+/// The bounded accept queue: the explicit shed-vs-queue boundary.
+struct AcceptQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+enum Pop {
+    Conn(QueuedConn),
+    Empty,
+    Closed,
+}
+
+impl AcceptQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                conns: std::collections::VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Queue the connection, or hand it back for shedding when full or
+    /// already draining.
+    fn try_push(&self, conn: QueuedConn) -> Result<(), QueuedConn> {
+        let mut st = self.lock();
+        if st.closed || st.conns.len() >= self.capacity {
+            return Err(conn);
+        }
+        st.conns.push_back(conn);
+        lc_telemetry::gauge("serve.queue_depth").set(st.conns.len() as u64);
+        drop(st);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Stop admitting; wake every worker so it can drain and exit.
+    fn close(&self) {
+        self.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    fn pop(&self, wait: Duration) -> Pop {
+        let mut st = self.lock();
+        if st.conns.is_empty() && !st.closed {
+            let (g, _timeout) = self
+                .cond
+                .wait_timeout(st, wait)
+                .unwrap_or_else(|p| p.into_inner());
+            st = g;
+        }
+        match st.conns.pop_front() {
+            Some(conn) => {
+                lc_telemetry::gauge("serve.queue_depth").set(st.conns.len() as u64);
+                Pop::Conn(conn)
+            }
+            None if st.closed => Pop::Closed,
+            None => Pop::Empty,
+        }
+    }
+}
+
+/// A bound server, not yet running. Separating bind from run lets
+/// callers learn the ephemeral port and clone control tokens first.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    drain: CancelToken,
+    hard: CancelToken,
+    mem: Arc<MemGovernor>,
+}
+
+impl Server {
+    /// Bind the listen socket and prepare control tokens.
+    ///
+    /// `drain` is the shutdown trigger: cancel it (or construct it with
+    /// [`CancelToken::watching_signals`]) to move the server from
+    /// RUNNING to DRAINING.
+    pub fn bind(cfg: ServeConfig, drain: CancelToken) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let mem = MemGovernor::new(cfg.mem_budget_bytes);
+        Ok(Server {
+            listener,
+            cfg,
+            drain,
+            hard: CancelToken::new(),
+            mem,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared request-memory governor (tests watch its residency).
+    pub fn governor(&self) -> Arc<MemGovernor> {
+        Arc::clone(&self.mem)
+    }
+
+    /// Serve until drained. Blocks the calling thread; returns the
+    /// terminal accounting once every worker has exited.
+    pub fn run(self) -> ServeSummary {
+        let _chaos = self
+            .cfg
+            .chaos_seed
+            .map(|seed| lc_chaos::install(lc_chaos::FaultPlan::serve(seed)));
+        let exec = ExecContext {
+            pool: Pool::new(self.cfg.pool_threads),
+            max_decoded_bytes: self.cfg.max_decoded_bytes,
+            mem: Arc::clone(&self.mem),
+        };
+        let counters = Counters::default();
+        let queue = AcceptQueue::new(self.cfg.queue_capacity);
+        let workers_done = AtomicUsize::new(0);
+        let signal_base = lc_parallel::signal_count();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.cfg.worker_threads.max(1) {
+                scope.spawn(|| {
+                    loop {
+                        match queue.pop(Duration::from_millis(50)) {
+                            Pop::Conn(qc) => {
+                                lc_telemetry::histogram("serve.time_in_queue_us")
+                                    .record(qc.enqueued.elapsed().as_micros() as u64);
+                                handle_conn(
+                                    qc.stream,
+                                    qc.tag,
+                                    &exec,
+                                    &counters,
+                                    &self.cfg,
+                                    &self.drain,
+                                    &self.hard,
+                                );
+                            }
+                            Pop::Empty => {}
+                            Pop::Closed => break,
+                        }
+                    }
+                    workers_done.fetch_add(1, Ordering::Release);
+                });
+            }
+
+            // RUNNING: the accept loop.
+            let mut conn_seq: u64 = 0;
+            while !self.drain.is_cancelled() {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        conn_seq += 1;
+                        counters.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                        let qc = QueuedConn {
+                            stream,
+                            enqueued: Instant::now(),
+                            // Distinct chaos tag per connection keeps
+                            // fault draws independent across conns.
+                            tag: 0x5E4E_0000_0000_0000u64.wrapping_add(conn_seq),
+                        };
+                        if let Err(refused) = queue.try_push(qc) {
+                            counters.sheds_accept.fetch_add(1, Ordering::Relaxed);
+                            lc_telemetry::counter("serve.shed_queue").add(1);
+                            shed_connection(refused);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+
+            // DRAINING: no new work; finish or deadline-out what's in.
+            queue.close();
+            let drain_started = Instant::now();
+            let drain_deadline = Duration::from_millis(self.cfg.drain_deadline_ms);
+            let workers = self.cfg.worker_threads.max(1);
+            while workers_done.load(Ordering::Acquire) < workers {
+                let second_signal = lc_parallel::signal_count() >= signal_base + 2;
+                if !self.hard.is_cancelled()
+                    && (second_signal || drain_started.elapsed() >= drain_deadline)
+                {
+                    // HARD ABORT: cancel every request token; in-flight
+                    // work terminates with structured errors at the
+                    // next chunk boundary.
+                    self.hard.cancel();
+                    counters.hard_aborted.store(true, Ordering::Relaxed);
+                    lc_telemetry::counter("serve.hard_abort").add(1);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        counters.summary()
+    }
+}
+
+/// Shed a connection at the front door: best-effort shed frame, then
+/// close. The write is bounded so a stalled client cannot wedge the
+/// acceptor.
+fn shed_connection(qc: QueuedConn) {
+    let mut stream = qc.stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = proto::write_response(
+        &mut stream,
+        &Response::Shed {
+            retry_after_ms: SHED_RETRY_AFTER_MS,
+        },
+        qc.tag,
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// How long an idle connection waits between shutdown checks.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+/// Upper bound on any single blocking read/write once a frame started.
+/// Bounds how long a dead client can wedge a worker past drain.
+const FRAME_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn io_timed_out(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Serve one connection to completion: a sequence of request frames,
+/// each answered by exactly one response frame.
+#[allow(clippy::too_many_arguments)]
+fn handle_conn(
+    mut stream: TcpStream,
+    conn_tag: u64,
+    exec: &ExecContext,
+    counters: &Counters,
+    cfg: &ServeConfig,
+    drain: &CancelToken,
+    hard: &CancelToken,
+) {
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_write_timeout(Some(FRAME_IO_TIMEOUT)).is_err()
+    {
+        counters
+            .conn_transport_errors
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let mut req_seq: u64 = 0;
+    loop {
+        // Idle phase: wait for the next frame's first byte without
+        // committing to a long blocking read, so shutdown is observed
+        // within IDLE_POLL even on silent connections.
+        if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+            counters
+                .conn_transport_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // clean close
+            Ok(_) => {}
+            Err(ref e) if io_timed_out(e) => {
+                if drain.is_cancelled() || hard.is_cancelled() {
+                    return; // no frame in flight; drain closes idle conns
+                }
+                continue;
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                counters
+                    .conn_transport_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+
+        // Frame phase: a request is on the wire; read it fully.
+        if stream.set_read_timeout(Some(FRAME_IO_TIMEOUT)).is_err() {
+            counters
+                .conn_transport_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        req_seq += 1;
+        let tag = conn_tag.wrapping_add(req_seq.wrapping_mul(0x9E37));
+        let req = match proto::read_request(&mut stream, cfg.max_payload_bytes, tag) {
+            Ok(req) => req,
+            Err(FrameError::CleanClose) => return,
+            Err(FrameError::OverLimit { declared, limit }) => {
+                // The head was read but the payload was refused before
+                // allocation: terminate with a structured error, then
+                // close (framing cannot resync past unread payload).
+                counters.requests_in.fetch_add(1, Ordering::Relaxed);
+                respond(
+                    &mut stream,
+                    &Response::Err {
+                        kind: ErrorKind::Limit,
+                        message: format!(
+                            "request declares {declared} bytes, above the {limit}-byte limit"
+                        ),
+                    },
+                    tag,
+                    counters,
+                );
+                return;
+            }
+            Err(FrameError::Malformed(what)) => {
+                counters.requests_in.fetch_add(1, Ordering::Relaxed);
+                respond(
+                    &mut stream,
+                    &Response::Err {
+                        kind: ErrorKind::Usage,
+                        message: format!("malformed frame: {what}"),
+                    },
+                    tag,
+                    counters,
+                );
+                return;
+            }
+            Err(FrameError::Io(_)) => {
+                counters
+                    .conn_transport_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+
+        counters.requests_in.fetch_add(1, Ordering::Relaxed);
+        lc_telemetry::counter("serve.requests").add(1);
+        let token = request_token(hard, req.deadline_ms, Instant::now());
+        let resp = execute(&req, &lc_components::lookup, exec, &token);
+        if !respond(&mut stream, &resp, tag, counters) {
+            return;
+        }
+        if drain.is_cancelled() || hard.is_cancelled() {
+            return; // response delivered; close before the next frame
+        }
+    }
+}
+
+/// Write the request's one termination and bump exactly one counter.
+/// Returns whether the connection is still usable.
+fn respond(stream: &mut TcpStream, resp: &Response, tag: u64, counters: &Counters) -> bool {
+    match proto::write_response(stream, resp, tag).and_then(|()| stream.flush()) {
+        Ok(()) => {
+            let (counter, metric) = match resp {
+                Response::Ok(_) => (&counters.responses_ok, "serve.resp_ok"),
+                Response::Err { .. } => (&counters.responses_err, "serve.resp_err"),
+                Response::Shed { .. } => (&counters.sheds, "serve.resp_shed"),
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            lc_telemetry::counter(metric).add(1);
+            true
+        }
+        Err(_) => {
+            counters
+                .response_write_failed
+                .fetch_add(1, Ordering::Relaxed);
+            lc_telemetry::counter("serve.resp_write_failed").add(1);
+            false
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The chaos soak: 64 seeded fault plans against a live server, each
+//! driving real TCP traffic, asserting the request-termination contract
+//! and clean drain every time.
+//!
+//! Chaos plans are process-global, so every test here runs the
+//! install → traffic → drain cycle strictly sequentially (one test fn
+//! per concern; the 64-seed sweep is a single loop).
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use lc_parallel::CancelToken;
+use lc_serve::loadgen::{self, LoadgenConfig};
+use lc_serve::proto::{Op, Request, Response};
+use lc_serve::server::{ServeConfig, Server};
+use lc_serve::Client;
+
+/// Chaos plans are process-global; serialize every server lifecycle.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn serve_cfg(chaos_seed: Option<u64>) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        worker_threads: 4,
+        pool_threads: 2,
+        queue_capacity: 32,
+        mem_budget_bytes: Some(512 << 20),
+        max_payload_bytes: 64 << 20,
+        max_decoded_bytes: 256 << 20,
+        drain_deadline_ms: 5_000,
+        chaos_seed,
+    }
+}
+
+/// Boot a server, run one loadgen burst against it, drain, and return
+/// both sides' accounting.
+fn one_cycle(seed: u64) -> (lc_serve::ServeSummary, loadgen::LoadgenReport) {
+    let drain = CancelToken::new();
+    let server = Server::bind(serve_cfg(Some(seed)), drain.clone()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+    let report = loadgen::run(&LoadgenConfig {
+        addr,
+        duration: Duration::from_millis(80),
+        rate_rps: 250.0,
+        seed,
+        workers: 4,
+        pipeline: "DIFF_4 RZE_4".to_string(),
+        deadline_ms: 2_000,
+    });
+    drain.cancel();
+    let summary = handle.join().expect("server thread");
+    (summary, report)
+}
+
+/// 64 seeds; sockets reset, writes torn, allocations denied, workers
+/// stalled — and still: every fully-read request terminates in exactly
+/// one of {ok, structured error, shed, failed write}, every client
+/// dispatch is accounted, and drain completes without hard abort.
+#[test]
+fn soak_64_seeds_exactly_once_termination_and_clean_drain() {
+    let _g = locked();
+    let mut totals = (0u64, 0u64, 0u64); // requests, sheds, errors
+    for seed in 1..=64u64 {
+        let (summary, report) = one_cycle(seed);
+        assert!(
+            summary.accounted(),
+            "seed {seed}: server accounting broken: {summary:?}"
+        );
+        assert!(
+            !summary.hard_aborted,
+            "seed {seed}: drain escalated to hard abort: {summary:?}"
+        );
+        assert!(
+            report.accounted(),
+            "seed {seed}: client accounting broken: {report:?}"
+        );
+        assert!(report.sent > 0, "seed {seed}: loadgen sent nothing");
+        totals.0 += summary.requests_in;
+        totals.1 += summary.sheds + summary.sheds_accept;
+        totals.2 += summary.responses_err;
+    }
+    // The sweep must actually exercise the contract: traffic flowed.
+    assert!(
+        totals.0 > 64,
+        "soak barely ran: {} requests over 64 seeds",
+        totals.0
+    );
+}
+
+/// Clean-path sanity without chaos: a pack → unpack roundtrip through
+/// the live server is bit-exact, and drain accounts it.
+#[test]
+fn roundtrip_through_live_server() {
+    let _g = locked();
+    let drain = CancelToken::new();
+    let server = Server::bind(serve_cfg(None), drain.clone()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let gov = server.governor();
+    let handle = std::thread::spawn(move || server.run());
+
+    let data: Vec<u8> = (0..200_000u32).map(|i| (i / 64) as u8).collect();
+    let client = Client::new(addr);
+    let packed = match client
+        .request_with_retry(
+            &Request {
+                op: Op::Pack,
+                deadline_ms: 10_000,
+                pipeline: "BIT_4 DIFF_4 RZE_4".to_string(),
+                payload: data.clone(),
+            },
+            7,
+        )
+        .expect("pack exchange")
+    {
+        Response::Ok(bytes) => bytes,
+        other => panic!("pack failed: {other:?}"),
+    };
+    assert!(packed.len() < data.len(), "pipeline should compress this");
+
+    let unpacked = match client
+        .request_with_retry(
+            &Request {
+                op: Op::Unpack,
+                deadline_ms: 10_000,
+                pipeline: String::new(),
+                payload: packed.clone(),
+            },
+            8,
+        )
+        .expect("unpack exchange")
+    {
+        Response::Ok(bytes) => bytes,
+        other => panic!("unpack failed: {other:?}"),
+    };
+    assert_eq!(unpacked, data, "roundtrip must be bit-exact");
+
+    // Stat returns well-formed JSON naming the pipeline.
+    let stat = match client
+        .request_with_retry(
+            &Request {
+                op: Op::Stat,
+                deadline_ms: 10_000,
+                pipeline: String::new(),
+                payload: packed,
+            },
+            9,
+        )
+        .expect("stat exchange")
+    {
+        Response::Ok(bytes) => String::from_utf8(bytes).expect("stat is utf-8"),
+        other => panic!("stat failed: {other:?}"),
+    };
+    assert!(stat.contains("RZE_4"), "stat names the stages: {stat}");
+
+    drain.cancel();
+    let summary = handle.join().expect("server thread");
+    assert!(summary.accounted(), "accounting: {summary:?}");
+    assert_eq!(summary.responses_ok, 3);
+    assert_eq!(summary.responses_err, 0);
+    assert!(!summary.hard_aborted);
+    assert_eq!(gov.resident_bytes(), 0, "drained server holds no leases");
+}
+
+/// Drain escalation: a long-running in-flight request plus an
+/// aggressive drain deadline forces the hard-abort path — which still
+/// terminates the request with a structured error and keeps the
+/// accounting identity intact.
+#[test]
+fn hard_abort_still_terminates_structurally() {
+    let _g = locked();
+    let mut cfg = serve_cfg(None);
+    cfg.drain_deadline_ms = 1;
+    cfg.pool_threads = 1;
+    let drain = CancelToken::new();
+    let server = Server::bind(cfg, drain.clone()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    // A large pack (tens of MB through three stages on one pool thread)
+    // keeps a worker busy well past the 1 ms drain deadline.
+    let payload: Vec<u8> = (0..32_000_000u32).map(|i| (i % 47) as u8).collect();
+    let req_thread = std::thread::spawn(move || {
+        let client = Client::new(addr);
+        client.request_once(
+            &Request {
+                op: Op::Pack,
+                deadline_ms: 0,
+                pipeline: "BIT_4 DIFF_4 RZE_4".to_string(),
+                payload,
+            },
+            11,
+        )
+    });
+    // Give the request time to be read and enter execution.
+    std::thread::sleep(Duration::from_millis(60));
+    drain.cancel();
+    let summary = handle.join().expect("server thread");
+    let resp = req_thread.join().expect("client thread");
+
+    assert!(summary.accounted(), "accounting: {summary:?}");
+    // Either the box was fast enough to finish the pack before the
+    // escalation check ran, or the hard abort cancelled it; both are
+    // structured terminations. The contract we pin: no silent drop —
+    // every *fully-read* request gets a response or a structured error
+    // (or its write back fails and is counted); a frame the abort cut
+    // off mid-read is a connection-scoped transport error, counted on
+    // the connection, never a phantom request.
+    if summary.hard_aborted {
+        match (summary.requests_in, &resp) {
+            (1, Ok(Response::Err { .. }) | Ok(Response::Ok(_))) => {}
+            (1, Err(_)) => assert_eq!(
+                summary.response_write_failed, 1,
+                "client saw a transport error for a read request, so the \
+                 response write must be the accounted failure: {summary:?}"
+            ),
+            (0, Err(_)) => assert!(
+                summary.conn_transport_errors >= 1,
+                "frame cut off mid-read must surface on the connection: {summary:?}"
+            ),
+            other => panic!("hard abort yielded unaccounted outcome {other:?}"),
+        }
+    } else {
+        assert!(
+            matches!(resp, Ok(Response::Ok(_))),
+            "no abort, so the pack should have completed: {resp:?}"
+        );
+        assert_eq!(summary.requests_in, 1);
+    }
+}

@@ -319,7 +319,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cancel = CancelToken::watching_signals();
+    let cancel = match CancelToken::watching_signals() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: kind=signal exit=1 {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let t0 = Instant::now();
     let opts = CampaignOptions {
         journal: Some(args.out.join("journal.jsonl")),

@@ -1,0 +1,110 @@
+//! Serve roundtrip: boot the compression service in-process, pack and
+//! unpack a buffer through a real TCP socket, inspect the archive with
+//! `stat`, then drain gracefully and read the accounting summary.
+//!
+//! ```text
+//! cargo run --release --example serve_roundtrip
+//! ```
+
+use lc_repro::lc_parallel::CancelToken;
+use lc_repro::lc_serve::proto::{Op, Request, Response};
+use lc_repro::lc_serve::{Client, ServeConfig, Server};
+
+fn main() {
+    // 1. Boot a server on an ephemeral port. The drain token is how the
+    //    embedding process asks for a graceful shutdown; `lc serve`
+    //    wires the same token to SIGINT/SIGTERM.
+    let drain = CancelToken::new();
+    let server = Server::bind(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            mem_budget_bytes: Some(256 << 20),
+            ..ServeConfig::default()
+        },
+        drain.clone(),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || server.run());
+    println!("serving on {addr}");
+
+    // 2. Some compressible single-precision data.
+    let values: Vec<f32> = (0..250_000)
+        .map(|i| 300.0 + (i as f32 * 1e-4).sin())
+        .collect();
+    let input: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+
+    // 3. Pack it through the wire. The client retries sheds (with the
+    //    server-supplied retry_after hint) and transient transport
+    //    faults; structured errors come back as Response::Err.
+    let client = Client::new(addr);
+    let packed = match client
+        .request_with_retry(
+            &Request {
+                op: Op::Pack,
+                deadline_ms: 10_000,
+                pipeline: "DBEFS_4 DIFF_4 RZE_4".to_string(),
+                payload: input.clone(),
+            },
+            1,
+        )
+        .expect("pack exchange")
+    {
+        Response::Ok(bytes) => bytes,
+        other => panic!("pack failed: {other:?}"),
+    };
+    println!(
+        "packed {} -> {} bytes (ratio {:.2})",
+        input.len(),
+        packed.len(),
+        input.len() as f64 / packed.len() as f64
+    );
+
+    // 4. Stat the archive without decoding it.
+    match client
+        .request_with_retry(
+            &Request {
+                op: Op::Stat,
+                deadline_ms: 10_000,
+                pipeline: String::new(),
+                payload: packed.clone(),
+            },
+            2,
+        )
+        .expect("stat exchange")
+    {
+        Response::Ok(bytes) => {
+            println!("stat: {}", String::from_utf8(bytes).expect("stat is utf-8"));
+        }
+        other => panic!("stat failed: {other:?}"),
+    }
+
+    // 5. Unpack and verify the roundtrip is bit-exact.
+    let restored = match client
+        .request_with_retry(
+            &Request {
+                op: Op::Unpack,
+                deadline_ms: 10_000,
+                pipeline: String::new(),
+                payload: packed,
+            },
+            3,
+        )
+        .expect("unpack exchange")
+    {
+        Response::Ok(bytes) => bytes,
+        other => panic!("unpack failed: {other:?}"),
+    };
+    assert_eq!(restored, input);
+    println!("round-trip OK");
+
+    // 6. Graceful drain: stop accepting, finish in-flight work, and
+    //    hand back the accounting summary. The request-termination
+    //    identity must hold: requests_in = ok + err + sheds + failed
+    //    response writes.
+    drain.cancel();
+    let summary = handle.join().expect("server thread");
+    assert!(summary.accounted(), "termination contract: {summary:?}");
+    assert!(!summary.hard_aborted, "clean drain, no escalation");
+    println!("drain summary: {}", summary.to_json().dump());
+}

@@ -11,5 +11,6 @@ pub use lc_core;
 pub use lc_data;
 pub use lc_json;
 pub use lc_parallel;
+pub use lc_serve;
 pub use lc_study;
 pub use lc_telemetry;
