@@ -1,0 +1,386 @@
+//! Perf-regression comparison between two bench snapshots.
+//!
+//! `bench diff` reads a committed baseline (`BENCH_campaign.json` /
+//! `BENCH_serve.json`) and a freshly generated snapshot of the same
+//! schema, compares a fixed set of gated metrics, and classifies each
+//! as ok / warn / fail. The thresholds implement the repo's regression
+//! policy: a gated metric more than 15 % worse than baseline fails the
+//! build, more than 5 % worse warns. Latency percentiles and sweep-knee
+//! metrics are compared warn-only — they are real signals but too noisy
+//! on shared CI runners to gate merges on.
+//!
+//! "Worse" is direction-aware: throughput shrinking is a regression,
+//! latency growing is a regression.
+
+use lc_json::Value;
+
+/// Which way a metric improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger numbers are better (throughput, speedup, hit rate).
+    HigherIsBetter,
+    /// Smaller numbers are better (latency, overhead).
+    LowerIsBetter,
+}
+
+/// One metric the differ tracks.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// Dot-separated path into the snapshot JSON (`"archive.encode_mb_s"`).
+    pub path: &'static str,
+    /// Which way the metric improves.
+    pub direction: Direction,
+    /// Whether a fail-severity regression on this metric fails the
+    /// build. Ungated metrics cap out at warn.
+    pub gate: bool,
+}
+
+/// The gated metric set for `BENCH_campaign.json`.
+pub const CAMPAIGN_METRICS: &[MetricSpec] = &[
+    MetricSpec {
+        path: "campaign.units_per_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "sweep.speedup",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "archive.encode_mb_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "archive.decode_mb_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "telemetry.enabled_overhead_pct",
+        direction: Direction::LowerIsBetter,
+        gate: false,
+    },
+];
+
+/// The gated metric set for `BENCH_serve.json`.
+pub const SERVE_METRICS: &[MetricSpec] = &[
+    MetricSpec {
+        path: "reqs_per_sec",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "p50_us",
+        direction: Direction::LowerIsBetter,
+        gate: false,
+    },
+    MetricSpec {
+        path: "p90_us",
+        direction: Direction::LowerIsBetter,
+        gate: false,
+    },
+    MetricSpec {
+        path: "p99_us",
+        direction: Direction::LowerIsBetter,
+        gate: false,
+    },
+    MetricSpec {
+        path: "rate_sweep.knee_goodput_rps",
+        direction: Direction::HigherIsBetter,
+        gate: false,
+    },
+];
+
+/// How one metric's comparison came out, worst first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Within the warn threshold (or improved).
+    Ok,
+    /// Worse than the warn threshold, or the metric is missing from
+    /// one of the snapshots (schema drift is worth a look, not a block).
+    Warn,
+    /// A gated metric worse than the fail threshold.
+    Fail,
+}
+
+/// One metric's comparison.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// The metric's JSON path.
+    pub path: &'static str,
+    /// Baseline value, if present.
+    pub baseline: Option<f64>,
+    /// Current value, if present.
+    pub current: Option<f64>,
+    /// Regression percentage (positive = worse, direction-adjusted);
+    /// `None` when either side is missing.
+    pub regression_pct: Option<f64>,
+    /// Classification under the thresholds.
+    pub severity: Severity,
+}
+
+/// Comparison thresholds, as regression percentages.
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// Regressions beyond this warn.
+    pub warn_pct: f64,
+    /// Gated regressions beyond this fail.
+    pub fail_pct: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self {
+            warn_pct: 5.0,
+            fail_pct: 15.0,
+        }
+    }
+}
+
+/// Walk a dot-separated path into a snapshot.
+fn lookup(v: &Value, path: &str) -> Option<f64> {
+    let mut cur = v;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    cur.as_f64()
+}
+
+/// Compare `current` against `baseline` over `specs`.
+pub fn compare(
+    baseline: &Value,
+    current: &Value,
+    specs: &[MetricSpec],
+    thresholds: Thresholds,
+) -> Vec<DiffOutcome> {
+    specs
+        .iter()
+        .map(|spec| {
+            let base = lookup(baseline, spec.path);
+            let cur = lookup(current, spec.path);
+            let (regression_pct, severity) = match (base, cur) {
+                (Some(b), Some(c)) if b.abs() > f64::EPSILON => {
+                    let pct = match spec.direction {
+                        Direction::HigherIsBetter => (b - c) / b * 100.0,
+                        Direction::LowerIsBetter => (c - b) / b * 100.0,
+                    };
+                    let severity = if pct > thresholds.fail_pct && spec.gate {
+                        Severity::Fail
+                    } else if pct > thresholds.warn_pct {
+                        Severity::Warn
+                    } else {
+                        Severity::Ok
+                    };
+                    (Some(pct), severity)
+                }
+                // A zero baseline cannot express a percentage; treat as
+                // schema drift rather than inventing an infinity.
+                (Some(_), Some(_)) | (None, _) | (_, None) => (None, Severity::Warn),
+            };
+            DiffOutcome {
+                path: spec.path,
+                baseline: base,
+                current: cur,
+                regression_pct,
+                severity,
+            }
+        })
+        .collect()
+}
+
+/// The worst severity in a comparison (what the exit code reports).
+pub fn worst(outcomes: &[DiffOutcome]) -> Severity {
+    outcomes
+        .iter()
+        .map(|o| o.severity)
+        .max()
+        .unwrap_or(Severity::Ok)
+}
+
+/// Render the comparison as an aligned plain-text table.
+pub fn render(outcomes: &[DiffOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<36} {:>14} {:>14} {:>9}  {}\n",
+        "metric", "baseline", "current", "delta", "status"
+    ));
+    for o in outcomes {
+        let fmt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.2}"),
+            None => "-".to_string(),
+        };
+        let delta = match o.regression_pct {
+            // regression_pct is positive-is-worse; readers expect a
+            // signed delta where minus means "got worse".
+            Some(pct) => format!("{:+.1}%", -pct),
+            None => "-".to_string(),
+        };
+        let status = match o.severity {
+            Severity::Ok => "ok",
+            Severity::Warn => "WARN",
+            Severity::Fail => "FAIL",
+        };
+        out.push_str(&format!(
+            "{:<36} {:>14} {:>14} {:>9}  {}\n",
+            o.path,
+            fmt(o.baseline),
+            fmt(o.current),
+            delta,
+            status
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, f64)]) -> Value {
+        // One-level-deep builder: "a.b" becomes {"a": {"b": v}}.
+        let mut root: Vec<(String, Value)> = Vec::new();
+        for (path, v) in pairs {
+            match path.split_once('.') {
+                None => root.push((path.to_string(), Value::from(*v))),
+                Some((head, rest)) => {
+                    let entry = root.iter_mut().find(|(k, _)| k == head);
+                    let obj = match entry {
+                        Some((_, Value::Object(fields))) => fields,
+                        _ => {
+                            root.push((head.to_string(), Value::Object(Vec::new())));
+                            match &mut root.last_mut().unwrap().1 {
+                                Value::Object(fields) => fields,
+                                _ => unreachable!(),
+                            }
+                        }
+                    };
+                    obj.push((rest.to_string(), Value::from(*v)));
+                }
+            }
+        }
+        Value::Object(root)
+    }
+
+    const SPEC_UP: &[MetricSpec] = &[MetricSpec {
+        path: "t.mb_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    }];
+
+    #[test]
+    fn within_noise_is_ok_and_improvement_is_ok() {
+        for cur in [98.0, 100.0, 150.0] {
+            let out = compare(
+                &snap(&[("t.mb_s", 100.0)]),
+                &snap(&[("t.mb_s", cur)]),
+                SPEC_UP,
+                Thresholds::default(),
+            );
+            assert_eq!(out[0].severity, Severity::Ok, "current {cur}");
+        }
+    }
+
+    #[test]
+    fn thresholds_split_warn_from_fail() {
+        let base = snap(&[("t.mb_s", 100.0)]);
+        let warn = compare(
+            &base,
+            &snap(&[("t.mb_s", 90.0)]),
+            SPEC_UP,
+            Thresholds::default(),
+        );
+        assert_eq!(warn[0].severity, Severity::Warn);
+        let fail = compare(
+            &base,
+            &snap(&[("t.mb_s", 80.0)]),
+            SPEC_UP,
+            Thresholds::default(),
+        );
+        assert_eq!(fail[0].severity, Severity::Fail);
+        assert!((fail[0].regression_pct.unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_is_better_inverts_the_direction() {
+        let spec = &[MetricSpec {
+            path: "p99_us",
+            direction: Direction::LowerIsBetter,
+            gate: true,
+        }];
+        let base = snap(&[("p99_us", 1000.0)]);
+        let worse = compare(
+            &base,
+            &snap(&[("p99_us", 1300.0)]),
+            spec,
+            Thresholds::default(),
+        );
+        assert_eq!(worse[0].severity, Severity::Fail);
+        let better = compare(
+            &base,
+            &snap(&[("p99_us", 500.0)]),
+            spec,
+            Thresholds::default(),
+        );
+        assert_eq!(better[0].severity, Severity::Ok);
+    }
+
+    #[test]
+    fn ungated_metrics_cap_at_warn() {
+        let spec = &[MetricSpec {
+            path: "p99_us",
+            direction: Direction::LowerIsBetter,
+            gate: false,
+        }];
+        let out = compare(
+            &snap(&[("p99_us", 1000.0)]),
+            &snap(&[("p99_us", 5000.0)]),
+            spec,
+            Thresholds::default(),
+        );
+        assert_eq!(out[0].severity, Severity::Warn);
+        assert_eq!(worst(&out), Severity::Warn);
+    }
+
+    #[test]
+    fn missing_metric_warns_instead_of_failing() {
+        let out = compare(
+            &snap(&[("t.mb_s", 100.0)]),
+            &snap(&[("unrelated", 1.0)]),
+            SPEC_UP,
+            Thresholds::default(),
+        );
+        assert_eq!(out[0].severity, Severity::Warn);
+        assert_eq!(out[0].current, None);
+        assert_eq!(out[0].regression_pct, None);
+    }
+
+    #[test]
+    fn render_lists_every_metric_with_status() {
+        let out = compare(
+            &snap(&[("t.mb_s", 100.0)]),
+            &snap(&[("t.mb_s", 80.0)]),
+            SPEC_UP,
+            Thresholds::default(),
+        );
+        let table = render(&out);
+        assert!(table.contains("t.mb_s"));
+        assert!(table.contains("FAIL"));
+        assert!(table.contains("-20.0%"));
+    }
+
+    #[test]
+    fn real_snapshot_shapes_resolve() {
+        // Mirrors the committed BENCH_campaign.json nesting.
+        let v = Value::parse(
+            r#"{"campaign":{"units_per_s":31.9},"sweep":{"speedup":4.1},
+                "archive":{"encode_mb_s":177.1,"decode_mb_s":225.4},
+                "telemetry":{"enabled_overhead_pct":13.1}}"#,
+        )
+        .unwrap();
+        let out = compare(&v, &v, CAMPAIGN_METRICS, Thresholds::default());
+        assert_eq!(worst(&out), Severity::Ok);
+        assert!(out.iter().all(|o| o.regression_pct == Some(0.0)));
+    }
+}

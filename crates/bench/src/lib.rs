@@ -13,6 +13,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
+
 use std::sync::OnceLock;
 
 use lc_data::{Scale, SP_FILES};

@@ -11,6 +11,8 @@
 //! lc analyze    [--format text|json] [--mutation]  contract static analysis
 //! lc serve      [--addr HOST:PORT] [--threads N] [--queue N] [--mem-budget-mb N]
 //!               [--max-decoded-bytes N] [--drain-deadline-ms N] [--chaos-seed N]
+//!               [--flight-recorder-dump PATH]
+//! lc report     --metrics PATH [--top N]           ranked per-kernel cost centers
 //! ```
 //!
 //! Failures print a single structured line, `error: kind=<kind>
@@ -130,6 +132,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(rest),
         "analyze" => cmd_analyze(rest),
         "serve" => cmd_serve(rest),
+        "report" => cmd_report(rest),
         "--help" | "-h" | "help" => {
             println!(
                 "lc — LC compression framework reproduction\n\
@@ -145,7 +148,9 @@ fn main() -> ExitCode {
                  verify     ARCHIVE [ORIGINAL]    check an archive decodes (and matches ORIGINAL)\n  \
                  analyze    [--format text|json] [--mutation]  check every component contract\n  \
                  serve      [--addr HOST:PORT] [--threads N] [--queue N] [--mem-budget-mb N]\n             \
-                 [--max-decoded-bytes N] [--drain-deadline-ms N] [--chaos-seed N]\n\
+                 [--max-decoded-bytes N] [--drain-deadline-ms N] [--chaos-seed N]\n             \
+                 [--flight-recorder-dump PATH]\n  \
+                 report     --metrics PATH [--top N]  ranked per-kernel cost centers\n\
                  aliases: pack = compress, unpack = decompress\n\
                  telemetry: any subcommand takes --trace-out PATH (Chrome trace JSON)\n\
                  and --metrics-out PATH (counter/histogram summary JSON)\n\
@@ -618,7 +623,22 @@ fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
             .map(str::parse)
             .transpose()
             .map_err(|e| CliError::from(format!("--chaos-seed: {e}")))?,
+        flight_dump: Some(std::path::PathBuf::from(
+            flag_value(rest, "--flight-recorder-dump").unwrap_or("lc-flight.jsonl"),
+        )),
     };
+
+    // The serve black box is always on: the flight recorder arms for
+    // the process lifetime and is published on panic or hard abort;
+    // bounded metrics (cost-center counters, queue-depth gauges) record
+    // regardless of the export flags so `debug`-op dumps and summaries
+    // are never empty. The unbounded span sink still requires
+    // --trace-out, as for every other subcommand.
+    lc_telemetry::flight::arm(0);
+    if let Some(path) = &cfg.flight_dump {
+        lc_telemetry::flight::dump_on_panic(path.clone());
+    }
+    lc_telemetry::enable_metrics();
 
     // SIGINT/SIGTERM drive the drain state machine; a conflicting
     // pre-installed handler is a hard configuration error, not UB.
@@ -662,6 +682,108 @@ fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
             exit: EXIT_INTERRUPTED,
             msg: "drain escalated to hard abort; in-flight requests were cancelled".to_string(),
         });
+    }
+    Ok(())
+}
+
+/// `lc report --metrics PATH [--top N]` — rank per-kernel cost centers
+/// from a metrics export. Works on any file written by `--metrics-out`
+/// (CLI one-shots, `lc serve`) or the campaign's `metrics.json`: every
+/// kernel invocation lands in `component.<name>.<encode|decode>.*`
+/// counters and histograms, and this table answers "where did the time
+/// and bytes actually go" across both serve traffic and sweeps.
+fn cmd_report(rest: &[String]) -> Result<(), CliError> {
+    let path = flag_value(rest, "--metrics").ok_or(
+        "usage: lc report --metrics PATH [--top N] \
+         (PATH is a --metrics-out export or a campaign metrics.json)",
+    )?;
+    let top: usize = flag_value(rest, "--top")
+        .unwrap_or("20")
+        .parse()
+        .map_err(|e| format!("--top: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = lc_json::Value::parse(&text)
+        .map_err(|e| format!("{path}: not valid metrics JSON: {e:?}"))?;
+    let counters = v.get("counters");
+    let hists = match v.get("histograms") {
+        Some(lc_json::Value::Object(fields)) => fields,
+        _ => {
+            return Err(
+                format!("{path}: no histograms object — expected a --metrics-out export").into(),
+            )
+        }
+    };
+
+    struct Row {
+        component: String,
+        dir: String,
+        calls: u64,
+        bytes: u64,
+        ns: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, h) in hists {
+        let Some(center) = name
+            .strip_prefix("component.")
+            .and_then(|n| n.strip_suffix(".ns"))
+        else {
+            continue;
+        };
+        let Some((component, dir)) = center.rsplit_once('.') else {
+            continue;
+        };
+        rows.push(Row {
+            component: component.to_string(),
+            dir: dir.to_string(),
+            calls: h.get("count").and_then(|x| x.as_u64()).unwrap_or(0),
+            bytes: counters
+                .and_then(|c| c.get(&format!("component.{component}.{dir}.bytes")))
+                .and_then(|x| x.as_u64())
+                .unwrap_or(0),
+            ns: h.get("sum").and_then(|x| x.as_u64()).unwrap_or(0),
+        });
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "{path}: no component.* cost centers — generate the export with telemetry on \
+             (any subcommand with --metrics-out, or lc serve)"
+        )
+        .into());
+    }
+    rows.sort_by(|a, b| b.ns.cmp(&a.ns).then(a.component.cmp(&b.component)));
+    let total_ns: u64 = rows.iter().map(|r| r.ns).sum();
+    println!(
+        "cost centers from {path}: {} kernels, {:.2} ms attributed",
+        rows.len(),
+        total_ns as f64 / 1e6
+    );
+    println!(
+        "{:<12} {:<7} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "component", "dir", "calls", "MB", "ms", "MB/s", "share"
+    );
+    for r in rows.iter().take(top) {
+        let secs = r.ns as f64 / 1e9;
+        let mb_s = if secs > 0.0 {
+            r.bytes as f64 / 1e6 / secs
+        } else {
+            0.0
+        };
+        println!(
+            "{:<12} {:<7} {:>10} {:>10.2} {:>10.2} {:>10.1} {:>6.1}%",
+            r.component,
+            r.dir,
+            r.calls,
+            r.bytes as f64 / 1e6,
+            r.ns as f64 / 1e6,
+            mb_s,
+            100.0 * r.ns as f64 / total_ns.max(1) as f64
+        );
+    }
+    if rows.len() > top {
+        println!(
+            "… {} more cost center(s); raise --top to see them",
+            rows.len() - top
+        );
     }
     Ok(())
 }

@@ -247,7 +247,13 @@ fn encode_inner(
     let n_chunks = chunk_count(input.len());
     // Hoisted once per encode: chunk/stage instrumentation below branches
     // on this bool, so a disabled-telemetry encode pays one relaxed load.
-    let telemetry = lc_telemetry::enabled();
+    let telemetry = lc_telemetry::active();
+    let costs = if telemetry {
+        stage_costs(stages.iter().map(|s| s.name()), "encode")
+    } else {
+        Vec::new()
+    };
+    let costs = &costs;
     let mut enc_span = span!("archive.encode", bytes = input.len(), chunks = n_chunks);
 
     // Phase 1: per-chunk stage execution (one pool task per chunk, like one
@@ -267,6 +273,7 @@ fn encode_inner(
                 &input[chunk_range(i, input.len())],
                 i,
                 telemetry,
+                costs,
                 scratch,
             );
             // Publish this chunk's stored size; receive the cumulative size
@@ -390,11 +397,32 @@ impl Live {
     }
 }
 
+/// Pre-resolved per-component cost-attribution handles: one registry
+/// lookup per archive call instead of per chunk×stage. `bytes` counts
+/// every byte a component was fed; `ns` holds the distribution of its
+/// per-chunk kernel time. Together they are the
+/// `component.<name>.{encode,decode}.{bytes,ns}` metrics that the
+/// `lc report` cost-center table ranks.
+struct StageCost {
+    bytes: &'static lc_telemetry::Counter,
+    ns: &'static lc_telemetry::Histogram,
+}
+
+fn stage_costs<'a>(names: impl Iterator<Item = &'a str>, dir: &str) -> Vec<StageCost> {
+    names
+        .map(|n| StageCost {
+            bytes: lc_telemetry::counter(&format!("component.{n}.{dir}.bytes")),
+            ns: lc_telemetry::histogram(&format!("component.{n}.{dir}.ns")),
+        })
+        .collect()
+}
+
 fn encode_one_chunk(
     stages: &[Arc<dyn Component>],
     chunk: &[u8],
     chunk_index: usize,
     telemetry: bool,
+    costs: &[StageCost],
     scratch: &mut Scratch,
 ) -> ChunkOutcome {
     let crc = crate::checksum::crc32(chunk);
@@ -428,6 +456,7 @@ fn encode_one_chunk(
         } else {
             Span::disabled()
         };
+        let t0 = if telemetry { lc_telemetry::now_ns() } else { 0 };
         let applied = match live {
             Live::Input => {
                 crate::scratch::encode_stage(comp.as_ref(), chunk, &mut scratch.a, &mut rec.kernel)
@@ -445,6 +474,14 @@ fn encode_one_chunk(
                 &mut rec.kernel,
             ),
         };
+        if telemetry {
+            // Attribute the kernel's cost to the component even when the
+            // output was discarded (copy-on-expand): the work happened.
+            costs[s].bytes.add(rec.bytes_in);
+            costs[s]
+                .ns
+                .record(lc_telemetry::now_ns().saturating_sub(t0));
+        }
         rec.applied = applied;
         rec.bytes_out = if applied {
             let written = match live.advance() {
@@ -635,7 +672,13 @@ where
         .collect::<Result<_, _>>()?;
 
     let n_chunks = header.chunks as usize;
-    let telemetry = lc_telemetry::enabled();
+    let telemetry = lc_telemetry::active();
+    let costs = if telemetry {
+        stage_costs(header.stage_names.iter().map(|s| s.as_str()), "decode")
+    } else {
+        Vec::new()
+    };
+    let costs_ref = &costs;
     let mut dec_span = span!("archive.decode", bytes = bytes.len(), chunks = n_chunks);
     let ChunkTable { masks, sizes, crcs } = parse_chunk_table(bytes, &header);
     // Chunk payload start offsets: a prefix scan, as in the GPU decoder.
@@ -699,6 +742,7 @@ where
                 &mut acc.0,
                 i,
                 telemetry,
+                costs_ref,
                 &mut acc.2,
             ) {
                 Ok(decoded) => {
@@ -892,7 +936,13 @@ where
     let original_len = header.original_len as usize;
     let stages_ref = &stages;
     let crcs_ref = crcs.as_deref();
-    let telemetry = lc_telemetry::enabled();
+    let telemetry = lc_telemetry::active();
+    let costs = if telemetry {
+        stage_costs(header.stage_names.iter().map(|s| s.as_str()), "decode")
+    } else {
+        Vec::new()
+    };
+    let costs_ref = &costs;
     let _salvage_span = span!(
         "archive.decode_salvage",
         bytes = bytes.len(),
@@ -924,6 +974,7 @@ where
                 &mut records,
                 i,
                 telemetry,
+                costs_ref,
                 &mut scratch,
             )
             .map(|d| d.to_vec())
@@ -1012,6 +1063,7 @@ fn decode_chunk_into<'s>(
     records: &mut [StageRecord],
     chunk_index: usize,
     telemetry: bool,
+    costs: &[StageCost],
     scratch: &'s mut Scratch,
 ) -> Result<&'s [u8], DecodeError> {
     let mut live = Live::Input;
@@ -1054,26 +1106,34 @@ fn decode_chunk_into<'s>(
         } else {
             Span::disabled()
         };
-        match live {
+        let t0 = if telemetry { lc_telemetry::now_ns() } else { 0 };
+        let stage_result = match live {
             Live::Input => crate::scratch::decode_stage(
                 comp.as_ref(),
                 payload,
                 &mut scratch.a,
                 &mut rec.kernel,
-            )?,
+            ),
             Live::A => crate::scratch::decode_stage(
                 comp.as_ref(),
                 &scratch.a,
                 &mut scratch.b,
                 &mut rec.kernel,
-            )?,
+            ),
             Live::B => crate::scratch::decode_stage(
                 comp.as_ref(),
                 &scratch.b,
                 &mut scratch.a,
                 &mut rec.kernel,
-            )?,
+            ),
+        };
+        if telemetry {
+            costs[s].bytes.add(bytes_in as u64);
+            costs[s]
+                .ns
+                .record(lc_telemetry::now_ns().saturating_sub(t0));
         }
+        stage_result?;
         live = live.advance();
         let bytes_out = match live {
             Live::A => scratch.a.len(),

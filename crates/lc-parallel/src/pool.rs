@@ -72,17 +72,22 @@ fn worker_loop<F>(
     let total_ns = lc_telemetry::now_ns().saturating_sub(start_ns);
     let wait_ns = total_ns.saturating_sub(busy_ns);
     wait_hist.record(wait_ns);
-    lc_telemetry::record(Event {
+    let mut args = vec![
+        ("tasks", ArgValue::from(claimed)),
+        ("busy_ns", ArgValue::from(busy_ns)),
+        ("wait_ns", ArgValue::from(wait_ns)),
+    ];
+    let req = lc_telemetry::current_request();
+    if req != 0 {
+        args.push(("req", ArgValue::from(req)));
+    }
+    lc_telemetry::emit(Event {
         name: "worker",
         cat: "pool",
         ts_ns: start_ns,
         dur_ns: total_ns,
         tid: 0, // filled by `record`
-        args: vec![
-            ("tasks", ArgValue::from(claimed)),
-            ("busy_ns", ArgValue::from(busy_ns)),
-            ("wait_ns", ArgValue::from(wait_ns)),
-        ],
+        args,
     });
     // Scoped threads are observed "finished" before TLS destructors run,
     // so hand the buffer to the sink before the closure returns.
@@ -176,7 +181,11 @@ impl Pool {
         let workers = self.threads.min(tasks);
         // Hoisted once per call: workers below branch on a plain bool, so a
         // disabled-telemetry run costs this single relaxed load in total.
-        let telemetry = lc_telemetry::enabled();
+        let telemetry = lc_telemetry::active();
+        // Propagate the submitting thread's request scope into the
+        // workers, so per-chunk stage spans stay linked to the request
+        // that triggered them.
+        let req = lc_telemetry::current_request();
         let _span = span_in!(
             "pool",
             "run",
@@ -188,12 +197,16 @@ impl Pool {
         let f = &f;
         let next = &next;
         if workers == 1 {
+            // Runs on the caller's thread, which already carries `req`.
             worker_loop(next, tasks, grain, f, telemetry, cancel);
             return;
         }
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(move || worker_loop(next, tasks, grain, f, telemetry, cancel));
+                s.spawn(move || {
+                    let _scope = lc_telemetry::request_scope(req);
+                    worker_loop(next, tasks, grain, f, telemetry, cancel)
+                });
             }
         });
     }
@@ -341,7 +354,8 @@ impl Pool {
             return init();
         }
         let workers = self.threads.min(tasks);
-        let telemetry = lc_telemetry::enabled();
+        let telemetry = lc_telemetry::active();
+        let req = lc_telemetry::current_request();
         let _span = span_in!("pool", "fold", tasks = tasks, workers = workers);
         let next = AtomicUsize::new(0);
         let next = &next;
@@ -351,6 +365,7 @@ impl Pool {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(move || {
+                        let _scope = lc_telemetry::request_scope(req);
                         let mut acc = init();
                         worker_loop(next, tasks, 1, |i| step(&mut acc, i), telemetry, cancel);
                         acc

@@ -4,18 +4,26 @@
 //! loadgen --addr 127.0.0.1:7399 [--duration-ms 5000] [--rate 200]
 //!         [--seed 1] [--workers 8] [--pipeline "DIFF_4 RZE_4"]
 //!         [--deadline-ms 2000] [--out BENCH_serve.json]
+//!         [--rate-sweep] [--rate-start 50] [--rate-max 3200]
+//!         [--rate-factor 2.0] [--shed-threshold 0.05]
+//!         [--step-duration-ms 2000]
 //! ```
 //!
 //! Prints the report JSON to stdout and (with `--out`) writes it
 //! atomically. Exits 1 on bad usage, 2 when the client-side accounting
 //! identity `sent == ok + errs + failed` does not hold (a silently
 //! dropped request — the bug this tool exists to catch), 0 otherwise.
+//!
+//! With `--rate-sweep`, a fixed-rate run happens first (that is the
+//! regression-gated measurement), then the offered rate steps
+//! geometrically until the shed tolerance is exceeded; the knee (best
+//! goodput within tolerance) lands in the report's `rate_sweep` section.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 use std::time::Duration;
 
-use lc_serve::loadgen::{self, LoadgenConfig};
+use lc_serve::loadgen::{self, LoadgenConfig, RateSweepConfig};
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -46,7 +54,14 @@ fn run() -> Result<ExitCode, String> {
              --workers N           client threads (default 8)\n\
              --pipeline \"C1 C2 C3\" pack pipeline (default \"DIFF_4 RZE_4\")\n\
              --deadline-ms N       per-request deadline, 0 = none (default 2000)\n\
-             --out PATH            write the report JSON atomically"
+             --out PATH            write the report JSON atomically\n\
+             --rate-sweep          after the fixed-rate run, step offered load\n\
+                                   to find the shed knee (capacity estimate)\n\
+             --rate-start RPS      first sweep rate (default 50)\n\
+             --rate-max RPS        sweep rate ceiling (default 3200)\n\
+             --rate-factor F       multiplicative sweep step (default 2.0)\n\
+             --shed-threshold F    shed tolerance ending the sweep (default 0.05)\n\
+             --step-duration-ms N  per-step arrival window (default 2000)"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -73,7 +88,28 @@ fn run() -> Result<ExitCode, String> {
     };
 
     let report = loadgen::run(&cfg);
-    let json = report.to_json().pretty();
+    let mut value = report.to_json();
+    if args.iter().any(|a| a == "--rate-sweep") {
+        let sweep_cfg = RateSweepConfig {
+            base: cfg.clone(),
+            rate_start: parse(&args, "--rate-start", 50.0f64)?,
+            rate_max: parse(&args, "--rate-max", 3_200.0f64)?,
+            rate_factor: parse(&args, "--rate-factor", 2.0f64)?,
+            shed_threshold: parse(&args, "--shed-threshold", 0.05f64)?,
+            step_duration: Duration::from_millis(parse(&args, "--step-duration-ms", 2_000u64)?),
+        };
+        let sweep = loadgen::rate_sweep(&sweep_cfg);
+        eprintln!(
+            "rate sweep: knee at {:.0} rps offered / {:.0} rps goodput over {} step(s)",
+            sweep.knee_offered_rps,
+            sweep.knee_goodput_rps,
+            sweep.steps.len()
+        );
+        if let lc_json::Value::Object(fields) = &mut value {
+            fields.push(("rate_sweep".to_string(), sweep.to_json()));
+        }
+    }
+    let json = value.pretty();
     println!("{json}");
     if let Some(path) = flag(&args, "--out") {
         lc_chaos::fs::atomic_write(

@@ -89,6 +89,9 @@ impl Client {
         for attempt in 0..MAX_ATTEMPTS {
             let retry_after_ms = match self.request_once(req, tag.wrapping_add(attempt.into())) {
                 Ok(Response::Shed { retry_after_ms }) => {
+                    // Retried sheds are invisible to the caller, so the
+                    // rate-sweep knee detector watches this counter.
+                    lc_telemetry::counter("client.shed_observed").add(1);
                     last = format!("shed (retry_after {retry_after_ms}ms)");
                     u64::from(retry_after_ms)
                 }

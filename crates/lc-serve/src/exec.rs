@@ -83,11 +83,11 @@ pub fn execute<R>(req: &Request, resolve: &R, ctx: &ExecContext, cancel: &Cancel
 where
     R: Fn(&str) -> Option<Arc<dyn Component>>,
 {
-    let _span = lc_telemetry::span_in!("serve", "execute");
-    // Admission: lease the request's working set or shed. Stat only
-    // parses a header, so it skips the payload-sized lease.
+    let _span = lc_telemetry::span_in!("serve", "execute", op = req.op.label());
+    // Admission: lease the request's working set or shed. Stat and
+    // Debug only touch metadata, so they skip the payload-sized lease.
     let lease_bytes = match req.op {
-        Op::Stat => LEASE_FLOOR_BYTES,
+        Op::Stat | Op::Debug => LEASE_FLOOR_BYTES,
         _ => (req.payload.len() as u64)
             .saturating_mul(2)
             .saturating_add(LEASE_FLOOR_BYTES),
@@ -185,6 +185,16 @@ where
             }
             Err(e) => decode_error_response(e, cancel),
         },
+        Op::Debug => {
+            if lc_telemetry::flight::armed() {
+                Response::Ok(lc_telemetry::flight::dump_jsonl().into_bytes())
+            } else {
+                Response::Err {
+                    kind: ErrorKind::Usage,
+                    message: "flight recorder is not armed on this server".into(),
+                }
+            }
+        }
     }
 }
 

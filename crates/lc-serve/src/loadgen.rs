@@ -299,3 +299,152 @@ pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
         p99_us: hist.percentile(0.99),
     }
 }
+
+/// Shape of one capacity sweep: step the offered rate geometrically
+/// until the server starts shedding past the tolerance, then report the
+/// knee (the highest offered rate whose shed rate stayed under it —
+/// i.e. the server's usable capacity under this request mix).
+#[derive(Debug, Clone)]
+pub struct RateSweepConfig {
+    /// Everything but `rate_rps` and `duration` is taken from here.
+    pub base: LoadgenConfig,
+    /// First offered rate, requests per second.
+    pub rate_start: f64,
+    /// Stop stepping past this offered rate even if nothing sheds.
+    pub rate_max: f64,
+    /// Multiplicative step between offered rates (> 1).
+    pub rate_factor: f64,
+    /// Shed tolerance: a step whose observed shed rate (retried sheds
+    /// plus exhausted requests, over sent) exceeds this ends the sweep.
+    pub shed_threshold: f64,
+    /// How long each step drives the server.
+    pub step_duration: Duration,
+}
+
+impl Default for RateSweepConfig {
+    fn default() -> Self {
+        Self {
+            base: LoadgenConfig::default(),
+            rate_start: 50.0,
+            rate_max: 3200.0,
+            rate_factor: 2.0,
+            shed_threshold: 0.05,
+            step_duration: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One sweep step's observation.
+#[derive(Debug, Clone)]
+pub struct RateStep {
+    /// Offered (scheduled) arrival rate.
+    pub offered_rps: f64,
+    /// Rate actually dispatched over the step's wall clock.
+    pub achieved_rps: f64,
+    /// Ok responses over the step's wall clock.
+    pub goodput_rps: f64,
+    /// Retried sheds + exhausted requests, over sent.
+    pub shed_rate: f64,
+    /// 99th-percentile latency for this step, microseconds.
+    pub p99_us: u64,
+}
+
+impl RateStep {
+    fn to_json(&self) -> lc_json::Value {
+        lc_json::Value::object([
+            ("offered_rps", lc_json::Value::from(self.offered_rps)),
+            ("achieved_rps", lc_json::Value::from(self.achieved_rps)),
+            ("goodput_rps", lc_json::Value::from(self.goodput_rps)),
+            ("shed_rate", lc_json::Value::from(self.shed_rate)),
+            ("p99_us", lc_json::Value::from(self.p99_us)),
+        ])
+    }
+}
+
+/// The sweep's outcome: every step plus the knee.
+#[derive(Debug, Clone)]
+pub struct RateSweepReport {
+    /// Steps in offered-rate order (the last one may be over threshold).
+    pub steps: Vec<RateStep>,
+    /// Offered rate at the knee: the best goodput whose shed rate
+    /// stayed within tolerance. Zero when every step shed.
+    pub knee_offered_rps: f64,
+    /// Goodput at the knee.
+    pub knee_goodput_rps: f64,
+    /// The shed tolerance the knee was judged against.
+    pub shed_threshold: f64,
+}
+
+impl RateSweepReport {
+    /// Render for the `rate_sweep` section of `BENCH_serve.json`.
+    pub fn to_json(&self) -> lc_json::Value {
+        lc_json::Value::object([
+            (
+                "steps",
+                lc_json::Value::array(self.steps.iter().map(|s| s.to_json())),
+            ),
+            (
+                "knee_offered_rps",
+                lc_json::Value::from(self.knee_offered_rps),
+            ),
+            (
+                "knee_goodput_rps",
+                lc_json::Value::from(self.knee_goodput_rps),
+            ),
+            ("shed_threshold", lc_json::Value::from(self.shed_threshold)),
+        ])
+    }
+}
+
+/// Step the offered load until the shed tolerance is exceeded (or
+/// `rate_max` is reached) and locate the knee.
+///
+/// Sheds the server absorbed by retrying are invisible in the
+/// [`LoadgenReport`] (the client retries them to completion), so each
+/// step diffs the `client.shed_observed` counter around its run.
+pub fn rate_sweep(cfg: &RateSweepConfig) -> RateSweepReport {
+    let shed_counter = lc_telemetry::counter("client.shed_observed");
+    let mut steps = Vec::new();
+    let mut knee: Option<(f64, f64)> = None;
+    let mut rate = cfg.rate_start.max(1.0);
+    loop {
+        let step_cfg = LoadgenConfig {
+            rate_rps: rate,
+            duration: cfg.step_duration,
+            ..cfg.base.clone()
+        };
+        let sheds_before = shed_counter.get();
+        let report = run(&step_cfg);
+        let sheds_observed = shed_counter.get().saturating_sub(sheds_before);
+        let wall_s = (report.wall_ms as f64 / 1e3).max(1e-9);
+        let step = RateStep {
+            offered_rps: rate,
+            achieved_rps: report.reqs_per_sec,
+            goodput_rps: report.ok as f64 / wall_s,
+            shed_rate: (sheds_observed + report.failed) as f64 / (report.sent.max(1) as f64),
+            // Per-step p99 via the counter-free route is not available:
+            // the latency histogram is cumulative across steps, so the
+            // honest per-step figure is the cumulative p99 so far.
+            p99_us: report.p99_us,
+        };
+        let over = step.shed_rate > cfg.shed_threshold;
+        if !over {
+            let better = knee.is_none_or(|(_, g)| step.goodput_rps > g);
+            if better {
+                knee = Some((step.offered_rps, step.goodput_rps));
+            }
+        }
+        steps.push(step);
+        if over || rate >= cfg.rate_max {
+            break;
+        }
+        rate = (rate * cfg.rate_factor.max(1.01)).min(cfg.rate_max);
+    }
+    let (knee_offered_rps, knee_goodput_rps) = knee.unwrap_or((0.0, 0.0));
+    RateSweepReport {
+        steps,
+        knee_offered_rps,
+        knee_goodput_rps,
+        shed_threshold: cfg.shed_threshold,
+    }
+}

@@ -45,6 +45,10 @@ pub enum Op {
     Salvage,
     /// Parse an archive header and return its metadata as JSON.
     Stat,
+    /// Dump the server's flight recorder as JSONL (observability op;
+    /// payload and pipeline are ignored). Errors with `usage` when the
+    /// recorder is not armed.
+    Debug,
 }
 
 impl Op {
@@ -54,6 +58,7 @@ impl Op {
             Op::Unpack => 2,
             Op::Salvage => 3,
             Op::Stat => 4,
+            Op::Debug => 5,
         }
     }
 
@@ -63,6 +68,7 @@ impl Op {
             2 => Some(Op::Unpack),
             3 => Some(Op::Salvage),
             4 => Some(Op::Stat),
+            5 => Some(Op::Debug),
             _ => None,
         }
     }
@@ -74,6 +80,7 @@ impl Op {
             Op::Unpack => "unpack",
             Op::Salvage => "salvage",
             Op::Stat => "stat",
+            Op::Debug => "debug",
         }
     }
 }
@@ -380,6 +387,12 @@ mod tests {
             Request {
                 op: Op::Stat,
                 deadline_ms: 0,
+                pipeline: String::new(),
+                payload: Vec::new(),
+            },
+            Request {
+                op: Op::Debug,
+                deadline_ms: 100,
                 pipeline: String::new(),
                 payload: Vec::new(),
             },

@@ -77,6 +77,11 @@ pub struct ServeConfig {
     /// Install [`lc_chaos::FaultPlan::serve`] with this seed for the
     /// server process (CI smoke / soak harness).
     pub chaos_seed: Option<u64>,
+    /// Where to publish the flight-recorder black box when drain
+    /// escalates to hard abort (`None` = no dump). The dump happens
+    /// after every worker has exited, so its tail records the same
+    /// events the summary accounts.
+    pub flight_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +96,7 @@ impl Default for ServeConfig {
             max_decoded_bytes: 256 << 20,
             drain_deadline_ms: 5_000,
             chaos_seed: None,
+            flight_dump: None,
         }
     }
 }
@@ -179,6 +185,12 @@ impl Counters {
         }
     }
 }
+
+/// Process-global request-id source. Ids start at 1 so `0` can keep
+/// meaning "no request scope" in lc-telemetry; they are unique across
+/// every server instance in the process, which keeps traces from
+/// in-process test servers unambiguous.
+static NEXT_REQ: AtomicU64 = AtomicU64::new(1);
 
 /// One accepted connection waiting for a worker.
 struct QueuedConn {
@@ -323,11 +335,12 @@ impl Server {
                     loop {
                         match queue.pop(Duration::from_millis(50)) {
                             Pop::Conn(qc) => {
-                                lc_telemetry::histogram("serve.time_in_queue_us")
-                                    .record(qc.enqueued.elapsed().as_micros() as u64);
+                                let queue_us = qc.enqueued.elapsed().as_micros() as u64;
+                                lc_telemetry::histogram("serve.time_in_queue_us").record(queue_us);
                                 handle_conn(
                                     qc.stream,
                                     qc.tag,
+                                    queue_us,
                                     &exec,
                                     &counters,
                                     &self.cfg,
@@ -372,6 +385,7 @@ impl Server {
             }
 
             // DRAINING: no new work; finish or deadline-out what's in.
+            lc_telemetry::flight::note("serve.drain", &[]);
             queue.close();
             let drain_started = Instant::now();
             let drain_deadline = Duration::from_millis(self.cfg.drain_deadline_ms);
@@ -387,12 +401,54 @@ impl Server {
                     self.hard.cancel();
                     counters.hard_aborted.store(true, Ordering::Relaxed);
                     lc_telemetry::counter("serve.hard_abort").add(1);
+                    lc_telemetry::flight::note(
+                        "serve.hard_abort",
+                        &[(
+                            "drain_elapsed_ms",
+                            drain_started.elapsed().as_millis() as u64,
+                        )],
+                    );
                 }
                 std::thread::sleep(Duration::from_millis(5));
             }
         });
 
-        counters.summary()
+        let summary = counters.summary();
+        // The summary's accounting, restated as the flight recorder's
+        // final events: the black box's tail must agree with what the
+        // drain summary reports (two args per note is the slot budget).
+        lc_telemetry::flight::note(
+            "serve.summary",
+            &[
+                ("requests_in", summary.requests_in),
+                ("responses_ok", summary.responses_ok),
+            ],
+        );
+        lc_telemetry::flight::note(
+            "serve.summary",
+            &[
+                ("responses_err", summary.responses_err),
+                ("sheds", summary.sheds),
+            ],
+        );
+        lc_telemetry::flight::note(
+            "serve.summary",
+            &[
+                ("response_write_failed", summary.response_write_failed),
+                ("hard_aborted", u64::from(summary.hard_aborted)),
+            ],
+        );
+        if summary.hard_aborted {
+            if let Some(path) = &self.cfg.flight_dump {
+                if let Err(e) = lc_telemetry::flight::dump_to(path) {
+                    eprintln!(
+                        "warning: flight recorder dump to {} failed: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        summary
     }
 }
 
@@ -432,6 +488,7 @@ fn io_timed_out(e: &io::Error) -> bool {
 fn handle_conn(
     mut stream: TcpStream,
     conn_tag: u64,
+    queue_us: u64,
     exec: &ExecContext,
     counters: &Counters,
     cfg: &ServeConfig,
@@ -529,9 +586,37 @@ fn handle_conn(
 
         counters.requests_in.fetch_add(1, Ordering::Relaxed);
         lc_telemetry::counter("serve.requests").add(1);
+
+        // Request scope: every span and flight record produced while
+        // serving this request — pool workers included — carries this
+        // id, so a trace export reconstructs one request's critical
+        // path (queue wait, each stage, governor verdict, outcome).
+        let req_id = NEXT_REQ.fetch_add(1, Ordering::Relaxed);
+        let _req_scope = lc_telemetry::request_scope(req_id);
+        let mut req_span = lc_telemetry::span_in!(
+            "serve",
+            "request",
+            op = req.op.label(),
+            bytes = req.payload.len(),
+            deadline_ms = req.deadline_ms,
+            // Queue wait belongs to the frame that was waiting when the
+            // worker picked the connection up; later frames on the same
+            // connection never sat in the accept queue.
+            queue_us = if req_seq == 1 { queue_us } else { 0 },
+        );
+
         let token = request_token(hard, req.deadline_ms, Instant::now());
         let resp = execute(&req, &lc_components::lookup, exec, &token);
-        if !respond(&mut stream, &resp, tag, counters) {
+        let outcome = match &resp {
+            Response::Ok(_) => "ok",
+            Response::Err { kind, .. } => kind.label(),
+            Response::Shed { .. } => "shed",
+        };
+        req_span.arg("outcome", outcome);
+        let delivered = respond(&mut stream, &resp, tag, counters);
+        req_span.arg("delivered", delivered);
+        drop(req_span);
+        if !delivered {
             return;
         }
         if drain.is_cancelled() || hard.is_cancelled() {

@@ -33,6 +33,7 @@ fn serve_cfg(chaos_seed: Option<u64>) -> ServeConfig {
         max_decoded_bytes: 256 << 20,
         drain_deadline_ms: 5_000,
         chaos_seed,
+        flight_dump: None,
     }
 }
 

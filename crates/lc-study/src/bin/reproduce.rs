@@ -310,6 +310,13 @@ fn main() -> ExitCode {
         eprintln!("error: cannot create {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }
+    // Always-on black box: armed for the whole campaign regardless of
+    // --telemetry-dir, dumped to the output directory on the abnormal
+    // exit paths (panic, interrupt, quarantine) where the last recorded
+    // events are exactly what a post-mortem needs.
+    let flight_path = args.out.join("flight.jsonl");
+    lc_telemetry::flight::arm(0);
+    lc_telemetry::flight::dump_on_panic(flight_path.clone());
     // Held until process exit: a second campaign on the same output
     // directory would interleave journal appends and corrupt state.
     let _lock = match LockFile::acquire(&args.out) {
@@ -347,6 +354,7 @@ fn main() -> ExitCode {
         }
     };
     if outcome.interrupted {
+        dump_flight(&flight_path, args.quiet);
         eprintln!(
             "error: kind=interrupt exit={EXIT_INTERRUPTED} campaign stopped by signal after \
              {} unit(s); journal is checkpointed — rerun with --resume to continue",
@@ -545,6 +553,7 @@ fn main() -> ExitCode {
             ));
         }
         let _ = atomic_write(&report_path, lines.as_bytes(), args.fsync);
+        dump_flight(&flight_path, args.quiet);
         eprintln!(
             "error: kind=quarantine exit={EXIT_QUARANTINE} {} work unit(s) quarantined; \
              affected pipelines carry no data (see {})",
@@ -554,4 +563,20 @@ fn main() -> ExitCode {
         return ExitCode::from(EXIT_QUARANTINE);
     }
     ExitCode::SUCCESS
+}
+
+/// Publish the flight-recorder black box; failure to dump is reported
+/// but never masks the campaign's own exit code.
+fn dump_flight(path: &std::path::Path, quiet: bool) {
+    match lc_telemetry::flight::dump_to(path) {
+        Ok(()) => {
+            if !quiet {
+                eprintln!("flight recorder: dumped to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!(
+            "warning: flight recorder dump to {} failed: {e}",
+            path.display()
+        ),
+    }
 }

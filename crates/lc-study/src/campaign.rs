@@ -590,6 +590,13 @@ pub fn run_campaign_with(
                     Ok(rows)
                 }
                 Err((fault, stage_trace)) => {
+                    // Black-box breadcrumb: quarantines are exactly the
+                    // events a post-mortem wants, so they always land in
+                    // the flight recorder when it is armed.
+                    lc_telemetry::flight::note(
+                        "campaign.quarantine",
+                        &[("file", file_i as u64), ("s1", i1 as u64)],
+                    );
                     let entry = QuarantineEntry {
                         file: file.name.to_string(),
                         file_index: file_i,

@@ -75,16 +75,44 @@ pub fn run_stage(component: &dyn Component, input: &ChunkedData, verify: bool) -
         applied: 0,
         skipped: 0,
     };
+    // Cost-attribution handles, resolved once per stage call so the
+    // per-chunk hot loop only touches atomics. Campaign sweeps feed the
+    // same `component.<name>.{encode,decode}.*` cost centers that serve
+    // traffic does, so `lc report` ranks both from one metrics snapshot.
+    let telemetry = lc_telemetry::active();
+    let costs = if telemetry {
+        let name = component.name();
+        Some((
+            lc_telemetry::counter(&format!("component.{name}.encode.bytes")),
+            lc_telemetry::histogram(&format!("component.{name}.encode.ns")),
+            lc_telemetry::counter(&format!("component.{name}.decode.bytes")),
+            lc_telemetry::histogram(&format!("component.{name}.decode.ns")),
+        ))
+    } else {
+        None
+    };
     let mut enc_buf: Vec<u8> = Vec::with_capacity(CHUNK_SIZE + CHUNK_SIZE / 2);
     let mut dec_buf: Vec<u8> = Vec::with_capacity(CHUNK_SIZE);
     for chunk in &input.chunks {
+        let t0 = if telemetry { lc_telemetry::now_ns() } else { 0 };
         let applied = lc_core::encode_stage(component, chunk, &mut enc_buf, &mut outcome.enc);
+        if let Some((enc_bytes, enc_ns, _, _)) = &costs {
+            // The encode kernel ran even when copy-on-expand discarded
+            // its output, so the cost is attributed unconditionally.
+            enc_bytes.add(chunk.len() as u64);
+            enc_ns.record(lc_telemetry::now_ns().saturating_sub(t0));
+        }
         if applied {
             outcome.applied += 1;
+            let t1 = if telemetry { lc_telemetry::now_ns() } else { 0 };
             lc_core::decode_stage(component, &enc_buf, &mut dec_buf, &mut outcome.dec)
                 .unwrap_or_else(|e| {
                     panic!("{} failed to decode its own output: {e}", component.name())
                 });
+            if let Some((_, _, dec_bytes, dec_ns)) = &costs {
+                dec_bytes.add(enc_buf.len() as u64);
+                dec_ns.record(lc_telemetry::now_ns().saturating_sub(t1));
+            }
             if verify {
                 assert_eq!(
                     &dec_buf,

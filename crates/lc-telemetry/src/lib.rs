@@ -21,13 +21,36 @@
 //!   line, via `lc-json`), and [`export::metrics_value`] (counter +
 //!   histogram snapshot).
 //!
-//! # Disabled cost
+//! # Collection modes
 //!
-//! Telemetry is **off** by default. Every instrumentation site is gated
-//! on [`enabled`], a single relaxed atomic load; the [`span!`] macros do
-//! not evaluate their argument expressions when disabled. The
-//! `bench/benches/telemetry.rs` A/B bench verifies the end-to-end encode
-//! overhead of the disabled path is below the noise floor (< 1%).
+//! Telemetry is **off** by default; every instrumentation site reduces
+//! to one relaxed atomic load of a mode bitmask when nothing is
+//! collecting. Three independent consumers can be switched on:
+//!
+//! * **Sink** ([`enable`]) — spans become [`Event`]s in the unbounded
+//!   trace sink, drainable by [`drain`] for export. Memory grows with
+//!   event count, so this is for bounded runs (CLI invocations,
+//!   campaigns, tests), not long-running servers.
+//! * **Metrics** ([`enable_metrics`], implied by [`enable`]) —
+//!   counters, gauges and histograms record. Fixed memory per metric,
+//!   safe to leave on forever; `lc serve` runs with metrics on.
+//! * **Flight recorder** ([`flight::arm`]) — spans and notes land in
+//!   fixed-capacity per-thread ring buffers that can be dumped as a
+//!   JSONL "black box" at any moment, including from a panic hook. See
+//!   [`flight`].
+//!
+//! The [`span!`] macros do not evaluate their argument expressions when
+//! every consumer is off. The `bench/benches/telemetry.rs` A/B bench
+//! verifies the end-to-end encode overhead of the disabled path is
+//! below the noise floor (< 1%).
+//!
+//! # Request scoping
+//!
+//! A thread can carry a current *request id* ([`request_scope`]); while
+//! set, every span the thread opens gets a `req` argument, so a trace
+//! export can reconstruct the critical path of one request across
+//! threads. `lc-parallel`'s pool propagates the submitting thread's
+//! request id into its workers.
 //!
 //! # Clock
 //!
@@ -35,34 +58,76 @@
 //! process, taken from [`Instant`] (monotonic): wall-clock steps cannot
 //! produce negative durations or reorder spans.
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, HistogramSummary};
 
-/// Global on/off switch. All hot-path instrumentation reduces to one
-/// relaxed load of this flag when telemetry is disabled.
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Mode bitmask: which telemetry consumers are live. All hot-path
+/// instrumentation reduces to one relaxed load of this byte when
+/// everything is off.
+static STATE: AtomicU8 = AtomicU8::new(0);
 
-/// Turn telemetry collection on.
+/// Spans flow into the unbounded drainable event sink.
+const MODE_SINK: u8 = 1;
+/// Counters/gauges/histograms record.
+const MODE_METRICS: u8 = 2;
+/// The flight recorder is armed (see [`flight`]).
+const MODE_FLIGHT: u8 = 4;
+
+/// Turn full telemetry collection on: the event sink and metrics.
 pub fn enable() {
-    ENABLED.store(true, Ordering::Relaxed);
+    STATE.fetch_or(MODE_SINK | MODE_METRICS, Ordering::Relaxed);
 }
 
-/// Turn telemetry collection off (events already buffered stay drainable).
+/// Turn on metrics only (counters, gauges, histograms). Fixed memory
+/// per metric — safe for long-running processes where the unbounded
+/// event sink of [`enable`] would grow without limit.
+pub fn enable_metrics() {
+    STATE.fetch_or(MODE_METRICS, Ordering::Relaxed);
+}
+
+/// Turn the sink and metrics off (events already buffered stay
+/// drainable; an armed flight recorder stays armed).
 pub fn disable() {
-    ENABLED.store(false, Ordering::Relaxed);
+    STATE.fetch_and(!(MODE_SINK | MODE_METRICS), Ordering::Relaxed);
 }
 
-/// Whether telemetry is collecting. One relaxed atomic load.
+/// Whether the event sink is collecting. One relaxed atomic load.
 #[inline(always)]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    STATE.load(Ordering::Relaxed) & MODE_SINK != 0
+}
+
+/// Whether metrics are recording. One relaxed atomic load.
+#[inline(always)]
+pub fn metrics_on() -> bool {
+    STATE.load(Ordering::Relaxed) & MODE_METRICS != 0
+}
+
+/// Whether *any* consumer (sink, metrics, flight recorder) is live —
+/// the gate instrumentation sites use to decide whether to open spans.
+#[inline(always)]
+pub fn active() -> bool {
+    STATE.load(Ordering::Relaxed) != 0
+}
+
+pub(crate) fn set_flight(on: bool) {
+    if on {
+        STATE.fetch_or(MODE_FLIGHT, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!MODE_FLIGHT, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn flight_bit() -> bool {
+    STATE.load(Ordering::Relaxed) & MODE_FLIGHT != 0
 }
 
 /// Monotonic epoch shared by every event in the process.
@@ -72,6 +137,42 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 #[inline]
 pub fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Request scoping: a per-thread current request id, attached to spans.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT_REQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The calling thread's current request id (0 = none).
+#[inline]
+pub fn current_request() -> u64 {
+    CURRENT_REQ.with(|c| c.get())
+}
+
+/// RAII guard restoring the previous request id on drop.
+pub struct RequestScope {
+    prev: u64,
+}
+
+/// Mark the calling thread as working on request `req` until the
+/// returned guard drops. While set, every span opened on this thread
+/// carries a `req` argument and flight-recorder records are tagged with
+/// it, so an export can be filtered down to one request's critical
+/// path. Scopes nest; `req = 0` clears the tag for the guard's extent.
+#[must_use = "the request scope ends when the guard drops"]
+pub fn request_scope(req: u64) -> RequestScope {
+    let prev = CURRENT_REQ.with(|c| c.replace(req));
+    RequestScope { prev }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        CURRENT_REQ.with(|c| c.set(self.prev));
+    }
 }
 
 /// A span/event argument value.
@@ -297,11 +398,18 @@ struct SpanData {
 impl Span {
     /// Open a live span. Prefer the [`span!`]/[`span_in!`] macros, which
     /// skip argument evaluation when telemetry is disabled.
+    ///
+    /// If the calling thread is inside a [`request_scope`], the span
+    /// automatically carries a `req` argument with the request id.
     pub fn begin(
         cat: &'static str,
         name: &'static str,
-        args: Vec<(&'static str, ArgValue)>,
+        mut args: Vec<(&'static str, ArgValue)>,
     ) -> Span {
+        let req = current_request();
+        if req != 0 {
+            args.push(("req", ArgValue::U64(req)));
+        }
         Span(Some(SpanData {
             name,
             cat,
@@ -343,10 +451,10 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(d) = self.0.take() {
             let dur_ns = now_ns().saturating_sub(d.start_ns);
-            if d.hist {
+            if d.hist && metrics_on() {
                 metrics::histogram(&format!("{}.ns/{}", d.cat, d.name)).record(dur_ns);
             }
-            record(Event {
+            emit(Event {
                 name: d.name,
                 cat: d.cat,
                 ts_ns: d.start_ns,
@@ -358,15 +466,31 @@ impl Drop for Span {
     }
 }
 
+/// Route one completed event to every live event consumer: the flight
+/// recorder when armed, the drainable sink when [`enabled`]. Span drops
+/// funnel through here; instrumentation that hand-builds [`Event`]s
+/// (e.g. the pool's per-worker summaries) should too, so flight dumps
+/// see them.
+pub fn emit(event: Event) {
+    if flight::armed() {
+        flight::record_event(&event);
+    }
+    if enabled() {
+        record(event);
+    }
+}
+
 /// Open a span in an explicit category:
 /// `span_in!("stage.encode", component_name, chunk = i, applied = true)`.
 ///
 /// Argument expressions are **not** evaluated when telemetry is disabled;
-/// the whole macro is one relaxed atomic load in that case.
+/// the whole macro is one relaxed atomic load in that case. The span is
+/// live when *any* consumer is on (sink, metrics, flight recorder); its
+/// event is routed to whichever consumers are live at drop.
 #[macro_export]
 macro_rules! span_in {
     ($cat:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
-        if $crate::enabled() {
+        if $crate::active() {
             $crate::Span::begin(
                 $cat,
                 $name,

@@ -10,8 +10,11 @@
 //! `[2^i, 2^(i+1))` (bucket 0 additionally holds 0). That gives ~2×
 //! resolution over the full `u64` range with a fixed 512-byte footprint,
 //! which is exactly what nanosecond latency distributions need. Reported
-//! percentiles are the **upper bound** of the bucket containing the
-//! requested rank — a conservative estimate with bounded (≤ 2×) error.
+//! percentiles locate the requested rank's bucket and **linearly
+//! interpolate** within it by the rank's position among the bucket's
+//! samples, so quantiles are no longer pinned to power-of-two bucket
+//! edges; a rank that consumes its whole bucket still reports the
+//! bucket's inclusive upper bound (conservative, ≤ 2× error).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,10 +27,10 @@ pub struct Counter {
 }
 
 impl Counter {
-    /// Add `n` (relaxed; only when telemetry is enabled).
+    /// Add `n` (relaxed; only when metrics are recording).
     #[inline]
     pub fn add(&self, n: u64) {
-        if crate::enabled() {
+        if crate::metrics_on() {
             self.value.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -56,10 +59,10 @@ pub struct Gauge {
 }
 
 impl Gauge {
-    /// Record the current level (relaxed; only when telemetry is enabled).
+    /// Record the current level (relaxed; only when metrics are recording).
     #[inline]
     pub fn set(&self, v: u64) {
-        if crate::enabled() {
+        if crate::metrics_on() {
             self.value.store(v, Ordering::Relaxed);
             self.max.fetch_max(v, Ordering::Relaxed);
         }
@@ -91,14 +94,14 @@ pub struct Histogram {
     sum: AtomicU64,
 }
 
-/// Snapshot of a histogram: count, sum, and conservative percentiles.
+/// Snapshot of a histogram: count, sum, and interpolated percentiles.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
     /// Number of recorded samples.
     pub count: u64,
     /// Sum of all samples (saturating).
     pub sum: u64,
-    /// Upper bound of the bucket holding the 50th-percentile sample.
+    /// 50th-percentile sample value, interpolated within its bucket.
     pub p50: u64,
     /// Same for the 90th percentile.
     pub p90: u64,
@@ -121,6 +124,15 @@ pub fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of bucket `i` (bucket 0 starts at 0).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i.min(63)
+    }
+}
+
 impl Histogram {
     fn new() -> Self {
         Self {
@@ -130,10 +142,10 @@ impl Histogram {
         }
     }
 
-    /// Record one sample (relaxed atomics; only when telemetry is enabled).
+    /// Record one sample (relaxed atomics; only when metrics are recording).
     #[inline]
     pub fn record(&self, v: u64) {
-        if crate::enabled() {
+        if crate::metrics_on() {
             self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
             self.count.fetch_add(1, Ordering::Relaxed);
             // Saturating add via CAS-free approximation: a u64 ns sum
@@ -148,8 +160,14 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Conservative percentile: the upper bound of the bucket containing
-    /// the sample of rank `ceil(q * count)`. `q` is clamped to `(0, 1]`.
+    /// Percentile with within-bucket linear interpolation. The sample of
+    /// rank `ceil(q * count)` is located in its log₂ bucket, then its
+    /// value is estimated by interpolating between the bucket's bounds
+    /// according to the rank's position among the bucket's samples. A
+    /// rank that consumes the whole bucket still reports the bucket's
+    /// inclusive upper bound, so a single-sample histogram reports the
+    /// same conservative bound at every quantile and estimates never
+    /// leave the true sample's bucket. `q` is clamped to `(0, 1]`.
     pub fn percentile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -158,10 +176,20 @@ impl Histogram {
         let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut cum = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            cum += b.load(Ordering::Relaxed);
-            if cum >= target {
-                return bucket_upper_bound(i);
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
             }
+            if cum + n >= target {
+                let lower = bucket_lower_bound(i);
+                let upper = bucket_upper_bound(i);
+                let frac = (target - cum) as f64 / n as f64;
+                let width = (upper - lower) as f64;
+                return lower
+                    .saturating_add((frac * width).round() as u64)
+                    .min(upper);
+            }
+            cum += n;
         }
         bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
     }
@@ -187,7 +215,7 @@ impl Histogram {
 }
 
 struct Registry {
-    counters: Mutex<Vec<&'static Counter>>,
+    counters: Mutex<HashMap<String, &'static Counter>>,
     gauges: Mutex<Vec<&'static Gauge>>,
     histograms: Mutex<HashMap<String, &'static Histogram>>,
 }
@@ -195,7 +223,7 @@ struct Registry {
 fn registry() -> &'static Registry {
     static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
-        counters: Mutex::new(Vec::new()),
+        counters: Mutex::new(HashMap::new()),
         gauges: Mutex::new(Vec::new()),
         histograms: Mutex::new(HashMap::new()),
     })
@@ -203,21 +231,24 @@ fn registry() -> &'static Registry {
 
 /// Look up (or create) the counter registered under `name`.
 ///
-/// Counters live for the process lifetime (they are leaked on first
-/// registration); resolve once and reuse the handle on hot paths.
-pub fn counter(name: &'static str) -> &'static Counter {
+/// Accepts dynamic names (e.g. `"component.RLE_4.encode.bytes"`).
+/// Counters live for the process lifetime (handle and name are leaked
+/// on first registration); resolve once and reuse the handle on hot
+/// paths.
+pub fn counter(name: &str) -> &'static Counter {
     let mut reg = registry()
         .counters
         .lock()
         .unwrap_or_else(|p| p.into_inner());
-    if let Some(c) = reg.iter().find(|c| c.name == name) {
+    if let Some(c) = reg.get(name) {
         return c;
     }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
     let c: &'static Counter = Box::leak(Box::new(Counter {
-        name,
+        name: leaked,
         value: AtomicU64::new(0),
     }));
-    reg.push(c);
+    reg.insert(leaked.to_string(), c);
     c
 }
 
@@ -262,7 +293,7 @@ pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
         .counters
         .lock()
         .unwrap_or_else(|p| p.into_inner());
-    let mut out: Vec<(&'static str, u64)> = reg.iter().map(|c| (c.name, c.get())).collect();
+    let mut out: Vec<(&'static str, u64)> = reg.values().map(|c| (c.name, c.get())).collect();
     out.sort_by_key(|(n, _)| *n);
     out
 }
@@ -294,7 +325,7 @@ pub fn reset() {
         .counters
         .lock()
         .unwrap_or_else(|p| p.into_inner())
-        .iter()
+        .values()
     {
         c.value.store(0, Ordering::Relaxed);
     }
@@ -341,12 +372,12 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_bucket_upper_bounds() {
+    fn percentiles_interpolate_within_buckets() {
         let _g = locked();
         crate::enable();
         let h = Histogram::new();
-        // 90 fast samples (~100ns bucket [64,128)) + 10 slow (~1µs bucket
-        // [1024,2048)): p50 and p90 land in the fast bucket, p99 in the slow.
+        // 90 fast samples (~100ns bucket [64,127]) + 10 slow (~1µs bucket
+        // [1024,2047]): p50 and p90 land in the fast bucket, p99 in the slow.
         for _ in 0..90 {
             h.record(100);
         }
@@ -357,9 +388,29 @@ mod tests {
         let s = h.summary();
         assert_eq!(s.count, 100);
         assert_eq!(s.sum, 90 * 100 + 10 * 1500);
-        assert_eq!(s.p50, 127);
+        // p50: rank 50 of 90 in [64,127] → 64 + (50/90)·63 = 99.
+        assert_eq!(s.p50, 99);
+        // p90: rank 90 consumes the whole fast bucket → its upper bound.
         assert_eq!(s.p90, 127);
-        assert_eq!(s.p99, 2047);
+        // p99: rank 99 is the 9th of 10 in [1024,2047] → 1024 + 0.9·1023.
+        assert_eq!(s.p99, 1945);
+    }
+
+    #[test]
+    fn interpolated_percentiles_are_not_bucket_edges() {
+        let _g = locked();
+        crate::enable();
+        let h = Histogram::new();
+        // Uniform fill of one wide bucket: quantiles should spread across
+        // it instead of all collapsing onto the 8191 edge.
+        for v in 4096u64..8192 {
+            h.record(v);
+        }
+        crate::disable();
+        let p50 = h.percentile(0.50);
+        let p90 = h.percentile(0.90);
+        assert!(p50 > 4096 && p50 < 8191, "p50 {p50} inside the bucket");
+        assert!(p90 > p50 && p90 < 8191, "p90 {p90} above p50, below edge");
     }
 
     #[test]

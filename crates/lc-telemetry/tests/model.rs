@@ -242,6 +242,148 @@ fn flush_before_join_makes_events_immediately_visible() {
     }
 }
 
+/// Splitmix64 mix used to give each flight record an internal
+/// consistency relation: record `i` carries `(i, mix(i))`, so any torn
+/// read that stitched fields of two different records together is
+/// detected by re-checking the relation.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Flight-recorder wraparound: writers push several times the ring
+/// capacity while dumpers snapshot concurrently. After the writers
+/// join, each writer's ring must hold *exactly* its newest `cap`
+/// records — contiguous sequence numbers, none lost, none duplicated —
+/// and the overwritten count must account for everything else.
+#[test]
+fn flight_wraparound_keeps_exactly_the_newest_capacity_records() {
+    let _g = locked();
+    const CAP: u64 = 256;
+    const TOTAL: u64 = CAP * 4 + 37;
+    const WRITERS: u64 = 3;
+    lc_telemetry::flight::arm(CAP as usize);
+
+    let tids = Mutex::new(Vec::<u64>::new());
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let tids = &tids;
+            s.spawn(move || {
+                tids.lock().unwrap().push(lc_telemetry::thread_id());
+                let mut sched = Schedule::new(w * 97);
+                for i in 0..TOTAL {
+                    lc_telemetry::flight::note("model.flight.wrap", &[("i", i), ("check", mix(i))]);
+                    if sched.next().is_multiple_of(64) {
+                        sched.step();
+                    }
+                }
+            });
+        }
+        // Concurrent dumper: snapshots taken mid-wraparound must stay
+        // internally consistent even though they cannot be complete.
+        s.spawn(|| {
+            let mut sched = Schedule::new(4242);
+            for _ in 0..40 {
+                let (records, _) = lc_telemetry::flight::snapshot();
+                for r in records.iter().filter(|r| r.name == "model.flight.wrap") {
+                    assert_eq!(
+                        r.args[1].1,
+                        mix(r.args[0].1),
+                        "torn record in live snapshot"
+                    );
+                }
+                sched.step();
+            }
+        });
+    });
+    lc_telemetry::flight::disarm();
+
+    let (records, stats) = lc_telemetry::flight::snapshot();
+    let tids = tids.into_inner().unwrap();
+    for tid in tids {
+        let mut seqs: Vec<u64> = records
+            .iter()
+            .filter(|r| r.tid == tid && r.name == "model.flight.wrap")
+            .map(|r| {
+                assert_eq!(r.args[0].1, r.seq, "record payload matches its slot");
+                assert_eq!(r.args[1].1, mix(r.args[0].1), "torn record after join");
+                r.seq
+            })
+            .collect();
+        seqs.sort_unstable();
+        let expect: Vec<u64> = (TOTAL - CAP..TOTAL).collect();
+        assert_eq!(seqs, expect, "exactly the newest {CAP} records survive");
+    }
+    assert!(
+        stats.overwritten >= WRITERS * (TOTAL - CAP),
+        "wraparound accounted as overwritten"
+    );
+}
+
+/// Concurrent record/dump: dumps racing live writers must never observe
+/// a half-written record (the seqlock discards torn slots) and must
+/// never return the same `(tid, seq)` twice within one snapshot.
+#[test]
+fn flight_concurrent_dump_is_a_consistent_snapshot() {
+    let _g = locked();
+    const ITERS: u64 = 8;
+    const WRITERS: u64 = 4;
+    const EVENTS: u64 = 1500;
+    lc_telemetry::flight::arm(128);
+
+    for iter in 0..ITERS {
+        let stop_flag = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            let stop = &stop_flag;
+            for w in 0..WRITERS {
+                s.spawn(move || {
+                    let mut sched = Schedule::new(iter * 1000 + w);
+                    for i in 0..EVENTS {
+                        let v = iter * WRITERS * EVENTS + w * EVENTS + i;
+                        lc_telemetry::flight::note(
+                            "model.flight.race",
+                            &[("i", v), ("check", mix(v))],
+                        );
+                        if sched.next().is_multiple_of(32) {
+                            sched.step();
+                        }
+                    }
+                    stop.fetch_add(1, Ordering::Release);
+                });
+            }
+            for d in 0..2u64 {
+                s.spawn(move || {
+                    let mut sched = Schedule::new(iter * 131 + d);
+                    while stop.load(Ordering::Acquire) < WRITERS {
+                        let (records, stats) = lc_telemetry::flight::snapshot();
+                        let mut seen = HashSet::new();
+                        for r in &records {
+                            assert!(
+                                seen.insert((r.tid, r.seq)),
+                                "iteration {iter}: duplicate (tid,seq) in one snapshot"
+                            );
+                            if r.name == "model.flight.race" {
+                                assert_eq!(
+                                    r.args[1].1,
+                                    mix(r.args[0].1),
+                                    "iteration {iter}: torn record leaked through the seqlock"
+                                );
+                            }
+                        }
+                        assert!(
+                            stats.recovered <= stats.written,
+                            "iteration {iter}: snapshot recovered more than was written"
+                        );
+                        sched.step();
+                    }
+                });
+            }
+        });
+    }
+    lc_telemetry::flight::disarm();
+}
+
 /// Counters under full contention: `PRODUCERS × N` relaxed increments
 /// from racing threads must sum exactly (the metrics side of the sink
 /// shares the campaign hot path with the span machinery).

@@ -1,0 +1,345 @@
+//! End-to-end observability: request-path tracing, the flight-recorder
+//! black box, the `debug` protocol op, and the rate-sweep knee finder.
+//!
+//! These are the PR's acceptance criteria exercised against a live
+//! in-process server:
+//!
+//! * one `req_id` links a request's queue wait, its stage/pool spans,
+//!   and its outcome in a single trace export;
+//! * a hard abort (drain escalation) leaves a parseable flight-recorder
+//!   dump whose tail notes restate the drain summary's accounting;
+//! * the `debug` op returns the same black box over the wire;
+//! * `rate_sweep` steps offered load and records a knee.
+//!
+//! Telemetry state is process-global, so every test takes one mutex.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use lc_repro::lc_json::Value;
+use lc_repro::lc_parallel::CancelToken;
+use lc_repro::lc_serve::loadgen::{self, LoadgenConfig, RateSweepConfig};
+use lc_repro::lc_serve::proto::{ErrorKind, Op, Request, Response};
+use lc_repro::lc_serve::server::{ServeConfig, Server};
+use lc_repro::lc_serve::Client;
+use lc_repro::lc_telemetry::{self, ArgValue, Event};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn boot(cfg: ServeConfig) -> (Server, CancelToken) {
+    let drain = CancelToken::new();
+    let server = Server::bind(cfg, drain.clone()).expect("bind");
+    (server, drain)
+}
+
+fn arg_u64(e: &Event, key: &str) -> Option<u64> {
+    e.args
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            ArgValue::U64(x) => Some(*x),
+            _ => None,
+        })
+}
+
+fn arg_str<'a>(e: &'a Event, key: &str) -> Option<&'a str> {
+    e.args
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            ArgValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+}
+
+/// One `req_id` must tie together the request span (queue wait +
+/// outcome) and every stage/pool span the request caused — including
+/// across the pool's worker threads, and with chaos stalls slowing the
+/// wire down.
+#[test]
+fn one_req_id_links_queue_wait_stage_spans_and_outcome() {
+    let _g = locked();
+    lc_telemetry::reset();
+    lc_telemetry::enable();
+
+    let (server, drain) = boot(ServeConfig {
+        worker_threads: 2,
+        pool_threads: 2,
+        chaos_seed: Some(11),
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    let client = Client::new(addr);
+    let payload: Vec<u8> = (0..100_000u32).map(|i| (i / 16) as u8).collect();
+    let mut any_ok = false;
+    for i in 0..4u64 {
+        let resp = client.request_with_retry(
+            &Request {
+                op: Op::Pack,
+                deadline_ms: 10_000,
+                pipeline: "DIFF_4 RZE_4".to_string(),
+                payload: payload.clone(),
+            },
+            900 + i,
+        );
+        any_ok |= matches!(resp, Ok(Response::Ok(_)));
+    }
+    assert!(any_ok, "at least one exchange survives the chaos plan");
+
+    drain.cancel();
+    let summary = handle.join().expect("server thread");
+    let events = lc_telemetry::drain();
+    lc_telemetry::disable();
+    assert!(summary.accounted(), "{summary:?}");
+
+    // Pick a request span that terminated ok and reconstruct its trace.
+    let req_span = events
+        .iter()
+        .filter(|e| e.cat == "serve" && e.name == "request")
+        .find(|e| arg_str(e, "outcome") == Some("ok"))
+        .expect("an ok request span exists");
+    let req_id = arg_u64(req_span, "req").expect("request span carries its req id");
+    assert!(req_id > 0);
+    assert_eq!(arg_str(req_span, "op"), Some("pack"));
+    assert!(
+        arg_u64(req_span, "queue_us").is_some(),
+        "queue wait is on the request span: {:?}",
+        req_span.args
+    );
+
+    let linked: Vec<&Event> = events
+        .iter()
+        .filter(|e| !(e.cat == "serve" && e.name == "request"))
+        .filter(|e| arg_u64(e, "req") == Some(req_id))
+        .collect();
+    assert!(
+        linked
+            .iter()
+            .any(|e| e.cat == "serve" && e.name == "execute"),
+        "execute span linked by req {req_id}"
+    );
+    assert!(
+        linked.iter().any(|e| e.name == "archive.encode"),
+        "archive stage span linked by req {req_id}: {:?}",
+        linked.iter().map(|e| (e.cat, e.name)).collect::<Vec<_>>()
+    );
+    assert!(
+        linked.iter().any(|e| e.cat == "pool"),
+        "pool span linked by req {req_id}"
+    );
+}
+
+/// Split a flight dump into its meta line and parsed records.
+fn parse_dump(text: &str) -> (Value, Vec<Value>) {
+    let mut lines = text.lines();
+    let meta = Value::parse(lines.next().expect("meta line")).expect("meta parses");
+    assert_eq!(
+        meta.get("flight").and_then(Value::as_str),
+        Some("lc-flight/v1"),
+        "recognizable black-box header"
+    );
+    let records = lines
+        .map(|l| Value::parse(l).expect("every record line parses"))
+        .collect();
+    (meta, records)
+}
+
+/// Drain escalation must publish the black box, and its tail summary
+/// notes must restate exactly the accounting the drain summary reports.
+#[test]
+fn hard_abort_publishes_flight_dump_matching_summary() {
+    let _g = locked();
+    lc_telemetry::reset();
+    lc_telemetry::flight::arm(0);
+
+    let dir = std::env::temp_dir().join(format!("lc-observability-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let dump = dir.join("flight.jsonl");
+    let _ = std::fs::remove_file(&dump);
+
+    let (server, drain) = boot(ServeConfig {
+        worker_threads: 1,
+        pool_threads: 1,
+        drain_deadline_ms: 1,
+        flight_dump: Some(dump.clone()),
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    // A pack big enough to still be encoding when drain fires.
+    let client = Client::new(addr);
+    let payload: Vec<u8> = (0..32u32 * 1024 * 1024 / 4)
+        .flat_map(|i| (i % 251).to_le_bytes())
+        .collect();
+    let worker = std::thread::spawn(move || {
+        client.request_once(
+            &Request {
+                op: Op::Pack,
+                deadline_ms: 0,
+                pipeline: "DIFF_4 RZE_4".to_string(),
+                payload,
+            },
+            77,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(60));
+    drain.cancel();
+    let summary = handle.join().expect("server thread");
+    let _ = worker.join();
+
+    assert!(summary.hard_aborted, "drain escalated: {summary:?}");
+    assert!(summary.accounted(), "{summary:?}");
+
+    let text = std::fs::read_to_string(&dump).expect("dump published");
+    let (_meta, records) = parse_dump(&text);
+    fn named<'a>(records: &'a [Value], name: &'a str) -> impl Iterator<Item = &'a Value> + 'a {
+        records
+            .iter()
+            .filter(move |r| r.get("name").and_then(Value::as_str) == Some(name))
+    }
+    assert!(
+        named(&records, "serve.hard_abort").count() >= 1,
+        "hard abort recorded"
+    );
+
+    // The three summary notes carry six fields; fold them into one map
+    // and compare against the returned summary.
+    let field = |key: &str| {
+        named(&records, "serve.summary")
+            .find_map(|r| r.get(key).and_then(Value::as_u64))
+            .unwrap_or_else(|| panic!("summary note field {key}"))
+    };
+    assert_eq!(field("requests_in"), summary.requests_in);
+    assert_eq!(field("responses_ok"), summary.responses_ok);
+    assert_eq!(field("responses_err"), summary.responses_err);
+    assert_eq!(field("sheds"), summary.sheds);
+    assert_eq!(
+        field("response_write_failed"),
+        summary.response_write_failed
+    );
+    assert_eq!(field("hard_aborted"), 1);
+
+    lc_telemetry::flight::disarm();
+    let _ = std::fs::remove_file(&dump);
+}
+
+/// The `debug` op ships the black box over the wire when armed, and
+/// degrades to a structured usage error when it is not.
+#[test]
+fn debug_op_round_trips_the_flight_recorder() {
+    let _g = locked();
+    lc_telemetry::reset();
+    lc_telemetry::flight::arm(0);
+    lc_telemetry::flight::note("test.debug_op", &[("marker", 41)]);
+
+    let (server, drain) = boot(ServeConfig {
+        worker_threads: 1,
+        pool_threads: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+    let client = Client::new(addr);
+    let debug_req = Request {
+        op: Op::Debug,
+        deadline_ms: 2_000,
+        pipeline: String::new(),
+        payload: Vec::new(),
+    };
+
+    let resp = client.request_with_retry(&debug_req, 5).expect("exchange");
+    let Response::Ok(body) = resp else {
+        panic!("debug op succeeds while armed: {resp:?}");
+    };
+    let text = String::from_utf8(body).expect("dump is utf-8");
+    let (_meta, records) = parse_dump(&text);
+    assert!(
+        records.iter().any(|r| {
+            r.get("name").and_then(Value::as_str) == Some("test.debug_op")
+                && r.get("marker").and_then(Value::as_u64) == Some(41)
+        }),
+        "the note recorded before the request is in the wire dump"
+    );
+
+    lc_telemetry::flight::disarm();
+    let resp = client.request_with_retry(&debug_req, 6).expect("exchange");
+    assert!(
+        matches!(
+            resp,
+            Response::Err {
+                kind: ErrorKind::Usage,
+                ..
+            }
+        ),
+        "disarmed recorder is a structured usage error: {resp:?}"
+    );
+
+    drain.cancel();
+    let summary = handle.join().expect("server thread");
+    assert!(summary.accounted(), "{summary:?}");
+}
+
+/// The capacity sweep steps offered load, keeps per-step accounting,
+/// and reports a knee within the shed tolerance.
+#[test]
+fn rate_sweep_records_steps_and_a_knee() {
+    let _g = locked();
+    lc_telemetry::reset();
+
+    let (server, drain) = boot(ServeConfig {
+        worker_threads: 4,
+        pool_threads: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    let sweep = loadgen::rate_sweep(&RateSweepConfig {
+        base: LoadgenConfig {
+            addr,
+            workers: 4,
+            seed: 3,
+            deadline_ms: 10_000,
+            ..LoadgenConfig::default()
+        },
+        rate_start: 20.0,
+        rate_max: 40.0,
+        rate_factor: 2.0,
+        // Generous tolerance: this asserts mechanics, not capacity.
+        shed_threshold: 0.9,
+        step_duration: Duration::from_millis(300),
+    });
+
+    drain.cancel();
+    let summary = handle.join().expect("server thread");
+    lc_telemetry::disable();
+    assert!(summary.accounted(), "{summary:?}");
+
+    assert!(
+        !sweep.steps.is_empty() && sweep.steps.len() <= 2,
+        "20 -> 40 rps is at most two steps: {:?}",
+        sweep.steps
+    );
+    for s in &sweep.steps {
+        assert!(s.offered_rps > 0.0);
+        assert!((0.0..=1.0).contains(&s.shed_rate), "{s:?}");
+    }
+    assert!(
+        sweep.knee_offered_rps > 0.0,
+        "an unshed step becomes the knee: {sweep:?}"
+    );
+    assert!(sweep.knee_goodput_rps > 0.0);
+
+    let v = sweep.to_json();
+    assert!(v.get("steps").and_then(Value::as_array).is_some());
+    assert!(v.get("knee_offered_rps").and_then(Value::as_f64).is_some());
+    assert!(v.get("knee_goodput_rps").and_then(Value::as_f64).is_some());
+    assert!(v.get("shed_threshold").and_then(Value::as_f64).is_some());
+}
