@@ -124,7 +124,130 @@ fn main() {
         mb / enc_tel_s
     );
 
-    // 4. Static analysis: contract-check the full registry and compute
+    // 4. Kernel layer: single-thread throughput through the batch stage
+    //    entry points, i.e. what one CPU core does with the SIMD kernels
+    //    and no pool. The pipeline number chains all three stages
+    //    per chunk (including copy-on-expand stage skips), so it is the
+    //    honest "1 GB/s single-thread encode" figure; the per-component
+    //    numbers isolate each kernel family.
+    let kernel_tier = lc_components::kernels::tier().label();
+    let chunks: Vec<&[u8]> = input.chunks(lc_core::CHUNK_SIZE).collect();
+    // Ping-pong between two retained buffers, exactly like a pool
+    // worker's Scratch arena: after the first chunk the loop allocates
+    // nothing, so the number measures the kernels, not the allocator.
+    let mut ping = Vec::new();
+    let mut pong = Vec::new();
+    let st_enc_s = time_median(|| {
+        let mut stats = lc_core::KernelStats::new();
+        for chunk in &chunks {
+            ping.clear();
+            ping.extend_from_slice(chunk);
+            for stage in pipeline.stages() {
+                if lc_core::encode_stage(stage.as_ref(), &ping, &mut pong, &mut stats) {
+                    std::mem::swap(&mut ping, &mut pong);
+                }
+            }
+            std::hint::black_box(&ping);
+        }
+    });
+    // Encode once outside the timer to get decodable chunks + stage masks.
+    let st_encoded: Vec<(Vec<u8>, Vec<bool>)> = chunks
+        .iter()
+        .map(|chunk| {
+            let mut stats = lc_core::KernelStats::new();
+            let mut cur = chunk.to_vec();
+            let mut applied = Vec::with_capacity(pipeline.len());
+            for stage in pipeline.stages() {
+                let mut out = Vec::new();
+                let a = lc_core::encode_stage(stage.as_ref(), &cur, &mut out, &mut stats);
+                if a {
+                    cur = out;
+                }
+                applied.push(a);
+            }
+            (cur, applied)
+        })
+        .collect();
+    let st_dec_s = time_median(|| {
+        let mut stats = lc_core::KernelStats::new();
+        for (enc, applied) in &st_encoded {
+            ping.clear();
+            ping.extend_from_slice(enc);
+            for (stage, a) in pipeline.stages().iter().zip(applied).rev() {
+                if !a {
+                    continue;
+                }
+                lc_core::decode_stage(stage.as_ref(), &ping, &mut pong, &mut stats)
+                    .expect("snapshot pipeline decodes its own output");
+                std::mem::swap(&mut ping, &mut pong);
+            }
+            std::hint::black_box(&ping);
+        }
+    });
+    eprintln!(
+        "kernels ({kernel_tier}): pipeline single-thread encode {:.1} MB/s, decode {:.1} MB/s",
+        mb / st_enc_s,
+        mb / st_dec_s
+    );
+    let mut kernel_entries: Vec<(String, Value)> = vec![
+        ("variant".to_string(), Value::from(kernel_tier)),
+        ("pipeline".to_string(), Value::from(PIPELINE)),
+        (
+            "pipeline_st_enc_mb_s".to_string(),
+            Value::from(mb / st_enc_s),
+        ),
+        (
+            "pipeline_st_dec_mb_s".to_string(),
+            Value::from(mb / st_dec_s),
+        ),
+    ];
+    for name in [
+        "TCMS_4", "DBEFS_4", "BIT_1", "DIFF_4", "RLE_4", "RRE_4", "RZE_4",
+    ] {
+        let comp = lc_components::lookup(name).expect("snapshot component exists");
+        let enc_s = time_median(|| {
+            let mut stats = lc_core::KernelStats::new();
+            for chunk in &chunks {
+                ping.clear();
+                comp.encode_chunk(chunk, &mut ping, &mut stats);
+                std::hint::black_box(&ping);
+            }
+        });
+        let encoded_chunks: Vec<Vec<u8>> = chunks
+            .iter()
+            .map(|chunk| {
+                let mut stats = lc_core::KernelStats::new();
+                let mut out = Vec::new();
+                comp.encode_chunk(chunk, &mut out, &mut stats);
+                out
+            })
+            .collect();
+        let dec_s = time_median(|| {
+            let mut stats = lc_core::KernelStats::new();
+            for enc in &encoded_chunks {
+                ping.clear();
+                comp.decode_chunk(enc, &mut ping, &mut stats)
+                    .expect("snapshot component decodes its own output");
+                std::hint::black_box(&ping);
+            }
+        });
+        eprintln!(
+            "kernels: {name} ({}) encode {:.1} MB/s, decode {:.1} MB/s",
+            comp.kernel_variant().label(),
+            mb / enc_s,
+            mb / dec_s
+        );
+        kernel_entries.push((
+            name.to_lowercase(),
+            Value::object([
+                ("variant", Value::from(comp.kernel_variant().label())),
+                ("enc_mb_s", Value::from(mb / enc_s)),
+                ("dec_mb_s", Value::from(mb / dec_s)),
+            ]),
+        ));
+    }
+
+    // 5. Static analysis: contract-check the full registry and compute
     //    the pruning plan over the paper's full 107,632-pipeline space,
     //    so the analyzer's runtime and the pruned-pipeline count are
     //    tracked across commits alongside the raw throughputs. (The
@@ -191,6 +314,7 @@ fn main() {
                 ("decode_mb_s", Value::from(mb / dec_s)),
             ]),
         ),
+        ("kernels", Value::Object(kernel_entries)),
         (
             "telemetry",
             Value::object([

@@ -62,6 +62,49 @@ pub const CAMPAIGN_METRICS: &[MetricSpec] = &[
         direction: Direction::LowerIsBetter,
         gate: false,
     },
+    // Kernel-layer single-thread throughput (the SIMD dispatch path).
+    // The chained pipeline number is the headline gate; the per-family
+    // numbers localize a regression to one kernel.
+    MetricSpec {
+        path: "kernels.pipeline_st_enc_mb_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "kernels.pipeline_st_dec_mb_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "kernels.dbefs_4.enc_mb_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "kernels.diff_4.enc_mb_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "kernels.diff_4.dec_mb_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "kernels.rze_4.enc_mb_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "kernels.bit_1.enc_mb_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
+    MetricSpec {
+        path: "kernels.rle_4.enc_mb_s",
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    },
 ];
 
 /// The gated metric set for `BENCH_serve.json`.
@@ -376,6 +419,12 @@ mod tests {
         let v = Value::parse(
             r#"{"campaign":{"units_per_s":31.9},"sweep":{"speedup":4.1},
                 "archive":{"encode_mb_s":177.1,"decode_mb_s":225.4},
+                "kernels":{"pipeline_st_enc_mb_s":1100.0,"pipeline_st_dec_mb_s":900.0,
+                           "dbefs_4":{"enc_mb_s":4000.0},
+                           "diff_4":{"enc_mb_s":3000.0,"dec_mb_s":2500.0},
+                           "rze_4":{"enc_mb_s":2000.0},
+                           "bit_1":{"enc_mb_s":1500.0},
+                           "rle_4":{"enc_mb_s":1800.0}},
                 "telemetry":{"enabled_overhead_pct":13.1}}"#,
         )
         .unwrap();

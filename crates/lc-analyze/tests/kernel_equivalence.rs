@@ -1,0 +1,82 @@
+//! Registry-wide scalar ↔ SIMD equivalence over the adversarial corpus.
+//!
+//! For every component in the registry and every corpus input, the encoded
+//! bytes and kernel stats under the full detected kernel tier must be
+//! bitwise identical to the forced-scalar tier, and decode must roundtrip
+//! under both. This is the end-to-end complement of the per-kernel
+//! differential suite in `lc-components/tests/kernels_differential.rs`:
+//! it goes through the same `encode_stage`/`decode_stage` entry points the
+//! archive and campaign runner use, so it also covers the copy-on-expand
+//! stage-skip logic under both tiers.
+
+use lc_analyze::corpus;
+use lc_components::kernels::{self, Variant};
+use lc_core::{decode_stage, encode_stage, KernelStats};
+
+#[test]
+fn registry_encodes_identically_under_scalar_and_simd_tiers() {
+    // Serialize against other tests in this binary: the tier cap is
+    // process-global state.
+    let full = kernels::tier();
+    let mut cases = 0usize;
+    for comp in lc_components::all() {
+        for &len in corpus::LENGTHS {
+            for input in corpus::inputs(len) {
+                // Full-tier encode.
+                kernels::set_tier_cap(full);
+                let mut enc_simd = Vec::new();
+                let mut st_simd = KernelStats::new();
+                let applied_simd = encode_stage(comp.as_ref(), &input, &mut enc_simd, &mut st_simd);
+
+                // Forced-scalar encode.
+                kernels::set_tier_cap(Variant::Scalar);
+                let mut enc_scalar = Vec::new();
+                let mut st_scalar = KernelStats::new();
+                let applied_scalar =
+                    encode_stage(comp.as_ref(), &input, &mut enc_scalar, &mut st_scalar);
+
+                assert_eq!(
+                    applied_simd,
+                    applied_scalar,
+                    "{} len={len}: stage applicability differs across tiers",
+                    comp.name()
+                );
+                assert_eq!(
+                    enc_simd,
+                    enc_scalar,
+                    "{} len={len}: encoded bytes differ across tiers",
+                    comp.name()
+                );
+                assert_eq!(
+                    st_simd,
+                    st_scalar,
+                    "{} len={len}: kernel stats differ across tiers",
+                    comp.name()
+                );
+
+                if applied_simd {
+                    // Scalar decode of the (identical) payload.
+                    let mut dec = Vec::new();
+                    let mut st = KernelStats::new();
+                    decode_stage(comp.as_ref(), &enc_scalar, &mut dec, &mut st).unwrap_or_else(
+                        |e| panic!("{} len={len}: scalar decode: {e}", comp.name()),
+                    );
+                    assert_eq!(dec, input, "{} len={len}: scalar roundtrip", comp.name());
+
+                    // Full-tier decode.
+                    kernels::set_tier_cap(full);
+                    let mut dec = Vec::new();
+                    let mut st = KernelStats::new();
+                    decode_stage(comp.as_ref(), &enc_simd, &mut dec, &mut st)
+                        .unwrap_or_else(|e| panic!("{} len={len}: simd decode: {e}", comp.name()));
+                    assert_eq!(dec, input, "{} len={len}: simd roundtrip", comp.name());
+                }
+                cases += 1;
+            }
+        }
+    }
+    // Restore the tier observed at entry (not a blanket un-cap, which
+    // would override an LC_KERNELS pin for the rest of this binary).
+    kernels::set_tier_cap(full);
+    assert!(cases > 5000, "corpus unexpectedly small: {cases} cases");
+}

@@ -720,7 +720,25 @@ fn cmd_report(rest: &[String]) -> Result<(), CliError> {
         calls: u64,
         bytes: u64,
         ns: u64,
+        kernel: String,
     }
+    // Kernel-variant tag per (component, dir): the largest
+    // `component.<name>.<dir>.kernel.<variant>` counter names the SIMD
+    // tier that handled the traffic.
+    let kernel_of = |component: &str, dir: &str| -> String {
+        let prefix = format!("component.{component}.{dir}.kernel.");
+        let Some(lc_json::Value::Object(fields)) = counters else {
+            return "-".to_string();
+        };
+        fields
+            .iter()
+            .filter_map(|(k, v)| {
+                k.strip_prefix(prefix.as_str())
+                    .map(|variant| (v.as_u64().unwrap_or(0), variant))
+            })
+            .max()
+            .map_or_else(|| "-".to_string(), |(_, variant)| variant.to_string())
+    };
     let mut rows: Vec<Row> = Vec::new();
     for (name, h) in hists {
         let Some(center) = name
@@ -741,6 +759,7 @@ fn cmd_report(rest: &[String]) -> Result<(), CliError> {
                 .and_then(|x| x.as_u64())
                 .unwrap_or(0),
             ns: h.get("sum").and_then(|x| x.as_u64()).unwrap_or(0),
+            kernel: kernel_of(component, dir),
         });
     }
     if rows.is_empty() {
@@ -758,8 +777,8 @@ fn cmd_report(rest: &[String]) -> Result<(), CliError> {
         total_ns as f64 / 1e6
     );
     println!(
-        "{:<12} {:<7} {:>10} {:>10} {:>10} {:>10} {:>7}",
-        "component", "dir", "calls", "MB", "ms", "MB/s", "share"
+        "{:<12} {:<7} {:<7} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "component", "dir", "kernel", "calls", "MB", "ms", "MB/s", "share"
     );
     for r in rows.iter().take(top) {
         let secs = r.ns as f64 / 1e9;
@@ -769,9 +788,10 @@ fn cmd_report(rest: &[String]) -> Result<(), CliError> {
             0.0
         };
         println!(
-            "{:<12} {:<7} {:>10} {:>10.2} {:>10.2} {:>10.1} {:>6.1}%",
+            "{:<12} {:<7} {:<7} {:>10} {:>10.2} {:>10.2} {:>10.1} {:>6.1}%",
             r.component,
             r.dir,
+            r.kernel,
             r.calls,
             r.bytes as f64 / 1e6,
             r.ns as f64 / 1e6,

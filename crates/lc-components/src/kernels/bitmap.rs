@@ -1,0 +1,523 @@
+//! Mark-bitmap kernels for the repetition-removing reducers (RRE, RZE).
+//!
+//! Both reducers classify every word of a chunk — "repeats the prior
+//! word" (RRE) or "is zero" (RZE) — into an LSB-first bitmap
+//! (`bm[i/8] & (1 << (i%8))`, set = removed), then emit only the
+//! unmarked survivors. Classification is a pure compare, which SIMD does
+//! 16–32 words at a time: `cmpeq` against either a zero register or a
+//! one-word-shifted load, then `movemask` to compress the lane masks
+//! into bitmap bits — the movemask bit order is exactly the LSB-first
+//! convention the serialized format already uses, so the vector path
+//! produces the stored bytes directly.
+
+use super::Variant;
+
+/// Which property marks a word for removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mark {
+    /// Word equals its predecessor (word 0 is never marked) — RRE.
+    RepeatsPrior,
+    /// Word is all-zero — RZE.
+    IsZero,
+}
+
+impl Mark {
+    /// Both marks, for the differential tests.
+    pub const ALL: [Mark; 2] = [Mark::RepeatsPrior, Mark::IsZero];
+}
+
+/// Portable reference: mark words `from..to` of `src` into `bm`.
+///
+/// Word equality is LE byte-slice equality, so no word loads are needed.
+fn portable_mark<const W: usize>(mk: Mark, src: &[u8], bm: &mut [u8], from: usize, to: usize) {
+    for i in from..to {
+        let marked = match mk {
+            Mark::IsZero => src[i * W..(i + 1) * W].iter().all(|&b| b == 0),
+            Mark::RepeatsPrior => i > 0 && src[i * W..(i + 1) * W] == src[(i - 1) * W..i * W],
+        };
+        if marked {
+            bm[i / 8] |= 1 << (i % 8);
+        }
+    }
+}
+
+/// Which tier bitmap dispatch resolves to for this word size.
+pub fn variant<const W: usize>() -> Variant {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let t = super::tier();
+        // 16-bit lanes have no single-instruction 256-bit movemask path;
+        // W = 2 caps at SSE2 (cmpeq_epi16 + packs + movemask_epi8).
+        let t = if W == 2 { t.min(Variant::Sse2) } else { t };
+        if t >= Variant::Sse2 {
+            return t;
+        }
+    }
+    Variant::Scalar
+}
+
+/// Append the mark bitmap for the words of `src` (`src.len()` must be a
+/// multiple of `W`; `(n+7)/8` bytes, LSB-first) to `bm`. Returns the
+/// number of *kept* (unmarked, surviving) words.
+pub fn build<const W: usize>(mk: Mark, src: &[u8], bm: &mut Vec<u8>) -> usize {
+    build_with::<W>(variant::<W>(), mk, src, bm)
+}
+
+/// [`build`] pinned to a tier (clamped to the detected CPU).
+pub fn build_with<const W: usize>(v: Variant, mk: Mark, src: &[u8], bm: &mut Vec<u8>) -> usize {
+    let n = src.len() / W;
+    debug_assert_eq!(src.len(), n * W, "src must be whole words");
+    let start = bm.len();
+    bm.resize(start + n.div_ceil(8), 0);
+    let bmr = &mut bm[start..];
+    // safety: tier clamped to CPUID detection before calling
+    // `#[target_feature]` bodies.
+    #[cfg(target_arch = "x86_64")]
+    let (covered_from, covered_to) = {
+        let v = v.min(super::detected());
+        let v = if W == 2 { v.min(Variant::Sse2) } else { v };
+        match v {
+            Variant::Avx2 => unsafe { x86::mark_avx2::<W>(mk, src, bmr) },
+            Variant::Sse2 => unsafe { x86::mark_sse2::<W>(mk, src, bmr) },
+            Variant::Scalar => (0, 0),
+        }
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let (covered_from, covered_to) = {
+        let _ = v;
+        (0, 0)
+    };
+    portable_mark::<W>(mk, src, bmr, 0, covered_from);
+    portable_mark::<W>(mk, src, bmr, covered_to, n);
+    n - bmr.iter().map(|b| b.count_ones() as usize).sum::<usize>()
+}
+
+/// Append every unmarked word of `src` to `out`, with byte-at-a-time
+/// bitmap fast paths for all-kept (`0x00`) and all-removed (`0xFF`)
+/// groups.
+///
+/// At `W = 4` on AVX2 the mixed-byte case — the common shape when a
+/// reducer runs on predictor residuals, where zero and nonzero words
+/// interleave — is a vpermd left-pack: one permutation per bitmap byte
+/// compacts 8 dwords in a single shuffle instead of 8 branchy copies.
+pub fn emit_survivors<const W: usize>(src: &[u8], bm: &[u8], out: &mut Vec<u8>) {
+    let n = src.len() / W;
+    debug_assert_eq!(src.len(), n * W, "src must be whole words");
+    #[cfg(target_arch = "x86_64")]
+    if W == 4 && super::tier() >= Variant::Avx2 && n >= 8 {
+        let groups = n / 8;
+        let start = out.len();
+        // Worst case every word survives; truncate to what was written.
+        out.resize(start + n * W, 0);
+        // safety: tier() is clamped to the CPUID-detected tier, so AVX2
+        // is available here.
+        let written = unsafe { x86::emit4_avx2(src, &bm[..groups], &mut out[start..]) };
+        out.truncate(start + written);
+        for i in groups * 8..n {
+            if bm[i / 8] & (1 << (i % 8)) == 0 {
+                out.extend_from_slice(&src[i * 4..(i + 1) * 4]);
+            }
+        }
+        return;
+    }
+    let mut i = 0usize;
+    while i < n {
+        if i.is_multiple_of(8) && i + 8 <= n {
+            match bm[i / 8] {
+                0x00 => {
+                    out.extend_from_slice(&src[i * W..(i + 8) * W]);
+                    i += 8;
+                    continue;
+                }
+                0xFF => {
+                    i += 8;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if bm[i / 8] & (1 << (i % 8)) == 0 {
+            out.extend_from_slice(&src[i * W..(i + 1) * W]);
+        }
+        i += 1;
+    }
+}
+
+/// Vectorized inverse of [`emit_survivors`] for the `IsZero` mark at
+/// `W = 4`: reconstruct whole 8-word groups, reading packed survivors
+/// from `src` at `*pos` and appending marked lanes as zero. Stops
+/// before any group whose 32-byte survivor load would pass the end of
+/// `src` (the caller's scalar path finishes the job and owns all
+/// truncation/corruption detection). Returns the number of words
+/// emitted — always a multiple of 8 — with `*pos` advanced past the
+/// survivors consumed.
+pub fn expand_zero4(bm: &[u8], n: usize, src: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if super::tier() >= Variant::Avx2 {
+        let groups = n / 8;
+        if groups == 0 {
+            return 0;
+        }
+        let start = out.len();
+        out.resize(start + groups * 32, 0);
+        // safety: tier() is clamped to the CPUID-detected tier.
+        let (words, consumed) =
+            unsafe { x86::expand4_avx2(&bm[..groups], src, *pos, &mut out[start..]) };
+        out.truncate(start + words * 4);
+        *pos += consumed;
+        return words;
+    }
+    let _ = (bm, n, src, pos, out);
+    0
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::Mark;
+    use std::arch::x86_64::*;
+
+    // ---- lane-mask → bitmap-bits helpers (one per word size) ----
+
+    #[target_feature(enable = "sse2")]
+    fn eq8(a: __m128i, b: __m128i) -> u32 {
+        _mm_movemask_epi8(_mm_cmpeq_epi8(a, b)) as u32 // 16 bits
+    }
+
+    #[target_feature(enable = "sse2")]
+    fn eq16(a: __m128i, b: __m128i) -> u32 {
+        let m = _mm_packs_epi16(_mm_cmpeq_epi16(a, b), _mm_setzero_si128());
+        _mm_movemask_epi8(m) as u32 & 0xFF // 8 bits
+    }
+
+    #[target_feature(enable = "sse2")]
+    fn eq32(a: __m128i, b: __m128i) -> u32 {
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(a, b))) as u32 // 4 bits
+    }
+
+    #[target_feature(enable = "sse2")]
+    fn eq64(a: __m128i, b: __m128i) -> u32 {
+        // SSE2 has no cmpeq_epi64: compare 32-bit halves and AND each
+        // half with its pair-swapped neighbor.
+        let m = _mm_cmpeq_epi32(a, b);
+        let m = _mm_and_si128(m, _mm_shuffle_epi32(m, 0b10_11_00_01));
+        _mm_movemask_pd(_mm_castsi128_pd(m)) as u32 // 2 bits
+    }
+
+    /// SSE2 marker: 16-word groups, two bitmap bytes per group. Returns
+    /// the word range `(from, to)` it covered (`(0, 0)` if none).
+    #[target_feature(enable = "sse2")]
+    pub(super) fn mark_sse2<const W: usize>(mk: Mark, src: &[u8], bm: &mut [u8]) -> (usize, usize) {
+        let n = src.len() / W;
+        let per = 16 / W; // words per 128-bit vector
+                          // RepeatsPrior needs a load one word back; start a full group in
+                          // so the shifted load stays in bounds (word 0 is portable's job).
+        let start = match mk {
+            Mark::IsZero => 0usize,
+            Mark::RepeatsPrior => 16,
+        };
+        let zero = _mm_setzero_si128();
+        let mut w = start;
+        while w + 16 <= n {
+            let mut bits: u32 = 0;
+            let mut k = 0usize;
+            while k < 16 {
+                // safety: `cur` reads 16 bytes ending at `(w+k+per)*W ≤
+                // n*W`; the RepeatsPrior load starts one word earlier and
+                // `w+k ≥ 16` keeps it in bounds.
+                unsafe {
+                    let cur = _mm_loadu_si128(src.as_ptr().add((w + k) * W).cast());
+                    let rhs = match mk {
+                        Mark::IsZero => zero,
+                        Mark::RepeatsPrior => {
+                            _mm_loadu_si128(src.as_ptr().add((w + k - 1) * W).cast())
+                        }
+                    };
+                    let m = match W {
+                        1 => eq8(cur, rhs),
+                        2 => eq16(cur, rhs),
+                        4 => eq32(cur, rhs),
+                        _ => eq64(cur, rhs),
+                    };
+                    bits |= m << k;
+                }
+                k += per;
+            }
+            bm[w / 8] = bits as u8;
+            bm[w / 8 + 1] = (bits >> 8) as u8;
+            w += 16;
+        }
+        if w == start {
+            (0, 0)
+        } else {
+            (start, w)
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn eq8x(a: __m256i, b: __m256i) -> u32 {
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(a, b)) as u32 // 32 bits
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn eq32x(a: __m256i, b: __m256i) -> u32 {
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(a, b))) as u32
+        // 8 bits
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn eq64x(a: __m256i, b: __m256i) -> u32 {
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(a, b))) as u32
+        // 4 bits
+    }
+
+    /// For each bitmap byte, the vpermd control that left-packs the 8
+    /// surviving (bit-clear) dwords to the front of the register.
+    const fn pack_lut() -> [[u32; 8]; 256] {
+        let mut lut = [[0u32; 8]; 256];
+        let mut b = 0usize;
+        while b < 256 {
+            let mut idx = 0usize;
+            let mut lane = 0usize;
+            while lane < 8 {
+                if b & (1 << lane) == 0 {
+                    lut[b][idx] = lane as u32;
+                    idx += 1;
+                }
+                lane += 1;
+            }
+            b += 1;
+        }
+        lut
+    }
+
+    static PACK_LUT: [[u32; 8]; 256] = pack_lut();
+
+    /// For each bitmap byte, the vpermd control that scatters packed
+    /// survivors back to their lanes: clear lane `l` reads survivor
+    /// `popcount(clear bits below l)`; marked lanes are zeroed by
+    /// [`KEEP_LUT`] afterwards, so their index is irrelevant.
+    const fn expand_lut() -> [[u32; 8]; 256] {
+        let mut lut = [[0u32; 8]; 256];
+        let mut b = 0usize;
+        while b < 256 {
+            let mut next = 0u32;
+            let mut lane = 0usize;
+            while lane < 8 {
+                if b & (1 << lane) == 0 {
+                    lut[b][lane] = next;
+                    next += 1;
+                }
+                lane += 1;
+            }
+            b += 1;
+        }
+        lut
+    }
+
+    static EXPAND_LUT: [[u32; 8]; 256] = expand_lut();
+
+    /// All-ones for clear (surviving) lanes, zero for marked lanes.
+    const fn keep_lut() -> [[u32; 8]; 256] {
+        let mut lut = [[0u32; 8]; 256];
+        let mut b = 0usize;
+        while b < 256 {
+            let mut lane = 0usize;
+            while lane < 8 {
+                if b & (1 << lane) == 0 {
+                    lut[b][lane] = u32::MAX;
+                }
+                lane += 1;
+            }
+            b += 1;
+        }
+        lut
+    }
+
+    static KEEP_LUT: [[u32; 8]; 256] = keep_lut();
+
+    /// AVX2 `IsZero` reconstruction for `W = 4`: per bitmap byte, load
+    /// 32 bytes of packed survivors, permute them to their lanes, mask
+    /// marked lanes to zero, and store the full group. Stops when fewer
+    /// than 32 survivor bytes remain loadable. `out` must hold at least
+    /// `bm.len() * 32` bytes; returns `(words_emitted, bytes_consumed)`.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn expand4_avx2(
+        bm: &[u8],
+        src: &[u8],
+        mut pos: usize,
+        out: &mut [u8],
+    ) -> (usize, usize) {
+        debug_assert!(out.len() >= bm.len() * 32);
+        let start_pos = pos;
+        let mut emitted = 0usize;
+        for &b in bm {
+            if b == 0xFF {
+                // safety: store writes 32 bytes at emitted*4; emitted ≤
+                // (group index)*8 so the end stays ≤ bm.len()*32.
+                unsafe {
+                    _mm256_storeu_si256(
+                        out.as_mut_ptr().add(emitted * 4).cast(),
+                        _mm256_setzero_si256(),
+                    );
+                }
+                emitted += 8;
+                continue;
+            }
+            if pos + 32 > src.len() {
+                break;
+            }
+            // safety: the load reads 32 bytes at pos, guarded above; the
+            // store bound is the same as the 0xFF arm.
+            unsafe {
+                let v = _mm256_loadu_si256(src.as_ptr().add(pos).cast());
+                let perm = _mm256_loadu_si256(EXPAND_LUT[b as usize].as_ptr().cast());
+                let mask = _mm256_loadu_si256(KEEP_LUT[b as usize].as_ptr().cast());
+                let r = _mm256_and_si256(_mm256_permutevar8x32_epi32(v, perm), mask);
+                _mm256_storeu_si256(out.as_mut_ptr().add(emitted * 4).cast(), r);
+            }
+            pos += (8 - b.count_ones() as usize) * 4;
+            emitted += 8;
+        }
+        (emitted, pos - start_pos)
+    }
+
+    /// AVX2 survivor emission for `W = 4`: per bitmap byte, permute the
+    /// 8 dwords so survivors are contiguous, store all 32 bytes, and
+    /// advance the cursor by the survivor count — no per-word branches.
+    /// `out` must hold at least `bm.len() * 32` bytes; returns the bytes
+    /// actually written (`kept * 4` over the covered groups).
+    #[target_feature(enable = "avx2")]
+    pub(super) fn emit4_avx2(src: &[u8], bm: &[u8], out: &mut [u8]) -> usize {
+        debug_assert!(src.len() >= bm.len() * 32);
+        debug_assert!(out.len() >= bm.len() * 32);
+        let mut idx = 0usize;
+        for (g, &b) in bm.iter().enumerate() {
+            if b == 0xFF {
+                continue;
+            }
+            // safety: the load reads 32 bytes at g*32, in bounds by the
+            // src debug_assert. The store writes 32 bytes at idx; before
+            // group g, idx ≤ g*32 (at most 8 dwords kept per group), so
+            // idx + 32 ≤ (g+1)*32 ≤ out.len().
+            unsafe {
+                let v = _mm256_loadu_si256(src.as_ptr().add(g * 32).cast());
+                let perm = _mm256_loadu_si256(PACK_LUT[b as usize].as_ptr().cast());
+                let packed = _mm256_permutevar8x32_epi32(v, perm);
+                _mm256_storeu_si256(out.as_mut_ptr().add(idx).cast(), packed);
+            }
+            idx += (8 - b.count_ones() as usize) * 4;
+        }
+        idx
+    }
+
+    /// AVX2 marker: 32-word groups, four bitmap bytes per group. `W = 2`
+    /// is not implemented at this tier (dispatch demotes it to SSE2).
+    #[target_feature(enable = "avx2")]
+    pub(super) fn mark_avx2<const W: usize>(mk: Mark, src: &[u8], bm: &mut [u8]) -> (usize, usize) {
+        if W == 2 {
+            return (0, 0);
+        }
+        let n = src.len() / W;
+        let per = 32 / W;
+        let start = match mk {
+            Mark::IsZero => 0usize,
+            Mark::RepeatsPrior => 32,
+        };
+        let zero = _mm256_setzero_si256();
+        let mut w = start;
+        while w + 32 <= n {
+            let mut bits: u32 = 0;
+            let mut k = 0usize;
+            while k < 32 {
+                // safety: same bounds argument as `mark_sse2` with
+                // 32-byte vectors and a 32-word lead-in.
+                unsafe {
+                    let cur = _mm256_loadu_si256(src.as_ptr().add((w + k) * W).cast());
+                    let rhs = match mk {
+                        Mark::IsZero => zero,
+                        Mark::RepeatsPrior => {
+                            _mm256_loadu_si256(src.as_ptr().add((w + k - 1) * W).cast())
+                        }
+                    };
+                    let m = match W {
+                        1 => eq8x(cur, rhs),
+                        4 => eq32x(cur, rhs),
+                        _ => eq64x(cur, rhs),
+                    };
+                    bits |= m << k;
+                }
+                k += per;
+            }
+            bm[w / 8..w / 8 + 4].copy_from_slice(&bits.to_le_bytes());
+            w += 32;
+        }
+        if w == start {
+            (0, 0)
+        } else {
+            (start, w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterned(len: usize, mut s: u64) -> Vec<u8> {
+        // Zero runs, repeats, and noise — exercises both marks.
+        let mut v = Vec::with_capacity(len);
+        while v.len() < len {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match (s >> 60) & 3 {
+                0 => v.extend(std::iter::repeat_n(0u8, (s as usize % 23) + 1)),
+                1 => v.extend(std::iter::repeat_n((s >> 8) as u8, (s as usize % 17) + 1)),
+                _ => v.extend_from_slice(&s.to_le_bytes()),
+            }
+        }
+        v.truncate(len);
+        v
+    }
+
+    fn check<const W: usize>() {
+        for len_w in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 130] {
+            let src = patterned(len_w * W, 0xB17_0000 + (len_w * 8 + W) as u64);
+            for mk in Mark::ALL {
+                let mut reference = Vec::new();
+                let kept_ref = build_with::<W>(Variant::Scalar, mk, &src, &mut reference);
+                for v in super::super::available() {
+                    let mut bm = Vec::new();
+                    let kept = build_with::<W>(v, mk, &src, &mut bm);
+                    assert_eq!(bm, reference, "W={W} {mk:?} {v:?} len_w={len_w}");
+                    assert_eq!(kept, kept_ref);
+                    let mut survivors = Vec::new();
+                    emit_survivors::<W>(&src, &bm, &mut survivors);
+                    assert_eq!(survivors.len(), kept * W);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_tiers_agree() {
+        check::<1>();
+        check::<2>();
+        check::<4>();
+        check::<8>();
+    }
+
+    #[test]
+    fn survivors_match_naive_filter() {
+        let src = patterned(64 * 4, 99);
+        let mut bm = Vec::new();
+        build::<4>(Mark::IsZero, &src, &mut bm);
+        let mut got = Vec::new();
+        emit_survivors::<4>(&src, &bm, &mut got);
+        let want: Vec<u8> = src
+            .chunks_exact(4)
+            .filter(|w| w.iter().any(|&b| b != 0))
+            .flatten()
+            .copied()
+            .collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,461 @@
+//! BIT shuffler kernels: bit-plane transpose.
+//!
+//! The serialized format is a continuous MSB-first bit stream: plane
+//! `b−1` (one bit from every word, word 0 first) then plane `b−2`, and
+//! so on. When the word count `n` is a multiple of 8 — true for every
+//! full 16 kB chunk at every word size — each plane occupies exactly
+//! `n/8` whole bytes, and the transform becomes a byte-granular 8×8 bit
+//! transpose per 8-word group:
+//!
+//! * the **portable grouped** path uses the classic three-step delta-swap
+//!   `u64` bit-matrix transpose (8 words per 18 ALU ops per byte column);
+//! * the **SIMD** paths (`W` = 1 and 4) extract a whole plane byte per
+//!   `movemask` after shifting the target bit into the lane sign
+//!   position;
+//! * when `n % 8 != 0` (short trailing chunks), plane boundaries straddle
+//!   bytes and the exact [`BitWriter`]-equivalent reference runs instead.
+//!
+//! All three produce bit-identical streams (differential tests below and
+//! in `tests/kernels_differential.rs`).
+
+use super::Variant;
+use crate::util::bitpack::{BitReader, BitWriter};
+use crate::util::words;
+use lc_core::DecodeError;
+
+/// Bit-reversal table: `REV8[b] == b.reverse_bits()`. `movemask` packs
+/// lane 0 into bit 0 (LSB-first) while the plane byte wants word 0 at
+/// the MSB, so every mask byte is reversed on the way through.
+#[cfg(target_arch = "x86_64")]
+static REV8: [u8; 256] = {
+    let mut t = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        t[i] = (i as u8).reverse_bits();
+        i += 1;
+    }
+    t
+};
+
+/// 8×8 bit-matrix transpose: bit `8i+j` of the result is bit `8j+i` of
+/// `x` (three delta-swaps; Hacker's Delight §7-3).
+#[inline(always)]
+fn transpose8(mut x: u64) -> u64 {
+    let t = (x ^ (x >> 7)) & 0x00AA_00AA_00AA_00AA;
+    x ^= t ^ (t << 7);
+    let t = (x ^ (x >> 14)) & 0x0000_CCCC_0000_CCCC;
+    x ^= t ^ (t << 14);
+    let t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
+    x ^= t ^ (t << 28);
+    x
+}
+
+/// Exact reference encoder: the original bit-at-a-time stream writer.
+fn reference_encode<const W: usize>(input: &[u8], n: usize, out: &mut Vec<u8>) {
+    let b = words::bits::<W>();
+    let vals = words::to_vec::<W>(input);
+    let mut writer = BitWriter::new(out);
+    for bit in (0..b).rev() {
+        for &v in vals.iter().take(n) {
+            writer.put((v >> bit) & 1, 1);
+        }
+    }
+    writer.finish();
+}
+
+/// Exact reference decoder (only path that can observe truncation).
+fn reference_decode<const W: usize>(
+    src: &[u8],
+    n: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), DecodeError> {
+    let b = words::bits::<W>();
+    let mut vals = vec![0u64; n];
+    let mut reader = BitReader::new(src);
+    for bit in (0..b).rev() {
+        for v in vals.iter_mut() {
+            *v |= reader.get(1)? << bit;
+        }
+    }
+    words::extend_from_words::<W>(out, &vals);
+    Ok(())
+}
+
+/// Grouped portable encoder over words `from..n` (`n % 8 == 0`,
+/// `from % 8 == 0`): one `u64` transpose per (8-word group × byte
+/// column).
+fn portable_encode_grouped<const W: usize>(src: &[u8], dst: &mut [u8], n: usize, from: usize) {
+    let stride = n / 8; // bytes per plane
+    let b = 8 * W;
+    let mut w = from;
+    while w < n {
+        for m in 0..W {
+            // Reversed byte order puts word 0 at the matrix row that maps
+            // to the plane byte's MSB.
+            let x = u64::from_le_bytes([
+                src[(w + 7) * W + m],
+                src[(w + 6) * W + m],
+                src[(w + 5) * W + m],
+                src[(w + 4) * W + m],
+                src[(w + 3) * W + m],
+                src[(w + 2) * W + m],
+                src[(w + 1) * W + m],
+                src[w * W + m],
+            ]);
+            let y = transpose8(x).to_le_bytes();
+            for (qp, &pb) in y.iter().enumerate() {
+                let p = b - 1 - (8 * m + qp); // plane index for bit 8m+qp
+                dst[p * stride + w / 8] = pb;
+            }
+        }
+        w += 8;
+    }
+}
+
+/// Grouped portable decoder (inverse of [`portable_encode_grouped`]; the
+/// transpose is an involution).
+fn portable_decode_grouped<const W: usize>(src: &[u8], dst: &mut [u8], n: usize, from: usize) {
+    let stride = n / 8;
+    let b = 8 * W;
+    let mut w = from;
+    while w < n {
+        for m in 0..W {
+            let mut yb = [0u8; 8];
+            for (qp, slot) in yb.iter_mut().enumerate() {
+                let p = b - 1 - (8 * m + qp);
+                *slot = src[p * stride + w / 8];
+            }
+            let x = transpose8(u64::from_le_bytes(yb)).to_le_bytes();
+            for k in 0..8 {
+                dst[(w + k) * W + m] = x[7 - k];
+            }
+        }
+        w += 8;
+    }
+}
+
+/// Which tier BIT dispatch resolves to for this word size.
+pub fn variant<const W: usize>() -> Variant {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if W == 1 || W == 4 {
+            let t = super::tier();
+            if t >= Variant::Sse2 {
+                return t;
+            }
+        }
+    }
+    Variant::Scalar
+}
+
+/// Transpose the complete words of `input` into bit planes, appending
+/// `n·W` plane bytes then the incomplete tail verbatim.
+pub fn encode<const W: usize>(input: &[u8], out: &mut Vec<u8>) -> Variant {
+    let v = variant::<W>();
+    encode_with::<W>(v, input, out);
+    v
+}
+
+/// [`encode`] pinned to a tier (clamped to the detected CPU).
+pub fn encode_with<const W: usize>(v: Variant, input: &[u8], out: &mut Vec<u8>) {
+    let n = input.len() / W;
+    if !n.is_multiple_of(8) {
+        // Plane boundaries straddle bytes: only the streaming reference
+        // produces the exact layout.
+        reference_encode::<W>(input, n, out);
+    } else {
+        let start = out.len();
+        out.resize(start + n * W, 0);
+        let src = &input[..n * W];
+        let dst = &mut out[start..];
+        // safety: tier clamped to CPUID detection before calling
+        // `#[target_feature]` bodies.
+        #[cfg(target_arch = "x86_64")]
+        let done = match v.min(super::detected()) {
+            Variant::Avx2 => unsafe { x86::encode_avx2::<W>(src, dst, n) },
+            Variant::Sse2 => unsafe { x86::encode_sse2::<W>(src, dst, n) },
+            Variant::Scalar => 0,
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let done = {
+            let _ = v;
+            0
+        };
+        portable_encode_grouped::<W>(src, dst, n, done);
+    }
+    out.extend_from_slice(&input[n * W..]);
+}
+
+/// Invert [`encode`], appending the reconstructed words then the tail.
+pub fn decode<const W: usize>(input: &[u8], out: &mut Vec<u8>) -> Result<Variant, DecodeError> {
+    let v = variant::<W>();
+    decode_with::<W>(v, input, out)?;
+    Ok(v)
+}
+
+/// [`decode`] pinned to a tier (clamped to the detected CPU).
+pub fn decode_with<const W: usize>(
+    v: Variant,
+    input: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), DecodeError> {
+    let n = input.len() / W;
+    if !n.is_multiple_of(8) {
+        reference_decode::<W>(&input[..n * W], n, out)?;
+    } else {
+        let start = out.len();
+        out.resize(start + n * W, 0);
+        let src = &input[..n * W];
+        let dst = &mut out[start..];
+        // safety: tier clamped to CPUID detection before calling
+        // `#[target_feature]` bodies.
+        #[cfg(target_arch = "x86_64")]
+        let done = match v.min(super::detected()) {
+            Variant::Avx2 => unsafe { x86::decode_avx2::<W>(src, dst, n) },
+            Variant::Sse2 => unsafe { x86::decode_sse2::<W>(src, dst, n) },
+            Variant::Scalar => 0,
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let done = {
+            let _ = v;
+            0
+        };
+        portable_decode_grouped::<W>(src, dst, n, done);
+    }
+    out.extend_from_slice(&input[n * W..]);
+    Ok(())
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::REV8;
+    use std::arch::x86_64::*;
+
+    /// SSE2 plane extraction for `W` ∈ {1, 4}; returns words covered
+    /// (multiple of 8).
+    #[target_feature(enable = "sse2")]
+    pub(super) fn encode_sse2<const W: usize>(src: &[u8], dst: &mut [u8], n: usize) -> usize {
+        let stride = n / 8;
+        match W {
+            1 => {
+                let groups = n / 16;
+                for g in 0..groups {
+                    // safety: group `g` reads 16 bytes at `g*16`,
+                    // `groups*16 ≤ n = src.len()`.
+                    unsafe {
+                        let v = _mm_loadu_si128(src.as_ptr().add(g * 16).cast());
+                        for bit in 0..8usize {
+                            // Shift bit `bit` into each byte's sign slot;
+                            // 16-bit lane shifts leak only into the
+                            // neighbor's low bits, never its bit 7.
+                            let s = _mm_cvtsi32_si128(7 - bit as i32);
+                            let m = _mm_movemask_epi8(_mm_sll_epi16(v, s)) as u32;
+                            let p = 7 - bit;
+                            dst[p * stride + g * 2] = REV8[(m & 0xFF) as usize];
+                            dst[p * stride + g * 2 + 1] = REV8[(m >> 8) as usize];
+                        }
+                    }
+                }
+                groups * 16
+            }
+            4 => {
+                let groups = n / 8;
+                for g in 0..groups {
+                    // safety: group `g` reads 32 bytes at `g*32`,
+                    // `groups*32 ≤ n*4 = src.len()`.
+                    unsafe {
+                        let v0 = _mm_loadu_si128(src.as_ptr().add(g * 32).cast());
+                        let v1 = _mm_loadu_si128(src.as_ptr().add(g * 32 + 16).cast());
+                        for bit in 0..32usize {
+                            let s = _mm_cvtsi32_si128(31 - bit as i32);
+                            let m0 = _mm_movemask_ps(_mm_castsi128_ps(_mm_sll_epi32(v0, s)));
+                            let m1 = _mm_movemask_ps(_mm_castsi128_ps(_mm_sll_epi32(v1, s)));
+                            let p = 31 - bit;
+                            dst[p * stride + g] = REV8[m0 as usize] | (REV8[m1 as usize] >> 4);
+                        }
+                    }
+                }
+                groups * 8
+            }
+            _ => 0,
+        }
+    }
+
+    /// AVX2 plane extraction; same contract as [`encode_sse2`].
+    #[target_feature(enable = "avx2")]
+    pub(super) fn encode_avx2<const W: usize>(src: &[u8], dst: &mut [u8], n: usize) -> usize {
+        let stride = n / 8;
+        match W {
+            1 => {
+                let groups = n / 32;
+                for g in 0..groups {
+                    // safety: group `g` reads 32 bytes at `g*32`,
+                    // `groups*32 ≤ n = src.len()`.
+                    unsafe {
+                        let v = _mm256_loadu_si256(src.as_ptr().add(g * 32).cast());
+                        for bit in 0..8usize {
+                            let s = _mm_cvtsi32_si128(7 - bit as i32);
+                            let m = _mm256_movemask_epi8(_mm256_sll_epi16(v, s)) as u32;
+                            let p = 7 - bit;
+                            let o = p * stride + g * 4;
+                            dst[o] = REV8[(m & 0xFF) as usize];
+                            dst[o + 1] = REV8[((m >> 8) & 0xFF) as usize];
+                            dst[o + 2] = REV8[((m >> 16) & 0xFF) as usize];
+                            dst[o + 3] = REV8[(m >> 24) as usize];
+                        }
+                    }
+                }
+                groups * 32
+            }
+            4 => {
+                let groups = n / 8;
+                for g in 0..groups {
+                    // safety: group `g` reads 32 bytes at `g*32`,
+                    // `groups*32 ≤ n*4 = src.len()`.
+                    unsafe {
+                        let v = _mm256_loadu_si256(src.as_ptr().add(g * 32).cast());
+                        for bit in 0..32usize {
+                            let s = _mm_cvtsi32_si128(31 - bit as i32);
+                            let m = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_sll_epi32(v, s)));
+                            dst[(31 - bit) * stride + g] = REV8[m as usize & 0xFF];
+                        }
+                    }
+                }
+                groups * 8
+            }
+            _ => 0,
+        }
+    }
+
+    /// SSE2 inverse-movemask decode for `W` = 1; returns words covered.
+    #[target_feature(enable = "sse2")]
+    pub(super) fn decode_sse2<const W: usize>(src: &[u8], dst: &mut [u8], n: usize) -> usize {
+        if W != 1 {
+            return 0;
+        }
+        let stride = n / 8;
+        let groups = n / 16;
+        let bitsel = _mm_set1_epi64x(0x8040_2010_0804_0201u64 as i64);
+        for g in 0..groups {
+            let mut acc = _mm_setzero_si128();
+            for bit in 0..8usize {
+                let p = 7 - bit;
+                let b0 = REV8[src[p * stride + g * 2] as usize];
+                let b1 = REV8[src[p * stride + g * 2 + 1] as usize];
+                // Inverse movemask: broadcast each plane byte, test the
+                // per-lane selector bit, fold the result into bit `bit`.
+                let sel = _mm_unpacklo_epi64(_mm_set1_epi8(b0 as i8), _mm_set1_epi8(b1 as i8));
+                let hit = _mm_cmpeq_epi8(_mm_and_si128(sel, bitsel), bitsel);
+                acc = _mm_or_si128(acc, _mm_and_si128(hit, _mm_set1_epi8((1u8 << bit) as i8)));
+            }
+            // safety: the store writes 16 bytes at `g*16`, `groups*16 ≤
+            // n = dst.len()`.
+            unsafe {
+                _mm_storeu_si128(dst.as_mut_ptr().add(g * 16).cast(), acc);
+            }
+        }
+        groups * 16
+    }
+
+    /// AVX2 inverse-movemask decode for `W` = 1; returns words covered.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn decode_avx2<const W: usize>(src: &[u8], dst: &mut [u8], n: usize) -> usize {
+        if W != 1 {
+            return 0;
+        }
+        let stride = n / 8;
+        let groups = n / 32;
+        let bitsel = _mm256_set1_epi64x(0x8040_2010_0804_0201u64 as i64);
+        for g in 0..groups {
+            let mut acc = _mm256_setzero_si256();
+            for bit in 0..8usize {
+                let p = 7 - bit;
+                let o = p * stride + g * 4;
+                let lo = _mm_unpacklo_epi64(
+                    _mm_set1_epi8(REV8[src[o] as usize] as i8),
+                    _mm_set1_epi8(REV8[src[o + 1] as usize] as i8),
+                );
+                let hi = _mm_unpacklo_epi64(
+                    _mm_set1_epi8(REV8[src[o + 2] as usize] as i8),
+                    _mm_set1_epi8(REV8[src[o + 3] as usize] as i8),
+                );
+                let sel = _mm256_set_m128i(hi, lo);
+                let hit = _mm256_cmpeq_epi8(_mm256_and_si256(sel, bitsel), bitsel);
+                acc = _mm256_or_si256(
+                    acc,
+                    _mm256_and_si256(hit, _mm256_set1_epi8((1u8 << bit) as i8)),
+                );
+            }
+            // safety: the store writes 32 bytes at `g*32`, `groups*32 ≤
+            // n = dst.len()`.
+            unsafe {
+                _mm256_storeu_si256(dst.as_mut_ptr().add(g * 32).cast(), acc);
+            }
+        }
+        groups * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 197 + 43) % 256) as u8).collect()
+    }
+
+    fn check<const W: usize>() {
+        // Word counts both on and off the 8-word grouping, including SIMD
+        // group boundaries (16/32 words) ± 1 group.
+        for len in [
+            0usize,
+            W,
+            3 * W,
+            7 * W,
+            8 * W,
+            9 * W,
+            15 * W,
+            16 * W,
+            17 * W,
+            24 * W,
+            32 * W,
+            40 * W,
+            64 * W + 3,
+            256 * W,
+        ] {
+            let input = sample(len);
+            let mut reference = Vec::new();
+            let n = input.len() / W;
+            reference_encode::<W>(&input, n, &mut reference);
+            reference.extend_from_slice(&input[n * W..]);
+            for v in super::super::available() {
+                let mut enc = Vec::new();
+                encode_with::<W>(v, &input, &mut enc);
+                assert_eq!(enc, reference, "enc W={W} {v:?} len={len}");
+                let mut dec = Vec::new();
+                decode_with::<W>(v, &enc, &mut dec).unwrap();
+                assert_eq!(dec, input, "roundtrip W={W} {v:?} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_tiers_match_the_bitstream_reference() {
+        check::<1>();
+        check::<2>();
+        check::<4>();
+        check::<8>();
+    }
+
+    #[test]
+    fn transpose8_is_an_involution_and_transposes() {
+        let x = 0x8040_2010_0804_0201u64; // identity matrix
+        assert_eq!(transpose8(x), x);
+        // Single off-diagonal bit moves to its mirror: bit (8·2+5) → (8·5+2).
+        let x = 1u64 << (8 * 2 + 5);
+        assert_eq!(transpose8(x), 1u64 << (8 * 5 + 2));
+        for seed in [0x1234_5678u64, 0xDEAD_BEEF_CAFE_F00D] {
+            assert_eq!(transpose8(transpose8(seed)), seed);
+        }
+    }
+}

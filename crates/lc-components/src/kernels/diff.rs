@@ -1,0 +1,514 @@
+//! DIFF predictor kernels: delta encoding with an optional residual
+//! remap (plain, magnitude-sign, or negabinary — the DIFF / DIFFMS /
+//! DIFFNB families).
+//!
+//! Encode is embarrassingly parallel — `d[i] = x[i] − x[i−1]` needs only
+//! a one-word-shifted second load — so the SIMD encoders are plain
+//! load/subtract/remap/store loops. Decode is a prefix sum; the SIMD
+//! decoders use the classic log-step in-register scan (shift-and-add
+//! within the vector, then a broadcast carry between vectors), which is
+//! exactly associative because all lane arithmetic is modular. Word
+//! sizes 4 and 8 get explicit kernels; 1 and 2 stay portable.
+
+use super::Variant;
+use crate::util::{codec, words};
+
+/// Residual remap applied on top of the delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residual {
+    /// Raw two's-complement delta (DIFF).
+    Plain,
+    /// Zigzag/magnitude-sign remap (DIFFMS).
+    MagnitudeSign,
+    /// Negabinary remap (DIFFNB).
+    Negabinary,
+}
+
+impl Residual {
+    /// All residual modes, for the differential tests.
+    pub const ALL: [Residual; 3] = [
+        Residual::Plain,
+        Residual::MagnitudeSign,
+        Residual::Negabinary,
+    ];
+
+    #[inline(always)]
+    fn apply<const W: usize>(self, v: u64) -> u64 {
+        match self {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => codec::to_magnitude_sign::<W>(v),
+            Residual::Negabinary => codec::to_negabinary::<W>(v),
+        }
+    }
+
+    #[inline(always)]
+    fn unapply<const W: usize>(self, v: u64) -> u64 {
+        match self {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => codec::from_magnitude_sign::<W>(v),
+            Residual::Negabinary => codec::from_negabinary::<W>(v),
+        }
+    }
+}
+
+#[inline(always)]
+fn load_word<const W: usize>(s: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b[..W].copy_from_slice(&s[..W]);
+    u64::from_le_bytes(b)
+}
+
+/// Portable delta encode over word regions, with an explicit carry-in
+/// (`prev0`) so it can finish a stream a SIMD kernel started.
+fn portable_encode_into<const W: usize>(r: Residual, src: &[u8], dst: &mut [u8], prev0: u64) {
+    debug_assert_eq!(src.len(), dst.len());
+    let mask = words::mask::<W>();
+    let mut prev = prev0;
+    for (s, d) in src.chunks_exact(W).zip(dst.chunks_exact_mut(W)) {
+        let cur = load_word::<W>(s);
+        let delta = cur.wrapping_sub(prev) & mask;
+        d.copy_from_slice(&r.apply::<W>(delta).to_le_bytes()[..W]);
+        prev = cur;
+    }
+}
+
+/// Portable prefix-sum decode with an explicit accumulator carry-in.
+fn portable_decode_into<const W: usize>(r: Residual, src: &[u8], dst: &mut [u8], acc0: u64) {
+    debug_assert_eq!(src.len(), dst.len());
+    let mask = words::mask::<W>();
+    let mut acc = acc0;
+    for (s, d) in src.chunks_exact(W).zip(dst.chunks_exact_mut(W)) {
+        acc = acc.wrapping_add(r.unapply::<W>(load_word::<W>(s))) & mask;
+        d.copy_from_slice(&acc.to_le_bytes()[..W]);
+    }
+}
+
+/// Which tier DIFF dispatch resolves to for this word size.
+pub fn variant<const W: usize>() -> Variant {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if W == 4 || W == 8 {
+            let t = super::tier();
+            if t >= Variant::Avx2 {
+                return Variant::Avx2;
+            }
+            if t >= Variant::Sse2 {
+                return Variant::Sse2;
+            }
+        }
+    }
+    Variant::Scalar
+}
+
+/// Delta-encode every complete word of `input` (first word's predecessor
+/// is 0), appending residual-mapped deltas then the tail verbatim.
+pub fn encode<const W: usize>(r: Residual, input: &[u8], out: &mut Vec<u8>) -> Variant {
+    let v = variant::<W>();
+    encode_with::<W>(v, r, input, out);
+    v
+}
+
+/// [`encode`] pinned to a tier (clamped to the detected CPU).
+pub fn encode_with<const W: usize>(v: Variant, r: Residual, input: &[u8], out: &mut Vec<u8>) {
+    let n = input.len() / W;
+    let start = out.len();
+    out.resize(start + n * W, 0);
+    {
+        let src = &input[..n * W];
+        let dst = &mut out[start..];
+        // safety: tier clamped to CPUID detection before calling
+        // `#[target_feature]` bodies.
+        #[cfg(target_arch = "x86_64")]
+        let done = match v.min(super::detected()) {
+            Variant::Avx2 => unsafe { x86::avx2_encode::<W>(r, src, dst) },
+            Variant::Sse2 => unsafe { x86::sse2_encode::<W>(r, src, dst) },
+            Variant::Scalar => 0,
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let done = {
+            let _ = v;
+            0
+        };
+        let prev = if done == 0 {
+            0
+        } else {
+            load_word::<W>(&src[done - W..])
+        };
+        portable_encode_into::<W>(r, &src[done..], &mut dst[done..], prev);
+    }
+    out.extend_from_slice(&input[n * W..]);
+}
+
+/// Invert [`encode`]: prefix-sum every complete word, appending the
+/// reconstructed words then the tail verbatim.
+pub fn decode<const W: usize>(r: Residual, input: &[u8], out: &mut Vec<u8>) -> Variant {
+    let v = variant::<W>();
+    decode_with::<W>(v, r, input, out);
+    v
+}
+
+/// [`decode`] pinned to a tier (clamped to the detected CPU).
+pub fn decode_with<const W: usize>(v: Variant, r: Residual, input: &[u8], out: &mut Vec<u8>) {
+    let n = input.len() / W;
+    let start = out.len();
+    out.resize(start + n * W, 0);
+    {
+        let src = &input[..n * W];
+        let dst = &mut out[start..];
+        // safety: tier clamped to CPUID detection before calling
+        // `#[target_feature]` bodies.
+        #[cfg(target_arch = "x86_64")]
+        let done = match v.min(super::detected()) {
+            Variant::Avx2 => unsafe { x86::avx2_decode::<W>(r, src, dst) },
+            Variant::Sse2 => unsafe { x86::sse2_decode::<W>(r, src, dst) },
+            Variant::Scalar => 0,
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let done = {
+            let _ = v;
+            0
+        };
+        let acc = if done == 0 {
+            0
+        } else {
+            load_word::<W>(&dst[done - W..])
+        };
+        portable_decode_into::<W>(r, &src[done..], &mut dst[done..], acc);
+    }
+    out.extend_from_slice(&input[n * W..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::Residual;
+    use std::arch::x86_64::*;
+
+    // ---- per-lane residual maps (same algebra as kernels::pointwise) ----
+
+    #[target_feature(enable = "sse2")]
+    fn apply32(r: Residual, v: __m128i) -> __m128i {
+        match r {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => {
+                let sign = _mm_sub_epi32(_mm_setzero_si128(), _mm_srli_epi32(v, 31));
+                _mm_xor_si128(_mm_slli_epi32(v, 1), sign)
+            }
+            Residual::Negabinary => {
+                let m = _mm_set1_epi32(0xAAAA_AAAAu32 as i32);
+                _mm_xor_si128(_mm_add_epi32(v, m), m)
+            }
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    fn unapply32(r: Residual, v: __m128i) -> __m128i {
+        match r {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => {
+                let one = _mm_set1_epi32(1);
+                let sign = _mm_sub_epi32(_mm_setzero_si128(), _mm_and_si128(v, one));
+                _mm_xor_si128(_mm_srli_epi32(v, 1), sign)
+            }
+            Residual::Negabinary => {
+                let m = _mm_set1_epi32(0xAAAA_AAAAu32 as i32);
+                _mm_sub_epi32(_mm_xor_si128(v, m), m)
+            }
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    fn apply64(r: Residual, v: __m128i) -> __m128i {
+        match r {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => {
+                let sign = _mm_sub_epi64(_mm_setzero_si128(), _mm_srli_epi64(v, 63));
+                _mm_xor_si128(_mm_slli_epi64(v, 1), sign)
+            }
+            Residual::Negabinary => {
+                let m = _mm_set1_epi64x(0xAAAA_AAAA_AAAA_AAAAu64 as i64);
+                _mm_xor_si128(_mm_add_epi64(v, m), m)
+            }
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    fn unapply64(r: Residual, v: __m128i) -> __m128i {
+        match r {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => {
+                let one = _mm_set1_epi64x(1);
+                let sign = _mm_sub_epi64(_mm_setzero_si128(), _mm_and_si128(v, one));
+                _mm_xor_si128(_mm_srli_epi64(v, 1), sign)
+            }
+            Residual::Negabinary => {
+                let m = _mm_set1_epi64x(0xAAAA_AAAA_AAAA_AAAAu64 as i64);
+                _mm_sub_epi64(_mm_xor_si128(v, m), m)
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn apply32x(r: Residual, v: __m256i) -> __m256i {
+        match r {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => {
+                let sign = _mm256_sub_epi32(_mm256_setzero_si256(), _mm256_srli_epi32(v, 31));
+                _mm256_xor_si256(_mm256_slli_epi32(v, 1), sign)
+            }
+            Residual::Negabinary => {
+                let m = _mm256_set1_epi32(0xAAAA_AAAAu32 as i32);
+                _mm256_xor_si256(_mm256_add_epi32(v, m), m)
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn unapply32x(r: Residual, v: __m256i) -> __m256i {
+        match r {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => {
+                let one = _mm256_set1_epi32(1);
+                let sign = _mm256_sub_epi32(_mm256_setzero_si256(), _mm256_and_si256(v, one));
+                _mm256_xor_si256(_mm256_srli_epi32(v, 1), sign)
+            }
+            Residual::Negabinary => {
+                let m = _mm256_set1_epi32(0xAAAA_AAAAu32 as i32);
+                _mm256_sub_epi32(_mm256_xor_si256(v, m), m)
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn apply64x(r: Residual, v: __m256i) -> __m256i {
+        match r {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => {
+                let sign = _mm256_sub_epi64(_mm256_setzero_si256(), _mm256_srli_epi64(v, 63));
+                _mm256_xor_si256(_mm256_slli_epi64(v, 1), sign)
+            }
+            Residual::Negabinary => {
+                let m = _mm256_set1_epi64x(0xAAAA_AAAA_AAAA_AAAAu64 as i64);
+                _mm256_xor_si256(_mm256_add_epi64(v, m), m)
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn unapply64x(r: Residual, v: __m256i) -> __m256i {
+        match r {
+            Residual::Plain => v,
+            Residual::MagnitudeSign => {
+                let one = _mm256_set1_epi64x(1);
+                let sign = _mm256_sub_epi64(_mm256_setzero_si256(), _mm256_and_si256(v, one));
+                _mm256_xor_si256(_mm256_srli_epi64(v, 1), sign)
+            }
+            Residual::Negabinary => {
+                let m = _mm256_set1_epi64x(0xAAAA_AAAA_AAAA_AAAAu64 as i64);
+                _mm256_sub_epi64(_mm256_xor_si256(v, m), m)
+            }
+        }
+    }
+
+    // ---- encode: delta via shifted second load ----
+
+    /// SSE2 delta encode; returns bytes processed (multiple of 16).
+    #[target_feature(enable = "sse2")]
+    pub(super) fn sse2_encode<const W: usize>(r: Residual, src: &[u8], dst: &mut [u8]) -> usize {
+        if (W != 4 && W != 8) || src.len() < 16 {
+            return 0;
+        }
+        debug_assert!(dst.len() >= src.len());
+        let mut i = 16usize;
+        // safety: the first load reads bytes 0..16 (guarded above); loop
+        // loads read `i-W..i+16` with `i + 16 <= len`; stores mirror the
+        // loads into `dst`, which is at least as long as `src`.
+        unsafe {
+            let first = _mm_loadu_si128(src.as_ptr().cast());
+            // Word 0 has no predecessor: shift a zero word in.
+            let d0 = if W == 4 {
+                apply32(r, _mm_sub_epi32(first, _mm_slli_si128(first, 4)))
+            } else {
+                apply64(r, _mm_sub_epi64(first, _mm_slli_si128(first, 8)))
+            };
+            _mm_storeu_si128(dst.as_mut_ptr().cast(), d0);
+            while i + 16 <= src.len() {
+                let cur = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let prev = _mm_loadu_si128(src.as_ptr().add(i - W).cast());
+                let d = if W == 4 {
+                    apply32(r, _mm_sub_epi32(cur, prev))
+                } else {
+                    apply64(r, _mm_sub_epi64(cur, prev))
+                };
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), d);
+                i += 16;
+            }
+        }
+        i
+    }
+
+    /// AVX2 delta encode; returns bytes processed (multiple of 32).
+    #[target_feature(enable = "avx2")]
+    pub(super) fn avx2_encode<const W: usize>(r: Residual, src: &[u8], dst: &mut [u8]) -> usize {
+        if (W != 4 && W != 8) || src.len() < 32 {
+            return 0;
+        }
+        debug_assert!(dst.len() >= src.len());
+        let mut i = 32usize;
+        // safety: same bounds argument as `sse2_encode`, with 32-byte
+        // blocks.
+        unsafe {
+            let first = _mm256_loadu_si256(src.as_ptr().cast());
+            // Word 0's predecessor is 0: rotate words down one lane across
+            // the 128-bit halves, then zero lane 0.
+            let d0 = if W == 4 {
+                let idx = _mm256_set_epi32(6, 5, 4, 3, 2, 1, 0, 0);
+                let prev = _mm256_and_si256(
+                    _mm256_permutevar8x32_epi32(first, idx),
+                    _mm256_set_epi32(-1, -1, -1, -1, -1, -1, -1, 0),
+                );
+                apply32x(r, _mm256_sub_epi32(first, prev))
+            } else {
+                let prev = _mm256_and_si256(
+                    _mm256_permute4x64_epi64(first, 0b10_01_00_00),
+                    _mm256_set_epi64x(-1, -1, -1, 0),
+                );
+                apply64x(r, _mm256_sub_epi64(first, prev))
+            };
+            _mm256_storeu_si256(dst.as_mut_ptr().cast(), d0);
+            while i + 32 <= src.len() {
+                let cur = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let prev = _mm256_loadu_si256(src.as_ptr().add(i - W).cast());
+                let d = if W == 4 {
+                    apply32x(r, _mm256_sub_epi32(cur, prev))
+                } else {
+                    apply64x(r, _mm256_sub_epi64(cur, prev))
+                };
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), d);
+                i += 32;
+            }
+        }
+        i
+    }
+
+    // ---- decode: in-register log-step inclusive scan ----
+
+    /// SSE2 prefix-sum decode; returns bytes processed (multiple of 16).
+    #[target_feature(enable = "sse2")]
+    pub(super) fn sse2_decode<const W: usize>(r: Residual, src: &[u8], dst: &mut [u8]) -> usize {
+        if W != 4 && W != 8 {
+            return 0;
+        }
+        debug_assert!(dst.len() >= src.len());
+        let mut i = 0usize;
+        // safety: loads/stores are bounded by `i + 16 <= len` and
+        // `dst.len() >= src.len()`.
+        unsafe {
+            let mut carry = _mm_setzero_si128();
+            while i + 16 <= src.len() {
+                let v = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let x = if W == 4 {
+                    let mut x = unapply32(r, v);
+                    x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+                    x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+                    x = _mm_add_epi32(x, carry);
+                    carry = _mm_shuffle_epi32(x, 0xFF);
+                    x
+                } else {
+                    let mut x = unapply64(r, v);
+                    x = _mm_add_epi64(x, _mm_slli_si128(x, 8));
+                    x = _mm_add_epi64(x, carry);
+                    carry = _mm_shuffle_epi32(x, 0xEE);
+                    x
+                };
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), x);
+                i += 16;
+            }
+        }
+        i
+    }
+
+    /// AVX2 prefix-sum decode; returns bytes processed (multiple of 32).
+    #[target_feature(enable = "avx2")]
+    pub(super) fn avx2_decode<const W: usize>(r: Residual, src: &[u8], dst: &mut [u8]) -> usize {
+        if W != 4 && W != 8 {
+            return 0;
+        }
+        debug_assert!(dst.len() >= src.len());
+        let mut i = 0usize;
+        // safety: loads/stores are bounded by `i + 32 <= len` and
+        // `dst.len() >= src.len()`.
+        unsafe {
+            let zero = _mm256_setzero_si256();
+            let mut carry = zero;
+            while i + 32 <= src.len() {
+                let v = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let x = if W == 4 {
+                    let mut x = unapply32x(r, v);
+                    // Scan within each 128-bit half...
+                    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+                    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+                    // ...then push the low half's total into the high half.
+                    let lo_tot = _mm_shuffle_epi32(_mm256_castsi256_si128(x), 0xFF);
+                    x = _mm256_add_epi32(x, _mm256_inserti128_si256(zero, lo_tot, 1));
+                    x = _mm256_add_epi32(x, carry);
+                    carry = _mm256_permutevar8x32_epi32(x, _mm256_set1_epi32(7));
+                    x
+                } else {
+                    let mut x = unapply64x(r, v);
+                    x = _mm256_add_epi64(x, _mm256_slli_si256(x, 8));
+                    let lo_tot = _mm_shuffle_epi32(_mm256_castsi256_si128(x), 0xEE);
+                    x = _mm256_add_epi64(x, _mm256_inserti128_si256(zero, lo_tot, 1));
+                    x = _mm256_add_epi64(x, carry);
+                    carry = _mm256_permute4x64_epi64(x, 0xFF);
+                    x
+                };
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), x);
+                i += 32;
+            }
+        }
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_bytes(len: usize, mut s: u64) -> Vec<u8> {
+        let mut v = Vec::with_capacity(len);
+        while v.len() < len {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            v.extend_from_slice(&s.to_le_bytes());
+        }
+        v.truncate(len);
+        v
+    }
+
+    fn check<const W: usize>() {
+        for len in [0usize, W, 15, 16, 17, 31, 32, 33, 63, 64, 65, 257] {
+            let input = xorshift_bytes(len, 0x5EED_0000 + len as u64 + W as u64);
+            for r in Residual::ALL {
+                let mut reference = Vec::new();
+                encode_with::<W>(Variant::Scalar, r, &input, &mut reference);
+                for v in super::super::available() {
+                    let mut enc = Vec::new();
+                    encode_with::<W>(v, r, &input, &mut enc);
+                    assert_eq!(enc, reference, "enc W={W} {r:?} {v:?} len={len}");
+                    let mut dec = Vec::new();
+                    decode_with::<W>(v, r, &enc, &mut dec);
+                    assert_eq!(dec, input, "roundtrip W={W} {r:?} {v:?} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_tiers_agree_and_roundtrip() {
+        check::<1>();
+        check::<2>();
+        check::<4>();
+        check::<8>();
+    }
+}

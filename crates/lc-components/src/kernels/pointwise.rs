@@ -1,0 +1,432 @@
+//! Pointwise word-map kernels: the mutator codecs (TCMS, TCNB, DBEFS,
+//! DBESF) applied to every complete word of a chunk.
+//!
+//! The portable path applies the scalar codec from [`crate::util::codec`]
+//! word by word into a pre-sized destination slice (no per-word `Vec`
+//! growth), which LLVM autovectorizes for the shift/xor-only codecs. The
+//! explicit SSE2/AVX2 kernels cover word sizes 2/4/8 (packed 8-bit lanes
+//! have no hardware shifts, so `W = 1` stays portable) and are
+//! bit-identical to the scalar codecs by the differential tests in
+//! `tests/kernels_differential.rs`.
+
+use super::Variant;
+use crate::util::codec;
+
+/// Which bijection to apply to each word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Two's complement → magnitude-sign (TCMS encode).
+    TcmsEnc,
+    /// Magnitude-sign → two's complement (TCMS decode).
+    TcmsDec,
+    /// Two's complement → negabinary (TCNB encode).
+    TcnbEnc,
+    /// Negabinary → two's complement (TCNB decode).
+    TcnbDec,
+    /// IEEE-754 (s,e,f) → (e−bias, f, s) (DBEFS encode).
+    DbefsEnc,
+    /// Inverse of `DbefsEnc`.
+    DbefsDec,
+    /// IEEE-754 (s,e,f) → (e−bias, s, f) (DBESF encode).
+    DbesfEnc,
+    /// Inverse of `DbesfEnc`.
+    DbesfDec,
+}
+
+impl Op {
+    /// Every op, for exhaustive differential testing.
+    pub const ALL: [Op; 8] = [
+        Op::TcmsEnc,
+        Op::TcmsDec,
+        Op::TcnbEnc,
+        Op::TcnbDec,
+        Op::DbefsEnc,
+        Op::DbefsDec,
+        Op::DbesfEnc,
+        Op::DbesfDec,
+    ];
+}
+
+/// The scalar codec for `op` — the semantic reference every vector body
+/// must match bit for bit.
+#[inline(always)]
+fn scalar_op<const W: usize>(op: Op, v: u64) -> u64 {
+    match op {
+        Op::TcmsEnc => codec::to_magnitude_sign::<W>(v),
+        Op::TcmsDec => codec::from_magnitude_sign::<W>(v),
+        Op::TcnbEnc => codec::to_negabinary::<W>(v),
+        Op::TcnbDec => codec::from_negabinary::<W>(v),
+        Op::DbefsEnc => codec::dbefs_encode::<W>(v),
+        Op::DbefsDec => codec::dbefs_decode::<W>(v),
+        Op::DbesfEnc => codec::dbesf_encode::<W>(v),
+        Op::DbesfDec => codec::dbesf_decode::<W>(v),
+    }
+}
+
+/// Portable word map over equal-length word regions (`src.len()` =
+/// `dst.len()`, both multiples of `W`).
+fn portable_into<const W: usize>(op: Op, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (s, d) in src.chunks_exact(W).zip(dst.chunks_exact_mut(W)) {
+        let mut b = [0u8; 8];
+        b[..W].copy_from_slice(s);
+        let r = scalar_op::<W>(op, u64::from_le_bytes(b));
+        d.copy_from_slice(&r.to_le_bytes()[..W]);
+    }
+}
+
+/// Which tier [`apply`] dispatches to for this word size on this machine.
+pub fn variant<const W: usize>(_op: Op) -> Variant {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if W >= 2 {
+            let t = super::tier();
+            if t >= Variant::Avx2 {
+                return Variant::Avx2;
+            }
+            if t >= Variant::Sse2 {
+                return Variant::Sse2;
+            }
+        }
+    }
+    Variant::Scalar
+}
+
+/// Apply `op` to every complete `W`-byte word of `input`, appending the
+/// mapped words and then the incomplete tail verbatim to `out`. Returns
+/// the kernel variant that ran.
+pub fn apply<const W: usize>(op: Op, input: &[u8], out: &mut Vec<u8>) -> Variant {
+    let v = variant::<W>(op);
+    apply_with::<W>(v, op, input, out);
+    v
+}
+
+/// [`apply`] pinned to a specific tier (differential-test hook).
+///
+/// Requests above the detected CPU tier are clamped, so this is safe to
+/// call with any variant on any machine.
+pub fn apply_with<const W: usize>(v: Variant, op: Op, input: &[u8], out: &mut Vec<u8>) {
+    let n = input.len() / W;
+    let start = out.len();
+    out.resize(start + n * W, 0);
+    {
+        let src = &input[..n * W];
+        let dst = &mut out[start..];
+        #[cfg(target_arch = "x86_64")]
+        let done = {
+            // safety: the requested tier is clamped to the CPUID-detected
+            // tier, so the `#[target_feature]` bodies only run on CPUs
+            // that support them.
+            match v.min(super::detected()) {
+                Variant::Avx2 => unsafe { x86::avx2::run::<W>(op, src, dst) },
+                Variant::Sse2 => unsafe { x86::sse2::run::<W>(op, src, dst) },
+                Variant::Scalar => 0,
+            }
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let done = {
+            let _ = v;
+            0
+        };
+        portable_into::<W>(op, &src[done..], &mut dst[done..]);
+    }
+    out.extend_from_slice(&input[n * W..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! One module per ISA tier, generated from the same template: the
+    //! SSE2 and AVX2 bodies are op-for-op identical, differing only in
+    //! register width and intrinsic prefix.
+
+    macro_rules! pointwise_isa {
+        (
+            $modname:ident, $feature:literal, $vec:ty, $step:expr,
+            $loadu:ident, $storeu:ident, $setzero:ident,
+            $set1_epi16:ident, $set1_epi32:ident, $set1_epi64x:ident,
+            $add16:ident, $sub16:ident, $slli16:ident, $srli16:ident, $srai16:ident,
+            $add32:ident, $sub32:ident, $slli32:ident, $srli32:ident,
+            $add64:ident, $sub64:ident, $slli64:ident, $srli64:ident,
+            $and:ident, $or:ident, $xor:ident
+        ) => {
+            pub(crate) mod $modname {
+                use super::super::Op;
+                use std::arch::x86_64::*;
+
+                /// Map whole `$step`-byte blocks of `src` into `dst`;
+                /// returns bytes processed (the caller finishes the
+                /// remainder on the portable path).
+                #[target_feature(enable = $feature)]
+                fn map(src: &[u8], dst: &mut [u8], f: impl Fn($vec) -> $vec) -> usize {
+                    debug_assert!(dst.len() >= src.len());
+                    let mut i = 0usize;
+                    while i + $step <= src.len() {
+                        // safety: the loop condition bounds the load at
+                        // `i..i+$step` within `src`; `dst` is at least as
+                        // long as `src`, bounding the store.
+                        unsafe {
+                            let v = $loadu(src.as_ptr().add(i).cast());
+                            $storeu(dst.as_mut_ptr().add(i).cast(), f(v));
+                        }
+                        i += $step;
+                    }
+                    i
+                }
+
+                /// Vector bodies for every supported `(W, op)` pair;
+                /// returns 0 when this tier has no kernel for the pair.
+                #[target_feature(enable = $feature)]
+                pub(crate) fn run<const W: usize>(op: Op, src: &[u8], dst: &mut [u8]) -> usize {
+                    match (W, op) {
+                        // ---- 16-bit lanes -------------------------------
+                        (2, Op::TcmsEnc) => map(src, dst, |v| $xor($slli16(v, 1), $srai16(v, 15))),
+                        (2, Op::TcmsDec) => {
+                            let one = $set1_epi16(1);
+                            let zero = $setzero();
+                            map(src, dst, move |v| {
+                                $xor($srli16(v, 1), $sub16(zero, $and(v, one)))
+                            })
+                        }
+                        (2, Op::TcnbEnc) => {
+                            let m = $set1_epi16(0xAAAAu16 as i16);
+                            map(src, dst, move |v| $xor($add16(v, m), m))
+                        }
+                        (2, Op::TcnbDec) => {
+                            let m = $set1_epi16(0xAAAAu16 as i16);
+                            map(src, dst, move |v| $sub16($xor(v, m), m))
+                        }
+                        // ---- 32-bit lanes -------------------------------
+                        (4, Op::TcmsEnc) => {
+                            let zero = $setzero();
+                            map(src, dst, move |v| {
+                                // No 32-bit srai needed: sign mask via 0 − (v >> 31).
+                                let sign = $sub32(zero, $srli32(v, 31));
+                                $xor($slli32(v, 1), sign)
+                            })
+                        }
+                        (4, Op::TcmsDec) => {
+                            let one = $set1_epi32(1);
+                            let zero = $setzero();
+                            map(src, dst, move |v| {
+                                $xor($srli32(v, 1), $sub32(zero, $and(v, one)))
+                            })
+                        }
+                        (4, Op::TcnbEnc) => {
+                            let m = $set1_epi32(0xAAAA_AAAAu32 as i32);
+                            map(src, dst, move |v| $xor($add32(v, m), m))
+                        }
+                        (4, Op::TcnbDec) => {
+                            let m = $set1_epi32(0xAAAA_AAAAu32 as i32);
+                            map(src, dst, move |v| $sub32($xor(v, m), m))
+                        }
+                        (4, Op::DbefsEnc) => {
+                            let fmask = $set1_epi32(0x007F_FFFF);
+                            let emask = $set1_epi32(0xFF);
+                            let bias = $set1_epi32(127);
+                            map(src, dst, move |v| {
+                                let s = $srli32(v, 31);
+                                let f = $and(v, fmask);
+                                let e_db = $and($sub32($srli32(v, 23), bias), emask);
+                                $or($or($slli32(e_db, 24), $slli32(f, 1)), s)
+                            })
+                        }
+                        (4, Op::DbefsDec) => {
+                            let fmask = $set1_epi32(0x007F_FFFF);
+                            let emask = $set1_epi32(0xFF);
+                            let bias = $set1_epi32(127);
+                            let one = $set1_epi32(1);
+                            map(src, dst, move |v| {
+                                let s = $and(v, one);
+                                let f = $and($srli32(v, 1), fmask);
+                                let e = $and($add32($srli32(v, 24), bias), emask);
+                                $or($or($slli32(s, 31), $slli32(e, 23)), f)
+                            })
+                        }
+                        (4, Op::DbesfEnc) => {
+                            let fmask = $set1_epi32(0x007F_FFFF);
+                            let emask = $set1_epi32(0xFF);
+                            let bias = $set1_epi32(127);
+                            map(src, dst, move |v| {
+                                let s = $srli32(v, 31);
+                                let f = $and(v, fmask);
+                                let e_db = $and($sub32($srli32(v, 23), bias), emask);
+                                $or($or($slli32(e_db, 24), $slli32(s, 23)), f)
+                            })
+                        }
+                        (4, Op::DbesfDec) => {
+                            let fmask = $set1_epi32(0x007F_FFFF);
+                            let emask = $set1_epi32(0xFF);
+                            let bias = $set1_epi32(127);
+                            let one = $set1_epi32(1);
+                            map(src, dst, move |v| {
+                                let f = $and(v, fmask);
+                                let s = $and($srli32(v, 23), one);
+                                let e = $and($add32($srli32(v, 24), bias), emask);
+                                $or($or($slli32(s, 31), $slli32(e, 23)), f)
+                            })
+                        }
+                        // ---- 64-bit lanes -------------------------------
+                        (8, Op::TcmsEnc) => {
+                            let zero = $setzero();
+                            map(src, dst, move |v| {
+                                let sign = $sub64(zero, $srli64(v, 63));
+                                $xor($slli64(v, 1), sign)
+                            })
+                        }
+                        (8, Op::TcmsDec) => {
+                            let one = $set1_epi64x(1);
+                            let zero = $setzero();
+                            map(src, dst, move |v| {
+                                $xor($srli64(v, 1), $sub64(zero, $and(v, one)))
+                            })
+                        }
+                        (8, Op::TcnbEnc) => {
+                            let m = $set1_epi64x(0xAAAA_AAAA_AAAA_AAAAu64 as i64);
+                            map(src, dst, move |v| $xor($add64(v, m), m))
+                        }
+                        (8, Op::TcnbDec) => {
+                            let m = $set1_epi64x(0xAAAA_AAAA_AAAA_AAAAu64 as i64);
+                            map(src, dst, move |v| $sub64($xor(v, m), m))
+                        }
+                        (8, Op::DbefsEnc) => {
+                            let fmask = $set1_epi64x((1i64 << 52) - 1);
+                            let emask = $set1_epi64x(0x7FF);
+                            let bias = $set1_epi64x(1023);
+                            map(src, dst, move |v| {
+                                let s = $srli64(v, 63);
+                                let f = $and(v, fmask);
+                                let e_db = $and($sub64($srli64(v, 52), bias), emask);
+                                $or($or($slli64(e_db, 53), $slli64(f, 1)), s)
+                            })
+                        }
+                        (8, Op::DbefsDec) => {
+                            let fmask = $set1_epi64x((1i64 << 52) - 1);
+                            let emask = $set1_epi64x(0x7FF);
+                            let bias = $set1_epi64x(1023);
+                            let one = $set1_epi64x(1);
+                            map(src, dst, move |v| {
+                                let s = $and(v, one);
+                                let f = $and($srli64(v, 1), fmask);
+                                let e = $and($add64($srli64(v, 53), bias), emask);
+                                $or($or($slli64(s, 63), $slli64(e, 52)), f)
+                            })
+                        }
+                        (8, Op::DbesfEnc) => {
+                            let fmask = $set1_epi64x((1i64 << 52) - 1);
+                            let emask = $set1_epi64x(0x7FF);
+                            let bias = $set1_epi64x(1023);
+                            map(src, dst, move |v| {
+                                let s = $srli64(v, 63);
+                                let f = $and(v, fmask);
+                                let e_db = $and($sub64($srli64(v, 52), bias), emask);
+                                $or($or($slli64(e_db, 53), $slli64(s, 52)), f)
+                            })
+                        }
+                        (8, Op::DbesfDec) => {
+                            let fmask = $set1_epi64x((1i64 << 52) - 1);
+                            let emask = $set1_epi64x(0x7FF);
+                            let bias = $set1_epi64x(1023);
+                            let one = $set1_epi64x(1);
+                            map(src, dst, move |v| {
+                                let f = $and(v, fmask);
+                                let s = $and($srli64(v, 52), one);
+                                let e = $and($add64($srli64(v, 53), bias), emask);
+                                $or($or($slli64(s, 63), $slli64(e, 52)), f)
+                            })
+                        }
+                        // W = 1 (no packed 8-bit shifts) and unknown pairs.
+                        _ => 0,
+                    }
+                }
+            }
+        };
+    }
+
+    pointwise_isa!(
+        sse2,
+        "sse2",
+        __m128i,
+        16,
+        _mm_loadu_si128,
+        _mm_storeu_si128,
+        _mm_setzero_si128,
+        _mm_set1_epi16,
+        _mm_set1_epi32,
+        _mm_set1_epi64x,
+        _mm_add_epi16,
+        _mm_sub_epi16,
+        _mm_slli_epi16,
+        _mm_srli_epi16,
+        _mm_srai_epi16,
+        _mm_add_epi32,
+        _mm_sub_epi32,
+        _mm_slli_epi32,
+        _mm_srli_epi32,
+        _mm_add_epi64,
+        _mm_sub_epi64,
+        _mm_slli_epi64,
+        _mm_srli_epi64,
+        _mm_and_si128,
+        _mm_or_si128,
+        _mm_xor_si128
+    );
+
+    pointwise_isa!(
+        avx2,
+        "avx2",
+        __m256i,
+        32,
+        _mm256_loadu_si256,
+        _mm256_storeu_si256,
+        _mm256_setzero_si256,
+        _mm256_set1_epi16,
+        _mm256_set1_epi32,
+        _mm256_set1_epi64x,
+        _mm256_add_epi16,
+        _mm256_sub_epi16,
+        _mm256_slli_epi16,
+        _mm256_srli_epi16,
+        _mm256_srai_epi16,
+        _mm256_add_epi32,
+        _mm256_sub_epi32,
+        _mm256_slli_epi32,
+        _mm256_srli_epi32,
+        _mm256_add_epi64,
+        _mm256_sub_epi64,
+        _mm256_slli_epi64,
+        _mm256_srli_epi64,
+        _mm256_and_si256,
+        _mm256_or_si256,
+        _mm256_xor_si256
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_appends_and_passes_tail_through() {
+        let input: Vec<u8> = (0..19).collect(); // 4 u32 words + 3 tail bytes
+        let mut out = vec![0xEE];
+        apply::<4>(Op::TcmsEnc, &input, &mut out);
+        assert_eq!(out.len(), 1 + input.len());
+        assert_eq!(&out[17..], &input[16..]);
+        assert_eq!(out[0], 0xEE);
+    }
+
+    #[test]
+    fn scalar_matches_codec_reference() {
+        let input: Vec<u8> = (0..64).map(|i| (i * 37 + 5) as u8).collect();
+        for op in Op::ALL {
+            let mut got = Vec::new();
+            apply_with::<4>(Variant::Scalar, op, &input, &mut got);
+            let mut want = Vec::new();
+            for w in input.chunks_exact(4) {
+                let v = u32::from_le_bytes(w.try_into().unwrap()) as u64;
+                want.extend_from_slice(&scalar_op::<4>(op, v).to_le_bytes()[..4]);
+            }
+            assert_eq!(got, want, "{op:?}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! RLE scan helpers: record segmentation over a repeat bitmap, and
+//! memset-shaped run replay for decode.
+//!
+//! The RLE encoder's two inner scans — "how long is the run at `i`" and
+//! "where does the next run of ≥ 2 start" — become bit scans once the
+//! neighbor-repeat bitmap exists (built 16–32 words at a time by
+//! [`super::bitmap`]): a run of equal words is `1 +` the stretch of set
+//! bits after its first word, and a literal region ends just before the
+//! next set bit. These helpers are safe portable code; the SIMD content
+//! of the RLE kernel family lives in the bitmap build, so
+//! [`variant`] reports the bitmap kernel's tier.
+
+use super::Variant;
+
+/// Which tier the RLE encoder's bitmap scan dispatches to.
+pub fn variant<const W: usize>() -> Variant {
+    super::bitmap::variant::<W>()
+}
+
+/// Number of consecutive set bits in `bm` (LSB-first over `n` valid
+/// bits) starting at `from`.
+pub fn count_set_from(bm: &[u8], n: usize, from: usize) -> usize {
+    let mut i = from;
+    while i < n {
+        let off = i % 8;
+        let avail = (8 - off).min(n - i);
+        let bits = bm[i / 8] >> off;
+        let ones = (!bits).trailing_zeros() as usize;
+        if ones >= avail {
+            i += avail;
+            if ones >= 8 - off {
+                continue; // byte exhausted while still all-ones
+            }
+            break; // `n` ended mid-byte
+        }
+        i += ones;
+        break;
+    }
+    i - from
+}
+
+/// Index of the first set bit at or after `from` (`n` when none).
+pub fn next_set_bit(bm: &[u8], n: usize, from: usize) -> usize {
+    let mut i = from;
+    while i < n {
+        let off = i % 8;
+        let bits = bm[i / 8] >> off;
+        if bits != 0 {
+            let idx = i + bits.trailing_zeros() as usize;
+            return idx.min(n);
+        }
+        i += 8 - off;
+    }
+    n
+}
+
+/// Append `count` copies of the `W`-byte word at `word[..W]` — the RLE
+/// run replay, shaped as resize + fixed-width block copies so LLVM
+/// lowers it to a wide fill instead of per-word `Vec` pushes.
+pub fn fill_words<const W: usize>(word: &[u8], count: usize, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.resize(start + count * W, 0);
+    for d in out[start..].chunks_exact_mut(W) {
+        d.copy_from_slice(&word[..W]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_count(bm: &[u8], n: usize, from: usize) -> usize {
+        (from..n)
+            .take_while(|&i| bm[i / 8] & (1 << (i % 8)) != 0)
+            .count()
+    }
+
+    fn naive_next(bm: &[u8], n: usize, from: usize) -> usize {
+        (from..n)
+            .find(|&i| bm[i / 8] & (1 << (i % 8)) != 0)
+            .unwrap_or(n)
+    }
+
+    #[test]
+    fn bit_scans_match_naive() {
+        let cases: &[&[u8]] = &[
+            &[0x00, 0x00],
+            &[0xFF, 0xFF, 0x0F],
+            &[0b1010_1100, 0b0000_0111, 0xFF, 0x00, 0x80],
+            &[0x01],
+            &[0x80],
+        ];
+        for bm in cases {
+            for n in [0, 1, 3, 7, 8, 9, bm.len() * 8] {
+                if n > bm.len() * 8 {
+                    continue;
+                }
+                for from in 0..=n {
+                    assert_eq!(
+                        count_set_from(bm, n, from),
+                        naive_count(bm, n, from),
+                        "count bm={bm:?} n={n} from={from}"
+                    );
+                    assert_eq!(
+                        next_set_bit(bm, n, from),
+                        naive_next(bm, n, from),
+                        "next bm={bm:?} n={n} from={from}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_words_replays_runs() {
+        let mut out = vec![9u8];
+        fill_words::<4>(&[1, 2, 3, 4, 99], 3, &mut out);
+        assert_eq!(out, vec![9, 1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4]);
+        fill_words::<1>(&[7], 4, &mut out);
+        assert_eq!(&out[13..], &[7, 7, 7, 7]);
+        fill_words::<2>(&[5, 6], 0, &mut out);
+        assert_eq!(out.len(), 17);
+    }
+}

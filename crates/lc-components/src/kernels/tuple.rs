@@ -1,0 +1,293 @@
+//! TUPL shuffler kernels: AoS → SoA field (de)interleave.
+//!
+//! The portable path replaces the per-field `extend_from_slice` walk
+//! with index arithmetic into a pre-sized destination. The pair
+//! shufflers get explicit kernels — TUPL2_1 is the textbook
+//! `pack`/`unpack` byte (de)interleave (SSE2 both directions), TUPL2_2
+//! deinterleaves with a `pshufb` half-sort (SSSE3, reached at the AVX2
+//! tier) and re-interleaves with `unpacklo/hi_epi16` (SSE2). The wider
+//! tuples (K ∈ {4, 8}) are gather-shaped and stay portable.
+//!
+//! [`variant`] reports the strongest tier either direction dispatches
+//! to for the (K, W) pair on this machine.
+
+use super::Variant;
+
+fn portable_encode_into<const K: usize, const W: usize>(
+    src: &[u8],
+    dst: &mut [u8],
+    nt: usize,
+    from: usize,
+) {
+    let tb = K * W;
+    for field in 0..K {
+        let base = field * nt * W;
+        for t in from..nt {
+            dst[base + t * W..base + (t + 1) * W]
+                .copy_from_slice(&src[t * tb + field * W..t * tb + (field + 1) * W]);
+        }
+    }
+}
+
+fn portable_decode_into<const K: usize, const W: usize>(
+    src: &[u8],
+    dst: &mut [u8],
+    nt: usize,
+    from: usize,
+) {
+    let tb = K * W;
+    for t in from..nt {
+        for field in 0..K {
+            let s = (field * nt + t) * W;
+            dst[t * tb + field * W..t * tb + (field + 1) * W].copy_from_slice(&src[s..s + W]);
+        }
+    }
+}
+
+/// Which tier TUPL dispatch resolves to for this (tuple, word) shape.
+pub fn variant<const K: usize, const W: usize>() -> Variant {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if K == 2 && (W == 1 || W == 2) {
+            let t = super::tier();
+            if t >= Variant::Sse2 {
+                return t;
+            }
+        }
+    }
+    Variant::Scalar
+}
+
+/// AoS → SoA: append all field-0 words, then field-1, …, then the
+/// incomplete trailing tuple verbatim.
+pub fn encode<const K: usize, const W: usize>(input: &[u8], out: &mut Vec<u8>) -> Variant {
+    let v = variant::<K, W>();
+    encode_with::<K, W>(v, input, out);
+    v
+}
+
+/// [`encode`] pinned to a tier (clamped to the detected CPU).
+pub fn encode_with<const K: usize, const W: usize>(v: Variant, input: &[u8], out: &mut Vec<u8>) {
+    let tb = K * W;
+    let nt = input.len() / tb;
+    let start = out.len();
+    out.resize(start + nt * tb, 0);
+    {
+        let src = &input[..nt * tb];
+        let dst = &mut out[start..];
+        // safety: tier clamped to CPUID detection before calling
+        // `#[target_feature]` bodies.
+        #[cfg(target_arch = "x86_64")]
+        let done = match v.min(super::detected()) {
+            Variant::Avx2 => unsafe { x86::encode_avx2::<K, W>(src, dst, nt) },
+            Variant::Sse2 => unsafe { x86::encode_sse2::<K, W>(src, dst, nt) },
+            Variant::Scalar => 0,
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let done = {
+            let _ = v;
+            0
+        };
+        portable_encode_into::<K, W>(src, dst, nt, done);
+    }
+    out.extend_from_slice(&input[nt * tb..]);
+}
+
+/// SoA → AoS inverse of [`encode`].
+pub fn decode<const K: usize, const W: usize>(input: &[u8], out: &mut Vec<u8>) -> Variant {
+    let v = variant::<K, W>();
+    decode_with::<K, W>(v, input, out);
+    v
+}
+
+/// [`decode`] pinned to a tier (clamped to the detected CPU).
+pub fn decode_with<const K: usize, const W: usize>(v: Variant, input: &[u8], out: &mut Vec<u8>) {
+    let tb = K * W;
+    let nt = input.len() / tb;
+    let start = out.len();
+    out.resize(start + nt * tb, 0);
+    {
+        let src = &input[..nt * tb];
+        let dst = &mut out[start..];
+        // safety: tier clamped to CPUID detection before calling
+        // `#[target_feature]` bodies.
+        #[cfg(target_arch = "x86_64")]
+        let done = match v.min(super::detected()) {
+            Variant::Avx2 | Variant::Sse2 => unsafe { x86::decode_sse2::<K, W>(src, dst, nt) },
+            Variant::Scalar => 0,
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let done = {
+            let _ = v;
+            0
+        };
+        portable_decode_into::<K, W>(src, dst, nt, done);
+    }
+    out.extend_from_slice(&input[nt * tb..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// SSE2 deinterleave; returns tuples covered.
+    #[target_feature(enable = "sse2")]
+    pub(super) fn encode_sse2<const K: usize, const W: usize>(
+        src: &[u8],
+        dst: &mut [u8],
+        nt: usize,
+    ) -> usize {
+        if K != 2 || W != 1 {
+            return 0;
+        }
+        // TUPL2_1: 16 byte-pairs per iteration → 16 evens + 16 odds.
+        let groups = nt / 16;
+        let mask = _mm_set1_epi16(0x00FF);
+        for g in 0..groups {
+            // safety: loads read 32 bytes at `g*32 ≤ nt*2 - 32`; stores
+            // write 16 bytes ending at `nt + g*16 + 16 ≤ 2·nt = dst.len()`.
+            unsafe {
+                let v0 = _mm_loadu_si128(src.as_ptr().add(g * 32).cast());
+                let v1 = _mm_loadu_si128(src.as_ptr().add(g * 32 + 16).cast());
+                let ev = _mm_packus_epi16(_mm_and_si128(v0, mask), _mm_and_si128(v1, mask));
+                let od = _mm_packus_epi16(_mm_srli_epi16(v0, 8), _mm_srli_epi16(v1, 8));
+                _mm_storeu_si128(dst.as_mut_ptr().add(g * 16).cast(), ev);
+                _mm_storeu_si128(dst.as_mut_ptr().add(nt + g * 16).cast(), od);
+            }
+        }
+        groups * 16
+    }
+
+    /// SSSE3 16-bit deinterleave (reached via the AVX2 tier).
+    #[target_feature(enable = "ssse3")]
+    fn encode22_ssse3(src: &[u8], dst: &mut [u8], nt: usize) -> usize {
+        // TUPL2_2: 8 u16-pairs per iteration → 8 evens + 8 odds.
+        let groups = nt / 8;
+        let half_sort = _mm_set_epi8(15, 14, 11, 10, 7, 6, 3, 2, 13, 12, 9, 8, 5, 4, 1, 0);
+        for g in 0..groups {
+            // safety: loads read 32 bytes at `g*32 ≤ nt*4 - 32`; stores
+            // write 16 bytes ending at `2·nt + g*16 + 16 ≤ 4·nt`.
+            unsafe {
+                let s0 =
+                    _mm_shuffle_epi8(_mm_loadu_si128(src.as_ptr().add(g * 32).cast()), half_sort);
+                let s1 = _mm_shuffle_epi8(
+                    _mm_loadu_si128(src.as_ptr().add(g * 32 + 16).cast()),
+                    half_sort,
+                );
+                _mm_storeu_si128(
+                    dst.as_mut_ptr().add(g * 16).cast(),
+                    _mm_unpacklo_epi64(s0, s1),
+                );
+                _mm_storeu_si128(
+                    dst.as_mut_ptr().add(2 * nt + g * 16).cast(),
+                    _mm_unpackhi_epi64(s0, s1),
+                );
+            }
+        }
+        groups * 8
+    }
+
+    /// AVX2-tier encode: adds the SSSE3 TUPL2_2 kernel on top of SSE2.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn encode_avx2<const K: usize, const W: usize>(
+        src: &[u8],
+        dst: &mut [u8],
+        nt: usize,
+    ) -> usize {
+        if K == 2 && W == 2 {
+            return encode22_ssse3(src, dst, nt);
+        }
+        encode_sse2::<K, W>(src, dst, nt)
+    }
+
+    /// SSE2 re-interleave for both pair shapes; returns tuples covered.
+    #[target_feature(enable = "sse2")]
+    pub(super) fn decode_sse2<const K: usize, const W: usize>(
+        src: &[u8],
+        dst: &mut [u8],
+        nt: usize,
+    ) -> usize {
+        if K != 2 || (W != 1 && W != 2) {
+            return 0;
+        }
+        // 16 bytes of each field region per iteration.
+        let per = 16 / W; // tuples per iteration × … = 16/W pairs
+        let groups = nt / per;
+        for g in 0..groups {
+            // safety: loads read 16 bytes inside each `nt·W`-byte field
+            // region; stores write 32 bytes ending at `g*32 + 32 ≤
+            // nt·2W = dst.len()`.
+            unsafe {
+                let a = _mm_loadu_si128(src.as_ptr().add(g * 16).cast());
+                let b = _mm_loadu_si128(src.as_ptr().add(nt * W + g * 16).cast());
+                let (lo, hi) = if W == 1 {
+                    (_mm_unpacklo_epi8(a, b), _mm_unpackhi_epi8(a, b))
+                } else {
+                    (_mm_unpacklo_epi16(a, b), _mm_unpackhi_epi16(a, b))
+                };
+                _mm_storeu_si128(dst.as_mut_ptr().add(g * 32).cast(), lo);
+                _mm_storeu_si128(dst.as_mut_ptr().add(g * 32 + 16).cast(), hi);
+            }
+        }
+        groups * per
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 131 + 17) % 256) as u8).collect()
+    }
+
+    fn naive_encode<const K: usize, const W: usize>(input: &[u8]) -> Vec<u8> {
+        let tb = K * W;
+        let nt = input.len() / tb;
+        let mut out = Vec::new();
+        for field in 0..K {
+            for t in 0..nt {
+                let s = t * tb + field * W;
+                out.extend_from_slice(&input[s..s + W]);
+            }
+        }
+        out.extend_from_slice(&input[nt * tb..]);
+        out
+    }
+
+    fn check<const K: usize, const W: usize>() {
+        let tb = K * W;
+        for len in [
+            0usize,
+            1,
+            tb,
+            3 * tb + 1,
+            15 * tb,
+            16 * tb,
+            17 * tb,
+            40 * tb + 2,
+            256 * tb,
+        ] {
+            let input = sample(len);
+            let want = naive_encode::<K, W>(&input);
+            for v in super::super::available() {
+                let mut enc = Vec::new();
+                encode_with::<K, W>(v, &input, &mut enc);
+                assert_eq!(enc, want, "enc K={K} W={W} {v:?} len={len}");
+                let mut dec = Vec::new();
+                decode_with::<K, W>(v, &enc, &mut dec);
+                assert_eq!(dec, input, "roundtrip K={K} W={W} {v:?} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_shapes_and_tiers_agree() {
+        check::<2, 1>();
+        check::<2, 2>();
+        check::<4, 1>();
+        check::<4, 2>();
+        check::<8, 1>();
+        check::<8, 4>();
+    }
+}

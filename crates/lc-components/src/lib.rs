@@ -18,8 +18,12 @@
 //! Use [`registry`] to enumerate or look up components and to parse
 //! pipeline descriptions such as `"BIT_4 DIFF_4 RZE_4"`.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly one place: the
+// `kernels` module, which is the audited home of all SIMD intrinsics
+// (see `kernels/mod.rs` and the xtask lint that enforces this boundary).
+#![deny(unsafe_code)]
 
+pub mod kernels;
 pub mod mutators;
 pub mod predictors;
 pub mod presets;

@@ -12,10 +12,10 @@
 
 use lc_core::{
     CommuteClass, Complexity, Component, ComponentKind, Contract, DecodeError, KernelStats,
-    SpanClass, WorkClass,
+    KernelVariant, SpanClass, WorkClass,
 };
 
-use crate::util::codec;
+use crate::kernels::pointwise::{self, Op};
 use crate::util::words;
 
 const MUTATOR_COMPLEXITY: Complexity = Complexity::new(
@@ -25,22 +25,20 @@ const MUTATOR_COMPLEXITY: Complexity = Complexity::new(
     SpanClass::Const,
 );
 
-/// Apply `f` to every complete word, pass the tail through, and account
-/// a mutator kernel: one coalesced read + write per word, `ops_per_word`
-/// ALU operations, no synchronization.
+/// Apply a pointwise codec kernel to every complete word (tail passes
+/// through inside [`pointwise::apply`]) and account a mutator kernel:
+/// one coalesced read + write per word, `ops_per_word` ALU operations,
+/// no synchronization. The accounting models the GPU kernel and is
+/// independent of which CPU tier (scalar/SSE2/AVX2) actually ran.
 fn mutate<const W: usize>(
     input: &[u8],
     out: &mut Vec<u8>,
     stats: &mut KernelStats,
     ops_per_word: u64,
-    f: impl Fn(u64) -> u64,
+    op: Op,
 ) {
     let n = words::count::<W>(input.len());
-    out.reserve(input.len());
-    for i in 0..n {
-        words::put::<W>(out, f(words::get::<W>(input, i)));
-    }
-    out.extend_from_slice(&input[n * W..]);
+    pointwise::apply::<W>(op, input, out);
     stats.words += n as u64;
     stats.thread_ops += n as u64 * ops_per_word;
     stats.global_reads += input.len() as u64;
@@ -53,6 +51,8 @@ macro_rules! mutator {
         $name:ident, $prefix:literal, enc = $enc:ident, dec = $dec:ident,
         ops = $ops:literal, widths = [$($w:literal),+]
     ) => {
+        // `$enc`/`$dec` are `pointwise::Op` arms; the scalar reference
+        // codecs they resolve to live in `util::codec`.
         $(#[$doc])*
         pub struct $name<const W: usize>;
 
@@ -86,8 +86,11 @@ macro_rules! mutator {
                     CommuteClass::PointwiseWordMap,
                 )
             }
+            fn kernel_variant(&self) -> KernelVariant {
+                pointwise::variant::<W>(Op::$enc)
+            }
             fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
-                mutate::<W>(input, out, stats, Self::OPS_PER_WORD, codec::$enc::<W>);
+                mutate::<W>(input, out, stats, Self::OPS_PER_WORD, Op::$enc);
             }
             fn decode_chunk(
                 &self,
@@ -95,7 +98,7 @@ macro_rules! mutator {
                 out: &mut Vec<u8>,
                 stats: &mut KernelStats,
             ) -> Result<(), DecodeError> {
-                mutate::<W>(input, out, stats, Self::OPS_PER_WORD, codec::$dec::<W>);
+                mutate::<W>(input, out, stats, Self::OPS_PER_WORD, Op::$dec);
                 Ok(())
             }
         }
@@ -105,14 +108,14 @@ macro_rules! mutator {
 mutator!(
     /// TCMS: two's complement → magnitude-sign representation, so values of
     /// small magnitude (positive or negative) get numerically small codes.
-    Tcms, "TCMS", enc = to_magnitude_sign, dec = from_magnitude_sign,
+    Tcms, "TCMS", enc = TcmsEnc, dec = TcmsDec,
     ops = 4, widths = [1, 2, 4, 8]
 );
 
 mutator!(
     /// TCNB: two's complement → base −2 (negabinary) representation via the
     /// `(v + M) ^ M` bit trick.
-    Tcnb, "TCNB", enc = to_negabinary, dec = from_negabinary,
+    Tcnb, "TCNB", enc = TcnbEnc, dec = TcnbDec,
     ops = 3, widths = [1, 2, 4, 8]
 );
 
@@ -120,14 +123,14 @@ mutator!(
     /// DBEFS: de-bias the IEEE-754 exponent and rearrange fields from
     /// (sign, exponent, fraction) to (de-biased exponent, fraction, sign).
     /// Only defined at 4- and 8-byte widths.
-    Dbefs, "DBEFS", enc = dbefs_encode, dec = dbefs_decode,
+    Dbefs, "DBEFS", enc = DbefsEnc, dec = DbefsDec,
     ops = 9, widths = [4, 8]
 );
 
 mutator!(
     /// DBESF: like DBEFS but rearranges to (de-biased exponent, sign,
     /// fraction) order.
-    Dbesf, "DBESF", enc = dbesf_encode, dec = dbesf_decode,
+    Dbesf, "DBESF", enc = DbesfEnc, dec = DbesfDec,
     ops = 9, widths = [4, 8]
 );
 

@@ -10,46 +10,19 @@
 
 use lc_core::{
     CommuteClass, Complexity, Component, ComponentKind, Contract, DecodeError, KernelStats,
-    SpanClass, WorkClass,
+    KernelVariant, SpanClass, WorkClass,
 };
 
-use crate::util::codec;
+use crate::kernels::diff::{self, Residual};
 use crate::util::words;
 
-/// Residual post-transform applied per word after differencing.
-#[derive(Clone, Copy)]
-enum Residual {
-    /// Plain two's-complement difference (DIFF).
-    Plain,
-    /// Magnitude-sign (DIFFMS).
-    MagnitudeSign,
-    /// Negabinary (DIFFNB).
-    Negabinary,
-}
-
-impl Residual {
-    #[inline(always)]
-    fn apply<const W: usize>(self, v: u64) -> u64 {
-        match self {
-            Residual::Plain => v,
-            Residual::MagnitudeSign => codec::to_magnitude_sign::<W>(v),
-            Residual::Negabinary => codec::to_negabinary::<W>(v),
-        }
-    }
-    #[inline(always)]
-    fn unapply<const W: usize>(self, v: u64) -> u64 {
-        match self {
-            Residual::Plain => v,
-            Residual::MagnitudeSign => codec::from_magnitude_sign::<W>(v),
-            Residual::Negabinary => codec::from_negabinary::<W>(v),
-        }
-    }
-    const fn ops(self) -> u64 {
-        match self {
-            Residual::Plain => 1,
-            Residual::MagnitudeSign => 5,
-            Residual::Negabinary => 4,
-        }
+/// ALU operations per word the GPU kernel spends on each residual
+/// post-transform (the transform itself lives in [`diff::Residual`]).
+const fn residual_ops(r: Residual) -> u64 {
+    match r {
+        Residual::Plain => 1,
+        Residual::MagnitudeSign => 5,
+        Residual::Negabinary => 4,
     }
 }
 
@@ -60,17 +33,9 @@ fn diff_encode<const W: usize>(
     residual: Residual,
 ) {
     let n = words::count::<W>(input.len());
-    out.reserve(input.len());
-    let mut prev = 0u64;
-    for i in 0..n {
-        let cur = words::get::<W>(input, i);
-        let d = cur.wrapping_sub(prev) & words::mask::<W>();
-        words::put::<W>(out, residual.apply::<W>(d));
-        prev = cur;
-    }
-    out.extend_from_slice(&input[n * W..]);
+    diff::encode::<W>(residual, input, out);
     stats.words += n as u64;
-    stats.thread_ops += n as u64 * (1 + residual.ops());
+    stats.thread_ops += n as u64 * (1 + residual_ops(residual));
     stats.global_reads += input.len() as u64;
     stats.global_writes += input.len() as u64;
     // Each thread also reads its left neighbor through shared memory.
@@ -84,16 +49,9 @@ fn diff_decode<const W: usize>(
     residual: Residual,
 ) {
     let n = words::count::<W>(input.len());
-    out.reserve(input.len());
-    let mut acc = 0u64;
-    for i in 0..n {
-        let d = residual.unapply::<W>(words::get::<W>(input, i));
-        acc = acc.wrapping_add(d) & words::mask::<W>();
-        words::put::<W>(out, acc);
-    }
-    out.extend_from_slice(&input[n * W..]);
+    diff::decode::<W>(residual, input, out);
     stats.words += n as u64;
-    stats.thread_ops += n as u64 * (1 + residual.ops());
+    stats.thread_ops += n as u64 * (1 + residual_ops(residual));
     stats.global_reads += input.len() as u64;
     stats.global_writes += input.len() as u64;
     if n > 1 {
@@ -140,6 +98,9 @@ macro_rules! predictor {
                 // its own word — reordering words changes the residuals,
                 // so predictors claim no commuting structure.
                 Contract::preserving(ComponentKind::Predictor, W, CommuteClass::Opaque)
+            }
+            fn kernel_variant(&self) -> KernelVariant {
+                diff::variant::<W>()
             }
             fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
                 diff_encode::<W>(input, out, stats, $residual);

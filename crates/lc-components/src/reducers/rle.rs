@@ -28,8 +28,8 @@ use lc_core::{
 };
 
 use super::{account_compaction_scan, read_frame, write_frame};
+use crate::kernels::{self, bitmap};
 use crate::util::varint;
-use crate::util::words;
 
 /// RLE_i: run-length encoding at word size `W`.
 pub struct Rle<const W: usize>;
@@ -61,6 +61,10 @@ impl<const W: usize> Component for Rle<W> {
         )
     }
 
+    fn kernel_variant(&self) -> lc_core::KernelVariant {
+        kernels::rle::variant::<W>()
+    }
+
     fn contract(&self) -> Contract {
         // Worst case, every record covers one run word (run=1, lits=0 —
         // only possible when a run of ≥ 2 follows, so ≥ 1.5 words/record
@@ -73,29 +77,26 @@ impl<const W: usize> Component for Rle<W> {
 
     fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
         let n = write_frame::<W>(input, out);
-        let vals = words::to_vec::<W>(input);
+        let src = &input[..n * W];
+        // Neighbor-repeat bitmap (bit j ⇔ word j equals word j−1), built
+        // 16–32 words per step by the SIMD bitmap kernel; the run/literal
+        // scans below then walk bits instead of comparing words.
+        let mut rb = Vec::new();
+        bitmap::build::<W>(bitmap::Mark::RepeatsPrior, src, &mut rb);
         let mut records = 0u64;
         let mut i = 0usize;
         while i < n {
             // Maximal run of equal values starting at i.
-            let v = vals[i];
-            let mut run = 1usize;
-            while i + run < n && vals[i + run] == v {
-                run += 1;
-            }
+            let run = 1 + kernels::rle::count_set_from(&rb, n, i + 1);
             let run_end = i + run;
             // Literals: values up to (excluding) the start of the next run
-            // of length ≥ 2.
-            let mut lit_end = run_end;
-            while lit_end < n && !(lit_end + 1 < n && vals[lit_end + 1] == vals[lit_end]) {
-                lit_end += 1;
-            }
+            // of length ≥ 2, i.e. just before the next repeat bit.
+            let q = kernels::rle::next_set_bit(&rb, n, run_end + 1);
+            let lit_end = if q < n { q - 1 } else { n };
             varint::write(out, run as u64);
             varint::write(out, (lit_end - run_end) as u64);
-            words::put::<W>(out, v);
-            for &lit in &vals[run_end..lit_end] {
-                words::put::<W>(out, lit);
-            }
+            out.extend_from_slice(&src[i * W..(i + 1) * W]);
+            out.extend_from_slice(&src[run_end * W..lit_end * W]);
             records += 1;
             i = lit_end;
         }
@@ -135,11 +136,8 @@ impl<const W: usize> Component for Rle<W> {
                     context: "RLE record values",
                 });
             }
-            let v = words::get::<W>(&input[pos..], 0);
+            kernels::rle::fill_words::<W>(&input[pos..pos + W], run, out);
             pos += W;
-            for _ in 0..run {
-                words::put::<W>(out, v);
-            }
             out.extend_from_slice(&input[pos..pos + lits * W]);
             pos += lits * W;
             produced += run + lits;

@@ -26,40 +26,15 @@ use lc_core::{
 };
 
 use super::{account_compaction_scan, read_frame, write_frame};
+use crate::kernels::{self, bitmap};
 use crate::util::varint;
 use crate::util::words;
+
+pub(crate) use crate::kernels::bitmap::Mark;
 
 /// Bitmaps at or below this many bytes are stored verbatim instead of
 /// recursing further.
 pub const BITMAP_RAW_LIMIT: usize = 16;
-
-/// Marking rule for the bitmap (and its recursive levels).
-#[derive(Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Mark {
-    /// Bit set ⇔ element equals its predecessor (RRE).
-    RepeatsPrior,
-    /// Bit set ⇔ element is zero (RZE).
-    IsZero,
-}
-
-/// Build the bitmap over `n` elements according to `mark`; `elem(i)`
-/// yields element `i` as a u64. Returns (bitmap bytes, kept indices count).
-fn build_bitmap(n: usize, mark: Mark, elem: impl Fn(usize) -> u64) -> (Vec<u8>, usize) {
-    let mut bm = vec![0u8; n.div_ceil(8)];
-    let mut kept = 0usize;
-    for i in 0..n {
-        let marked = match mark {
-            Mark::RepeatsPrior => i > 0 && elem(i) == elem(i - 1),
-            Mark::IsZero => elem(i) == 0,
-        };
-        if marked {
-            bm[i / 8] |= 1 << (i % 8);
-        } else {
-            kept += 1;
-        }
-    }
-    (bm, kept)
-}
 
 /// Recursively emit a bitmap block.
 ///
@@ -75,14 +50,11 @@ pub(crate) fn write_bitmap_block(bm: &[u8], out: &mut Vec<u8>, stats: &mut Kerne
         out.extend_from_slice(bm);
         return;
     }
-    let (meta, _) = build_bitmap(bm.len(), Mark::RepeatsPrior, |i| u64::from(bm[i]));
+    let mut meta = Vec::new();
+    bitmap::build::<1>(Mark::RepeatsPrior, bm, &mut meta);
     stats.thread_ops += bm.len() as u64 * 2;
     write_bitmap_block(&meta, out, stats);
-    for (i, &b) in bm.iter().enumerate() {
-        if meta[i / 8] & (1 << (i % 8)) == 0 {
-            out.push(b);
-        }
-    }
+    bitmap::emit_survivors::<1>(bm, &meta, out);
 }
 
 /// Recursively read a bitmap block starting at `*pos`.
@@ -140,14 +112,11 @@ pub(crate) fn read_bitmap_block(
 
 fn encode<const W: usize>(input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats, mark: Mark) {
     let n = write_frame::<W>(input, out);
-    let vals = words::to_vec::<W>(input);
-    let (bm, kept) = build_bitmap(n, mark, |i| vals[i]);
+    let src = &input[..n * W];
+    let mut bm = Vec::new();
+    let kept = bitmap::build::<W>(mark, src, &mut bm);
     write_bitmap_block(&bm, out, stats);
-    for i in 0..n {
-        if bm[i / 8] & (1 << (i % 8)) == 0 {
-            words::put::<W>(out, vals[i]);
-        }
-    }
+    bitmap::emit_survivors::<W>(src, &bm, out);
     stats.words += n as u64;
     stats.thread_ops += n as u64 * 3;
     stats.global_reads += input.len() as u64;
@@ -174,7 +143,53 @@ fn decode<const W: usize>(
     }
     out.reserve(n * W + frame.tail.len());
     let mut prev = 0u64;
-    for i in 0..n {
+    let mut i = 0usize;
+    // RZE at word size 4 has a vectorized reconstruction; it stops at
+    // the first group it cannot safely load, and the scalar loop below
+    // (which owns all truncation detection) finishes from there. `prev`
+    // needs no fixup: it is only read under `Mark::RepeatsPrior`.
+    if W == 4 && matches!(mark, Mark::IsZero) {
+        i = bitmap::expand_zero4(&bm, n, input, &mut pos, out);
+    }
+    while i < n {
+        // Whole-bitmap-byte fast paths: 0x00 = eight survivors streamed
+        // straight from the input, 0xFF = eight reconstructed words.
+        if i.is_multiple_of(8) && i + 8 <= n {
+            match bm[i / 8] {
+                0x00 => {
+                    if pos + 8 * W > input.len() {
+                        return Err(DecodeError::Truncated {
+                            context: "surviving words",
+                        });
+                    }
+                    out.extend_from_slice(&input[pos..pos + 8 * W]);
+                    prev = words::get::<W>(&input[pos + 7 * W..], 0);
+                    pos += 8 * W;
+                    i += 8;
+                    continue;
+                }
+                0xFF => {
+                    match mark {
+                        Mark::IsZero => {
+                            out.resize(out.len() + 8 * W, 0);
+                            prev = 0;
+                        }
+                        Mark::RepeatsPrior => {
+                            if i == 0 {
+                                return Err(DecodeError::Corrupt {
+                                    context: "word repeat at index 0",
+                                });
+                            }
+                            let wb = prev.to_le_bytes();
+                            kernels::rle::fill_words::<W>(&wb[..W], 8, out);
+                        }
+                    }
+                    i += 8;
+                    continue;
+                }
+                _ => {}
+            }
+        }
         let marked = bm[i / 8] & (1 << (i % 8)) != 0;
         let v = if marked {
             match mark {
@@ -200,6 +215,7 @@ fn decode<const W: usize>(
         };
         words::put::<W>(out, v);
         prev = v;
+        i += 1;
     }
     out.extend_from_slice(frame.tail);
     stats.words += n as u64;
@@ -235,6 +251,9 @@ macro_rules! rre_like {
             }
             fn complexity(&self) -> Complexity {
                 Complexity::new(WorkClass::N, SpanClass::LogN, WorkClass::N, SpanClass::LogN)
+            }
+            fn kernel_variant(&self) -> lc_core::KernelVariant {
+                bitmap::variant::<W>()
             }
             fn contract(&self) -> Contract {
                 // Worst case nothing is eliminated: all n·W word bytes

@@ -16,10 +16,10 @@
 
 use lc_core::{
     CommuteClass, Complexity, Component, ComponentKind, Contract, DecodeError, KernelStats,
-    SpanClass, WorkClass,
+    KernelVariant, SpanClass, WorkClass,
 };
 
-use crate::util::bitpack::{BitReader, BitWriter};
+use crate::kernels::{bitplane, tuple};
 use crate::util::words;
 
 /// BIT_i: bit-plane transpose at word size `W`.
@@ -76,19 +76,12 @@ impl<const W: usize> Component for Bit<W> {
         // structure to claim, so it never participates in pruning.
         Contract::preserving(ComponentKind::Shuffler, W, CommuteClass::Opaque)
     }
+    fn kernel_variant(&self) -> KernelVariant {
+        bitplane::variant::<W>()
+    }
     fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
         let n = words::count::<W>(input.len());
-        let b = words::bits::<W>();
-        let vals = words::to_vec::<W>(input);
-        out.reserve(input.len());
-        let mut writer = BitWriter::new(out);
-        for bit in (0..b).rev() {
-            for &v in &vals {
-                writer.put((v >> bit) & 1, 1);
-            }
-        }
-        writer.finish(); // n·b bits = n·W bytes exactly: no padding added
-        out.extend_from_slice(&input[n * W..]);
+        bitplane::encode::<W>(input, out);
         Self::account(stats, n, input.len());
     }
     fn decode_chunk(
@@ -99,17 +92,7 @@ impl<const W: usize> Component for Bit<W> {
     ) -> Result<(), DecodeError> {
         // Size-preserving: the word count is recoverable from the length.
         let n = words::count::<W>(input.len());
-        let b = words::bits::<W>();
-        let mut vals = vec![0u64; n];
-        let mut reader = BitReader::new(&input[..n * W]);
-        for bit in (0..b).rev() {
-            for v in vals.iter_mut() {
-                *v |= reader.get(1)? << bit;
-            }
-        }
-        out.reserve(input.len());
-        words::extend_from_words::<W>(out, &vals);
-        out.extend_from_slice(&input[n * W..]);
+        bitplane::decode::<W>(input, out)?;
         Self::account(stats, n, input.len());
         Ok(())
     }
@@ -166,18 +149,13 @@ impl<const K: usize, const W: usize> Component for Tupl<K, W> {
         // w | W therefore commutes with it (see `lc_core::contract`).
         Contract::preserving(ComponentKind::Shuffler, W, CommuteClass::WordPermutation)
     }
+    fn kernel_variant(&self) -> KernelVariant {
+        tuple::variant::<K, W>()
+    }
     fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
-        let tuple_bytes = K * W;
-        let n_tuples = input.len() / tuple_bytes;
-        out.reserve(input.len());
-        // Emit all field-0 words, then all field-1 words, …
-        for field in 0..K {
-            for t in 0..n_tuples {
-                let start = t * tuple_bytes + field * W;
-                out.extend_from_slice(&input[start..start + W]);
-            }
-        }
-        out.extend_from_slice(&input[n_tuples * tuple_bytes..]);
+        // All field-0 words, then all field-1 words, … (kernel module).
+        let n_tuples = input.len() / (K * W);
+        tuple::encode::<K, W>(input, out);
         Self::account(stats, n_tuples, input.len());
     }
     fn decode_chunk(
@@ -186,16 +164,8 @@ impl<const K: usize, const W: usize> Component for Tupl<K, W> {
         out: &mut Vec<u8>,
         stats: &mut KernelStats,
     ) -> Result<(), DecodeError> {
-        let tuple_bytes = K * W;
-        let n_tuples = input.len() / tuple_bytes;
-        out.reserve(input.len());
-        for t in 0..n_tuples {
-            for field in 0..K {
-                let start = (field * n_tuples + t) * W;
-                out.extend_from_slice(&input[start..start + W]);
-            }
-        }
-        out.extend_from_slice(&input[n_tuples * tuple_bytes..]);
+        let n_tuples = input.len() / (K * W);
+        tuple::decode::<K, W>(input, out);
         Self::account(stats, n_tuples, input.len());
         Ok(())
     }

@@ -3,7 +3,20 @@
 use lc_core::DecodeError;
 
 /// Append `v` as an unsigned LEB128 varint.
-pub fn write(out: &mut Vec<u8>, mut v: u64) {
+#[inline]
+pub fn write(out: &mut Vec<u8>, v: u64) {
+    // Single-byte fast path: RLE run/literal counts and reducer frame
+    // fields are < 128 for almost every record, and keeping the common
+    // case branch-free-inlinable keeps it off the encoder's hot-loop
+    // flame graph.
+    if v < 0x80 {
+        out.push(v as u8);
+        return;
+    }
+    write_slow(out, v);
+}
+
+fn write_slow(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -16,7 +29,20 @@ pub fn write(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Read an unsigned LEB128 varint starting at `*pos`, advancing `*pos`.
+#[inline]
 pub fn read(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    // Mirror of the `write` fast path: a first byte without the
+    // continuation bit is the whole value.
+    if let Some(&byte) = buf.get(*pos) {
+        if byte < 0x80 {
+            *pos += 1;
+            return Ok(u64::from(byte));
+        }
+    }
+    read_slow(buf, pos)
+}
+
+fn read_slow(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {

@@ -1,0 +1,267 @@
+//! Differential tests: every SIMD kernel tier must be bitwise equal to
+//! the scalar reference on adversarial inputs.
+//!
+//! The matrix is kernels × word sizes × lengths (0 through ~3 vector
+//! widths, ±1 to hit every remainder shape) × patterns (zeros, constants,
+//! ramps, alternations, float shapes, high-entropy). Tiers above the
+//! detected CPU are clamped inside the `*_with` entry points, so the
+//! suite passes — exercising whatever is reachable — on any x86-64 or
+//! non-x86 machine. Under `LC_KERNELS=scalar` (or Miri) only the portable
+//! paths run, which keeps this suite usable as a UB check on the safe
+//! fallbacks.
+
+use lc_components::kernels::{self, bitmap, bitplane, diff, pointwise, rle, tuple, Variant};
+
+/// Byte lengths covering empty, sub-word, odd tails, and ±1 around the
+/// 16/32/64/96-byte SSE2/AVX2 block boundaries.
+const LENGTHS: &[usize] = &[
+    0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 95, 96, 97, 127, 128, 129, 256, 257,
+    1000, 1024,
+];
+
+/// Deterministic xorshift64* stream (same construction as the lc-analyze
+/// corpus, which this crate cannot depend on).
+fn xorshift(mut state: u64) -> impl FnMut() -> u64 {
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Adversarial byte patterns of length `len`.
+fn patterns(len: usize) -> Vec<Vec<u8>> {
+    let mut rng = xorshift(0x9E37_79B9_7F4A_7C15 ^ len as u64);
+    let mut random = vec![0u8; len];
+    for b in random.iter_mut() {
+        *b = rng() as u8;
+    }
+    vec![
+        random,
+        vec![0u8; len],
+        vec![0xFFu8; len],
+        vec![0xA5u8; len],
+        (0..len).map(|i| i as u8).collect(),
+        (0..len)
+            .map(|i| if i % 2 == 0 { 0x11 } else { 0xEE })
+            .collect(),
+        (0..len).map(|i| ((i / 7) % 256) as u8).collect(),
+        (0..len)
+            .map(|i| (1.0f32 + (i as f32 / 4.0) * 1e-3).to_bits().to_le_bytes()[i % 4])
+            .collect(),
+        (0..len)
+            .map(|i| (-3i32 - (i as i32 / 4)).to_le_bytes()[i % 4])
+            .collect(),
+    ]
+}
+
+fn tiers() -> Vec<Variant> {
+    let t = kernels::available();
+    assert!(t.contains(&Variant::Scalar), "scalar is always reachable");
+    t
+}
+
+#[test]
+fn pointwise_all_tiers_match_scalar() {
+    fn check<const W: usize>() {
+        for &len in LENGTHS {
+            for input in patterns(len) {
+                for op in pointwise::Op::ALL {
+                    // DBEFS/DBESF only exist at float widths.
+                    if W < 4
+                        && matches!(
+                            op,
+                            pointwise::Op::DbefsEnc
+                                | pointwise::Op::DbefsDec
+                                | pointwise::Op::DbesfEnc
+                                | pointwise::Op::DbesfDec
+                        )
+                    {
+                        continue;
+                    }
+                    let mut want = Vec::new();
+                    pointwise::apply_with::<W>(Variant::Scalar, op, &input, &mut want);
+                    for v in tiers() {
+                        let mut got = Vec::new();
+                        pointwise::apply_with::<W>(v, op, &input, &mut got);
+                        assert_eq!(got, want, "W={W} {op:?} {v:?} len={len}");
+                    }
+                }
+            }
+        }
+    }
+    check::<1>();
+    check::<2>();
+    check::<4>();
+    check::<8>();
+}
+
+#[test]
+fn diff_all_tiers_match_scalar_and_roundtrip() {
+    fn check<const W: usize>() {
+        for &len in LENGTHS {
+            for input in patterns(len) {
+                for r in diff::Residual::ALL {
+                    let mut want = Vec::new();
+                    diff::encode_with::<W>(Variant::Scalar, r, &input, &mut want);
+                    for v in tiers() {
+                        let mut got = Vec::new();
+                        diff::encode_with::<W>(v, r, &input, &mut got);
+                        assert_eq!(got, want, "enc W={W} {r:?} {v:?} len={len}");
+                        let mut back = Vec::new();
+                        diff::decode_with::<W>(v, r, &got, &mut back);
+                        assert_eq!(back, input, "roundtrip W={W} {r:?} {v:?} len={len}");
+                    }
+                }
+            }
+        }
+    }
+    check::<1>();
+    check::<2>();
+    check::<4>();
+    check::<8>();
+}
+
+#[test]
+fn bitmap_all_tiers_match_scalar_and_survivors_filter() {
+    fn check<const W: usize>() {
+        for &len in LENGTHS {
+            for input in patterns(len) {
+                let src = &input[..(input.len() / W) * W];
+                let n = src.len() / W;
+                for mk in bitmap::Mark::ALL {
+                    let mut want = Vec::new();
+                    let want_kept = bitmap::build_with::<W>(Variant::Scalar, mk, src, &mut want);
+                    for v in tiers() {
+                        let mut got = Vec::new();
+                        let kept = bitmap::build_with::<W>(v, mk, src, &mut got);
+                        assert_eq!(got, want, "bitmap W={W} {mk:?} {v:?} len={len}");
+                        assert_eq!(kept, want_kept, "kept W={W} {mk:?} {v:?} len={len}");
+                    }
+                    // Survivor emission must agree with a naive bit filter.
+                    let mut surv = Vec::new();
+                    bitmap::emit_survivors::<W>(src, &want, &mut surv);
+                    let mut naive = Vec::new();
+                    for i in 0..n {
+                        if want[i / 8] & (1 << (i % 8)) == 0 {
+                            naive.extend_from_slice(&src[i * W..(i + 1) * W]);
+                        }
+                    }
+                    assert_eq!(surv, naive, "survivors W={W} {mk:?} len={len}");
+                    assert_eq!(surv.len(), want_kept * W);
+                }
+            }
+        }
+    }
+    check::<1>();
+    check::<2>();
+    check::<4>();
+    check::<8>();
+}
+
+#[test]
+fn expand_zero4_inverts_emit_survivors() {
+    // The vectorized IsZero reconstruction must rebuild exactly the
+    // words emit_survivors dropped: survivors back in place, marked
+    // lanes zero. Where the kernel stops early (tier too low or tail
+    // guard), finish scalar — the same contract rre.rs decode relies on.
+    for &len in LENGTHS {
+        for input in patterns(len) {
+            let src = &input[..(input.len() / 4) * 4];
+            let n = src.len() / 4;
+            let mut bm = Vec::new();
+            bitmap::build::<4>(bitmap::Mark::IsZero, src, &mut bm);
+            let mut surv = Vec::new();
+            bitmap::emit_survivors::<4>(src, &bm, &mut surv);
+            let mut pos = 0usize;
+            let mut back = Vec::new();
+            let mut i = bitmap::expand_zero4(&bm, n, &surv, &mut pos, &mut back);
+            while i < n {
+                if bm[i / 8] & (1 << (i % 8)) == 0 {
+                    back.extend_from_slice(&surv[pos..pos + 4]);
+                    pos += 4;
+                } else {
+                    back.extend_from_slice(&[0u8; 4]);
+                }
+                i += 1;
+            }
+            assert_eq!(back, src, "len={len}");
+            assert_eq!(pos, surv.len(), "len={len}");
+        }
+    }
+}
+
+#[test]
+fn bitplane_all_tiers_match_scalar_and_roundtrip() {
+    fn check<const W: usize>() {
+        for &len in LENGTHS {
+            for input in patterns(len) {
+                let mut want = Vec::new();
+                bitplane::encode_with::<W>(Variant::Scalar, &input, &mut want);
+                for v in tiers() {
+                    let mut got = Vec::new();
+                    bitplane::encode_with::<W>(v, &input, &mut got);
+                    assert_eq!(got, want, "enc W={W} {v:?} len={len}");
+                    let mut back = Vec::new();
+                    bitplane::decode_with::<W>(v, &got, &mut back).unwrap();
+                    assert_eq!(back, input, "roundtrip W={W} {v:?} len={len}");
+                }
+            }
+        }
+    }
+    check::<1>();
+    check::<2>();
+    check::<4>();
+    check::<8>();
+}
+
+#[test]
+fn tuple_all_tiers_match_scalar_and_roundtrip() {
+    fn check<const K: usize, const W: usize>() {
+        for &len in LENGTHS {
+            for input in patterns(len) {
+                let mut want = Vec::new();
+                tuple::encode_with::<K, W>(Variant::Scalar, &input, &mut want);
+                for v in tiers() {
+                    let mut got = Vec::new();
+                    tuple::encode_with::<K, W>(v, &input, &mut got);
+                    assert_eq!(got, want, "enc K={K} W={W} {v:?} len={len}");
+                    let mut back = Vec::new();
+                    tuple::decode_with::<K, W>(v, &got, &mut back);
+                    assert_eq!(back, input, "roundtrip K={K} W={W} {v:?} len={len}");
+                }
+            }
+        }
+    }
+    check::<2, 1>();
+    check::<2, 2>();
+    check::<4, 1>();
+    check::<4, 2>();
+    check::<8, 1>();
+    check::<8, 4>();
+}
+
+#[test]
+fn rle_bit_scans_match_naive_on_corpus_bitmaps() {
+    // The RLE helpers are safe portable code; differential-check them
+    // against naive scans over bitmaps built from the corpus.
+    for &len in LENGTHS {
+        for input in patterns(len) {
+            let src = &input[..(input.len() / 4) * 4];
+            let n = src.len() / 4;
+            let mut bm = Vec::new();
+            bitmap::build::<4>(bitmap::Mark::RepeatsPrior, src, &mut bm);
+            for from in [0usize, 1, n / 2, n.saturating_sub(1), n] {
+                let naive_count = (from..n)
+                    .take_while(|&i| bm[i / 8] & (1 << (i % 8)) != 0)
+                    .count();
+                assert_eq!(rle::count_set_from(&bm, n, from), naive_count, "len={len}");
+                let naive_next = (from..n)
+                    .find(|&i| bm[i / 8] & (1 << (i % 8)) != 0)
+                    .unwrap_or(n);
+                assert_eq!(rle::next_set_bit(&bm, n, from), naive_next, "len={len}");
+            }
+        }
+    }
+}

@@ -249,7 +249,7 @@ fn encode_inner(
     // on this bool, so a disabled-telemetry encode pays one relaxed load.
     let telemetry = lc_telemetry::active();
     let costs = if telemetry {
-        stage_costs(stages.iter().map(|s| s.name()), "encode")
+        stage_costs(stages, "encode")
     } else {
         Vec::new()
     };
@@ -400,19 +400,28 @@ impl Live {
 /// Pre-resolved per-component cost-attribution handles: one registry
 /// lookup per archive call instead of per chunk×stage. `bytes` counts
 /// every byte a component was fed; `ns` holds the distribution of its
-/// per-chunk kernel time. Together they are the
-/// `component.<name>.{encode,decode}.{bytes,ns}` metrics that the
+/// per-chunk kernel time; `kernel` counts chunks under the SIMD tier
+/// (`scalar`/`sse2`/`avx2`) the component's kernels dispatch to on this
+/// machine. Together they are the
+/// `component.<name>.<dir>.{bytes,ns,kernel.<variant>}` metrics that the
 /// `lc report` cost-center table ranks.
 struct StageCost {
     bytes: &'static lc_telemetry::Counter,
     ns: &'static lc_telemetry::Histogram,
+    kernel: &'static lc_telemetry::Counter,
 }
 
-fn stage_costs<'a>(names: impl Iterator<Item = &'a str>, dir: &str) -> Vec<StageCost> {
-    names
-        .map(|n| StageCost {
-            bytes: lc_telemetry::counter(&format!("component.{n}.{dir}.bytes")),
-            ns: lc_telemetry::histogram(&format!("component.{n}.{dir}.ns")),
+fn stage_costs(stages: &[Arc<dyn Component>], dir: &str) -> Vec<StageCost> {
+    stages
+        .iter()
+        .map(|c| {
+            let n = c.name();
+            let k = c.kernel_variant().label();
+            StageCost {
+                bytes: lc_telemetry::counter(&format!("component.{n}.{dir}.bytes")),
+                ns: lc_telemetry::histogram(&format!("component.{n}.{dir}.ns")),
+                kernel: lc_telemetry::counter(&format!("component.{n}.{dir}.kernel.{k}")),
+            }
         })
         .collect()
 }
@@ -481,6 +490,7 @@ fn encode_one_chunk(
             costs[s]
                 .ns
                 .record(lc_telemetry::now_ns().saturating_sub(t0));
+            costs[s].kernel.add(1);
         }
         rec.applied = applied;
         rec.bytes_out = if applied {
@@ -674,7 +684,7 @@ where
     let n_chunks = header.chunks as usize;
     let telemetry = lc_telemetry::active();
     let costs = if telemetry {
-        stage_costs(header.stage_names.iter().map(|s| s.as_str()), "decode")
+        stage_costs(&stages, "decode")
     } else {
         Vec::new()
     };
@@ -938,7 +948,7 @@ where
     let crcs_ref = crcs.as_deref();
     let telemetry = lc_telemetry::active();
     let costs = if telemetry {
-        stage_costs(header.stage_names.iter().map(|s| s.as_str()), "decode")
+        stage_costs(&stages, "decode")
     } else {
         Vec::new()
     };
@@ -1132,6 +1142,7 @@ fn decode_chunk_into<'s>(
             costs[s]
                 .ns
                 .record(lc_telemetry::now_ns().saturating_sub(t0));
+            costs[s].kernel.add(1);
         }
         stage_result?;
         live = live.advance();

@@ -97,6 +97,34 @@ impl Complexity {
     }
 }
 
+/// Which code path a component's inner loops dispatch to at runtime.
+///
+/// `Scalar` covers both the naive reference loops and the
+/// autovectorization-shaped portable kernels; `Sse2`/`Avx2` mean an
+/// explicit `std::arch` kernel was selected by runtime CPUID detection.
+/// The ordering is by capability, so `min`/`max` pick the weaker/stronger
+/// tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelVariant {
+    /// Portable Rust (reference loops or autovectorizable fallbacks).
+    Scalar,
+    /// Explicit 128-bit `std::arch` kernel (baseline on x86-64).
+    Sse2,
+    /// Explicit 256-bit `std::arch` kernel (runtime-detected).
+    Avx2,
+}
+
+impl KernelVariant {
+    /// Label used in telemetry counter names and `lc report`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Sse2 => "sse2",
+            KernelVariant::Avx2 => "avx2",
+        }
+    }
+}
+
 /// A data transformation with a common chunk-in/chunk-out interface.
 ///
 /// Implementations must be pure (no interior mutability observable across
@@ -148,6 +176,55 @@ pub trait Component: Send + Sync {
         out: &mut Vec<u8>,
         stats: &mut KernelStats,
     ) -> Result<(), DecodeError>;
+
+    /// Which kernel variant this component's encode/decode inner loops
+    /// dispatch to on this machine. The default — components without
+    /// explicit `std::arch` kernels — is [`KernelVariant::Scalar`].
+    ///
+    /// Cost-attribution callers record this per stage so a silent
+    /// regression to the fallback path (wrong CPU, `LC_KERNELS=scalar`
+    /// leaking into production) is visible in `lc report`.
+    fn kernel_variant(&self) -> KernelVariant {
+        KernelVariant::Scalar
+    }
+
+    /// Transform a batch of chunks for compression: element-wise
+    /// [`Component::encode_chunk`] over `inputs[i]` → `outs[i]`.
+    ///
+    /// Outputs keep per-chunk append semantics (each `outs[i]` is appended
+    /// to, never cleared) so copy-on-expand decisions stay per chunk, and
+    /// `stats` accumulates exactly the sum of the per-chunk counters — a
+    /// batch call must be indistinguishable from `inputs.len()` single
+    /// calls in both bytes and op statistics. The default delegates
+    /// chunk-by-chunk; implementations may override to amortize dispatch
+    /// or share scratch state across the batch.
+    ///
+    /// Panics (debug) when `inputs` and `outs` lengths differ.
+    fn encode_batch(&self, inputs: &[&[u8]], outs: &mut [Vec<u8>], stats: &mut KernelStats) {
+        debug_assert_eq!(inputs.len(), outs.len(), "batch arity mismatch");
+        for (input, out) in inputs.iter().zip(outs.iter_mut()) {
+            self.encode_chunk(input, out, stats);
+        }
+    }
+
+    /// Invert [`Component::encode_batch`]: element-wise
+    /// [`Component::decode_chunk`] over `inputs[i]` → `outs[i]`.
+    ///
+    /// Stops at the first corrupt chunk and returns its error; chunks
+    /// before it are fully decoded, chunks after it are untouched. Same
+    /// batch-equals-sum-of-singles stats contract as `encode_batch`.
+    fn decode_batch(
+        &self,
+        inputs: &[&[u8]],
+        outs: &mut [Vec<u8>],
+        stats: &mut KernelStats,
+    ) -> Result<(), DecodeError> {
+        debug_assert_eq!(inputs.len(), outs.len(), "batch arity mismatch");
+        for (input, out) in inputs.iter().zip(outs.iter_mut()) {
+            self.decode_chunk(input, out, stats)?;
+        }
+        Ok(())
+    }
 }
 
 /// Family identifier: a component name with its word-size suffix stripped

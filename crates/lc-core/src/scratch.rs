@@ -73,17 +73,59 @@ pub fn encode_stage(
     stats: &mut KernelStats,
 ) -> bool {
     out.clear();
-    comp.encode_chunk(input, out, stats);
+    comp.encode_batch(
+        std::slice::from_ref(&input),
+        std::slice::from_mut(out),
+        stats,
+    );
+    stage_applies(comp, input.len(), out.len())
+}
+
+/// LC's copy-on-expand rule for one chunk of one encode stage.
+fn stage_applies(comp: &dyn Component, in_len: usize, out_len: usize) -> bool {
     match comp.kind() {
         // A reducer only "wins" if it strictly shrinks the chunk;
         // otherwise LC forwards the original bytes (copy-on-expand).
-        ComponentKind::Reducer => out.len() < input.len(),
+        ComponentKind::Reducer => out_len < in_len,
         // Size-preserving components always apply.
         _ => {
-            debug_assert_eq!(out.len(), input.len(), "{} changed size", comp.name());
+            debug_assert_eq!(out_len, in_len, "{} changed size", comp.name());
             true
         }
     }
+}
+
+/// Run one encode stage over a whole batch of chunks in one
+/// [`Component::encode_batch`] call, then apply the copy-on-expand rule
+/// per chunk.
+///
+/// Each `outs[i]` is cleared and receives chunk `i`'s stage output;
+/// `applied[i]` in the returned vector says whether that output replaces
+/// the chunk (when `false` the caller forwards `inputs[i]` unchanged and
+/// `outs[i]` contents are garbage). Because outputs stay per-chunk, a
+/// discarded (skipped) chunk contributes its encode cost exactly once —
+/// the batch boundary adds no double counting relative to
+/// `inputs.len()` separate [`encode_stage`] calls, a property the
+/// equivalence tests in `lc-study` pin down to bitwise-equal
+/// [`KernelStats`].
+///
+/// Panics (debug) when `inputs` and `outs` lengths differ.
+pub fn encode_stage_batch(
+    comp: &dyn Component,
+    inputs: &[&[u8]],
+    outs: &mut [Vec<u8>],
+    stats: &mut KernelStats,
+) -> Vec<bool> {
+    debug_assert_eq!(inputs.len(), outs.len(), "batch arity mismatch");
+    for out in outs.iter_mut() {
+        out.clear();
+    }
+    comp.encode_batch(inputs, outs, stats);
+    inputs
+        .iter()
+        .zip(outs.iter())
+        .map(|(input, out)| stage_applies(comp, input.len(), out.len()))
+        .collect()
 }
 
 /// Run one decode stage: clear `out` and invert `input` into it.
@@ -97,7 +139,31 @@ pub fn decode_stage(
     stats: &mut KernelStats,
 ) -> Result<(), DecodeError> {
     out.clear();
-    comp.decode_chunk(input, out, stats)
+    comp.decode_batch(
+        std::slice::from_ref(&input),
+        std::slice::from_mut(out),
+        stats,
+    )
+}
+
+/// Invert one stage over a whole batch of chunks in one
+/// [`Component::decode_batch`] call.
+///
+/// The caller passes only chunks whose mask bit is set (skipped stages
+/// have nothing to undo). Each `outs[i]` is cleared first. On a corrupt
+/// chunk the error is returned immediately; earlier chunks are decoded,
+/// later ones untouched.
+pub fn decode_stage_batch(
+    comp: &dyn Component,
+    inputs: &[&[u8]],
+    outs: &mut [Vec<u8>],
+    stats: &mut KernelStats,
+) -> Result<(), DecodeError> {
+    debug_assert_eq!(inputs.len(), outs.len(), "batch arity mismatch");
+    for out in outs.iter_mut() {
+        out.clear();
+    }
+    comp.decode_batch(inputs, outs, stats)
 }
 
 #[cfg(test)]
@@ -148,6 +214,46 @@ mod tests {
         assert!(encode_stage(&AddOne, &input, &mut scratch.a, &mut ks));
         decode_stage(&AddOne, &scratch.a, &mut scratch.b, &mut ks).unwrap();
         assert_eq!(scratch.b, input);
+    }
+
+    #[test]
+    fn batch_stage_matches_singles_including_skips() {
+        // One shrinking chunk, one expanding chunk: the batch call must
+        // report the same per-chunk apply decisions, the same bytes, and
+        // the same accumulated stats as two single-chunk calls.
+        let mut zeros = vec![7u8; 16];
+        zeros.extend(std::iter::repeat_n(0u8, 48));
+        let dense: Vec<u8> = (1..=64).collect();
+        let chunks: [&[u8]; 2] = [&zeros, &dense];
+
+        let mut single_outs = [Vec::new(), Vec::new()];
+        let mut single_stats = KernelStats::default();
+        let single_applied: Vec<bool> = chunks
+            .iter()
+            .zip(single_outs.iter_mut())
+            .map(|(c, out)| encode_stage(&DropTrailingZeros, c, out, &mut single_stats))
+            .collect();
+
+        let mut batch_outs = vec![Vec::new(), Vec::new()];
+        let mut batch_stats = KernelStats::default();
+        let batch_applied = encode_stage_batch(
+            &DropTrailingZeros,
+            &chunks,
+            &mut batch_outs,
+            &mut batch_stats,
+        );
+
+        assert_eq!(batch_applied, single_applied);
+        assert_eq!(batch_applied, vec![true, false]);
+        assert_eq!(batch_outs[0], single_outs[0]);
+        assert_eq!(batch_stats, single_stats);
+
+        // Decode the applied chunk back through the batch entry point.
+        let enc = batch_outs[0].clone();
+        let dec_in: [&[u8]; 1] = [&enc];
+        let mut dec_outs = vec![Vec::new()];
+        decode_stage_batch(&DropTrailingZeros, &dec_in, &mut dec_outs, &mut batch_stats).unwrap();
+        assert_eq!(dec_outs[0], zeros);
     }
 
     #[test]

@@ -59,7 +59,13 @@ pub struct StageOutcome {
     pub skipped: u64,
 }
 
-/// Run `component` over every chunk of `input`.
+/// Chunks per [`lc_core::encode_stage_batch`] call: enough to amortize
+/// dispatch and telemetry per batch, small enough that the batch working
+/// set (64 × 16 kB in and out) stays cache-resident.
+const STAGE_BATCH: usize = 64;
+
+/// Run `component` over every chunk of `input`, [`STAGE_BATCH`] chunks
+/// per batched kernel call.
 ///
 /// Reducers are skipped per chunk unless they strictly shrink it
 /// (copy-on-expand). When `verify` is set, every applied chunk is decoded
@@ -76,56 +82,99 @@ pub fn run_stage(component: &dyn Component, input: &ChunkedData, verify: bool) -
         skipped: 0,
     };
     // Cost-attribution handles, resolved once per stage call so the
-    // per-chunk hot loop only touches atomics. Campaign sweeps feed the
+    // per-batch hot loop only touches atomics. Campaign sweeps feed the
     // same `component.<name>.{encode,decode}.*` cost centers that serve
     // traffic does, so `lc report` ranks both from one metrics snapshot.
+    // The `…kernel.<variant>` counters tag each direction with the SIMD
+    // tier (scalar/sse2/avx2) the component's kernels dispatch to, one
+    // count per chunk.
     let telemetry = lc_telemetry::active();
     let costs = if telemetry {
         let name = component.name();
+        let kernel = component.kernel_variant().label();
         Some((
             lc_telemetry::counter(&format!("component.{name}.encode.bytes")),
             lc_telemetry::histogram(&format!("component.{name}.encode.ns")),
             lc_telemetry::counter(&format!("component.{name}.decode.bytes")),
             lc_telemetry::histogram(&format!("component.{name}.decode.ns")),
+            lc_telemetry::counter(&format!("component.{name}.encode.kernel.{kernel}")),
+            lc_telemetry::counter(&format!("component.{name}.decode.kernel.{kernel}")),
         ))
     } else {
         None
     };
-    let mut enc_buf: Vec<u8> = Vec::with_capacity(CHUNK_SIZE + CHUNK_SIZE / 2);
-    let mut dec_buf: Vec<u8> = Vec::with_capacity(CHUNK_SIZE);
-    for chunk in &input.chunks {
-        let t0 = if telemetry { lc_telemetry::now_ns() } else { 0 };
-        let applied = lc_core::encode_stage(component, chunk, &mut enc_buf, &mut outcome.enc);
-        if let Some((enc_bytes, enc_ns, _, _)) = &costs {
-            // The encode kernel ran even when copy-on-expand discarded
-            // its output, so the cost is attributed unconditionally.
-            enc_bytes.add(chunk.len() as u64);
-            enc_ns.record(lc_telemetry::now_ns().saturating_sub(t0));
+    let mut enc_bufs: Vec<Vec<u8>> = Vec::new();
+    let mut dec_bufs: Vec<Vec<u8>> = Vec::new();
+    for batch in input.chunks.chunks(STAGE_BATCH) {
+        if enc_bufs.len() < batch.len() {
+            enc_bufs.resize_with(batch.len(), || {
+                Vec::with_capacity(CHUNK_SIZE + CHUNK_SIZE / 2)
+            });
         }
-        if applied {
-            outcome.applied += 1;
+        let refs: Vec<&[u8]> = batch.iter().map(|c| c.as_slice()).collect();
+        let t0 = if telemetry { lc_telemetry::now_ns() } else { 0 };
+        let applied = lc_core::encode_stage_batch(
+            component,
+            &refs,
+            &mut enc_bufs[..batch.len()],
+            &mut outcome.enc,
+        );
+        if let Some((enc_bytes, enc_ns, _, _, enc_kernel, _)) = &costs {
+            // The encode kernel ran even when copy-on-expand discarded
+            // its output, so the cost is attributed unconditionally —
+            // and exactly once per chunk, regardless of batch geometry.
+            enc_bytes.add(batch.iter().map(|c| c.len() as u64).sum());
+            enc_ns.record(lc_telemetry::now_ns().saturating_sub(t0));
+            enc_kernel.add(batch.len() as u64);
+        }
+        // One decode call covers every applied chunk of the batch; the
+        // skipped chunks contribute no decode stats (paper §6.4: the
+        // decoder does no work where copy-on-expand kept the input).
+        let dec_refs: Vec<&[u8]> = applied
+            .iter()
+            .zip(&enc_bufs)
+            .filter(|(a, _)| **a)
+            .map(|(_, b)| b.as_slice())
+            .collect();
+        if !dec_refs.is_empty() {
+            if dec_bufs.len() < dec_refs.len() {
+                dec_bufs.resize_with(dec_refs.len(), || Vec::with_capacity(CHUNK_SIZE));
+            }
             let t1 = if telemetry { lc_telemetry::now_ns() } else { 0 };
-            lc_core::decode_stage(component, &enc_buf, &mut dec_buf, &mut outcome.dec)
-                .unwrap_or_else(|e| {
-                    panic!("{} failed to decode its own output: {e}", component.name())
-                });
-            if let Some((_, _, dec_bytes, dec_ns)) = &costs {
-                dec_bytes.add(enc_buf.len() as u64);
+            lc_core::decode_stage_batch(
+                component,
+                &dec_refs,
+                &mut dec_bufs[..dec_refs.len()],
+                &mut outcome.dec,
+            )
+            .unwrap_or_else(|e| {
+                panic!("{} failed to decode its own output: {e}", component.name())
+            });
+            if let Some((_, _, dec_bytes, dec_ns, _, dec_kernel)) = &costs {
+                dec_bytes.add(dec_refs.iter().map(|b| b.len() as u64).sum());
                 dec_ns.record(lc_telemetry::now_ns().saturating_sub(t1));
+                dec_kernel.add(dec_refs.len() as u64);
             }
-            if verify {
-                assert_eq!(
-                    &dec_buf,
-                    chunk,
-                    "{} round-trip mismatch on a {}-byte chunk",
-                    component.name(),
-                    chunk.len()
-                );
+        }
+        let mut d = 0usize;
+        for (i, chunk) in batch.iter().enumerate() {
+            if applied[i] {
+                outcome.applied += 1;
+                if verify {
+                    assert_eq!(
+                        &dec_bufs[d],
+                        chunk,
+                        "{} round-trip mismatch on a {}-byte chunk",
+                        component.name(),
+                        chunk.len()
+                    );
+                }
+                d += 1;
+                outcome.output.chunks.push(enc_bufs[i].clone());
+            } else {
+                outcome.skipped += 1;
+                outcome.output.chunks.push(chunk.clone());
             }
-            outcome.output.chunks.push(enc_buf.clone());
-        } else {
-            outcome.skipped += 1;
-            outcome.output.chunks.push(chunk.clone());
         }
     }
     outcome
@@ -365,6 +414,39 @@ mod tests {
         let data = ChunkedData::from_bytes(&vec![7u8; CHUNK_SIZE]);
         let w = Watchdog::new(Duration::from_secs(3600));
         assert!(run_stage_checked(comp("TCMS_4").as_ref(), &data, true, Some(&w)).is_ok());
+    }
+
+    #[test]
+    fn batched_stage_stats_match_per_chunk_singles() {
+        // A batch spanning many chunks with a mix of applied and skipped
+        // (copy-on-expand) chunks must account *exactly* the stats a
+        // chunk-at-a-time loop would: discarded stages count once, and
+        // skipped chunks contribute no decode stats.
+        let mut data = vec![0u8; CHUNK_SIZE]; // compressible
+        data.extend((0..CHUNK_SIZE).map(|i| (((i * 2654435761usize) >> 7) % 256) as u8));
+        data.extend(vec![7u8; CHUNK_SIZE]); // compressible (repeats)
+        data.extend((0..CHUNK_SIZE / 2).map(|i| (i % 251) as u8));
+        let chunked = ChunkedData::from_bytes(&data);
+        for name in ["RZE_4", "RLE_1", "TCMS_4", "BIT_4", "DIFF_4"] {
+            let c = comp(name);
+            let batched = run_stage(c.as_ref(), &chunked, true);
+            let mut enc = KernelStats::new();
+            let mut dec = KernelStats::new();
+            let mut enc_buf = Vec::new();
+            let mut dec_buf = Vec::new();
+            let mut singles = Vec::new();
+            for chunk in &chunked.chunks {
+                if lc_core::encode_stage(c.as_ref(), chunk, &mut enc_buf, &mut enc) {
+                    lc_core::decode_stage(c.as_ref(), &enc_buf, &mut dec_buf, &mut dec).unwrap();
+                    singles.push(enc_buf.clone());
+                } else {
+                    singles.push(chunk.clone());
+                }
+            }
+            assert_eq!(batched.enc, enc, "{name} encode stats");
+            assert_eq!(batched.dec, dec, "{name} decode stats");
+            assert_eq!(batched.output.chunks, singles, "{name} bytes");
+        }
     }
 
     #[test]

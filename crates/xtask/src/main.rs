@@ -6,9 +6,11 @@
 //! 1. **`#![forbid(unsafe_code)]` everywhere but the allowlist.** Only
 //!    `lc-core`, `lc-parallel`, and `lc-telemetry` contain audited
 //!    `unsafe` (disjoint-slice writes, the archive scatter path, and
-//!    the lock-free span sink). Every other crate must forbid it at
-//!    the crate root so a stray `unsafe` block is a compile error, not
-//!    a review nit.
+//!    the lock-free span sink). `lc-components` is a special case: it
+//!    must carry `#![deny(unsafe_code)]` at the crate root and may use
+//!    `unsafe` only under `src/kernels/`, the audited home of its SIMD
+//!    intrinsics. Every other crate must forbid it at the crate root so
+//!    a stray `unsafe` block is a compile error, not a review nit.
 //! 2. **No `.unwrap()`/`.expect()` in library code.** Panics in
 //!    library paths defeat the campaign runner's panic quarantine.
 //!    Test modules, `src/bin/` targets, and doc comments are exempt;
@@ -36,8 +38,13 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Crates allowed to contain `unsafe` (each carries SAFETY comments).
+/// Crates allowed to contain `unsafe` anywhere (each carries SAFETY
+/// comments).
 const UNSAFE_ALLOWLIST: &[&str] = &["lc-core", "lc-parallel", "lc-telemetry"];
+
+/// Crates where `unsafe` is denied crate-wide but re-allowed inside one
+/// audited module subtree: (crate, subtree under `src/`).
+const UNSAFE_CONFINED: &[(&str, &str)] = &[("lc-components", "kernels/")];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -84,7 +91,9 @@ fn lint() -> ExitCode {
 }
 
 /// Every crate under `crates/` must carry `#![forbid(unsafe_code)]` at its
-/// entry point unless it is on the audited allowlist.
+/// entry point unless it is on the audited allowlist. Crates in
+/// [`UNSAFE_CONFINED`] must instead carry `#![deny(unsafe_code)]` at the
+/// root and keep every `unsafe` token inside their audited subtree.
 fn check_forbid_unsafe(root: &Path, diagnostics: &mut Vec<String>) {
     for crate_dir in crate_dirs(root) {
         let name = crate_dir
@@ -104,11 +113,50 @@ fn check_forbid_unsafe(root: &Path, diagnostics: &mut Vec<String>) {
             continue;
         };
         let text = fs::read_to_string(&entry).unwrap_or_default();
-        if !text.contains("#![forbid(unsafe_code)]") {
+        if let Some((_, subtree)) = UNSAFE_CONFINED.iter().find(|(c, _)| *c == name) {
+            if !text.contains("#![deny(unsafe_code)]") {
+                diagnostics.push(format!(
+                    "{}: missing #![deny(unsafe_code)] (crate {name} confines unsafe to src/{subtree})",
+                    rel(root, &entry)
+                ));
+            }
+            check_unsafe_confined(root, &crate_dir, subtree, diagnostics);
+        } else if !text.contains("#![forbid(unsafe_code)]") {
             diagnostics.push(format!(
                 "{}: missing #![forbid(unsafe_code)] (crate {name} is not on the unsafe allowlist)",
                 rel(root, &entry)
             ));
+        }
+    }
+}
+
+/// Every `unsafe` token in the crate must live under `src/<subtree>`.
+/// Occurrences of the attribute name `unsafe_code` (the deny/allow gates
+/// themselves) do not count.
+fn check_unsafe_confined(
+    root: &Path,
+    crate_dir: &Path,
+    subtree: &str,
+    diagnostics: &mut Vec<String>,
+) {
+    let src = crate_dir.join("src");
+    for file in rs_files(&src) {
+        if rel(&src, &file).starts_with(subtree) {
+            continue; // the audited module subtree
+        }
+        let text = fs::read_to_string(&file).unwrap_or_default();
+        for (i, line) in text.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or("");
+            if code.contains("unsafe") && !code.replace("unsafe_code", "").contains("unsafe") {
+                continue; // only the lint-gate attribute, not the keyword
+            }
+            if code.contains("unsafe") {
+                diagnostics.push(format!(
+                    "{}:{}: `unsafe` outside src/{subtree} (all intrinsics belong in the audited kernel module)",
+                    rel(root, &file),
+                    i + 1
+                ));
+            }
         }
     }
 }
@@ -337,6 +385,39 @@ mod tests {
         check_unique_registration(&mut diagnostics);
         check_hardened_durable_writes(&root, &mut diagnostics);
         assert!(diagnostics.is_empty(), "{diagnostics:#?}");
+    }
+
+    #[test]
+    fn unsafe_confinement_flags_leaks_and_allows_kernels() {
+        let dir = std::env::temp_dir().join("xtask-lint-unsafe-confined-test");
+        let src = dir.join("src");
+        fs::create_dir_all(src.join("kernels")).unwrap();
+
+        // Gate attributes and comments never count; the keyword outside
+        // the subtree does; anything inside the subtree is fine.
+        fs::write(
+            src.join("lib.rs"),
+            "#![deny(unsafe_code)]\n// unsafe in a comment is fine\npub mod kernels;\npub mod other;\n",
+        )
+        .unwrap();
+        fs::write(
+            src.join("kernels").join("mod.rs"),
+            "#![allow(unsafe_code)]\npub fn f() { unsafe { core::hint::unreachable_unchecked() } }\n",
+        )
+        .unwrap();
+        fs::write(src.join("other.rs"), "pub fn g() {}\n").unwrap();
+        let mut clean = Vec::new();
+        check_unsafe_confined(&dir, &dir, "kernels/", &mut clean);
+        assert!(clean.is_empty(), "{clean:#?}");
+
+        fs::write(
+            src.join("other.rs"),
+            "pub fn g(p: *const u8) -> u8 { unsafe { *p } }\n",
+        )
+        .unwrap();
+        let mut diagnostics = Vec::new();
+        check_unsafe_confined(&dir, &dir, "kernels/", &mut diagnostics);
+        assert_eq!(diagnostics.len(), 1, "{diagnostics:#?}");
     }
 
     #[test]
