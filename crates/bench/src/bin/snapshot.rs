@@ -269,6 +269,24 @@ fn main() {
         full.len(),
     );
 
+    // 6. Canonicalization: the abstract-interpretation class map over
+    //    the same full space. Its wall time is the cost a canonical-mode
+    //    campaign pays up front, and the class/pruned counts are the
+    //    census numbers CI gates on — tracking them here catches both
+    //    performance regressions and accidental rule-table drift.
+    let t0 = Instant::now();
+    let canonical_plan = PrunePlan::for_space(&full, PruneMode::Canonical);
+    let canonical_s = t0.elapsed().as_secs_f64();
+    let canonical = canonical_plan.report(full_reducers);
+    eprintln!(
+        "canonicalize: {} classes over {} pipelines, {} certified-redundant, class map {:016x} in {:.1} ms",
+        canonical.classes,
+        full.len(),
+        canonical.pruned_pipelines,
+        canonical.class_map,
+        canonical_s * 1e3,
+    );
+
     let snapshot = Value::object([
         ("schema", Value::from("lc-bench-campaign/v3")),
         (
@@ -346,6 +364,16 @@ fn main() {
                 (
                     "bench_campaign_pruned_pipelines",
                     Value::from(outcome.prune.pruned_pipelines as u64),
+                ),
+                ("canonicalize_ms", Value::from(canonical_s * 1e3)),
+                ("canonical_classes", Value::from(canonical.classes as u64)),
+                (
+                    "canonical_pruned_pipelines",
+                    Value::from(canonical.pruned_pipelines as u64),
+                ),
+                (
+                    "canonical_class_map",
+                    Value::from(format!("{:016x}", canonical.class_map).as_str()),
                 ),
             ]),
         ),

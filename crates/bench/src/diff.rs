@@ -105,6 +105,14 @@ pub const CAMPAIGN_METRICS: &[MetricSpec] = &[
         direction: Direction::HigherIsBetter,
         gate: true,
     },
+    // Up-front cost of the canonical-mode class map over the full
+    // 107,632-pipeline space. Warn-only: it runs once per campaign and
+    // is dominated by allocator noise on shared runners.
+    MetricSpec {
+        path: "analyze.canonicalize_ms",
+        direction: Direction::LowerIsBetter,
+        gate: false,
+    },
 ];
 
 /// The gated metric set for `BENCH_serve.json`.
@@ -425,7 +433,8 @@ mod tests {
                            "rze_4":{"enc_mb_s":2000.0},
                            "bit_1":{"enc_mb_s":1500.0},
                            "rle_4":{"enc_mb_s":1800.0}},
-                "telemetry":{"enabled_overhead_pct":13.1}}"#,
+                "telemetry":{"enabled_overhead_pct":13.1},
+                "analyze":{"canonicalize_ms":222.2}}"#,
         )
         .unwrap();
         let out = compare(&v, &v, CAMPAIGN_METRICS, Thresholds::default());

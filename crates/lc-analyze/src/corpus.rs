@@ -75,6 +75,64 @@ pub fn inputs(len: usize) -> Vec<Vec<u8>> {
 /// one aligned length, large enough to cover several 8-byte tuples.
 pub const PROBE_LENGTHS: &[usize] = &[64, 197, 256];
 
+/// Near-miss refuters for the abstract interpreter's certificate checker:
+/// inputs on which *almost*-sound rewrites diverge. Each entry targets a
+/// family of plausible-but-wrong merges the seeded-bug harness injects:
+///
+/// * short random chunks (10/20 bytes) — TUPL pseudo-commutations that
+///   hold on long aligned data diverge on lengths with partial tuples;
+/// * `0x8000`-style sign-boundary u16 words — TCMS and TCNB agree on a
+///   surprising number of small values but split at the sign boundary,
+///   refuting granularity-blind bijection drops;
+/// * zero words embedded in nonzero runs — refutes conflating the
+///   zero pattern with the equality pattern (RLE literal words can be
+///   zero; RZE cares, RLE does not);
+/// * `f32` data containing exact zeros — refutes treating DBEFS/DBESF as
+///   zero-fixing (the de-biased exponent of 0.0 is nonzero);
+/// * sub-word and sub-tuple lengths — refutes over-wide no-op claims.
+pub fn refuters() -> Vec<Vec<u8>> {
+    let mut rng = xorshift(0xD1F7_0000_5EED_CAFE);
+    let mut out: Vec<Vec<u8>> = Vec::new();
+    for len in [10usize, 20] {
+        let mut v = vec![0u8; len];
+        for b in v.iter_mut() {
+            *b = rng() as u8;
+        }
+        out.push(v);
+    }
+    // Sign-boundary words at every power-of-two width: 0x80, 0x8000, …
+    let mut sign = Vec::with_capacity(64);
+    for i in 0..8u32 {
+        sign.extend_from_slice(&(0x8000u16.wrapping_add(i as u16)).to_le_bytes());
+        sign.extend_from_slice(&(0x8000_0000u32 | i).to_le_bytes());
+    }
+    out.push(sign);
+    // Zero words inside nonzero runs (and vice versa), 8-byte aligned.
+    let mut holes = Vec::with_capacity(64);
+    for i in 0..8u64 {
+        holes.extend_from_slice(
+            &(if i % 3 == 0 {
+                0u64
+            } else {
+                0x4242_4242_4242_4242
+            })
+            .to_le_bytes(),
+        );
+    }
+    out.push(holes);
+    // f32 ramp with exact zeros every fourth value.
+    let floats: Vec<u8> = (0..16u32)
+        .map(|i| if i % 4 == 0 { 0.0f32 } else { 1.5 + i as f32 })
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect();
+    out.push(floats);
+    // Sub-word / sub-tuple geometry.
+    for len in [1usize, 3, 7] {
+        out.push((0..len).map(|i| (0x90 + i) as u8).collect());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,10 +14,18 @@
 //! | `differential.stats-length`    | commuting shapes: kernel statistics depend only on   |
 //! |                                | the input length, never the values                   |
 //! | `differential.inverse-pair`    | `inverse_of = B`: `B.encode(self.encode(x)) == x`    |
+//! | `differential.fixes-zero`      | `fixes_zero`: all-zero inputs encode to themselves   |
+//! | `differential.noop-below`      | `noop_below = n`: inputs shorter than `n` bytes      |
+//! |                                | encode to themselves verbatim                        |
+//! | `differential.idempotent`      | `idempotent`: `encode(encode(x)) == encode(x)`       |
+//! | `differential.fused-of`        | `fused_of = (B, P)`: `encode == P.encode ∘ B.encode` |
+//! |                                | byte-for-byte (when both halves are in the set)      |
+//! | `differential.size-determinant`| pattern-preserving value rewrites leave the encoded  |
+//! |                                | size and both directions' kernel statistics unchanged|
 
 use std::sync::Arc;
 
-use lc_core::{CommuteClass, Component, KernelStats, SizeClass};
+use lc_core::{CommuteClass, Component, KernelStats, SizeClass, SizeDeterminant};
 
 use crate::corpus;
 use crate::Diagnostic;
@@ -146,6 +154,197 @@ fn check_component(
                     ));
                     break;
                 }
+            }
+        }
+    }
+
+    if contract.fixes_zero {
+        'fz: for &len in corpus::PROBE_LENGTHS {
+            *checks += 1;
+            let zeros = vec![0u8; len];
+            let (out, _) = encode(c, &zeros);
+            if out != zeros {
+                diagnostics.push(Diagnostic::new(
+                    "differential.fixes-zero",
+                    name,
+                    format!(
+                        "claims the per-word function fixes zero, but the all-zero \
+                         {len}-byte input does not encode to itself"
+                    ),
+                ));
+                break 'fz;
+            }
+        }
+    }
+
+    if let Some(bound) = contract.noop_below {
+        'noop: for &len in corpus::LENGTHS {
+            if len >= bound {
+                continue;
+            }
+            *checks += 1;
+            for input in corpus::inputs(len) {
+                let (out, _) = encode(c, &input);
+                if out != input {
+                    diagnostics.push(Diagnostic::new(
+                        "differential.noop-below",
+                        name,
+                        format!(
+                            "claims to be the identity below {bound} bytes, but a \
+                             {len}-byte input is transformed"
+                        ),
+                    ));
+                    break 'noop;
+                }
+            }
+        }
+    }
+
+    if contract.idempotent {
+        'idem: for &len in corpus::PROBE_LENGTHS {
+            *checks += 1;
+            for input in corpus::inputs(len) {
+                let (once, _) = encode(c, &input);
+                let (twice, _) = encode(c, &once);
+                if twice != once {
+                    diagnostics.push(Diagnostic::new(
+                        "differential.idempotent",
+                        name,
+                        format!("encode(encode(x)) != encode(x) for a {len}-byte input"),
+                    ));
+                    break 'idem;
+                }
+            }
+        }
+    }
+
+    if let Some((base, post)) = contract.fused_of {
+        let halves = (
+            set.iter().find(|o| o.name() == base),
+            set.iter().find(|o| o.name() == post),
+        );
+        if let (Some(b), Some(p)) = halves {
+            'fused: for &len in corpus::PROBE_LENGTHS {
+                *checks += 1;
+                for input in corpus::inputs(len) {
+                    let (direct, _) = encode(c, &input);
+                    let (mid, _) = encode(b.as_ref(), &input);
+                    let (composed, _) = encode(p.as_ref(), &mid);
+                    if direct != composed {
+                        diagnostics.push(Diagnostic::new(
+                            "differential.fused-of",
+                            name,
+                            format!(
+                                "claims encode == {post}.encode ∘ {base}.encode, but they \
+                                 differ on a {len}-byte input"
+                            ),
+                        ));
+                        break 'fused;
+                    }
+                }
+            }
+        }
+    }
+
+    if contract.size_determinant != SizeDeterminant::Opaque {
+        check_size_determinant(c, &contract, diagnostics, checks);
+    }
+}
+
+/// `size_determinant` claim: rewriting the input values while preserving
+/// the declared pattern (zero/nonzero per word, or the adjacent-equality
+/// structure) must leave the encoded *size* and both directions' kernel
+/// statistics unchanged.
+fn check_size_determinant(
+    c: &dyn Component,
+    contract: &lc_core::Contract,
+    diagnostics: &mut Vec<Diagnostic>,
+    checks: &mut usize,
+) {
+    let name = c.name();
+    let w = contract.word_size;
+    for &len in corpus::PROBE_LENGTHS {
+        for x in corpus::inputs(len) {
+            *checks += 1;
+            // Build a pattern-preserving value rewrite of the complete
+            // words; tail bytes are kept verbatim (they are emitted
+            // literally, so their values may matter byte-for-byte but not
+            // for the size).
+            let n = len / w;
+            let mut y = x.clone();
+            match contract.size_determinant {
+                SizeDeterminant::ZeroPattern => {
+                    // Replace every nonzero word with a fixed nonzero word.
+                    for i in 0..n {
+                        let word = &mut y[i * w..(i + 1) * w];
+                        if word.iter().any(|&b| b != 0) {
+                            word.fill(0xA5);
+                        }
+                    }
+                }
+                SizeDeterminant::EqualityPattern => {
+                    // Relabel words by run index, scanning the *original*
+                    // input: adjacent equal words stay equal, adjacent
+                    // distinct words stay distinct (neighboring runs get
+                    // indices differing by 1, which never collide mod 251).
+                    let mut run = 0u64;
+                    for i in 0..n {
+                        if i > 0 && x[i * w..(i + 1) * w] != x[(i - 1) * w..i * w] {
+                            run += 1;
+                        }
+                        let fill = (run % 251 + 1) as u8;
+                        y[i * w..(i + 1) * w].fill(fill);
+                    }
+                }
+                SizeDeterminant::Opaque => unreachable!(),
+            }
+            let (ex, sx) = encode(c, &x);
+            let (ey, sy) = encode(c, &y);
+            if ex.len() != ey.len() {
+                diagnostics.push(Diagnostic::new(
+                    "differential.size-determinant",
+                    name,
+                    format!(
+                        "claims size is a function of the {:?} at word size {w}, but a \
+                         pattern-preserving rewrite of a {len}-byte input changed the \
+                         encoded size from {} to {}",
+                        contract.size_determinant,
+                        ex.len(),
+                        ey.len()
+                    ),
+                ));
+                return;
+            }
+            if sx != sy {
+                diagnostics.push(Diagnostic::new(
+                    "differential.size-determinant",
+                    name,
+                    format!(
+                        "encode kernel statistics changed under a pattern-preserving \
+                         rewrite of a {len}-byte input ({:?} at word size {w})",
+                        contract.size_determinant
+                    ),
+                ));
+                return;
+            }
+            let mut dx = (Vec::new(), KernelStats::new());
+            let mut dy = (Vec::new(), KernelStats::new());
+            if c.decode_chunk(&ex, &mut dx.0, &mut dx.1).is_err()
+                || c.decode_chunk(&ey, &mut dy.0, &mut dy.1).is_err()
+            {
+                return; // already diagnosed by the roundtrip rule
+            }
+            if dx.1 != dy.1 {
+                diagnostics.push(Diagnostic::new(
+                    "differential.size-determinant",
+                    name,
+                    format!(
+                        "decode kernel statistics changed under a pattern-preserving \
+                         rewrite of a {len}-byte input ({:?} at word size {w})",
+                        contract.size_determinant
+                    ),
+                ));
+                return;
             }
         }
     }

@@ -19,14 +19,23 @@
 //!    (broken inverse, wrong word size, over-expansion) are injected into
 //!    otherwise-clean component sets; the harness proves the analyzer
 //!    flags every one of them, i.e. the checks are not vacuous.
+//! 4. **Abstract interpretation** ([`absint`]) — the contract facts are
+//!    composed into a rewrite system that canonicalizes every pipeline in
+//!    the campaign space and partitions the space into equivalence
+//!    classes, each non-representative member carrying a machine-checkable
+//!    certificate; the certificate checker re-derives every side condition
+//!    and differentially executes sampled classes, and its own seeded-bug
+//!    harness ([`absint::run_absint_harness`]) proves it non-vacuous.
 //!
 //! The analyzer's verdicts feed `lc-study::campaign`, which uses
-//! [`lc_core::Contract::commutes_with`] to deduplicate provably-equivalent
-//! pipelines before a sweep, and `lc analyze` in the CLI, which renders a
+//! [`lc_core::Contract::commutes_with`] (and, in canonical mode, the full
+//! [`absint`] class map) to deduplicate provably-equivalent pipelines
+//! before a sweep, and `lc analyze` in the CLI, which renders a
 //! [`Report`] as text or JSON and exits non-zero on any violation.
 
 #![forbid(unsafe_code)]
 
+pub mod absint;
 pub mod corpus;
 pub mod differential;
 pub mod mutation;
@@ -82,6 +91,9 @@ pub struct Report {
     pub checks: usize,
     /// Provably-commuting unordered stage pairs found among the set.
     pub commuting_pairs: usize,
+    /// The commuting pairs by name — exactly the stage pairs the
+    /// campaign's commute prune mode deduplicates.
+    pub prune_pairs: Vec<(String, String)>,
     /// Violations, in discovery order. Empty ⇔ the set is clean.
     pub diagnostics: Vec<Diagnostic>,
     /// Wall time the analysis took.
@@ -94,6 +106,15 @@ impl Report {
         self.diagnostics.is_empty()
     }
 
+    /// Diagnostics grouped by rule id, sorted by rule. Empty ⇔ clean.
+    pub fn rule_counts(&self) -> Vec<(String, usize)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts.entry(d.rule.clone()).or_insert(0usize) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
     /// JSON form, stable field order, suitable for `lc analyze --format
     /// json` and CI consumption.
     pub fn to_json(&self) -> Value {
@@ -102,6 +123,23 @@ impl Report {
             ("components", Value::from(self.components as u64)),
             ("checks", Value::from(self.checks as u64)),
             ("commuting_pairs", Value::from(self.commuting_pairs as u64)),
+            (
+                "prune_pairs",
+                Value::array(self.prune_pairs.iter().map(|(a, b)| {
+                    Value::object([
+                        ("a", Value::from(a.as_str())),
+                        ("b", Value::from(b.as_str())),
+                    ])
+                })),
+            ),
+            (
+                "rule_counts",
+                Value::object(
+                    self.rule_counts()
+                        .into_iter()
+                        .map(|(rule, n)| (rule, Value::from(n as u64))),
+                ),
+            ),
             ("clean", Value::from(self.is_clean())),
             ("runtime_ms", Value::from(self.runtime.as_secs_f64() * 1e3)),
             (
@@ -121,11 +159,12 @@ pub fn analyze(components: &[Arc<dyn Component>]) -> Report {
     let mut checks = 0usize;
     structural::check(components, &mut diagnostics, &mut checks);
     differential::check(components, &mut diagnostics, &mut checks);
-    let commuting_pairs = commuting_pairs(components);
+    let prune_pairs = commuting_pair_names(components);
     Report {
         components: components.len(),
         checks,
-        commuting_pairs,
+        commuting_pairs: prune_pairs.len(),
+        prune_pairs,
         diagnostics,
         runtime: t0.elapsed(),
     }
@@ -153,12 +192,21 @@ pub fn analyze_registry() -> Report {
 
 /// Count unordered component pairs whose contracts provably commute.
 pub fn commuting_pairs(components: &[Arc<dyn Component>]) -> usize {
+    commuting_pair_names(components).len()
+}
+
+/// The provably-commuting unordered pairs by component name, in
+/// registry order — the campaign prunes exactly these stage pairs.
+pub fn commuting_pair_names(components: &[Arc<dyn Component>]) -> Vec<(String, String)> {
     let contracts: Vec<_> = components.iter().map(|c| c.contract()).collect();
-    let mut pairs = 0;
+    let mut pairs = Vec::new();
     for i in 0..contracts.len() {
         for j in i + 1..contracts.len() {
             if contracts[i].commutes_with(&contracts[j]) {
-                pairs += 1;
+                pairs.push((
+                    components[i].name().to_string(),
+                    components[j].name().to_string(),
+                ));
             }
         }
     }
@@ -205,5 +253,37 @@ mod tests {
         assert_eq!(json.get("clean").and_then(|v| v.as_bool()), Some(true));
         let rendered = json.pretty();
         assert!(rendered.contains("commuting_pairs"));
+        // Satellite: the JSON carries the prune-pair list (22 named
+        // pairs) and per-rule diagnostic counts (empty on a clean set).
+        let pairs = json.get("prune_pairs").expect("prune_pairs present");
+        if let lc_json::Value::Array(items) = pairs {
+            assert_eq!(items.len(), 22);
+            assert!(items
+                .iter()
+                .all(|p| p.get("a").is_some() && p.get("b").is_some()));
+        } else {
+            panic!("prune_pairs must be an array");
+        }
+        assert!(json.get("rule_counts").is_some());
+    }
+
+    #[test]
+    fn dirty_set_reports_per_rule_counts() {
+        let mut all: Vec<_> = lc_components::all().to_vec();
+        all.push(all[0].clone()); // duplicate name → structural violation
+        let report = analyze(&all);
+        assert!(!report.is_clean());
+        let counts = report.rule_counts();
+        assert!(
+            counts
+                .iter()
+                .any(|(rule, n)| rule == "structural.unique-name" && *n >= 1),
+            "{counts:?}"
+        );
+        let json = report.to_json();
+        assert!(json
+            .get("rule_counts")
+            .and_then(|v| v.get("structural.unique-name"))
+            .is_some());
     }
 }

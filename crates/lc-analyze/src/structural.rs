@@ -14,11 +14,18 @@
 //! | `structural.commute-class`       | commute claims only on size-preserving components     |
 //! | `structural.tuple-size`          | `tuple_size()` is ≥ 2 and divides the chunk           |
 //! | `structural.inverse-pair`        | `inverse_of` names a different component in the set   |
+//! | `structural.fixes-zero`          | `fixes_zero` only on `PointwiseWordMap` components    |
+//! | `structural.fused-of`            | `fused_of` names two components distinct from self    |
+//! | `structural.noop-below`          | `noop_below` bound is positive and ≤ one chunk        |
+//! | `structural.idempotent`          | `idempotent` only on size-preserving components       |
+//! | `structural.size-determinant`    | non-opaque `size_determinant` only on reducers        |
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use lc_core::{CommuteClass, Component, ComponentKind, ExpansionBound, SizeClass, CHUNK_SIZE};
+use lc_core::{
+    CommuteClass, Component, ComponentKind, ExpansionBound, SizeClass, SizeDeterminant, CHUNK_SIZE,
+};
 
 use crate::Diagnostic;
 
@@ -182,6 +189,75 @@ pub(crate) fn check(
                     format!("claimed inverse pair {inv:?} is not in the analyzed set"),
                 ));
             }
+        }
+
+        *checks += 1;
+        if contract.fixes_zero && contract.commute != CommuteClass::PointwiseWordMap {
+            diagnostics.push(Diagnostic::new(
+                "structural.fixes-zero",
+                name,
+                format!(
+                    "fixes_zero is only meaningful for PointwiseWordMap components, \
+                     not {:?}",
+                    contract.commute
+                ),
+            ));
+        }
+
+        *checks += 1;
+        if let Some((base, post)) = contract.fused_of {
+            if base == name || post == name || base == post {
+                diagnostics.push(Diagnostic::new(
+                    "structural.fused-of",
+                    name,
+                    format!(
+                        "fused_of ({base}, {post}) must name two components distinct \
+                         from each other and from the fused component"
+                    ),
+                ));
+            }
+            // Membership in the analyzed set is deliberately not required
+            // (restricted spaces may omit the halves); when both halves
+            // are present the composition claim is checked differentially.
+        }
+
+        *checks += 1;
+        if let Some(bound) = contract.noop_below {
+            if bound == 0 || bound > CHUNK_SIZE + 1 {
+                diagnostics.push(Diagnostic::new(
+                    "structural.noop-below",
+                    name,
+                    format!(
+                        "noop_below bound {bound} is out of range (1..={})",
+                        CHUNK_SIZE + 1
+                    ),
+                ));
+            }
+        }
+
+        *checks += 1;
+        if contract.idempotent && contract.size != SizeClass::Preserving {
+            diagnostics.push(Diagnostic::new(
+                "structural.idempotent",
+                name,
+                "idempotence (encode∘encode == encode) requires a size-preserving encoder",
+            ));
+        }
+
+        *checks += 1;
+        if contract.size_determinant != SizeDeterminant::Opaque
+            && c.kind() != ComponentKind::Reducer
+        {
+            diagnostics.push(Diagnostic::new(
+                "structural.size-determinant",
+                name,
+                format!(
+                    "size_determinant {:?} on a {:?}: only reducers have a \
+                     meaningful size function",
+                    contract.size_determinant,
+                    c.kind()
+                ),
+            ));
         }
     }
 }

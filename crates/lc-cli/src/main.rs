@@ -9,6 +9,8 @@
 //! lc profile    FILE                              structural statistics
 //! lc simulate   --pipeline "…" [--file NAME] [--gpu NAME] [--compiler C] [--opt 1|3]
 //! lc analyze    [--format text|json] [--mutation]  contract static analysis
+//!               [--canonicalize [--check quick|full] [--snapshot PATH]]
+//!                                                 pipeline-space class census
 //! lc serve      [--addr HOST:PORT] [--threads N] [--queue N] [--mem-budget-mb N]
 //!               [--max-decoded-bytes N] [--drain-deadline-ms N] [--chaos-seed N]
 //!               [--flight-recorder-dump PATH]
@@ -146,7 +148,9 @@ fn main() -> ExitCode {
                  simulate   --pipeline P [--file NAME] [--gpu NAME] [--compiler nvcc|clang|hipcc] [--opt 1|3]\n  \
                  bench-components [--file NAME]  CPU throughput of every component\n  \
                  verify     ARCHIVE [ORIGINAL]    check an archive decodes (and matches ORIGINAL)\n  \
-                 analyze    [--format text|json] [--mutation]  check every component contract\n  \
+                 analyze    [--format text|json] [--mutation]  check every component contract\n             \
+                 [--canonicalize [--check quick|full] [--snapshot PATH]]  class census of the\n             \
+                 107,632-pipeline space (certified equivalence classes, rewrite-rule counts)\n  \
                  serve      [--addr HOST:PORT] [--threads N] [--queue N] [--mem-budget-mb N]\n             \
                  [--max-decoded-bytes N] [--drain-deadline-ms N] [--chaos-seed N]\n             \
                  [--flight-recorder-dump PATH]\n  \
@@ -511,10 +515,22 @@ fn cmd_verify(rest: &[String]) -> Result<(), CliError> {
 /// self-mutation harness (seeded contract violations that the analyzer
 /// must catch — proof the checks are not vacuous). Any violation turns
 /// the exit code to [`EXIT_ANALYZE`].
+///
+/// `--canonicalize` switches to the abstract interpreter: classify the
+/// full 107,632-pipeline space into certified equivalence classes and
+/// print the census. `--check quick|full` additionally runs the
+/// certificate checker, `--snapshot PATH` gates the census against a
+/// committed snapshot (any drift exits [`EXIT_ANALYZE`] with a diff),
+/// and `--mutation` runs the absint seeded-bug harness instead of the
+/// contract one. Exit-code semantics are identical in text and JSON
+/// modes.
 fn cmd_analyze(rest: &[String]) -> Result<(), CliError> {
     let format = flag_value(rest, "--format").unwrap_or("text");
     if !matches!(format, "text" | "json") {
         return Err(format!("--format must be text or json, got {format:?}").into());
+    }
+    if rest.iter().any(|a| a == "--canonicalize") {
+        return cmd_analyze_canonicalize(rest, format);
     }
     let report = lc_analyze::analyze_registry();
     let run_mutation = rest.iter().any(|a| a == "--mutation");
@@ -558,6 +574,9 @@ fn cmd_analyze(rest: &[String]) -> Result<(), CliError> {
         for d in &report.diagnostics {
             println!("violation [{}] {}: {}", d.rule, d.component, d.message);
         }
+        for (rule, n) in report.rule_counts() {
+            println!("rule {rule}: {n} violation(s)");
+        }
         if let Some(cases) = &mutation {
             let caught = cases.iter().filter(|c| c.caught).count();
             println!(
@@ -581,6 +600,171 @@ fn cmd_analyze(rest: &[String]) -> Result<(), CliError> {
                 "{} contract violation(s), {} undetected mutant(s)",
                 report.diagnostics.len(),
                 missed.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The `--canonicalize` arm of `lc analyze`: classify the full pipeline
+/// space, print the class census, and optionally check certificates,
+/// gate on a committed snapshot, and run the absint mutation harness.
+fn cmd_analyze_canonicalize(rest: &[String], format: &str) -> Result<(), CliError> {
+    use lc_analyze::absint;
+
+    let depth = match flag_value(rest, "--check") {
+        None => None,
+        Some("quick") => Some(absint::CheckDepth::Quick),
+        Some("full") => Some(absint::CheckDepth::Full),
+        Some(other) => return Err(format!("--check must be quick or full, got {other:?}").into()),
+    };
+    let snapshot_path = flag_value(rest, "--snapshot").map(str::to_string);
+    let run_mutation = rest.iter().any(|a| a == "--mutation");
+
+    let components: Vec<std::sync::Arc<dyn lc_core::Component>> = lc_components::all().to_vec();
+    let reducers = lc_components::reducers();
+    let map = absint::classify(&components, &reducers, &[], &absint::RuleTable::SOUND);
+    let census = absint::census(&map, &reducers);
+
+    let check = depth.map(|d| absint::check_certificates(&components, &reducers, &map, d));
+    let mutation = run_mutation.then(absint::run_absint_harness);
+    let missed: Vec<String> = mutation
+        .iter()
+        .flatten()
+        .filter(|c| !c.caught)
+        .map(|c| format!("{:?}", c.mutation))
+        .collect();
+
+    // Snapshot gate: the committed census (classes, pruned, fingerprint)
+    // must match this run exactly; any drift is a structured diff.
+    let mut snapshot_diff: Vec<String> = Vec::new();
+    if let Some(path) = &snapshot_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read snapshot {path}: {e}"))?;
+        let snap = lc_json::Value::parse(&text)
+            .map_err(|e| format!("snapshot {path} is not valid JSON: {e}"))?;
+        let fields: [(&str, u64); 4] = [
+            ("pipelines", census.pipelines as u64),
+            ("classes", census.classes as u64),
+            ("pruned", census.pruned as u64),
+            ("exact_pruned", census.exact_pruned as u64),
+        ];
+        for (name, actual) in fields {
+            match snap.get(name).and_then(|v| v.as_u64()) {
+                Some(expected) if expected == actual => {}
+                Some(expected) => {
+                    snapshot_diff.push(format!("{name}: snapshot {expected}, actual {actual}"))
+                }
+                None => snapshot_diff.push(format!("{name}: missing from snapshot")),
+            }
+        }
+        let fp = format!("{:016x}", census.fingerprint);
+        match snap.get("fingerprint").and_then(|v| v.as_str()) {
+            Some(expected) if expected == fp => {}
+            Some(expected) => {
+                snapshot_diff.push(format!("fingerprint: snapshot {expected}, actual {fp}"))
+            }
+            None => snapshot_diff.push("fingerprint: missing from snapshot".to_string()),
+        }
+    }
+
+    let check_clean = check.as_ref().map(|r| r.is_clean()).unwrap_or(true);
+    if format == "json" {
+        let mut json = census.to_json();
+        if let lc_json::Value::Object(fields) = &mut json {
+            if let Some(r) = &check {
+                fields.push(("check".to_string(), r.to_json()));
+            }
+            if let Some(cases) = &mutation {
+                let caught = cases.iter().filter(|c| c.caught).count();
+                fields.push((
+                    "mutation".to_string(),
+                    lc_json::Value::object([
+                        ("seeded", lc_json::Value::from(cases.len() as u64)),
+                        ("caught", lc_json::Value::from(caught as u64)),
+                        (
+                            "missed",
+                            lc_json::Value::array(
+                                missed.iter().map(|m| lc_json::Value::from(m.as_str())),
+                            ),
+                        ),
+                    ]),
+                ));
+            }
+            if let Some(path) = &snapshot_path {
+                fields.push((
+                    "snapshot".to_string(),
+                    lc_json::Value::object([
+                        ("path", lc_json::Value::from(path.as_str())),
+                        ("matches", lc_json::Value::from(snapshot_diff.is_empty())),
+                        (
+                            "diff",
+                            lc_json::Value::array(
+                                snapshot_diff
+                                    .iter()
+                                    .map(|d| lc_json::Value::from(d.as_str())),
+                            ),
+                        ),
+                    ]),
+                ));
+            }
+        }
+        println!("{}", json.pretty());
+    } else {
+        print!("{}", census.render_text());
+        if let Some(r) = &check {
+            println!(
+                "certificate checker: {} certificates, {} kinds, {} classes executed \
+                 differentially, {} — {:.0} ms",
+                r.certificates,
+                r.kinds,
+                r.differential_classes,
+                if r.is_clean() {
+                    "all valid"
+                } else {
+                    "REJECTIONS"
+                },
+                r.runtime.as_secs_f64() * 1e3
+            );
+            for f in &r.failures {
+                println!(
+                    "rejected certificate: member {:?} [{}] {}",
+                    f.member, f.layer, f.detail
+                );
+            }
+        }
+        if let Some(cases) = &mutation {
+            let caught = cases.iter().filter(|c| c.caught).count();
+            println!(
+                "absint mutation harness: {caught}/{} seeded bugs detected",
+                cases.len()
+            );
+            for m in &missed {
+                println!("undetected absint mutant: {m}");
+            }
+        }
+        if let Some(path) = &snapshot_path {
+            if snapshot_diff.is_empty() {
+                println!("snapshot {path}: census matches");
+            } else {
+                println!("snapshot {path}: CENSUS DRIFT");
+                for d in &snapshot_diff {
+                    println!("  {d}");
+                }
+            }
+        }
+    }
+
+    if !check_clean || !missed.is_empty() || !snapshot_diff.is_empty() {
+        return Err(CliError {
+            kind: "analyze",
+            exit: EXIT_ANALYZE,
+            msg: format!(
+                "{} rejected certificate(s), {} undetected absint mutant(s), \
+                 {} snapshot drift(s)",
+                check.as_ref().map(|r| r.failures.len()).unwrap_or(0),
+                missed.len(),
+                snapshot_diff.len()
             ),
         });
     }

@@ -506,3 +506,95 @@ fn analyze_rejects_unknown_format() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("kind=usage"), "{err}");
 }
+
+#[test]
+fn analyze_json_lists_prune_pairs_and_rule_counts() {
+    let out = lc().args(["analyze", "--format", "json"]).output().unwrap();
+    assert!(out.status.success());
+    let json = lc_json::Value::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let pairs = json.get("prune_pairs").expect("prune_pairs present");
+    match pairs {
+        lc_json::Value::Array(items) => {
+            assert_eq!(items.len(), 22, "the registry's commuting pairs");
+            for p in items {
+                assert!(p.get("a").and_then(lc_json::Value::as_str).is_some());
+                assert!(p.get("b").and_then(lc_json::Value::as_str).is_some());
+            }
+        }
+        other => panic!("prune_pairs must be an array, got {other:?}"),
+    }
+    // Clean registry: per-rule counts present but empty.
+    match json.get("rule_counts").expect("rule_counts present") {
+        lc_json::Value::Object(fields) => assert!(fields.is_empty()),
+        other => panic!("rule_counts must be an object, got {other:?}"),
+    }
+}
+
+#[test]
+fn analyze_canonicalize_census_in_both_formats() {
+    let out = lc().args(["analyze", "--canonicalize"]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("107632 pipelines"), "{text}");
+    assert!(text.contains("certified-redundant"), "{text}");
+    assert!(text.contains("class-map fingerprint"), "{text}");
+
+    let out = lc()
+        .args(["analyze", "--canonicalize", "--format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = lc_json::Value::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(
+        json.get("schema").and_then(lc_json::Value::as_str),
+        Some("lc-analyze-canonical/v1")
+    );
+    assert_eq!(
+        json.get("pipelines").and_then(lc_json::Value::as_u64),
+        Some(107_632)
+    );
+    let classes = json
+        .get("classes")
+        .and_then(lc_json::Value::as_u64)
+        .unwrap();
+    let pruned = json.get("pruned").and_then(lc_json::Value::as_u64).unwrap();
+    assert_eq!(classes + pruned, 107_632);
+    assert!(pruned >= 3_000, "acceptance floor: {pruned}");
+    assert!(json
+        .get("fingerprint")
+        .and_then(lc_json::Value::as_str)
+        .is_some());
+}
+
+#[test]
+fn analyze_canonicalize_snapshot_drift_exits_6_in_both_formats() {
+    let snap = tmp("drift_snapshot.json");
+    std::fs::write(
+        &snap,
+        r#"{"pipelines":107632,"classes":1,"pruned":8178,"exact_pruned":352,"fingerprint":"0000000000000000"}"#,
+    )
+    .unwrap();
+    for format in ["text", "json"] {
+        let out = lc()
+            .args([
+                "analyze",
+                "--canonicalize",
+                "--format",
+                format,
+                "--snapshot",
+                snap.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(6), "format={format}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("kind=analyze"), "format={format}: {err}");
+        assert!(err.contains("exit=6"), "format={format}: {err}");
+        assert!(err.contains("snapshot drift"), "format={format}: {err}");
+    }
+    std::fs::remove_file(&snap).ok();
+}

@@ -49,7 +49,7 @@ macro_rules! mutator {
     (
         $(#[$doc:meta])*
         $name:ident, $prefix:literal, enc = $enc:ident, dec = $dec:ident,
-        ops = $ops:literal, widths = [$($w:literal),+]
+        ops = $ops:literal, fixes_zero = $fz:literal, widths = [$($w:literal),+]
     ) => {
         // `$enc`/`$dec` are `pointwise::Op` arms; the scalar reference
         // codecs they resolve to live in `util::codec`.
@@ -79,12 +79,23 @@ macro_rules! mutator {
             }
             fn contract(&self) -> Contract {
                 // Every mutator maps complete W-byte words independently
-                // and passes the tail through: a pointwise word map.
-                Contract::preserving(
+                // and passes the tail through: a pointwise word map that
+                // is the identity on inputs shorter than one word. TCMS
+                // and TCNB additionally map the zero word to itself
+                // (zig-zag and negabinary both send 0 to 0); the DBE
+                // families do not (de-biasing the exponent of 0.0 yields
+                // a nonzero code).
+                let c = Contract::preserving(
                     ComponentKind::Mutator,
                     W,
                     CommuteClass::PointwiseWordMap,
                 )
+                .with_noop_below(W);
+                if $fz {
+                    c.with_fixes_zero()
+                } else {
+                    c
+                }
             }
             fn kernel_variant(&self) -> KernelVariant {
                 pointwise::variant::<W>(Op::$enc)
@@ -109,14 +120,14 @@ mutator!(
     /// TCMS: two's complement → magnitude-sign representation, so values of
     /// small magnitude (positive or negative) get numerically small codes.
     Tcms, "TCMS", enc = TcmsEnc, dec = TcmsDec,
-    ops = 4, widths = [1, 2, 4, 8]
+    ops = 4, fixes_zero = true, widths = [1, 2, 4, 8]
 );
 
 mutator!(
     /// TCNB: two's complement → base −2 (negabinary) representation via the
     /// `(v + M) ^ M` bit trick.
     Tcnb, "TCNB", enc = TcnbEnc, dec = TcnbDec,
-    ops = 3, widths = [1, 2, 4, 8]
+    ops = 3, fixes_zero = true, widths = [1, 2, 4, 8]
 );
 
 mutator!(
@@ -124,14 +135,14 @@ mutator!(
     /// (sign, exponent, fraction) to (de-biased exponent, fraction, sign).
     /// Only defined at 4- and 8-byte widths.
     Dbefs, "DBEFS", enc = DbefsEnc, dec = DbefsDec,
-    ops = 9, widths = [4, 8]
+    ops = 9, fixes_zero = false, widths = [4, 8]
 );
 
 mutator!(
     /// DBESF: like DBEFS but rearranges to (de-biased exponent, sign,
     /// fraction) order.
     Dbesf, "DBESF", enc = DbesfEnc, dec = DbesfDec,
-    ops = 9, widths = [4, 8]
+    ops = 9, fixes_zero = false, widths = [4, 8]
 );
 
 #[cfg(test)]

@@ -69,7 +69,8 @@ fn diff_decode<const W: usize>(
 macro_rules! predictor {
     (
         $(#[$doc:meta])*
-        $name:ident, $prefix:literal, $residual:expr
+        $name:ident, $prefix:literal, $residual:expr,
+        noop_words = $noopw:literal $(, fused = ($base:literal, $post:literal))?
     ) => {
         $(#[$doc])*
         pub struct $name<const W: usize>;
@@ -96,8 +97,35 @@ macro_rules! predictor {
             fn contract(&self) -> Contract {
                 // Each residual depends on its *left neighbor*, not just
                 // its own word — reordering words changes the residuals,
-                // so predictors claim no commuting structure.
-                Contract::preserving(ComponentKind::Predictor, W, CommuteClass::Opaque)
+                // so predictors claim no commuting structure. DIFF is
+                // the identity below two complete words (the first
+                // residual is `word − 0`); DIFFMS/DIFFNB still transform
+                // a lone word, so their no-op bound is one word. The
+                // latter two are *fused* components: their encoder is
+                // exactly TCMS/TCNB applied to DIFF's output (the kernel
+                // calls the same scalar codec on every residual,
+                // including the first), which the rewriter exploits.
+                let c = Contract::preserving(ComponentKind::Predictor, W, CommuteClass::Opaque)
+                    .with_noop_below($noopw * W);
+                $(
+                    let c = c.with_fused_of(
+                        match W {
+                            1 => concat!($base, "_1"),
+                            2 => concat!($base, "_2"),
+                            4 => concat!($base, "_4"),
+                            8 => concat!($base, "_8"),
+                            _ => unreachable!("unsupported word size"),
+                        },
+                        match W {
+                            1 => concat!($post, "_1"),
+                            2 => concat!($post, "_2"),
+                            4 => concat!($post, "_4"),
+                            8 => concat!($post, "_8"),
+                            _ => unreachable!("unsupported word size"),
+                        },
+                    );
+                )?
+                c
             }
             fn kernel_variant(&self) -> KernelVariant {
                 diff::variant::<W>()
@@ -122,17 +150,17 @@ predictor!(
     /// DIFF: delta modulation — each word is replaced by its difference
     /// from the previous word; decoding is the prefix sum of the
     /// differences.
-    Diff, "DIFF", Residual::Plain
+    Diff, "DIFF", Residual::Plain, noop_words = 2
 );
 
 predictor!(
     /// DIFFMS: DIFF with residuals stored in magnitude-sign format.
-    DiffMs, "DIFFMS", Residual::MagnitudeSign
+    DiffMs, "DIFFMS", Residual::MagnitudeSign, noop_words = 1, fused = ("DIFF", "TCMS")
 );
 
 predictor!(
     /// DIFFNB: DIFF with residuals stored in negabinary format.
-    DiffNb, "DIFFNB", Residual::Negabinary
+    DiffNb, "DIFFNB", Residual::Negabinary, noop_words = 1, fused = ("DIFF", "TCNB")
 );
 
 #[cfg(test)]

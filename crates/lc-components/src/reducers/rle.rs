@@ -24,7 +24,7 @@
 
 use lc_core::{
     Complexity, Component, ComponentKind, Contract, DecodeError, ExpansionBound, KernelStats,
-    SpanClass, WorkClass,
+    SizeDeterminant, SpanClass, WorkClass,
 };
 
 use super::{account_compaction_scan, read_frame, write_frame};
@@ -72,7 +72,14 @@ impl<const W: usize> Component for Rle<W> {
         // stores ≤ covered_words·W value bytes plus ≤ 6 varint bytes, so
         // body ≤ n·W + 6n and the frame adds ≤ W + 3 bytes. Declared as
         // max_bytes(len) = len·(W+6)/W + 16.
+        //
+        // Size determinant: records are emitted from the run/literal
+        // structure of the complete W-byte words — exactly their
+        // adjacent-equality pattern — with literal words copied
+        // verbatim, so |output| and both directions' kernel statistics
+        // are functions of the length and that pattern alone.
         Contract::reducer(W, ExpansionBound::affine(W as u64 + 6, W as u64, 16))
+            .with_size_determinant(SizeDeterminant::EqualityPattern)
     }
 
     fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {

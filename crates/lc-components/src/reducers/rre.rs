@@ -22,7 +22,7 @@
 
 use lc_core::{
     Complexity, Component, ComponentKind, Contract, DecodeError, ExpansionBound, KernelStats,
-    SpanClass, WorkClass,
+    SizeDeterminant, SpanClass, WorkClass,
 };
 
 use super::{account_compaction_scan, read_frame, write_frame};
@@ -260,7 +260,20 @@ macro_rules! rre_like {
                 // survive and the recursive bitmap costs ≤ n/8 · 8/7 bytes
                 // plus per-level varints — well under 2 extra bytes per
                 // word. Declared as max_bytes(len) = len·(W+2)/W + 64.
+                //
+                // Size determinant: the output consists of the recursive
+                // bitmap (a function of which words are marked) plus the
+                // kept words verbatim — so |output| and the kernel
+                // statistics in both directions are functions of the
+                // input length and the mark pattern alone. For RRE the
+                // mark pattern is the adjacent-equality pattern of the
+                // complete W-byte words; for RZE it is the zero/nonzero
+                // pattern.
                 Contract::reducer(W, ExpansionBound::affine(W as u64 + 2, W as u64, 64))
+                    .with_size_determinant(match $mark {
+                        Mark::RepeatsPrior => SizeDeterminant::EqualityPattern,
+                        Mark::IsZero => SizeDeterminant::ZeroPattern,
+                    })
             }
             fn encode_chunk(&self, input: &[u8], out: &mut Vec<u8>, stats: &mut KernelStats) {
                 encode::<W>(input, out, stats, $mark);

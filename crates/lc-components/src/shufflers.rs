@@ -147,7 +147,10 @@ impl<const K: usize, const W: usize> Component for Tupl<K, W> {
         // within each complete K·W-byte tuple; the incomplete trailing
         // tuple passes through. A pointwise map on w-byte words with
         // w | W therefore commutes with it (see `lc_core::contract`).
+        // Inputs shorter than one complete K·W-byte tuple pass through
+        // entirely — the identity.
         Contract::preserving(ComponentKind::Shuffler, W, CommuteClass::WordPermutation)
+            .with_noop_below(K * W)
     }
     fn kernel_variant(&self) -> KernelVariant {
         tuple::variant::<K, W>()

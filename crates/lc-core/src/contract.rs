@@ -91,6 +91,32 @@ pub enum CommuteClass {
     Opaque,
 }
 
+/// What an encoder's output *size and kernel statistics* are a function
+/// of — the key fact behind pattern-tier equivalence classes.
+///
+/// A reducer whose size is determined by, say, the zero/nonzero pattern
+/// of its input words produces equal-size output (with identical kernel
+/// statistics) on any two inputs sharing that pattern, even when the
+/// bytes differ. The abstract interpreter (`lc-analyze::absint`) uses
+/// this to merge pipelines whose prefixes provably agree on the pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeDeterminant {
+    /// `|encode(x)|` and both directions' kernel statistics depend only
+    /// on the input length and the zero/nonzero pattern of its complete
+    /// `word_size`-byte words plus the literal tail bytes' count (RZE:
+    /// zero words are elided, nonzero words are emitted literally).
+    ZeroPattern,
+    /// `|encode(x)|` and both directions' kernel statistics depend only
+    /// on the input length and the adjacent-equality pattern of its
+    /// complete `word_size`-byte words (RLE/RRE: runs are collapsed, the
+    /// run structure is exactly the equality pattern).
+    EqualityPattern,
+    /// Size may depend on the actual byte values (entropy-style reducers
+    /// such as CLOG/RARE, and every size-preserving component, where the
+    /// question is moot).
+    Opaque,
+}
+
 /// A component's machine-readable contract. See the module docs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Contract {
@@ -113,6 +139,32 @@ pub struct Contract {
     pub inverse_of: Option<&'static str>,
     /// Encoder shape for commutation analysis.
     pub commute: CommuteClass,
+    /// For a [`CommuteClass::PointwiseWordMap`]: the per-word function
+    /// maps the all-zero word to the all-zero word (`φ(0) = 0`). With
+    /// `exact_inverse` this makes the map a zero-*fixing* bijection: it
+    /// preserves the zero/nonzero pattern at any granularity the word
+    /// size divides. Meaningless (and `false`) for other shapes.
+    pub fixes_zero: bool,
+    /// `Some((base, post))`: this encoder is *extensionally equal* to the
+    /// composition `post.encode ∘ base.encode` of two other registered
+    /// components (DIFFMS_w = TCMS_w ∘ DIFF_w, DIFFNB_w = TCNB_w ∘
+    /// DIFF_w). The rewriter de-fuses such components so algebraic rules
+    /// can see through the fusion; the checker validates the claim
+    /// byte-for-byte on the adversarial corpus.
+    pub fused_of: Option<(&'static str, &'static str)>,
+    /// `encode(encode(x)) == encode(x)` for every `x`. No shipped
+    /// component is idempotent; like `inverse_of` this is plumbing for
+    /// synthetic components and the mutation harness.
+    pub idempotent: bool,
+    /// `Some(n)`: the encoder is the *identity* on every input shorter
+    /// than `n` bytes (too short to contain one complete word/tuple/
+    /// delta pair), with kernel statistics still accumulated. Lets the
+    /// rewriter absorb provable no-ops when the input-shape lattice
+    /// bounds every chunk below `n`.
+    pub noop_below: Option<usize>,
+    /// What the encoded size is a function of (reducers only; every
+    /// size-preserving component is trivially `Opaque` here).
+    pub size_determinant: SizeDeterminant,
 }
 
 impl Contract {
@@ -126,6 +178,11 @@ impl Contract {
             exact_inverse: true,
             inverse_of: None,
             commute: CommuteClass::Opaque,
+            fixes_zero: false,
+            fused_of: None,
+            idempotent: false,
+            noop_below: None,
+            size_determinant: SizeDeterminant::Opaque,
         }
         .with_commute(commute)
     }
@@ -140,6 +197,11 @@ impl Contract {
             exact_inverse: true,
             inverse_of: None,
             commute: CommuteClass::Opaque,
+            fixes_zero: false,
+            fused_of: None,
+            idempotent: false,
+            noop_below: None,
+            size_determinant: SizeDeterminant::Opaque,
         }
     }
 
@@ -157,6 +219,40 @@ impl Contract {
 
     const fn with_commute(mut self, commute: CommuteClass) -> Self {
         self.commute = commute;
+        self
+    }
+
+    /// Declare that the pointwise per-word function fixes zero
+    /// (`φ(0) = 0`). See [`Contract::fixes_zero`].
+    pub const fn with_fixes_zero(mut self) -> Self {
+        self.fixes_zero = true;
+        self
+    }
+
+    /// Declare extensional equality with `post.encode ∘ base.encode`.
+    /// See [`Contract::fused_of`].
+    pub const fn with_fused_of(mut self, base: &'static str, post: &'static str) -> Self {
+        self.fused_of = Some((base, post));
+        self
+    }
+
+    /// Declare `encode ∘ encode == encode`. See [`Contract::idempotent`].
+    pub const fn with_idempotent(mut self) -> Self {
+        self.idempotent = true;
+        self
+    }
+
+    /// Declare the encoder is the identity on inputs shorter than `n`
+    /// bytes. See [`Contract::noop_below`].
+    pub const fn with_noop_below(mut self, n: usize) -> Self {
+        self.noop_below = Some(n);
+        self
+    }
+
+    /// Declare what the encoded size is a function of. See
+    /// [`Contract::size_determinant`].
+    pub const fn with_size_determinant(mut self, d: SizeDeterminant) -> Self {
+        self.size_determinant = d;
         self
     }
 
@@ -231,6 +327,30 @@ mod tests {
         assert!(!r.commutes_with(&m));
         assert_eq!(r.size, SizeClass::Reducing);
         assert!(r.exact_inverse);
+    }
+
+    #[test]
+    fn absint_facts_default_off_and_build_const() {
+        const C: Contract =
+            Contract::preserving(ComponentKind::Mutator, 4, CommuteClass::PointwiseWordMap)
+                .with_fixes_zero()
+                .with_noop_below(4);
+        let c: Contract = C;
+        assert!(c.fixes_zero);
+        assert_eq!(c.noop_below, Some(4));
+        assert!(!c.idempotent);
+        assert_eq!(c.fused_of, None);
+        assert_eq!(c.size_determinant, SizeDeterminant::Opaque);
+
+        const R: Contract = Contract::reducer(2, ExpansionBound::affine(2, 1, 64))
+            .with_size_determinant(SizeDeterminant::ZeroPattern);
+        let r: Contract = R;
+        assert_eq!(r.size_determinant, SizeDeterminant::ZeroPattern);
+        assert!(!r.fixes_zero);
+
+        const F: Contract = Contract::preserving(ComponentKind::Predictor, 8, CommuteClass::Opaque)
+            .with_fused_of("DIFF_8", "TCMS_8");
+        assert_eq!(F.fused_of, Some(("DIFF_8", "TCMS_8")));
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod verify;
 pub use archive::{decode, decode_with_stats, encode, encode_with_stats, Archive, EncodeResult};
 pub use chunk::CHUNK_SIZE;
 pub use component::{Complexity, Component, ComponentKind, KernelVariant, SpanClass, WorkClass};
-pub use contract::{CommuteClass, Contract, ExpansionBound, SizeClass};
+pub use contract::{CommuteClass, Contract, ExpansionBound, SizeClass, SizeDeterminant};
 pub use error::{DecodeError, PipelineError};
 pub use pipeline::Pipeline;
 pub use scratch::{decode_stage, decode_stage_batch, encode_stage, encode_stage_batch, Scratch};

@@ -377,17 +377,22 @@ pub fn run_campaign_with(
     let stride = nc * nr;
     let p_total = sc.space.len();
     let c_total = configs.len();
-    let meta = journal_meta(sc, c_total, &opts.sweep, opts.prune);
     let cache_stats = CacheStats::default();
 
     // Contract-driven dedup: enumerate the provably-commuting stage
-    // pairs once, before any unit runs. With PruneMode::Off the plan is
-    // empty and the sweep is the paper's full enumeration.
+    // pairs (commute mode) or the abstract interpreter's certified
+    // equivalence classes (canonical mode) once, before any unit runs.
+    // With PruneMode::Off the plan is empty and the sweep is the
+    // paper's full enumeration. Computed before the journal meta: in
+    // canonical mode the class-map fingerprint is part of the resume
+    // fingerprint.
     let plan = PrunePlan::for_space(&sc.space, opts.prune);
+    let meta = journal_meta(sc, c_total, &opts.sweep, &plan);
     if lc_telemetry::enabled() {
         lc_telemetry::counter("campaign.analyze.commuting_pairs").add(plan.dups.len() as u64);
         lc_telemetry::counter("campaign.analyze.pruned_pipelines")
             .add(plan.pruned_pipelines(nr) as u64);
+        lc_telemetry::counter("campaign.analyze.classes").add(plan.classes as u64);
         lc_telemetry::counter("campaign.analyze.plan_us").add(plan.analysis.as_micros() as u64);
     }
 
@@ -422,6 +427,25 @@ pub fn run_campaign_with(
                     path.display(),
                     j.torn_bytes
                 );
+            }
+            // Cross-prune-mode resume gets a structured refusal naming
+            // both modes: pruned rows are journaled as zeros, so mixing
+            // modes would silently corrupt the pruned slots.
+            let j_prune = j
+                .meta
+                .get("prune")
+                .and_then(|v| v.as_str())
+                .unwrap_or(PruneMode::Off.label());
+            if j_prune != opts.prune.label() {
+                return Err(format!(
+                    "journal {} was written under prune mode \"{}\" but this campaign \
+                     uses \"{}\"; pruned rows are journaled as zeros, so resuming \
+                     across prune modes would corrupt results — rerun with the \
+                     journal's mode or start a fresh journal",
+                    path.display(),
+                    j_prune,
+                    opts.prune.label()
+                ));
             }
             if strip_informational(&j.meta) != strip_informational(&meta) {
                 return Err(format!(
@@ -744,6 +768,20 @@ pub fn run_campaign_with(
         }
     }
 
+    // Canonical mode: fill each certified class member from its class
+    // representative. The certificate (checked by lc-analyze's absint
+    // checker) guarantees identical reducer output sizes on every
+    // input, so the compressed bytes are exact; the throughput numbers
+    // are the representative's — pattern-tier members may genuinely
+    // time differently, which is the mode's documented trade-off.
+    for cd in &plan.cell_dups {
+        for c in 0..c_total {
+            enc_log[c * p_total + cd.pruned] = enc_log[c * p_total + cd.representative];
+            dec_log[c * p_total + cd.pruned] = dec_log[c * p_total + cd.representative];
+        }
+        compressed[cd.pruned] = compressed[cd.representative];
+    }
+
     let n_files = sc.files.len() as f64;
     let finish =
         |log: Vec<f64>| -> Vec<f64> { log.into_iter().map(|s| (s / n_files).exp()).collect() };
@@ -855,6 +893,16 @@ fn run_unit(
         }
         let s2_name = sc.space.components[i2].name();
         for ir in 0..nr {
+            // Canonical mode: a certified class member never executes;
+            // its cell stays zero until aggregation copies the class
+            // representative's sums in. (Commute mode skips whole rows
+            // above; the two skip sets are never both non-empty.)
+            if plan.skips_cell((i1 * nc + i2) * nr + ir) {
+                if lc_telemetry::enabled() {
+                    lc_telemetry::counter("campaign.analyze.skipped_cells").add(1);
+                }
+                continue;
+            }
             // (s1) prefix: pinned in the cache after the first pipeline.
             let e1: Arc<PrefixEntry> = match &mut cache {
                 Some(c) => c.level1(|| {
@@ -967,7 +1015,7 @@ fn run_unit(
 /// The journal fingerprint: everything that determines a unit's numeric
 /// results. Resume refuses a journal whose meta record differs —
 /// *informational* fields (see [`strip_informational`]) excepted.
-fn journal_meta(sc: &StudyConfig, c_total: usize, sweep: &SweepMode, prune: PruneMode) -> Value {
+fn journal_meta(sc: &StudyConfig, c_total: usize, sweep: &SweepMode, plan: &PrunePlan) -> Value {
     let mut meta = journal_meta_fingerprint(sc, c_total);
     if let Value::Object(fields) = &mut meta {
         // Informational: records how the sweep was executed, but does
@@ -979,8 +1027,17 @@ fn journal_meta(sc: &StudyConfig, c_total: usize, sweep: &SweepMode, prune: Prun
         // under one prune mode must not be resumed under another. Off
         // writes no field at all — a pruning-off journal is row-for-row
         // what pre-pruning versions wrote, and stays resumable as such.
-        if prune != PruneMode::Off {
-            fields.push(("prune".to_string(), Value::from(prune.label())));
+        if plan.mode != PruneMode::Off {
+            fields.push(("prune".to_string(), Value::from(plan.mode.label())));
+        }
+        // Canonical skips depend on the certified class map; its
+        // fingerprint pins the exact partition the rows were journaled
+        // under (a changed rewrite system must not resume old rows).
+        if plan.mode == PruneMode::Canonical {
+            fields.push((
+                "class_map".to_string(),
+                Value::from(format!("{:016x}", plan.class_map)),
+            ));
         }
     }
     meta
@@ -1835,7 +1892,8 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("resuming across prune modes must fail"),
         };
-        assert!(err.contains("different campaign configuration"), "{err}");
+        assert!(err.contains("prune mode \"commute\""), "{err}");
+        assert!(err.contains("uses \"off\""), "{err}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -1862,6 +1920,191 @@ mod tests {
         .unwrap();
         assert_eq!(resumed.executed_units, 0);
         assert_bitwise_equal(&first.measurements, &resumed.measurements);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Space with real canonical pruning: TCMS/TCNB are zero-fixing
+    /// pointwise bijections, so the abstract interpreter drops them
+    /// before the zero-pattern RZE reducers and swaps them past TUPL
+    /// permutations — exact- and pattern-tier certificates both fire.
+    fn canonical_config() -> StudyConfig {
+        let mut sc = StudyConfig::quick();
+        sc.space = Space::restricted_to_families(&["TCMS", "TCNB", "TUPL", "RZE"]);
+        sc.files = vec![&SP_FILES[0], &SP_FILES[10]];
+        sc
+    }
+
+    /// Canonical pruning changes nothing it didn't prove: compressed
+    /// sizes are bitwise identical to full enumeration *everywhere*
+    /// (that is the certificate's claim), non-pruned slots are bitwise
+    /// identical in throughput too, and sampled equivalence classes
+    /// really do produce identical measurements across members in the
+    /// full run.
+    #[test]
+    fn canonical_and_full_enumeration_agree() {
+        let sc = canonical_config();
+        let canonical = run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                prune: PruneMode::Canonical,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let full = run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                prune: PruneMode::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        let plan = PrunePlan::for_space(&sc.space, PruneMode::Canonical);
+        assert!(!plan.cell_dups.is_empty(), "space must actually prune");
+        assert_eq!(canonical.prune.mode, "canonical");
+        assert_eq!(canonical.prune.pruned_pipelines, plan.cell_dups.len());
+        assert_eq!(canonical.prune.classes, plan.classes);
+        assert_eq!(canonical.prune.class_map, plan.class_map);
+
+        // The certified claim: compressed sizes agree exactly at every
+        // slot, pruned or not.
+        assert_eq!(
+            canonical.measurements.compressed,
+            full.measurements.compressed
+        );
+        assert_eq!(
+            canonical.measurements.total_uncompressed,
+            full.measurements.total_uncompressed
+        );
+
+        // Non-pruned slots are untouched by the mode: bitwise-equal
+        // throughputs. Pruned slots carry the representative's numbers
+        // (verified below), not the member's own.
+        let p_total = sc.space.len();
+        let c_total = canonical.measurements.configs.len();
+        for p in 0..p_total {
+            if plan.skips_cell(p) {
+                continue;
+            }
+            for c in 0..c_total {
+                let i = c * p_total + p;
+                assert_eq!(
+                    canonical.measurements.enc[i].to_bits(),
+                    full.measurements.enc[i].to_bits(),
+                    "enc differs at non-pruned slot {p}"
+                );
+                assert_eq!(
+                    canonical.measurements.dec[i].to_bits(),
+                    full.measurements.dec[i].to_bits(),
+                    "dec differs at non-pruned slot {p}"
+                );
+            }
+        }
+
+        // Pruned slots are exact copies of their representative.
+        for cd in &plan.cell_dups {
+            assert_eq!(
+                canonical.measurements.compressed[cd.pruned],
+                canonical.measurements.compressed[cd.representative]
+            );
+            for c in 0..c_total {
+                assert_eq!(
+                    canonical.measurements.enc[c * p_total + cd.pruned].to_bits(),
+                    canonical.measurements.enc[c * p_total + cd.representative].to_bits()
+                );
+                assert_eq!(
+                    canonical.measurements.dec[c * p_total + cd.pruned].to_bits(),
+                    canonical.measurements.dec[c * p_total + cd.representative].to_bits()
+                );
+            }
+        }
+
+        // Property check on sampled equivalence classes: in the *full*
+        // (unpruned) run, every member of a class compresses to exactly
+        // the representative's sizes — the equivalence is real, not an
+        // artifact of the fill-in.
+        let mut sampled = 0usize;
+        for cd in plan.cell_dups.iter().step_by(7) {
+            assert_eq!(
+                full.measurements.compressed[cd.pruned],
+                full.measurements.compressed[cd.representative],
+                "class member {} diverges from representative {} in the full run",
+                cd.pruned,
+                cd.representative
+            );
+            sampled += 1;
+        }
+        assert!(sampled >= 10, "sampled too few classes ({sampled})");
+    }
+
+    /// A canonical campaign resumes byte-identically and its journal
+    /// meta pins the class-map fingerprint.
+    #[test]
+    fn canonical_resume_is_byte_identical() {
+        let sc = canonical_config();
+        let path = temp_journal("canonical-resume");
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            prune: PruneMode::Canonical,
+            ..Default::default()
+        };
+        let first = run_campaign_with(&sc, &opts).unwrap();
+        assert!(first.prune.pruned_pipelines > 0);
+
+        let j = journal::load(&path).unwrap();
+        assert_eq!(
+            j.meta.get("prune").and_then(|v| v.as_str()),
+            Some("canonical")
+        );
+        let plan = PrunePlan::for_space(&sc.space, PruneMode::Canonical);
+        assert_eq!(
+            j.meta.get("class_map").and_then(|v| v.as_str()),
+            Some(format!("{:016x}", plan.class_map).as_str())
+        );
+
+        let resumed = run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                resume: true,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.executed_units, 0);
+        assert_bitwise_equal(&first.measurements, &resumed.measurements);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite guarantee: a canonical journal refuses to resume under
+    /// commute mode (and names both modes in the error).
+    #[test]
+    fn canonical_journal_refuses_commute_resume() {
+        let sc = canonical_config();
+        let path = temp_journal("canonical-cross");
+        run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                journal: Some(path.clone()),
+                prune: PruneMode::Canonical,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let err = match run_campaign_with(
+            &sc,
+            &CampaignOptions {
+                journal: Some(path.clone()),
+                resume: true,
+                prune: PruneMode::Commute,
+                ..Default::default()
+            },
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("canonical journal must not resume under commute"),
+        };
+        assert!(err.contains("prune mode \"canonical\""), "{err}");
+        assert!(err.contains("uses \"commute\""), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

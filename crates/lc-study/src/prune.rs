@@ -26,9 +26,35 @@
 //! free. The win is structural, not primarily wall-clock: the campaign
 //! proves (and telemetry reports, via `campaign.analyze.*`) exactly
 //! which part of the paper's enumeration is redundant.
+//!
+//! # Canonical mode
+//!
+//! [`PruneMode::Canonical`] goes beyond pairwise commutation: it runs the
+//! abstract interpreter ([`lc_analyze::absint::classify`]) over the whole
+//! space under the ⊤ input shape, partitioning every pipeline into
+//! equivalence classes with a machine-checkable [certificate] per
+//! non-representative member. On the full registry that certifies 8,178
+//! of the 107,632 pipelines (~7.6%) as redundant — 352 at the *exact*
+//! tier (identical composed bytes, a superset relation of the commute
+//! pairs under pattern-opaque reducers) and the rest at the *pattern*
+//! tier, which guarantees identical reducer **output sizes** (hence
+//! identical compressed bytes) but not identical intermediate bytes or
+//! stage timings. A canonical-pruned slot therefore inherits its
+//! representative's throughput numbers: compression results are exact,
+//! timing is the representative's. Use it for ratio-focused studies;
+//! the default [`PruneMode::Commute`] keeps the timing claim.
+//!
+//! Because the skipped set depends on the class map, the map's
+//! [fingerprint] is journaled (`class_map` meta field) and resume
+//! refuses a journal whose fingerprint differs.
+//!
+//! [certificate]: lc_analyze::absint::Certificate
+//! [fingerprint]: lc_analyze::absint::ClassMap::fingerprint
 
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
+
+use lc_analyze::absint::{classify, RuleTable};
 
 use crate::space::Space;
 
@@ -40,6 +66,13 @@ pub enum PruneMode {
     /// representative's measurements.
     #[default]
     Commute,
+    /// Deduplicate whole equivalence classes from the abstract
+    /// interpreter's certified class map: one representative pipeline is
+    /// measured per class, members copy its numbers. Compressed sizes
+    /// are provably exact; throughput at member slots is the
+    /// representative's (pattern-tier members may genuinely time
+    /// differently).
+    Canonical,
     /// Paper-faithful full enumeration: measure every pipeline,
     /// including provably-redundant orderings.
     Off,
@@ -50,7 +83,18 @@ impl PruneMode {
     pub fn label(&self) -> &'static str {
         match self {
             PruneMode::Commute => "commute",
+            PruneMode::Canonical => "canonical",
             PruneMode::Off => "off",
+        }
+    }
+
+    /// Inverse of [`PruneMode::label`] (CLI flag parsing).
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "commute" => Some(PruneMode::Commute),
+            "canonical" => Some(PruneMode::Canonical),
+            "off" => Some(PruneMode::Off),
+            _ => None,
         }
     }
 }
@@ -67,15 +111,39 @@ pub struct StagePairDup {
     pub representative: (usize, usize),
 }
 
+/// One deduplicated pipeline *cell* (canonical mode): the pipeline at
+/// dense index `pruned` is not executed; its measurements are copied
+/// from the class representative at dense index `representative`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellDup {
+    /// Dense index of the skipped pipeline.
+    pub pruned: usize,
+    /// Dense index of the measured class representative (always lower
+    /// than `pruned` — the representative is the class minimum).
+    pub representative: usize,
+}
+
 /// The pruning decisions for one campaign, computed once up front.
 #[derive(Debug, Clone)]
 pub struct PrunePlan {
     /// The mode the plan was computed under.
     pub mode: PruneMode,
-    /// All deduplicated stage pairs (empty when [`PruneMode::Off`]).
+    /// All deduplicated stage pairs (non-empty only under
+    /// [`PruneMode::Commute`]).
     pub dups: Vec<StagePairDup>,
     /// Fast membership: the pruned `(s1, s2)` keys.
     skip: HashSet<(usize, usize)>,
+    /// All deduplicated pipeline cells (non-empty only under
+    /// [`PruneMode::Canonical`]).
+    pub cell_dups: Vec<CellDup>,
+    /// Fast membership: the pruned dense pipeline indices.
+    cell_skip: HashSet<usize>,
+    /// Equivalence classes the abstract interpreter found (canonical
+    /// mode; 0 otherwise).
+    pub classes: usize,
+    /// [`lc_analyze::absint::ClassMap::fingerprint`] of the class map
+    /// the plan was built from (canonical mode; 0 otherwise).
+    pub class_map: u64,
     /// Wall time spent computing the plan.
     pub analysis: Duration,
 }
@@ -89,24 +157,51 @@ impl PrunePlan {
         let t0 = Instant::now();
         let mut dups = Vec::new();
         let mut skip = HashSet::new();
-        if mode == PruneMode::Commute {
-            let contracts: Vec<_> = space.components.iter().map(|c| c.contract()).collect();
-            for i in 0..contracts.len() {
-                for j in i + 1..contracts.len() {
-                    if contracts[i].commutes_with(&contracts[j]) {
-                        dups.push(StagePairDup {
-                            pruned: (j, i),
-                            representative: (i, j),
-                        });
-                        skip.insert((j, i));
+        let mut cell_dups = Vec::new();
+        let mut cell_skip = HashSet::new();
+        let mut classes = 0usize;
+        let mut class_map = 0u64;
+        match mode {
+            PruneMode::Commute => {
+                let contracts: Vec<_> = space.components.iter().map(|c| c.contract()).collect();
+                for i in 0..contracts.len() {
+                    for j in i + 1..contracts.len() {
+                        if contracts[i].commutes_with(&contracts[j]) {
+                            dups.push(StagePairDup {
+                                pruned: (j, i),
+                                representative: (i, j),
+                            });
+                            skip.insert((j, i));
+                        }
                     }
                 }
             }
+            PruneMode::Canonical => {
+                // ⊤ input shape (`lengths = &[]`): the certificates hold
+                // for every chunk length the campaign can feed, and the
+                // length-bounded absorb-noop rule never fires.
+                let map = classify(&space.components, &space.reducers, &[], &RuleTable::SOUND);
+                for cert in &map.certificates {
+                    let cd = CellDup {
+                        pruned: map.index(cert.member),
+                        representative: map.index(cert.representative),
+                    };
+                    cell_skip.insert(cd.pruned);
+                    cell_dups.push(cd);
+                }
+                classes = map.classes;
+                class_map = map.fingerprint();
+            }
+            PruneMode::Off => {}
         }
         Self {
             mode,
             dups,
             skip,
+            cell_dups,
+            cell_skip,
+            classes,
+            class_map,
             analysis: t0.elapsed(),
         }
     }
@@ -116,10 +211,16 @@ impl PrunePlan {
         self.skip.contains(&(s1, s2))
     }
 
+    /// Whether the pipeline at dense index `p` is pruned as a certified
+    /// class member (canonical mode).
+    pub fn skips_cell(&self, p: usize) -> bool {
+        self.cell_skip.contains(&p)
+    }
+
     /// Number of pipelines the plan removes from a sweep over `nr`
     /// reducers.
     pub fn pruned_pipelines(&self, nr: usize) -> usize {
-        self.dups.len() * nr
+        self.dups.len() * nr + self.cell_dups.len()
     }
 
     /// Snapshot for campaign outcomes and bench reports.
@@ -128,6 +229,8 @@ impl PrunePlan {
             mode: self.mode.label(),
             commuting_pairs: self.dups.len(),
             pruned_pipelines: self.pruned_pipelines(nr),
+            classes: self.classes,
+            class_map: self.class_map,
             analysis: self.analysis,
         }
     }
@@ -140,8 +243,13 @@ pub struct PruneReport {
     pub mode: &'static str,
     /// Provably-commuting stage pairs found in the space.
     pub commuting_pairs: usize,
-    /// Pipelines deduplicated (`commuting_pairs × reducers`).
+    /// Pipelines deduplicated (`commuting_pairs × reducers` in commute
+    /// mode; certified class members in canonical mode).
     pub pruned_pipelines: usize,
+    /// Equivalence classes (canonical mode; 0 otherwise).
+    pub classes: usize,
+    /// Class-map fingerprint (canonical mode; 0 otherwise).
+    pub class_map: u64,
     /// Wall time spent computing the plan.
     pub analysis: Duration,
 }
@@ -190,5 +298,56 @@ mod tests {
         assert_eq!(r.mode, "commute");
         assert_eq!(r.commuting_pairs, 22);
         assert_eq!(r.pruned_pipelines, 616);
+        assert_eq!(r.classes, 0);
+        assert_eq!(r.class_map, 0);
+    }
+
+    #[test]
+    fn canonical_full_space_matches_the_certified_census() {
+        let space = Space::full();
+        let plan = PrunePlan::for_space(&space, PruneMode::Canonical);
+        // The absint census on the shipped registry (see lc-analyze's
+        // full_space_partition_counts): 107,632 pipelines fall into
+        // 99,454 classes, certifying 8,178 members as redundant.
+        assert_eq!(plan.classes, 99_454);
+        assert_eq!(plan.cell_dups.len(), 8_178);
+        assert_eq!(plan.pruned_pipelines(28), 8_178);
+        assert!(plan.dups.is_empty(), "canonical mode is cell-level only");
+        assert_eq!(plan.class_map, 0x8434_8d3b_115f_203d);
+        for cd in &plan.cell_dups {
+            assert!(cd.representative < cd.pruned, "rep is the class min");
+            assert!(plan.skips_cell(cd.pruned));
+            assert!(
+                !plan.skips_cell(cd.representative),
+                "a representative is never itself pruned"
+            );
+        }
+        // Canonical subsumes commutation: every commute-pruned pipeline
+        // is also a certified class member.
+        let commute = PrunePlan::for_space(&space, PruneMode::Commute);
+        let nc = space.components.len();
+        let nr = space.reducers.len();
+        for d in &commute.dups {
+            let (j, i) = d.pruned;
+            for r in 0..nr {
+                let p = (j * nc + i) * nr + r;
+                assert!(plan.skips_cell(p), "commute dup {p} not canonical-pruned");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_restricted_space_prunes_and_fingerprints() {
+        let space = Space::restricted_to_families(&["TCMS", "TCNB", "TUPL", "RZE"]);
+        let plan = PrunePlan::for_space(&space, PruneMode::Canonical);
+        assert!(!plan.cell_dups.is_empty(), "bijection drops must fire");
+        assert!(plan.classes > 0);
+        assert_ne!(plan.class_map, 0);
+        let r = plan.report(space.reducers.len());
+        assert_eq!(r.mode, "canonical");
+        assert_eq!(r.pruned_pipelines, plan.cell_dups.len());
+        // Deterministic: same space, same fingerprint.
+        let again = PrunePlan::for_space(&space, PruneMode::Canonical);
+        assert_eq!(plan.class_map, again.class_map);
     }
 }

@@ -27,6 +27,17 @@
 //!    leave a half-written file. One-shot user-named CLI outputs may
 //!    opt out with a `// durable-exempt:` comment on the same or
 //!    preceding line stating why partial output is acceptable.
+//! 5. **No `allow(unsafe_code)` escapes.** A crate-level `deny` can be
+//!    re-`allow`ed item-by-item; outside `lc-components/src/kernels/`
+//!    (and the audited allowlist crates) any `#[allow(unsafe_code)]` or
+//!    `#[cfg_attr(…, allow(unsafe_code))]` attribute is rejected, so
+//!    the confinement in (1) cannot be quietly tunneled around.
+//! 6. **Frozen dependency graph (`DEPS_FROZEN`).** The workspace is
+//!    zero-dependency by construction: every `[workspace.dependencies]`
+//!    entry must be a `path` dependency inside the repo, and every
+//!    member manifest may only reference workspace entries
+//!    (`name.workspace = true`) or path dependencies. A version,
+//!    `git`, or registry dependency anywhere fails the lint.
 //!
 //! Exit status is non-zero iff any diagnostic fires, so CI can run
 //! `cargo run -p xtask -- lint` as a gate.
@@ -74,9 +85,11 @@ fn lint() -> ExitCode {
     let mut diagnostics = Vec::new();
 
     check_forbid_unsafe(&root, &mut diagnostics);
+    check_no_allow_unsafe_escapes(&root, &mut diagnostics);
     check_no_panics_in_libraries(&root, &mut diagnostics);
     check_unique_registration(&mut diagnostics);
     check_hardened_durable_writes(&root, &mut diagnostics);
+    check_deps_frozen(&root, &mut diagnostics);
 
     if diagnostics.is_empty() {
         println!("xtask lint: clean");
@@ -157,6 +170,110 @@ fn check_unsafe_confined(
                     i + 1
                 ));
             }
+        }
+    }
+}
+
+/// The attribute text this lint hunts for, assembled so the pattern
+/// does not appear verbatim in this (scanned) file.
+fn allow_unsafe_needle() -> String {
+    format!("allow(unsafe{}", "_code)")
+}
+
+/// `UNSAFE_CONFINED` extension: a crate-level `deny(unsafe_code)` can be
+/// re-allowed per item with `#[allow(unsafe_code)]` or
+/// `#[cfg_attr(…, allow(unsafe_code))]`. Reject every such escape in
+/// non-allowlisted crates outside the audited confinement subtrees, so
+/// the unsafe budget cannot grow without editing the lint itself. Test
+/// modules are exempt (they exercise the lint's own fixtures).
+fn check_no_allow_unsafe_escapes(root: &Path, diagnostics: &mut Vec<String>) {
+    let needle = allow_unsafe_needle();
+    for crate_dir in crate_dirs(root) {
+        let name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if UNSAFE_ALLOWLIST.contains(&name.as_str()) {
+            continue;
+        }
+        let subtree = UNSAFE_CONFINED
+            .iter()
+            .find(|(c, _)| *c == name)
+            .map(|(_, s)| *s);
+        let src = crate_dir.join("src");
+        for file in rs_files(&src) {
+            if subtree.is_some_and(|s| rel(&src, &file).starts_with(s)) {
+                continue; // the audited module subtree
+            }
+            let text = fs::read_to_string(&file).unwrap_or_default();
+            for_each_non_test_line(&text, |i, line, _| {
+                let code = line.split("//").next().unwrap_or("");
+                if code.contains(&needle) {
+                    diagnostics.push(format!(
+                        "{}:{}: {} escape outside the audited unsafe subtree \
+                         (confinement is not tunnelable per-item)",
+                        rel(root, &file),
+                        i + 1,
+                        needle
+                    ));
+                }
+            });
+        }
+    }
+}
+
+/// `DEPS_FROZEN`: the workspace builds with zero registry access, and
+/// stays that way. Every `[workspace.dependencies]` entry in the root
+/// manifest must be a `path` dependency; every dependency line in a
+/// member manifest must either inherit a workspace entry
+/// (`workspace = true`) or be a `path` dependency itself. Anything that
+/// names a version, `git`, or registry source is a violation.
+fn check_deps_frozen(root: &Path, diagnostics: &mut Vec<String>) {
+    let mut manifests: Vec<PathBuf> = vec![root.join("Cargo.toml")];
+    for dir in crate_dirs(root) {
+        manifests.push(dir.join("Cargo.toml"));
+    }
+    for entry in fs::read_dir(root.join("vendor"))
+        .into_iter()
+        .flatten()
+        .flatten()
+    {
+        let m = entry.path().join("Cargo.toml");
+        if m.is_file() {
+            manifests.push(m);
+        }
+    }
+    for manifest in manifests {
+        let text = fs::read_to_string(&manifest).unwrap_or_default();
+        let mut in_deps = false;
+        for (i, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.starts_with('[') {
+                in_deps = trimmed.contains("dependencies");
+                continue;
+            }
+            if !in_deps || trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let code = trimmed.split('#').next().unwrap_or("").trim();
+            if code.is_empty() || !code.contains('=') {
+                continue;
+            }
+            if code.contains("workspace = true")
+                || code.contains("workspace=true")
+                || code.contains("path =")
+                || code.contains("path=")
+            {
+                continue;
+            }
+            diagnostics.push(format!(
+                "{}:{}: non-workspace dependency {:?} — the dependency graph is \
+                 frozen (path/workspace entries only; vendor externals under vendor/)",
+                rel(root, &manifest),
+                i + 1,
+                code.split('=').next().unwrap_or(code).trim()
+            ));
         }
     }
 }
@@ -381,10 +498,80 @@ mod tests {
         let root = workspace_root();
         let mut diagnostics = Vec::new();
         check_forbid_unsafe(&root, &mut diagnostics);
+        check_no_allow_unsafe_escapes(&root, &mut diagnostics);
         check_no_panics_in_libraries(&root, &mut diagnostics);
         check_unique_registration(&mut diagnostics);
         check_hardened_durable_writes(&root, &mut diagnostics);
+        check_deps_frozen(&root, &mut diagnostics);
         assert!(diagnostics.is_empty(), "{diagnostics:#?}");
+    }
+
+    #[test]
+    fn allow_unsafe_escapes_are_flagged_outside_the_subtree() {
+        let root = std::env::temp_dir().join("xtask-lint-allow-escape-test");
+        fs::remove_dir_all(&root).ok();
+        let src = root.join("crates").join("lc-components").join("src");
+        fs::create_dir_all(src.join("kernels")).unwrap();
+        fs::write(
+            root.join("crates").join("lc-components").join("Cargo.toml"),
+            "[package]\nname = \"lc-components\"\n",
+        )
+        .unwrap();
+        let attr = format!("#[{}]", allow_unsafe_needle());
+        let cfg_attr = format!(
+            "#[cfg_attr(target_arch = \"x86_64\", {}]",
+            allow_unsafe_needle()
+        );
+        // Inside the audited subtree: fine.
+        fs::write(
+            src.join("kernels").join("mod.rs"),
+            format!("{attr}\nmod simd;\n"),
+        )
+        .unwrap();
+        fs::write(src.join("lib.rs"), "#![deny(unsafe_code)]\n").unwrap();
+        let mut clean = Vec::new();
+        check_no_allow_unsafe_escapes(&root, &mut clean);
+        assert!(clean.is_empty(), "{clean:#?}");
+
+        // Outside: both attribute spellings are rejected.
+        fs::write(
+            src.join("lib.rs"),
+            format!("#![deny(unsafe_code)]\n{attr}\nmod escape;\n{cfg_attr}\nmod escape2;\n"),
+        )
+        .unwrap();
+        let mut diagnostics = Vec::new();
+        check_no_allow_unsafe_escapes(&root, &mut diagnostics);
+        assert_eq!(diagnostics.len(), 2, "{diagnostics:#?}");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn deps_frozen_flags_external_dependencies() {
+        let root = std::env::temp_dir().join("xtask-lint-deps-frozen-test");
+        fs::remove_dir_all(&root).ok();
+        let dir = root.join("crates").join("demo");
+        fs::create_dir_all(dir.join("src")).unwrap();
+        fs::write(
+            dir.join("Cargo.toml"),
+            "[package]\nname = \"demo\"\nversion = \"0.1.0\"\n\n[dependencies]\n\
+             lc-core.workspace = true\nlocal = { path = \"../local\" }\n",
+        )
+        .unwrap();
+        let mut clean = Vec::new();
+        check_deps_frozen(&root, &mut clean);
+        assert!(clean.is_empty(), "{clean:#?}");
+
+        fs::write(
+            dir.join("Cargo.toml"),
+            "[package]\nname = \"demo\"\n\n[dependencies]\nserde = \"1.0\"\n\n\
+             [dev-dependencies]\nleft-pad = { git = \"https://example.com/x\" }\n",
+        )
+        .unwrap();
+        let mut diagnostics = Vec::new();
+        check_deps_frozen(&root, &mut diagnostics);
+        assert_eq!(diagnostics.len(), 2, "{diagnostics:#?}");
+        assert!(diagnostics[0].contains("serde"), "{diagnostics:#?}");
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]
