@@ -16,7 +16,8 @@ use lc_data::{Scale, SP_FILES};
 use lc_json::Value;
 use lc_parallel::Pool;
 use lc_study::{
-    run_campaign_with, CampaignOptions, PruneMode, PrunePlan, Space, StudyConfig, SweepMode,
+    merge_shards, report, run_campaign_with, CampaignOptions, PruneMode, PrunePlan, ShardSpec,
+    Space, StudyConfig, SweepMode,
 };
 
 const PIPELINE: &str = "DBEFS_4 DIFF_4 RZE_4";
@@ -287,6 +288,61 @@ fn main() {
         canonical_s * 1e3,
     );
 
+    // 7. Sharded execution: the same tiny campaign as 4 sequential
+    //    in-process shards (journaled, with dataset digests), then a
+    //    merge and a resume from the merged journal. `identical` checks
+    //    the fused measurements are bit-for-bit the single-process
+    //    run's; the wall times track per-shard overhead (journal
+    //    appends + input digests) and merge cost, and the full-space
+    //    extrapolation is the headline the sharding exists for: what
+    //    the whole 107,632-pipeline space costs at this units/s.
+    let shard_dir = std::env::temp_dir().join(format!("lc-bench-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&shard_dir);
+    std::fs::create_dir_all(&shard_dir).expect("create shard scratch dir");
+    let shard_n = 4;
+    let mut shard_walls = Vec::new();
+    for index in 0..shard_n {
+        let spec = ShardSpec {
+            index,
+            count: shard_n,
+        };
+        let opts = CampaignOptions {
+            journal: Some(shard_dir.join(spec.journal_file())),
+            shard: Some(spec),
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        run_campaign_with(&sc, &opts).expect("shard campaign failed");
+        shard_walls.push(t0.elapsed().as_secs_f64());
+    }
+    let shard_total_s: f64 = shard_walls.iter().sum();
+    let shard_max_s = shard_walls.iter().copied().fold(0.0, f64::max);
+    let merged_path = shard_dir.join("journal.jsonl");
+    let t0 = Instant::now();
+    let merge_report = merge_shards(&shard_dir, &merged_path).expect("merge failed");
+    let merge_s = t0.elapsed().as_secs_f64();
+    let fused = run_campaign_with(
+        &sc,
+        &CampaignOptions {
+            journal: Some(merged_path),
+            resume: true,
+            ..Default::default()
+        },
+    )
+    .expect("resume from merged journal failed");
+    let identical = fused.executed_units == 0
+        && report::to_json(&m, &[]) == report::to_json(&fused.measurements, &[]);
+    let _ = std::fs::remove_dir_all(&shard_dir);
+    let full_units = sc.files.len() * full.components.len();
+    let full_space_est_s = full_units as f64 * (shard_total_s / units as f64);
+    eprintln!(
+        "shard: {shard_n} shards in {shard_total_s:.2}s (max {shard_max_s:.2}s), merge {:.1} ms, \
+         {} units fused, identical={identical}; full space (~{full_units} units) \u{2248} {:.0}s at this rate",
+        merge_s * 1e3,
+        merge_report.units,
+        full_space_est_s,
+    );
+
     let snapshot = Value::object([
         ("schema", Value::from("lc-bench-campaign/v3")),
         (
@@ -375,6 +431,23 @@ fn main() {
                     "canonical_class_map",
                     Value::from(format!("{:016x}", canonical.class_map).as_str()),
                 ),
+            ]),
+        ),
+        (
+            "shard",
+            Value::object([
+                ("shards", Value::from(shard_n as u64)),
+                ("wall_s", Value::from(shard_total_s)),
+                ("max_shard_s", Value::from(shard_max_s)),
+                ("merge_ms", Value::from(merge_s * 1e3)),
+                ("merged_units", Value::from(merge_report.units as u64)),
+                ("identical", Value::from(identical)),
+                (
+                    "overhead_vs_single",
+                    Value::from(shard_total_s / campaign_s),
+                ),
+                ("full_space_units", Value::from(full_units as u64)),
+                ("full_space_est_s", Value::from(full_space_est_s)),
             ]),
         ),
     ]);

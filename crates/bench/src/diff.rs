@@ -113,6 +113,22 @@ pub const CAMPAIGN_METRICS: &[MetricSpec] = &[
         direction: Direction::LowerIsBetter,
         gate: false,
     },
+    // Sharded-execution path: total wall across the 4 sequential
+    // in-process shards and the journal-merge cost. Warn-only — shard
+    // wall is campaign wall plus journal/digest overhead, all of it
+    // dominated by scheduler noise at tiny scale — but a sustained
+    // drift here is the first sign the sharded full-space path got
+    // more expensive.
+    MetricSpec {
+        path: "shard.wall_s",
+        direction: Direction::LowerIsBetter,
+        gate: false,
+    },
+    MetricSpec {
+        path: "shard.merge_ms",
+        direction: Direction::LowerIsBetter,
+        gate: false,
+    },
 ];
 
 /// The gated metric set for `BENCH_serve.json`.
@@ -434,7 +450,8 @@ mod tests {
                            "bit_1":{"enc_mb_s":1500.0},
                            "rle_4":{"enc_mb_s":1800.0}},
                 "telemetry":{"enabled_overhead_pct":13.1},
-                "analyze":{"canonicalize_ms":222.2}}"#,
+                "analyze":{"canonicalize_ms":222.2},
+                "shard":{"wall_s":1.9,"merge_ms":3.2}}"#,
         )
         .unwrap();
         let out = compare(&v, &v, CAMPAIGN_METRICS, Thresholds::default());

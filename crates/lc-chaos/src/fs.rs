@@ -146,7 +146,9 @@ fn chaos_write(file: &mut File, buf: &[u8]) -> io::Result<usize> {
             file.write_all(&buf[..n])?;
             Err(crash_error())
         }
-        Some(FaultKind::FsyncFail) => file.write(buf), // wrong site; ignore
+        // Wrong-site kinds; ignore. Kill only ever fires at
+        // Site::UnitBoundary via `kill_requested`.
+        Some(FaultKind::FsyncFail) | Some(FaultKind::Kill) => file.write(buf),
     }
 }
 
@@ -389,7 +391,15 @@ impl LockFile {
     /// Claim `dir` for this process, or fail with a descriptive error if
     /// a live campaign already holds it.
     pub fn acquire(dir: &Path) -> io::Result<Self> {
-        let path = dir.join(Self::NAME);
+        Self::acquire_named(dir, Self::NAME)
+    }
+
+    /// Claim `dir` under a caller-chosen lock name. Shard campaigns use
+    /// `.campaign.lock.K-of-N` so N shards sharing one output directory
+    /// contend only with their own previous incarnation, never with
+    /// siblings; stale-pid reclaim works per lock file.
+    pub fn acquire_named(dir: &Path, name: &str) -> io::Result<Self> {
+        let path = dir.join(name);
         for _ in 0..2 {
             match OpenOptions::new().write(true).create_new(true).open(&path) {
                 Ok(mut f) => {
@@ -400,8 +410,9 @@ impl LockFile {
                     match holder_pid(&path) {
                         Some(pid) if pid_alive(pid) => {
                             return Err(io::Error::other(format!(
-                                "output directory {} is locked by a running campaign (pid {pid}); \
-                                 use a different --out or wait for it to finish",
+                                "output directory {} is locked by a running campaign \
+                                 (pid {pid}, {name}); use a different --out or wait for it \
+                                 to finish",
                                 dir.display()
                             )));
                         }

@@ -79,6 +79,11 @@ pub enum FaultKind {
     AllocDeny,
     /// Sleep briefly (worker-schedule perturbation).
     Stall,
+    /// Kill the process (SIGKILL) at a work-unit boundary. The chaos
+    /// layer only *schedules* the kill ([`kill_requested`]); the caller
+    /// performs it (`lc_parallel::raise_sigkill`), because this crate
+    /// forbids `unsafe` and a raw signal raise needs one.
+    Kill,
 }
 
 /// Instrumented call sites. Each site draws independently from the plan,
@@ -101,6 +106,12 @@ pub enum Site {
     NetRead,
     /// A `write` on a live socket (`lc-serve` response path).
     NetWrite,
+    /// A campaign work-unit boundary (the unit just finished and its
+    /// journal record was appended). The one fault this site carries is
+    /// [`FaultKind::Kill`] — a seeded SIGKILL, the process-level
+    /// analogue of [`FaultKind::TornCrash`], used to soak the shard
+    /// supervisor the same way torn writes soak the journal layer.
+    UnitBoundary,
 }
 
 impl Site {
@@ -114,6 +125,7 @@ impl Site {
             Site::Worker => 0xC0DE_0006,
             Site::NetRead => 0xC0DE_0007,
             Site::NetWrite => 0xC0DE_0008,
+            Site::UnitBoundary => 0xC0DE_0009,
         }
     }
 }
@@ -133,6 +145,7 @@ pub struct FaultPlan {
     worker_permille: u64,
     net_read_permille: u64,
     net_write_permille: u64,
+    unit_permille: u64,
 }
 
 impl FaultPlan {
@@ -151,6 +164,7 @@ impl FaultPlan {
             worker_permille: 20,
             net_read_permille: 0,
             net_write_permille: 0,
+            unit_permille: 0,
         }
     }
 
@@ -172,6 +186,7 @@ impl FaultPlan {
             worker_permille: 25,
             net_read_permille: 70,
             net_write_permille: 70,
+            unit_permille: 0,
         }
     }
 
@@ -189,6 +204,28 @@ impl FaultPlan {
             worker_permille: 0,
             net_read_permille: 0,
             net_write_permille: 0,
+            unit_permille: 0,
+        }
+    }
+
+    /// The supervisor-soak mix: a seeded SIGKILL at ~15% of work-unit
+    /// boundaries and nothing else. The I/O sites stay clean because
+    /// the fault under test is process death itself — every kill lands
+    /// *after* a completed unit's journal append, so a correct
+    /// supervisor + resume pair must converge with no lost or
+    /// duplicated units.
+    pub fn kill(seed: u64) -> Self {
+        Self {
+            seed,
+            write_permille: 0,
+            sync_permille: 0,
+            create_permille: 0,
+            rename_permille: 0,
+            alloc_permille: 0,
+            worker_permille: 0,
+            net_read_permille: 0,
+            net_write_permille: 0,
+            unit_permille: 150,
         }
     }
 
@@ -213,6 +250,7 @@ impl FaultPlan {
             Site::Worker => self.worker_permille,
             Site::NetRead => self.net_read_permille,
             Site::NetWrite => self.net_write_permille,
+            Site::UnitBoundary => self.unit_permille,
         };
         if rate == 0 {
             return None;
@@ -271,6 +309,7 @@ impl FaultPlan {
                     FaultKind::TornCrash
                 }
             }
+            Site::UnitBoundary => FaultKind::Kill,
         })
     }
 }
@@ -298,6 +337,8 @@ pub struct InjectionReport {
     pub alloc_denials: u64,
     /// Worker stalls.
     pub stalls: u64,
+    /// Scheduled process kills (unit-boundary SIGKILLs).
+    pub kills: u64,
 }
 
 impl InjectionReport {
@@ -310,6 +351,7 @@ impl InjectionReport {
             + self.fsync_failures
             + self.alloc_denials
             + self.stalls
+            + self.kills
     }
 }
 
@@ -321,6 +363,7 @@ static N_TORN: AtomicU64 = AtomicU64::new(0);
 static N_FSYNC: AtomicU64 = AtomicU64::new(0);
 static N_ALLOC: AtomicU64 = AtomicU64::new(0);
 static N_STALL: AtomicU64 = AtomicU64::new(0);
+static N_KILL: AtomicU64 = AtomicU64::new(0);
 
 fn count(kind: FaultKind) {
     let c = match kind {
@@ -331,6 +374,7 @@ fn count(kind: FaultKind) {
         FaultKind::FsyncFail => &N_FSYNC,
         FaultKind::AllocDeny => &N_ALLOC,
         FaultKind::Stall => &N_STALL,
+        FaultKind::Kill => &N_KILL,
     };
     c.fetch_add(1, Ordering::Relaxed);
 }
@@ -346,12 +390,13 @@ pub fn report() -> InjectionReport {
         fsync_failures: N_FSYNC.load(Ordering::Relaxed),
         alloc_denials: N_ALLOC.load(Ordering::Relaxed),
         stalls: N_STALL.load(Ordering::Relaxed),
+        kills: N_KILL.load(Ordering::Relaxed),
     }
 }
 
 fn reset_counters() {
     for c in [
-        &CONSULTS, &N_EINTR, &N_SHORT, &N_ENOSPC, &N_TORN, &N_FSYNC, &N_ALLOC, &N_STALL,
+        &CONSULTS, &N_EINTR, &N_SHORT, &N_ENOSPC, &N_TORN, &N_FSYNC, &N_ALLOC, &N_STALL, &N_KILL,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -416,6 +461,16 @@ pub fn fault_at(site: Site) -> Option<FaultKind> {
 /// with no plan installed.
 pub fn alloc_allowed(_bytes: u64) -> bool {
     !matches!(fault_at(Site::Alloc), Some(FaultKind::AllocDeny))
+}
+
+/// Process-kill gate, consulted by the campaign executor at each
+/// work-unit boundary (after the unit's journal append). `true` means
+/// the installed plan schedules a SIGKILL here; the caller must then
+/// actually die (`lc_parallel::raise_sigkill`) — everything journaled
+/// so far survives, everything else is the supervisor's problem.
+/// Always `false` with no plan installed (one relaxed load).
+pub fn kill_requested() -> bool {
+    matches!(fault_at(Site::UnitBoundary), Some(FaultKind::Kill))
 }
 
 /// Worker-schedule perturbation point: sleeps ~1 ms when the plan says
@@ -509,6 +564,7 @@ mod tests {
                 Site::Worker,
                 Site::NetRead,
                 Site::NetWrite,
+                Site::UnitBoundary,
             ] {
                 match p.decide(site, op) {
                     None | Some(FaultKind::Eintr) | Some(FaultKind::ShortWrite) => {}

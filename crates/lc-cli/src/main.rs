@@ -15,6 +15,7 @@
 //!               [--max-decoded-bytes N] [--drain-deadline-ms N] [--chaos-seed N]
 //!               [--flight-recorder-dump PATH]
 //! lc report     --metrics PATH [--top N]           ranked per-kernel cost centers
+//! lc shards     DIR                                inspect a sharded campaign's journals
 //! ```
 //!
 //! Failures print a single structured line, `error: kind=<kind>
@@ -135,6 +136,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "serve" => cmd_serve(rest),
         "report" => cmd_report(rest),
+        "shards" => cmd_shards(rest),
         "--help" | "-h" | "help" => {
             println!(
                 "lc — LC compression framework reproduction\n\
@@ -154,7 +156,9 @@ fn main() -> ExitCode {
                  serve      [--addr HOST:PORT] [--threads N] [--queue N] [--mem-budget-mb N]\n             \
                  [--max-decoded-bytes N] [--drain-deadline-ms N] [--chaos-seed N]\n             \
                  [--flight-recorder-dump PATH]\n  \
-                 report     --metrics PATH [--top N]  ranked per-kernel cost centers\n\
+                 report     --metrics PATH [--top N]  ranked per-kernel cost centers\n  \
+                 shards     DIR                   per-shard progress and merge readiness of a\n             \
+                 sharded reproduce campaign (journal.K-of-N.jsonl files)\n\
                  aliases: pack = compress, unpack = decompress\n\
                  telemetry: any subcommand takes --trace-out PATH (Chrome trace JSON)\n\
                  and --metrics-out PATH (counter/histogram summary JSON)\n\
@@ -988,6 +992,136 @@ fn cmd_report(rest: &[String]) -> Result<(), CliError> {
             "… {} more cost center(s); raise --top to see them",
             rows.len() - top
         );
+    }
+    Ok(())
+}
+
+/// `lc shards DIR` — operator view of a sharded campaign: per-shard
+/// progress (units done / owned), quarantines, torn-tail bytes, live
+/// or stale per-shard locks, and whether the set is ready to
+/// `reproduce --merge`. Deliberately tolerant of partial sets — this
+/// is the command you run *while* shards are still executing — so it
+/// scans journal names itself rather than using the strict
+/// complete-set discovery the merge uses.
+fn cmd_shards(rest: &[String]) -> Result<(), CliError> {
+    let dir = rest.iter().find(|a| !a.starts_with("--")).ok_or(
+        "usage: lc shards DIR  (a reproduce --out directory with journal.K-of-N.jsonl files)",
+    )?;
+    let dir = std::path::Path::new(dir);
+    let shards_err = |msg: String| CliError {
+        kind: "shards",
+        exit: EXIT_GENERIC,
+        msg,
+    };
+
+    // Tolerant scan: every canonically-named shard journal, sorted.
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| shards_err(format!("cannot read {}: {e}", dir.display())))?;
+    let mut found: Vec<lc_study::ShardSpec> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let spec = name
+            .strip_prefix("journal.")
+            .and_then(|n| n.strip_suffix(".jsonl"))
+            .and_then(|mid| mid.split_once("-of-"))
+            .and_then(|(k, n)| lc_study::ShardSpec::parse(&format!("{k}/{n}")).ok());
+        // Round-trip guard mirrors the merge: a zero-padded or
+        // otherwise non-canonical spelling is not a shard journal.
+        if let Some(spec) = spec.filter(|s| s.journal_file() == name) {
+            found.push(spec);
+        }
+    }
+    if found.is_empty() {
+        return Err(shards_err(format!(
+            "no shard journals (journal.K-of-N.jsonl) in {} — run reproduce --shard K/N \
+             or --supervise N with --out pointing here",
+            dir.display()
+        )));
+    }
+    found.sort_by_key(|s| s.index);
+    let n = found[0].count;
+    let consistent = found.iter().all(|s| s.count == n);
+
+    println!(
+        "{:<8} {:>11} {:>11} {:>10} {:>6} {:<10}",
+        "shard", "units", "quarantined", "torn", "prune", "lock"
+    );
+    let mut complete = consistent;
+    for spec in &found {
+        let j = lc_study::journal::load(&dir.join(spec.journal_file()))
+            .map_err(|e| shards_err(format!("shard {}: {e}", spec.label())))?;
+        // Owned-unit count from the journal's own meta: files × stage-1
+        // components, round-robin over global unit index.
+        let nc = j.meta.get("space").and_then(|v| v.as_str()).map_or(0, |s| {
+            s.split('|')
+                .next()
+                .unwrap_or("")
+                .split(',')
+                .filter(|c| !c.is_empty())
+                .count()
+        });
+        let files = j
+            .meta
+            .get("files")
+            .and_then(|v| v.as_array())
+            .map_or(0, <[lc_json::Value]>::len);
+        let owned = (0..files * nc).filter(|&u| spec.owns(u)).count();
+        let done = j.units.len();
+        if done < owned || j.torn_bytes > 0 {
+            complete = false;
+        }
+        let prune = j
+            .meta
+            .get("prune")
+            .and_then(|v| v.as_str())
+            .unwrap_or("off");
+        let lock_path = dir.join(spec.lock_name());
+        let lock = match std::fs::read_to_string(&lock_path) {
+            Err(_) => "-".to_string(),
+            Ok(body) => {
+                let pid = body.trim().parse::<u32>().ok();
+                let alive =
+                    pid.is_some_and(|p| std::path::Path::new(&format!("/proc/{p}")).exists());
+                match (pid, alive) {
+                    (Some(p), true) => format!("pid {p}"),
+                    (Some(p), false) => format!("stale ({p})"),
+                    (None, _) => "unreadable".to_string(),
+                }
+            }
+        };
+        println!(
+            "{:<8} {:>5}/{:<5} {:>11} {:>10} {:>6} {:<10}",
+            spec.label(),
+            done,
+            owned,
+            j.quarantined.len(),
+            j.torn_bytes,
+            prune,
+            lock
+        );
+    }
+    if !consistent {
+        println!(
+            "not mergeable: mixed shard counts in one directory (merge one campaign at a time)"
+        );
+    } else if found.len() < n {
+        let present: std::collections::BTreeSet<usize> = found.iter().map(|s| s.index).collect();
+        let missing: Vec<String> = (0..n)
+            .filter(|i| !present.contains(i))
+            .map(|i| format!("{}-of-{n}", i + 1))
+            .collect();
+        println!(
+            "not mergeable yet: missing shard journal(s) {}",
+            missing.join(", ")
+        );
+    } else if !complete {
+        println!(
+            "all {n} shard journals present but units are still pending (or a torn tail \
+             needs a --resume pass); re-run the pending shards, then reproduce --merge"
+        );
+    } else {
+        println!("all {n} shards complete — ready for reproduce --merge");
     }
     Ok(())
 }

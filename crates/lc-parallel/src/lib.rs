@@ -37,6 +37,38 @@ pub fn default_threads() -> usize {
         .clamp(1, 32)
 }
 
+/// Deliver `SIGKILL` to the current process and never return.
+///
+/// This is the muscle behind `lc-chaos`'s `Site::UnitBoundary` kill
+/// fault: the chaos crate (which forbids `unsafe`) only *schedules* the
+/// kill; the campaign executor calls this to actually die. SIGKILL
+/// cannot be caught or blocked, so the process ends exactly as if an
+/// external `kill -9` had struck — no destructors, no atexit, no
+/// buffered-write flushes. On non-unix targets it degrades to
+/// `abort()`, which has the same "no cleanup runs" property.
+#[cfg(unix)]
+pub fn raise_sigkill() -> ! {
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+    loop {
+        // SAFETY: `raise(2)` is async-signal-safe and takes no pointers;
+        // SIGKILL (9) is a valid signal number. The loop guards against
+        // the (theoretical) window between raise returning and delivery.
+        unsafe {
+            raise(9);
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Non-unix fallback: abort. Same contract — the process dies without
+/// running any cleanup.
+#[cfg(not(unix))]
+pub fn raise_sigkill() -> ! {
+    std::process::abort()
+}
+
 /// Extract a human-readable message from a `catch_unwind` payload.
 ///
 /// Panic payloads are `&str` for `panic!("literal")` and `String` for

@@ -52,6 +52,22 @@
 //! registry; compressed sizes exact, member throughputs inherited from
 //! the class representative); `--no-analyze-prune` (alias
 //! `--prune off`) restores the paper's full enumeration.
+//!
+//! Sharded execution: `--shard K/N` runs only the work units shard K
+//! owns (deterministic round-robin partition), journaling to
+//! `journal.K-of-N.jsonl` under its own `.campaign.lock.K-of-N`, and
+//! produces no figures — shards are meaningful only merged.
+//! `--supervise N [--workers M]` spawns the N shards as subprocesses,
+//! retries crashed shards with bounded deterministic backoff (resume
+//! continues from the shard journal), quarantines a shard that fails
+//! more than `--max-shard-retries` times (exit 5) instead of failing
+//! the campaign, then merges and finishes the run in-process.
+//! `--merge` fuses an existing complete shard set into `journal.jsonl`
+//! and completes the campaign from it; the result is byte-identical to
+//! the single-process run. `--chaos-kill SEED` arms the lc-chaos
+//! unit-boundary SIGKILL site (in shard children the supervisor derives
+//! a distinct sub-seed per shard and attempt) — the soak harness for
+//! the supervisor itself.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -62,8 +78,8 @@ use lc_chaos::fs::{atomic_write, LockFile, SyncPolicy};
 use lc_data::Scale;
 use lc_parallel::CancelToken;
 use lc_study::{
-    figures, report, run_campaign_with, CampaignOptions, FigId, PruneMode, Space, StudyConfig,
-    SweepMode,
+    figures, report, run_campaign_with, shard, supervise, CampaignOptions, FigId, PruneMode,
+    ShardSpec, Space, StudyConfig, SweepMode,
 };
 
 /// Exit code when work units were quarantined (run completed, but some
@@ -95,6 +111,12 @@ struct Args {
     prune: PruneMode,
     fsync: SyncPolicy,
     mem_budget_mb: Option<usize>,
+    shard: Option<ShardSpec>,
+    supervise: Option<usize>,
+    workers: Option<usize>,
+    max_shard_retries: u32,
+    chaos_kill: Option<u64>,
+    merge: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -119,6 +141,12 @@ fn parse_args() -> Result<Args, String> {
         prune: PruneMode::default(),
         fsync: SyncPolicy::default(),
         mem_budget_mb: None,
+        shard: None,
+        supervise: None,
+        workers: None,
+        max_shard_retries: 3,
+        chaos_kill: None,
+        merge: false,
     };
     // Heartbeat defaults on for interactive runs; --quiet suppresses it,
     // --heartbeat forces it (e.g. for log-captured batch runs).
@@ -217,6 +245,44 @@ fn parse_args() -> Result<Args, String> {
                     format!("--prune: unknown mode {v:?} (commute|canonical|off)")
                 })?;
             }
+            "--shard" => {
+                let v = value("--shard")?;
+                args.shard = Some(ShardSpec::parse(&v).map_err(|e| format!("--shard: {e}"))?);
+            }
+            "--supervise" => {
+                let n: usize = value("--supervise")?
+                    .parse()
+                    .map_err(|e| format!("--supervise: {e}"))?;
+                if n == 0 || n > shard::MAX_SHARDS {
+                    return Err(format!(
+                        "--supervise: shard count must be 1..={}",
+                        shard::MAX_SHARDS
+                    ));
+                }
+                args.supervise = Some(n);
+            }
+            "--workers" => {
+                let m: usize = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if m == 0 {
+                    return Err("--workers must be positive".into());
+                }
+                args.workers = Some(m);
+            }
+            "--max-shard-retries" => {
+                args.max_shard_retries = value("--max-shard-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-shard-retries: {e}"))?;
+            }
+            "--chaos-kill" => {
+                args.chaos_kill = Some(
+                    value("--chaos-kill")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-kill: {e}"))?,
+                );
+            }
+            "--merge" => args.merge = true,
             "--unit-deadline" => {
                 let secs: u64 = value("--unit-deadline")?
                     .parse()
@@ -233,12 +299,23 @@ fn parse_args() -> Result<Args, String> {
                      [--resume] [--unit-deadline SECS] [--heartbeat SECS] [--quiet] \
                      [--telemetry-dir DIR] [--prefix-cache-mb MB] [--no-prefix-cache] \
                      [--prune commute|canonical|off] [--no-analyze-prune] \
-                     [--fsync never|checkpoint|always] [--mem-budget-mb MB]"
+                     [--fsync never|checkpoint|always] [--mem-budget-mb MB] \
+                     [--shard K/N] [--supervise N [--workers M] [--max-shard-retries R]] \
+                     [--merge] [--chaos-kill SEED]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
+    }
+    if args.shard.is_some() && (args.supervise.is_some() || args.merge) {
+        return Err("--shard runs one shard; it cannot combine with --supervise or --merge".into());
+    }
+    if args.supervise.is_some() && args.merge {
+        return Err("--supervise merges automatically; drop --merge".into());
+    }
+    if args.workers.is_some() && args.supervise.is_none() {
+        return Err("--workers only applies with --supervise N".into());
     }
     args.heartbeat = match (args.quiet, heartbeat_flag) {
         (true, _) => None,
@@ -254,13 +331,23 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    // Arm the unit-boundary SIGKILL site for processes that actually run
+    // work units. The supervisor never installs it in-process: it hands
+    // each shard launch a derived sub-seed instead, so the post-merge
+    // finishing run cannot be killed by its own soak harness.
+    if let Some(seed) = args.chaos_kill {
+        if args.supervise.is_none() && !args.merge {
+            std::mem::forget(lc_chaos::install(lc_chaos::FaultPlan::kill(seed)));
+        }
+    }
 
     let space = match &args.families {
         None => Space::full(),
@@ -323,13 +410,24 @@ fn main() -> ExitCode {
     // Always-on black box: armed for the whole campaign regardless of
     // --telemetry-dir, dumped to the output directory on the abnormal
     // exit paths (panic, interrupt, quarantine) where the last recorded
-    // events are exactly what a post-mortem needs.
-    let flight_path = args.out.join("flight.jsonl");
+    // events are exactly what a post-mortem needs. Shard children get
+    // their own file so N shards never clobber one black box.
+    let flight_path = match &args.shard {
+        Some(spec) => args.out.join(format!("flight.{}.jsonl", spec.label())),
+        None => args.out.join("flight.jsonl"),
+    };
     lc_telemetry::flight::arm(0);
     lc_telemetry::flight::dump_on_panic(flight_path.clone());
     // Held until process exit: a second campaign on the same output
     // directory would interleave journal appends and corrupt state.
-    let _lock = match LockFile::acquire(&args.out) {
+    // A shard child locks only its own shard identity, so N shards
+    // sharing one output directory never false-conflict (the supervisor
+    // holds the whole-campaign lock around them).
+    let _lock = match &args.shard {
+        Some(spec) => LockFile::acquire_named(&args.out, &spec.lock_name()),
+        None => LockFile::acquire(&args.out),
+    };
+    let _lock = match _lock {
         Ok(l) => l,
         Err(e) => {
             eprintln!("error: kind=lock exit=1 {e}");
@@ -343,9 +441,52 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Supervised mode: run the N shards as subprocesses, then fall
+    // through to the single-process path which resumes from the merged
+    // journal (recomputing nothing) and writes all artifacts.
+    if let Some(n) = args.supervise {
+        match run_supervised(&args, n, &cancel) {
+            Ok(()) => args.resume = true,
+            Err(code) => {
+                if code == ExitCode::from(EXIT_INTERRUPTED) {
+                    dump_flight(&flight_path, args.quiet);
+                }
+                return code;
+            }
+        }
+    } else if args.merge {
+        let merged = args.out.join("journal.jsonl");
+        match shard::merge_shards(&args.out, &merged) {
+            Ok(rep) => {
+                if !args.quiet {
+                    eprintln!(
+                        "merge: fused {} shard journals into {} ({} units, {} quarantined, \
+                         {} torn bytes dropped)",
+                        rep.shards,
+                        merged.display(),
+                        rep.units,
+                        rep.quarantined,
+                        rep.torn_bytes
+                    );
+                }
+                args.resume = true;
+            }
+            Err(e) => {
+                eprintln!("error: kind=merge exit=1 {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let args = args; // mode dispatch done; immutable from here on
+
     let t0 = Instant::now();
+    let journal_path = match &args.shard {
+        Some(spec) => args.out.join(spec.journal_file()),
+        None => args.out.join("journal.jsonl"),
+    };
     let opts = CampaignOptions {
-        journal: Some(args.out.join("journal.jsonl")),
+        journal: Some(journal_path),
         resume: args.resume,
         unit_deadline: args.unit_deadline,
         isolate: true,
@@ -355,6 +496,7 @@ fn main() -> ExitCode {
         fsync: args.fsync,
         mem_budget_mb: args.mem_budget_mb,
         cancel: Some(cancel.clone()),
+        shard: args.shard,
     };
     let outcome = match run_campaign_with(&sc, &opts) {
         Ok(o) => o,
@@ -371,6 +513,31 @@ fn main() -> ExitCode {
             outcome.executed_units + outcome.resumed_units
         );
         return ExitCode::from(EXIT_INTERRUPTED);
+    }
+    // A shard child's job ends at its journal: figures, run.json, and
+    // EXPERIMENTS.md only make sense for the merged whole.
+    if let Some(spec) = &args.shard {
+        if !args.quiet {
+            eprintln!(
+                "shard {}: done in {:.1}s ({} units executed, {} resumed, {} quarantined)",
+                spec.label(),
+                t0.elapsed().as_secs_f64(),
+                outcome.executed_units,
+                outcome.resumed_units,
+                outcome.quarantined.len()
+            );
+        }
+        if !outcome.quarantined.is_empty() {
+            dump_flight(&flight_path, args.quiet);
+            eprintln!(
+                "error: kind=quarantine exit={EXIT_QUARANTINE} shard {} quarantined {} work \
+                 unit(s); their records are in the shard journal",
+                spec.label(),
+                outcome.quarantined.len()
+            );
+            return ExitCode::from(EXIT_QUARANTINE);
+        }
+        return ExitCode::SUCCESS;
     }
     let m = outcome.measurements;
     if !args.quiet {
@@ -581,6 +748,159 @@ fn main() -> ExitCode {
         return ExitCode::from(EXIT_QUARANTINE);
     }
     ExitCode::SUCCESS
+}
+
+/// Run the N shard subprocesses under the crash supervisor. `Ok(())`
+/// means every shard completed (unit-level quarantines included — they
+/// surface through the merged journal) and the merged `journal.jsonl`
+/// is in place; the caller finishes the campaign by resuming from it.
+fn run_supervised(args: &Args, n: usize, cancel: &CancelToken) -> Result<(), ExitCode> {
+    let exe = std::env::current_exe().map_err(|e| {
+        eprintln!("error: kind=supervise exit=1 cannot locate own binary: {e}");
+        ExitCode::FAILURE
+    })?;
+    let workers = args.workers.unwrap_or_else(|| n.min(4));
+    if !args.quiet {
+        eprintln!(
+            "supervise: {n} shards, {workers} concurrent, {} retries per shard",
+            args.max_shard_retries
+        );
+    }
+    let command_for = |spec: &ShardSpec, attempt: u32| {
+        let mut c = std::process::Command::new(&exe);
+        c.arg("--shard").arg(spec.meta_label());
+        // Resume unconditionally: attempt > 0 continues the crashed
+        // run's journal, attempt 0 picks up a pre-existing one (e.g. a
+        // supervisor that was itself killed and relaunched).
+        c.arg("--resume");
+        // Everything fingerprint-relevant must match across shards and
+        // the finishing run, or resume/merge will (correctly) refuse.
+        c.arg("--figure").arg(figure_list(&args.figures));
+        c.arg("--scale").arg(args.scale.to_string());
+        c.arg("--threads").arg(args.threads.to_string());
+        if let Some(fams) = &args.families {
+            c.arg("--families").arg(fams.join(","));
+        }
+        if let Some(files) = &args.files {
+            c.arg("--files").arg(files.join(","));
+        }
+        if args.verify {
+            c.arg("--verify");
+        }
+        c.arg("--out").arg(&args.out);
+        c.arg("--prune").arg(args.prune.label());
+        c.arg("--fsync").arg(args.fsync.label());
+        match args.sweep {
+            SweepMode::Memoized { cache_mb } => {
+                c.arg("--prefix-cache-mb").arg(cache_mb.to_string());
+            }
+            SweepMode::Naive => {
+                c.arg("--no-prefix-cache");
+            }
+        }
+        if let Some(d) = args.unit_deadline {
+            c.arg("--unit-deadline").arg(d.as_secs().to_string());
+        }
+        if let Some(mb) = args.mem_budget_mb {
+            c.arg("--mem-budget-mb").arg(mb.to_string());
+        }
+        c.arg("--quiet");
+        // Soak mode: each (shard, attempt) gets a distinct derived
+        // seed, so a relaunch is not doomed to die at the same unit
+        // boundary and the retry loop demonstrably converges.
+        if let Some(base) = args.chaos_kill {
+            let sub = lc_chaos::splitmix64(
+                base ^ lc_chaos::splitmix64(((spec.index as u64) << 32) | attempt as u64),
+            );
+            c.arg("--chaos-kill").arg(sub.to_string());
+        }
+        c.stdout(std::process::Stdio::null());
+        c.stderr(std::process::Stdio::inherit());
+        c
+    };
+    let report = supervise::run_supervisor(n, workers, args.max_shard_retries, cancel, command_for)
+        .map_err(|e| {
+            eprintln!("error: kind=supervise exit=1 {e}");
+            ExitCode::FAILURE
+        })?;
+    if report.interrupted {
+        eprintln!(
+            "error: kind=interrupt exit={EXIT_INTERRUPTED} supervision stopped by signal; \
+             shard journals are checkpointed — rerun the same command to continue"
+        );
+        return Err(ExitCode::from(EXIT_INTERRUPTED));
+    }
+    if !args.quiet {
+        for s in &report.shards {
+            eprintln!(
+                "supervise: shard {} -> {:?} in {} attempt(s)",
+                s.spec.label(),
+                s.outcome,
+                s.attempts
+            );
+        }
+        eprintln!(
+            "supervise: {n} shards finished in {:.1}s wall",
+            report.wall.as_secs_f64()
+        );
+    }
+    if !report.all_done() {
+        // Shard-level quarantine: the campaign is not failed — every
+        // other shard's journal holds its completed units — but there
+        // is no complete set to merge. Record what happened and hand
+        // the operator the exit-5 contract.
+        let report_path = args.out.join("shard_quarantine.txt");
+        let mut lines = String::new();
+        for s in report.quarantined() {
+            if let supervise::ShardOutcome::ShardQuarantined { last_status } = &s.outcome {
+                lines.push_str(&format!(
+                    "shard={} attempts={} last_status={}\n",
+                    s.spec.label(),
+                    s.attempts,
+                    last_status
+                ));
+            }
+        }
+        let _ = atomic_write(&report_path, lines.as_bytes(), args.fsync);
+        eprintln!(
+            "error: kind=shard-quarantine exit={EXIT_QUARANTINE} {} shard(s) failed \
+             persistently (see {}); completed shards keep their journals — fix the cause, \
+             re-run the failed shard(s) with --shard, then --merge",
+            report.quarantined().count(),
+            report_path.display()
+        );
+        return Err(ExitCode::from(EXIT_QUARANTINE));
+    }
+    let merged = args.out.join("journal.jsonl");
+    let rep = shard::merge_shards(&args.out, &merged).map_err(|e| {
+        eprintln!("error: kind=merge exit=1 {e}");
+        ExitCode::FAILURE
+    })?;
+    if !args.quiet {
+        eprintln!(
+            "merge: fused {} shard journals into {} ({} units, {} quarantined, {} torn \
+             bytes dropped)",
+            rep.shards,
+            merged.display(),
+            rep.units,
+            rep.quarantined,
+            rep.torn_bytes
+        );
+    }
+    Ok(())
+}
+
+/// Render the figure selection back into `--figure` syntax for child
+/// processes (the selection decides whether -O1 platforms are swept, so
+/// it is fingerprint-relevant and must match across shards).
+fn figure_list(figs: &[FigId]) -> String {
+    if figs == FigId::ALL {
+        return "all".to_string();
+    }
+    figs.iter()
+        .map(|f| f.number().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Publish the flight-recorder black box; failure to dump is reported

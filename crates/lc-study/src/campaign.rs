@@ -252,6 +252,14 @@ pub struct CampaignOptions {
     /// journal is checkpointed, and the campaign returns early with
     /// [`CampaignOutcome::interrupted`] set.
     pub cancel: Option<CancelToken>,
+    /// Run only the work units this shard owns (round-robin over the
+    /// global unit index `file_i * nc + i1`; see [`crate::shard`]).
+    /// The journal meta gains a `"shard": "K/N"` field so a shard
+    /// journal can be neither resumed under the wrong identity nor
+    /// merged into the wrong campaign. Unowned units contribute
+    /// nothing: a sharded outcome's measurements are partial by design
+    /// and only meaningful after [`crate::shard::merge_shards`].
+    pub shard: Option<crate::shard::ShardSpec>,
 }
 
 /// Wall-clock timing of one work unit, recorded for every unit (healthy
@@ -387,7 +395,22 @@ pub fn run_campaign_with(
     // canonical mode the class-map fingerprint is part of the resume
     // fingerprint.
     let plan = PrunePlan::for_space(&sc.space, opts.prune);
-    let meta = journal_meta(sc, c_total, &opts.sweep, &plan);
+    // The dataset digest list costs one generation pass over the input
+    // files, so it is only computed when a journal will actually carry
+    // the fingerprint.
+    let meta = journal_meta(
+        sc,
+        c_total,
+        &opts.sweep,
+        &plan,
+        opts.shard.as_ref(),
+        opts.journal.is_some(),
+    );
+    // Shard ownership of a global work-unit index; `None` owns all.
+    let owns = |fi: usize, i1: usize| {
+        opts.shard
+            .is_none_or(|s| s.owns(crate::shard::unit_index(fi, i1, nc)))
+    };
     if lc_telemetry::enabled() {
         lc_telemetry::counter("campaign.analyze.commuting_pairs").add(plan.dups.len() as u64);
         lc_telemetry::counter("campaign.analyze.pruned_pipelines")
@@ -447,6 +470,44 @@ pub fn run_campaign_with(
                     opts.prune.label()
                 ));
             }
+            // Shard identity gets its own refusal: resuming shard 2/4's
+            // journal as shard 3/4 (or as a whole campaign) would treat
+            // another shard's units as already-done and silently skip
+            // work this process owns.
+            let j_shard = j.meta.get("shard").and_then(|v| v.as_str());
+            let our_shard = opts.shard.map(|s| s.meta_label());
+            if j_shard != our_shard.as_deref() {
+                return Err(format!(
+                    "journal {} belongs to {} but this campaign is {}; resuming \
+                     across shard identities would skip or duplicate work units — \
+                     use the matching --shard (or --merge to fuse a complete \
+                     shard set)",
+                    path.display(),
+                    j_shard
+                        .map(|s| format!("shard {s}"))
+                        .unwrap_or_else(|| "the whole campaign (no shard)".to_string()),
+                    our_shard
+                        .map(|s| format!("shard {s}"))
+                        .unwrap_or_else(|| "the whole campaign (no shard)".to_string()),
+                ));
+            }
+            // Dataset digests get their own refusal naming the first
+            // differing input, so a journal from a different dataset is
+            // an operator-actionable error instead of a generic
+            // fingerprint mismatch.
+            let (jd, md) = (
+                j.meta.get("dataset").and_then(Value::as_array),
+                meta.get("dataset").and_then(Value::as_array),
+            );
+            if jd != md {
+                let detail = crate::shard::first_dataset_difference(jd, md)
+                    .unwrap_or_else(|| "dataset digest lists differ".to_string());
+                return Err(format!(
+                    "journal {} was written against different input data: {detail}; \
+                     resuming would mix measurements from two datasets",
+                    path.display()
+                ));
+            }
             if strip_informational(&j.meta) != strip_informational(&meta) {
                 return Err(format!(
                     "journal {} was written by a different campaign configuration \
@@ -480,7 +541,8 @@ pub fn run_campaign_with(
         .map(|fi| {
             (0..nc)
                 .filter(|i1| {
-                    !prior_units.contains_key(&(fi, *i1))
+                    owns(fi, *i1)
+                        && !prior_units.contains_key(&(fi, *i1))
                         && !prior_quarantine.contains_key(&(fi, *i1))
                 })
                 .count()
@@ -558,7 +620,8 @@ pub fn run_campaign_with(
         // the journal (measured or quarantined) are not re-run.
         let pending: Vec<usize> = (0..nc)
             .filter(|i1| {
-                !prior_units.contains_key(&(file_i, *i1))
+                owns(file_i, *i1)
+                    && !prior_units.contains_key(&(file_i, *i1))
                     && !prior_quarantine.contains_key(&(file_i, *i1))
             })
             .collect();
@@ -652,6 +715,15 @@ pub fn run_campaign_with(
             };
             if let Some(hb) = heartbeat {
                 hb.unit_done();
+            }
+            // Chaos: seeded SIGKILL at the unit boundary (supervisor
+            // soak). Consulted strictly *after* this unit's journal
+            // append, so every attempt makes durable progress and the
+            // supervisor's retry-with-resume loop must converge in at
+            // most (owned units + 1) launches. One relaxed load when no
+            // plan is installed.
+            if lc_chaos::kill_requested() {
+                lc_parallel::raise_sigkill();
             }
             out
         };
@@ -1015,9 +1087,40 @@ fn run_unit(
 /// The journal fingerprint: everything that determines a unit's numeric
 /// results. Resume refuses a journal whose meta record differs —
 /// *informational* fields (see [`strip_informational`]) excepted.
-fn journal_meta(sc: &StudyConfig, c_total: usize, sweep: &SweepMode, plan: &PrunePlan) -> Value {
+fn journal_meta(
+    sc: &StudyConfig,
+    c_total: usize,
+    sweep: &SweepMode,
+    plan: &PrunePlan,
+    shard: Option<&crate::shard::ShardSpec>,
+    with_dataset: bool,
+) -> Value {
     let mut meta = journal_meta_fingerprint(sc, c_total);
     if let Value::Object(fields) = &mut meta {
+        // NOT informational: a shard journal holds only its owned
+        // units, so its identity must pin both resume (same shard
+        // only) and merge (complete set only). Whole-campaign journals
+        // write no field, keeping pre-shard journals resumable.
+        if let Some(s) = shard {
+            fields.push(("shard".to_string(), Value::from(s.meta_label())));
+        }
+        // NOT informational: the digests pin the exact input bytes the
+        // rows were measured on. Two journals that disagree here were
+        // run on different data and their rows must never be mixed —
+        // resume and merge both refuse with the first differing file.
+        if with_dataset {
+            fields.push((
+                "dataset".to_string(),
+                Value::array(sc.files.iter().map(|f| {
+                    let data = lc_data::generate(f, sc.scale);
+                    Value::from(format!(
+                        "{}:{:08x}",
+                        f.name,
+                        lc_core::checksum::crc32(&data)
+                    ))
+                })),
+            ));
+        }
         // Informational: records how the sweep was executed, but does
         // not participate in the resume fingerprint (sweep modes are
         // bit-identical, so mixing them across a resume is sound).
@@ -1048,7 +1151,7 @@ fn journal_meta(sc: &StudyConfig, c_total: usize, sweep: &SweepMode, plan: &Prun
 /// keeps journals from before the sweep field resumable. The `"prune"`
 /// field is deliberately *not* stripped — pruning changes the journaled
 /// rows themselves, so it is part of the fingerprint.
-fn strip_informational(meta: &Value) -> Value {
+pub(crate) fn strip_informational(meta: &Value) -> Value {
     match meta {
         Value::Object(fields) => Value::Object(
             fields
@@ -1462,6 +1565,8 @@ mod tests {
         };
         run_campaign_with(&sc, &opts).unwrap();
 
+        // A different input set trips the dataset-digest refusal, which
+        // names the data mismatch rather than the generic fingerprint.
         let mut other = sc.clone();
         other.files = vec![&SP_FILES[0]];
         let opts = CampaignOptions {
@@ -1471,9 +1576,109 @@ mod tests {
         };
         let err = match run_campaign_with(&other, &opts) {
             Err(e) => e,
+            Ok(_) => panic!("resuming under a different input set must fail"),
+        };
+        assert!(err.contains("different input data"), "{err}");
+
+        // A non-dataset config change (verify flag) still lands on the
+        // generic fingerprint refusal.
+        let mut other = sc.clone();
+        other.verify = !other.verify;
+        let err = match run_campaign_with(&other, &opts) {
+            Err(e) => e,
             Ok(_) => panic!("resuming under a different configuration must fail"),
         };
         assert!(err.contains("different campaign configuration"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_campaign_merges_byte_identical() {
+        let sc = tiny_config();
+        let dir = std::env::temp_dir().join(format!("lc-shard-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Reference: one journaled single-process run.
+        let single = CampaignOptions {
+            journal: Some(dir.join("single.jsonl")),
+            ..Default::default()
+        };
+        let reference = run_campaign_with(&sc, &single).unwrap();
+
+        // The same campaign as 3 independent shards, then merged.
+        let n = 3;
+        let nc = sc.space.components.len();
+        let mut sharded_executed = 0;
+        for index in 0..n {
+            let spec = crate::shard::ShardSpec { index, count: n };
+            let opts = CampaignOptions {
+                journal: Some(dir.join(spec.journal_file())),
+                shard: Some(spec),
+                ..Default::default()
+            };
+            sharded_executed += run_campaign_with(&sc, &opts).unwrap().executed_units;
+        }
+        assert_eq!(
+            sharded_executed,
+            sc.files.len() * nc,
+            "shards together must execute exactly the full unit space"
+        );
+        let merged = dir.join("journal.jsonl");
+        let rep = crate::shard::merge_shards(&dir, &merged).unwrap();
+        assert_eq!(rep.units, sc.files.len() * nc);
+
+        let opts = CampaignOptions {
+            journal: Some(merged),
+            resume: true,
+            ..Default::default()
+        };
+        let fused = run_campaign_with(&sc, &opts).unwrap();
+        assert_eq!(
+            fused.executed_units, 0,
+            "merge must leave nothing to recompute"
+        );
+        assert_eq!(fused.resumed_units, sc.files.len() * nc);
+        assert_bitwise_equal(&reference.measurements, &fused.measurements);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_shard_identity() {
+        let sc = tiny_config();
+        let path = temp_journal("shardid");
+        let spec = crate::shard::ShardSpec { index: 0, count: 2 };
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            shard: Some(spec),
+            ..Default::default()
+        };
+        run_campaign_with(&sc, &opts).unwrap();
+
+        // Wrong shard index.
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            resume: true,
+            shard: Some(crate::shard::ShardSpec { index: 1, count: 2 }),
+            ..Default::default()
+        };
+        let err = match run_campaign_with(&sc, &opts) {
+            Err(e) => e,
+            Ok(_) => panic!("resuming under the wrong shard index must fail"),
+        };
+        assert!(err.contains("shard 1/2"), "{err}");
+
+        // Whole-campaign resume from a shard journal.
+        let opts = CampaignOptions {
+            journal: Some(path.clone()),
+            resume: true,
+            ..Default::default()
+        };
+        let err = match run_campaign_with(&sc, &opts) {
+            Err(e) => e,
+            Ok(_) => panic!("whole-campaign resume from a shard journal must fail"),
+        };
+        assert!(err.contains("whole campaign"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

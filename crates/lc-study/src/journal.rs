@@ -40,8 +40,11 @@ use lc_json::Value;
 /// Version 2 added per-unit timing (`elapsed_ms`, `stage_ms`) to `unit`
 /// and `quarantine` records; v1 journals are refused on resume via the
 /// meta fingerprint, so their timing-less quarantine records are never
-/// parsed.
-pub const JOURNAL_VERSION: u64 = 2;
+/// parsed. Version 3 added the `dataset` digest list (and, for shard
+/// journals, the `shard` identity) to the meta fingerprint: a v2
+/// journal carries no proof of which input bytes its rows measured, so
+/// it is refused rather than trusted across the upgrade.
+pub const JOURNAL_VERSION: u64 = 3;
 
 /// Serializer half: appends one complete line per record via a single
 /// crash-consistent `write_all`.

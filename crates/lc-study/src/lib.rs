@@ -8,7 +8,11 @@
 //! * [`stats`] — letter-value ("boxen") summaries with the paper's fixed
 //!   0.7% outlier rate;
 //! * [`figures`] — one generator per paper figure (Figs. 2–15);
-//! * [`report`] — the EXPERIMENTS.md paper-vs-measured report.
+//! * [`report`] — the EXPERIMENTS.md paper-vs-measured report;
+//! * [`shard`] / [`supervise`] — deterministic partitioning of the
+//!   campaign into independently journaled shard subprocesses, the
+//!   crash-supervising scheduler that retries/quarantines them, and the
+//!   byte-identical merge back into one run.
 //!
 //! The `reproduce` binary drives all of it:
 //!
@@ -28,8 +32,10 @@ pub mod prune;
 pub mod ratio;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod space;
 pub mod stats;
+pub mod supervise;
 pub mod svg;
 pub mod tables;
 
@@ -42,4 +48,6 @@ pub use prefix::{CacheReport, CacheStats, SweepMode, DEFAULT_CACHE_MB};
 pub use progress::Heartbeat;
 pub use prune::{PruneMode, PrunePlan, PruneReport};
 pub use runner::{StageFault, Watchdog};
+pub use shard::{discover_shards, merge_shards, MergeReport, ShardSpec};
 pub use space::{PipelineId, Space};
+pub use supervise::{run_supervisor, ShardOutcome, ShardRun, SupervisorReport};

@@ -1,0 +1,387 @@
+//! The shard supervisor: spawns `reproduce --shard K/N` subprocesses,
+//! watches them, and retries crashes with bounded deterministic backoff.
+//!
+//! # Why supervision instead of trust
+//!
+//! A full-space campaign (107,632 pipelines × 13 files) runs for hours;
+//! at that horizon processes die — OOM kills, node reboots, `kill -9`
+//! from an impatient operator. The shard layer already makes every
+//! death cheap (each shard is an independent crash-consistent journal,
+//! so a restarted shard resumes at its last completed unit); the
+//! supervisor makes death *routine*: a shard that exits any way other
+//! than cleanly is relaunched with `--resume`, and only a shard that
+//! keeps failing past the retry budget is **quarantined** — reported,
+//! skipped, campaign continues — mirroring the per-unit quarantine
+//! semantics (exit 5) one level up.
+//!
+//! # State machine (per shard)
+//!
+//! ```text
+//!          spawn                 exit 0            exit 5
+//! pending ───────► running ──────────────► Done    ──► DoneQuarantinedUnits
+//!    ▲                │
+//!    │   backoff      │ exit 7 / signal / other
+//!    └────────────────┘   (attempt < retries)
+//!                         attempt == retries ──► ShardQuarantined
+//! ```
+//!
+//! Backoff is the chaos layer's deterministic schedule
+//! ([`lc_chaos::fs::backoff_us`], seeded by shard index and attempt) so
+//! a soak failure replays identically. At most `workers` shards run
+//! concurrently; each child is an ordinary OS process, so a SIGKILL
+//! that bypasses every in-process handler still lands exactly where the
+//! soak wants it.
+//!
+//! The supervisor itself is cancellable: on Ctrl-C it kills the running
+//! children (they hold per-shard locks and journals, both of which are
+//! built to survive this) and reports `interrupted`, mapping to the
+//! campaign's resumable exit 7.
+
+use std::process::{Child, Command, ExitStatus};
+use std::time::{Duration, Instant};
+
+use lc_parallel::CancelToken;
+
+use crate::shard::ShardSpec;
+
+/// How one shard's supervision ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// Exit 0: every owned unit journaled.
+    Done,
+    /// Exit 5: the shard finished but quarantined some of its *units*
+    /// (panic/deadline) — campaign-level success with caveats, exactly
+    /// like a single-process run that exits 5.
+    DoneQuarantinedUnits,
+    /// The shard failed on every attempt; the campaign proceeds without
+    /// it and the operator re-runs it by hand (its journal keeps all
+    /// progress made so far).
+    ShardQuarantined {
+        /// Human-readable description of the final failure.
+        last_status: String,
+    },
+    /// Supervision was cancelled before the shard finished.
+    Interrupted,
+}
+
+/// One shard's supervision record.
+#[derive(Debug)]
+pub struct ShardRun {
+    pub spec: ShardSpec,
+    /// Launch attempts consumed (1 for a clean first run).
+    pub attempts: u32,
+    pub outcome: ShardOutcome,
+}
+
+/// The full supervision result.
+#[derive(Debug)]
+pub struct SupervisorReport {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardRun>,
+    /// True if supervision was cancelled (Ctrl-C / deadline) — the
+    /// campaign is resumable, not failed.
+    pub interrupted: bool,
+    /// Wall time of the whole supervised phase.
+    pub wall: Duration,
+}
+
+impl SupervisorReport {
+    /// Shards that failed persistently.
+    pub fn quarantined(&self) -> impl Iterator<Item = &ShardRun> {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s.outcome, ShardOutcome::ShardQuarantined { .. }))
+    }
+
+    /// True when every shard completed (possibly with unit-level
+    /// quarantines) — the precondition for merging.
+    pub fn all_done(&self) -> bool {
+        self.shards.iter().all(|s| {
+            matches!(
+                s.outcome,
+                ShardOutcome::Done | ShardOutcome::DoneQuarantinedUnits
+            )
+        })
+    }
+}
+
+/// Deterministic relaunch delay for `(shard, attempt)`: the chaos
+/// layer's seeded exponential-plus-jitter schedule, scaled up from
+/// syscall-retry range (~200 µs) into process-relaunch range (a few
+/// ms), capped by the `.min(6)` shift. Deterministic so soak failures
+/// replay identically; short enough that tests retrying dozens of
+/// seeded kills stay fast (a real crash-looping shard burns its whole
+/// retry budget in well under a second, which is fine — the budget, not
+/// the delay, is the protection).
+fn relaunch_delay(shard: usize, attempt: u32) -> Duration {
+    let tag = 0x5AAD_0000_u64 ^ (shard as u64);
+    Duration::from_micros(lc_chaos::fs::backoff_us(tag, attempt.min(6)) * 8)
+}
+
+fn status_label(status: ExitStatus) -> String {
+    if let Some(code) = status.code() {
+        return format!("exit code {code}");
+    }
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            return format!("killed by signal {sig}");
+        }
+    }
+    "unknown exit status".to_string()
+}
+
+struct Pending {
+    shard: usize,
+    attempt: u32,
+    ready_at: Instant,
+}
+
+struct Running {
+    shard: usize,
+    attempt: u32,
+    child: Child,
+}
+
+/// Supervise an N-way sharded campaign with at most `workers`
+/// concurrent shard subprocesses.
+///
+/// `command_for(spec, attempt)` builds the (not yet spawned) command
+/// for one launch; the caller decides binary, flags, and chaos seeds —
+/// the supervisor only decides *when* to launch and how to classify the
+/// exit. `max_retries` is the number of *re*launches allowed per shard
+/// after its first attempt (so every shard runs at most
+/// `max_retries + 1` times).
+pub fn run_supervisor(
+    count: usize,
+    workers: usize,
+    max_retries: u32,
+    cancel: &CancelToken,
+    mut command_for: impl FnMut(&ShardSpec, u32) -> Command,
+) -> Result<SupervisorReport, String> {
+    if count == 0 {
+        return Err("shard count must be at least 1".to_string());
+    }
+    let workers = workers.clamp(1, count);
+    let start = Instant::now();
+    let specs: Vec<ShardSpec> = (0..count).map(|index| ShardSpec { index, count }).collect();
+    let mut outcomes: Vec<Option<(u32, ShardOutcome)>> = (0..count).map(|_| None).collect();
+    let mut pending: Vec<Pending> = (0..count)
+        .map(|shard| Pending {
+            shard,
+            attempt: 0,
+            ready_at: start,
+        })
+        .collect();
+    let mut running: Vec<Running> = Vec::new();
+    let mut interrupted = false;
+
+    loop {
+        if cancel.is_cancelled() && !interrupted {
+            interrupted = true;
+            // Children hold per-shard locks and crash-consistent
+            // journals; killing them loses at most the in-flight units.
+            for r in &mut running {
+                let _ = r.child.kill();
+            }
+            for p in pending.drain(..) {
+                outcomes[p.shard] = Some((p.attempt, ShardOutcome::Interrupted));
+            }
+        }
+
+        // Reap finished children.
+        let mut still_running = Vec::with_capacity(running.len());
+        for mut r in running {
+            match r.child.try_wait() {
+                Ok(Some(status)) => {
+                    let attempt = r.attempt + 1;
+                    if interrupted {
+                        outcomes[r.shard] = Some((attempt, ShardOutcome::Interrupted));
+                        continue;
+                    }
+                    match status.code() {
+                        Some(0) => {
+                            outcomes[r.shard] = Some((attempt, ShardOutcome::Done));
+                        }
+                        Some(5) => {
+                            outcomes[r.shard] = Some((attempt, ShardOutcome::DoneQuarantinedUnits));
+                        }
+                        // Exit 7 (interrupted-but-resumable), death by
+                        // signal, and every other nonzero exit all mean
+                        // the same thing here: the shard did not finish,
+                        // its journal did not lose completed units, try
+                        // again.
+                        _ => {
+                            if attempt > max_retries {
+                                outcomes[r.shard] = Some((
+                                    attempt,
+                                    ShardOutcome::ShardQuarantined {
+                                        last_status: status_label(status),
+                                    },
+                                ));
+                            } else {
+                                pending.push(Pending {
+                                    shard: r.shard,
+                                    attempt,
+                                    ready_at: Instant::now() + relaunch_delay(r.shard, attempt),
+                                });
+                            }
+                        }
+                    }
+                }
+                Ok(None) => still_running.push(r),
+                Err(e) => {
+                    // try_wait failing is a supervisor-side defect, not
+                    // a shard failure; don't burn the shard's budget.
+                    return Err(format!(
+                        "cannot poll shard {} subprocess: {e}",
+                        specs[r.shard].label()
+                    ));
+                }
+            }
+        }
+        running = still_running;
+
+        // Launch ready work, earliest-ready first for determinism.
+        if !interrupted {
+            pending.sort_by_key(|p| (p.ready_at, p.shard));
+            while running.len() < workers {
+                let now = Instant::now();
+                let Some(pos) = pending.iter().position(|p| p.ready_at <= now) else {
+                    break;
+                };
+                let p = pending.remove(pos);
+                let spec = specs[p.shard];
+                match command_for(&spec, p.attempt).spawn() {
+                    Ok(child) => running.push(Running {
+                        shard: p.shard,
+                        attempt: p.attempt,
+                        child,
+                    }),
+                    Err(e) => {
+                        // Spawn failure consumes an attempt like any
+                        // other crash: transient fork/exec pressure
+                        // retries, a missing binary quarantines fast.
+                        let attempt = p.attempt + 1;
+                        if attempt > max_retries {
+                            outcomes[p.shard] = Some((
+                                attempt,
+                                ShardOutcome::ShardQuarantined {
+                                    last_status: format!("spawn failed: {e}"),
+                                },
+                            ));
+                        } else {
+                            pending.push(Pending {
+                                shard: p.shard,
+                                attempt,
+                                ready_at: Instant::now() + relaunch_delay(p.shard, attempt),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        if running.is_empty() && (pending.is_empty() || interrupted) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let shards = specs
+        .iter()
+        .zip(outcomes)
+        .map(|(spec, o)| {
+            let (attempts, outcome) = o.unwrap_or((0, ShardOutcome::Interrupted));
+            ShardRun {
+                spec: *spec,
+                attempts,
+                outcome,
+            }
+        })
+        .collect();
+    Ok(SupervisorReport {
+        shards,
+        interrupted,
+        wall: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(script: &str) -> Command {
+        let mut c = Command::new("sh");
+        c.arg("-c").arg(script);
+        c.stdout(std::process::Stdio::null());
+        c.stderr(std::process::Stdio::null());
+        c
+    }
+
+    #[test]
+    fn clean_shards_finish_in_one_attempt() {
+        let cancel = CancelToken::new();
+        let report = run_supervisor(3, 2, 2, &cancel, |_, _| sh("exit 0")).unwrap();
+        assert!(report.all_done());
+        assert!(!report.interrupted);
+        for s in &report.shards {
+            assert_eq!(s.attempts, 1);
+            assert_eq!(s.outcome, ShardOutcome::Done);
+        }
+    }
+
+    #[test]
+    fn crashing_shard_retries_then_quarantines_without_sinking_campaign() {
+        let cancel = CancelToken::new();
+        let report = run_supervisor(2, 2, 2, &cancel, |spec, _| {
+            if spec.index == 0 {
+                sh("exit 0")
+            } else {
+                sh("kill -9 $$")
+            }
+        })
+        .unwrap();
+        assert!(!report.interrupted);
+        assert_eq!(report.shards[0].outcome, ShardOutcome::Done);
+        let bad = &report.shards[1];
+        assert_eq!(bad.attempts, 3, "first launch plus max_retries=2");
+        match &bad.outcome {
+            ShardOutcome::ShardQuarantined { last_status } => {
+                assert!(
+                    last_status.contains("signal 9"),
+                    "unexpected status {last_status:?}"
+                );
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(report.quarantined().count(), 1);
+        assert!(!report.all_done());
+    }
+
+    #[test]
+    fn flaky_shard_recovers_within_budget() {
+        let dir = std::env::temp_dir().join(format!("lc-supervise-{}-flaky", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let marker = dir.join("tried");
+        let script = format!(
+            "if [ -e {m} ]; then exit 0; else touch {m}; exit 7; fi",
+            m = marker.display()
+        );
+        let cancel = CancelToken::new();
+        let report = run_supervisor(1, 1, 3, &cancel, |_, _| sh(&script)).unwrap();
+        assert_eq!(report.shards[0].attempts, 2);
+        assert_eq!(report.shards[0].outcome, ShardOutcome::Done);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exit_five_counts_as_done_with_unit_quarantines() {
+        let cancel = CancelToken::new();
+        let report = run_supervisor(1, 1, 0, &cancel, |_, _| sh("exit 5")).unwrap();
+        assert_eq!(report.shards[0].outcome, ShardOutcome::DoneQuarantinedUnits);
+        assert!(report.all_done());
+    }
+}
